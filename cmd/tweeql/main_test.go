@@ -1,0 +1,107 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// captureStdout runs fn with os.Stdout redirected and returns what it
+// printed.
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string, 1)
+	go func() {
+		buf := make([]byte, 0, 64*1024)
+		tmp := make([]byte, 32*1024)
+		for {
+			n, err := r.Read(tmp)
+			buf = append(buf, tmp[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		done <- string(buf)
+	}()
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	r.Close()
+	return out, runErr
+}
+
+func TestRunOneQuery(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return runOne("soccer", 1, 10*time.Minute,
+			"SELECT text FROM twitter WHERE text CONTAINS 'soccer' LIMIT 3", false, 50)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "text") || !strings.Contains(out, "(3 rows") {
+		t.Errorf("REPL output:\n%s", out)
+	}
+	if !strings.Contains(out, "pushdown: track[soccer]") {
+		t.Errorf("pushdown line missing:\n%s", out)
+	}
+}
+
+func TestRunOneExplain(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return runOne("background", 1, time.Minute,
+			"SELECT COUNT(*) FROM twitter WINDOW 1 MINUTE", true, 0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "aggregate") {
+		t.Errorf("explain output:\n%s", out)
+	}
+}
+
+func TestRunOneMaxRows(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return runOne("background", 2, 2*time.Minute, "SELECT text FROM twitter", false, 5)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "stopped at -max-rows=5") {
+		t.Errorf("max-rows cap missing:\n%s", out)
+	}
+}
+
+func TestRunOneErrors(t *testing.T) {
+	if err := runOne("nosuchscenario", 1, 0, "SELECT 1 FROM t", false, 5); err == nil {
+		t.Error("bad scenario should error")
+	}
+	if err := runOne("background", 1, time.Minute, "SELEC nope", false, 5); err == nil {
+		t.Error("bad SQL should error")
+	}
+	if err := runOne("background", 1, time.Minute, "SELEC nope", true, 5); err == nil {
+		t.Error("bad SQL explain should error")
+	}
+}
+
+func TestPrebuiltQueriesParse(t *testing.T) {
+	// Every advertised pre-built query must at least pass the planner.
+	_, err := captureStdout(t, func() error {
+		for _, q := range prebuilt {
+			if err := runOne("soccer", 3, 5*time.Minute, q, true, 0); err != nil {
+				t.Errorf("prebuilt %q: %v", q, err)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

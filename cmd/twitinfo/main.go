@@ -1,0 +1,100 @@
+// Command twitinfo serves the TwitInfo demo of §4: the web dashboard
+// over the three canned examples — a soccer match, a timeline of
+// earthquakes, and a summary of a month in Barack Obama's life — plus
+// any events the audience creates through the API.
+//
+//	twitinfo -addr :8080                  # all three canned events
+//	twitinfo -scenario soccer -seed 7     # just one
+//
+// Then open http://localhost:8080/ — or POST to /api/events to track
+// new terms of interest:
+//
+//	curl -X POST localhost:8080/api/events \
+//	  -d '{"name":"worldcup","keywords":["worldcup","final"]}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"tweeql"
+	"tweeql/twitinfo"
+)
+
+// canned describes the §4 demo events and the scenario that feeds each.
+var canned = []struct {
+	scenario string
+	event    twitinfo.EventConfig
+	duration time.Duration
+}{
+	{
+		scenario: "soccer",
+		event: twitinfo.EventConfig{
+			Name:     "Soccer: Manchester City vs Liverpool",
+			Keywords: []string{"soccer", "football", "premierleague", "manchester", "liverpool"},
+		},
+	},
+	{
+		scenario: "earthquakes",
+		event: twitinfo.EventConfig{
+			Name:     "Earthquakes",
+			Keywords: []string{"earthquake", "quake", "tremor"},
+			Bin:      10 * time.Minute, // a day-long event reads better in coarse bins
+		},
+	},
+	{
+		scenario: "obama",
+		event: twitinfo.EventConfig{
+			Name:     "A month of Obama",
+			Keywords: []string{"obama"},
+			Bin:      6 * time.Hour, // a month-long event, coarser still
+		},
+		duration: 10 * 24 * time.Hour, // ten days keeps startup snappy
+	},
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	scenario := flag.String("scenario", "", "load only this canned scenario (default: all)")
+	seed := flag.Int64("seed", 1, "generator seed")
+	flag.Parse()
+
+	store := twitinfo.NewStore()
+	loaded := 0
+	for _, c := range canned {
+		if *scenario != "" && c.scenario != *scenario {
+			continue
+		}
+		tr, err := store.Create(c.event)
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, stream, err := tweeql.NewSimulated(tweeql.SimConfig{
+			Scenario: c.scenario, Seed: *seed, Duration: c.duration,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		n := 0
+		for _, tw := range stream.Tweets() {
+			if tr.Ingest(tw) {
+				n++
+			}
+		}
+		tr.Finish()
+		fmt.Printf("loaded %q: %d matching tweets, %d peaks\n", c.event.Name, n, len(tr.Peaks(0)))
+		loaded++
+	}
+	if loaded == 0 {
+		fmt.Fprintf(os.Stderr, "unknown scenario %q\n", *scenario)
+		os.Exit(1)
+	}
+
+	handler := twitinfo.Handler(store, twitinfo.DashboardOptions{})
+	fmt.Printf("TwitInfo dashboard: http://%s/\n", *addr)
+	log.Fatal(http.ListenAndServe(*addr, handler))
+}

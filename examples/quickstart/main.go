@@ -1,0 +1,75 @@
+// Quickstart: run the paper's first example query —
+//
+//	SELECT sentiment(text), latitude(loc), longitude(loc)
+//	FROM twitter
+//	WHERE text contains 'obama';
+//
+// against a simulated tweet stream, and print the structured rows that
+// TweeQL extracts from unstructured tweets.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"tweeql"
+)
+
+func main() {
+	// Wire a complete simulated deployment: synthetic firehose →
+	// streaming API → TweeQL engine with the standard UDF library.
+	eng, stream, err := tweeql.NewSimulated(tweeql.SimConfig{
+		Scenario: "obama",
+		Seed:     1,
+		Duration: 6 * time.Hour, // a slice of the month-long scenario
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cur, err := eng.Query(context.Background(), `
+		SELECT sentiment(text) AS sentiment,
+		       latitude(loc)  AS lat,
+		       longitude(loc) AS lon,
+		       text
+		FROM twitter
+		WHERE text CONTAINS 'obama'
+		LIMIT 15;`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Queries connect first; then the stream replays through the
+	// simulated streaming API.
+	go stream.Replay()
+
+	fmt.Println("sentiment |     lat |     lon | text")
+	fmt.Println("----------+---------+---------+-----------------------------")
+	for row := range cur.Rows() {
+		sent := row.Get("sentiment")
+		lat, lon := row.Get("lat"), row.Get("lon")
+		text, _ := row.Get("text").StringVal()
+		if len(text) > 40 {
+			text = text[:40] + "…"
+		}
+		fmt.Printf("%9s | %7s | %7s | %s\n", short(sent), short(lat), short(lon), text)
+	}
+
+	stats := cur.Stats()
+	fmt.Printf("\n%d tweets streamed, %d matched the keyword filter\n",
+		stats.RowsIn.Load(), stats.RowsOut.Load())
+	if info := cur.Info(); info.Pushed {
+		fmt.Printf("filter pushed to the streaming API: %s\n", info.Chosen)
+	}
+}
+
+// short renders a value to at most 7 characters for the table.
+func short(v tweeql.Value) string {
+	s := v.String()
+	if len(s) > 7 {
+		return s[:7]
+	}
+	return s
+}

@@ -1,0 +1,126 @@
+// Soccer: the Figure 1 reproduction. Tracks the §4 canned event
+// "Soccer: Manchester City vs Liverpool" through a TweeQL keyword query
+// and renders all six TwitInfo panels in ASCII: the event timeline with
+// peak flags (1.2), the peak list with automatic key terms, relevant
+// tweets (1.4), the tweet map (1.3), popular links (1.5), and the
+// overall sentiment pie (1.6).
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+
+	"tweeql"
+	"tweeql/twitinfo"
+)
+
+func main() {
+	eng, stream, err := tweeql.NewSimulated(tweeql.SimConfig{Scenario: "soccer", Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// §3.1: define the event by its keyword query.
+	tracker := twitinfo.NewTracker(twitinfo.EventConfig{
+		Name:     "Soccer: Manchester City vs Liverpool",
+		Keywords: []string{"soccer", "football", "premierleague", "manchester", "liverpool"},
+	})
+
+	// §3.2: TwitInfo ingests from a TweeQL query over the streaming API.
+	tracking, err := twitinfo.StartTracking(context.Background(), eng, tracker)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stream.Replay()
+	if err := tracking.Wait(); err != nil {
+		log.Fatal(err)
+	}
+
+	d := tracker.Dashboard(twitinfo.DashboardOptions{RelevantTweets: 6})
+	fmt.Printf("== %s ==\n%d tweets logged for keywords %v\n",
+		d.Event, d.Ingested, d.Keywords)
+
+	// Panel 1.2: the event timeline. Peaks render as flag letters.
+	fmt.Println("\n-- Event Timeline (tweets/min; * = in peak) --")
+	max := 0
+	for _, b := range d.Timeline {
+		if b.Count > max {
+			max = b.Count
+		}
+	}
+	for i, b := range d.Timeline {
+		if i%5 != 0 && !b.InPeak { // compress quiet stretches
+			continue
+		}
+		bar := strings.Repeat("#", b.Count*60/maxOf(max, 1))
+		mark := ""
+		if b.InPeak {
+			mark = " *"
+		}
+		fmt.Printf("%s |%-60s|%s\n", b.Start.Format("15:04"), bar, mark)
+	}
+
+	// Peak flags with automatic key terms (the '3-0', 'Tevez' moment).
+	fmt.Println("\n-- Peaks --")
+	for _, p := range d.Peaks {
+		var labels []string
+		for _, st := range p.Terms {
+			labels = append(labels, st.Term)
+		}
+		fmt.Printf("[%s] %s–%s  max %d/min  terms: %s\n",
+			p.Flag(), p.Start.Format("15:04"), p.End.Format("15:04"),
+			p.MaxCount, strings.Join(labels, ", "))
+	}
+
+	// §3.2: text search over peak labels.
+	if hits := tracker.SearchPeaks("tevez", 5); len(hits) > 0 {
+		fmt.Printf("\nsearch \"tevez\" → peak [%s]\n", hits[0].Flag())
+	}
+
+	// Panel 1.4: relevant tweets, colored by sentiment.
+	fmt.Println("\n-- Relevant Tweets --")
+	for _, rt := range d.Relevant {
+		fmt.Printf("[%-8s] @%s: %s\n", rt.Sentiment, rt.Username, rt.Text)
+	}
+
+	// Panel 1.6: overall sentiment.
+	fmt.Printf("\n-- Overall Sentiment --\npositive %d | negative %d | neutral %d  (%.0f%% of polar tweets positive)\n",
+		d.Pie.Positive, d.Pie.Negative, d.Pie.Neutral, 100*d.Pie.PositiveShare())
+
+	// Panel 1.5: popular links.
+	fmt.Println("\n-- Popular Links --")
+	for i, l := range d.Links {
+		fmt.Printf("%d. %s (%d shares)\n", i+1, l.URL, l.Count)
+	}
+
+	// Panel 1.3: the tweet map, summarized by region.
+	fmt.Printf("\n-- Tweet Map --\n%d geolocated tweets\n", len(d.Pins))
+
+	// Drill into the biggest peak, as a user clicking its flag would.
+	biggest := d.Peaks[0]
+	for _, p := range d.Peaks {
+		if p.MaxCount > biggest.MaxCount {
+			biggest = p
+		}
+	}
+	pd, err := tracker.PeakDashboard(biggest.ID, twitinfo.DashboardOptions{RelevantTweets: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n== drill-down into peak [%s] (%s–%s) ==\n",
+		pd.Selected.Flag, pd.Selected.Start.Format("15:04"), pd.Selected.End.Format("15:04"))
+	fmt.Printf("sentiment in peak: +%d/-%d  links: %d  pins: %d\n",
+		pd.Pie.Positive, pd.Pie.Negative, len(pd.Links), len(pd.Pins))
+	for _, rt := range pd.Relevant {
+		fmt.Printf("  [%-8s] %s\n", rt.Sentiment, rt.Text)
+	}
+}
+
+func maxOf(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

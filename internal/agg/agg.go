@@ -1,0 +1,220 @@
+// Package agg implements TweeQL's aggregate functions with online
+// (single-pass) state, including the running confidence intervals that
+// drive the paper's confidence-triggered windowing (§2 "Uneven Aggregate
+// Groups": "we use a construct for windowing that measures confidence in
+// the aggregated result, similar to what was done in the CONTROL
+// project. Once a bucket falls within a certain confidence interval for
+// an aggregate, its record is emitted").
+package agg
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"tweeql/internal/value"
+)
+
+// Func is one online aggregate. Implementations are not safe for
+// concurrent use; each window bucket owns its own instances.
+type Func interface {
+	// Add folds one input value into the state. NULLs are ignored except
+	// by COUNT(*), per SQL semantics.
+	Add(v value.Value)
+	// Result returns the current aggregate value (NULL when no rows).
+	Result() value.Value
+	// N reports the number of values folded in (excluding ignored NULLs).
+	N() int64
+	// CI returns the half-width of the confidence interval around the
+	// current estimate at the given level. ok=false means the aggregate
+	// has no meaningful CI (MIN/MAX) or not enough data yet; such
+	// aggregates never hold back a confidence-triggered emission.
+	CI(level float64) (halfWidth float64, ok bool)
+	// Reset clears the state for bucket reuse.
+	Reset()
+}
+
+// IsAggregate reports whether name is a known aggregate function.
+func IsAggregate(name string) bool {
+	switch strings.ToUpper(name) {
+	case "COUNT", "SUM", "AVG", "MIN", "MAX", "VAR", "STDDEV":
+		return true
+	}
+	return false
+}
+
+// New builds an aggregate by name. star marks COUNT(*), which counts
+// rows rather than non-NULL values.
+func New(name string, star bool) (Func, error) {
+	switch strings.ToUpper(name) {
+	case "COUNT":
+		return &count{star: star}, nil
+	case "SUM":
+		return &sum{}, nil
+	case "AVG":
+		return &avg{}, nil
+	case "MIN":
+		return &minmax{want: -1}, nil
+	case "MAX":
+		return &minmax{want: 1}, nil
+	case "VAR":
+		return &variance{}, nil
+	case "STDDEV":
+		return &variance{sqrt: true}, nil
+	default:
+		return nil, fmt.Errorf("agg: unknown aggregate %q", name)
+	}
+}
+
+// count implements COUNT(x) / COUNT(*).
+type count struct {
+	star bool
+	n    int64
+}
+
+func (c *count) Add(v value.Value) {
+	if c.star || !v.IsNull() {
+		c.n++
+	}
+}
+func (c *count) Result() value.Value { return value.Int(c.n) }
+func (c *count) N() int64            { return c.n }
+
+// CI reports no interval: a windowed COUNT enumerates every tuple, so
+// the value is exact, not an estimate — it never gates early emission.
+// (CONTROL's COUNT intervals arise from sampling, which windows don't do.)
+func (c *count) CI(float64) (float64, bool) { return 0, false }
+func (c *count) Reset()                     { c.n = 0 }
+
+// sum implements SUM(x) with Welford tracking for its CI.
+type sum struct{ w welford }
+
+func (s *sum) Add(v value.Value) {
+	if f, err := v.FloatVal(); err == nil {
+		s.w.add(f)
+	}
+}
+
+func (s *sum) Result() value.Value {
+	if s.w.n == 0 {
+		return value.Null()
+	}
+	return value.Float(s.w.mean * float64(s.w.n))
+}
+func (s *sum) N() int64 { return s.w.n }
+
+// CI reports no interval: like COUNT, a windowed SUM is an exact total
+// over enumerated tuples, so it never gates early emission. Only
+// mean-like aggregates (AVG) estimate a population parameter.
+func (s *sum) CI(float64) (float64, bool) { return 0, false }
+func (s *sum) Reset()                     { s.w = welford{} }
+
+// avg implements AVG(x); its CI is the textbook CLT interval that the
+// paper's confidence-windowing construct monitors.
+type avg struct{ w welford }
+
+func (a *avg) Add(v value.Value) {
+	if f, err := v.FloatVal(); err == nil {
+		a.w.add(f)
+	}
+}
+
+func (a *avg) Result() value.Value {
+	if a.w.n == 0 {
+		return value.Null()
+	}
+	return value.Float(a.w.mean)
+}
+func (a *avg) N() int64                         { return a.w.n }
+func (a *avg) CI(level float64) (float64, bool) { return a.w.meanCI(level) }
+func (a *avg) Reset()                           { a.w = welford{} }
+
+// minmax implements MIN (want=-1) and MAX (want=+1) over any comparable
+// kind.
+type minmax struct {
+	want int
+	best value.Value
+	n    int64
+}
+
+func (m *minmax) Add(v value.Value) {
+	if v.IsNull() {
+		return
+	}
+	m.n++
+	if m.best.IsNull() {
+		m.best = v
+		return
+	}
+	c, err := value.Compare(v, m.best)
+	if err != nil {
+		return // incomparable kinds: keep first, matching lax tweet typing
+	}
+	if (m.want < 0 && c < 0) || (m.want > 0 && c > 0) {
+		m.best = v
+	}
+}
+func (m *minmax) Result() value.Value { return m.best }
+func (m *minmax) N() int64            { return m.n }
+
+// CI is undefined for order statistics; MIN/MAX never gate emission.
+func (m *minmax) CI(float64) (float64, bool) { return 0, false }
+func (m *minmax) Reset()                     { m.best = value.Null(); m.n = 0 }
+
+// variance implements VAR (sample variance) and STDDEV.
+type variance struct {
+	w    welford
+	sqrt bool
+}
+
+func (v *variance) Add(x value.Value) {
+	if f, err := x.FloatVal(); err == nil {
+		v.w.add(f)
+	}
+}
+
+func (v *variance) Result() value.Value {
+	if v.w.n < 2 {
+		return value.Null()
+	}
+	va := v.w.variance()
+	if v.sqrt {
+		return value.Float(math.Sqrt(va))
+	}
+	return value.Float(va)
+}
+func (v *variance) N() int64                   { return v.w.n }
+func (v *variance) CI(float64) (float64, bool) { return 0, false }
+func (v *variance) Reset()                     { v.w = welford{} }
+
+// welford is single-pass mean/variance (Welford's algorithm).
+type welford struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+func (w *welford) add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// variance returns the sample variance (n-1 denominator).
+func (w *welford) variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// meanCI returns the CLT half-width z * s/sqrt(n). With fewer than two
+// observations the interval is unbounded (ok=true, +Inf) so a
+// confidence-triggered window never emits a group it has barely seen.
+func (w *welford) meanCI(level float64) (float64, bool) {
+	if w.n < 2 {
+		return math.Inf(1), true
+	}
+	return zScore(level) * math.Sqrt(w.variance()/float64(w.n)), true
+}

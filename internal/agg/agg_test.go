@@ -1,0 +1,273 @@
+package agg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tweeql/internal/value"
+)
+
+func feed(t *testing.T, f Func, xs ...float64) {
+	t.Helper()
+	for _, x := range xs {
+		f.Add(value.Float(x))
+	}
+}
+
+func asFloat(t *testing.T, v value.Value) float64 {
+	t.Helper()
+	f, err := v.FloatVal()
+	if err != nil {
+		t.Fatalf("result not numeric: %v", v)
+	}
+	return f
+}
+
+func TestIsAggregate(t *testing.T) {
+	for _, name := range []string{"count", "COUNT", "Sum", "AVG", "min", "MAX", "VAR", "stddev"} {
+		if !IsAggregate(name) {
+			t.Errorf("IsAggregate(%q) = false", name)
+		}
+	}
+	for _, name := range []string{"sentiment", "floor", ""} {
+		if IsAggregate(name) {
+			t.Errorf("IsAggregate(%q) = true", name)
+		}
+	}
+}
+
+func TestNewUnknown(t *testing.T) {
+	if _, err := New("median", false); err == nil {
+		t.Error("unknown aggregate should error")
+	}
+}
+
+func TestCount(t *testing.T) {
+	c, _ := New("COUNT", false)
+	c.Add(value.Int(1))
+	c.Add(value.Null()) // COUNT(x) skips NULLs
+	c.Add(value.String("s"))
+	if got := asFloat(t, c.Result()); got != 2 {
+		t.Errorf("COUNT(x) = %v", got)
+	}
+	star, _ := New("COUNT", true)
+	star.Add(value.Int(1))
+	star.Add(value.Null()) // COUNT(*) counts rows
+	if got := asFloat(t, star.Result()); got != 2 {
+		t.Errorf("COUNT(*) = %v", got)
+	}
+	c.Reset()
+	if got := asFloat(t, c.Result()); got != 0 {
+		t.Errorf("after reset COUNT = %v", got)
+	}
+}
+
+func TestSumAvg(t *testing.T) {
+	s, _ := New("SUM", false)
+	feed(t, s, 1, 2, 3, 4)
+	if got := asFloat(t, s.Result()); math.Abs(got-10) > 1e-9 {
+		t.Errorf("SUM = %v", got)
+	}
+	a, _ := New("AVG", false)
+	feed(t, a, 1, 2, 3, 4)
+	if got := asFloat(t, a.Result()); math.Abs(got-2.5) > 1e-9 {
+		t.Errorf("AVG = %v", got)
+	}
+	// Ints coerce.
+	a2, _ := New("AVG", false)
+	a2.Add(value.Int(4))
+	a2.Add(value.Int(6))
+	if got := asFloat(t, a2.Result()); got != 5 {
+		t.Errorf("AVG(ints) = %v", got)
+	}
+	// Empty aggregates are NULL.
+	e, _ := New("AVG", false)
+	if !e.Result().IsNull() {
+		t.Error("empty AVG should be NULL")
+	}
+	e2, _ := New("SUM", false)
+	if !e2.Result().IsNull() {
+		t.Error("empty SUM should be NULL")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	mn, _ := New("MIN", false)
+	mx, _ := New("MAX", false)
+	for _, x := range []float64{3, 1, 4, 1, 5} {
+		mn.Add(value.Float(x))
+		mx.Add(value.Float(x))
+	}
+	if got := asFloat(t, mn.Result()); got != 1 {
+		t.Errorf("MIN = %v", got)
+	}
+	if got := asFloat(t, mx.Result()); got != 5 {
+		t.Errorf("MAX = %v", got)
+	}
+	// Strings compare too.
+	ms, _ := New("MIN", false)
+	ms.Add(value.String("pear"))
+	ms.Add(value.String("apple"))
+	if got := ms.Result().String(); got != "apple" {
+		t.Errorf("MIN(strings) = %v", got)
+	}
+	// NULLs skipped; empty is NULL.
+	mn2, _ := New("MIN", false)
+	mn2.Add(value.Null())
+	if !mn2.Result().IsNull() {
+		t.Error("MIN of NULLs should be NULL")
+	}
+	if _, ok := mn.CI(0.95); ok {
+		t.Error("MIN should not report a CI")
+	}
+}
+
+func TestVarStddev(t *testing.T) {
+	v, _ := New("VAR", false)
+	feed(t, v, 2, 4, 4, 4, 5, 5, 7, 9)
+	// Sample variance of this classic set is 32/7.
+	if got := asFloat(t, v.Result()); math.Abs(got-32.0/7) > 1e-9 {
+		t.Errorf("VAR = %v", got)
+	}
+	sd, _ := New("STDDEV", false)
+	feed(t, sd, 2, 4, 4, 4, 5, 5, 7, 9)
+	if got := asFloat(t, sd.Result()); math.Abs(got-math.Sqrt(32.0/7)) > 1e-9 {
+		t.Errorf("STDDEV = %v", got)
+	}
+	v2, _ := New("VAR", false)
+	v2.Add(value.Float(1))
+	if !v2.Result().IsNull() {
+		t.Error("VAR of one value should be NULL")
+	}
+}
+
+func TestAvgCI(t *testing.T) {
+	a, _ := New("AVG", false)
+	// One observation: CI unbounded, still ok=true so it gates emission.
+	a.Add(value.Float(5))
+	hw, ok := a.CI(0.95)
+	if !ok || !math.IsInf(hw, 1) {
+		t.Errorf("CI after 1 obs = %v, %v", hw, ok)
+	}
+	// Identical observations: zero variance → zero half-width.
+	for i := 0; i < 20; i++ {
+		a.Add(value.Float(5))
+	}
+	hw, ok = a.CI(0.95)
+	if !ok || hw != 0 {
+		t.Errorf("CI of constant = %v, %v", hw, ok)
+	}
+	// Spread observations: CI shrinks as n grows.
+	b, _ := New("AVG", false)
+	feed(t, b, 1, 9, 1, 9, 1, 9, 1, 9)
+	hw8, _ := b.CI(0.95)
+	feed(t, b, 1, 9, 1, 9, 1, 9, 1, 9, 1, 9, 1, 9, 1, 9, 1, 9)
+	hw24, _ := b.CI(0.95)
+	if hw24 >= hw8 {
+		t.Errorf("CI did not shrink: %v → %v", hw8, hw24)
+	}
+	// Higher level → wider interval.
+	hw99, _ := b.CI(0.99)
+	hw90, _ := b.CI(0.90)
+	if hw99 <= hw90 {
+		t.Errorf("CI(0.99)=%v <= CI(0.90)=%v", hw99, hw90)
+	}
+}
+
+func TestCountSumExactNoCI(t *testing.T) {
+	// Windowed COUNT and SUM enumerate every tuple: they are exact, not
+	// estimates, so they must not gate confidence-triggered emission.
+	c, _ := New("COUNT", true)
+	for i := 0; i < 100; i++ {
+		c.Add(value.Int(1))
+	}
+	if _, ok := c.CI(0.95); ok {
+		t.Error("COUNT should not report a CI")
+	}
+	s, _ := New("SUM", false)
+	feed(t, s, 1, 2, 3)
+	if _, ok := s.CI(0.95); ok {
+		t.Error("SUM should not report a CI")
+	}
+}
+
+func TestZScore(t *testing.T) {
+	cases := map[float64]float64{
+		0.90: 1.6449,
+		0.95: 1.9600,
+		0.99: 2.5758,
+	}
+	for level, want := range cases {
+		if got := zScore(level); math.Abs(got-want) > 0.001 {
+			t.Errorf("zScore(%v) = %v, want %v", level, got, want)
+		}
+	}
+	if zScore(0) != 0 {
+		t.Error("zScore(0) should be 0")
+	}
+	if !math.IsInf(zScore(1), 1) {
+		t.Error("zScore(1) should be +Inf")
+	}
+}
+
+func TestNormSInvProperties(t *testing.T) {
+	// Symmetry: Φ⁻¹(p) = -Φ⁻¹(1-p).
+	f := func(u float64) bool {
+		p := math.Abs(math.Mod(u, 1))
+		if p == 0 || p == 0.5 {
+			return true
+		}
+		return math.Abs(normSInv(p)+normSInv(1-p)) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+	if !math.IsInf(normSInv(0), -1) || !math.IsInf(normSInv(1), 1) {
+		t.Error("extremes should be infinite")
+	}
+}
+
+func TestWelfordMatchesTwoPass(t *testing.T) {
+	// Property: Welford mean/variance equals the two-pass computation.
+	f := func(xs []float64) bool {
+		var w welford
+		var sum float64
+		var clean []float64
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e9 {
+				continue
+			}
+			clean = append(clean, x)
+			w.add(x)
+			sum += x
+		}
+		if len(clean) < 2 {
+			return true
+		}
+		mean := sum / float64(len(clean))
+		var ss float64
+		for _, x := range clean {
+			ss += (x - mean) * (x - mean)
+		}
+		twoPass := ss / float64(len(clean)-1)
+		scale := math.Max(1, math.Abs(twoPass))
+		return math.Abs(w.mean-mean) < 1e-6*math.Max(1, math.Abs(mean)) &&
+			math.Abs(w.variance()-twoPass) < 1e-6*scale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAggIgnoresNonNumeric(t *testing.T) {
+	a, _ := New("AVG", false)
+	a.Add(value.String("not a number"))
+	a.Add(value.Float(4))
+	if got := asFloat(t, a.Result()); got != 4 {
+		t.Errorf("AVG with junk = %v", got)
+	}
+	if a.N() != 1 {
+		t.Errorf("N = %d", a.N())
+	}
+}

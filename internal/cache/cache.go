@@ -1,0 +1,157 @@
+// Package cache implements the LRU cache with optional TTL that TweeQL
+// places in front of high-latency web-service operators (§2 of the paper:
+// "We employ caching to avoid requests"). Profile locations repeat
+// heavily across tweets, so a small cache removes most geocoder calls.
+package cache
+
+import (
+	"container/list"
+	"sync"
+	"time"
+)
+
+// Stats counts cache outcomes; read a consistent snapshot with Snapshot.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Expired   uint64
+}
+
+// HitRate returns Hits / (Hits+Misses), or 0 when empty.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+type entry[K comparable, V any] struct {
+	key     K
+	val     V
+	expires time.Time // zero means no expiry
+}
+
+// Cache is a fixed-capacity LRU cache safe for concurrent use. The zero
+// value is not usable; construct with New.
+type Cache[K comparable, V any] struct {
+	mu    sync.Mutex
+	cap   int
+	ttl   time.Duration
+	ll    *list.List // front = most recent
+	items map[K]*list.Element
+	stats Stats
+	now   func() time.Time
+}
+
+// New creates a cache holding at most capacity entries. ttl of zero
+// disables expiry. capacity must be positive; New panics otherwise
+// (a zero-capacity cache is a configuration bug, not a runtime state).
+func New[K comparable, V any](capacity int, ttl time.Duration) *Cache[K, V] {
+	if capacity <= 0 {
+		panic("cache: capacity must be positive")
+	}
+	return &Cache[K, V]{
+		cap:   capacity,
+		ttl:   ttl,
+		ll:    list.New(),
+		items: make(map[K]*list.Element, capacity),
+		now:   time.Now,
+	}
+}
+
+// SetClock overrides the time source, for tests.
+func (c *Cache[K, V]) SetClock(now func() time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = now
+}
+
+// Get returns the cached value and whether it was present and fresh.
+func (c *Cache[K, V]) Get(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var zero V
+	el, ok := c.items[key]
+	if !ok {
+		c.stats.Misses++
+		return zero, false
+	}
+	ent := el.Value.(*entry[K, V])
+	if !ent.expires.IsZero() && c.now().After(ent.expires) {
+		c.removeElement(el)
+		c.stats.Expired++
+		c.stats.Misses++
+		return zero, false
+	}
+	c.ll.MoveToFront(el)
+	c.stats.Hits++
+	return ent.val, true
+}
+
+// Put inserts or refreshes a key, evicting the least recently used entry
+// when over capacity.
+func (c *Cache[K, V]) Put(key K, val V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var expires time.Time
+	if c.ttl > 0 {
+		expires = c.now().Add(c.ttl)
+	}
+	if el, ok := c.items[key]; ok {
+		ent := el.Value.(*entry[K, V])
+		ent.val = val
+		ent.expires = expires
+		c.ll.MoveToFront(el)
+		return
+	}
+	el := c.ll.PushFront(&entry[K, V]{key: key, val: val, expires: expires})
+	c.items[key] = el
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		if oldest != nil {
+			c.removeElement(oldest)
+			c.stats.Evictions++
+		}
+	}
+}
+
+// GetOrCompute returns the cached value, or runs compute, stores its
+// result, and returns it. compute runs outside the lock, so concurrent
+// misses on the same key may compute more than once (last write wins) —
+// acceptable for idempotent web-service lookups.
+func (c *Cache[K, V]) GetOrCompute(key K, compute func(K) (V, error)) (V, error) {
+	if v, ok := c.Get(key); ok {
+		return v, nil
+	}
+	v, err := compute(key)
+	if err != nil {
+		var zero V
+		return zero, err
+	}
+	c.Put(key, v)
+	return v, nil
+}
+
+// Len reports the number of live entries (including not-yet-collected
+// expired ones).
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Snapshot returns a copy of the counters.
+func (c *Cache[K, V]) Snapshot() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// removeElement must be called with the lock held.
+func (c *Cache[K, V]) removeElement(el *list.Element) {
+	c.ll.Remove(el)
+	ent := el.Value.(*entry[K, V])
+	delete(c.items, ent.key)
+}

@@ -1,0 +1,147 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestGetPut(t *testing.T) {
+	c := New[string, int](2, 0)
+	if _, ok := c.Get("a"); ok {
+		t.Error("empty cache should miss")
+	}
+	c.Put("a", 1)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Errorf("Get(a) = %v,%v", v, ok)
+	}
+	c.Put("a", 2) // refresh
+	if v, _ := c.Get("a"); v != 2 {
+		t.Errorf("refresh failed: %v", v)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d", c.Len())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New[string, int](2, 0)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Get("a")    // a is now most recent
+	c.Put("c", 3) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a should survive (recently used)")
+	}
+	if s := c.Snapshot(); s.Evictions != 1 {
+		t.Errorf("Evictions = %d", s.Evictions)
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	now := time.Unix(0, 0)
+	c := New[string, int](10, time.Minute)
+	c.SetClock(func() time.Time { return now })
+	c.Put("a", 1)
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("fresh entry missed")
+	}
+	now = now.Add(2 * time.Minute)
+	if _, ok := c.Get("a"); ok {
+		t.Error("expired entry hit")
+	}
+	s := c.Snapshot()
+	if s.Expired != 1 {
+		t.Errorf("Expired = %d", s.Expired)
+	}
+}
+
+func TestGetOrCompute(t *testing.T) {
+	c := New[string, string](4, 0)
+	calls := 0
+	compute := func(k string) (string, error) {
+		calls++
+		return k + "!", nil
+	}
+	v, err := c.GetOrCompute("x", compute)
+	if err != nil || v != "x!" {
+		t.Fatalf("GetOrCompute = %q, %v", v, err)
+	}
+	v, err = c.GetOrCompute("x", compute)
+	if err != nil || v != "x!" || calls != 1 {
+		t.Errorf("second call recomputed: calls=%d", calls)
+	}
+	wantErr := errors.New("boom")
+	_, err = c.GetOrCompute("y", func(string) (string, error) { return "", wantErr })
+	if !errors.Is(err, wantErr) {
+		t.Errorf("error not propagated: %v", err)
+	}
+	if _, ok := c.Get("y"); ok {
+		t.Error("failed compute should not cache")
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	c := New[int, int](4, 0)
+	c.Put(1, 1)
+	c.Get(1)
+	c.Get(2)
+	s := c.Snapshot()
+	if s.HitRate() != 0.5 {
+		t.Errorf("HitRate = %v", s.HitRate())
+	}
+	if (Stats{}).HitRate() != 0 {
+		t.Error("empty HitRate should be 0")
+	}
+}
+
+func TestZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) should panic")
+		}
+	}()
+	New[int, int](0, 0)
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New[int, int](64, 0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Put(i%100, g)
+				c.Get(i % 100)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 64 {
+		t.Errorf("capacity exceeded: %d", c.Len())
+	}
+}
+
+func TestEvictionOrderProperty(t *testing.T) {
+	// Inserting n > cap distinct keys keeps exactly the last cap keys when
+	// no intervening Gets occur.
+	const cap = 8
+	c := New[string, int](cap, 0)
+	for i := 0; i < 50; i++ {
+		c.Put(fmt.Sprintf("k%d", i), i)
+	}
+	if c.Len() != cap {
+		t.Fatalf("Len = %d, want %d", c.Len(), cap)
+	}
+	for i := 50 - cap; i < 50; i++ {
+		if _, ok := c.Get(fmt.Sprintf("k%d", i)); !ok {
+			t.Errorf("recent key k%d evicted", i)
+		}
+	}
+}

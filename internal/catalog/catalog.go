@@ -1,0 +1,487 @@
+// Package catalog holds the named objects a TweeQL engine knows about:
+// stream sources (the twitter stream, derived streams), result tables,
+// and the user-defined-function registry (§2: TweeQL "facilitates
+// user-defined functions for deeper processing of tweets and tweet
+// text").
+package catalog
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+
+	"tweeql/internal/selectivity"
+	"tweeql/internal/tweet"
+	"tweeql/internal/twitterapi"
+	"tweeql/internal/value"
+)
+
+// ScalarFn is a scalar UDF implementation.
+type ScalarFn func(ctx context.Context, args []value.Value) (value.Value, error)
+
+// ScalarUDF is a registered scalar function.
+type ScalarUDF struct {
+	Name string
+	// Arity is the required argument count; -1 means variadic.
+	Arity int
+	// HighLatency marks functions that call (simulated) web services;
+	// the executor routes them through the asynchronous dispatch path
+	// and they count as expensive for eddy cost normalization.
+	HighLatency bool
+	Fn          ScalarFn
+}
+
+// StatefulFactory builds a fresh instance of a stateful UDF for one
+// query execution. The returned ScalarFn may carry state across calls
+// (e.g. TwitInfo's streaming peak detector, §3.2: "a stateful TweeQL
+// UDF that performs streaming mean deviation detection").
+type StatefulFactory func() ScalarFn
+
+// OpenRequest carries the planner's pushdown decision inputs to a
+// source.
+type OpenRequest struct {
+	// Candidates are the API-eligible filters extracted from the WHERE
+	// clause. The source picks one (sampling for selectivity) since the
+	// API accepts only one filter type per connection.
+	Candidates []twitterapi.Filter
+	// SampleSize bounds how many sampled tweets to score candidates on.
+	SampleSize int
+	// Buffer is the connection buffer size (0 = source default).
+	Buffer int
+}
+
+// OpenInfo reports what the source actually did, for EXPLAIN output and
+// experiments.
+type OpenInfo struct {
+	// Chosen is the filter pushed to the API (zero Filter when the source
+	// subscribed to the full stream).
+	Chosen twitterapi.Filter
+	// Pushed reports whether any candidate was pushed down.
+	Pushed bool
+	// Estimates are the sampled selectivities of every candidate.
+	Estimates []selectivity.Estimate
+}
+
+// Source produces a tuple stream for FROM.
+type Source interface {
+	Schema() *value.Schema
+	Open(ctx context.Context, req OpenRequest) (<-chan value.Tuple, *OpenInfo, error)
+}
+
+// Catalog is the engine's namespace. Safe for concurrent use.
+type Catalog struct {
+	mu        sync.RWMutex
+	sources   map[string]Source
+	scalars   map[string]*ScalarUDF
+	statefuls map[string]StatefulFactory
+	tables    map[string]*Table
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{
+		sources:   make(map[string]Source),
+		scalars:   make(map[string]*ScalarUDF),
+		statefuls: make(map[string]StatefulFactory),
+		tables:    make(map[string]*Table),
+	}
+}
+
+// RegisterSource names a stream source. Re-registration replaces.
+func (c *Catalog) RegisterSource(name string, s Source) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sources[strings.ToLower(name)] = s
+}
+
+// Source resolves a FROM name.
+func (c *Catalog) Source(name string) (Source, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	s, ok := c.sources[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("tweeql: unknown stream %q", name)
+	}
+	return s, nil
+}
+
+// SourceNames lists registered sources, for the REPL's catalog listing.
+func (c *Catalog) SourceNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, 0, len(c.sources))
+	for n := range c.sources {
+		names = append(names, n)
+	}
+	return names
+}
+
+// RegisterScalar adds a scalar UDF; it returns an error on duplicate
+// names so user registrations cannot silently shadow built-ins.
+func (c *Catalog) RegisterScalar(u *ScalarUDF) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := strings.ToLower(u.Name)
+	if _, dup := c.scalars[key]; dup {
+		return fmt.Errorf("tweeql: UDF %q already registered", u.Name)
+	}
+	c.scalars[key] = u
+	return nil
+}
+
+// Scalar resolves a scalar UDF by name.
+func (c *Catalog) Scalar(name string) (*ScalarUDF, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	u, ok := c.scalars[strings.ToLower(name)]
+	return u, ok
+}
+
+// ScalarNames lists registered scalar UDFs.
+func (c *Catalog) ScalarNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, 0, len(c.scalars))
+	for n := range c.scalars {
+		names = append(names, n)
+	}
+	return names
+}
+
+// RegisterStateful adds a stateful UDF factory.
+func (c *Catalog) RegisterStateful(name string, f StatefulFactory) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, dup := c.statefuls[key]; dup {
+		return fmt.Errorf("tweeql: stateful UDF %q already registered", name)
+	}
+	c.statefuls[key] = f
+	return nil
+}
+
+// Stateful resolves a stateful UDF factory.
+func (c *Catalog) Stateful(name string) (StatefulFactory, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	f, ok := c.statefuls[strings.ToLower(name)]
+	return f, ok
+}
+
+// Table returns (creating if needed) the named result table, the INTO
+// TABLE target.
+func (c *Catalog) Table(name string) *Table {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := strings.ToLower(name)
+	t, ok := c.tables[key]
+	if !ok {
+		t = &Table{Name: name}
+		c.tables[key] = t
+	}
+	return t
+}
+
+// Table is an in-memory result table fed by INTO TABLE.
+type Table struct {
+	Name string
+
+	mu   sync.RWMutex
+	rows []value.Tuple
+}
+
+// Append adds a row.
+func (t *Table) Append(row value.Tuple) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rows = append(t.rows, row)
+}
+
+// Rows returns a copy of the stored rows.
+func (t *Table) Rows() []value.Tuple {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]value.Tuple, len(t.rows))
+	copy(out, t.rows)
+	return out
+}
+
+// Len reports the row count.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// TweetSchema is the schema of the base twitter stream. Field names
+// follow the paper's examples: `text`, `loc` (the free-text profile
+// location the geocoding UDFs take), `location` (alias column carrying
+// the same string), GPS lat/lon (NULL unless the tweet is geo-tagged).
+var TweetSchema = value.NewSchema(
+	value.Field{Name: "id", Kind: value.KindInt},
+	value.Field{Name: "user_id", Kind: value.KindInt},
+	value.Field{Name: "username", Kind: value.KindString},
+	value.Field{Name: "text", Kind: value.KindString},
+	value.Field{Name: "created_at", Kind: value.KindTime},
+	value.Field{Name: "loc", Kind: value.KindString},
+	value.Field{Name: "location", Kind: value.KindString},
+	value.Field{Name: "lat", Kind: value.KindFloat},
+	value.Field{Name: "lon", Kind: value.KindFloat},
+	value.Field{Name: "has_geo", Kind: value.KindBool},
+	value.Field{Name: "followers", Kind: value.KindInt},
+	value.Field{Name: "retweet", Kind: value.KindBool},
+)
+
+// TweetTuple converts a tweet into a row of TweetSchema.
+func TweetTuple(t *tweet.Tweet) value.Tuple {
+	lat, lon := value.Null(), value.Null()
+	if t.HasGeo {
+		lat, lon = value.Float(t.Lat), value.Float(t.Lon)
+	}
+	return value.NewTuple(TweetSchema, []value.Value{
+		value.Int(t.ID),
+		value.Int(t.UserID),
+		value.String(t.Username),
+		value.String(t.Text),
+		value.Time(t.CreatedAt),
+		value.String(t.Location),
+		value.String(t.Location),
+		lat,
+		lon,
+		value.Bool(t.HasGeo),
+		value.Int(int64(t.Followers)),
+		value.Bool(t.Retweet),
+	}, t.CreatedAt)
+}
+
+// TweetFromTuple reconstructs a Tweet from a TweetSchema row (or any
+// row carrying the same column names), the inverse of TweetTuple.
+// Applications like TwitInfo consume TweeQL query output as tweets.
+func TweetFromTuple(row value.Tuple) *tweet.Tweet {
+	t := &tweet.Tweet{}
+	if v, err := row.Get("id").IntVal(); err == nil {
+		t.ID = v
+	}
+	if v, err := row.Get("user_id").IntVal(); err == nil {
+		t.UserID = v
+	}
+	if v, err := row.Get("username").StringVal(); err == nil {
+		t.Username = v
+	}
+	if v, err := row.Get("text").StringVal(); err == nil {
+		t.Text = v
+	}
+	if v, err := row.Get("created_at").TimeVal(); err == nil {
+		t.CreatedAt = v
+	} else {
+		t.CreatedAt = row.TS
+	}
+	if v, err := row.Get("loc").StringVal(); err == nil {
+		t.Location = v
+	}
+	if v, err := row.Get("has_geo").BoolVal(); err == nil {
+		t.HasGeo = v
+	}
+	if t.HasGeo {
+		if v, err := row.Get("lat").FloatVal(); err == nil {
+			t.Lat = v
+		}
+		if v, err := row.Get("lon").FloatVal(); err == nil {
+			t.Lon = v
+		}
+	}
+	if v, err := row.Get("followers").IntVal(); err == nil {
+		t.Followers = int(v)
+	}
+	if v, err := row.Get("retweet").BoolVal(); err == nil {
+		t.Retweet = v
+	}
+	return t
+}
+
+// TwitterSource adapts a simulated streaming-API hub into a Source,
+// performing the §2 selectivity-sampling pushdown on Open.
+type TwitterSource struct {
+	hub *twitterapi.Hub
+	// sample is recent stream history used to estimate candidate filter
+	// selectivities before connecting (the paper samples the live
+	// streams; a replayed simulation estimates from the warm-up prefix).
+	sample []*tweet.Tweet
+}
+
+// NewTwitterSource wraps a hub. sample may be nil (no pushdown stats:
+// the first candidate wins ties at selectivity 0).
+func NewTwitterSource(hub *twitterapi.Hub, sample []*tweet.Tweet) *TwitterSource {
+	return &TwitterSource{hub: hub, sample: sample}
+}
+
+// Schema implements Source.
+func (s *TwitterSource) Schema() *value.Schema { return TweetSchema }
+
+// Open implements Source: choose the lowest-selectivity candidate (if
+// any), connect with it, and convert tweets to tuples.
+func (s *TwitterSource) Open(ctx context.Context, req OpenRequest) (<-chan value.Tuple, *OpenInfo, error) {
+	info := &OpenInfo{}
+	filter := twitterapi.Filter{SampleRate: 1} // full stream by default
+	if len(req.Candidates) > 0 {
+		sample := s.sample
+		if req.SampleSize > 0 && len(sample) > req.SampleSize {
+			sample = sample[:req.SampleSize]
+		}
+		best, ests := selectivity.Choose(sample, req.Candidates)
+		info.Estimates = ests
+		info.Chosen = req.Candidates[best]
+		info.Pushed = true
+		filter = req.Candidates[best]
+	}
+	opts := []twitterapi.ConnectOpt{}
+	if req.Buffer > 0 {
+		opts = append(opts, twitterapi.WithBuffer(req.Buffer))
+	}
+	conn, err := s.hub.Connect(filter, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make(chan value.Tuple, 64)
+	go func() {
+		defer close(out)
+		defer conn.Close()
+		for {
+			select {
+			case t, ok := <-conn.C():
+				if !ok {
+					return
+				}
+				select {
+				case out <- TweetTuple(t):
+				case <-ctx.Done():
+					return
+				}
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return out, info, nil
+}
+
+// SliceSource replays a fixed set of tuples, for tests and derived
+// streams materialized from tables.
+type SliceSource struct {
+	schema *value.Schema
+	rows   []value.Tuple
+}
+
+// NewSliceSource builds a source over rows (all must share schema).
+func NewSliceSource(schema *value.Schema, rows []value.Tuple) *SliceSource {
+	return &SliceSource{schema: schema, rows: rows}
+}
+
+// Schema implements Source.
+func (s *SliceSource) Schema() *value.Schema { return s.schema }
+
+// Open implements Source; candidates are ignored (nothing to push down).
+func (s *SliceSource) Open(ctx context.Context, _ OpenRequest) (<-chan value.Tuple, *OpenInfo, error) {
+	out := make(chan value.Tuple, 64)
+	go func() {
+		defer close(out)
+		for _, r := range s.rows {
+			select {
+			case out <- r:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return out, &OpenInfo{}, nil
+}
+
+// DerivedStream is a live stream fed by a query's INTO STREAM clause and
+// consumable by later FROM clauses. It broadcasts to all open readers.
+type DerivedStream struct {
+	name   string
+	schema *value.Schema
+
+	mu     sync.Mutex
+	subs   map[chan value.Tuple]bool
+	closed bool
+}
+
+// NewDerivedStream creates a derived stream with the producing query's
+// output schema.
+func NewDerivedStream(name string, schema *value.Schema) *DerivedStream {
+	return &DerivedStream{name: name, schema: schema, subs: make(map[chan value.Tuple]bool)}
+}
+
+// Schema implements Source.
+func (d *DerivedStream) Schema() *value.Schema { return d.schema }
+
+// Publish broadcasts a tuple to all subscribers (dropping to slow ones,
+// like the upstream API).
+func (d *DerivedStream) Publish(row value.Tuple) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for ch := range d.subs {
+		select {
+		case ch <- row:
+		default:
+		}
+	}
+}
+
+// CloseStream ends the stream: all subscriber channels close.
+func (d *DerivedStream) CloseStream() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return
+	}
+	d.closed = true
+	for ch := range d.subs {
+		close(ch)
+		delete(d.subs, ch)
+	}
+}
+
+// Open implements Source.
+func (d *DerivedStream) Open(ctx context.Context, _ OpenRequest) (<-chan value.Tuple, *OpenInfo, error) {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		out := make(chan value.Tuple)
+		close(out)
+		return out, &OpenInfo{}, nil
+	}
+	ch := make(chan value.Tuple, 256)
+	d.subs[ch] = true
+	d.mu.Unlock()
+
+	out := make(chan value.Tuple, 64)
+	go func() {
+		defer close(out)
+		defer func() {
+			d.mu.Lock()
+			if d.subs[ch] {
+				delete(d.subs, ch)
+			}
+			d.mu.Unlock()
+		}()
+		for {
+			select {
+			case row, ok := <-ch:
+				if !ok {
+					return
+				}
+				select {
+				case out <- row:
+				case <-ctx.Done():
+					return
+				}
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return out, &OpenInfo{}, nil
+}

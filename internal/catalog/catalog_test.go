@@ -1,0 +1,222 @@
+package catalog
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"tweeql/internal/tweet"
+	"tweeql/internal/twitterapi"
+	"tweeql/internal/value"
+)
+
+func TestSourceRegistry(t *testing.T) {
+	c := New()
+	if _, err := c.Source("twitter"); err == nil {
+		t.Error("unknown source should error")
+	}
+	src := NewSliceSource(TweetSchema, nil)
+	c.RegisterSource("Twitter", src)
+	got, err := c.Source("TWITTER") // case-insensitive
+	if err != nil || got != Source(src) {
+		t.Errorf("Source = %v, %v", got, err)
+	}
+	if names := c.SourceNames(); len(names) != 1 || names[0] != "twitter" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestScalarRegistry(t *testing.T) {
+	c := New()
+	u := &ScalarUDF{Name: "f", Arity: 1, Fn: func(_ context.Context, a []value.Value) (value.Value, error) { return a[0], nil }}
+	if err := c.RegisterScalar(u); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterScalar(u); err == nil {
+		t.Error("duplicate should error")
+	}
+	if _, ok := c.Scalar("F"); !ok {
+		t.Error("case-insensitive lookup failed")
+	}
+	if got := c.ScalarNames(); len(got) != 1 {
+		t.Errorf("names = %v", got)
+	}
+}
+
+func TestStatefulRegistry(t *testing.T) {
+	c := New()
+	f := func() ScalarFn {
+		return func(context.Context, []value.Value) (value.Value, error) { return value.Int(1), nil }
+	}
+	if err := c.RegisterStateful("s", f); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterStateful("S", f); err == nil {
+		t.Error("duplicate stateful should error")
+	}
+	if _, ok := c.Stateful("S"); !ok {
+		t.Error("stateful lookup failed")
+	}
+}
+
+func TestTable(t *testing.T) {
+	c := New()
+	tab := c.Table("results")
+	if tab != c.Table("RESULTS") {
+		t.Error("table lookup not case-insensitive")
+	}
+	s := value.NewSchema(value.Field{Name: "x", Kind: value.KindInt})
+	tab.Append(value.NewTuple(s, []value.Value{value.Int(1)}, time.Time{}))
+	if tab.Len() != 1 {
+		t.Errorf("len = %d", tab.Len())
+	}
+	rows := tab.Rows()
+	rows[0] = value.Tuple{} // mutating the copy must not affect the table
+	if tab.Rows()[0].Schema == nil {
+		t.Error("Rows returned shared slice")
+	}
+}
+
+func TestTweetTupleRoundTrip(t *testing.T) {
+	orig := &tweet.Tweet{
+		ID: 7, UserID: 3, Username: "u3", Text: "hello obama",
+		CreatedAt: time.Unix(1000, 0).UTC(), Location: "nyc",
+		HasGeo: true, Lat: 40.7, Lon: -74.0, Followers: 42, Retweet: true,
+	}
+	row := TweetTuple(orig)
+	if got := row.Get("text").String(); got != "hello obama" {
+		t.Errorf("text = %q", got)
+	}
+	back := TweetFromTuple(row)
+	if back.ID != orig.ID || back.Username != orig.Username || back.Text != orig.Text ||
+		!back.CreatedAt.Equal(orig.CreatedAt) || back.Location != orig.Location ||
+		back.HasGeo != orig.HasGeo || back.Lat != orig.Lat || back.Lon != orig.Lon ||
+		back.Followers != orig.Followers || back.Retweet != orig.Retweet {
+		t.Errorf("round trip lost data:\n  orig %+v\n  back %+v", orig, back)
+	}
+	// No-geo tweets have NULL lat/lon.
+	nogeo := TweetTuple(&tweet.Tweet{ID: 1, CreatedAt: time.Unix(0, 0)})
+	if !nogeo.Get("lat").IsNull() || !nogeo.Get("lon").IsNull() {
+		t.Error("no-geo tweet should have NULL coordinates")
+	}
+}
+
+func TestTwitterSourcePushdown(t *testing.T) {
+	hub := twitterapi.NewHub()
+	sample := []*tweet.Tweet{
+		{ID: 1, Text: "obama obama", CreatedAt: time.Unix(0, 0)},
+		{ID: 2, Text: "nothing", CreatedAt: time.Unix(1, 0)},
+		{ID: 3, Text: "obama again", CreatedAt: time.Unix(2, 0)},
+		{ID: 4, Text: "rare gem", CreatedAt: time.Unix(3, 0)},
+	}
+	src := NewTwitterSource(hub, sample)
+	if src.Schema() != TweetSchema {
+		t.Error("schema mismatch")
+	}
+	common := twitterapi.Filter{Track: []string{"obama"}}
+	rare := twitterapi.Filter{Track: []string{"gem"}}
+	rows, info, err := src.Open(context.Background(), OpenRequest{Candidates: []twitterapi.Filter{common, rare}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Pushed || len(info.Chosen.Track) != 1 || info.Chosen.Track[0] != "gem" {
+		t.Errorf("pushdown chose %+v", info.Chosen)
+	}
+	go func() {
+		hub.Publish(&tweet.Tweet{ID: 10, Text: "a gem!", CreatedAt: time.Unix(10, 0)})
+		hub.Publish(&tweet.Tweet{ID: 11, Text: "obama", CreatedAt: time.Unix(11, 0)})
+		hub.Close()
+	}()
+	var got []value.Tuple
+	for r := range rows {
+		got = append(got, r)
+	}
+	if len(got) != 1 || got[0].Get("id").String() != "10" {
+		t.Errorf("rows = %v", got)
+	}
+}
+
+func TestTwitterSourceNoCandidates(t *testing.T) {
+	hub := twitterapi.NewHub()
+	src := NewTwitterSource(hub, nil)
+	rows, info, err := src.Open(context.Background(), OpenRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Pushed {
+		t.Error("nothing should be pushed")
+	}
+	go func() {
+		hub.Publish(&tweet.Tweet{ID: 1, Text: "anything", CreatedAt: time.Unix(0, 0)})
+		hub.Close()
+	}()
+	n := 0
+	for range rows {
+		n++
+	}
+	if n != 1 {
+		t.Errorf("full-stream rows = %d", n)
+	}
+}
+
+func TestSliceSource(t *testing.T) {
+	s := value.NewSchema(value.Field{Name: "x", Kind: value.KindInt})
+	rows := []value.Tuple{
+		value.NewTuple(s, []value.Value{value.Int(1)}, time.Unix(1, 0)),
+		value.NewTuple(s, []value.Value{value.Int(2)}, time.Unix(2, 0)),
+	}
+	src := NewSliceSource(s, rows)
+	out, _, err := src.Open(context.Background(), OpenRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for range out {
+		n++
+	}
+	if n != 2 {
+		t.Errorf("rows = %d", n)
+	}
+	// Cancellation stops emission.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, _, _ = src.Open(ctx, OpenRequest{})
+	time.Sleep(10 * time.Millisecond)
+	n = 0
+	for range out {
+		n++
+	}
+	if n > 1 {
+		t.Errorf("cancelled source emitted %d rows", n)
+	}
+}
+
+func TestDerivedStream(t *testing.T) {
+	s := value.NewSchema(value.Field{Name: "x", Kind: value.KindInt})
+	d := NewDerivedStream("d", s)
+	if d.Schema() != s {
+		t.Error("schema lost")
+	}
+	out, _, err := d.Open(context.Background(), OpenRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Publish(value.NewTuple(s, []value.Value{value.Int(1)}, time.Unix(0, 0)))
+	d.CloseStream()
+	d.CloseStream() // double close is safe
+	n := 0
+	for range out {
+		n++
+	}
+	if n != 1 {
+		t.Errorf("subscriber got %d rows", n)
+	}
+	// Opening after close yields an empty, closed stream.
+	out2, _, err := d.Open(context.Background(), OpenRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := <-out2; ok {
+		t.Error("post-close subscription should be empty")
+	}
+}

@@ -1,0 +1,457 @@
+// Package core is the TweeQL engine: it parses a query, analyzes the
+// select list and WHERE clause, plans streaming-API pushdown by sampled
+// selectivity (§2 "Uncertain Selectivities"), assembles the operator
+// pipeline (adaptive filters, async projection for high-latency UDFs,
+// confidence-triggered windowed aggregation), and exposes results as a
+// cursor or routes them INTO derived streams and tables.
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"tweeql/internal/catalog"
+	"tweeql/internal/exec"
+	"tweeql/internal/lang"
+	"tweeql/internal/twitterapi"
+	"tweeql/internal/value"
+)
+
+// Options tune engine behaviour.
+type Options struct {
+	// AdaptiveFilters enables Eddies-style conjunct reordering (default
+	// on; disable for the E9 static baseline).
+	AdaptiveFilters bool
+	// AsyncWorkers bounds concurrent high-latency UDF calls in the async
+	// projection path. 0 disables the async path entirely (E4 baseline).
+	AsyncWorkers int
+	// SampleSize bounds the tweets used to estimate candidate filter
+	// selectivities at plan time.
+	SampleSize int
+	// Seed makes eddy lotteries reproducible.
+	Seed int64
+	// SourceBuffer is the per-connection buffer requested from sources.
+	SourceBuffer int
+}
+
+// DefaultOptions returns the production defaults.
+func DefaultOptions() Options {
+	return Options{AdaptiveFilters: true, AsyncWorkers: 16, SampleSize: 2000, Seed: 1, SourceBuffer: 4096}
+}
+
+// Engine executes TweeQL queries against a catalog.
+type Engine struct {
+	cat  *catalog.Catalog
+	opts Options
+}
+
+// NewEngine builds an engine over the catalog.
+func NewEngine(cat *catalog.Catalog, opts Options) *Engine {
+	if opts.AsyncWorkers < 0 {
+		opts.AsyncWorkers = 0
+	}
+	return &Engine{cat: cat, opts: opts}
+}
+
+// Catalog exposes the engine's catalog for registration.
+func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
+
+// Cursor is a handle on a running query.
+type Cursor struct {
+	schema *value.Schema
+	rows   <-chan value.Tuple
+	stats  *exec.Stats
+	info   *catalog.OpenInfo
+	stmt   *lang.SelectStmt
+	cancel context.CancelFunc
+}
+
+// Rows returns the result channel; it closes when the stream ends, the
+// limit is reached, or the query is stopped. Queries with INTO STREAM or
+// INTO TABLE deliver their rows to the target instead, and Rows closes
+// immediately.
+func (c *Cursor) Rows() <-chan value.Tuple { return c.rows }
+
+// Schema describes the result columns.
+func (c *Cursor) Schema() *value.Schema { return c.schema }
+
+// Stats exposes live execution counters.
+func (c *Cursor) Stats() *exec.Stats { return c.stats }
+
+// Info reports the source-open decision (pushdown filter, estimates).
+func (c *Cursor) Info() *catalog.OpenInfo { return c.info }
+
+// Statement returns the parsed statement.
+func (c *Cursor) Statement() *lang.SelectStmt { return c.stmt }
+
+// Stop cancels the query.
+func (c *Cursor) Stop() { c.cancel() }
+
+// Query parses and runs a TweeQL statement.
+func (e *Engine) Query(ctx context.Context, sql string) (*Cursor, error) {
+	stmt, err := lang.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return e.QueryStmt(ctx, stmt)
+}
+
+// QueryStmt runs an already-parsed statement.
+func (e *Engine) QueryStmt(ctx context.Context, stmt *lang.SelectStmt) (*Cursor, error) {
+	plan, err := e.analyze(stmt)
+	if err != nil {
+		return nil, err
+	}
+	qctx, cancel := context.WithCancel(ctx)
+	cur, err := e.execute(qctx, cancel, stmt, plan)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	return cur, nil
+}
+
+// Explain describes the plan for a statement without running it.
+func (e *Engine) Explain(sql string) (string, error) {
+	stmt, err := lang.Parse(sql)
+	if err != nil {
+		return "", err
+	}
+	plan, err := e.analyze(stmt)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "query: %s\n", stmt)
+	fmt.Fprintf(&b, "source: %s\n", stmt.From.Name)
+	if len(plan.candidates) > 0 {
+		fmt.Fprintf(&b, "pushdown candidates (%d):\n", len(plan.candidates))
+		for _, c := range plan.candidates {
+			fmt.Fprintf(&b, "  - %s\n", c.filter)
+		}
+	} else {
+		b.WriteString("pushdown candidates: none (full stream)\n")
+	}
+	fmt.Fprintf(&b, "residual conjuncts: %d (adaptive=%v)\n", len(plan.conjuncts), e.opts.AdaptiveFilters)
+	if plan.isAggregate {
+		fmt.Fprintf(&b, "aggregate: %d groups x %d aggs, window=%v confidence=%v\n",
+			len(plan.agg.GroupExprs), len(plan.agg.Aggs), stmt.Window != nil, stmt.Confidence != nil)
+	} else {
+		fmt.Fprintf(&b, "projection: %d items, async=%v\n", len(plan.proj), plan.async)
+	}
+	return b.String(), nil
+}
+
+// candidate pairs an API filter with the WHERE conjunct it came from.
+type candidate struct {
+	filter      twitterapi.Filter
+	conjunctIdx int
+}
+
+// queryPlan is the analyzed form of a statement.
+type queryPlan struct {
+	conjuncts  []lang.Expr // all WHERE conjuncts, pre-pushdown
+	costs      []float64
+	candidates []candidate
+
+	isAggregate bool
+	agg         exec.AggregateConfig
+	proj        []exec.ProjItem
+	async       bool
+}
+
+// analyze validates the statement and computes the plan skeleton.
+func (e *Engine) analyze(stmt *lang.SelectStmt) (*queryPlan, error) {
+	plan := &queryPlan{}
+
+	if stmt.Where != nil {
+		plan.conjuncts = splitConjuncts(stmt.Where)
+		for _, c := range plan.conjuncts {
+			plan.costs = append(plan.costs, exec.CostOf(e.cat, c))
+		}
+		for i, c := range plan.conjuncts {
+			if f, ok := conjunctToFilter(c); ok {
+				plan.candidates = append(plan.candidates, candidate{filter: f, conjunctIdx: i})
+			}
+		}
+	}
+
+	// Aggregate detection.
+	hasAgg := false
+	for _, it := range stmt.Items {
+		if it.Wildcard {
+			continue
+		}
+		if call, ok := it.Expr.(*lang.Call); ok && isAggCall(call) {
+			hasAgg = true
+		}
+		// Nested aggregates are not supported.
+		var nested error
+		lang.Walk(it.Expr, func(n lang.Expr) bool {
+			if n == it.Expr {
+				return true
+			}
+			if call, ok := n.(*lang.Call); ok && isAggCall(call) {
+				nested = fmt.Errorf("tweeql: aggregate %s must be at the top of a select item", call.Name)
+				return false
+			}
+			return true
+		})
+		if nested != nil {
+			return nil, nested
+		}
+	}
+	plan.isAggregate = hasAgg || len(stmt.GroupBy) > 0
+
+	if stmt.Where != nil {
+		var aggInWhere error
+		lang.Walk(stmt.Where, func(n lang.Expr) bool {
+			if call, ok := n.(*lang.Call); ok && isAggCall(call) {
+				aggInWhere = fmt.Errorf("tweeql: aggregate %s not allowed in WHERE", call.Name)
+				return false
+			}
+			return true
+		})
+		if aggInWhere != nil {
+			return nil, aggInWhere
+		}
+	}
+
+	if stmt.Window != nil && stmt.Window.Count > 0 && stmt.Confidence != nil {
+		// Confidence emission replaces fixed windows; combining it with a
+		// count window re-creates the problem it solves.
+		return nil, fmt.Errorf("tweeql: WITH CONFIDENCE requires a time window, not WINDOW n TWEETS")
+	}
+	if plan.isAggregate {
+		if err := e.analyzeAggregate(stmt, plan); err != nil {
+			return nil, err
+		}
+	} else {
+		if stmt.Window != nil && stmt.Join == nil {
+			return nil, fmt.Errorf("tweeql: WINDOW requires aggregation or JOIN")
+		}
+		if stmt.Confidence != nil {
+			return nil, fmt.Errorf("tweeql: WITH CONFIDENCE requires aggregation")
+		}
+		for _, it := range stmt.Items {
+			if it.Wildcard {
+				plan.proj = append(plan.proj, exec.ProjItem{Wildcard: true})
+				continue
+			}
+			plan.proj = append(plan.proj, exec.ProjItem{Name: it.Name(), Expr: it.Expr})
+		}
+		exprs := make([]lang.Expr, 0, len(plan.proj))
+		for _, p := range plan.proj {
+			if p.Expr != nil {
+				exprs = append(exprs, p.Expr)
+			}
+		}
+		plan.async = e.opts.AsyncWorkers > 0 && exec.HasHighLatency(e.cat, exprs...)
+	}
+
+	if stmt.Join != nil {
+		if stmt.Window == nil || stmt.Window.Count > 0 {
+			return nil, fmt.Errorf("tweeql: JOIN requires a time WINDOW clause")
+		}
+		if plan.isAggregate {
+			return nil, fmt.Errorf("tweeql: JOIN with aggregation is not supported")
+		}
+	}
+	return plan, nil
+}
+
+// analyzeAggregate fills plan.agg: group expressions (with alias
+// substitution), aggregate items, and the output column mapping.
+func (e *Engine) analyzeAggregate(stmt *lang.SelectStmt, plan *queryPlan) error {
+	aliases := make(map[string]lang.Expr)
+	for _, it := range stmt.Items {
+		if it.Alias != "" && !it.Wildcard {
+			aliases[strings.ToLower(it.Alias)] = it.Expr
+		}
+	}
+	// Group-by expressions, aliases substituted.
+	var groupExprs []lang.Expr
+	for _, g := range stmt.GroupBy {
+		if id, ok := g.(*lang.Ident); ok && id.Qualifier == "" {
+			if sub, ok := aliases[strings.ToLower(id.Name)]; ok {
+				groupExprs = append(groupExprs, sub)
+				continue
+			}
+		}
+		groupExprs = append(groupExprs, g)
+	}
+	groupKey := func(x lang.Expr) string { return strings.ToLower(x.String()) }
+	groupIdx := make(map[string]int, len(groupExprs))
+	for i, g := range groupExprs {
+		groupIdx[groupKey(g)] = i
+	}
+
+	cfg := exec.AggregateConfig{GroupExprs: groupExprs, Window: stmt.Window, Confidence: stmt.Confidence}
+	for _, it := range stmt.Items {
+		if it.Wildcard {
+			return fmt.Errorf("tweeql: * is not allowed with GROUP BY or aggregates")
+		}
+		if call, ok := it.Expr.(*lang.Call); ok && isAggCall(call) {
+			if !call.Star && len(call.Args) != 1 {
+				return fmt.Errorf("tweeql: %s takes exactly one argument", call.Name)
+			}
+			var arg lang.Expr
+			if !call.Star {
+				arg = call.Args[0]
+				// Aggregate args may reference select aliases too.
+				if id, ok := arg.(*lang.Ident); ok && id.Qualifier == "" {
+					if sub, ok := aliases[strings.ToLower(id.Name)]; ok {
+						arg = sub
+					}
+				}
+			}
+			cfg.Out = append(cfg.Out, exec.OutCol{Name: it.Name(), IsAgg: true, Index: len(cfg.Aggs)})
+			cfg.Aggs = append(cfg.Aggs, exec.AggItem{
+				Name:    it.Name(),
+				AggName: exec.NormalizeAggName(call.Name),
+				Star:    call.Star,
+				Arg:     arg,
+			})
+			continue
+		}
+		// Non-aggregate item must be a group expression (directly or via
+		// its own alias).
+		expr := it.Expr
+		if idx, ok := groupIdx[groupKey(expr)]; ok {
+			cfg.Out = append(cfg.Out, exec.OutCol{Name: it.Name(), Index: idx})
+			continue
+		}
+		return fmt.Errorf("tweeql: select item %q must be an aggregate or appear in GROUP BY", it.Expr)
+	}
+	plan.agg = cfg
+	return nil
+}
+
+func isAggCall(c *lang.Call) bool {
+	switch strings.ToUpper(c.Name) {
+	case "COUNT", "SUM", "AVG", "MIN", "MAX", "VAR", "STDDEV":
+		return true
+	}
+	return false
+}
+
+// splitConjuncts flattens the AND tree into a conjunct list.
+func splitConjuncts(e lang.Expr) []lang.Expr {
+	if b, ok := e.(*lang.Binary); ok && b.Op == "AND" {
+		return append(splitConjuncts(b.L), splitConjuncts(b.R)...)
+	}
+	return []lang.Expr{e}
+}
+
+// conjunctToFilter maps one WHERE conjunct to a streaming-API filter if
+// the API can serve it: keyword CONTAINS (or an OR of them), a geo
+// bounding box, or user-id equality/membership.
+func conjunctToFilter(c lang.Expr) (twitterapi.Filter, bool) {
+	switch x := c.(type) {
+	case *lang.Binary:
+		switch x.Op {
+		case "CONTAINS":
+			if kw, ok := containsKeyword(x); ok {
+				return twitterapi.Filter{Track: []string{kw}}, true
+			}
+		case "OR":
+			if kws, ok := orOfContains(x); ok {
+				return twitterapi.Filter{Track: kws}, true
+			}
+		case "=":
+			if id, ok := userIDIdent(x.L); ok {
+				if lit, ok := x.R.(*lang.Literal); ok {
+					if n, err := lit.Val.IntVal(); err == nil && id {
+						return twitterapi.Filter{Follow: []int64{n}}, true
+					}
+				}
+			}
+		}
+	case *lang.InBox:
+		if id, ok := x.Loc.(*lang.Ident); ok && isGeoName(id.Name) {
+			box, err := exec.ResolveBox(x.Box)
+			if err == nil {
+				return twitterapi.Filter{Locations: []twitterapi.Box{box}}, true
+			}
+		}
+	case *lang.InList:
+		if id, ok := userIDIdent(x.X); ok && id {
+			var ids []int64
+			for _, item := range x.Items {
+				lit, ok := item.(*lang.Literal)
+				if !ok {
+					return twitterapi.Filter{}, false
+				}
+				n, err := lit.Val.IntVal()
+				if err != nil {
+					return twitterapi.Filter{}, false
+				}
+				ids = append(ids, n)
+			}
+			if len(ids) > 0 {
+				return twitterapi.Filter{Follow: ids}, true
+			}
+		}
+	}
+	return twitterapi.Filter{}, false
+}
+
+func containsKeyword(b *lang.Binary) (string, bool) {
+	id, ok := b.L.(*lang.Ident)
+	if !ok || !strings.EqualFold(id.Name, "text") {
+		return "", false
+	}
+	lit, ok := b.R.(*lang.Literal)
+	if !ok {
+		return "", false
+	}
+	s, err := lit.Val.StringVal()
+	if err != nil || s == "" {
+		return "", false
+	}
+	return s, true
+}
+
+// orOfContains matches OR trees whose every leaf is text CONTAINS 'kw',
+// which the track filter's any-keyword semantics serves exactly.
+func orOfContains(e lang.Expr) ([]string, bool) {
+	b, ok := e.(*lang.Binary)
+	if !ok {
+		return nil, false
+	}
+	switch b.Op {
+	case "OR":
+		l, ok1 := orOfContains(b.L)
+		r, ok2 := orOfContains(b.R)
+		if ok1 && ok2 {
+			return append(l, r...), true
+		}
+		return nil, false
+	case "CONTAINS":
+		kw, ok := containsKeyword(b)
+		if !ok {
+			return nil, false
+		}
+		return []string{kw}, true
+	default:
+		return nil, false
+	}
+}
+
+func userIDIdent(e lang.Expr) (bool, bool) {
+	id, ok := e.(*lang.Ident)
+	if !ok {
+		return false, false
+	}
+	name := strings.ToLower(id.Name)
+	return name == "user_id" || name == "userid", true
+}
+
+func isGeoName(name string) bool {
+	switch strings.ToLower(name) {
+	case "location", "loc", "geo", "coordinates":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"tweeql/internal/catalog"
+	"tweeql/internal/exec"
+	"tweeql/internal/lang"
+	"tweeql/internal/value"
+)
+
+// execute assembles and starts the operator pipeline for a plan.
+func (e *Engine) execute(ctx context.Context, cancel context.CancelFunc, stmt *lang.SelectStmt, plan *queryPlan) (*Cursor, error) {
+	ev := exec.NewEvaluator(e.cat)
+	stats := &exec.Stats{}
+
+	var rows <-chan value.Tuple
+	var schema *value.Schema
+	var info *catalog.OpenInfo
+
+	if stmt.Join != nil {
+		var err error
+		rows, schema, info, err = e.openJoin(ctx, ev, stmt, plan, stats)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		var err error
+		rows, schema, info, err = e.openSingle(ctx, ev, stmt, plan, stats)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if stmt.Limit >= 0 {
+		rows = exec.LimitStage(stmt.Limit, cancel)(ctx, rows)
+	}
+
+	cur := &Cursor{schema: schema, stats: stats, info: info, stmt: stmt, cancel: cancel}
+
+	// INTO routing: results feed the named target; the cursor itself
+	// closes immediately (documented on Rows).
+	if stmt.Into != nil && stmt.Into.Kind != lang.IntoStdout {
+		empty := make(chan value.Tuple)
+		close(empty)
+		cur.rows = empty
+		switch stmt.Into.Kind {
+		case lang.IntoStream:
+			ds := catalog.NewDerivedStream(stmt.Into.Name, schema)
+			e.cat.RegisterSource(stmt.Into.Name, ds)
+			go func() {
+				defer ds.CloseStream()
+				for t := range rows {
+					ds.Publish(t)
+				}
+			}()
+		case lang.IntoTable:
+			table := e.cat.Table(stmt.Into.Name)
+			go func() {
+				for t := range rows {
+					table.Append(t)
+				}
+			}()
+		}
+		return cur, nil
+	}
+	cur.rows = rows
+	return cur, nil
+}
+
+// openSingle builds the pipeline for a single-source query.
+func (e *Engine) openSingle(ctx context.Context, ev *exec.Evaluator, stmt *lang.SelectStmt, plan *queryPlan, stats *exec.Stats) (<-chan value.Tuple, *value.Schema, *catalog.OpenInfo, error) {
+	src, err := e.cat.Source(stmt.From.Name)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	req := catalog.OpenRequest{SampleSize: e.opts.SampleSize, Buffer: e.opts.SourceBuffer}
+	for _, c := range plan.candidates {
+		req.Candidates = append(req.Candidates, c.filter)
+	}
+	in, info, err := src.Open(ctx, req)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rows := exec.CountStage(stats)(ctx, in)
+
+	// Residual filter: every conjunct except the one the source pushed.
+	residual, costs := plan.conjuncts, plan.costs
+	if info != nil && info.Pushed {
+		for i, c := range plan.candidates {
+			if c.filter.String() == info.Chosen.String() {
+				idx := plan.candidates[i].conjunctIdx
+				residual = make([]lang.Expr, 0, len(plan.conjuncts)-1)
+				costs = make([]float64, 0, len(plan.conjuncts)-1)
+				for j := range plan.conjuncts {
+					if j != idx {
+						residual = append(residual, plan.conjuncts[j])
+						costs = append(costs, plan.costs[j])
+					}
+				}
+				break
+			}
+		}
+	}
+	if len(residual) > 0 {
+		rows = exec.FilterStage(ev, residual, costs, e.opts.AdaptiveFilters, e.opts.Seed, stats)(ctx, rows)
+	}
+
+	if plan.isAggregate {
+		rows = exec.AggregateStage(ev, plan.agg, stats)(ctx, rows)
+		return rows, exec.AggSchema(plan.agg), info, nil
+	}
+
+	inSchema := src.Schema()
+	outSchema := exec.ProjectSchema(plan.proj, inSchema)
+	if plan.async {
+		rows = exec.AsyncProjectStage(ev, plan.proj, inSchema, e.opts.AsyncWorkers, stats)(ctx, rows)
+	} else {
+		rows = exec.ProjectStage(ev, plan.proj, inSchema, stats)(ctx, rows)
+	}
+	rows = countOut(ctx, rows, stats)
+	return rows, outSchema, info, nil
+}
+
+// openJoin builds the pipeline for FROM a JOIN b ON ... WINDOW w.
+func (e *Engine) openJoin(ctx context.Context, ev *exec.Evaluator, stmt *lang.SelectStmt, plan *queryPlan, stats *exec.Stats) (<-chan value.Tuple, *value.Schema, *catalog.OpenInfo, error) {
+	leftSrc, err := e.cat.Source(stmt.From.Name)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rightSrc, err := e.cat.Source(stmt.Join.Right.Name)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	leftKey, rightKey, err := splitJoinKeys(stmt)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	req := catalog.OpenRequest{Buffer: e.opts.SourceBuffer}
+	leftIn, info, err := leftSrc.Open(ctx, req)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rightIn, _, err := rightSrc.Open(ctx, req)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	cfg := exec.JoinConfig{
+		LeftBinding:  stmt.From.Binding(),
+		RightBinding: stmt.Join.Right.Binding(),
+		LeftKey:      stripQualifier(leftKey),
+		RightKey:     stripQualifier(rightKey),
+		Window:       stmt.Window.Size,
+	}
+	rows := exec.JoinStage(ev, leftIn, rightIn, leftSrc.Schema(), rightSrc.Schema(), cfg, stats)
+	joined := exec.JoinSchema(leftSrc.Schema(), rightSrc.Schema(), cfg)
+
+	if len(plan.conjuncts) > 0 {
+		rows = exec.FilterStage(ev, plan.conjuncts, plan.costs, e.opts.AdaptiveFilters, e.opts.Seed, stats)(ctx, rows)
+	}
+	outSchema := exec.ProjectSchema(plan.proj, joined)
+	if plan.async {
+		rows = exec.AsyncProjectStage(ev, plan.proj, joined, e.opts.AsyncWorkers, stats)(ctx, rows)
+	} else {
+		rows = exec.ProjectStage(ev, plan.proj, joined, stats)(ctx, rows)
+	}
+	rows = countOut(ctx, rows, stats)
+	return rows, outSchema, info, nil
+}
+
+// splitJoinKeys validates ON as a two-sided equality and returns the
+// (left, right) key expressions by matching qualifiers to bindings.
+func splitJoinKeys(stmt *lang.SelectStmt) (lang.Expr, lang.Expr, error) {
+	eq, ok := stmt.Join.On.(*lang.Binary)
+	if !ok || eq.Op != "=" {
+		return nil, nil, fmt.Errorf("tweeql: JOIN ON must be an equality")
+	}
+	lIdent, ok1 := eq.L.(*lang.Ident)
+	rIdent, ok2 := eq.R.(*lang.Ident)
+	if !ok1 || !ok2 {
+		return nil, nil, fmt.Errorf("tweeql: JOIN ON must compare two columns")
+	}
+	lb, rb := stmt.From.Binding(), stmt.Join.Right.Binding()
+	switch {
+	case matchesBinding(lIdent, lb) && matchesBinding(rIdent, rb):
+		return lIdent, rIdent, nil
+	case matchesBinding(lIdent, rb) && matchesBinding(rIdent, lb):
+		return rIdent, lIdent, nil
+	default:
+		return nil, nil, fmt.Errorf("tweeql: JOIN ON columns must be qualified with %q and %q", lb, rb)
+	}
+}
+
+func matchesBinding(id *lang.Ident, binding string) bool {
+	return id.Qualifier != "" && equalFold(id.Qualifier, binding)
+}
+
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}
+
+// stripQualifier rewrites a.x to x for evaluation against the pre-join
+// side schemas (which are unprefixed).
+func stripQualifier(e lang.Expr) lang.Expr {
+	if id, ok := e.(*lang.Ident); ok && id.Qualifier != "" {
+		return &lang.Ident{Name: id.Name}
+	}
+	return e
+}
+
+func countOut(ctx context.Context, in <-chan value.Tuple, stats *exec.Stats) <-chan value.Tuple {
+	out := make(chan value.Tuple, 64)
+	go func() {
+		defer close(out)
+		for t := range in {
+			stats.RowsOut.Add(1)
+			select {
+			case out <- t:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return out
+}

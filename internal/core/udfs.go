@@ -1,0 +1,218 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"regexp"
+	"strings"
+	"sync"
+
+	"tweeql/internal/catalog"
+	"tweeql/internal/entities"
+	"tweeql/internal/geocode"
+	"tweeql/internal/sentiment"
+	"tweeql/internal/tweet"
+	"tweeql/internal/value"
+)
+
+// Deps are the external services behind the standard UDF library.
+type Deps struct {
+	// Geocoder backs latitude()/longitude()/geocode(); typically a
+	// CachedClient over the simulated service.
+	Geocoder geocode.Geocoder
+	// Analyzer backs sentiment()/sentiment_label().
+	Analyzer *sentiment.Analyzer
+}
+
+// RegisterStandardUDFs installs the paper's UDF library into the
+// catalog:
+//
+//   - sentiment(text), sentiment_label(text) — the classification
+//     framework (§2), returning a score in [-1,1] and a label;
+//   - latitude(loc), longitude(loc), geocode(loc) — the geocoding web
+//     service (§2), marked high-latency so the executor uses the async
+//     path; geocode returns a [lat, lon] list usable with IN BOX;
+//   - named_entities(text) — the OpenCalais-style extractor (§2);
+//   - urls(text), hashtags(text), mentions(text), tokens(text) —
+//     structure extraction from unstructured tweet text (§2).
+func RegisterStandardUDFs(cat *catalog.Catalog, deps Deps) error {
+	if deps.Analyzer == nil {
+		deps.Analyzer = sentiment.Default()
+	}
+	udfs := []*catalog.ScalarUDF{
+		{
+			Name: "sentiment", Arity: 1,
+			Fn: func(_ context.Context, args []value.Value) (value.Value, error) {
+				s, err := textArg(args[0])
+				if err != nil || s == "" {
+					return value.Null(), nil
+				}
+				return value.Float(deps.Analyzer.Score(s)), nil
+			},
+		},
+		{
+			Name: "sentiment_label", Arity: 1,
+			Fn: func(_ context.Context, args []value.Value) (value.Value, error) {
+				s, err := textArg(args[0])
+				if err != nil {
+					return value.Null(), nil
+				}
+				label, _ := deps.Analyzer.Classify(s)
+				return value.String(label.String()), nil
+			},
+		},
+		{
+			Name: "latitude", Arity: 1, HighLatency: true,
+			Fn: geoPart(deps, func(r geocode.Result) value.Value { return value.Float(r.Lat) }),
+		},
+		{
+			Name: "longitude", Arity: 1, HighLatency: true,
+			Fn: geoPart(deps, func(r geocode.Result) value.Value { return value.Float(r.Lon) }),
+		},
+		{
+			Name: "geocode", Arity: 1, HighLatency: true,
+			Fn: geoPart(deps, func(r geocode.Result) value.Value {
+				return value.List([]value.Value{value.Float(r.Lat), value.Float(r.Lon)})
+			}),
+		},
+		{
+			Name: "geocode_city", Arity: 1, HighLatency: true,
+			Fn: geoPart(deps, func(r geocode.Result) value.Value { return value.String(r.City) }),
+		},
+		{
+			Name: "named_entities", Arity: 1,
+			Fn: func(_ context.Context, args []value.Value) (value.Value, error) {
+				s, err := textArg(args[0])
+				if err != nil {
+					return value.Null(), nil
+				}
+				es := entities.Extract(s)
+				out := make([]value.Value, len(es))
+				for i, e := range es {
+					out[i] = value.String(e.Text)
+				}
+				return value.List(out), nil
+			},
+		},
+		{Name: "urls", Arity: 1, Fn: stringListUDF(tweet.URLs)},
+		{Name: "hashtags", Arity: 1, Fn: stringListUDF(tweet.Hashtags)},
+		{Name: "mentions", Arity: 1, Fn: stringListUDF(tweet.Mentions)},
+		{Name: "tokens", Arity: 1, Fn: stringListUDF(tweet.Tokenize)},
+		// regex_extract implements §2's "regular expression matching on
+		// tweet text ... [to] extract fields of interest from the text":
+		// regex_extract(text, pattern) returns the first match,
+		// regex_extract(text, pattern, n) the n-th capture group, and
+		// regex_extract_all(text, pattern) every match as a list.
+		{Name: "regex_extract", Arity: -1, Fn: regexExtract},
+		{Name: "regex_extract_all", Arity: 2, Fn: regexExtractAll},
+	}
+	for _, u := range udfs {
+		if err := cat.RegisterScalar(u); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func textArg(v value.Value) (string, error) {
+	if v.IsNull() {
+		return "", nil
+	}
+	return v.StringVal()
+}
+
+// geoPart builds a UDF that geocodes its string argument and projects
+// one part of the result. Unresolvable locations yield NULL, which the
+// paper's queries then drop via grouping/filtering.
+func geoPart(deps Deps, pick func(geocode.Result) value.Value) catalog.ScalarFn {
+	return func(ctx context.Context, args []value.Value) (value.Value, error) {
+		if deps.Geocoder == nil {
+			return value.Null(), nil
+		}
+		s, err := textArg(args[0])
+		if err != nil || strings.TrimSpace(s) == "" {
+			return value.Null(), nil
+		}
+		r, err := deps.Geocoder.Geocode(ctx, s)
+		if err != nil {
+			return value.Null(), err
+		}
+		if !r.Found {
+			return value.Null(), nil
+		}
+		return pick(r), nil
+	}
+}
+
+// regexCache memoizes compiled extraction patterns across queries (the
+// pattern set in a workload is small and repeats every tweet).
+var regexCache sync.Map // pattern string → *regexp.Regexp
+
+func compileCached(pattern string) (*regexp.Regexp, error) {
+	if re, ok := regexCache.Load(pattern); ok {
+		return re.(*regexp.Regexp), nil
+	}
+	re, err := regexp.Compile("(?i)" + pattern)
+	if err != nil {
+		return nil, fmt.Errorf("tweeql: bad regex %q: %w", pattern, err)
+	}
+	regexCache.Store(pattern, re)
+	return re, nil
+}
+
+// regexTextPattern validates the shared (text, pattern, ...) prefix.
+func regexTextPattern(args []value.Value) (string, *regexp.Regexp, bool, error) {
+	if args[0].IsNull() || args[1].IsNull() {
+		return "", nil, false, nil
+	}
+	text, err1 := args[0].StringVal()
+	pattern, err2 := args[1].StringVal()
+	if err1 != nil || err2 != nil {
+		return "", nil, false, nil
+	}
+	re, err := compileCached(pattern)
+	if err != nil {
+		return "", nil, false, err
+	}
+	return text, re, true, nil
+}
+
+func regexExtract(_ context.Context, args []value.Value) (value.Value, error) {
+	if len(args) != 2 && len(args) != 3 {
+		return value.Null(), fmt.Errorf("tweeql: regex_extract takes (text, pattern[, group]), got %d args", len(args))
+	}
+	text, re, ok, err := regexTextPattern(args)
+	if err != nil || !ok {
+		return value.Null(), err
+	}
+	group := int64(0)
+	if len(args) == 3 {
+		group, err = args[2].IntVal()
+		if err != nil || group < 0 {
+			return value.Null(), fmt.Errorf("tweeql: regex_extract group must be a non-negative integer")
+		}
+	}
+	m := re.FindStringSubmatch(text)
+	if m == nil || int(group) >= len(m) {
+		return value.Null(), nil
+	}
+	return value.String(m[group]), nil
+}
+
+func regexExtractAll(_ context.Context, args []value.Value) (value.Value, error) {
+	text, re, ok, err := regexTextPattern(args)
+	if err != nil || !ok {
+		return value.Null(), err
+	}
+	return value.Strings(re.FindAllString(text, -1)), nil
+}
+
+func stringListUDF(f func(string) []string) catalog.ScalarFn {
+	return func(_ context.Context, args []value.Value) (value.Value, error) {
+		s, err := textArg(args[0])
+		if err != nil {
+			return value.Null(), nil
+		}
+		return value.Strings(f(s)), nil
+	}
+}

@@ -1,0 +1,195 @@
+// Package dashboard serves the TwitInfo web interface (Figure 1): a
+// JSON API over the event store plus a minimal HTML rendering of the
+// six panels. The 2011 system served rich JavaScript; this
+// reproduction renders the same panel *data* server-side, which is what
+// the experiments assert on.
+package dashboard
+
+import (
+	"encoding/json"
+	"html/template"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"tweeql/internal/twitinfo"
+)
+
+// Server exposes the store over HTTP.
+type Server struct {
+	store *twitinfo.Store
+	opts  twitinfo.DashboardOptions
+	mux   *http.ServeMux
+}
+
+// New builds the server.
+func New(store *twitinfo.Store, opts twitinfo.DashboardOptions) *Server {
+	s := &Server{store: store, opts: opts, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /", s.index)
+	s.mux.HandleFunc("GET /event/{name}", s.eventPage)
+	s.mux.HandleFunc("GET /api/events", s.listEvents)
+	s.mux.HandleFunc("POST /api/events", s.createEvent)
+	s.mux.HandleFunc("GET /api/events/{name}", s.eventJSON)
+	s.mux.HandleFunc("GET /api/events/{name}/peaks/{id}", s.peakJSON)
+	s.mux.HandleFunc("GET /api/events/{name}/search", s.searchJSON)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) listEvents(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, map[string]any{"events": s.store.Names()})
+}
+
+// createEvent implements §3.1: users define an event by specifying a
+// keyword query, a human-readable name, and an optional time window.
+func (s *Server) createEvent(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Name     string   `json:"name"`
+		Keywords []string `json:"keywords"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if _, err := s.store.Create(twitinfo.EventConfig{Name: req.Name, Keywords: req.Keywords}); err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	w.WriteHeader(http.StatusCreated)
+	s.writeJSON(w, map[string]string{"created": req.Name})
+}
+
+func (s *Server) eventJSON(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	err := s.store.WithTracker(name, func(tr *twitinfo.Tracker) error {
+		s.writeJSON(w, tr.Dashboard(s.opts))
+		return nil
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+	}
+}
+
+func (s *Server) peakJSON(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		http.Error(w, "bad peak id", http.StatusBadRequest)
+		return
+	}
+	err = s.store.WithTracker(name, func(tr *twitinfo.Tracker) error {
+		d, err := tr.PeakDashboard(id, s.opts)
+		if err != nil {
+			return err
+		}
+		s.writeJSON(w, d)
+		return nil
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+	}
+}
+
+func (s *Server) searchJSON(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	q := r.URL.Query().Get("q")
+	err := s.store.WithTracker(name, func(tr *twitinfo.Tracker) error {
+		s.writeJSON(w, map[string]any{"query": q, "peaks": tr.SearchPeaks(q, s.opts.TermsPerPeak)})
+		return nil
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+	}
+}
+
+var indexTmpl = template.Must(template.New("index").Parse(`<!doctype html>
+<html><head><title>TwitInfo</title></head><body>
+<h1>TwitInfo</h1>
+<p>Tracked events:</p>
+<ul>
+{{range .Events}}<li><a href="/event/{{.}}">{{.}}</a></li>{{end}}
+</ul>
+</body></html>`))
+
+func (s *Server) index(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_ = indexTmpl.Execute(w, map[string]any{"Events": s.store.Names()})
+}
+
+var eventTmpl = template.Must(template.New("event").Funcs(template.FuncMap{
+	"bar": func(count, max int) string {
+		if max == 0 {
+			return ""
+		}
+		n := count * 50 / max
+		return strings.Repeat("#", n)
+	},
+	"pct": func(a, b int64) string {
+		if a+b == 0 {
+			return "n/a"
+		}
+		return strconv.Itoa(int(100 * a / (a + b)))
+	},
+}).Parse(`<!doctype html>
+<html><head><title>TwitInfo: {{.D.Event}}</title></head><body>
+<h1>{{.D.Event}}</h1>
+<p>Keywords: {{range .D.Keywords}}<b>{{.}}</b> {{end}} — {{.D.Ingested}} tweets logged</p>
+
+<h2>Event Timeline</h2>
+<pre>
+{{range .D.Timeline}}{{.Start.Format "15:04"}} {{bar .Count $.Max}}{{if .InPeak}} *{{end}}
+{{end}}</pre>
+
+<h2>Peaks</h2>
+<ul>
+{{range .D.Peaks}}<li><a href="/api/events/{{$.D.Event}}/peaks/{{.ID}}">[{{.Flag}}]</a>
+ {{.Start.Format "15:04"}}–{{.End.Format "15:04"}} (max {{.MaxCount}}/bin):
+ {{range .Terms}}{{.Term}} {{end}}</li>
+{{end}}</ul>
+
+<h2>Relevant Tweets</h2>
+<ul>
+{{range .D.Relevant}}<li>[{{.Sentiment}}] @{{.Username}}: {{.Text}}</li>{{end}}
+</ul>
+
+<h2>Overall Sentiment</h2>
+<p>positive {{pct .D.Pie.Positive .D.Pie.Negative}}% of polar tweets
+ ({{.D.Pie.Positive}} positive, {{.D.Pie.Negative}} negative, {{.D.Pie.Neutral}} neutral)</p>
+
+<h2>Popular Links</h2>
+<ol>{{range .D.Links}}<li>{{.URL}} ({{.Count}})</li>{{end}}</ol>
+
+<h2>Tweet Map</h2>
+<p>{{len .D.Pins}} geolocated tweets (see /api/events/{{.D.Event}} for coordinates)</p>
+</body></html>`))
+
+func (s *Server) eventPage(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	err := s.store.WithTracker(name, func(tr *twitinfo.Tracker) error {
+		d := tr.Dashboard(s.opts)
+		max := 0
+		for _, b := range d.Timeline {
+			if b.Count > max {
+				max = b.Count
+			}
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		return eventTmpl.Execute(w, map[string]any{"D": d, "Max": max})
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+	}
+}

@@ -1,0 +1,179 @@
+package dashboard
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"tweeql/internal/firehose"
+	"tweeql/internal/twitinfo"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	store := twitinfo.NewStore(nil)
+	_, err := store.Create(twitinfo.EventConfig{
+		Name:     "soccer",
+		Keywords: firehose.SoccerKeywords,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lt := range firehose.New(firehose.SoccerMatch(3)).Generate() {
+		store.Ingest(lt.Tweet)
+	}
+	store.FinishAll()
+	srv := httptest.NewServer(New(store, twitinfo.DashboardOptions{}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func get(t *testing.T, srv *httptest.Server, path string) (*http.Response, string) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 32*1024)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return resp, sb.String()
+}
+
+func TestIndexAndEventPage(t *testing.T) {
+	srv := testServer(t)
+	resp, body := get(t, srv, "/")
+	if resp.StatusCode != 200 || !strings.Contains(body, "soccer") {
+		t.Errorf("index: %d %q", resp.StatusCode, body)
+	}
+	resp, body = get(t, srv, "/event/soccer")
+	if resp.StatusCode != 200 {
+		t.Fatalf("event page status %d", resp.StatusCode)
+	}
+	for _, want := range []string{"Event Timeline", "Peaks", "Relevant Tweets", "Overall Sentiment", "Popular Links", "Tweet Map"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("event page missing %q panel", want)
+		}
+	}
+	resp, _ = get(t, srv, "/event/nosuch")
+	if resp.StatusCode != 404 {
+		t.Errorf("missing event page status = %d", resp.StatusCode)
+	}
+	resp, _ = get(t, srv, "/bogus/path")
+	if resp.StatusCode != 404 {
+		t.Errorf("bogus path status = %d", resp.StatusCode)
+	}
+}
+
+func TestEventJSON(t *testing.T) {
+	srv := testServer(t)
+	resp, body := get(t, srv, "/api/events/soccer")
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var d twitinfo.Dashboard
+	if err := json.Unmarshal([]byte(body), &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Event != "soccer" || len(d.Timeline) == 0 || len(d.Peaks) == 0 {
+		t.Errorf("dashboard: event=%q bins=%d peaks=%d", d.Event, len(d.Timeline), len(d.Peaks))
+	}
+	resp, _ = get(t, srv, "/api/events/nosuch")
+	if resp.StatusCode != 404 {
+		t.Errorf("missing event status = %d", resp.StatusCode)
+	}
+}
+
+func TestPeakDrillDownJSON(t *testing.T) {
+	srv := testServer(t)
+	_, body := get(t, srv, "/api/events/soccer")
+	var d twitinfo.Dashboard
+	if err := json.Unmarshal([]byte(body), &d); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Peaks) == 0 {
+		t.Fatal("no peaks to drill into")
+	}
+	resp, body := get(t, srv, "/api/events/soccer/peaks/1")
+	if resp.StatusCode != 200 {
+		t.Fatalf("drill-down status %d", resp.StatusCode)
+	}
+	var pd twitinfo.Dashboard
+	if err := json.Unmarshal([]byte(body), &pd); err != nil {
+		t.Fatal(err)
+	}
+	if pd.Selected == nil || pd.Selected.PeakID != 1 {
+		t.Errorf("selection = %+v", pd.Selected)
+	}
+	resp, _ = get(t, srv, "/api/events/soccer/peaks/999")
+	if resp.StatusCode != 404 {
+		t.Errorf("bogus peak status = %d", resp.StatusCode)
+	}
+	resp, _ = get(t, srv, "/api/events/soccer/peaks/notanumber")
+	if resp.StatusCode != 400 {
+		t.Errorf("bad peak id status = %d", resp.StatusCode)
+	}
+}
+
+func TestSearchJSON(t *testing.T) {
+	srv := testServer(t)
+	resp, body := get(t, srv, "/api/events/soccer/search?q=tevez")
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out struct {
+		Query string                 `json:"query"`
+		Peaks []twitinfo.LabeledPeak `json:"peaks"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Peaks) == 0 {
+		t.Error("tevez search found no peaks")
+	}
+}
+
+func TestCreateEventAPI(t *testing.T) {
+	srv := testServer(t)
+	resp, err := srv.Client().Post(srv.URL+"/api/events", "application/json",
+		strings.NewReader(`{"name":"quakes","keywords":["earthquake"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 201 {
+		t.Fatalf("create status = %d", resp.StatusCode)
+	}
+	resp2, body := get(t, srv, "/api/events")
+	if resp2.StatusCode != 200 || !strings.Contains(body, "quakes") {
+		t.Errorf("list after create: %d %s", resp2.StatusCode, body)
+	}
+	// Duplicate create conflicts.
+	resp3, err := srv.Client().Post(srv.URL+"/api/events", "application/json",
+		strings.NewReader(`{"name":"quakes","keywords":["earthquake"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != 409 {
+		t.Errorf("duplicate create status = %d", resp3.StatusCode)
+	}
+	// Bad body.
+	resp4, err := srv.Client().Post(srv.URL+"/api/events", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp4.Body.Close()
+	if resp4.StatusCode != 400 {
+		t.Errorf("bad body status = %d", resp4.StatusCode)
+	}
+}

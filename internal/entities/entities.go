@@ -1,0 +1,214 @@
+// Package entities simulates the OpenCalais named-entity web service the
+// paper wires up as a UDF (§2: "Another UDF takes tweet text, passes it
+// to OpenCalais, and returns named entities mentioned in the text").
+//
+// The extractor combines a known-entity dictionary (people, teams,
+// organizations the demo scenarios mention) with a capitalized-sequence
+// heuristic for everything else. Like the real service it is exposed
+// behind the high-latency UDF interface, so the engine treats it exactly
+// like a remote API.
+package entities
+
+import (
+	"sort"
+	"strings"
+	"unicode"
+
+	"tweeql/internal/gazetteer"
+)
+
+// Type classifies an extracted entity.
+type Type string
+
+const (
+	Person       Type = "Person"
+	Organization Type = "Organization"
+	Place        Type = "Place"
+	Other        Type = "Other"
+)
+
+// Entity is one extracted mention.
+type Entity struct {
+	Text string
+	Type Type
+}
+
+// dictionary maps lower-cased known entities to their type. The demo
+// scenarios (soccer match, earthquakes, Obama) rely on these resolving
+// with the right type.
+var dictionary = map[string]Type{
+	"obama":           Person,
+	"barack obama":    Person,
+	"tevez":           Person,
+	"carlos tevez":    Person,
+	"aguero":          Person,
+	"gerrard":         Person,
+	"suarez":          Person,
+	"biden":           Person,
+	"clinton":         Person,
+	"manchester city": Organization,
+	"liverpool fc":    Organization,
+	"man city":        Organization,
+	"red sox":         Organization,
+	"yankees":         Organization,
+	"premier league":  Organization,
+	"usgs":            Organization,
+	"fema":            Organization,
+	"red cross":       Organization,
+	"white house":     Organization,
+	"congress":        Organization,
+	"cnn":             Organization,
+	"bbc":             Organization,
+	"nba":             Organization,
+	"fifa":            Organization,
+}
+
+// Extract returns the named entities in text, deduplicated, dictionary
+// matches first (longest match wins), then capitalized sequences not
+// already covered. Gazetteer cities resolve as Place.
+func Extract(text string) []Entity {
+	var out []Entity
+	seen := make(map[string]bool)
+	lower := strings.ToLower(text)
+
+	// Dictionary pass: longest entries first so "barack obama" beats "obama".
+	keys := make([]string, 0, len(dictionary))
+	for k := range dictionary {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return len(keys[i]) > len(keys[j]) })
+	covered := make([]bool, len(lower))
+	for _, k := range keys {
+		for start := 0; ; {
+			i := strings.Index(lower[start:], k)
+			if i < 0 {
+				break
+			}
+			i += start
+			end := i + len(k)
+			if wordBounded(lower, i, end) && !rangeCovered(covered, i, end) {
+				markCovered(covered, i, end)
+				if !seen[k] {
+					seen[k] = true
+					out = append(out, Entity{Text: text[i:end], Type: dictionary[k]})
+				}
+			}
+			start = end
+		}
+	}
+
+	// Gazetteer pass: city names and aliases as Place.
+	for _, c := range gazetteer.Cities() {
+		name := strings.ToLower(c.Name)
+		if i := strings.Index(lower, name); i >= 0 {
+			end := i + len(name)
+			if wordBounded(lower, i, end) && !rangeCovered(covered, i, end) && !seen[name] {
+				markCovered(covered, i, end)
+				seen[name] = true
+				out = append(out, Entity{Text: text[i:end], Type: Place})
+			}
+		}
+	}
+
+	// Heuristic pass: runs of capitalized words (skipping sentence starts
+	// is beyond a simulated service; the paper's point is the UDF shape).
+	for _, span := range capitalizedSpans(text) {
+		key := strings.ToLower(span.text)
+		if seen[key] || rangeCovered(covered, span.start, span.end) {
+			continue
+		}
+		seen[key] = true
+		out = append(out, Entity{Text: span.text, Type: Other})
+	}
+	return out
+}
+
+func wordBounded(s string, start, end int) bool {
+	if start > 0 && isWordByte(s[start-1]) {
+		return false
+	}
+	if end < len(s) && isWordByte(s[end]) {
+		return false
+	}
+	return true
+}
+
+func isWordByte(b byte) bool {
+	return b == '_' || ('a' <= b && b <= 'z') || ('A' <= b && b <= 'Z') || ('0' <= b && b <= '9')
+}
+
+func rangeCovered(covered []bool, start, end int) bool {
+	for i := start; i < end && i < len(covered); i++ {
+		if covered[i] {
+			return true
+		}
+	}
+	return false
+}
+
+func markCovered(covered []bool, start, end int) {
+	for i := start; i < end && i < len(covered); i++ {
+		covered[i] = true
+	}
+}
+
+type span struct {
+	text       string
+	start, end int
+}
+
+// capitalizedSpans finds maximal runs of ≥1 capitalized words of length
+// ≥2, excluding all-caps shouting and leading @/# tokens.
+func capitalizedSpans(text string) []span {
+	var spans []span
+	type word struct {
+		s          string
+		start, end int
+	}
+	var words []word
+	start := -1
+	flush := func(end int) {
+		if start < 0 {
+			return
+		}
+		// @mentions and #hashtags are their own extraction channel.
+		if start == 0 || (text[start-1] != '@' && text[start-1] != '#') {
+			words = append(words, word{text[start:end], start, end})
+		}
+		start = -1
+	}
+	for i, r := range text {
+		if unicode.IsLetter(r) || r == '\'' {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		flush(i)
+	}
+	flush(len(text))
+	isCap := func(w string) bool {
+		if len(w) < 2 {
+			return false
+		}
+		runes := []rune(w)
+		if !unicode.IsUpper(runes[0]) {
+			return false
+		}
+		rest := string(runes[1:])
+		return strings.ToLower(rest) == rest // excludes ALLCAPS
+	}
+	for i := 0; i < len(words); {
+		if !isCap(words[i].s) {
+			i++
+			continue
+		}
+		j := i
+		for j+1 < len(words) && isCap(words[j+1].s) && words[j+1].start-words[j].end == 1 {
+			j++
+		}
+		spans = append(spans, span{text[words[i].start:words[j].end], words[i].start, words[j].end})
+		i = j + 1
+	}
+	return spans
+}

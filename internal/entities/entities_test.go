@@ -1,0 +1,97 @@
+package entities
+
+import (
+	"testing"
+)
+
+func find(es []Entity, text string) (Entity, bool) {
+	for _, e := range es {
+		if e.Text == text {
+			return e, true
+		}
+	}
+	return Entity{}, false
+}
+
+func TestDictionaryEntities(t *testing.T) {
+	es := Extract("Tevez scores for Manchester City against Liverpool FC!")
+	if e, ok := find(es, "Tevez"); !ok || e.Type != Person {
+		t.Errorf("Tevez: %v %v", e, ok)
+	}
+	if e, ok := find(es, "Manchester City"); !ok || e.Type != Organization {
+		t.Errorf("Manchester City: %v %v", e, ok)
+	}
+	if e, ok := find(es, "Liverpool FC"); !ok || e.Type != Organization {
+		t.Errorf("Liverpool FC: %v %v", e, ok)
+	}
+}
+
+func TestLongestMatchWins(t *testing.T) {
+	es := Extract("Barack Obama spoke today")
+	if e, ok := find(es, "Barack Obama"); !ok || e.Type != Person {
+		t.Fatalf("Barack Obama: %v %v", e, ok)
+	}
+	if _, ok := find(es, "Obama"); ok {
+		t.Error("short match Obama should be subsumed by Barack Obama")
+	}
+}
+
+func TestWordBoundaries(t *testing.T) {
+	es := Extract("the obamacare debate")
+	if _, ok := find(es, "obama"); ok {
+		t.Error("obama inside obamacare should not match")
+	}
+}
+
+func TestGazetteerPlaces(t *testing.T) {
+	es := Extract("earthquake near Tokyo this morning")
+	if e, ok := find(es, "Tokyo"); !ok || e.Type != Place {
+		t.Errorf("Tokyo: %v %v", e, ok)
+	}
+}
+
+func TestCapitalizedHeuristic(t *testing.T) {
+	es := Extract("I met Jane Goodall at the conference")
+	if e, ok := find(es, "Jane Goodall"); !ok || e.Type != Other {
+		t.Errorf("Jane Goodall: %v %v", e, ok)
+	}
+}
+
+func TestMentionsHashtagsSkipped(t *testing.T) {
+	es := Extract("thanks @Support and #Breaking news")
+	if _, ok := find(es, "Support"); ok {
+		t.Error("@mention should not be a heuristic entity")
+	}
+	if _, ok := find(es, "Breaking"); ok {
+		t.Error("#hashtag should not be a heuristic entity")
+	}
+}
+
+func TestAllCapsSkipped(t *testing.T) {
+	es := Extract("GOAL what a strike")
+	if _, ok := find(es, "GOAL"); ok {
+		t.Error("ALLCAPS token should not be an entity")
+	}
+}
+
+func TestEmptyAndPlain(t *testing.T) {
+	if es := Extract(""); len(es) != 0 {
+		t.Errorf("Extract(\"\") = %v", es)
+	}
+	if es := Extract("just lowercase words here"); len(es) != 0 {
+		t.Errorf("Extract(lowercase) = %v", es)
+	}
+}
+
+func TestDeduplication(t *testing.T) {
+	es := Extract("Obama Obama Obama")
+	count := 0
+	for _, e := range es {
+		if e.Text == "Obama" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("Obama extracted %d times", count)
+	}
+}

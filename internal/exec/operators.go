@@ -1,0 +1,600 @@
+package exec
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tweeql/internal/agg"
+	"tweeql/internal/asyncop"
+	"tweeql/internal/eddy"
+	"tweeql/internal/lang"
+	"tweeql/internal/value"
+	"tweeql/internal/window"
+)
+
+// Stats collects per-query execution counters. Long-running stream
+// queries treat row-level evaluation errors as data (human text is
+// messy): the row drops, the counter ticks, the stream continues.
+type Stats struct {
+	RowsIn     atomic.Int64
+	RowsOut    atomic.Int64
+	Dropped    atomic.Int64 // rows removed by filters
+	EvalErrors atomic.Int64
+
+	mu      sync.Mutex
+	lastErr error
+}
+
+// NoteError records an evaluation error (keeping the first for Err).
+func (s *Stats) NoteError(err error) {
+	s.EvalErrors.Add(1)
+	s.mu.Lock()
+	if s.lastErr == nil {
+		s.lastErr = err
+	}
+	s.mu.Unlock()
+}
+
+// Err returns the first evaluation error observed, if any.
+func (s *Stats) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastErr
+}
+
+// Stage is a channel-to-channel operator.
+type Stage func(ctx context.Context, in <-chan value.Tuple) <-chan value.Tuple
+
+// Chain composes stages left to right.
+func Chain(stages ...Stage) Stage {
+	return func(ctx context.Context, in <-chan value.Tuple) <-chan value.Tuple {
+		cur := in
+		for _, s := range stages {
+			cur = s(ctx, cur)
+		}
+		return cur
+	}
+}
+
+// FilterStage applies a conjunction of predicates. With two or more
+// conjuncts and adaptive=true it routes tuples through an Eddy, so the
+// evaluation order tracks observed selectivities; otherwise conjuncts
+// run in query order. costs must parallel conjuncts (see CostOf).
+func FilterStage(ev *Evaluator, conjuncts []lang.Expr, costs []float64, adaptive bool, seed int64, stats *Stats) Stage {
+	return func(ctx context.Context, in <-chan value.Tuple) <-chan value.Tuple {
+		out := make(chan value.Tuple, 64)
+		go func() {
+			defer close(out)
+			var pass func(value.Tuple) bool
+			mkPred := func(i int) func(value.Tuple) bool {
+				expr := conjuncts[i]
+				return func(t value.Tuple) bool {
+					v, err := ev.Eval(ctx, expr, t)
+					if err != nil {
+						stats.NoteError(err)
+						return false
+					}
+					return !v.IsNull() && v.Truthy()
+				}
+			}
+			if adaptive && len(conjuncts) > 1 {
+				filters := make([]eddy.Filter[value.Tuple], len(conjuncts))
+				for i := range conjuncts {
+					cost := 1.0
+					if i < len(costs) {
+						cost = costs[i]
+					}
+					filters[i] = eddy.Filter[value.Tuple]{Name: conjuncts[i].String(), Pred: mkPred(i), Cost: cost}
+				}
+				ed := eddy.New(filters, eddy.WithSeed[value.Tuple](seed))
+				pass = ed.Process
+			} else {
+				preds := make([]func(value.Tuple) bool, len(conjuncts))
+				for i := range conjuncts {
+					preds[i] = mkPred(i)
+				}
+				pass = func(t value.Tuple) bool {
+					for _, p := range preds {
+						if !p(t) {
+							return false
+						}
+					}
+					return true
+				}
+			}
+			for t := range in {
+				if ctx.Err() != nil {
+					return
+				}
+				if pass(t) {
+					select {
+					case out <- t:
+					case <-ctx.Done():
+						return
+					}
+				} else {
+					stats.Dropped.Add(1)
+				}
+			}
+		}()
+		return out
+	}
+}
+
+// ProjItem is one projected output column.
+type ProjItem struct {
+	Name string
+	Expr lang.Expr
+	// Wildcard expands the input tuple in place.
+	Wildcard bool
+}
+
+// ProjectSchema computes the output schema of a projection over the
+// input schema.
+func ProjectSchema(items []ProjItem, in *value.Schema) *value.Schema {
+	var fields []value.Field
+	for _, it := range items {
+		if it.Wildcard {
+			fields = append(fields, in.Fields()...)
+			continue
+		}
+		fields = append(fields, value.Field{Name: it.Name, Kind: value.KindNull})
+	}
+	return value.NewSchema(fields...)
+}
+
+// ProjectStage evaluates the select list synchronously.
+func ProjectStage(ev *Evaluator, items []ProjItem, inSchema *value.Schema, stats *Stats) Stage {
+	outSchema := ProjectSchema(items, inSchema)
+	return func(ctx context.Context, in <-chan value.Tuple) <-chan value.Tuple {
+		out := make(chan value.Tuple, 64)
+		go func() {
+			defer close(out)
+			for t := range in {
+				row, err := projectRow(ctx, ev, items, outSchema, t)
+				if err != nil {
+					stats.NoteError(err)
+					continue
+				}
+				select {
+				case out <- row:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+		return out
+	}
+}
+
+// AsyncProjectStage evaluates the select list on a bounded worker pool,
+// preserving input order — the §2 "asynchronous iteration" treatment for
+// select lists that call high-latency web-service UDFs. workers bounds
+// in-flight web requests.
+func AsyncProjectStage(ev *Evaluator, items []ProjItem, inSchema *value.Schema, workers int, stats *Stats) Stage {
+	outSchema := ProjectSchema(items, inSchema)
+	return func(ctx context.Context, in <-chan value.Tuple) <-chan value.Tuple {
+		out := make(chan value.Tuple, 64)
+		d := asyncop.New(func(ctx context.Context, t value.Tuple) (value.Tuple, error) {
+			return projectRow(ctx, ev, items, outSchema, t)
+		}, asyncop.WithWorkers(workers), asyncop.WithOrderPreserved())
+		go func() {
+			defer close(out)
+			for r := range d.Run(ctx, in) {
+				if r.Err != nil {
+					stats.NoteError(r.Err)
+					continue
+				}
+				select {
+				case out <- r.Out:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+		return out
+	}
+}
+
+func projectRow(ctx context.Context, ev *Evaluator, items []ProjItem, outSchema *value.Schema, t value.Tuple) (value.Tuple, error) {
+	vals := make([]value.Value, 0, outSchema.Len())
+	for _, it := range items {
+		if it.Wildcard {
+			vals = append(vals, t.Values...)
+			continue
+		}
+		v, err := ev.Eval(ctx, it.Expr, t)
+		if err != nil {
+			return value.Tuple{}, err
+		}
+		vals = append(vals, v)
+	}
+	return value.NewTuple(outSchema, vals, t.TS), nil
+}
+
+// AggItem is one aggregate in the select list.
+type AggItem struct {
+	Name    string    // output column name
+	AggName string    // COUNT/SUM/AVG/MIN/MAX/VAR/STDDEV
+	Star    bool      // COUNT(*)
+	Arg     lang.Expr // nil for star
+}
+
+// OutCol maps one output column of an aggregate query to its source:
+// either the i-th group expression or the i-th aggregate.
+type OutCol struct {
+	Name     string
+	IsAgg    bool
+	Index    int
+	FromEnd  bool // window metadata columns, filled by the operator
+	MetaKind string
+}
+
+// AggregateConfig drives AggregateStage.
+type AggregateConfig struct {
+	GroupExprs []lang.Expr
+	Aggs       []AggItem
+	Out        []OutCol
+	// Window is nil for whole-stream aggregation (emit once at end).
+	Window *lang.WindowSpec
+	// Confidence enables CONTROL-style early emission.
+	Confidence *lang.ConfidenceSpec
+}
+
+// AggSchema computes the output schema: the mapped columns, plus
+// window_start/window_end for windowed queries, plus early (bool) when a
+// confidence clause is present.
+func AggSchema(cfg AggregateConfig) *value.Schema {
+	var fields []value.Field
+	for _, oc := range cfg.Out {
+		fields = append(fields, value.Field{Name: oc.Name, Kind: value.KindNull})
+	}
+	if cfg.Window != nil {
+		fields = append(fields,
+			value.Field{Name: "window_start", Kind: value.KindTime},
+			value.Field{Name: "window_end", Kind: value.KindTime})
+	}
+	if cfg.Confidence != nil {
+		fields = append(fields, value.Field{Name: "early", Kind: value.KindBool})
+	}
+	return value.NewSchema(fields...)
+}
+
+// AggregateStage implements windowed grouped aggregation. Tuples fold
+// into per-(window, group) buckets; buckets emit when event time passes
+// the window end, when the confidence trigger fires (early), or at
+// stream end. Count windows (WINDOW n TWEETS) batch every n input rows
+// instead — the §2 alternative whose staleness E3's ablation measures.
+func AggregateStage(ev *Evaluator, cfg AggregateConfig, stats *Stats) Stage {
+	if cfg.Window != nil && cfg.Window.Count > 0 {
+		return countWindowStage(ev, cfg, stats)
+	}
+	outSchema := AggSchema(cfg)
+	return func(ctx context.Context, in <-chan value.Tuple) <-chan value.Tuple {
+		out := make(chan value.Tuple, 64)
+		go func() {
+			defer close(out)
+			var mgr *window.Manager
+			if cfg.Window != nil {
+				mgr = window.NewManager(cfg.Window.Size, cfg.Window.Every)
+			} else {
+				// Whole-stream aggregation: one giant tumbling window that
+				// only Flush will ever close.
+				mgr = window.NewManager(1<<62-1, 0)
+			}
+			if cfg.Confidence != nil {
+				mgr.EnableConfidence(cfg.Confidence.Level, cfg.Confidence.HalfWidth)
+			}
+			mkAggs := func() []agg.Func {
+				fs := make([]agg.Func, len(cfg.Aggs))
+				for i, a := range cfg.Aggs {
+					f, err := agg.New(a.AggName, a.Star)
+					if err != nil {
+						// Planner validates names; reaching here is a bug.
+						panic(err)
+					}
+					fs[i] = f
+				}
+				return fs
+			}
+			emit := func(b *window.Bucket, early bool) bool {
+				vals := make([]value.Value, 0, outSchema.Len())
+				for _, oc := range cfg.Out {
+					if oc.IsAgg {
+						vals = append(vals, b.Aggs[oc.Index].Result())
+					} else {
+						vals = append(vals, b.GroupVals[oc.Index])
+					}
+				}
+				ts := b.Span.End
+				if cfg.Window != nil {
+					vals = append(vals, value.Time(b.Span.Start), value.Time(b.Span.End))
+				} else if !b.EarlyAt.IsZero() {
+					ts = b.EarlyAt
+				}
+				if cfg.Confidence != nil {
+					vals = append(vals, value.Bool(early))
+					if early {
+						ts = b.EarlyAt
+					}
+				}
+				select {
+				case out <- value.NewTuple(outSchema, vals, ts):
+					stats.RowsOut.Add(1)
+					return true
+				case <-ctx.Done():
+					return false
+				}
+			}
+
+			for t := range in {
+				if ctx.Err() != nil {
+					return
+				}
+				groupVals := make([]value.Value, len(cfg.GroupExprs))
+				bad := false
+				for i, g := range cfg.GroupExprs {
+					v, err := ev.Eval(ctx, g, t)
+					if err != nil {
+						stats.NoteError(err)
+						bad = true
+						break
+					}
+					groupVals[i] = v
+				}
+				if bad {
+					continue
+				}
+				// Evaluate aggregate arguments once per tuple; fold adds
+				// them to every containing window's bucket.
+				argVals := make([]value.Value, len(cfg.Aggs))
+				for i, a := range cfg.Aggs {
+					if a.Star || a.Arg == nil {
+						argVals[i] = value.Int(1)
+						continue
+					}
+					v, err := ev.Eval(ctx, a.Arg, t)
+					if err != nil {
+						stats.NoteError(err)
+						v = value.Null()
+					}
+					argVals[i] = v
+				}
+				early := mgr.Observe(t.TS, groupVals, mkAggs, func(b *window.Bucket) {
+					for i := range b.Aggs {
+						b.Aggs[i].Add(argVals[i])
+					}
+				})
+				for _, b := range early {
+					if !emit(b, true) {
+						return
+					}
+				}
+				for _, b := range mgr.Advance(t.TS) {
+					if !emit(b, false) {
+						return
+					}
+				}
+			}
+			for _, b := range mgr.Flush() {
+				if !emit(b, false) {
+					return
+				}
+			}
+		}()
+		return out
+	}
+}
+
+// JoinConfig drives JoinStage: a windowed stream-stream equi-join.
+type JoinConfig struct {
+	LeftBinding, RightBinding string
+	LeftKey, RightKey         lang.Expr
+	// Window bounds how far apart in event time two tuples may be and
+	// still join.
+	Window time.Duration
+}
+
+// JoinSchema prefixes both sides' columns with their binding.
+func JoinSchema(left, right *value.Schema, cfg JoinConfig) *value.Schema {
+	var fields []value.Field
+	for _, f := range left.Fields() {
+		fields = append(fields, value.Field{Name: cfg.LeftBinding + "." + f.Name, Kind: f.Kind})
+	}
+	for _, f := range right.Fields() {
+		fields = append(fields, value.Field{Name: cfg.RightBinding + "." + f.Name, Kind: f.Kind})
+	}
+	return value.NewSchema(fields...)
+}
+
+// JoinStage consumes both inputs and emits combined tuples whose keys
+// are equal and whose event times are within the window — a symmetric
+// hash join with time-based eviction.
+func JoinStage(ev *Evaluator, left, right <-chan value.Tuple, leftSchema, rightSchema *value.Schema, cfg JoinConfig, stats *Stats) <-chan value.Tuple {
+	outSchema := JoinSchema(leftSchema, rightSchema, cfg)
+	out := make(chan value.Tuple, 64)
+
+	type buffered struct {
+		key value.Value
+		t   value.Tuple
+	}
+	go func() {
+		defer close(out)
+		ctx := context.Background()
+		leftBuf := make(map[string][]buffered)
+		rightBuf := make(map[string][]buffered)
+		var leftWM, rightWM time.Time
+
+		evict := func(buf map[string][]buffered, wm time.Time) {
+			cutoff := wm.Add(-cfg.Window)
+			for k, list := range buf {
+				kept := list[:0]
+				for _, b := range list {
+					if !b.t.TS.Before(cutoff) {
+						kept = append(kept, b)
+					}
+				}
+				if len(kept) == 0 {
+					delete(buf, k)
+				} else {
+					buf[k] = kept
+				}
+			}
+		}
+		combine := func(l, r value.Tuple) value.Tuple {
+			vals := make([]value.Value, 0, outSchema.Len())
+			vals = append(vals, l.Values...)
+			vals = append(vals, r.Values...)
+			ts := l.TS
+			if r.TS.After(ts) {
+				ts = r.TS
+			}
+			return value.NewTuple(outSchema, vals, ts)
+		}
+		process := func(t value.Tuple, keyExpr lang.Expr, own, other map[string][]buffered, isLeft bool) bool {
+			kv, err := ev.Eval(ctx, keyExpr, t)
+			if err != nil {
+				stats.NoteError(err)
+				return true
+			}
+			if kv.IsNull() {
+				return true // NULL keys never join
+			}
+			k := kv.Kind().String() + ":" + kv.String()
+			own[k] = append(own[k], buffered{key: kv, t: t})
+			for _, m := range other[k] {
+				if d := t.TS.Sub(m.t.TS); d < 0 && -d > cfg.Window || d > cfg.Window {
+					continue
+				}
+				var row value.Tuple
+				if isLeft {
+					row = combine(t, m.t)
+				} else {
+					row = combine(m.t, t)
+				}
+				select {
+				case out <- row:
+					stats.RowsOut.Add(1)
+				default:
+					// Back-pressure fallback: block.
+					out <- row
+					stats.RowsOut.Add(1)
+				}
+			}
+			return true
+		}
+
+		l, r := left, right
+		for l != nil || r != nil {
+			select {
+			case t, ok := <-l:
+				if !ok {
+					l = nil
+					continue
+				}
+				stats.RowsIn.Add(1)
+				if t.TS.After(leftWM) {
+					leftWM = t.TS
+				}
+				process(t, cfg.LeftKey, leftBuf, rightBuf, true)
+				evict(rightBuf, leftWM)
+			case t, ok := <-r:
+				if !ok {
+					r = nil
+					continue
+				}
+				stats.RowsIn.Add(1)
+				if t.TS.After(rightWM) {
+					rightWM = t.TS
+				}
+				process(t, cfg.RightKey, rightBuf, leftBuf, false)
+				evict(leftBuf, rightWM)
+			}
+		}
+	}()
+	return out
+}
+
+// PrefixSchema renames every column of s to "<binding>.<name>", used to
+// expose join inputs under their aliases.
+func PrefixSchema(s *value.Schema, binding string) *value.Schema {
+	fields := s.Fields()
+	for i := range fields {
+		fields[i].Name = binding + "." + fields[i].Name
+	}
+	return value.NewSchema(fields...)
+}
+
+// LimitStage forwards n rows then stops, cancelling the query via the
+// provided cancel so upstream stages unwind promptly.
+func LimitStage(n int, cancel context.CancelFunc) Stage {
+	return func(ctx context.Context, in <-chan value.Tuple) <-chan value.Tuple {
+		out := make(chan value.Tuple, 64)
+		go func() {
+			defer close(out)
+			if n <= 0 {
+				cancel()
+				return
+			}
+			count := 0
+			for t := range in {
+				select {
+				case out <- t:
+				case <-ctx.Done():
+					return
+				}
+				count++
+				if count >= n {
+					cancel()
+					return
+				}
+			}
+		}()
+		return out
+	}
+}
+
+// CountStage ticks RowsIn for every tuple passing through, placed right
+// after the source.
+func CountStage(stats *Stats) Stage {
+	return func(ctx context.Context, in <-chan value.Tuple) <-chan value.Tuple {
+		out := make(chan value.Tuple, 64)
+		go func() {
+			defer close(out)
+			for t := range in {
+				stats.RowsIn.Add(1)
+				select {
+				case out <- t:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+		return out
+	}
+}
+
+// RenameSchema gives a tuple stream a new schema with identical arity
+// (used to expose window metadata columns under user aliases, etc.).
+func RenameSchema(newSchema *value.Schema) Stage {
+	return func(ctx context.Context, in <-chan value.Tuple) <-chan value.Tuple {
+		out := make(chan value.Tuple, 64)
+		go func() {
+			defer close(out)
+			for t := range in {
+				select {
+				case out <- value.NewTuple(newSchema, t.Values, t.TS):
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+		return out
+	}
+}
+
+// NormalizeAggName upper-cases aggregate names for display.
+func NormalizeAggName(name string) string { return strings.ToUpper(name) }

@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"tweeql/internal/asyncop"
+	"tweeql/internal/gazetteer"
+	"tweeql/internal/geocode"
+)
+
+func init() {
+	register(Runner{ID: "E4", Name: "high-latency operator mitigations (§2)", Run: runE4})
+}
+
+// e4Locations draws n profile locations with realistic repetition: city
+// aliases sampled by tweet-volume weight plus a junk tail.
+func e4Locations(seed int64, n int) []string {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < 0.15 {
+			out[i] = fmt.Sprintf("somewhere-%d", rng.Intn(200)) // junk tail
+			continue
+		}
+		city := gazetteer.SampleWeighted(rng.Float64())
+		out[i] = city.Aliases[rng.Intn(len(city.Aliases))]
+	}
+	return out
+}
+
+// runE4 is the ablation of §2 "High-latency Operators": a geocoding
+// service with real (scaled-down) latency, attacked with each
+// mitigation in turn. The paper's claims: requests "take hundreds of
+// milliseconds apiece" and bottleneck the stream; caching, batching and
+// asynchronous iteration recover throughput.
+func runE4(seed int64) (*Table, error) {
+	const (
+		n       = 2_000
+		latency = 2 * time.Millisecond // stands in for the paper's ~200ms, scaled 100x
+		perItem = 100 * time.Microsecond
+		workers = 16
+	)
+	locs := e4Locations(seed, n)
+	ctx := context.Background()
+
+	newSvc := func() *geocode.Service {
+		return geocode.NewService(geocode.ServiceConfig{BaseLatency: latency, PerItem: perItem, Seed: seed})
+	}
+
+	type outcome struct {
+		name       string
+		elapsed    time.Duration
+		calls      int64
+		batchCalls int64
+	}
+	var results []outcome
+	run := func(name string, fn func(svc *geocode.Service) error) error {
+		svc := newSvc()
+		start := time.Now()
+		if err := fn(svc); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		st := svc.Stats()
+		results = append(results, outcome{name: name, elapsed: time.Since(start), calls: st.Calls, batchCalls: st.BatchCalls})
+		return nil
+	}
+
+	// 1. Naive: one synchronous request per tweet.
+	err := run("naive sync", func(svc *geocode.Service) error {
+		for _, loc := range locs {
+			if _, err := svc.Geocode(ctx, loc); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// 2. +cache: profile locations repeat heavily.
+	err = run("+cache", func(svc *geocode.Service) error {
+		c := geocode.NewCachedClient(svc, 10_000, 0)
+		for _, loc := range locs {
+			if _, err := c.Geocode(ctx, loc); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// 3. +cache+batch: misses travel in MaxBatch-sized requests.
+	err = run("+cache+batch", func(svc *geocode.Service) error {
+		c := geocode.NewCachedClient(svc, 10_000, 0)
+		for i := 0; i < len(locs); i += geocode.MaxBatch {
+			end := min(i+geocode.MaxBatch, len(locs))
+			if _, err := c.GeocodeBatch(ctx, locs[i:end]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// 4. +cache+async: WSQ/DSQ-style asynchronous iteration keeps
+	// `workers` requests in flight.
+	err = run("+cache+async", func(svc *geocode.Service) error {
+		c := geocode.NewCachedClient(svc, 10_000, 0)
+		_, err := asyncop.Map(ctx, locs, workers, func(ctx context.Context, loc string) (geocode.Result, error) {
+			return c.Geocode(ctx, loc)
+		})
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// 5. everything: async workers over the cached+batched client.
+	err = run("+cache+batch+async", func(svc *geocode.Service) error {
+		cached := geocode.NewCachedClient(svc, 10_000, 0)
+		b := geocode.NewBatcher(cached, geocode.MaxBatch, time.Millisecond)
+		defer b.Close()
+		_, err := asyncop.Map(ctx, locs, workers, func(ctx context.Context, loc string) (geocode.Result, error) {
+			return b.Geocode(ctx, loc)
+		})
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:     "E4",
+		Title:  fmt.Sprintf("geocoding %d tweets, service latency %v (paper: ~200ms, scaled): throughput per mitigation", n, latency),
+		Claim:  "requests optimistically take hundreds of milliseconds apiece... we employ caching to avoid requests, and batching when an API allows multiple simultaneous requests [plus] asynchronous iteration",
+		Header: []string{"variant", "elapsed", "tweets/sec", "service calls", "batch calls", "speedup"},
+	}
+	base := results[0].elapsed
+	for _, r := range results {
+		t.Add(r.name, r.elapsed.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.0f", float64(n)/r.elapsed.Seconds()),
+			r.calls, r.batchCalls,
+			fmt.Sprintf("%.1fx", float64(base)/float64(r.elapsed)))
+	}
+	t.Findingf("cache removes repeat lookups, batching amortizes round trips, async iteration overlaps the rest")
+	t.Findingf("tradeoff: batching UNDER async is slower than async alone once the cache absorbs most misses — " +
+		"the batcher's linger delays cache hits; batch where caches are cold, go async where they are warm")
+	return t, nil
+}

@@ -1,0 +1,474 @@
+// Package firehose generates the synthetic tweet stream that stands in
+// for Twitter's firehose. Everything the paper's evaluation needs from
+// real tweets is distributional — bursts around events, uneven geography,
+// skewed user activity, polarity-bearing text, link sharing — so the
+// generator controls those distributions explicitly and records ground
+// truth (polarity, topic, source burst) with every tweet. Experiments
+// then score TweeQL/TwitInfo output against truth exactly.
+//
+// Generation is fully deterministic for a given Config (seeded PRNG,
+// virtual clock), so tests and benchmarks are reproducible.
+package firehose
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"tweeql/internal/gazetteer"
+	"tweeql/internal/sentiment"
+	"tweeql/internal/tweet"
+)
+
+// LabeledTweet pairs a tweet with the generator's ground truth.
+type LabeledTweet struct {
+	Tweet *tweet.Tweet
+	// Polarity is the true sentiment planted in the text (Neutral when no
+	// polarity word was planted).
+	Polarity sentiment.Label
+	// Topic names the background topic or event that produced the tweet.
+	Topic string
+	// Burst is the marker of the scripted burst that produced the tweet,
+	// "" for steady traffic.
+	Burst string
+}
+
+// Topic is a background subject with its own vocabulary.
+type Topic struct {
+	Name   string
+	Words  []string
+	Weight float64
+}
+
+// Burst is a scripted spike in event traffic — a goal, an earthquake, a
+// speech. Marker terms are planted in most burst tweets so peak-labeling
+// experiments have ground truth.
+type Burst struct {
+	// Label identifies the burst in ground truth ("goal-1").
+	Label string
+	// Offset and Duration place the burst relative to stream start.
+	Offset   time.Duration
+	Duration time.Duration
+	// Rate is the extra tweets/sec while the burst is active.
+	Rate float64
+	// MarkerTerms are planted in ~80% of burst tweets ("3-0", "tevez").
+	MarkerTerms []string
+	// PosBias is the fraction of sentiment-bearing burst tweets that are
+	// positive (0.5 when unset via NaN; use NewBurst for defaults).
+	PosBias float64
+	// SentimentProb is the fraction of burst tweets carrying polarity.
+	SentimentProb float64
+	// Cities optionally restricts burst authors to fans in these cities
+	// (E7's regional-sentiment experiment); empty means world-wide.
+	Cities []string
+}
+
+// EventScript is a tracked happening: steady keyword chatter plus bursts.
+type EventScript struct {
+	Name string
+	// Keywords appear in every event tweet, as a TwitInfo keyword query
+	// would require ("soccer, manchester, liverpool...").
+	Keywords []string
+	// BaseRate is the steady tweets/sec about the event outside bursts.
+	BaseRate float64
+	// Bursts are the scripted spikes.
+	Bursts []Burst
+	// URLs is the pool of links event tweets share, most-popular first
+	// (sampling is Zipf over this order).
+	URLs []string
+	// URLProb is the fraction of event tweets sharing a link.
+	URLProb float64
+}
+
+// Config drives generation.
+type Config struct {
+	Seed     int64
+	Start    time.Time
+	Duration time.Duration
+	// BaseRate is background tweets/sec (all topics combined).
+	BaseRate float64
+	// Users is the synthetic user population size.
+	Users int
+	// GeoTagProb is the fraction of tweets with device GPS.
+	GeoTagProb float64
+	// JunkLocationProb is the fraction of users whose profile location is
+	// un-geocodable junk.
+	JunkLocationProb float64
+	// SentimentProb is the fraction of background tweets with polarity.
+	SentimentProb float64
+	// PosFraction is the positive share among polarity background tweets.
+	PosFraction float64
+	// URLProb is the fraction of background tweets sharing a link.
+	URLProb float64
+	// RetweetProb is the fraction of tweets that are retweets.
+	RetweetProb float64
+	// Topics is the background topic mixture; defaults provided if empty.
+	Topics []Topic
+	// Events are the scripted happenings.
+	Events []EventScript
+}
+
+// withDefaults fills zero fields with sensible demo-scale values.
+func (c Config) withDefaults() Config {
+	if c.Start.IsZero() {
+		c.Start = time.Date(2011, 6, 12, 12, 0, 0, 0, time.UTC) // SIGMOD'11 week
+	}
+	if c.Duration == 0 {
+		c.Duration = time.Hour
+	}
+	if c.BaseRate == 0 {
+		c.BaseRate = 20
+	}
+	if c.Users == 0 {
+		c.Users = 5000
+	}
+	if c.GeoTagProb == 0 {
+		c.GeoTagProb = 0.15
+	}
+	if c.JunkLocationProb == 0 {
+		c.JunkLocationProb = 0.2
+	}
+	if c.SentimentProb == 0 {
+		c.SentimentProb = 0.35
+	}
+	if c.PosFraction == 0 {
+		c.PosFraction = 0.5
+	}
+	if c.URLProb == 0 {
+		c.URLProb = 0.12
+	}
+	if c.RetweetProb == 0 {
+		c.RetweetProb = 0.2
+	}
+	if len(c.Topics) == 0 {
+		c.Topics = DefaultTopics()
+	}
+	return c
+}
+
+// DefaultTopics returns the stock background topic mixture.
+func DefaultTopics() []Topic {
+	return []Topic{
+		{"music", []string{"album", "concert", "song", "band", "playlist", "tour", "lyrics"}, 3},
+		{"food", []string{"coffee", "lunch", "pizza", "dinner", "recipe", "restaurant", "brunch"}, 3},
+		{"tech", []string{"phone", "app", "laptop", "startup", "internet", "gadget", "update"}, 2},
+		{"tv", []string{"episode", "season", "finale", "show", "series", "premiere"}, 2},
+		{"weather", []string{"rain", "sunny", "snow", "forecast", "storm", "heatwave"}, 1},
+		{"commute", []string{"traffic", "train", "delay", "bus", "subway", "airport"}, 1},
+	}
+}
+
+// user is one synthetic account.
+type user struct {
+	id        int64
+	name      string
+	city      gazetteer.City
+	location  string // profile free-text
+	followers int
+	junkLoc   bool
+}
+
+// Generator produces deterministic labeled tweet streams.
+type Generator struct {
+	cfg    Config
+	rng    *rand.Rand
+	users  []user
+	byCity map[string][]int // city name → user indices, for burst city bias
+	nextID int64
+
+	topicWeightSum float64
+}
+
+// New builds a generator for the config.
+func New(cfg Config) *Generator {
+	cfg = cfg.withDefaults()
+	g := &Generator{
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		byCity: make(map[string][]int),
+		nextID: 1,
+	}
+	g.makeUsers()
+	for _, t := range cfg.Topics {
+		g.topicWeightSum += t.Weight
+	}
+	return g
+}
+
+var junkLocations = []string{
+	"earth", "everywhere", "the moon", "in my head", "worldwide",
+	"somewhere over the rainbow", "ur mom's house", "127.0.0.1", "",
+}
+
+func (g *Generator) makeUsers() {
+	zipf := rand.NewZipf(g.rng, 1.3, 1, 1_000_000)
+	g.users = make([]user, g.cfg.Users)
+	for i := range g.users {
+		city := gazetteer.SampleWeighted(g.rng.Float64())
+		u := user{
+			id:        int64(i + 1),
+			name:      fmt.Sprintf("user%d", i+1),
+			city:      city,
+			followers: int(zipf.Uint64()) + 1,
+		}
+		if g.rng.Float64() < g.cfg.JunkLocationProb {
+			u.junkLoc = true
+			u.location = junkLocations[g.rng.Intn(len(junkLocations))]
+		} else {
+			aliases := city.Aliases
+			u.location = aliases[g.rng.Intn(len(aliases))]
+		}
+		g.users[i] = u
+		g.byCity[city.Name] = append(g.byCity[city.Name], i)
+	}
+}
+
+// poisson draws from Poisson(lambda) via Knuth's method with splitting
+// for large lambda (keeps the product in float range).
+func (g *Generator) poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	n := 0
+	for lambda > 30 {
+		// Poisson(a+b) = Poisson(a) + Poisson(b)
+		n += g.poisson(30)
+		lambda -= 30
+	}
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= g.rng.Float64()
+		if p <= l {
+			break
+		}
+		k++
+	}
+	return n + k
+}
+
+// Generate materializes the whole stream, ordered by timestamp.
+func (g *Generator) Generate() []*LabeledTweet {
+	var out []*LabeledTweet
+	seconds := int(g.cfg.Duration / time.Second)
+	for s := 0; s < seconds; s++ {
+		secStart := g.cfg.Start.Add(time.Duration(s) * time.Second)
+		// Background chatter.
+		for i, n := 0, g.poisson(g.cfg.BaseRate); i < n; i++ {
+			out = append(out, g.backgroundTweet(secStart))
+		}
+		// Event chatter and bursts.
+		for ei := range g.cfg.Events {
+			ev := &g.cfg.Events[ei]
+			for i, n := 0, g.poisson(ev.BaseRate); i < n; i++ {
+				out = append(out, g.eventTweet(secStart, ev, nil))
+			}
+			for bi := range ev.Bursts {
+				b := &ev.Bursts[bi]
+				off := time.Duration(s) * time.Second
+				if off >= b.Offset && off < b.Offset+b.Duration {
+					for i, n := 0, g.poisson(b.Rate); i < n; i++ {
+						out = append(out, g.eventTweet(secStart, ev, b))
+					}
+				}
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].Tweet.CreatedAt.Before(out[j].Tweet.CreatedAt)
+	})
+	return out
+}
+
+// Stream replays a generated stream on a channel. speedup scales virtual
+// time (0 or negative means "as fast as possible"). The channel closes
+// when the stream ends or ctx is cancelled.
+func (g *Generator) Stream(ctx context.Context, speedup float64) <-chan *LabeledTweet {
+	all := g.Generate()
+	ch := make(chan *LabeledTweet, 256)
+	go func() {
+		defer close(ch)
+		start := time.Now()
+		for _, lt := range all {
+			if speedup > 0 {
+				virtual := lt.Tweet.CreatedAt.Sub(g.cfg.Start)
+				due := start.Add(time.Duration(float64(virtual) / speedup))
+				if d := time.Until(due); d > 0 {
+					select {
+					case <-time.After(d):
+					case <-ctx.Done():
+						return
+					}
+				}
+			}
+			select {
+			case ch <- lt:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return ch
+}
+
+func (g *Generator) pickUser(cities []string) *user {
+	if len(cities) > 0 {
+		// Restrict to fans in the requested cities; fall back to anyone if
+		// the city has no users in this population.
+		var pool []int
+		for _, c := range cities {
+			pool = append(pool, g.byCity[c]...)
+		}
+		if len(pool) > 0 {
+			return &g.users[pool[g.rng.Intn(len(pool))]]
+		}
+	}
+	return &g.users[g.rng.Intn(len(g.users))]
+}
+
+func (g *Generator) pickTopic() *Topic {
+	target := g.rng.Float64() * g.topicWeightSum
+	var acc float64
+	for i := range g.cfg.Topics {
+		acc += g.cfg.Topics[i].Weight
+		if target < acc {
+			return &g.cfg.Topics[i]
+		}
+	}
+	return &g.cfg.Topics[len(g.cfg.Topics)-1]
+}
+
+var fillers = []string{
+	"just saw", "thinking about", "can't stop talking about", "so much",
+	"all day", "right now", "again", "this morning", "tonight", "honestly",
+}
+
+// buildTweet assembles a tweet for the user at ts with the given words.
+func (g *Generator) buildTweet(ts time.Time, u *user, words []string, retweet bool) *tweet.Tweet {
+	jitter := time.Duration(g.rng.Int63n(int64(time.Second)))
+	t := &tweet.Tweet{
+		ID:        g.nextID,
+		UserID:    u.id,
+		Username:  u.name,
+		Text:      strings.Join(words, " "),
+		CreatedAt: ts.Add(jitter),
+		Location:  u.location,
+		Followers: u.followers,
+		Retweet:   retweet,
+	}
+	g.nextID++
+	if g.rng.Float64() < g.cfg.GeoTagProb && !u.junkLoc {
+		t.HasGeo = true
+		t.Lat = u.city.Lat + g.rng.NormFloat64()*0.05
+		t.Lon = u.city.Lon + g.rng.NormFloat64()*0.05
+	}
+	return t
+}
+
+// sentimentWord returns a polarity word and its label given the positive
+// bias, or ("", Neutral) with probability 1-prob.
+func (g *Generator) sentimentWord(prob, posBias float64) (string, sentiment.Label) {
+	if g.rng.Float64() >= prob {
+		return "", sentiment.Neutral
+	}
+	if g.rng.Float64() < posBias {
+		return sentiment.PositiveWords[g.rng.Intn(len(sentiment.PositiveWords))], sentiment.Positive
+	}
+	return sentiment.NegativeWords[g.rng.Intn(len(sentiment.NegativeWords))], sentiment.Negative
+}
+
+func (g *Generator) backgroundTweet(ts time.Time) *LabeledTweet {
+	u := g.pickUser(nil)
+	topic := g.pickTopic()
+	words := []string{
+		fillers[g.rng.Intn(len(fillers))],
+		topic.Words[g.rng.Intn(len(topic.Words))],
+	}
+	if g.rng.Float64() < 0.5 {
+		words = append(words, topic.Words[g.rng.Intn(len(topic.Words))])
+	}
+	sw, pol := g.sentimentWord(g.cfg.SentimentProb, g.cfg.PosFraction)
+	if sw != "" {
+		words = append(words, sw)
+	}
+	if g.rng.Float64() < g.cfg.URLProb {
+		words = append(words, fmt.Sprintf("http://short.ly/%s%d", topic.Name, g.rng.Intn(5)))
+	}
+	retweet := g.rng.Float64() < g.cfg.RetweetProb
+	if retweet {
+		words = append([]string{"RT"}, words...)
+	}
+	return &LabeledTweet{
+		Tweet:    g.buildTweet(ts, u, words, retweet),
+		Polarity: pol,
+		Topic:    topic.Name,
+	}
+}
+
+func (g *Generator) eventTweet(ts time.Time, ev *EventScript, b *Burst) *LabeledTweet {
+	var cities []string
+	sentProb, posBias := g.cfg.SentimentProb, g.cfg.PosFraction
+	if b != nil {
+		cities = b.Cities
+		if b.SentimentProb > 0 {
+			sentProb = b.SentimentProb
+		}
+		posBias = b.PosBias
+	}
+	u := g.pickUser(cities)
+
+	// Every event tweet names at least one tracked keyword so a TwitInfo
+	// keyword query catches it.
+	words := []string{ev.Keywords[g.rng.Intn(len(ev.Keywords))]}
+	if len(ev.Keywords) > 1 && g.rng.Float64() < 0.4 {
+		words = append(words, ev.Keywords[g.rng.Intn(len(ev.Keywords))])
+	}
+	words = append(words, fillers[g.rng.Intn(len(fillers))])
+
+	label := ""
+	if b != nil {
+		label = b.Label
+		// Plant marker terms in ~80% of burst tweets.
+		if len(b.MarkerTerms) > 0 && g.rng.Float64() < 0.8 {
+			words = append(words, b.MarkerTerms[g.rng.Intn(len(b.MarkerTerms))])
+			if len(b.MarkerTerms) > 1 && g.rng.Float64() < 0.4 {
+				words = append(words, b.MarkerTerms[g.rng.Intn(len(b.MarkerTerms))])
+			}
+		}
+	}
+	sw, pol := g.sentimentWord(sentProb, posBias)
+	if sw != "" {
+		words = append(words, sw)
+	}
+	if len(ev.URLs) > 0 && g.rng.Float64() < ev.URLProb {
+		// Zipf-ish rank sampling over the URL pool: heavy head, long tail.
+		rank := int(math.Floor(float64(len(ev.URLs)) * math.Pow(g.rng.Float64(), 2)))
+		if rank >= len(ev.URLs) {
+			rank = len(ev.URLs) - 1
+		}
+		words = append(words, ev.URLs[rank])
+	}
+	retweet := g.rng.Float64() < g.cfg.RetweetProb
+	if retweet {
+		words = append([]string{"RT"}, words...)
+	}
+	return &LabeledTweet{
+		Tweet:    g.buildTweet(ts, u, words, retweet),
+		Polarity: pol,
+		Topic:    "event:" + ev.Name,
+		Burst:    label,
+	}
+}
+
+// Tweets strips labels, for callers that only need the raw stream.
+func Tweets(lts []*LabeledTweet) []*tweet.Tweet {
+	out := make([]*tweet.Tweet, len(lts))
+	for i, lt := range lts {
+		out[i] = lt.Tweet
+	}
+	return out
+}

@@ -1,0 +1,289 @@
+package firehose
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"tweeql/internal/sentiment"
+	"tweeql/internal/tweet"
+)
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Seed: 42, Duration: 2 * time.Minute, BaseRate: 10}
+	a := New(cfg).Generate()
+	b := New(cfg).Generate()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Tweet.Text != b[i].Tweet.Text || !a[i].Tweet.CreatedAt.Equal(b[i].Tweet.CreatedAt) {
+			t.Fatalf("tweet %d differs", i)
+		}
+	}
+	c := New(Config{Seed: 43, Duration: 2 * time.Minute, BaseRate: 10}).Generate()
+	if len(c) == len(a) {
+		same := true
+		for i := range a {
+			if a[i].Tweet.Text != c[i].Tweet.Text {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical streams")
+		}
+	}
+}
+
+func TestRateApproximation(t *testing.T) {
+	cfg := Config{Seed: 1, Duration: 10 * time.Minute, BaseRate: 20}
+	got := len(New(cfg).Generate())
+	want := 20 * 600
+	if math.Abs(float64(got-want))/float64(want) > 0.1 {
+		t.Errorf("generated %d tweets, want ≈%d", got, want)
+	}
+}
+
+func TestTimestampsOrderedAndInRange(t *testing.T) {
+	cfg := Config{Seed: 7, Duration: 5 * time.Minute, BaseRate: 15}
+	lts := New(cfg).Generate()
+	start := cfg.withDefaults().Start
+	end := start.Add(cfg.Duration + time.Second)
+	var prev time.Time
+	for i, lt := range lts {
+		ts := lt.Tweet.CreatedAt
+		if ts.Before(prev) {
+			t.Fatalf("tweet %d out of order", i)
+		}
+		if ts.Before(start) || ts.After(end) {
+			t.Fatalf("tweet %d timestamp %v outside [%v, %v]", i, ts, start, end)
+		}
+		prev = ts
+	}
+}
+
+func TestUniqueIDs(t *testing.T) {
+	lts := New(Config{Seed: 3, Duration: 2 * time.Minute, BaseRate: 30}).Generate()
+	seen := make(map[int64]bool, len(lts))
+	for _, lt := range lts {
+		if seen[lt.Tweet.ID] {
+			t.Fatalf("duplicate tweet id %d", lt.Tweet.ID)
+		}
+		seen[lt.Tweet.ID] = true
+	}
+}
+
+func TestGroundTruthPolarityMatchesText(t *testing.T) {
+	// Every tweet labeled Positive must contain a positive lexicon word,
+	// and likewise for Negative — the invariant E5 depends on.
+	posSet := make(map[string]bool)
+	for _, w := range sentiment.PositiveWords {
+		posSet[w] = true
+	}
+	negSet := make(map[string]bool)
+	for _, w := range sentiment.NegativeWords {
+		negSet[w] = true
+	}
+	lts := New(Config{Seed: 5, Duration: 3 * time.Minute, BaseRate: 25, SentimentProb: 0.6}).Generate()
+	var posSeen, negSeen bool
+	for _, lt := range lts {
+		toks := tweet.Tokenize(lt.Tweet.Text)
+		has := func(set map[string]bool) bool {
+			for _, tok := range toks {
+				if set[tok] {
+					return true
+				}
+			}
+			return false
+		}
+		switch lt.Polarity {
+		case sentiment.Positive:
+			posSeen = true
+			if !has(posSet) {
+				t.Fatalf("positive-labeled tweet lacks positive word: %q", lt.Tweet.Text)
+			}
+		case sentiment.Negative:
+			negSeen = true
+			if !has(negSet) {
+				t.Fatalf("negative-labeled tweet lacks negative word: %q", lt.Tweet.Text)
+			}
+		}
+	}
+	if !posSeen || !negSeen {
+		t.Error("stream produced no sentiment-bearing tweets")
+	}
+}
+
+func TestBurstRaisesVolume(t *testing.T) {
+	cfg := Config{
+		Seed: 11, Duration: 10 * time.Minute, BaseRate: 5,
+		Events: []EventScript{{
+			Name: "e", Keywords: []string{"kw"}, BaseRate: 1,
+			Bursts: []Burst{{Label: "b", Offset: 4 * time.Minute, Duration: 2 * time.Minute, Rate: 40,
+				MarkerTerms: []string{"marker"}}},
+		}},
+	}
+	lts := New(cfg).Generate()
+	start := cfg.withDefaults().Start
+	perMin := make([]int, 10)
+	for _, lt := range lts {
+		m := int(lt.Tweet.CreatedAt.Sub(start) / time.Minute)
+		if m >= 0 && m < 10 {
+			perMin[m]++
+		}
+	}
+	quiet := float64(perMin[0]+perMin[1]+perMin[2]) / 3
+	burst := float64(perMin[4]+perMin[5]) / 2
+	if burst < 3*quiet {
+		t.Errorf("burst minutes %v not ≫ quiet %v (perMin=%v)", burst, quiet, perMin)
+	}
+	// Marker terms appear in a solid majority of burst tweets.
+	var burstN, marked int
+	for _, lt := range lts {
+		if lt.Burst == "b" {
+			burstN++
+			if tweet.ContainsWord(lt.Tweet.Text, "marker") {
+				marked++
+			}
+		}
+	}
+	if burstN == 0 {
+		t.Fatal("no burst-labeled tweets")
+	}
+	if frac := float64(marked) / float64(burstN); frac < 0.6 {
+		t.Errorf("marker fraction = %v", frac)
+	}
+}
+
+func TestEventTweetsContainKeyword(t *testing.T) {
+	cfg := SoccerMatch(1)
+	cfg.Duration = 15 * time.Minute
+	lts := New(cfg).Generate()
+	checked := 0
+	for _, lt := range lts {
+		if lt.Topic != "event:Soccer: Manchester City vs Liverpool" {
+			continue
+		}
+		checked++
+		found := false
+		for _, kw := range SoccerKeywords {
+			if tweet.ContainsWord(lt.Tweet.Text, kw) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("event tweet lacks tracked keyword: %q", lt.Tweet.Text)
+		}
+	}
+	if checked == 0 {
+		t.Error("no event tweets generated")
+	}
+}
+
+func TestCityBias(t *testing.T) {
+	cfg := BaseballRivalry(2)
+	cfg.Duration = 95 * time.Minute // cover the home-run burst
+	lts := New(cfg).Generate()
+	cities := make(map[string]map[string]int) // burst → location guess
+	for _, lt := range lts {
+		if lt.Burst == "" {
+			continue
+		}
+		if cities[lt.Burst] == nil {
+			cities[lt.Burst] = make(map[string]int)
+		}
+		cities[lt.Burst][lt.Tweet.Location]++
+	}
+	if len(cities["homerun-boston"]) == 0 || len(cities["homerun-nyc"]) == 0 {
+		t.Fatalf("missing burst tweets: %v", cities)
+	}
+}
+
+func TestGeoTagging(t *testing.T) {
+	lts := New(Config{Seed: 9, Duration: 4 * time.Minute, BaseRate: 30, GeoTagProb: 0.5}).Generate()
+	geo := 0
+	for _, lt := range lts {
+		if lt.Tweet.HasGeo {
+			geo++
+			if lt.Tweet.Lat == 0 && lt.Tweet.Lon == 0 {
+				t.Fatal("geo-tagged tweet with zero coordinates")
+			}
+		}
+	}
+	frac := float64(geo) / float64(len(lts))
+	// junk-location users never geo-tag, so the observed fraction is
+	// GeoTagProb*(1-JunkLocationProb) ≈ 0.4.
+	if frac < 0.25 || frac > 0.55 {
+		t.Errorf("geo fraction = %v", frac)
+	}
+}
+
+func TestStreamFastReplay(t *testing.T) {
+	g := New(Config{Seed: 4, Duration: time.Minute, BaseRate: 10})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	n := 0
+	for range g.Stream(ctx, 0) {
+		n++
+	}
+	if n == 0 {
+		t.Error("stream delivered nothing")
+	}
+	if want := len(g.Generate()); n != want {
+		// Generate() after Stream() re-runs the rng; compare against a
+		// fresh generator instead.
+		want = len(New(Config{Seed: 4, Duration: time.Minute, BaseRate: 10}).Generate())
+		if n != want {
+			t.Errorf("stream delivered %d, want %d", n, want)
+		}
+	}
+}
+
+func TestStreamCancellation(t *testing.T) {
+	g := New(Config{Seed: 4, Duration: time.Hour, BaseRate: 50})
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := g.Stream(ctx, 1) // real-time: far too slow to finish
+	<-ch
+	cancel()
+	deadline := time.After(2 * time.Second)
+	for {
+		select {
+		case _, ok := <-ch:
+			if !ok {
+				return // closed as expected
+			}
+		case <-deadline:
+			t.Fatal("stream did not close after cancel")
+		}
+	}
+}
+
+func TestScenarioConfigsGenerate(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"soccer":     SoccerMatch(1),
+		"earthquake": EarthquakeTimeline(1),
+		"obama":      ObamaMonth(1),
+		"rivalry":    BaseballRivalry(1),
+	} {
+		cfg.Duration = 2 * time.Minute // keep the test fast
+		if lts := New(cfg).Generate(); len(lts) == 0 {
+			t.Errorf("%s: empty stream", name)
+		}
+	}
+}
+
+func TestTweetsHelper(t *testing.T) {
+	lts := New(Config{Seed: 1, Duration: time.Minute, BaseRate: 5}).Generate()
+	ts := Tweets(lts)
+	if len(ts) != len(lts) {
+		t.Fatalf("Tweets len %d != %d", len(ts), len(lts))
+	}
+	for i := range ts {
+		if ts[i] != lts[i].Tweet {
+			t.Fatal("Tweets reordered the stream")
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package firehose
+
+import "time"
+
+// The canned demo scenarios of §4: "a soccer match, a timeline of
+// earthquakes, and a summary of a month in Barack Obama's life", plus
+// the Red Sox–Yankees regional-sentiment scenario of §3.3. Each returns
+// a Config ready for New; callers may override rates for benchmarking.
+
+// SoccerKeywords are the §3.1 example keywords for the soccer event.
+var SoccerKeywords = []string{"soccer", "football", "premierleague", "manchester", "liverpool"}
+
+// SoccerMatch scripts Figure 1's event: "Soccer: Manchester City vs
+// Liverpool", a two-hour match with kickoff, three goals, and halftime.
+// Goal 3 carries the paper's peak-F markers: the score ("3-0") and the
+// scorer ("tevez").
+func SoccerMatch(seed int64) Config {
+	return Config{
+		Seed:     seed,
+		Duration: 2 * time.Hour,
+		BaseRate: 15,
+		Events: []EventScript{{
+			Name:     "Soccer: Manchester City vs Liverpool",
+			Keywords: SoccerKeywords,
+			BaseRate: 3,
+			URLProb:  0.15,
+			URLs: []string{
+				"http://espn.example/mcfc-lfc-live",
+				"http://bbc.example/football/live",
+				"http://goals.example/replay1",
+				"http://blog.example/matchday",
+				"http://news.example/lineups",
+			},
+			Bursts: []Burst{
+				{Label: "kickoff", Offset: 10 * time.Minute, Duration: 4 * time.Minute, Rate: 12,
+					MarkerTerms: []string{"kickoff", "lineup"}, PosBias: 0.6, SentimentProb: 0.4},
+				{Label: "goal-1", Offset: 33 * time.Minute, Duration: 5 * time.Minute, Rate: 30,
+					MarkerTerms: []string{"goal", "1-0", "aguero"}, PosBias: 0.7, SentimentProb: 0.6},
+				{Label: "halftime", Offset: 55 * time.Minute, Duration: 5 * time.Minute, Rate: 8,
+					MarkerTerms: []string{"halftime"}, PosBias: 0.5, SentimentProb: 0.3},
+				{Label: "goal-2", Offset: 72 * time.Minute, Duration: 5 * time.Minute, Rate: 35,
+					MarkerTerms: []string{"goal", "2-0", "aguero"}, PosBias: 0.7, SentimentProb: 0.6},
+				{Label: "goal-3", Offset: 95 * time.Minute, Duration: 6 * time.Minute, Rate: 45,
+					MarkerTerms: []string{"goal", "3-0", "tevez"}, PosBias: 0.75, SentimentProb: 0.6},
+			},
+		}},
+	}
+}
+
+// EarthquakeKeywords track the earthquake scenario.
+var EarthquakeKeywords = []string{"earthquake", "quake", "tremor"}
+
+// EarthquakeTimeline scripts a day with three quakes of distinct
+// magnitude near different gazetteer cities; negative sentiment dominates
+// and tweet volume scales with magnitude.
+func EarthquakeTimeline(seed int64) Config {
+	return Config{
+		Seed:     seed,
+		Duration: 24 * time.Hour,
+		BaseRate: 12,
+		Events: []EventScript{{
+			Name:     "Earthquakes",
+			Keywords: EarthquakeKeywords,
+			BaseRate: 0.4,
+			URLProb:  0.25,
+			URLs: []string{
+				"http://usgs.example/event/1",
+				"http://news.example/quake-coverage",
+				"http://redcross.example/donate",
+				"http://maps.example/shake",
+			},
+			Bursts: []Burst{
+				{Label: "quake-tokyo", Offset: 3 * time.Hour, Duration: 30 * time.Minute, Rate: 25,
+					MarkerTerms: []string{"tokyo", "magnitude", "6.1"}, PosBias: 0.1, SentimentProb: 0.5,
+					Cities: []string{"Tokyo", "Osaka"}},
+				{Label: "quake-santiago", Offset: 11 * time.Hour, Duration: 20 * time.Minute, Rate: 12,
+					MarkerTerms: []string{"santiago", "magnitude", "5.4"}, PosBias: 0.1, SentimentProb: 0.5,
+					Cities: []string{"Santiago", "Buenos Aires"}},
+				{Label: "quake-sf", Offset: 19 * time.Hour, Duration: 25 * time.Minute, Rate: 18,
+					MarkerTerms: []string{"sanfrancisco", "magnitude", "5.8"}, PosBias: 0.1, SentimentProb: 0.5,
+					Cities: []string{"San Francisco", "Los Angeles"}},
+			},
+		}},
+	}
+}
+
+// ObamaKeywords track the Obama-month scenario.
+var ObamaKeywords = []string{"obama"}
+
+// ObamaMonth scripts "a summary of a month in Barack Obama's life":
+// thirty days compressed with speeches, a debate, and a bill signing.
+// Sentiment splits by happening, so the sentiment timeline moves.
+func ObamaMonth(seed int64) Config {
+	day := 24 * time.Hour
+	return Config{
+		Seed:     seed,
+		Duration: 30 * day,
+		BaseRate: 8,
+		Events: []EventScript{{
+			Name:     "A month of Obama",
+			Keywords: ObamaKeywords,
+			BaseRate: 0.5,
+			URLProb:  0.2,
+			URLs: []string{
+				"http://whitehouse.example/briefing",
+				"http://news.example/politics",
+				"http://cspan.example/live",
+				"http://blog.example/analysis",
+			},
+			Bursts: []Burst{
+				{Label: "townhall", Offset: 2 * day, Duration: 2 * time.Hour, Rate: 6,
+					MarkerTerms: []string{"townhall", "jobs"}, PosBias: 0.6, SentimentProb: 0.45},
+				{Label: "debate", Offset: 9 * day, Duration: 3 * time.Hour, Rate: 10,
+					MarkerTerms: []string{"debate", "economy"}, PosBias: 0.35, SentimentProb: 0.55},
+				{Label: "bill-signing", Offset: 16 * day, Duration: 2 * time.Hour, Rate: 8,
+					MarkerTerms: []string{"bill", "healthcare", "signed"}, PosBias: 0.7, SentimentProb: 0.5},
+				{Label: "presser", Offset: 24 * day, Duration: 90 * time.Minute, Rate: 7,
+					MarkerTerms: []string{"press", "conference", "questions"}, PosBias: 0.45, SentimentProb: 0.4},
+			},
+		}},
+	}
+}
+
+// RivalryKeywords track the §3.3 baseball example.
+var RivalryKeywords = []string{"redsox", "yankees", "baseball"}
+
+// BaseballRivalry scripts the paper's Red Sox–Yankees example: a home
+// run produces jubilation in Boston and gloom in New York, so sentiment
+// toward the same peak differs by region — exactly what the Tweet Map
+// panel is meant to show.
+func BaseballRivalry(seed int64) Config {
+	return Config{
+		Seed:     seed,
+		Duration: 3 * time.Hour,
+		BaseRate: 10,
+		// GPS density raised so the map panel has plenty of pins.
+		GeoTagProb: 0.5,
+		Events: []EventScript{{
+			Name:     "Red Sox vs Yankees",
+			Keywords: RivalryKeywords,
+			BaseRate: 2,
+			URLProb:  0.1,
+			URLs:     []string{"http://mlb.example/gameday", "http://espn.example/box"},
+			Bursts: []Burst{
+				// The same home run, seen from both fan bases.
+				{Label: "homerun-boston", Offset: 80 * time.Minute, Duration: 8 * time.Minute, Rate: 20,
+					MarkerTerms: []string{"homerun", "ortiz"}, PosBias: 0.9, SentimentProb: 0.7,
+					Cities: []string{"Boston"}},
+				{Label: "homerun-nyc", Offset: 80 * time.Minute, Duration: 8 * time.Minute, Rate: 20,
+					MarkerTerms: []string{"homerun", "ortiz"}, PosBias: 0.1, SentimentProb: 0.7,
+					Cities: []string{"New York"}},
+			},
+		}},
+	}
+}

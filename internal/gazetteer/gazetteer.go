@@ -1,0 +1,215 @@
+// Package gazetteer provides the world-city database used by the
+// simulated geocoding service and the synthetic firehose. Each city has
+// a canonical name, free-text aliases a user might put in their profile
+// location, coordinates, and a tweet-volume weight that reproduces the
+// paper's observation that Twitter geography is highly uneven (Tokyo has
+// many users, Cape Town far fewer).
+package gazetteer
+
+import (
+	"math"
+	"sort"
+	"strings"
+)
+
+// City is one gazetteer entry.
+type City struct {
+	Name    string
+	Country string
+	Region  string // coarse region for map-panel grouping
+	Lat     float64
+	Lon     float64
+	// Weight is the relative tweet volume of the city; it drives both the
+	// firehose's location sampling and the oversampled/undersampled bucket
+	// behaviour of experiment E3.
+	Weight float64
+	// Aliases are free-text spellings seen in profile locations.
+	Aliases []string
+}
+
+// cities is ordered by descending weight so sampling can early-exit.
+var cities = []City{
+	{"Tokyo", "Japan", "Asia", 35.6762, 139.6503, 100, []string{"tokyo", "tokyo, japan", "東京", "tky"}},
+	{"New York", "USA", "North America", 40.7128, -74.0060, 90, []string{"nyc", "new york", "new york city", "new york, ny", "manhattan", "brooklyn"}},
+	{"London", "UK", "Europe", 51.5074, -0.1278, 85, []string{"london", "london, uk", "londontown"}},
+	{"Sao Paulo", "Brazil", "South America", -23.5505, -46.6333, 80, []string{"sao paulo", "são paulo", "sp brasil", "sampa"}},
+	{"Jakarta", "Indonesia", "Asia", -6.2088, 106.8456, 75, []string{"jakarta", "jkt"}},
+	{"Los Angeles", "USA", "North America", 34.0522, -118.2437, 70, []string{"la", "los angeles", "los angeles, ca", "hollywood"}},
+	{"Chicago", "USA", "North America", 41.8781, -87.6298, 55, []string{"chicago", "chi-town", "chicago, il"}},
+	{"Seoul", "South Korea", "Asia", 37.5665, 126.9780, 55, []string{"seoul", "seoul, korea"}},
+	{"Mexico City", "Mexico", "North America", 19.4326, -99.1332, 50, []string{"mexico city", "cdmx", "df"}},
+	{"Istanbul", "Turkey", "Europe", 41.0082, 28.9784, 48, []string{"istanbul"}},
+	{"Paris", "France", "Europe", 48.8566, 2.3522, 46, []string{"paris", "paris, france"}},
+	{"Boston", "USA", "North America", 42.3601, -71.0589, 44, []string{"boston", "boston, ma", "beantown"}},
+	{"Washington", "USA", "North America", 38.9072, -77.0369, 42, []string{"washington", "washington dc", "dc", "the district"}},
+	{"Toronto", "Canada", "North America", 43.6532, -79.3832, 40, []string{"toronto", "the 6ix", "toronto, on"}},
+	{"Moscow", "Russia", "Europe", 55.7558, 37.6173, 38, []string{"moscow", "москва"}},
+	{"Madrid", "Spain", "Europe", 40.4168, -3.7038, 36, []string{"madrid", "madrid, españa"}},
+	{"Mumbai", "India", "Asia", 19.0760, 72.8777, 35, []string{"mumbai", "bombay"}},
+	{"San Francisco", "USA", "North America", 37.7749, -122.4194, 34, []string{"sf", "san francisco", "bay area", "san francisco, ca"}},
+	{"Buenos Aires", "Argentina", "South America", -34.6037, -58.3816, 33, []string{"buenos aires", "baires", "caba"}},
+	{"Manchester", "UK", "Europe", 53.4808, -2.2426, 32, []string{"manchester", "manchester, uk", "manc"}},
+	{"Rio de Janeiro", "Brazil", "South America", -22.9068, -43.1729, 31, []string{"rio", "rio de janeiro"}},
+	{"Bangkok", "Thailand", "Asia", 13.7563, 100.5018, 30, []string{"bangkok", "bkk"}},
+	{"Singapore", "Singapore", "Asia", 1.3521, 103.8198, 29, []string{"singapore", "sg"}},
+	{"Atlanta", "USA", "North America", 33.7490, -84.3880, 28, []string{"atlanta", "atl", "atlanta, ga"}},
+	{"Houston", "USA", "North America", 29.7604, -95.3698, 27, []string{"houston", "htown", "houston, tx"}},
+	{"Philadelphia", "USA", "North America", 39.9526, -75.1652, 26, []string{"philadelphia", "philly"}},
+	{"Miami", "USA", "North America", 25.7617, -80.1918, 26, []string{"miami", "miami, fl", "the 305"}},
+	{"Berlin", "Germany", "Europe", 52.5200, 13.4050, 25, []string{"berlin", "berlin, germany"}},
+	{"Sydney", "Australia", "Oceania", -33.8688, 151.2093, 25, []string{"sydney", "sydney, australia"}},
+	{"Amsterdam", "Netherlands", "Europe", 52.3676, 4.9041, 24, []string{"amsterdam", "adam"}},
+	{"Liverpool", "UK", "Europe", 53.4084, -2.9916, 23, []string{"liverpool", "liverpool, uk", "the pool"}},
+	{"Detroit", "USA", "North America", 42.3314, -83.0458, 22, []string{"detroit", "the d", "detroit, mi"}},
+	{"Seattle", "USA", "North America", 47.6062, -122.3321, 22, []string{"seattle", "seattle, wa"}},
+	{"Dallas", "USA", "North America", 32.7767, -96.7970, 21, []string{"dallas", "dallas, tx"}},
+	{"Melbourne", "Australia", "Oceania", -37.8136, 144.9631, 20, []string{"melbourne", "melb"}},
+	{"Kuala Lumpur", "Malaysia", "Asia", 3.1390, 101.6869, 20, []string{"kuala lumpur", "kl"}},
+	{"Manila", "Philippines", "Asia", 14.5995, 120.9842, 20, []string{"manila", "mnl"}},
+	{"Osaka", "Japan", "Asia", 34.6937, 135.5023, 19, []string{"osaka", "大阪"}},
+	{"Barcelona", "Spain", "Europe", 41.3851, 2.1734, 19, []string{"barcelona", "bcn"}},
+	{"Rome", "Italy", "Europe", 41.9028, 12.4964, 18, []string{"rome", "roma"}},
+	{"Dublin", "Ireland", "Europe", 53.3498, -6.2603, 17, []string{"dublin", "dublin, ireland"}},
+	{"Stockholm", "Sweden", "Europe", 59.3293, 18.0686, 16, []string{"stockholm", "sthlm"}},
+	{"Denver", "USA", "North America", 39.7392, -104.9903, 16, []string{"denver", "denver, co", "mile high"}},
+	{"Phoenix", "USA", "North America", 33.4484, -112.0740, 15, []string{"phoenix", "phx"}},
+	{"Montreal", "Canada", "North America", 45.5017, -73.5673, 15, []string{"montreal", "mtl"}},
+	{"Vancouver", "Canada", "North America", 49.2827, -123.1207, 14, []string{"vancouver", "van city"}},
+	{"Santiago", "Chile", "South America", -33.4489, -70.6693, 14, []string{"santiago", "santiago de chile", "scl"}},
+	{"Bogota", "Colombia", "South America", 4.7110, -74.0721, 14, []string{"bogota", "bogotá"}},
+	{"Lima", "Peru", "South America", -12.0464, -77.0428, 13, []string{"lima", "lima, peru"}},
+	{"Caracas", "Venezuela", "South America", 10.4806, -66.9036, 13, []string{"caracas", "ccs"}},
+	{"Lagos", "Nigeria", "Africa", 6.5244, 3.3792, 12, []string{"lagos", "gidi", "lasgidi"}},
+	{"Cairo", "Egypt", "Africa", 30.0444, 31.2357, 11, []string{"cairo", "القاهرة"}},
+	{"Johannesburg", "South Africa", "Africa", -26.2041, 28.0473, 10, []string{"johannesburg", "joburg", "jozi"}},
+	{"Delhi", "India", "Asia", 28.7041, 77.1025, 10, []string{"delhi", "new delhi"}},
+	{"Bangalore", "India", "Asia", 12.9716, 77.5946, 9, []string{"bangalore", "bengaluru", "blr"}},
+	{"Hong Kong", "China", "Asia", 22.3193, 114.1694, 9, []string{"hong kong", "hk", "hkg"}},
+	{"Taipei", "Taiwan", "Asia", 25.0330, 121.5654, 9, []string{"taipei", "tpe"}},
+	{"Athens", "Greece", "Europe", 37.9838, 23.7275, 8, []string{"athens", "athens, greece", "αθήνα"}},
+	{"Lisbon", "Portugal", "Europe", 38.7223, -9.1393, 8, []string{"lisbon", "lisboa"}},
+	{"Brussels", "Belgium", "Europe", 50.8503, 4.3517, 7, []string{"brussels", "bruxelles"}},
+	{"Vienna", "Austria", "Europe", 48.2082, 16.3738, 7, []string{"vienna", "wien"}},
+	{"Warsaw", "Poland", "Europe", 52.2297, 21.0122, 7, []string{"warsaw", "warszawa"}},
+	{"Copenhagen", "Denmark", "Europe", 55.6761, 12.5683, 6, []string{"copenhagen", "cph", "københavn"}},
+	{"Helsinki", "Finland", "Europe", 60.1699, 24.9384, 6, []string{"helsinki", "hki"}},
+	{"Oslo", "Norway", "Europe", 59.9139, 10.7522, 6, []string{"oslo"}},
+	{"Auckland", "New Zealand", "Oceania", -36.8509, 174.7645, 5, []string{"auckland", "akl"}},
+	{"Wellington", "New Zealand", "Oceania", -41.2866, 174.7756, 4, []string{"wellington", "welly"}},
+	{"Nairobi", "Kenya", "Africa", -1.2921, 36.8219, 4, []string{"nairobi", "nrb"}},
+	{"Accra", "Ghana", "Africa", 5.6037, -0.1870, 4, []string{"accra"}},
+	{"Cape Town", "South Africa", "Africa", -33.9249, 18.4241, 3, []string{"cape town", "capetown", "mother city"}},
+	{"Reykjavik", "Iceland", "Europe", 64.1466, -21.9426, 2, []string{"reykjavik", "rvk"}},
+	{"Anchorage", "USA", "North America", 61.2181, -149.9003, 1, []string{"anchorage", "anchorage, ak"}},
+	{"Ushuaia", "Argentina", "South America", -54.8019, -68.3030, 1, []string{"ushuaia"}},
+}
+
+// index maps lower-cased canonical names and aliases to city positions.
+var index = func() map[string]int {
+	m := make(map[string]int, len(cities)*3)
+	for i, c := range cities {
+		m[strings.ToLower(c.Name)] = i
+		for _, a := range c.Aliases {
+			m[strings.ToLower(a)] = i
+		}
+	}
+	return m
+}()
+
+// totalWeight is the sum of city weights, for sampling.
+var totalWeight = func() float64 {
+	var s float64
+	for _, c := range cities {
+		s += c.Weight
+	}
+	return s
+}()
+
+// Cities returns the full city list, ordered by descending weight. The
+// returned slice is shared; callers must not mutate it.
+func Cities() []City { return cities }
+
+// TotalWeight returns the sum of all city weights.
+func TotalWeight() float64 { return totalWeight }
+
+// Lookup resolves a free-text location to a city by exact alias match
+// after lower-casing and trimming decorations. It reports ok=false for
+// unknown locations — which the geocoding service surfaces as a geocode
+// failure, exactly like real profile strings ("the moon", "everywhere").
+func Lookup(freeText string) (City, bool) {
+	key := Normalize(freeText)
+	if i, ok := index[key]; ok {
+		return cities[i], true
+	}
+	return City{}, false
+}
+
+// Normalize lower-cases and strips the decorations users add to profile
+// locations ("NYC!!", "  Tokyo  ") so alias matching is stable.
+func Normalize(s string) string {
+	s = strings.ToLower(strings.TrimSpace(s))
+	s = strings.Trim(s, "!?.~*<>()[]{}\"'")
+	return strings.Join(strings.Fields(s), " ")
+}
+
+// SampleWeighted picks a city using u ∈ [0,1) against the weight
+// distribution, so dense cities (Tokyo) are proportionally oversampled.
+func SampleWeighted(u float64) City {
+	target := u * totalWeight
+	var acc float64
+	for _, c := range cities {
+		acc += c.Weight
+		if target < acc {
+			return c
+		}
+	}
+	return cities[len(cities)-1]
+}
+
+// ByRegion groups cities by their coarse region label.
+func ByRegion() map[string][]City {
+	m := make(map[string][]City)
+	for _, c := range cities {
+		m[c.Region] = append(m[c.Region], c)
+	}
+	return m
+}
+
+// Nearest returns the gazetteer city closest to (lat, lon) by great-circle
+// distance, used to label GPS-tagged tweets with a region.
+func Nearest(lat, lon float64) City {
+	best := 0
+	bestD := math.Inf(1)
+	for i, c := range cities {
+		d := Distance(lat, lon, c.Lat, c.Lon)
+		if d < bestD {
+			bestD = d
+			best = i
+		}
+	}
+	return cities[best]
+}
+
+// Distance returns the great-circle distance in kilometers between two
+// coordinates (haversine).
+func Distance(lat1, lon1, lat2, lon2 float64) float64 {
+	const earthRadiusKm = 6371.0
+	rad := math.Pi / 180
+	dLat := (lat2 - lat1) * rad
+	dLon := (lon2 - lon1) * rad
+	a := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(lat1*rad)*math.Cos(lat2*rad)*math.Sin(dLon/2)*math.Sin(dLon/2)
+	return 2 * earthRadiusKm * math.Asin(math.Sqrt(a))
+}
+
+// TopByWeight returns the n heaviest cities (the whole list if n exceeds
+// its length), useful for test fixtures and workload scripts.
+func TopByWeight(n int) []City {
+	sorted := make([]City, len(cities))
+	copy(sorted, cities)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Weight > sorted[j].Weight })
+	if n > len(sorted) {
+		n = len(sorted)
+	}
+	return sorted[:n]
+}

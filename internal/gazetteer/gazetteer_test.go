@@ -1,0 +1,145 @@
+package gazetteer
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLookup(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+		ok   bool
+	}{
+		{"Tokyo", "Tokyo", true},
+		{"  NYC!! ", "New York", true},
+		{"cape town", "Cape Town", true},
+		{"CapeTown", "Cape Town", true},
+		{"the moon", "", false},
+		{"", "", false},
+		{"bOsToN, mA", "Boston", true},
+	}
+	for _, c := range cases {
+		city, ok := Lookup(c.in)
+		if ok != c.ok || (ok && city.Name != c.want) {
+			t.Errorf("Lookup(%q) = %q,%v want %q,%v", c.in, city.Name, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	if got := Normalize("  NYC!!  "); got != "nyc" {
+		t.Errorf("Normalize = %q", got)
+	}
+	if got := Normalize("Tokyo,   Japan"); got != "tokyo, japan" {
+		t.Errorf("Normalize = %q", got)
+	}
+}
+
+func TestWeightsSkewed(t *testing.T) {
+	tokyo, ok := Lookup("tokyo")
+	if !ok {
+		t.Fatal("tokyo missing")
+	}
+	cpt, ok := Lookup("cape town")
+	if !ok {
+		t.Fatal("cape town missing")
+	}
+	// The paper's motivating skew: Tokyo must dominate Cape Town by a wide
+	// margin so that fixed windows over/under-sample.
+	if tokyo.Weight < 20*cpt.Weight {
+		t.Errorf("Tokyo weight %v not ≫ Cape Town %v", tokyo.Weight, cpt.Weight)
+	}
+}
+
+func TestSampleWeighted(t *testing.T) {
+	if got := SampleWeighted(0); got.Name != "Tokyo" {
+		t.Errorf("SampleWeighted(0) = %s, want Tokyo (heaviest first)", got.Name)
+	}
+	if got := SampleWeighted(0.999999); got.Name == "" {
+		t.Error("SampleWeighted near 1 returned empty city")
+	}
+	// Frequency check: sampling on a uniform grid should land Tokyo about
+	// Weight/Total of the time.
+	n := 10000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if SampleWeighted(float64(i)/float64(n)).Name == "Tokyo" {
+			hits++
+		}
+	}
+	want := cities[0].Weight / TotalWeight()
+	got := float64(hits) / float64(n)
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("Tokyo sample frequency %v, want ≈%v", got, want)
+	}
+}
+
+func TestSampleWeightedTotal(t *testing.T) {
+	// Property: every u in [0,1) yields some city.
+	f := func(u float64) bool {
+		u = math.Abs(math.Mod(u, 1))
+		return SampleWeighted(u).Name != ""
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistance(t *testing.T) {
+	ny, _ := Lookup("nyc")
+	bos, _ := Lookup("boston")
+	d := Distance(ny.Lat, ny.Lon, bos.Lat, bos.Lon)
+	// NYC–Boston is ~306 km.
+	if d < 280 || d > 330 {
+		t.Errorf("NYC-Boston distance = %v km", d)
+	}
+	if Distance(ny.Lat, ny.Lon, ny.Lat, ny.Lon) != 0 {
+		t.Error("distance to self should be 0")
+	}
+}
+
+func TestNearest(t *testing.T) {
+	bos, _ := Lookup("boston")
+	got := Nearest(bos.Lat+0.1, bos.Lon-0.1)
+	if got.Name != "Boston" {
+		t.Errorf("Nearest(≈Boston) = %s", got.Name)
+	}
+}
+
+func TestByRegion(t *testing.T) {
+	m := ByRegion()
+	for _, region := range []string{"Asia", "Europe", "North America", "South America", "Africa", "Oceania"} {
+		if len(m[region]) == 0 {
+			t.Errorf("region %s empty", region)
+		}
+	}
+}
+
+func TestTopByWeight(t *testing.T) {
+	top := TopByWeight(3)
+	if len(top) != 3 || top[0].Name != "Tokyo" {
+		t.Errorf("TopByWeight(3) = %v", top)
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Weight > top[i-1].Weight {
+			t.Error("TopByWeight not sorted")
+		}
+	}
+	if got := TopByWeight(10_000); len(got) != len(Cities()) {
+		t.Errorf("TopByWeight(huge) = %d cities", len(got))
+	}
+}
+
+func TestAliasesResolve(t *testing.T) {
+	// Every alias in the gazetteer must resolve back to its own city.
+	for _, c := range Cities() {
+		for _, a := range c.Aliases {
+			got, ok := Lookup(a)
+			if !ok || got.Name != c.Name {
+				t.Errorf("alias %q of %s resolves to %q,%v", a, c.Name, got.Name, ok)
+			}
+		}
+	}
+}

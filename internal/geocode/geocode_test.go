@@ -1,0 +1,216 @@
+package geocode
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// instant returns a service with no latency and no errors.
+func instant() *Service {
+	return NewService(ServiceConfig{Sleep: func(time.Duration) {}})
+}
+
+func TestGeocodeResolves(t *testing.T) {
+	s := instant()
+	r, err := s.Geocode(context.Background(), "NYC!!")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Found || r.City != "New York" {
+		t.Errorf("NYC resolved to %+v", r)
+	}
+	r, err = s.Geocode(context.Background(), "the moon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Found {
+		t.Errorf("junk location resolved: %+v", r)
+	}
+}
+
+func TestGeocodeBatch(t *testing.T) {
+	s := instant()
+	locs := []string{"tokyo", "cape town", "nowhere"}
+	res, err := s.GeocodeBatch(context.Background(), locs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 || !res[0].Found || !res[1].Found || res[2].Found {
+		t.Errorf("batch results: %+v", res)
+	}
+	big := make([]string, MaxBatch+1)
+	if _, err := s.GeocodeBatch(context.Background(), big); !errors.Is(err, ErrBatchTooLarge) {
+		t.Errorf("oversized batch err = %v", err)
+	}
+}
+
+func TestServiceLatencyAccounting(t *testing.T) {
+	var slept time.Duration
+	s := NewService(ServiceConfig{
+		BaseLatency: 100 * time.Millisecond,
+		PerItem:     time.Millisecond,
+		Sleep:       func(d time.Duration) { slept += d },
+	})
+	_, _ = s.Geocode(context.Background(), "tokyo")
+	if slept != 100*time.Millisecond {
+		t.Errorf("single-call latency = %v", slept)
+	}
+	slept = 0
+	_, _ = s.GeocodeBatch(context.Background(), []string{"a", "b", "c"})
+	if slept != 102*time.Millisecond {
+		t.Errorf("batch latency = %v, want base+2*item", slept)
+	}
+	st := s.Stats()
+	if st.Calls != 1 || st.BatchCalls != 1 || st.ItemsServed != 4 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.SimulatedLatency != 202*time.Millisecond {
+		t.Errorf("SimulatedLatency = %v", st.SimulatedLatency)
+	}
+}
+
+func TestServiceErrors(t *testing.T) {
+	s := NewService(ServiceConfig{ErrorRate: 1, Sleep: func(time.Duration) {}})
+	if _, err := s.Geocode(context.Background(), "tokyo"); !errors.Is(err, ErrUnavailable) {
+		t.Errorf("err = %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := instant().Geocode(ctx, "tokyo"); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled ctx err = %v", err)
+	}
+}
+
+func TestCachedClient(t *testing.T) {
+	s := instant()
+	c := NewCachedClient(s, 100, 0)
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		r, err := c.Geocode(ctx, "tokyo")
+		if err != nil || !r.Found {
+			t.Fatalf("lookup %d: %+v %v", i, r, err)
+		}
+	}
+	if got := s.Stats().Calls; got != 1 {
+		t.Errorf("service calls = %d, want 1 (cache absorbs repeats)", got)
+	}
+	if hr := c.CacheStats().HitRate(); hr != 0.8 {
+		t.Errorf("hit rate = %v, want 0.8", hr)
+	}
+	// Not-found results are cached too.
+	_, _ = c.Geocode(ctx, "junk")
+	_, _ = c.Geocode(ctx, "junk")
+	if got := s.Stats().Calls; got != 2 {
+		t.Errorf("junk lookups hit service %d times", got-1)
+	}
+}
+
+func TestCachedClientBatch(t *testing.T) {
+	s := instant()
+	c := NewCachedClient(s, 100, 0)
+	ctx := context.Background()
+	_, _ = c.Geocode(ctx, "tokyo") // warm one entry
+	res, err := c.GeocodeBatch(ctx, []string{"tokyo", "nyc", "paris"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res[0].Found || !res[1].Found || !res[2].Found {
+		t.Errorf("batch results: %+v", res)
+	}
+	st := s.Stats()
+	if st.ItemsServed != 3 { // 1 single + 2 in the batch; tokyo was cached
+		t.Errorf("ItemsServed = %d, want 3", st.ItemsServed)
+	}
+	// A batch larger than MaxBatch splits transparently.
+	many := make([]string, MaxBatch+5)
+	for i := range many {
+		many[i] = "loc" + strings.Repeat("x", i%7)
+	}
+	if _, err := c.GeocodeBatch(ctx, many); err != nil {
+		t.Errorf("oversized client batch: %v", err)
+	}
+}
+
+func TestBatcherCoalesces(t *testing.T) {
+	s := instant()
+	b := NewBatcher(s, 4, time.Hour) // linger long: only size triggers
+	var wg sync.WaitGroup
+	results := make([]Result, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := b.Geocode(context.Background(), "tokyo")
+			if err != nil {
+				t.Errorf("geocode: %v", err)
+				return
+			}
+			results[i] = r
+		}(i)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.BatchCalls != 1 || st.Calls != 0 {
+		t.Errorf("stats = %+v, want exactly one batch call", st)
+	}
+	for _, r := range results {
+		if !r.Found {
+			t.Errorf("result missing: %+v", r)
+		}
+	}
+}
+
+func TestBatcherLingerFlush(t *testing.T) {
+	s := instant()
+	b := NewBatcher(s, 100, 5*time.Millisecond)
+	r, err := b.Geocode(context.Background(), "paris")
+	if err != nil || !r.Found {
+		t.Fatalf("linger flush: %+v %v", r, err)
+	}
+	if s.Stats().BatchCalls != 1 {
+		t.Errorf("BatchCalls = %d", s.Stats().BatchCalls)
+	}
+}
+
+func TestBatcherClose(t *testing.T) {
+	s := instant()
+	b := NewBatcher(s, 100, time.Hour)
+	ch := b.Submit("tokyo")
+	b.Close()
+	resp := <-ch
+	if resp.err != nil || !resp.res.Found {
+		t.Errorf("close flush: %+v", resp)
+	}
+	// Post-close submissions fail fast.
+	resp = <-b.Submit("paris")
+	if resp.err == nil {
+		t.Error("submit after close should error")
+	}
+}
+
+func TestHTTPHandler(t *testing.T) {
+	s := instant()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/geocode?q=tokyo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+	resp2, err := srv.Client().Get(srv.URL + "/geocode/batch?q=tokyo&q=paris")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != 200 {
+		t.Errorf("batch status = %d", resp2.StatusCode)
+	}
+}

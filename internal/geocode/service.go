@@ -1,0 +1,205 @@
+// Package geocode simulates the remote geocoding web service that the
+// paper's latitude()/longitude() UDFs call (§2: "These operators make
+// web service API requests to some remote geocoding service... Such
+// requests optimistically take hundreds of milliseconds apiece, but
+// incur little processing cost").
+//
+// The Service resolves free-text profile locations against the gazetteer
+// after a configurable simulated latency, and offers a batch endpoint
+// ("batching when an API allows multiple simultaneous requests"). The
+// Client layers the paper's three mitigations on top: an LRU cache,
+// request batching, and an asynchronous dispatch pool (Goldman & Widom
+// style asynchronous iteration).
+package geocode
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tweeql/internal/gazetteer"
+)
+
+// Result is a geocoding answer. Found=false means the service could not
+// resolve the location (the tweet's profile string was junk), which the
+// UDF surfaces as NULL.
+type Result struct {
+	Query string  `json:"query"`
+	Lat   float64 `json:"lat"`
+	Lon   float64 `json:"lon"`
+	City  string  `json:"city"`
+	Found bool    `json:"found"`
+}
+
+// Geocoder is the service contract shared by the raw simulated service
+// and every client wrapper, so mitigations compose.
+type Geocoder interface {
+	// Geocode resolves one free-text location.
+	Geocode(ctx context.Context, location string) (Result, error)
+	// GeocodeBatch resolves up to MaxBatch locations in one round trip.
+	GeocodeBatch(ctx context.Context, locations []string) ([]Result, error)
+}
+
+// MaxBatch is the largest batch the simulated API accepts, mirroring
+// real geocoding APIs' batch caps.
+const MaxBatch = 25
+
+// ErrBatchTooLarge is returned when a batch exceeds MaxBatch.
+var ErrBatchTooLarge = errors.New("geocode: batch exceeds API limit")
+
+// ErrUnavailable simulates a transient service failure.
+var ErrUnavailable = errors.New("geocode: service unavailable")
+
+// ServiceConfig tunes the simulated service.
+type ServiceConfig struct {
+	// BaseLatency is the round-trip cost of any request; Jitter adds a
+	// uniform random extra in [0, Jitter).
+	BaseLatency time.Duration
+	Jitter      time.Duration
+	// PerItem is the additional marginal cost of each item in a batch
+	// beyond the first; real batch endpoints are far cheaper per item
+	// than independent calls but not free.
+	PerItem time.Duration
+	// ErrorRate in [0,1] makes that fraction of calls fail transiently.
+	ErrorRate float64
+	// Seed makes the jitter and error pattern deterministic.
+	Seed int64
+	// Sleep replaces time.Sleep, letting tests run with zero wall cost
+	// while still accounting simulated latency. Nil means time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// Service is the simulated geocoding web service.
+type Service struct {
+	cfg ServiceConfig
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	calls        atomic.Int64
+	batchCalls   atomic.Int64
+	itemsServed  atomic.Int64
+	simulatedLat atomic.Int64 // nanoseconds of simulated latency charged
+}
+
+// NewService builds a service; a nil-ish zero config means instant,
+// error-free responses (useful in tests).
+func NewService(cfg ServiceConfig) *Service {
+	if cfg.Sleep == nil {
+		cfg.Sleep = time.Sleep
+	}
+	return &Service{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Stats reports the service-side call accounting used by experiment E4.
+type Stats struct {
+	Calls            int64         // single-item calls
+	BatchCalls       int64         // batch calls
+	ItemsServed      int64         // total locations resolved
+	SimulatedLatency time.Duration // sum of per-call latencies charged
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Service) Stats() Stats {
+	return Stats{
+		Calls:            s.calls.Load(),
+		BatchCalls:       s.batchCalls.Load(),
+		ItemsServed:      s.itemsServed.Load(),
+		SimulatedLatency: time.Duration(s.simulatedLat.Load()),
+	}
+}
+
+func (s *Service) charge(items int) error {
+	s.mu.Lock()
+	lat := s.cfg.BaseLatency
+	if s.cfg.Jitter > 0 {
+		lat += time.Duration(s.rng.Int63n(int64(s.cfg.Jitter)))
+	}
+	if items > 1 {
+		lat += time.Duration(items-1) * s.cfg.PerItem
+	}
+	fail := s.cfg.ErrorRate > 0 && s.rng.Float64() < s.cfg.ErrorRate
+	s.mu.Unlock()
+
+	s.simulatedLat.Add(int64(lat))
+	s.cfg.Sleep(lat)
+	if fail {
+		return ErrUnavailable
+	}
+	return nil
+}
+
+// Geocode implements Geocoder.
+func (s *Service) Geocode(ctx context.Context, location string) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	s.calls.Add(1)
+	s.itemsServed.Add(1)
+	if err := s.charge(1); err != nil {
+		return Result{}, err
+	}
+	return resolve(location), nil
+}
+
+// GeocodeBatch implements Geocoder.
+func (s *Service) GeocodeBatch(ctx context.Context, locations []string) ([]Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if len(locations) > MaxBatch {
+		return nil, ErrBatchTooLarge
+	}
+	s.batchCalls.Add(1)
+	s.itemsServed.Add(int64(len(locations)))
+	if err := s.charge(len(locations)); err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(locations))
+	for i, loc := range locations {
+		out[i] = resolve(loc)
+	}
+	return out, nil
+}
+
+// resolve is the instant, deterministic lookup behind the latency veil.
+func resolve(location string) Result {
+	city, ok := gazetteer.Lookup(location)
+	if !ok {
+		return Result{Query: location}
+	}
+	return Result{Query: location, Lat: city.Lat, Lon: city.Lon, City: city.Name, Found: true}
+}
+
+// Handler exposes the service over HTTP (GET /geocode?q=...), so the
+// repository also demonstrates the substitution as an actual web service.
+// The simulated latency applies per request exactly as in-process.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /geocode", func(w http.ResponseWriter, r *http.Request) {
+		res, err := s.Geocode(r.Context(), r.URL.Query().Get("q"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		writeJSON(w, res)
+	})
+	mux.HandleFunc("GET /geocode/batch", func(w http.ResponseWriter, r *http.Request) {
+		locs := r.URL.Query()["q"]
+		res, err := s.GeocodeBatch(r.Context(), locs)
+		if err != nil {
+			code := http.StatusServiceUnavailable
+			if errors.Is(err, ErrBatchTooLarge) {
+				code = http.StatusBadRequest
+			}
+			http.Error(w, err.Error(), code)
+			return
+		}
+		writeJSON(w, res)
+	})
+	return mux
+}

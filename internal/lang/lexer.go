@@ -1,0 +1,194 @@
+// Package lang implements the TweeQL query language front-end: lexer,
+// abstract syntax tree, and recursive-descent parser for the SQL-like
+// dialect the paper demonstrates, e.g.
+//
+//	SELECT AVG(sentiment(text)), floor(latitude(loc)) AS lat,
+//	       floor(longitude(loc)) AS long
+//	FROM twitter
+//	WHERE text CONTAINS 'obama'
+//	  AND location IN [BOUNDING BOX FOR nyc]
+//	GROUP BY lat, long
+//	WINDOW 3 HOURS EVERY 1 HOUR
+//	WITH CONFIDENCE 0.95 WITHIN 0.1;
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind enumerates lexical classes.
+type TokenKind int
+
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokNumber
+	TokString
+	TokSymbol
+)
+
+func (k TokenKind) String() string {
+	switch k {
+	case TokEOF:
+		return "EOF"
+	case TokIdent:
+		return "identifier"
+	case TokKeyword:
+		return "keyword"
+	case TokNumber:
+		return "number"
+	case TokString:
+		return "string"
+	case TokSymbol:
+		return "symbol"
+	default:
+		return "token"
+	}
+}
+
+// Token is one lexical unit. Text keeps the original spelling; keywords
+// normalize to upper case in Norm.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Norm string // upper-cased Text for keywords, Text otherwise
+	Pos  int    // byte offset in the input
+}
+
+// keywords is the reserved-word list. Identifiers matching these (case-
+// insensitively) lex as TokKeyword.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"WINDOW": true, "EVERY": true, "AND": true, "OR": true, "NOT": true,
+	"CONTAINS": true, "MATCHES": true, "IN": true, "AS": true, "JOIN": true, "ON": true,
+	"LIMIT": true, "INTO": true, "WITH": true, "CONFIDENCE": true,
+	"WITHIN": true, "BOUNDING": true, "BOX": true, "FOR": true,
+	"STREAM": true, "TABLE": true, "STDOUT": true, "NULL": true,
+	"TRUE": true, "FALSE": true, "IS": true,
+	// Time units (SECONDS, HOURS, ...) are deliberately NOT reserved:
+	// they are matched contextually after WINDOW so that hour(), day()
+	// etc. remain usable as function and column names.
+}
+
+// LexError reports a lexical problem with its byte offset.
+type LexError struct {
+	Pos int
+	Msg string
+}
+
+func (e *LexError) Error() string {
+	return fmt.Sprintf("tweeql: lex error at offset %d: %s", e.Pos, e.Msg)
+}
+
+// Lex tokenizes the input. The returned slice always ends with a TokEOF
+// token.
+func Lex(input string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-': // line comment
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case c == '\'' || c == '"':
+			quote := c
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == quote {
+					if i+1 < n && input[i+1] == quote { // doubled quote escape
+						sb.WriteByte(quote)
+						i += 2
+						continue
+					}
+					closed = true
+					i++
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, &LexError{Pos: start, Msg: "unterminated string literal"}
+			}
+			toks = append(toks, Token{Kind: TokString, Text: sb.String(), Norm: sb.String(), Pos: start})
+		case c >= '0' && c <= '9' || (c == '.' && i+1 < n && input[i+1] >= '0' && input[i+1] <= '9'):
+			start := i
+			seenDot := false
+			for i < n {
+				d := input[i]
+				if d == '.' {
+					if seenDot {
+						break
+					}
+					seenDot = true
+					i++
+					continue
+				}
+				if d < '0' || d > '9' {
+					break
+				}
+				i++
+			}
+			text := input[start:i]
+			toks = append(toks, Token{Kind: TokNumber, Text: text, Norm: text, Pos: start})
+		case isIdentStart(rune(c)):
+			start := i
+			for i < n && isIdentPart(rune(input[i])) {
+				i++
+			}
+			text := input[start:i]
+			up := strings.ToUpper(text)
+			kind := TokIdent
+			norm := text
+			if keywords[up] {
+				kind = TokKeyword
+				norm = up
+			}
+			toks = append(toks, Token{Kind: kind, Text: text, Norm: norm, Pos: start})
+		default:
+			start := i
+			two := ""
+			if i+1 < n {
+				two = input[i : i+2]
+			}
+			switch two {
+			case "<=", ">=", "!=", "<>":
+				norm := two
+				if norm == "<>" {
+					norm = "!="
+				}
+				toks = append(toks, Token{Kind: TokSymbol, Text: two, Norm: norm, Pos: start})
+				i += 2
+				continue
+			}
+			switch c {
+			case '(', ')', ',', '*', '=', '<', '>', '+', '-', '/', '%', '[', ']', '.', ';':
+				toks = append(toks, Token{Kind: TokSymbol, Text: string(c), Norm: string(c), Pos: start})
+				i++
+			default:
+				return nil, &LexError{Pos: start, Msg: fmt.Sprintf("unexpected character %q", c)}
+			}
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Norm: "<eof>", Pos: n})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_' || r == '#' || r == '@'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}

@@ -1,0 +1,713 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"tweeql/internal/value"
+)
+
+// ParseError reports a syntax problem with the offending token.
+type ParseError struct {
+	Pos int
+	Msg string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("tweeql: parse error at offset %d: %s", e.Pos, e.Msg)
+}
+
+// Parse parses one TweeQL SELECT statement (optionally ';'-terminated).
+func Parse(input string) (*SelectStmt, error) {
+	toks, err := Lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(TokSymbol, ";")
+	if !p.at(TokEOF, "") {
+		return nil, p.errf("unexpected %q after end of statement", p.peek().Text)
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+// at reports whether the current token has the kind and (if non-empty)
+// normalized text.
+func (p *parser) at(kind TokenKind, norm string) bool {
+	t := p.peek()
+	return t.Kind == kind && (norm == "" || t.Norm == norm)
+}
+
+// accept consumes the token if it matches.
+func (p *parser) accept(kind TokenKind, norm string) bool {
+	if p.at(kind, norm) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+// expect consumes the token or fails.
+func (p *parser) expect(kind TokenKind, norm string) (Token, error) {
+	if p.at(kind, norm) {
+		return p.next(), nil
+	}
+	want := norm
+	if want == "" {
+		want = kind.String()
+	}
+	return Token{}, p.errf("expected %s, found %q", want, p.peek().Text)
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &ParseError{Pos: p.peek().Pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if _, err := p.expect(TokKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{Limit: -1}
+
+	// Select list.
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Items = append(stmt.Items, item)
+		if !p.accept(TokSymbol, ",") {
+			break
+		}
+	}
+
+	// FROM.
+	if _, err := p.expect(TokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	from, err := p.parseTableRef()
+	if err != nil {
+		return nil, err
+	}
+	stmt.From = from
+
+	// JOIN ... ON.
+	if p.accept(TokKeyword, "JOIN") {
+		right, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokKeyword, "ON"); err != nil {
+			return nil, err
+		}
+		on, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Join = &JoinClause{Right: right, On: on}
+	}
+
+	// WHERE.
+	if p.accept(TokKeyword, "WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = w
+	}
+
+	// GROUP BY.
+	if p.accept(TokKeyword, "GROUP") {
+		if _, err := p.expect(TokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			g, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, g)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+	}
+
+	// WINDOW <dur> [EVERY <dur>]  |  WINDOW <n> TWEETS.
+	if p.accept(TokKeyword, "WINDOW") {
+		n, err := p.parseNumber()
+		if err != nil {
+			return nil, err
+		}
+		if p.at(TokIdent, "") && isCountUnit(p.peek().Text) {
+			p.next()
+			if n <= 0 || n != float64(int64(n)) {
+				return nil, p.errf("count window size must be a positive integer")
+			}
+			if p.at(TokKeyword, "EVERY") {
+				return nil, p.errf("sliding count windows are not supported (EVERY with TWEETS)")
+			}
+			stmt.Window = &WindowSpec{Count: int64(n)}
+		} else {
+			size, err := p.parseDurationFrom(n)
+			if err != nil {
+				return nil, err
+			}
+			every := size
+			if p.accept(TokKeyword, "EVERY") {
+				every, err = p.parseDuration()
+				if err != nil {
+					return nil, err
+				}
+			}
+			if every <= 0 || size <= 0 {
+				return nil, p.errf("window durations must be positive")
+			}
+			stmt.Window = &WindowSpec{Size: size, Every: every}
+		}
+	}
+
+	// WITH CONFIDENCE <level> [WITHIN <halfwidth>].
+	if p.accept(TokKeyword, "WITH") {
+		if _, err := p.expect(TokKeyword, "CONFIDENCE"); err != nil {
+			return nil, err
+		}
+		level, err := p.parseNumber()
+		if err != nil {
+			return nil, err
+		}
+		if level <= 0 || level >= 1 {
+			return nil, p.errf("confidence level must be in (0,1), got %g", level)
+		}
+		spec := &ConfidenceSpec{Level: level}
+		if p.accept(TokKeyword, "WITHIN") {
+			hw, err := p.parseNumber()
+			if err != nil {
+				return nil, err
+			}
+			if hw <= 0 {
+				return nil, p.errf("confidence half-width must be positive")
+			}
+			spec.HalfWidth = hw
+		}
+		stmt.Confidence = spec
+	}
+
+	// LIMIT n.
+	if p.accept(TokKeyword, "LIMIT") {
+		n, err := p.parseNumber()
+		if err != nil {
+			return nil, err
+		}
+		if n < 0 || n != float64(int(n)) {
+			return nil, p.errf("LIMIT must be a non-negative integer")
+		}
+		stmt.Limit = int(n)
+	}
+
+	// INTO STDOUT | STREAM name | TABLE name.
+	if p.accept(TokKeyword, "INTO") {
+		switch {
+		case p.accept(TokKeyword, "STDOUT"):
+			stmt.Into = &IntoSpec{Kind: IntoStdout}
+		case p.accept(TokKeyword, "STREAM"):
+			name, err := p.expect(TokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			stmt.Into = &IntoSpec{Kind: IntoStream, Name: name.Text}
+		case p.accept(TokKeyword, "TABLE"):
+			name, err := p.expect(TokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			stmt.Into = &IntoSpec{Kind: IntoTable, Name: name.Text}
+		default:
+			return nil, p.errf("expected STDOUT, STREAM or TABLE after INTO")
+		}
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.accept(TokSymbol, "*") {
+		return SelectItem{Wildcard: true}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.accept(TokKeyword, "AS") {
+		alias, err := p.expect(TokIdent, "")
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = alias.Text
+	} else if p.at(TokIdent, "") {
+		// SQL-style bare alias: SELECT floor(x) lat
+		item.Alias = p.next().Text
+	}
+	return item, nil
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	name, err := p.expect(TokIdent, "")
+	if err != nil {
+		return TableRef{}, err
+	}
+	tr := TableRef{Name: name.Text}
+	if p.accept(TokKeyword, "AS") {
+		alias, err := p.expect(TokIdent, "")
+		if err != nil {
+			return TableRef{}, err
+		}
+		tr.Alias = alias.Text
+	} else if p.at(TokIdent, "") {
+		tr.Alias = p.next().Text
+	}
+	return tr, nil
+}
+
+func isCountUnit(s string) bool {
+	up := strings.ToUpper(s)
+	return up == "TWEETS" || up == "TWEET" || up == "ROWS" || up == "ROW"
+}
+
+func (p *parser) parseDuration() (time.Duration, error) {
+	n, err := p.parseNumber()
+	if err != nil {
+		return 0, err
+	}
+	return p.parseDurationFrom(n)
+}
+
+// parseDurationFrom finishes a duration whose number is already read.
+func (p *parser) parseDurationFrom(n float64) (time.Duration, error) {
+	unitTok := p.next()
+	if unitTok.Kind != TokIdent {
+		return 0, p.errf("expected time unit, found %q", unitTok.Text)
+	}
+	var unit time.Duration
+	switch strings.ToUpper(unitTok.Text) {
+	case "SECOND", "SECONDS":
+		unit = time.Second
+	case "MINUTE", "MINUTES":
+		unit = time.Minute
+	case "HOUR", "HOURS":
+		unit = time.Hour
+	case "DAY", "DAYS":
+		unit = 24 * time.Hour
+	default:
+		return 0, p.errf("expected time unit, found %q", unitTok.Text)
+	}
+	return time.Duration(n * float64(unit)), nil
+}
+
+func (p *parser) parseNumber() (float64, error) {
+	neg := p.accept(TokSymbol, "-")
+	tok, err := p.expect(TokNumber, "")
+	if err != nil {
+		return 0, err
+	}
+	f, err := strconv.ParseFloat(tok.Text, 64)
+	if err != nil {
+		return 0, &ParseError{Pos: tok.Pos, Msg: "bad number " + tok.Text}
+	}
+	if neg {
+		f = -f
+	}
+	return f, nil
+}
+
+// Expression grammar, lowest precedence first:
+//
+//	expr    := or
+//	or      := and (OR and)*
+//	and     := not (AND not)*
+//	not     := NOT not | cmp
+//	cmp     := add ((= != < <= > >= CONTAINS MATCHES) add | IS [NOT] NULL | IN inRHS)?
+//	add     := mul ((+ -) mul)*
+//	mul     := unary ((* / %) unary)*
+//	unary   := - unary | primary
+//	primary := literal | call | ident | ( expr )
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(TokKeyword, "OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(TokKeyword, "AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.accept(TokKeyword, "NOT") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "NOT", X: x}, nil
+	}
+	return p.parseCmp()
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	// IS [NOT] NULL
+	if p.accept(TokKeyword, "IS") {
+		neg := p.accept(TokKeyword, "NOT")
+		if _, err := p.expect(TokKeyword, "NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNull{X: l, Negate: neg}, nil
+	}
+	// IN box / IN list
+	if p.accept(TokKeyword, "IN") {
+		return p.parseInRHS(l)
+	}
+	for _, op := range []string{"=", "!=", "<=", ">=", "<", ">"} {
+		if p.accept(TokSymbol, op) {
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return &Binary{Op: op, L: l, R: r}, nil
+		}
+	}
+	for _, op := range []string{"CONTAINS", "MATCHES"} {
+		if p.accept(TokKeyword, op) {
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return &Binary{Op: op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+// parseInRHS handles the three IN forms:
+//
+//	location IN [BOUNDING BOX FOR nyc]
+//	location IN [BOX 40.47 -74.26 40.92 -73.70]
+//	location IN BOX(40.47, -74.26, 40.92, -73.70) / BOX(nyc)
+//	x IN ('a', 'b', 'c')
+func (p *parser) parseInRHS(l Expr) (Expr, error) {
+	switch {
+	case p.accept(TokSymbol, "["):
+		box, err := p.parseBracketBox()
+		if err != nil {
+			return nil, err
+		}
+		return &InBox{Loc: l, Box: box}, nil
+	case p.at(TokKeyword, "BOX") || p.at(TokKeyword, "BOUNDING"):
+		box, err := p.parseCallBox()
+		if err != nil {
+			return nil, err
+		}
+		return &InBox{Loc: l, Box: box}, nil
+	case p.accept(TokSymbol, "("):
+		var items []Expr
+		for {
+			it, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, it)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return &InList{X: l, Items: items}, nil
+	default:
+		return nil, p.errf("expected bounding box or value list after IN")
+	}
+}
+
+// parseBracketBox parses the interior of [...] after '[' was consumed.
+func (p *parser) parseBracketBox() (*BoxLit, error) {
+	if p.accept(TokKeyword, "BOUNDING") {
+		if _, err := p.expect(TokKeyword, "BOX"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokKeyword, "FOR"); err != nil {
+			return nil, err
+		}
+		city, err := p.parseCityName()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSymbol, "]"); err != nil {
+			return nil, err
+		}
+		return &BoxLit{City: city}, nil
+	}
+	if _, err := p.expect(TokKeyword, "BOX"); err != nil {
+		return nil, err
+	}
+	var coords [4]float64
+	for i := 0; i < 4; i++ {
+		p.accept(TokSymbol, ",")
+		n, err := p.parseNumber()
+		if err != nil {
+			return nil, err
+		}
+		coords[i] = n
+	}
+	if _, err := p.expect(TokSymbol, "]"); err != nil {
+		return nil, err
+	}
+	return &BoxLit{Coords: coords}, nil
+}
+
+// parseCallBox parses BOX(...) or BOUNDING BOX FOR city without brackets.
+func (p *parser) parseCallBox() (*BoxLit, error) {
+	if p.accept(TokKeyword, "BOUNDING") {
+		if _, err := p.expect(TokKeyword, "BOX"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokKeyword, "FOR"); err != nil {
+			return nil, err
+		}
+		city, err := p.parseCityName()
+		if err != nil {
+			return nil, err
+		}
+		return &BoxLit{City: city}, nil
+	}
+	if _, err := p.expect(TokKeyword, "BOX"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSymbol, "("); err != nil {
+		return nil, err
+	}
+	if p.at(TokIdent, "") || p.at(TokString, "") {
+		city := p.next().Text
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return &BoxLit{City: city}, nil
+	}
+	var coords [4]float64
+	for i := 0; i < 4; i++ {
+		if i > 0 {
+			if _, err := p.expect(TokSymbol, ","); err != nil {
+				return nil, err
+			}
+		}
+		n, err := p.parseNumber()
+		if err != nil {
+			return nil, err
+		}
+		coords[i] = n
+	}
+	if _, err := p.expect(TokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	return &BoxLit{Coords: coords}, nil
+}
+
+// parseCityName accepts an identifier, string, or multi-word identifier
+// run ("new york") as a city name.
+func (p *parser) parseCityName() (string, error) {
+	if p.at(TokString, "") {
+		return p.next().Text, nil
+	}
+	if !p.at(TokIdent, "") {
+		return "", p.errf("expected city name, found %q", p.peek().Text)
+	}
+	name := p.next().Text
+	for p.at(TokIdent, "") { // multi-word: BOUNDING BOX FOR new york
+		name += " " + p.next().Text
+	}
+	return name, nil
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.accept(TokSymbol, "+"):
+			op = "+"
+		case p.accept(TokSymbol, "-"):
+			op = "-"
+		default:
+			return l, nil
+		}
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.accept(TokSymbol, "*"):
+			op = "*"
+		case p.accept(TokSymbol, "/"):
+			op = "/"
+		case p.accept(TokSymbol, "%"):
+			op = "%"
+		default:
+			return l, nil
+		}
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.accept(TokSymbol, "-") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "-", X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	tok := p.peek()
+	switch {
+	case tok.Kind == TokNumber:
+		p.next()
+		if f, err := strconv.ParseInt(tok.Text, 10, 64); err == nil {
+			return &Literal{Val: value.Int(f)}, nil
+		}
+		f, err := strconv.ParseFloat(tok.Text, 64)
+		if err != nil {
+			return nil, &ParseError{Pos: tok.Pos, Msg: "bad number " + tok.Text}
+		}
+		return &Literal{Val: value.Float(f)}, nil
+	case tok.Kind == TokString:
+		p.next()
+		return &Literal{Val: value.String(tok.Text)}, nil
+	case tok.Kind == TokKeyword && tok.Norm == "NULL":
+		p.next()
+		return &Literal{Val: value.Null()}, nil
+	case tok.Kind == TokKeyword && tok.Norm == "TRUE":
+		p.next()
+		return &Literal{Val: value.Bool(true)}, nil
+	case tok.Kind == TokKeyword && tok.Norm == "FALSE":
+		p.next()
+		return &Literal{Val: value.Bool(false)}, nil
+	case tok.Kind == TokSymbol && tok.Norm == "(":
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tok.Kind == TokIdent:
+		p.next()
+		name := tok.Text
+		// Function call?
+		if p.accept(TokSymbol, "(") {
+			call := &Call{Name: name}
+			if p.accept(TokSymbol, "*") {
+				call.Star = true
+				if _, err := p.expect(TokSymbol, ")"); err != nil {
+					return nil, err
+				}
+				return call, nil
+			}
+			if p.accept(TokSymbol, ")") {
+				return call, nil
+			}
+			for {
+				arg, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, arg)
+				if !p.accept(TokSymbol, ",") {
+					break
+				}
+			}
+			if _, err := p.expect(TokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		// Qualified column?
+		if p.accept(TokSymbol, ".") {
+			col, err := p.expect(TokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			return &Ident{Qualifier: name, Name: col.Text}, nil
+		}
+		return &Ident{Name: name}, nil
+	default:
+		return nil, p.errf("unexpected %q", tok.Text)
+	}
+}

@@ -1,0 +1,82 @@
+package links
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestTopThree(t *testing.T) {
+	c := NewCounter()
+	for i := 0; i < 10; i++ {
+		c.Add("http://a.example/1")
+	}
+	for i := 0; i < 5; i++ {
+		c.Add("http://b.example/2")
+	}
+	c.Add("http://c.example/3")
+	c.Add("http://d.example/4")
+	top := c.Top(3)
+	if len(top) != 3 {
+		t.Fatalf("top = %v", top)
+	}
+	if top[0].URL != "http://a.example/1" || top[0].Count != 10 {
+		t.Errorf("top[0] = %+v", top[0])
+	}
+	if top[1].URL != "http://b.example/2" {
+		t.Errorf("top[1] = %+v", top[1])
+	}
+	if c.Distinct() != 4 {
+		t.Errorf("distinct = %d", c.Distinct())
+	}
+}
+
+func TestAddTweetExtractsURLs(t *testing.T) {
+	c := NewCounter()
+	c.AddTweet("read this http://news.example/story, wow")
+	c.AddTweet("again: http://news.example/story")
+	c.AddTweet("no links here")
+	top := c.Top(1)
+	if len(top) != 1 || top[0].URL != "http://news.example/story" || top[0].Count != 2 {
+		t.Errorf("top = %+v", top)
+	}
+}
+
+func TestTiesDeterministic(t *testing.T) {
+	c := NewCounter()
+	c.Add("http://z.example")
+	c.Add("http://a.example")
+	top := c.Top(2)
+	if top[0].URL != "http://a.example" {
+		t.Errorf("tie order = %v", top)
+	}
+}
+
+func TestTopMoreThanAvailable(t *testing.T) {
+	c := NewCounter()
+	c.Add("http://only.example")
+	if got := c.Top(10); len(got) != 1 {
+		t.Errorf("top = %v", got)
+	}
+	empty := NewCounter()
+	if got := empty.Top(3); len(got) != 0 {
+		t.Errorf("empty top = %v", got)
+	}
+}
+
+func TestManyURLsTopKStable(t *testing.T) {
+	c := NewCounter()
+	for i := 0; i < 100; i++ {
+		for j := 0; j <= i%10; j++ {
+			c.Add(fmt.Sprintf("http://u%d.example", i))
+		}
+	}
+	top := c.Top(5)
+	if len(top) != 5 {
+		t.Fatalf("top = %d", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Count > top[i-1].Count {
+			t.Error("not sorted by count")
+		}
+	}
+}

@@ -1,0 +1,291 @@
+// Package peaks implements TwitInfo's streaming peak detection (§3.2:
+// "TwitInfo's peak detection algorithm is a stateful TweeQL UDF that
+// performs streaming mean deviation detection over the aggregate tweet
+// count").
+//
+// The algorithm follows the TwitInfo CHI'11 description, which adapts
+// TCP's round-trip-time estimator: an exponentially weighted moving
+// mean and mean deviation of per-bin tweet counts. A bin whose count
+// exceeds mean + tau*meandev opens a peak; the peak window extends
+// while counts stay elevated (hill-climbing over the spike) and closes
+// when the count falls back to the mean observed at peak start. Bins
+// inside a peak update the baseline with a slower learning rate so a
+// long spike does not erase the notion of "normal" volume.
+package peaks
+
+import (
+	"math"
+	"time"
+)
+
+// Config tunes the detector. Zero fields take defaults.
+type Config struct {
+	// Bin is the histogram bin width (default 1 minute, TwitInfo's UI
+	// granularity).
+	Bin time.Duration
+	// Alpha is the EWMA learning rate (default 0.125, the TCP constant).
+	Alpha float64
+	// Tau is the deviation multiplier that opens a peak (default 2).
+	Tau float64
+	// PeakAlpha is the learning rate used while inside a peak (default
+	// Alpha/2): the baseline should mostly ignore the spike.
+	PeakAlpha float64
+	// MinDev floors the mean deviation so the first quiet bins don't
+	// make every +1 a "peak" (default 1).
+	MinDev float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Bin <= 0 {
+		c.Bin = time.Minute
+	}
+	if c.Alpha <= 0 {
+		c.Alpha = 0.125
+	}
+	if c.Tau <= 0 {
+		c.Tau = 2
+	}
+	if c.PeakAlpha <= 0 {
+		c.PeakAlpha = c.Alpha / 2
+	}
+	if c.MinDev <= 0 {
+		c.MinDev = 1
+	}
+	return c
+}
+
+// Bin is one timeline histogram bar.
+type Bin struct {
+	Start time.Time
+	Count int
+	// InPeak marks bins that belong to a detected peak.
+	InPeak bool
+}
+
+// Peak is one detected spike window.
+type Peak struct {
+	// ID numbers peaks in detection order (1-based); TwitInfo renders it
+	// as the flag letter (1→A, 2→B, ...).
+	ID int
+	// Start/End bound the peak window, [Start, End).
+	Start, End time.Time
+	// MaxCount is the height of the tallest bin in the peak and MaxBin
+	// its start time.
+	MaxCount int
+	MaxBin   time.Time
+	// StartMean is the baseline mean when the peak opened — the level
+	// volume had to return to for the peak to close.
+	StartMean float64
+}
+
+// Flag renders the TwitInfo-style flag letter (A, B, ... Z, AA...).
+func (p Peak) Flag() string {
+	n := p.ID
+	var out []byte
+	for n > 0 {
+		n--
+		out = append([]byte{byte('A' + n%26)}, out...)
+		n /= 26
+	}
+	return string(out)
+}
+
+// Detector consumes tweet timestamps in event-time order and detects
+// peaks online. Not safe for concurrent use.
+type Detector struct {
+	cfg Config
+
+	curStart time.Time
+	curCount int
+	started  bool
+
+	mean    float64
+	meandev float64
+	warm    bool
+
+	bins  []Bin
+	peaks []Peak
+
+	inPeak    bool
+	openPeak  Peak
+	openBins  int
+	maxAtBins int
+}
+
+// NewDetector builds a detector.
+func NewDetector(cfg Config) *Detector {
+	return &Detector{cfg: cfg.withDefaults()}
+}
+
+// Add records one tweet at ts. Timestamps must be non-decreasing (the
+// simulated stream is event-time ordered); late tweets fold into the
+// current bin.
+func (d *Detector) Add(ts time.Time) {
+	if !d.started {
+		d.curStart = ts.Truncate(d.cfg.Bin)
+		d.started = true
+	}
+	for !ts.Before(d.curStart.Add(d.cfg.Bin)) {
+		d.closeBin()
+	}
+	d.curCount++
+}
+
+// AddCount feeds a whole pre-binned count at the bin containing ts,
+// for callers that already aggregated (the TweeQL COUNT(*) stream).
+func (d *Detector) AddCount(ts time.Time, count int) {
+	if !d.started {
+		d.curStart = ts.Truncate(d.cfg.Bin)
+		d.started = true
+	}
+	for !ts.Before(d.curStart.Add(d.cfg.Bin)) {
+		d.closeBin()
+	}
+	d.curCount += count
+}
+
+// closeBin finalizes the current bin, runs the detection step, and
+// advances to the next bin (zero-filling gaps bin by bin).
+func (d *Detector) closeBin() {
+	d.step(d.curStart, d.curCount)
+	d.curStart = d.curStart.Add(d.cfg.Bin)
+	d.curCount = 0
+}
+
+// step is the mean-deviation update for one finished bin.
+func (d *Detector) step(start time.Time, count int) {
+	c := float64(count)
+	bin := Bin{Start: start, Count: count}
+
+	if !d.warm {
+		// First bin seeds the baseline.
+		d.mean = c
+		d.meandev = math.Max(c/2, d.cfg.MinDev)
+		d.warm = true
+		d.bins = append(d.bins, bin)
+		return
+	}
+
+	dev := math.Max(d.meandev, d.cfg.MinDev)
+	if d.inPeak {
+		bin.InPeak = true
+		d.openBins++
+		if count > d.openPeak.MaxCount {
+			d.openPeak.MaxCount = count
+			d.openPeak.MaxBin = start
+			d.maxAtBins = d.openBins
+		}
+		// The peak closes when volume returns to the baseline observed
+		// at peak start.
+		if c <= d.openPeak.StartMean {
+			d.openPeak.End = start
+			d.finishPeak()
+			bin.InPeak = false
+		}
+	} else if c > d.mean+d.cfg.Tau*dev {
+		d.inPeak = true
+		d.openBins = 1
+		d.maxAtBins = 1
+		d.openPeak = Peak{
+			ID:        len(d.peaks) + 1,
+			Start:     start,
+			MaxCount:  count,
+			MaxBin:    start,
+			StartMean: d.mean,
+		}
+		bin.InPeak = true
+	}
+
+	alpha := d.cfg.Alpha
+	if d.inPeak {
+		alpha = d.cfg.PeakAlpha
+	}
+	d.meandev = (1-alpha)*d.meandev + alpha*math.Abs(c-d.mean)
+	d.mean = (1-alpha)*d.mean + alpha*c
+	d.bins = append(d.bins, bin)
+}
+
+func (d *Detector) finishPeak() {
+	d.peaks = append(d.peaks, d.openPeak)
+	d.inPeak = false
+}
+
+// Finish flushes the current bin and closes any open peak at the end of
+// the stream. Call once; further Adds restart binning.
+func (d *Detector) Finish() {
+	if d.started && (d.curCount > 0 || d.inPeak) {
+		d.closeBin()
+	}
+	if d.inPeak {
+		d.openPeak.End = d.curStart
+		d.finishPeak()
+	}
+	d.started = false
+}
+
+// Bins returns the timeline histogram so far.
+func (d *Detector) Bins() []Bin { return d.bins }
+
+// Peaks returns the closed peaks so far.
+func (d *Detector) Peaks() []Peak { return d.peaks }
+
+// Baseline reports the current mean and mean deviation.
+func (d *Detector) Baseline() (mean, meandev float64) { return d.mean, d.meandev }
+
+// Open returns the currently open (not yet closed) peak, if any — what
+// a live dashboard renders while a spike is still in progress.
+func (d *Detector) Open() (Peak, bool) {
+	if !d.inPeak {
+		return Peak{}, false
+	}
+	p := d.openPeak
+	p.End = d.curStart // provisional
+	return p, true
+}
+
+// GlobalZScore is the non-streaming baseline detector used by the E1
+// ablation: it computes the global mean/stddev of all bins and flags
+// maximal runs of bins above mean + tau*stddev. It cannot run online
+// (needs the full series) and a big spike inflates its own threshold —
+// the weaknesses the streaming estimator avoids.
+func GlobalZScore(bins []Bin, tau float64) []Peak {
+	if len(bins) == 0 {
+		return nil
+	}
+	var sum float64
+	for _, b := range bins {
+		sum += float64(b.Count)
+	}
+	mean := sum / float64(len(bins))
+	var ss float64
+	for _, b := range bins {
+		dv := float64(b.Count) - mean
+		ss += dv * dv
+	}
+	sd := math.Sqrt(ss / float64(len(bins)))
+	threshold := mean + tau*sd
+
+	var out []Peak
+	var open *Peak
+	for _, b := range bins {
+		if float64(b.Count) > threshold {
+			if open == nil {
+				open = &Peak{ID: len(out) + 1, Start: b.Start, MaxCount: b.Count, MaxBin: b.Start, StartMean: mean}
+			} else if b.Count > open.MaxCount {
+				open.MaxCount = b.Count
+				open.MaxBin = b.Start
+			}
+			continue
+		}
+		if open != nil {
+			open.End = b.Start
+			out = append(out, *open)
+			open = nil
+		}
+	}
+	if open != nil {
+		open.End = bins[len(bins)-1].Start
+		out = append(out, *open)
+	}
+	return out
+}

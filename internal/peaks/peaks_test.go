@@ -1,0 +1,207 @@
+package peaks
+
+import (
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2011, 6, 12, 12, 0, 0, 0, time.UTC)
+
+// feedSeries drives the detector with one synthetic count per bin.
+func feedSeries(d *Detector, counts []int) {
+	for i, c := range counts {
+		binStart := t0.Add(time.Duration(i) * time.Minute)
+		if c == 0 {
+			// AddCount with zero still advances binning when later bins come.
+			d.AddCount(binStart, 0)
+			continue
+		}
+		d.AddCount(binStart, c)
+	}
+	d.Finish()
+}
+
+func flat(n, level int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = level
+	}
+	return out
+}
+
+func TestNoPeaksOnFlatSeries(t *testing.T) {
+	d := NewDetector(Config{})
+	feedSeries(d, flat(60, 10))
+	if got := d.Peaks(); len(got) != 0 {
+		t.Errorf("flat series produced %d peaks: %+v", len(got), got)
+	}
+	if len(d.Bins()) != 60 {
+		t.Errorf("bins = %d", len(d.Bins()))
+	}
+	mean, _ := d.Baseline()
+	if mean < 9 || mean > 11 {
+		t.Errorf("baseline mean = %v", mean)
+	}
+}
+
+func TestSingleSpikeDetected(t *testing.T) {
+	series := append(flat(20, 10), 60, 80, 70, 30, 10, 10)
+	series = append(series, flat(10, 10)...)
+	d := NewDetector(Config{})
+	feedSeries(d, series)
+	ps := d.Peaks()
+	if len(ps) != 1 {
+		t.Fatalf("peaks = %d: %+v", len(ps), ps)
+	}
+	p := ps[0]
+	if p.MaxCount != 80 {
+		t.Errorf("MaxCount = %d", p.MaxCount)
+	}
+	wantStart := t0.Add(20 * time.Minute)
+	if !p.Start.Equal(wantStart) {
+		t.Errorf("Start = %v, want %v", p.Start, wantStart)
+	}
+	if !p.End.After(p.Start) {
+		t.Errorf("End %v not after Start %v", p.End, p.Start)
+	}
+	if p.Flag() != "A" {
+		t.Errorf("Flag = %q", p.Flag())
+	}
+}
+
+func TestMultiplePeaks(t *testing.T) {
+	series := flat(15, 8)
+	series = append(series, 50, 60, 20, 8, 8) // peak 1
+	series = append(series, flat(15, 8)...)
+	series = append(series, 70, 90, 40, 9, 8) // peak 2
+	series = append(series, flat(10, 8)...)
+	d := NewDetector(Config{})
+	feedSeries(d, series)
+	ps := d.Peaks()
+	if len(ps) != 2 {
+		t.Fatalf("peaks = %d: %+v", len(ps), ps)
+	}
+	if ps[0].ID != 1 || ps[1].ID != 2 {
+		t.Errorf("ids = %d, %d", ps[0].ID, ps[1].ID)
+	}
+	if ps[1].Flag() != "B" {
+		t.Errorf("flag = %q", ps[1].Flag())
+	}
+	if !ps[1].Start.After(ps[0].End) {
+		t.Error("peaks overlap")
+	}
+	if ps[1].MaxCount != 90 {
+		t.Errorf("peak2 max = %d", ps[1].MaxCount)
+	}
+}
+
+func TestPeakOpenAtStreamEndCloses(t *testing.T) {
+	series := append(flat(20, 10), 80, 90, 95)
+	d := NewDetector(Config{})
+	feedSeries(d, series)
+	ps := d.Peaks()
+	if len(ps) != 1 {
+		t.Fatalf("open peak not closed at Finish: %+v", ps)
+	}
+	if ps[0].MaxCount != 95 {
+		t.Errorf("max = %d", ps[0].MaxCount)
+	}
+}
+
+func TestAddTweetsBinning(t *testing.T) {
+	// Individual Add() calls bin correctly: 5 tweets in minute 0, 2 in
+	// minute 2 (minute 1 is a zero-filled gap).
+	d := NewDetector(Config{})
+	for i := 0; i < 5; i++ {
+		d.Add(t0.Add(time.Duration(i*10) * time.Second))
+	}
+	d.Add(t0.Add(2*time.Minute + 10*time.Second))
+	d.Add(t0.Add(2*time.Minute + 30*time.Second))
+	d.Finish()
+	bins := d.Bins()
+	if len(bins) != 3 {
+		t.Fatalf("bins = %d: %+v", len(bins), bins)
+	}
+	if bins[0].Count != 5 || bins[1].Count != 0 || bins[2].Count != 2 {
+		t.Errorf("counts = %d, %d, %d", bins[0].Count, bins[1].Count, bins[2].Count)
+	}
+}
+
+func TestBaselineResistsPeakPollution(t *testing.T) {
+	// After a long spike, the baseline should still be near the quiet
+	// level (peak bins learn at PeakAlpha), so a later equal spike is
+	// still detected.
+	series := flat(30, 10)
+	series = append(series, flat(8, 100)...) // long spike
+	series = append(series, flat(30, 10)...)
+	series = append(series, flat(8, 100)...) // same spike again
+	series = append(series, flat(5, 10)...)
+	d := NewDetector(Config{})
+	feedSeries(d, series)
+	if got := len(d.Peaks()); got != 2 {
+		t.Errorf("peaks = %d, want both spikes detected", got)
+	}
+}
+
+func TestInPeakBinsFlagged(t *testing.T) {
+	series := append(flat(20, 10), 80, 85, 10)
+	series = append(series, flat(5, 10)...)
+	d := NewDetector(Config{})
+	feedSeries(d, series)
+	inPeak := 0
+	for _, b := range d.Bins() {
+		if b.InPeak {
+			inPeak++
+		}
+	}
+	if inPeak < 2 {
+		t.Errorf("in-peak bins = %d", inPeak)
+	}
+}
+
+func TestFlagLetters(t *testing.T) {
+	cases := map[int]string{1: "A", 2: "B", 26: "Z", 27: "AA", 28: "AB", 52: "AZ", 53: "BA"}
+	for id, want := range cases {
+		if got := (Peak{ID: id}).Flag(); got != want {
+			t.Errorf("Flag(%d) = %q, want %q", id, got, want)
+		}
+	}
+}
+
+func TestGlobalZScoreBaseline(t *testing.T) {
+	series := append(flat(30, 10), 100, 120, 100)
+	series = append(series, flat(30, 10)...)
+	d := NewDetector(Config{})
+	feedSeries(d, series)
+	zs := GlobalZScore(d.Bins(), 2)
+	if len(zs) != 1 {
+		t.Fatalf("z-score peaks = %d", len(zs))
+	}
+	if zs[0].MaxCount != 120 {
+		t.Errorf("max = %d", zs[0].MaxCount)
+	}
+	if GlobalZScore(nil, 2) != nil {
+		t.Error("empty bins should give nil")
+	}
+}
+
+func TestGlobalZScoreMissesSecondaryPeaks(t *testing.T) {
+	// The ablation claim: one huge spike inflates the global stddev so a
+	// modest (but locally obvious) spike goes undetected; the streaming
+	// detector finds both.
+	series := flat(40, 10)
+	series = append(series, 2000, 2200, 2000) // huge
+	series = append(series, flat(40, 10)...)
+	series = append(series, 60, 80, 60) // modest
+	series = append(series, flat(20, 10)...)
+	d := NewDetector(Config{})
+	feedSeries(d, series)
+	stream := d.Peaks()
+	global := GlobalZScore(d.Bins(), 2)
+	if len(stream) < 2 {
+		t.Errorf("streaming detector found %d peaks, want 2", len(stream))
+	}
+	if len(global) >= len(stream) {
+		t.Errorf("global z-score found %d peaks vs streaming %d; expected it to miss the modest one", len(global), len(stream))
+	}
+}

@@ -1,0 +1,93 @@
+package peaks
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestBinsConserveCounts: the timeline histogram must conserve mass —
+// the sum of finished bin counts equals the number of Adds (whatever
+// the gap structure), and bins are contiguous at Bin spacing.
+func TestBinsConserveCounts(t *testing.T) {
+	// Feed non-decreasing timestamps built from random deltas.
+	g := func(deltas []uint8) bool {
+		d := NewDetector(Config{Bin: time.Minute})
+		ts := t0
+		n := 0
+		for _, dl := range deltas {
+			ts = ts.Add(time.Duration(dl) * time.Second)
+			d.Add(ts)
+			n++
+		}
+		d.Finish()
+		sum := 0
+		var prev *Bin
+		for i := range d.Bins() {
+			b := d.Bins()[i]
+			sum += b.Count
+			if prev != nil && !b.Start.Equal(prev.Start.Add(time.Minute)) {
+				return false // bins must be contiguous (gaps zero-filled)
+			}
+			prev = &d.Bins()[i]
+		}
+		return sum == n
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPeaksWellFormed: every closed peak has End > Start, MaxBin within
+// [Start, End), and ids are sequential.
+func TestPeaksWellFormed(t *testing.T) {
+	g := func(seedCounts []uint8) bool {
+		d := NewDetector(Config{Bin: time.Minute})
+		for i, c := range seedCounts {
+			d.AddCount(t0.Add(time.Duration(i)*time.Minute), int(c))
+		}
+		d.Finish()
+		for i, p := range d.Peaks() {
+			if p.ID != i+1 {
+				return false
+			}
+			if !p.End.After(p.Start) {
+				return false
+			}
+			if p.MaxBin.Before(p.Start) || !p.MaxBin.Before(p.End) {
+				return false
+			}
+			if p.MaxCount <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestInPeakBinsMatchPeaks: bins flagged InPeak lie inside some
+// detected (or still-open-at-finish) peak window.
+func TestInPeakBinsMatchPeaks(t *testing.T) {
+	series := append(flat(20, 10), 80, 90, 40, 10)
+	series = append(series, flat(10, 10)...)
+	d := NewDetector(Config{})
+	feedSeries(d, series)
+	for _, b := range d.Bins() {
+		if !b.InPeak {
+			continue
+		}
+		inside := false
+		for _, p := range d.Peaks() {
+			if !b.Start.Before(p.Start) && b.Start.Before(p.End) {
+				inside = true
+				break
+			}
+		}
+		if !inside {
+			t.Fatalf("in-peak bin %v outside every peak", b.Start)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+// Package selectivity implements TweeQL's filter-pushdown chooser for
+// the streaming API (§2 "Uncertain Selectivities"): when a query's WHERE
+// clause contains several predicates that the API could serve but only
+// one filter type may be pushed per connection, TweeQL "samples both
+// streams ... and selects the filter with the lowest selectivity in
+// order to require the least work in applying the second filter."
+package selectivity
+
+import (
+	"fmt"
+
+	"tweeql/internal/tweet"
+	"tweeql/internal/twitterapi"
+)
+
+// Estimate is one candidate filter's sampled selectivity.
+type Estimate struct {
+	Filter twitterapi.Filter
+	// Matched / Sampled is the selectivity against the sample stream.
+	Matched int
+	Sampled int
+}
+
+// Selectivity returns the matched fraction; 0 when nothing was sampled.
+func (e Estimate) Selectivity() float64 {
+	if e.Sampled == 0 {
+		return 0
+	}
+	return float64(e.Matched) / float64(e.Sampled)
+}
+
+func (e Estimate) String() string {
+	return fmt.Sprintf("%s: %d/%d = %.4f", e.Filter, e.Matched, e.Sampled, e.Selectivity())
+}
+
+// EstimateFromSample scores every candidate against a sampled slice of
+// the stream.
+func EstimateFromSample(sample []*tweet.Tweet, candidates []twitterapi.Filter) []Estimate {
+	out := make([]Estimate, len(candidates))
+	for i, f := range candidates {
+		out[i] = Estimate{Filter: f, Sampled: len(sample)}
+		for _, t := range sample {
+			if f.Matches(t) {
+				out[i].Matched++
+			}
+		}
+	}
+	return out
+}
+
+// Choose returns the index of the candidate with the lowest sampled
+// selectivity — the filter that admits the fewest tweets, minimizing the
+// residual filtering the query processor must do client-side. Ties go to
+// the earlier candidate.
+func Choose(sample []*tweet.Tweet, candidates []twitterapi.Filter) (int, []Estimate) {
+	ests := EstimateFromSample(sample, candidates)
+	best := 0
+	for i := 1; i < len(ests); i++ {
+		if ests[i].Selectivity() < ests[best].Selectivity() {
+			best = i
+		}
+	}
+	return best, ests
+}
+
+// SampleFromHub collects up to n tweets from the hub's sample endpoint
+// at the given rate. It consumes from a live connection, so the caller
+// must be publishing concurrently; it returns when n tweets arrive or
+// the hub closes.
+func SampleFromHub(hub *twitterapi.Hub, rate float64, n int) ([]*tweet.Tweet, error) {
+	conn, err := hub.Connect(twitterapi.Filter{SampleRate: rate})
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	sample := make([]*tweet.Tweet, 0, n)
+	for t := range conn.C() {
+		sample = append(sample, t)
+		if len(sample) >= n {
+			break
+		}
+	}
+	return sample, nil
+}

@@ -1,0 +1,129 @@
+package sentiment
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNaiveBayesBasics(t *testing.T) {
+	nb := NewNaiveBayes()
+	if class, conf := nb.Classify("anything"); class != "" || conf != 0 {
+		t.Errorf("untrained Classify = %q,%v", class, conf)
+	}
+	nb.Train("sports", "goal match striker keeper")
+	nb.Train("sports", "league cup final goal")
+	nb.Train("politics", "senate vote bill congress")
+	nb.Train("politics", "election campaign vote president")
+	if got := nb.Classes(); len(got) != 2 || got[0] != "politics" || got[1] != "sports" {
+		t.Errorf("Classes = %v", got)
+	}
+	class, conf := nb.Classify("the goal in the final")
+	if class != "sports" {
+		t.Errorf("Classify(goal...) = %q", class)
+	}
+	if conf <= 0.5 || conf > 1 {
+		t.Errorf("confidence out of range: %v", conf)
+	}
+	class, _ = nb.Classify("senate election vote")
+	if class != "politics" {
+		t.Errorf("Classify(senate...) = %q", class)
+	}
+}
+
+func TestNaiveBayesUnseenTokensNeutral(t *testing.T) {
+	nb := NewNaiveBayes()
+	nb.Train("a", "alpha beta")
+	nb.Train("b", "gamma delta")
+	// A document of entirely unseen tokens should fall back to priors:
+	// equal priors → ~0.5 confidence.
+	_, conf := nb.Classify("zzz qqq")
+	if conf < 0.49 || conf > 0.51 {
+		t.Errorf("unseen-token confidence = %v, want ≈0.5", conf)
+	}
+}
+
+func TestAnalyzerPolarity(t *testing.T) {
+	a := Default()
+	cases := []struct {
+		text string
+		want Label
+	}{
+		{"I love this, what a great goal!", Positive},
+		{"awesome win, so happy", Positive},
+		{"this is terrible, what a disaster", Negative},
+		{"so sad, we lose again, awful", Negative},
+		{"the game starts at 5pm", Neutral},
+		{"", Neutral},
+	}
+	for _, c := range cases {
+		got, score := a.Classify(c.text)
+		if got != c.want {
+			t.Errorf("Classify(%q) = %v (%.2f), want %v", c.text, got, score, c.want)
+		}
+		switch {
+		case got == Positive && score <= 0:
+			t.Errorf("positive label with score %v", score)
+		case got == Negative && score >= 0:
+			t.Errorf("negative label with score %v", score)
+		case got == Neutral && score != 0:
+			t.Errorf("neutral label with score %v", score)
+		}
+	}
+}
+
+func TestLabelString(t *testing.T) {
+	if Positive.String() != "positive" || Negative.String() != "negative" || Neutral.String() != "neutral" {
+		t.Error("Label.String mismatch")
+	}
+}
+
+func TestLexiconWordsClassifyCorrectly(t *testing.T) {
+	// Every lexicon word on its own must classify to its own polarity:
+	// this is the invariant the firehose ground truth depends on.
+	a := Default()
+	for _, w := range PositiveWords {
+		if got, _ := a.Classify("feeling " + w + " right now"); got != Positive {
+			t.Errorf("positive word %q classified %v", w, got)
+		}
+	}
+	for _, w := range NegativeWords {
+		if got, _ := a.Classify("feeling " + w + " right now"); got != Negative {
+			t.Errorf("negative word %q classified %v", w, got)
+		}
+	}
+}
+
+func TestScoreRange(t *testing.T) {
+	a := Default()
+	f := func(s string) bool {
+		score := a.Score(s)
+		return score >= -1 && score <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	a := Default()
+	texts := []string{"love it", "hate it", "the sky is up"}
+	labels := []Label{Positive, Negative, Neutral}
+	acc := a.Accuracy(texts, labels)
+	if acc != 1 {
+		t.Errorf("Accuracy = %v, want 1", acc)
+	}
+	if got := a.Accuracy(nil, nil); got == got { // NaN check
+		t.Errorf("empty Accuracy should be NaN, got %v", got)
+	}
+	if got := a.Accuracy([]string{"x"}, nil); got == got {
+		t.Errorf("mismatched Accuracy should be NaN, got %v", got)
+	}
+}
+
+func TestMixedSentimentLeansMajority(t *testing.T) {
+	a := Default()
+	got, _ := a.Classify("love love love but one fail")
+	if got != Positive {
+		t.Errorf("3 pos vs 1 neg = %v, want positive", got)
+	}
+}

@@ -1,0 +1,124 @@
+// Package terms implements TwitInfo's automatic peak labeling (§3.2:
+// peaks are annotated "with automatically-generated key terms that
+// appear frequently in tweets during the peak", e.g. '3-0' and 'Tevez'
+// for a goal). Scoring is TF-IDF: term frequency inside the peak,
+// inverse document frequency over the whole event's tweets, so terms
+// that are merely common in the event ("soccer") rank below terms
+// specific to the spike ("tevez").
+package terms
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"tweeql/internal/tweet"
+)
+
+// ScoredTerm is one key term with its TF-IDF score.
+type ScoredTerm struct {
+	Term  string
+	Score float64
+	// Count is the raw number of peak tweets containing the term.
+	Count int
+}
+
+// Corpus accumulates document frequencies over an event's tweets. Each
+// tweet is one document. Safe for single-goroutine use.
+type Corpus struct {
+	docFreq map[string]int
+	docs    int
+}
+
+// NewCorpus returns an empty corpus.
+func NewCorpus() *Corpus {
+	return &Corpus{docFreq: make(map[string]int)}
+}
+
+// AddDoc folds one tweet's text into the document-frequency table.
+func (c *Corpus) AddDoc(text string) {
+	c.docs++
+	for term := range tweet.TermSet(text) {
+		c.docFreq[term]++
+	}
+}
+
+// Docs reports the number of documents added.
+func (c *Corpus) Docs() int { return c.docs }
+
+// IDF returns the smoothed inverse document frequency of term.
+func (c *Corpus) IDF(term string) float64 {
+	return math.Log(float64(c.docs+1) / float64(c.docFreq[term]+1))
+}
+
+// TopTerms scores the peak tweets against the corpus and returns the k
+// highest-TF-IDF terms (ties broken alphabetically for determinism).
+// excluded terms (typically the event's own query keywords, which by
+// construction appear in every tweet) are skipped.
+func (c *Corpus) TopTerms(peakTexts []string, k int, excluded []string) []ScoredTerm {
+	skip := make(map[string]bool, len(excluded))
+	for _, x := range excluded {
+		skip[strings.ToLower(x)] = true
+	}
+	counts := make(map[string]int)
+	for _, text := range peakTexts {
+		for term := range tweet.TermSet(text) {
+			if skip[term] {
+				continue
+			}
+			counts[term]++
+		}
+	}
+	scored := make([]ScoredTerm, 0, len(counts))
+	for term, n := range counts {
+		tf := float64(n) / float64(len(peakTexts)+1)
+		scored = append(scored, ScoredTerm{Term: term, Score: tf * c.IDF(term), Count: n})
+	}
+	sort.Slice(scored, func(i, j int) bool {
+		if scored[i].Score != scored[j].Score {
+			return scored[i].Score > scored[j].Score
+		}
+		return scored[i].Term < scored[j].Term
+	})
+	if k < len(scored) {
+		scored = scored[:k]
+	}
+	return scored
+}
+
+// Similarity is the cosine similarity between a tweet's term set and a
+// keyword set — the ranking function of the Relevant Tweets panel
+// (§3.2: "sorted by similarity to the event or peak keywords").
+func Similarity(text string, keywords []string) float64 {
+	set := tweet.TermSet(text)
+	if len(set) == 0 || len(keywords) == 0 {
+		return 0
+	}
+	kw := make(map[string]bool, len(keywords))
+	for _, k := range keywords {
+		kw[strings.ToLower(k)] = true
+	}
+	overlap := 0
+	for term := range set {
+		if kw[term] {
+			overlap++
+		}
+	}
+	return float64(overlap) / (math.Sqrt(float64(len(set))) * math.Sqrt(float64(len(kw))))
+}
+
+// MatchesSearch reports whether any of the scored terms contains the
+// search string — the §3.2 "text search on this list of key terms to
+// locate a specific peak".
+func MatchesSearch(ts []ScoredTerm, query string) bool {
+	q := strings.ToLower(strings.TrimSpace(query))
+	if q == "" {
+		return false
+	}
+	for _, t := range ts {
+		if strings.Contains(t.Term, q) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,115 @@
+package terms
+
+import (
+	"testing"
+)
+
+func TestTopTermsFindsMarkers(t *testing.T) {
+	// Background: generic soccer chatter. Peak: everyone mentions the
+	// score and the scorer — exactly the paper's Figure 1 example.
+	c := NewCorpus()
+	background := []string{
+		"watching the soccer match tonight",
+		"soccer is on, great game so far",
+		"manchester playing well in this match",
+		"liverpool fans are loud at the match",
+		"halftime soon in the soccer game",
+	}
+	for _, d := range background {
+		c.AddDoc(d)
+	}
+	peak := []string{
+		"GOAL!! tevez scores, 3-0 manchester",
+		"tevez with a rocket, 3-0",
+		"what a goal by tevez 3-0 now",
+		"3-0 tevez is unstoppable",
+	}
+	for _, d := range peak {
+		c.AddDoc(d)
+	}
+	top := c.TopTerms(peak, 5, []string{"soccer", "manchester", "liverpool"})
+	if len(top) == 0 {
+		t.Fatal("no terms")
+	}
+	found := map[string]bool{}
+	for _, st := range top {
+		found[st.Term] = true
+	}
+	if !found["tevez"] || !found["3-0"] {
+		t.Errorf("marker terms missing from %v", top)
+	}
+	// Excluded event keywords must not appear.
+	if found["soccer"] || found["manchester"] {
+		t.Errorf("excluded keyword leaked: %v", top)
+	}
+	// Scores are sorted descending.
+	for i := 1; i < len(top); i++ {
+		if top[i].Score > top[i-1].Score {
+			t.Error("terms not sorted")
+		}
+	}
+}
+
+func TestIDFDampensCommonTerms(t *testing.T) {
+	c := NewCorpus()
+	for i := 0; i < 100; i++ {
+		c.AddDoc("game game tonight")
+	}
+	c.AddDoc("tevez scores")
+	if c.IDF("game") >= c.IDF("tevez") {
+		t.Errorf("IDF(game)=%v should be < IDF(tevez)=%v", c.IDF("game"), c.IDF("tevez"))
+	}
+	if c.Docs() != 101 {
+		t.Errorf("Docs = %d", c.Docs())
+	}
+}
+
+func TestTopTermsEmptyPeak(t *testing.T) {
+	c := NewCorpus()
+	c.AddDoc("something")
+	if got := c.TopTerms(nil, 5, nil); len(got) != 0 {
+		t.Errorf("empty peak terms = %v", got)
+	}
+}
+
+func TestTopTermsDeterministicTies(t *testing.T) {
+	c := NewCorpus()
+	peak := []string{"alpha beta", "alpha beta"}
+	for _, d := range peak {
+		c.AddDoc(d)
+	}
+	a := c.TopTerms(peak, 2, nil)
+	b := c.TopTerms(peak, 2, nil)
+	if len(a) != 2 || a[0].Term != b[0].Term || a[1].Term != b[1].Term {
+		t.Errorf("ties not deterministic: %v vs %v", a, b)
+	}
+	if a[0].Term != "alpha" { // alphabetical tiebreak
+		t.Errorf("tie order = %v", a)
+	}
+}
+
+func TestSimilarity(t *testing.T) {
+	kw := []string{"soccer", "tevez"}
+	on := Similarity("tevez plays great soccer", kw)
+	off := Similarity("coffee and rain today", kw)
+	half := Similarity("tevez runs fast today", kw)
+	if on <= half || half <= off {
+		t.Errorf("similarity ordering: on=%v half=%v off=%v", on, half, off)
+	}
+	if off != 0 {
+		t.Errorf("off-topic similarity = %v", off)
+	}
+	if Similarity("", kw) != 0 || Similarity("text", nil) != 0 {
+		t.Error("degenerate similarity should be 0")
+	}
+}
+
+func TestMatchesSearch(t *testing.T) {
+	ts := []ScoredTerm{{Term: "tevez"}, {Term: "3-0"}}
+	if !MatchesSearch(ts, "tevez") || !MatchesSearch(ts, "TEV") || !MatchesSearch(ts, "3-0") {
+		t.Error("search should match")
+	}
+	if MatchesSearch(ts, "gerrard") || MatchesSearch(ts, "") || MatchesSearch(ts, "  ") {
+		t.Error("search should not match")
+	}
+}

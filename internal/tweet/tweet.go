@@ -1,0 +1,207 @@
+// Package tweet defines the tweet record model shared by the simulated
+// streaming API, the TweeQL engine, and TwitInfo, along with the text
+// utilities (tokenization, URL/hashtag/mention extraction) that the
+// paper's UDFs rely on.
+package tweet
+
+import (
+	"strings"
+	"time"
+	"unicode"
+)
+
+// Tweet is one microblog post. Fields mirror the subset of the 2011
+// Twitter streaming API payload that TweeQL exposes as columns.
+type Tweet struct {
+	ID        int64     `json:"id"`
+	UserID    int64     `json:"user_id"`
+	Username  string    `json:"username"`
+	Text      string    `json:"text"`
+	CreatedAt time.Time `json:"created_at"`
+
+	// Location is the free-text, user-provided profile location ("NYC!!",
+	// "Tokyo, Japan"). It requires geocoding before it is usable as a
+	// coordinate; see internal/geocode.
+	Location string `json:"location"`
+
+	// HasGeo marks tweets carrying device GPS coordinates; Lat/Lon are
+	// meaningful only when HasGeo is true.
+	HasGeo bool    `json:"has_geo"`
+	Lat    float64 `json:"lat,omitempty"`
+	Lon    float64 `json:"lon,omitempty"`
+
+	Followers int `json:"followers"`
+
+	// Retweet marks retweets (TwitInfo's relevant-tweet ranking demotes
+	// them as less original content).
+	Retweet bool `json:"retweet"`
+}
+
+// Clone returns a copy of the tweet.
+func (t *Tweet) Clone() *Tweet {
+	c := *t
+	return &c
+}
+
+// Tokenize splits text into lower-case word tokens. Hashtags keep their
+// tag as part of the token ("#goal" → "#goal"); mentions likewise; URLs
+// are kept whole. Punctuation is stripped from token edges.
+func Tokenize(text string) []string {
+	var tokens []string
+	for _, raw := range strings.Fields(text) {
+		if isURL(raw) {
+			tokens = append(tokens, raw)
+			continue
+		}
+		tok := strings.TrimFunc(raw, func(r rune) bool {
+			return !unicode.IsLetter(r) && !unicode.IsNumber(r) && r != '#' && r != '@' && r != '-'
+		})
+		// Interior punctuation like "3-0" survives; tokens without any
+		// letter or digit (bare "#", "---") drop.
+		if !strings.ContainsFunc(tok, func(r rune) bool {
+			return unicode.IsLetter(r) || unicode.IsNumber(r)
+		}) {
+			continue
+		}
+		tokens = append(tokens, strings.ToLower(tok))
+	}
+	return tokens
+}
+
+func isURL(s string) bool {
+	return strings.HasPrefix(s, "http://") || strings.HasPrefix(s, "https://")
+}
+
+// URLs extracts the http(s) URLs in order of appearance, with trailing
+// punctuation trimmed.
+func URLs(text string) []string {
+	var urls []string
+	for _, f := range strings.Fields(text) {
+		if isURL(f) {
+			urls = append(urls, strings.TrimRight(f, ".,;:!?)"))
+		}
+	}
+	return urls
+}
+
+// Hashtags extracts "#tag" tokens, lower-cased, without the leading '#'.
+func Hashtags(text string) []string {
+	var tags []string
+	for _, tok := range Tokenize(text) {
+		if strings.HasPrefix(tok, "#") && len(tok) > 1 {
+			tags = append(tags, tok[1:])
+		}
+	}
+	return tags
+}
+
+// Mentions extracts "@user" tokens, lower-cased, without the leading '@'.
+func Mentions(text string) []string {
+	var ms []string
+	for _, tok := range Tokenize(text) {
+		if strings.HasPrefix(tok, "@") && len(tok) > 1 {
+			ms = append(ms, tok[1:])
+		}
+	}
+	return ms
+}
+
+// ContainsWord reports whether the text contains the word or phrase,
+// case-insensitively, on token boundaries for single words and by
+// substring for multi-word phrases. This is the semantics of TweeQL's
+// `text CONTAINS 'obama'` predicate and of the streaming API's track
+// filter, which both match keywords rather than raw substrings.
+func ContainsWord(text, word string) bool {
+	word = strings.ToLower(strings.TrimSpace(word))
+	if word == "" {
+		return false
+	}
+	if strings.ContainsRune(word, ' ') {
+		return strings.Contains(strings.ToLower(text), word)
+	}
+	for _, tok := range Tokenize(text) {
+		if tok == word || strings.TrimPrefix(tok, "#") == word {
+			return true
+		}
+	}
+	return false
+}
+
+// ContainsAnyWord reports whether the text contains any of the words,
+// with ContainsWord semantics, tokenizing the text only once — the hot
+// path for track filters and event matching.
+func ContainsAnyWord(text string, words []string) bool {
+	if len(words) == 0 {
+		return false
+	}
+	var tokens map[string]bool
+	lowerText := ""
+	for _, w := range words {
+		w = strings.ToLower(strings.TrimSpace(w))
+		if w == "" {
+			continue
+		}
+		if strings.ContainsRune(w, ' ') {
+			if lowerText == "" {
+				lowerText = strings.ToLower(text)
+			}
+			if strings.Contains(lowerText, w) {
+				return true
+			}
+			continue
+		}
+		if tokens == nil {
+			tokens = make(map[string]bool)
+			for _, tok := range Tokenize(text) {
+				tokens[strings.TrimPrefix(tok, "#")] = true
+				tokens[tok] = true
+			}
+		}
+		if tokens[w] {
+			return true
+		}
+	}
+	return false
+}
+
+// TermSet returns the distinct tokens of text, excluding URLs and
+// stopwords — the unit TwitInfo uses for TF-IDF and similarity.
+func TermSet(text string) map[string]bool {
+	set := make(map[string]bool)
+	for _, tok := range Tokenize(text) {
+		if isURL(tok) || Stopword(tok) {
+			continue
+		}
+		set[strings.TrimPrefix(tok, "#")] = true
+	}
+	return set
+}
+
+// stopwords is a compact English stopword list tuned for tweet text; it
+// includes twitter-isms ("rt") that would otherwise dominate every peak.
+var stopwords = map[string]bool{
+	"a": true, "about": true, "after": true, "again": true, "all": true,
+	"also": true, "am": true, "an": true, "and": true, "any": true,
+	"are": true, "as": true, "at": true, "be": true, "because": true,
+	"been": true, "before": true, "being": true, "but": true, "by": true,
+	"can": true, "cant": true, "could": true, "did": true, "do": true,
+	"does": true, "dont": true, "down": true, "for": true, "from": true,
+	"get": true, "got": true, "had": true, "has": true, "have": true,
+	"he": true, "her": true, "here": true, "him": true, "his": true,
+	"how": true, "i": true, "if": true, "im": true, "in": true,
+	"into": true, "is": true, "it": true, "its": true, "just": true,
+	"like": true, "lol": true, "me": true, "more": true, "most": true,
+	"my": true, "no": true, "not": true, "now": true, "of": true,
+	"off": true, "on": true, "one": true, "only": true, "or": true,
+	"our": true, "out": true, "over": true, "rt": true, "said": true,
+	"she": true, "so": true, "some": true, "such": true, "than": true,
+	"that": true, "the": true, "their": true, "them": true, "then": true,
+	"there": true, "these": true, "they": true, "this": true, "to": true,
+	"too": true, "up": true, "us": true, "very": true, "was": true,
+	"we": true, "were": true, "what": true, "when": true, "where": true,
+	"which": true, "who": true, "why": true, "will": true, "with": true,
+	"would": true, "you": true, "your": true,
+}
+
+// Stopword reports whether tok (already lower-case) is a stopword.
+func Stopword(tok string) bool { return stopwords[strings.TrimPrefix(tok, "#")] }

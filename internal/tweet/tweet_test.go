@@ -1,0 +1,126 @@
+package tweet
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		text string
+		want []string
+	}{
+		{"GOAL!!! Tevez scores, 3-0.", []string{"goal", "tevez", "scores", "3-0"}},
+		{"Watch #obama speak @cnn http://t.co/abc", []string{"watch", "#obama", "speak", "@cnn", "http://t.co/abc"}},
+		{"", nil},
+		{"... !!! ###", nil},
+		{"#  @", nil},
+	}
+	for _, c := range cases {
+		if got := Tokenize(c.text); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.text, got, c.want)
+		}
+	}
+}
+
+func TestURLs(t *testing.T) {
+	got := URLs("see http://a.com/x, then https://b.org/y! done")
+	want := []string{"http://a.com/x", "https://b.org/y"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("URLs = %v, want %v", got, want)
+	}
+	if URLs("no links here") != nil {
+		t.Error("URLs on plain text should be nil")
+	}
+}
+
+func TestHashtagsMentions(t *testing.T) {
+	text := "RT @BBC: #Quake in #Japan, stay safe @all"
+	if got := Hashtags(text); !reflect.DeepEqual(got, []string{"quake", "japan"}) {
+		t.Errorf("Hashtags = %v", got)
+	}
+	if got := Mentions(text); !reflect.DeepEqual(got, []string{"bbc", "all"}) {
+		t.Errorf("Mentions = %v", got)
+	}
+}
+
+func TestContainsWord(t *testing.T) {
+	cases := []struct {
+		text, word string
+		want       bool
+	}{
+		{"I saw Obama today", "obama", true},
+		{"I saw Obama today", "OBAMA", true},
+		{"obamacare is trending", "obama", false}, // token boundary
+		{"#obama rally", "obama", true},           // hashtag matches keyword
+		{"premier league tonight", "premier league", true},
+		{"premierleague tonight", "premier league", false},
+		{"anything", "", false},
+		{"Tevez scores", "tevez", true},
+	}
+	for _, c := range cases {
+		if got := ContainsWord(c.text, c.word); got != c.want {
+			t.Errorf("ContainsWord(%q,%q) = %v, want %v", c.text, c.word, got, c.want)
+		}
+	}
+}
+
+func TestContainsAnyWord(t *testing.T) {
+	text := "Tevez scores in the premier league #goal"
+	if !ContainsAnyWord(text, []string{"zzz", "tevez"}) {
+		t.Error("tevez should match")
+	}
+	if !ContainsAnyWord(text, []string{"premier league"}) {
+		t.Error("phrase should match")
+	}
+	if !ContainsAnyWord(text, []string{"goal"}) {
+		t.Error("hashtag form should match bare keyword")
+	}
+	if ContainsAnyWord(text, []string{"obama", "quake"}) {
+		t.Error("unrelated keywords matched")
+	}
+	if ContainsAnyWord(text, nil) || ContainsAnyWord(text, []string{"", "  "}) {
+		t.Error("empty keyword lists should not match")
+	}
+	// Agreement with the single-word predicate.
+	for _, w := range []string{"tevez", "scores", "league", "nothing", "premier league"} {
+		if ContainsAnyWord(text, []string{w}) != ContainsWord(text, w) {
+			t.Errorf("ContainsAnyWord and ContainsWord disagree on %q", w)
+		}
+	}
+}
+
+func TestTermSet(t *testing.T) {
+	set := TermSet("RT the GOAL by Tevez http://t.co/x #goal")
+	if set["rt"] || set["the"] || set["by"] {
+		t.Errorf("stopwords leaked into term set: %v", set)
+	}
+	if set["http://t.co/x"] {
+		t.Error("URL leaked into term set")
+	}
+	if !set["goal"] || !set["tevez"] {
+		t.Errorf("expected terms missing: %v", set)
+	}
+}
+
+func TestStopword(t *testing.T) {
+	for _, s := range []string{"the", "rt", "#the"} {
+		if !Stopword(s) {
+			t.Errorf("Stopword(%q) = false", s)
+		}
+	}
+	if Stopword("tevez") {
+		t.Error("tevez should not be a stopword")
+	}
+}
+
+func TestClone(t *testing.T) {
+	orig := &Tweet{ID: 1, Text: "hi", CreatedAt: time.Unix(5, 0), HasGeo: true, Lat: 1, Lon: 2}
+	c := orig.Clone()
+	c.Text = "changed"
+	c.Lat = 99
+	if orig.Text != "hi" || orig.Lat != 1 {
+		t.Error("Clone shares state with original")
+	}
+}

@@ -1,0 +1,116 @@
+package twitinfo
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"tweeql/internal/sentiment"
+	"tweeql/internal/tweet"
+)
+
+// Store manages the set of tracked events for a TwitInfo deployment and
+// serializes access: ingestion happens from stream goroutines while the
+// web dashboard reads concurrently. Trackers themselves are single-
+// goroutine; the store's lock is the synchronization point.
+type Store struct {
+	analyzer *sentiment.Analyzer
+
+	mu       sync.RWMutex
+	trackers map[string]*Tracker
+	order    []string
+}
+
+// NewStore creates an empty event store.
+func NewStore(analyzer *sentiment.Analyzer) *Store {
+	if analyzer == nil {
+		analyzer = sentiment.Default()
+	}
+	return &Store{analyzer: analyzer, trackers: make(map[string]*Tracker)}
+}
+
+// Create registers a new event (§3.1: "TwitInfo saves the event and
+// begins logging tweets matching the query"). Names must be unique.
+func (s *Store) Create(cfg EventConfig) (*Tracker, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("twitinfo: event name required")
+	}
+	if len(cfg.Keywords) == 0 {
+		return nil, fmt.Errorf("twitinfo: event needs at least one keyword")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.trackers[cfg.Name]; dup {
+		return nil, fmt.Errorf("twitinfo: event %q already exists", cfg.Name)
+	}
+	tr := NewTracker(cfg, s.analyzer)
+	s.trackers[cfg.Name] = tr
+	s.order = append(s.order, cfg.Name)
+	return tr, nil
+}
+
+// Get returns the named event's tracker.
+func (s *Store) Get(name string) (*Tracker, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	tr, ok := s.trackers[name]
+	return tr, ok
+}
+
+// Names lists events in creation order.
+func (s *Store) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// Ingest offers the tweet to every event; each tracker keeps it only if
+// it matches. Returns how many events accepted it.
+func (s *Store) Ingest(t *tweet.Tweet) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, tr := range s.trackers {
+		if tr.Ingest(t) {
+			n++
+		}
+	}
+	return n
+}
+
+// FinishAll flushes every tracker's timeline (end of stream).
+func (s *Store) FinishAll() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, tr := range s.trackers {
+		tr.Finish()
+	}
+}
+
+// WithTracker runs fn with the named tracker under the store lock, for
+// consistent dashboard reads during live ingestion.
+func (s *Store) WithTracker(name string, fn func(*Tracker) error) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	tr, ok := s.trackers[name]
+	if !ok {
+		return fmt.Errorf("twitinfo: unknown event %q", name)
+	}
+	return fn(tr)
+}
+
+// Summaries returns one line per event for the index page.
+func (s *Store) Summaries() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, len(s.order))
+	copy(names, s.order)
+	sort.Strings(names)
+	out := make([]string, 0, len(names))
+	for _, n := range names {
+		out = append(out, s.trackers[n].String())
+	}
+	return out
+}

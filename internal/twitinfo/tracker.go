@@ -1,0 +1,423 @@
+// Package twitinfo implements TwitInfo (§3): an event timeline
+// generation and exploration application built on top of the TweeQL
+// stream processor. Users define an event as a keyword query (§3.1);
+// the tracker logs matching tweets, detects activity peaks and labels
+// them with key terms (§3.2), and assembles the Figure 1 dashboard:
+// timeline, relevant tweets, sentiment pie, popular links, and the
+// geographic sentiment map (§3.3).
+package twitinfo
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"tweeql/internal/catalog"
+	"tweeql/internal/gazetteer"
+	"tweeql/internal/links"
+	"tweeql/internal/peaks"
+	"tweeql/internal/sentiment"
+	"tweeql/internal/terms"
+	"tweeql/internal/tweet"
+	"tweeql/internal/value"
+)
+
+// EventConfig defines an event the way §3.1 describes: a human-readable
+// name, the keyword query, and an optional time window.
+type EventConfig struct {
+	Name     string
+	Keywords []string
+	// Start/End bound the event; zero values mean unbounded.
+	Start, End time.Time
+	// Bin is the timeline granularity (default 1 minute).
+	Bin time.Duration
+	// Peaks tunes the detector beyond the bin width.
+	Peaks peaks.Config
+	// MaxTweets caps stored tweets (default 200k) so a runaway event
+	// cannot exhaust memory; beyond the cap, tweets still count in the
+	// timeline but are not retained for drill-down.
+	MaxTweets int
+}
+
+func (c EventConfig) withDefaults() EventConfig {
+	if c.Bin <= 0 {
+		c.Bin = time.Minute
+	}
+	c.Peaks.Bin = c.Bin
+	if c.MaxTweets <= 0 {
+		c.MaxTweets = 200_000
+	}
+	return c
+}
+
+// StoredTweet is one logged tweet with its derived metadata.
+type StoredTweet struct {
+	ID        int64           `json:"id"`
+	Username  string          `json:"username"`
+	Text      string          `json:"text"`
+	CreatedAt time.Time       `json:"created_at"`
+	Sentiment sentiment.Label `json:"sentiment"`
+	Score     float64         `json:"score"`
+	HasGeo    bool            `json:"has_geo"`
+	Lat       float64         `json:"lat,omitempty"`
+	Lon       float64         `json:"lon,omitempty"`
+	Retweet   bool            `json:"retweet"`
+}
+
+// Tracker logs one event's tweets and maintains its dashboard state.
+// Ingest is single-goroutine (feed it from one query cursor); read
+// methods may be called between ingests.
+type Tracker struct {
+	cfg      EventConfig
+	analyzer *sentiment.Analyzer
+
+	detector *peaks.Detector
+	corpus   *terms.Corpus
+	links    *links.Counter
+
+	tweets            []StoredTweet
+	ingested          int64
+	pos, neg, neutral int64
+}
+
+// NewTracker creates a tracker for the event.
+func NewTracker(cfg EventConfig, analyzer *sentiment.Analyzer) *Tracker {
+	cfg = cfg.withDefaults()
+	if analyzer == nil {
+		analyzer = sentiment.Default()
+	}
+	return &Tracker{
+		cfg:      cfg,
+		analyzer: analyzer,
+		detector: peaks.NewDetector(cfg.Peaks),
+		corpus:   terms.NewCorpus(),
+		links:    links.NewCounter(),
+	}
+}
+
+// Config returns the event definition.
+func (tr *Tracker) Config() EventConfig { return tr.cfg }
+
+// Matches reports whether the tweet belongs to the event: inside the
+// time window and containing one of the keywords.
+func (tr *Tracker) Matches(t *tweet.Tweet) bool {
+	if !tr.cfg.Start.IsZero() && t.CreatedAt.Before(tr.cfg.Start) {
+		return false
+	}
+	if !tr.cfg.End.IsZero() && !t.CreatedAt.Before(tr.cfg.End) {
+		return false
+	}
+	if len(tr.cfg.Keywords) == 0 {
+		return true
+	}
+	return tweet.ContainsAnyWord(t.Text, tr.cfg.Keywords)
+}
+
+// Ingest logs one tweet (skipping non-matching ones) and returns
+// whether it was accepted.
+func (tr *Tracker) Ingest(t *tweet.Tweet) bool {
+	if !tr.Matches(t) {
+		return false
+	}
+	tr.ingested++
+	tr.detector.Add(t.CreatedAt)
+	tr.corpus.AddDoc(t.Text)
+	tr.links.AddTweet(t.Text)
+
+	label, score := tr.analyzer.Classify(t.Text)
+	switch label {
+	case sentiment.Positive:
+		tr.pos++
+	case sentiment.Negative:
+		tr.neg++
+	default:
+		tr.neutral++
+	}
+	if len(tr.tweets) < tr.cfg.MaxTweets {
+		st := StoredTweet{
+			ID: t.ID, Username: t.Username, Text: t.Text, CreatedAt: t.CreatedAt,
+			Sentiment: label, Score: score, HasGeo: t.HasGeo, Retweet: t.Retweet,
+		}
+		if t.HasGeo {
+			st.Lat, st.Lon = t.Lat, t.Lon
+		}
+		tr.tweets = append(tr.tweets, st)
+	}
+	return true
+}
+
+// IngestTuple logs a TweeQL output row — the "TwitInfo is an
+// application written on top of the TweeQL stream processor" wiring.
+func (tr *Tracker) IngestTuple(row value.Tuple) bool {
+	return tr.Ingest(catalog.TweetFromTuple(row))
+}
+
+// Finish flushes the timeline (closing any open peak) at end of stream.
+func (tr *Tracker) Finish() { tr.detector.Finish() }
+
+// Ingested reports how many tweets the event has logged.
+func (tr *Tracker) Ingested() int64 { return tr.ingested }
+
+// Tweets returns the stored tweets (shared slice; callers must not
+// mutate).
+func (tr *Tracker) Tweets() []StoredTweet { return tr.tweets }
+
+// Timeline returns the volume histogram (Figure 1.2's curve).
+func (tr *Tracker) Timeline() []peaks.Bin { return tr.detector.Bins() }
+
+// LabeledPeak is a detected peak plus its automatic key terms.
+type LabeledPeak struct {
+	peaks.Peak
+	Terms []terms.ScoredTerm `json:"terms"`
+}
+
+// Peaks returns the detected peaks, each labeled with its top key terms
+// (Figure 1.2's flags and the annotated list to the right of the
+// timeline). Event keywords are excluded from labels since they appear
+// in every tweet by construction.
+func (tr *Tracker) Peaks(termsPerPeak int) []LabeledPeak {
+	if termsPerPeak <= 0 {
+		termsPerPeak = 5
+	}
+	ps := tr.detector.Peaks()
+	out := make([]LabeledPeak, len(ps))
+	for i, p := range ps {
+		texts := tr.textsIn(p.Start, p.End)
+		out[i] = LabeledPeak{Peak: p, Terms: tr.corpus.TopTerms(texts, termsPerPeak, tr.cfg.Keywords)}
+	}
+	return out
+}
+
+// SearchPeaks returns the labeled peaks whose key terms match the
+// query (§3.2: "Users can perform text search on this list of key terms
+// to locate a specific peak").
+func (tr *Tracker) SearchPeaks(query string, termsPerPeak int) []LabeledPeak {
+	var out []LabeledPeak
+	for _, lp := range tr.Peaks(termsPerPeak) {
+		if terms.MatchesSearch(lp.Terms, query) {
+			out = append(out, lp)
+		}
+	}
+	return out
+}
+
+func (tr *Tracker) textsIn(start, end time.Time) []string {
+	var out []string
+	for i := range tr.tweets {
+		if inRange(tr.tweets[i].CreatedAt, start, end) {
+			out = append(out, tr.tweets[i].Text)
+		}
+	}
+	return out
+}
+
+func inRange(ts, start, end time.Time) bool {
+	if !start.IsZero() && ts.Before(start) {
+		return false
+	}
+	if !end.IsZero() && !ts.Before(end) {
+		return false
+	}
+	return true
+}
+
+// RankedTweet is one Relevant Tweets entry (Figure 1.4).
+type RankedTweet struct {
+	StoredTweet
+	Similarity float64 `json:"similarity"`
+}
+
+// RelevantTweets ranks tweets in [start, end) by similarity to the
+// given keywords (event keywords for the event view, peak terms for a
+// drill-down), demoting retweets as less original content. k bounds the
+// result.
+func (tr *Tracker) RelevantTweets(start, end time.Time, keywords []string, k int) []RankedTweet {
+	var out []RankedTweet
+	for i := range tr.tweets {
+		st := tr.tweets[i]
+		if !inRange(st.CreatedAt, start, end) {
+			continue
+		}
+		sim := terms.Similarity(st.Text, keywords)
+		if st.Retweet {
+			sim *= 0.8
+		}
+		out = append(out, RankedTweet{StoredTweet: st, Similarity: sim})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Similarity != out[j].Similarity {
+			return out[i].Similarity > out[j].Similarity
+		}
+		return out[i].ID < out[j].ID
+	})
+	if k > 0 && k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// Pie is the Overall Sentiment panel (Figure 1.6): the proportion of
+// positive and negative tweets.
+type Pie struct {
+	Positive int64 `json:"positive"`
+	Negative int64 `json:"negative"`
+	Neutral  int64 `json:"neutral"`
+}
+
+// PositiveShare is the positive fraction among polar (non-neutral)
+// tweets, the number the pie chart visualizes.
+func (p Pie) PositiveShare() float64 {
+	polar := p.Positive + p.Negative
+	if polar == 0 {
+		return 0
+	}
+	return float64(p.Positive) / float64(polar)
+}
+
+// Normalized rescales the polar counts by per-class classifier recall,
+// the correction the deployed TwitInfo applied so that a classifier
+// that finds (say) 60% of positive tweets but 80% of negative ones does
+// not skew the pie: each observed count divides by its class recall to
+// estimate the true count. Recalls outside (0, 1] are treated as 1.
+func (p Pie) Normalized(posRecall, negRecall float64) Pie {
+	if posRecall <= 0 || posRecall > 1 {
+		posRecall = 1
+	}
+	if negRecall <= 0 || negRecall > 1 {
+		negRecall = 1
+	}
+	return Pie{
+		Positive: int64(float64(p.Positive) / posRecall),
+		Negative: int64(float64(p.Negative) / negRecall),
+		Neutral:  p.Neutral,
+	}
+}
+
+// Sentiment returns the whole-event pie.
+func (tr *Tracker) Sentiment() Pie {
+	return Pie{Positive: tr.pos, Negative: tr.neg, Neutral: tr.neutral}
+}
+
+// SentimentIn recomputes the pie over a time range (peak drill-down).
+func (tr *Tracker) SentimentIn(start, end time.Time) Pie {
+	var p Pie
+	for i := range tr.tweets {
+		st := &tr.tweets[i]
+		if !inRange(st.CreatedAt, start, end) {
+			continue
+		}
+		switch st.Sentiment {
+		case sentiment.Positive:
+			p.Positive++
+		case sentiment.Negative:
+			p.Negative++
+		default:
+			p.Neutral++
+		}
+	}
+	return p
+}
+
+// PopularLinks returns the top-k URLs over the whole event (Figure
+// 1.5; TwitInfo shows k=3).
+func (tr *Tracker) PopularLinks(k int) []links.URLCount { return tr.links.Top(k) }
+
+// PopularLinksIn recomputes top links over a time range.
+func (tr *Tracker) PopularLinksIn(start, end time.Time, k int) []links.URLCount {
+	c := links.NewCounter()
+	for i := range tr.tweets {
+		if inRange(tr.tweets[i].CreatedAt, start, end) {
+			c.AddTweet(tr.tweets[i].Text)
+		}
+	}
+	return c.Top(k)
+}
+
+// Pin is one Tweet Map marker (Figure 1.3), colored by sentiment.
+type Pin struct {
+	Lat       float64         `json:"lat"`
+	Lon       float64         `json:"lon"`
+	Sentiment sentiment.Label `json:"sentiment"`
+	TweetID   int64           `json:"tweet_id"`
+	Text      string          `json:"text"`
+}
+
+// MapPins returns up to max geo-tagged tweets in the range as map
+// markers.
+func (tr *Tracker) MapPins(start, end time.Time, max int) []Pin {
+	var out []Pin
+	for i := range tr.tweets {
+		st := &tr.tweets[i]
+		if !st.HasGeo || !inRange(st.CreatedAt, start, end) {
+			continue
+		}
+		out = append(out, Pin{Lat: st.Lat, Lon: st.Lon, Sentiment: st.Sentiment, TweetID: st.ID, Text: st.Text})
+		if max > 0 && len(out) >= max {
+			break
+		}
+	}
+	return out
+}
+
+// RegionSentiment aggregates pin sentiment by nearest gazetteer city —
+// the §3.3 observation that "opinion on an event differs by geographic
+// region" (Red Sox fans in Boston vs Yankees fans in New York).
+func (tr *Tracker) RegionSentiment(start, end time.Time) map[string]Pie {
+	out := make(map[string]Pie)
+	for i := range tr.tweets {
+		st := &tr.tweets[i]
+		if !st.HasGeo || !inRange(st.CreatedAt, start, end) {
+			continue
+		}
+		city := gazetteer.Nearest(st.Lat, st.Lon).Name
+		p := out[city]
+		switch st.Sentiment {
+		case sentiment.Positive:
+			p.Positive++
+		case sentiment.Negative:
+			p.Negative++
+		default:
+			p.Neutral++
+		}
+		out[city] = p
+	}
+	return out
+}
+
+// PeakDetectUDF exposes the peak detector as a stateful TweeQL UDF, as
+// §3.2 describes ("a stateful TweeQL UDF that performs streaming mean
+// deviation detection over the aggregate tweet count"). Applied as
+// peak_detect(window_end, n) over a windowed COUNT(*) stream, it folds
+// each window's count into the detector and returns the open peak's
+// flag letter, or NULL outside peaks.
+func PeakDetectUDF(cfg peaks.Config) catalog.StatefulFactory {
+	return func() catalog.ScalarFn {
+		d := peaks.NewDetector(cfg)
+		return func(_ context.Context, args []value.Value) (value.Value, error) {
+			if len(args) != 2 {
+				return value.Null(), fmt.Errorf("twitinfo: peak_detect takes (window_end, count), got %d args", len(args))
+			}
+			ts, err := args[0].TimeVal()
+			if err != nil {
+				return value.Null(), fmt.Errorf("twitinfo: peak_detect first arg must be a time: %w", err)
+			}
+			n, err := args[1].IntVal()
+			if err != nil {
+				return value.Null(), fmt.Errorf("twitinfo: peak_detect second arg must be a count: %w", err)
+			}
+			d.AddCount(ts, int(n))
+			if p, ok := d.Open(); ok {
+				return value.String(p.Flag()), nil
+			}
+			return value.Null(), nil
+		}
+	}
+}
+
+// String renders a one-line event summary.
+func (tr *Tracker) String() string {
+	return fmt.Sprintf("event %q tracking [%s]: %d tweets, %d peaks",
+		tr.cfg.Name, strings.Join(tr.cfg.Keywords, ", "), tr.ingested, len(tr.detector.Peaks()))
+}

@@ -1,0 +1,406 @@
+package twitinfo
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"tweeql/internal/catalog"
+	"tweeql/internal/firehose"
+	"tweeql/internal/peaks"
+	"tweeql/internal/sentiment"
+	"tweeql/internal/tweet"
+	"tweeql/internal/value"
+)
+
+// soccerTracker ingests the scripted soccer match and returns the
+// tracker plus the labeled stream.
+func soccerTracker(t *testing.T) (*Tracker, []*firehose.LabeledTweet) {
+	t.Helper()
+	cfg := firehose.SoccerMatch(42)
+	lts := firehose.New(cfg).Generate()
+	tr := NewTracker(EventConfig{
+		Name:     "Soccer: Manchester City vs Liverpool",
+		Keywords: firehose.SoccerKeywords,
+	}, nil)
+	for _, lt := range lts {
+		tr.Ingest(lt.Tweet)
+	}
+	tr.Finish()
+	return tr, lts
+}
+
+func TestMatchesKeywordAndWindow(t *testing.T) {
+	start := time.Date(2011, 6, 12, 12, 0, 0, 0, time.UTC)
+	tr := NewTracker(EventConfig{
+		Name: "e", Keywords: []string{"soccer"},
+		Start: start, End: start.Add(time.Hour),
+	}, nil)
+	mk := func(text string, offset time.Duration) *tweet.Tweet {
+		return &tweet.Tweet{Text: text, CreatedAt: start.Add(offset)}
+	}
+	if !tr.Matches(mk("watching soccer", 10*time.Minute)) {
+		t.Error("matching tweet rejected")
+	}
+	if tr.Matches(mk("watching tennis", 10*time.Minute)) {
+		t.Error("non-keyword tweet accepted")
+	}
+	if tr.Matches(mk("soccer", -time.Minute)) || tr.Matches(mk("soccer", 2*time.Hour)) {
+		t.Error("out-of-window tweet accepted")
+	}
+	if !tr.Ingest(mk("soccer time", time.Minute)) {
+		t.Error("ingest rejected matching tweet")
+	}
+	if tr.Ingest(mk("tennis time", time.Minute)) {
+		t.Error("ingest accepted non-matching tweet")
+	}
+	if tr.Ingested() != 1 {
+		t.Errorf("ingested = %d", tr.Ingested())
+	}
+}
+
+func TestSoccerPeaksDetected(t *testing.T) {
+	tr, _ := soccerTracker(t)
+	ps := tr.Peaks(5)
+	// The script plants kickoff + 3 goals (+halftime); the three goals
+	// are the big spikes and must all be found.
+	if len(ps) < 3 {
+		t.Fatalf("detected %d peaks, want >= 3: %+v", len(ps), ps)
+	}
+	// Figure 1's example: the third goal's peak is annotated with the
+	// score '3-0' and the scorer 'tevez'. Find a peak whose terms
+	// include tevez.
+	var tevezPeak *LabeledPeak
+	for i := range ps {
+		for _, st := range ps[i].Terms {
+			if st.Term == "tevez" {
+				tevezPeak = &ps[i]
+			}
+		}
+	}
+	if tevezPeak == nil {
+		t.Fatalf("no peak labeled with 'tevez': %+v", ps)
+	}
+	labels := make([]string, len(tevezPeak.Terms))
+	for i, st := range tevezPeak.Terms {
+		labels[i] = st.Term
+	}
+	if !contains(labels, "3-0") {
+		t.Errorf("tevez peak labels missing score: %v", labels)
+	}
+	// The event keywords must not appear as labels.
+	for _, kw := range firehose.SoccerKeywords {
+		if contains(labels, kw) {
+			t.Errorf("event keyword %q leaked into labels %v", kw, labels)
+		}
+	}
+}
+
+func contains(ss []string, want string) bool {
+	for _, s := range ss {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSearchPeaks(t *testing.T) {
+	tr, _ := soccerTracker(t)
+	hits := tr.SearchPeaks("tevez", 5)
+	if len(hits) == 0 {
+		t.Fatal("search for tevez found nothing")
+	}
+	if got := tr.SearchPeaks("nonexistentterm", 5); len(got) != 0 {
+		t.Errorf("bogus search hit %d peaks", len(got))
+	}
+}
+
+func TestTimelineVolumeShape(t *testing.T) {
+	tr, _ := soccerTracker(t)
+	bins := tr.Timeline()
+	if len(bins) < 100 {
+		t.Fatalf("timeline bins = %d", len(bins))
+	}
+	// The goal-3 burst (95-101 min) towers over the pre-kickoff chatter.
+	base := tr.Config()
+	_ = base
+	var quiet, spike float64
+	for _, b := range bins {
+		min := b.Start.Minute() + b.Start.Hour()*60
+		_ = min
+	}
+	start := bins[0].Start
+	for _, b := range bins {
+		off := b.Start.Sub(start)
+		if off >= 2*time.Minute && off < 8*time.Minute {
+			quiet += float64(b.Count)
+		}
+		if off >= 96*time.Minute && off < 100*time.Minute {
+			spike += float64(b.Count)
+		}
+	}
+	if spike < 3*quiet*4/6 { // normalize: 6 quiet mins vs 4 spike mins
+		t.Errorf("goal-3 spike %v not ≫ quiet %v", spike, quiet)
+	}
+}
+
+func TestRelevantTweetsRanking(t *testing.T) {
+	tr, _ := soccerTracker(t)
+	ranked := tr.RelevantTweets(time.Time{}, time.Time{}, firehose.SoccerKeywords, 10)
+	if len(ranked) != 10 {
+		t.Fatalf("ranked = %d", len(ranked))
+	}
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].Similarity > ranked[i-1].Similarity {
+			t.Fatal("relevant tweets not sorted by similarity")
+		}
+	}
+	// Top tweet must actually mention a keyword.
+	found := false
+	for _, kw := range firehose.SoccerKeywords {
+		if tweet.ContainsWord(ranked[0].Text, kw) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("top relevant tweet off-topic: %q", ranked[0].Text)
+	}
+}
+
+func TestSentimentPieMatchesGroundTruth(t *testing.T) {
+	cfg := firehose.Config{Seed: 11, Duration: 20 * time.Minute, BaseRate: 30,
+		SentimentProb: 0.8, PosFraction: 0.7,
+		Events: []firehose.EventScript{{Name: "e", Keywords: []string{"kw"}, BaseRate: 10}}}
+	lts := firehose.New(cfg).Generate()
+	tr := NewTracker(EventConfig{Name: "e", Keywords: []string{"kw"}}, nil)
+	var truePos, trueNeg int64
+	for _, lt := range lts {
+		if !tr.Ingest(lt.Tweet) {
+			continue
+		}
+		switch lt.Polarity {
+		case sentiment.Positive:
+			truePos++
+		case sentiment.Negative:
+			trueNeg++
+		}
+	}
+	tr.Finish()
+	pie := tr.Sentiment()
+	trueShare := float64(truePos) / float64(truePos+trueNeg)
+	gotShare := pie.PositiveShare()
+	if diff := gotShare - trueShare; diff < -0.1 || diff > 0.1 {
+		t.Errorf("positive share %v vs ground truth %v", gotShare, trueShare)
+	}
+	if (Pie{}).PositiveShare() != 0 {
+		t.Error("empty pie share should be 0")
+	}
+}
+
+func TestPieNormalization(t *testing.T) {
+	// A classifier that misses 50% of positives but all negatives reads
+	// 100/200; recall correction recovers the true 200/200 split.
+	p := Pie{Positive: 100, Negative: 200, Neutral: 50}
+	n := p.Normalized(0.5, 1.0)
+	if n.Positive != 200 || n.Negative != 200 || n.Neutral != 50 {
+		t.Errorf("normalized = %+v", n)
+	}
+	if got := n.PositiveShare(); got != 0.5 {
+		t.Errorf("normalized share = %v", got)
+	}
+	// Junk recalls are ignored.
+	if p.Normalized(0, 2) != p {
+		t.Error("invalid recalls should be no-ops")
+	}
+}
+
+func TestAnalyzerRecall(t *testing.T) {
+	a := sentiment.Default()
+	texts := []string{"love it", "great game", "hate it", "neutral words"}
+	labels := []sentiment.Label{sentiment.Positive, sentiment.Positive, sentiment.Negative, sentiment.Neutral}
+	pos, neg := a.Recall(texts, labels)
+	if pos != 1 || neg != 1 {
+		t.Errorf("recalls = %v, %v", pos, neg)
+	}
+	// Empty set: both default to 1.
+	pos, neg = a.Recall(nil, nil)
+	if pos != 1 || neg != 1 {
+		t.Errorf("empty recalls = %v, %v", pos, neg)
+	}
+}
+
+func TestPopularLinksTop3(t *testing.T) {
+	cfg := firehose.SoccerMatch(9)
+	cfg.Duration = 30 * time.Minute
+	lts := firehose.New(cfg).Generate()
+	tr := NewTracker(EventConfig{Name: "e", Keywords: firehose.SoccerKeywords}, nil)
+	for _, lt := range lts {
+		tr.Ingest(lt.Tweet)
+	}
+	tr.Finish()
+	top := tr.PopularLinks(3)
+	if len(top) != 3 {
+		t.Fatalf("top links = %d", len(top))
+	}
+	// The URL pool is sampled with a heavy head: the #1 link must be the
+	// head of the script's pool.
+	if top[0].URL != "http://espn.example/mcfc-lfc-live" {
+		t.Errorf("top link = %s", top[0].URL)
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Count > top[i-1].Count {
+			t.Error("links not sorted")
+		}
+	}
+}
+
+func TestMapPinsAndRegions(t *testing.T) {
+	cfg := firehose.BaseballRivalry(5)
+	lts := firehose.New(cfg).Generate()
+	tr := NewTracker(EventConfig{Name: "rivalry", Keywords: firehose.RivalryKeywords}, nil)
+	for _, lt := range lts {
+		tr.Ingest(lt.Tweet)
+	}
+	tr.Finish()
+	pins := tr.MapPins(time.Time{}, time.Time{}, 0)
+	if len(pins) == 0 {
+		t.Fatal("no map pins")
+	}
+	for _, p := range pins {
+		if p.Lat == 0 && p.Lon == 0 {
+			t.Fatal("pin with zero coords")
+		}
+	}
+	// The home-run window: Boston overwhelmingly positive, NYC negative.
+	hrStart := lts[0].Tweet.CreatedAt.Truncate(time.Hour).Add(80 * time.Minute)
+	regions := tr.RegionSentiment(hrStart, hrStart.Add(8*time.Minute))
+	bos, ny := regions["Boston"], regions["New York"]
+	if bos.Positive+bos.Negative == 0 || ny.Positive+ny.Negative == 0 {
+		t.Fatalf("missing regional tweets: boston=%+v ny=%+v", bos, ny)
+	}
+	if bos.PositiveShare() <= ny.PositiveShare() {
+		t.Errorf("Boston share %v should exceed NYC %v", bos.PositiveShare(), ny.PositiveShare())
+	}
+	if bos.PositiveShare() < 0.6 {
+		t.Errorf("Boston positive share = %v", bos.PositiveShare())
+	}
+	if ny.PositiveShare() > 0.4 {
+		t.Errorf("NYC positive share = %v", ny.PositiveShare())
+	}
+}
+
+func TestDashboardAssembly(t *testing.T) {
+	tr, _ := soccerTracker(t)
+	d := tr.Dashboard(DashboardOptions{})
+	if d.Event == "" || len(d.Timeline) == 0 || len(d.Peaks) == 0 || len(d.Relevant) == 0 {
+		t.Fatalf("incomplete dashboard: %+v", d)
+	}
+	if len(d.Links) == 0 || d.Pie.Positive+d.Pie.Negative+d.Pie.Neutral == 0 {
+		t.Error("links/pie empty")
+	}
+	if len(d.Links) > 3 {
+		t.Errorf("links = %d, want <= 3", len(d.Links))
+	}
+	if d.Selected != nil {
+		t.Error("event view should have no selection")
+	}
+}
+
+func TestPeakDrillDown(t *testing.T) {
+	tr, _ := soccerTracker(t)
+	all := tr.Dashboard(DashboardOptions{})
+	pd, err := tr.PeakDashboard(all.Peaks[0].ID, DashboardOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pd.Selected == nil || pd.Selected.PeakID != all.Peaks[0].ID {
+		t.Fatalf("selection = %+v", pd.Selected)
+	}
+	// Every relevant tweet in the drill-down falls inside the peak.
+	for _, rt := range pd.Relevant {
+		if rt.CreatedAt.Before(pd.Selected.Start) || !rt.CreatedAt.Before(pd.Selected.End) {
+			t.Fatalf("drill-down tweet outside peak: %v not in [%v, %v)", rt.CreatedAt, pd.Selected.Start, pd.Selected.End)
+		}
+	}
+	// Drill-down pie covers fewer tweets than the event pie.
+	evTotal := all.Pie.Positive + all.Pie.Negative + all.Pie.Neutral
+	pkTotal := pd.Pie.Positive + pd.Pie.Negative + pd.Pie.Neutral
+	if pkTotal == 0 || pkTotal >= evTotal {
+		t.Errorf("peak pie %d vs event pie %d", pkTotal, evTotal)
+	}
+	if _, err := tr.PeakDashboard(9999, DashboardOptions{}); err == nil {
+		t.Error("bogus peak id should error")
+	}
+}
+
+func TestIngestTuple(t *testing.T) {
+	tr := NewTracker(EventConfig{Name: "e", Keywords: []string{"goal"}}, nil)
+	tw := &tweet.Tweet{ID: 5, Text: "what a goal", CreatedAt: time.Unix(1000, 0), Username: "u"}
+	if !tr.IngestTuple(catalog.TweetTuple(tw)) {
+		t.Fatal("tuple rejected")
+	}
+	if tr.Tweets()[0].ID != 5 {
+		t.Errorf("stored = %+v", tr.Tweets()[0])
+	}
+}
+
+func TestMaxTweetsCap(t *testing.T) {
+	tr := NewTracker(EventConfig{Name: "e", Keywords: []string{"x"}, MaxTweets: 5}, nil)
+	for i := 0; i < 20; i++ {
+		tr.Ingest(&tweet.Tweet{ID: int64(i), Text: "x", CreatedAt: time.Unix(int64(i), 0)})
+	}
+	if len(tr.Tweets()) != 5 {
+		t.Errorf("stored = %d, want cap 5", len(tr.Tweets()))
+	}
+	if tr.Ingested() != 20 {
+		t.Errorf("ingested = %d (cap must not affect counting)", tr.Ingested())
+	}
+}
+
+func TestPeakDetectUDFFlow(t *testing.T) {
+	factory := PeakDetectUDF(peaks.Config{Bin: time.Minute})
+	fn := factory()
+	base := time.Unix(0, 0).UTC()
+	call := func(min int, count int64) value.Value {
+		v, err := fn(context.Background(), []value.Value{
+			value.Time(base.Add(time.Duration(min) * time.Minute)), value.Int(count)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	// Warm baseline at 10/min.
+	var last value.Value
+	for i := 0; i < 20; i++ {
+		last = call(i, 10)
+	}
+	if !last.IsNull() {
+		t.Errorf("baseline bins inside peak? %v", last)
+	}
+	// Spike: the *next* call observes the previous bin closed at 80 and
+	// flags an open peak.
+	call(20, 80)
+	got := call(21, 90)
+	if got.IsNull() {
+		t.Error("peak not flagged during spike")
+	} else if s, _ := got.StringVal(); s != "A" {
+		t.Errorf("flag = %q", s)
+	}
+	// Errors for bad arity/args.
+	if _, err := fn(context.Background(), []value.Value{value.Int(1)}); err == nil {
+		t.Error("bad arity should error")
+	}
+	if _, err := fn(context.Background(), []value.Value{value.Int(1), value.Int(1)}); err == nil {
+		t.Error("non-time first arg should error")
+	}
+}
+
+func TestTrackerString(t *testing.T) {
+	tr, _ := soccerTracker(t)
+	s := tr.String()
+	if !strings.Contains(s, "Soccer") || !strings.Contains(s, "peaks") {
+		t.Errorf("String = %q", s)
+	}
+}

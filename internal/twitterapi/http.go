@@ -1,0 +1,207 @@
+package twitterapi
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"tweeql/internal/tweet"
+)
+
+// This file gives the simulated streaming API its wire form: the paper
+// describes "long-running HTTP requests with keyword, location, or
+// userid filters" — the 2011 statuses/filter endpoint. The handler
+// streams line-delimited JSON tweets over a chunked response until the
+// hub closes or the client disconnects; the client turns such a
+// response back into a tweet channel. The in-process Hub remains the
+// fast path; the HTTP layer exists so the substitution is demonstrably
+// a web service, and is what cmd binaries can expose.
+
+// Handler serves the hub over HTTP:
+//
+//	GET /1/statuses/filter.json?track=obama,quake
+//	GET /1/statuses/filter.json?follow=7,9
+//	GET /1/statuses/filter.json?locations=-74.26,40.48,-73.70,40.92
+//	GET /1/statuses/sample.json?rate=0.01
+//
+// locations uses the real API's lon,lat corner order (SW then NE).
+// Exactly one filter parameter is allowed, enforcing the contract that
+// drives TweeQL's pushdown choice.
+func (h *Hub) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /1/statuses/filter.json", func(w http.ResponseWriter, r *http.Request) {
+		f, err := parseFilterQuery(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		h.streamTo(w, r, f)
+	})
+	mux.HandleFunc("GET /1/statuses/sample.json", func(w http.ResponseWriter, r *http.Request) {
+		rate := 0.01
+		if s := r.URL.Query().Get("rate"); s != "" {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				http.Error(w, "bad rate", http.StatusBadRequest)
+				return
+			}
+			rate = v
+		}
+		h.streamTo(w, r, Filter{SampleRate: rate})
+	})
+	return mux
+}
+
+func parseFilterQuery(r *http.Request) (Filter, error) {
+	q := r.URL.Query()
+	var f Filter
+	if track := q.Get("track"); track != "" {
+		for _, kw := range strings.Split(track, ",") {
+			if kw = strings.TrimSpace(kw); kw != "" {
+				f.Track = append(f.Track, kw)
+			}
+		}
+	}
+	if follow := q.Get("follow"); follow != "" {
+		for _, s := range strings.Split(follow, ",") {
+			id, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+			if err != nil {
+				return f, fmt.Errorf("twitterapi: bad follow id %q", s)
+			}
+			f.Follow = append(f.Follow, id)
+		}
+	}
+	if locs := q.Get("locations"); locs != "" {
+		parts := strings.Split(locs, ",")
+		if len(parts)%4 != 0 {
+			return f, fmt.Errorf("twitterapi: locations wants groups of 4 coordinates")
+		}
+		for i := 0; i < len(parts); i += 4 {
+			var c [4]float64
+			for j := 0; j < 4; j++ {
+				v, err := strconv.ParseFloat(strings.TrimSpace(parts[i+j]), 64)
+				if err != nil {
+					return f, fmt.Errorf("twitterapi: bad coordinate %q", parts[i+j])
+				}
+				c[j] = v
+			}
+			// Real API order: swLon, swLat, neLon, neLat.
+			f.Locations = append(f.Locations, Box{MinLon: c[0], MinLat: c[1], MaxLon: c[2], MaxLat: c[3]})
+		}
+	}
+	return f, f.Validate()
+}
+
+// streamTo writes line-delimited JSON tweets until the connection or
+// hub ends.
+func (h *Hub) streamTo(w http.ResponseWriter, r *http.Request, f Filter) {
+	conn, err := h.Connect(f)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	defer conn.Close()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		// Push the headers out now: the client's request blocks until it
+		// sees them, and the first tweet may be a long time coming.
+		flusher.Flush()
+	}
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case t, ok := <-conn.C():
+			if !ok {
+				return
+			}
+			if err := enc.Encode(t); err != nil {
+				return // client went away
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// StreamHTTP opens a long-running filter request against a streaming
+// API served by Handler and returns the delivered tweets as a channel.
+// The channel closes when the server ends the stream or ctx is
+// cancelled.
+func StreamHTTP(ctx context.Context, client *http.Client, baseURL string, f Filter) (<-chan *tweet.Tweet, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	var path string
+	params := make([]string, 0, 2)
+	switch {
+	case f.SampleRate > 0:
+		path = "/1/statuses/sample.json"
+		params = append(params, "rate="+strconv.FormatFloat(f.SampleRate, 'f', -1, 64))
+	default:
+		path = "/1/statuses/filter.json"
+		switch {
+		case len(f.Track) > 0:
+			params = append(params, "track="+strings.Join(f.Track, ","))
+		case len(f.Follow) > 0:
+			ids := make([]string, len(f.Follow))
+			for i, id := range f.Follow {
+				ids[i] = strconv.FormatInt(id, 10)
+			}
+			params = append(params, "follow="+strings.Join(ids, ","))
+		case len(f.Locations) > 0:
+			var parts []string
+			for _, b := range f.Locations {
+				parts = append(parts,
+					strconv.FormatFloat(b.MinLon, 'f', -1, 64),
+					strconv.FormatFloat(b.MinLat, 'f', -1, 64),
+					strconv.FormatFloat(b.MaxLon, 'f', -1, 64),
+					strconv.FormatFloat(b.MaxLat, 'f', -1, 64))
+			}
+			params = append(params, "locations="+strings.Join(parts, ","))
+		}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+path+"?"+strings.Join(params, "&"), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		return nil, fmt.Errorf("twitterapi: stream request failed: %s", resp.Status)
+	}
+	out := make(chan *tweet.Tweet, 256)
+	go func() {
+		defer close(out)
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 64*1024), 1024*1024)
+		for sc.Scan() {
+			line := sc.Bytes()
+			if len(line) == 0 {
+				continue
+			}
+			var t tweet.Tweet
+			if err := json.Unmarshal(line, &t); err != nil {
+				continue // skip malformed keep-alives
+			}
+			select {
+			case out <- &t:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return out, nil
+}

@@ -1,0 +1,184 @@
+package twitterapi
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"tweeql/internal/tweet"
+)
+
+// httpHub starts an HTTP streaming server over a fresh hub.
+func httpHub(t *testing.T) (*Hub, *httptest.Server) {
+	t.Helper()
+	h := NewHub()
+	srv := httptest.NewServer(h.Handler())
+	t.Cleanup(srv.Close)
+	t.Cleanup(h.Close)
+	return h, srv
+}
+
+func TestHTTPTrackStream(t *testing.T) {
+	h, srv := httpHub(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	ch, err := StreamHTTP(ctx, srv.Client(), srv.URL, Filter{Track: []string{"goal"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Give the long-poll a moment to connect before publishing.
+		time.Sleep(50 * time.Millisecond)
+		h.Publish(&tweet.Tweet{ID: 1, Text: "GOAL by Tevez", CreatedAt: time.Unix(0, 0)})
+		h.Publish(&tweet.Tweet{ID: 2, Text: "irrelevant", CreatedAt: time.Unix(1, 0)})
+		h.Publish(&tweet.Tweet{ID: 3, Text: "another goal", CreatedAt: time.Unix(2, 0)})
+		h.Close()
+	}()
+	var got []*tweet.Tweet
+	for tw := range ch {
+		got = append(got, tw)
+	}
+	wg.Wait()
+	if len(got) != 2 {
+		t.Fatalf("delivered %d tweets over HTTP, want 2", len(got))
+	}
+	if got[0].ID != 1 || got[0].Text != "GOAL by Tevez" {
+		t.Errorf("tweet JSON lost fields: %+v", got[0])
+	}
+}
+
+func TestHTTPLocationsRealOrder(t *testing.T) {
+	h, srv := httpHub(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	// NYC box in the real API's lon,lat corner order.
+	ch, err := StreamHTTP(ctx, srv.Client(), srv.URL, Filter{Locations: []Box{NYCBox}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		h.Publish(&tweet.Tweet{ID: 1, HasGeo: true, Lat: 40.71, Lon: -74.0, CreatedAt: time.Unix(0, 0)})
+		h.Publish(&tweet.Tweet{ID: 2, HasGeo: true, Lat: 42.36, Lon: -71.05, CreatedAt: time.Unix(1, 0)})
+		h.Close()
+	}()
+	n := 0
+	for tw := range ch {
+		n++
+		if tw.ID != 1 {
+			t.Errorf("wrong tweet through location filter: %d", tw.ID)
+		}
+	}
+	if n != 1 {
+		t.Errorf("delivered %d, want 1", n)
+	}
+}
+
+func TestHTTPSampleEndpoint(t *testing.T) {
+	h, srv := httpHub(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	ch, err := StreamHTTP(ctx, srv.Client(), srv.URL, Filter{SampleRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		for i := 0; i < 5; i++ {
+			h.Publish(&tweet.Tweet{ID: int64(i), Text: "x", CreatedAt: time.Unix(int64(i), 0)})
+		}
+		h.Close()
+	}()
+	n := 0
+	for range ch {
+		n++
+	}
+	if n != 5 {
+		t.Errorf("sample(1.0) delivered %d/5", n)
+	}
+}
+
+func TestHTTPRejectsBadRequests(t *testing.T) {
+	_, srv := httpHub(t)
+	cases := []string{
+		"/1/statuses/filter.json",                   // no filter
+		"/1/statuses/filter.json?track=a&follow=1",  // two filter types
+		"/1/statuses/filter.json?follow=notanumber", // bad id
+		"/1/statuses/filter.json?locations=1,2,3",   // not groups of 4
+		"/1/statuses/filter.json?locations=a,b,c,d", // bad coords
+		"/1/statuses/sample.json?rate=bogus",        // bad rate
+		"/1/statuses/sample.json?rate=7",            // out of range
+	}
+	for _, path := range cases {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			t.Errorf("%s should be rejected", path)
+		}
+	}
+}
+
+func TestHTTPClientValidatesFilter(t *testing.T) {
+	if _, err := StreamHTTP(context.Background(), http.DefaultClient, "http://unused", Filter{}); err == nil {
+		t.Error("invalid filter should fail before dialing")
+	}
+}
+
+func TestHTTPClientCancellation(t *testing.T) {
+	h, srv := httpHub(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	ch, err := StreamHTTP(ctx, srv.Client(), srv.URL, Filter{Track: []string{"x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	h.Publish(&tweet.Tweet{ID: 1, Text: "x", CreatedAt: time.Unix(0, 0)})
+	<-ch
+	cancel()
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case _, ok := <-ch:
+			if !ok {
+				return
+			}
+		case <-deadline:
+			t.Fatal("HTTP stream did not close after cancel")
+		}
+	}
+}
+
+func TestHTTPFollowStream(t *testing.T) {
+	h, srv := httpHub(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	ch, err := StreamHTTP(ctx, srv.Client(), srv.URL, Filter{Follow: []int64{7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		h.Publish(&tweet.Tweet{ID: 1, UserID: 7, Text: "mine", CreatedAt: time.Unix(0, 0)})
+		h.Publish(&tweet.Tweet{ID: 2, UserID: 8, Text: "theirs", CreatedAt: time.Unix(1, 0)})
+		h.Close()
+	}()
+	n := 0
+	for tw := range ch {
+		n++
+		if tw.UserID != 7 {
+			t.Errorf("follow filter leaked user %d", tw.UserID)
+		}
+	}
+	if n != 1 {
+		t.Errorf("delivered %d, want 1", n)
+	}
+}

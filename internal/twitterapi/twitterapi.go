@@ -1,0 +1,311 @@
+// Package twitterapi simulates the 2011 Twitter streaming API that
+// TweeQL sits on top of (§2: "The streaming API allows users to issue
+// long-running HTTP requests with keyword, location, or userid filters,
+// and receive most tweets that appear on the stream and match these
+// filters").
+//
+// The simulation preserves the three contract points TweeQL's design
+// reacts to:
+//
+//   - exactly ONE filter type per connection (keywords OR location boxes
+//     OR user ids OR random sample) — the root of the paper's "Uncertain
+//     Selectivities" problem;
+//   - best-effort delivery: a connection that cannot keep up, or whose
+//     matched volume exceeds the per-connection rate cap, loses tweets
+//     ("receive *most* tweets"), with drops counted like the real API's
+//     limit notices;
+//   - server-side matching semantics: track terms match on token
+//     boundaries, location boxes require device GPS.
+package twitterapi
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"tweeql/internal/tweet"
+)
+
+// Box is a geographic bounding box (south-west / north-east corners).
+type Box struct {
+	MinLat, MinLon, MaxLat, MaxLon float64
+}
+
+// Contains reports whether the point is inside the box (inclusive).
+func (b Box) Contains(lat, lon float64) bool {
+	return lat >= b.MinLat && lat <= b.MaxLat && lon >= b.MinLon && lon <= b.MaxLon
+}
+
+// NYCBox and BostonBox are the demo bounding boxes the paper's example
+// queries use ("location in [bounding box for NYC]").
+var (
+	NYCBox    = Box{MinLat: 40.4774, MinLon: -74.2591, MaxLat: 40.9176, MaxLon: -73.7004}
+	BostonBox = Box{MinLat: 42.2279, MinLon: -71.1912, MaxLat: 42.3974, MaxLon: -70.9860}
+)
+
+// Filter is a streaming-API predicate. Exactly one of the four fields
+// may be set; Validate enforces this, reproducing the API restriction
+// that forces TweeQL to choose which filter to push down.
+type Filter struct {
+	// Track matches tweets containing any of these keywords.
+	Track []string
+	// Locations matches GPS-tagged tweets inside any box.
+	Locations []Box
+	// Follow matches tweets authored by any of these user ids.
+	Follow []int64
+	// SampleRate ∈ (0,1] subscribes to a deterministic pseudo-random
+	// sample of the whole stream (the API's statuses/sample endpoint).
+	SampleRate float64
+}
+
+// ErrFilterArity is returned when zero or multiple filter types are set.
+var ErrFilterArity = errors.New("twitterapi: exactly one filter type per connection")
+
+// Validate checks the one-filter-type contract.
+func (f Filter) Validate() error {
+	set := 0
+	if len(f.Track) > 0 {
+		set++
+	}
+	if len(f.Locations) > 0 {
+		set++
+	}
+	if len(f.Follow) > 0 {
+		set++
+	}
+	if f.SampleRate != 0 {
+		if f.SampleRate < 0 || f.SampleRate > 1 {
+			return fmt.Errorf("twitterapi: sample rate %v outside (0,1]", f.SampleRate)
+		}
+		set++
+	}
+	if set != 1 {
+		return ErrFilterArity
+	}
+	return nil
+}
+
+// Matches applies the server-side matching semantics.
+func (f Filter) Matches(t *tweet.Tweet) bool {
+	switch {
+	case len(f.Track) > 0:
+		return tweet.ContainsAnyWord(t.Text, f.Track)
+	case len(f.Locations) > 0:
+		if !t.HasGeo {
+			return false
+		}
+		for _, b := range f.Locations {
+			if b.Contains(t.Lat, t.Lon) {
+				return true
+			}
+		}
+		return false
+	case len(f.Follow) > 0:
+		for _, id := range f.Follow {
+			if t.UserID == id {
+				return true
+			}
+		}
+		return false
+	case f.SampleRate > 0:
+		// Deterministic hash sample so replays are reproducible.
+		h := fnv.New32a()
+		var buf [8]byte
+		id := uint64(t.ID)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(id >> (8 * i))
+		}
+		_, _ = h.Write(buf[:])
+		return float64(h.Sum32())/float64(1<<32) < f.SampleRate
+	default:
+		return false
+	}
+}
+
+// String renders the filter for logs and plan explanations.
+func (f Filter) String() string {
+	switch {
+	case len(f.Track) > 0:
+		return fmt.Sprintf("track%v", f.Track)
+	case len(f.Locations) > 0:
+		return fmt.Sprintf("locations(%d boxes)", len(f.Locations))
+	case len(f.Follow) > 0:
+		return fmt.Sprintf("follow(%d users)", len(f.Follow))
+	case f.SampleRate > 0:
+		return fmt.Sprintf("sample(%.2f%%)", f.SampleRate*100)
+	default:
+		return "invalid"
+	}
+}
+
+// ConnStats counts per-connection delivery outcomes.
+type ConnStats struct {
+	Matched   int64 // passed the server-side filter
+	Delivered int64 // actually enqueued to the client
+	Dropped   int64 // lost to rate cap or full client buffer
+}
+
+// Connection is one long-running streaming request.
+type Connection struct {
+	hub    *Hub
+	filter Filter
+	ch     chan *tweet.Tweet
+
+	mu      sync.Mutex
+	stats   ConnStats
+	rateCap int // max deliveries per event-second; 0 = unlimited
+	curSec  int64
+	curCnt  int
+	closed  bool
+}
+
+// C returns the tweet delivery channel. It closes when the connection is
+// closed or the hub shuts down.
+func (c *Connection) C() <-chan *tweet.Tweet { return c.ch }
+
+// Stats returns a snapshot of delivery counters.
+func (c *Connection) Stats() ConnStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Close detaches the connection from the hub and closes C.
+func (c *Connection) Close() { c.hub.disconnect(c) }
+
+// offer delivers t if the rate cap and buffer allow; otherwise counts a
+// drop. Called with hub lock held (serialized), so per-connection state
+// needs only the local lock.
+func (c *Connection) offer(t *tweet.Tweet) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.stats.Matched++
+	if c.rateCap > 0 {
+		sec := t.CreatedAt.Unix()
+		if sec != c.curSec {
+			c.curSec, c.curCnt = sec, 0
+		}
+		if c.curCnt >= c.rateCap {
+			c.stats.Dropped++
+			return
+		}
+		c.curCnt++
+	}
+	select {
+	case c.ch <- t:
+		c.stats.Delivered++
+	default:
+		c.stats.Dropped++ // slow consumer: best-effort delivery
+	}
+}
+
+// Hub is the simulated streaming endpoint: publish the firehose into it,
+// open filtered connections out of it.
+type Hub struct {
+	mu        sync.Mutex
+	conns     map[*Connection]bool
+	published int64
+	closed    bool
+}
+
+// NewHub returns an empty hub.
+func NewHub() *Hub {
+	return &Hub{conns: make(map[*Connection]bool)}
+}
+
+// ConnectOpt tunes a connection.
+type ConnectOpt func(*Connection)
+
+// WithRateCap limits deliveries per event-time second, modeling the
+// streaming API's cap on high-volume filters.
+func WithRateCap(perSec int) ConnectOpt {
+	return func(c *Connection) { c.rateCap = perSec }
+}
+
+// WithBuffer sets the client buffer size (default 1024).
+func WithBuffer(n int) ConnectOpt {
+	return func(c *Connection) { c.ch = make(chan *tweet.Tweet, n) }
+}
+
+// Connect opens a streaming connection with the filter.
+func (h *Hub) Connect(f Filter, opts ...ConnectOpt) (*Connection, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Connection{hub: h, filter: f, ch: make(chan *tweet.Tweet, 1024)}
+	for _, opt := range opts {
+		opt(c)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil, errors.New("twitterapi: hub closed")
+	}
+	h.conns[c] = true
+	return c, nil
+}
+
+// Publish pushes one firehose tweet through every connection's filter.
+func (h *Hub) Publish(t *tweet.Tweet) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.published++
+	for c := range h.conns {
+		if c.filter.Matches(t) {
+			c.offer(t)
+		}
+	}
+}
+
+// Published reports the number of firehose tweets seen.
+func (h *Hub) Published() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.published
+}
+
+// Close shuts the hub and closes every connection channel.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for c := range h.conns {
+		c.mu.Lock()
+		c.closed = true
+		c.mu.Unlock()
+		close(c.ch)
+		delete(h.conns, c)
+	}
+}
+
+func (h *Hub) disconnect(c *Connection) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.conns[c] {
+		return
+	}
+	delete(h.conns, c)
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	close(c.ch)
+}
+
+// Replay publishes a pre-generated stream through the hub and closes it,
+// for batch experiments.
+func Replay(h *Hub, tweets []*tweet.Tweet) {
+	for _, t := range tweets {
+		h.Publish(t)
+	}
+	h.Close()
+}

@@ -1,0 +1,251 @@
+package twitterapi
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"tweeql/internal/tweet"
+)
+
+func mkTweet(id int64, text string) *tweet.Tweet {
+	return &tweet.Tweet{ID: id, Text: text, CreatedAt: time.Unix(id/10, 0)}
+}
+
+func TestFilterValidate(t *testing.T) {
+	valid := []Filter{
+		{Track: []string{"obama"}},
+		{Locations: []Box{NYCBox}},
+		{Follow: []int64{1}},
+		{SampleRate: 0.01},
+	}
+	for _, f := range valid {
+		if err := f.Validate(); err != nil {
+			t.Errorf("Validate(%s) = %v", f, err)
+		}
+	}
+	invalid := []Filter{
+		{},
+		{Track: []string{"a"}, Follow: []int64{1}},
+		{Track: []string{"a"}, Locations: []Box{NYCBox}},
+		{SampleRate: 1.5},
+		{SampleRate: -0.1},
+	}
+	for _, f := range invalid {
+		if err := f.Validate(); err == nil {
+			t.Errorf("Validate(%+v) should fail", f)
+		}
+	}
+}
+
+func TestTrackMatching(t *testing.T) {
+	f := Filter{Track: []string{"obama", "quake"}}
+	if !f.Matches(mkTweet(1, "Obama speaks tonight")) {
+		t.Error("keyword should match case-insensitively")
+	}
+	if f.Matches(mkTweet(2, "obamacare debate")) {
+		t.Error("keyword must match on token boundary")
+	}
+	if !f.Matches(mkTweet(3, "#quake in tokyo")) {
+		t.Error("hashtag form should match")
+	}
+	if f.Matches(mkTweet(4, "nothing relevant")) {
+		t.Error("unrelated text matched")
+	}
+}
+
+func TestLocationMatching(t *testing.T) {
+	f := Filter{Locations: []Box{NYCBox}}
+	in := &tweet.Tweet{ID: 1, HasGeo: true, Lat: 40.71, Lon: -74.0}
+	out := &tweet.Tweet{ID: 2, HasGeo: true, Lat: 42.36, Lon: -71.06}
+	nogeo := &tweet.Tweet{ID: 3, Lat: 40.71, Lon: -74.0}
+	if !f.Matches(in) {
+		t.Error("NYC tweet should match NYC box")
+	}
+	if f.Matches(out) {
+		t.Error("Boston tweet matched NYC box")
+	}
+	if f.Matches(nogeo) {
+		t.Error("location filter requires HasGeo")
+	}
+}
+
+func TestFollowMatching(t *testing.T) {
+	f := Filter{Follow: []int64{7, 9}}
+	if !f.Matches(&tweet.Tweet{ID: 1, UserID: 9}) || f.Matches(&tweet.Tweet{ID: 2, UserID: 8}) {
+		t.Error("follow matching wrong")
+	}
+}
+
+func TestSampleDeterministicAndProportional(t *testing.T) {
+	f := Filter{SampleRate: 0.1}
+	n, hits := 20000, 0
+	for i := 0; i < n; i++ {
+		tw := mkTweet(int64(i), "x")
+		m1, m2 := f.Matches(tw), f.Matches(tw)
+		if m1 != m2 {
+			t.Fatal("sample matching not deterministic")
+		}
+		if m1 {
+			hits++
+		}
+	}
+	got := float64(hits) / float64(n)
+	if got < 0.08 || got > 0.12 {
+		t.Errorf("sample rate = %v, want ≈0.1", got)
+	}
+}
+
+func TestHubDeliveryAndStats(t *testing.T) {
+	h := NewHub()
+	conn, err := h.Connect(Filter{Track: []string{"goal"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Publish(mkTweet(1, "GOAL by Tevez"))
+	h.Publish(mkTweet(2, "nothing"))
+	h.Publish(mkTweet(3, "another goal"))
+	h.Close()
+	var got []*tweet.Tweet
+	for tw := range conn.C() {
+		got = append(got, tw)
+	}
+	if len(got) != 2 {
+		t.Fatalf("delivered %d, want 2", len(got))
+	}
+	st := conn.Stats()
+	if st.Matched != 2 || st.Delivered != 2 || st.Dropped != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if h.Published() != 3 {
+		t.Errorf("Published = %d", h.Published())
+	}
+}
+
+func TestInvalidFilterRejected(t *testing.T) {
+	h := NewHub()
+	if _, err := h.Connect(Filter{}); !errors.Is(err, ErrFilterArity) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRateCapDropsByEventSecond(t *testing.T) {
+	h := NewHub()
+	conn, err := h.Connect(Filter{Track: []string{"x"}}, WithRateCap(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Unix(1000, 0)
+	for i := 0; i < 5; i++ { // five matching tweets in the same second
+		h.Publish(&tweet.Tweet{ID: int64(i), Text: "x", CreatedAt: base})
+	}
+	// next second: cap resets
+	h.Publish(&tweet.Tweet{ID: 10, Text: "x", CreatedAt: base.Add(time.Second)})
+	h.Close()
+	n := 0
+	for range conn.C() {
+		n++
+	}
+	if n != 3 {
+		t.Errorf("delivered %d, want 2 (capped) + 1 (next second)", n)
+	}
+	st := conn.Stats()
+	if st.Dropped != 3 {
+		t.Errorf("Dropped = %d, want 3", st.Dropped)
+	}
+}
+
+func TestSlowConsumerDrops(t *testing.T) {
+	h := NewHub()
+	conn, err := h.Connect(Filter{Track: []string{"x"}}, WithBuffer(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Publish(mkTweet(1, "x"))
+	h.Publish(mkTweet(2, "x")) // buffer full: dropped
+	h.Close()
+	n := 0
+	for range conn.C() {
+		n++
+	}
+	if n != 1 {
+		t.Errorf("delivered %d, want 1", n)
+	}
+	if st := conn.Stats(); st.Dropped != 1 {
+		t.Errorf("Dropped = %d", st.Dropped)
+	}
+}
+
+func TestConnectionClose(t *testing.T) {
+	h := NewHub()
+	conn, _ := h.Connect(Filter{Track: []string{"x"}})
+	conn.Close()
+	if _, ok := <-conn.C(); ok {
+		t.Error("closed connection channel should be drained/closed")
+	}
+	// Publishing after close must not panic or deliver.
+	h.Publish(mkTweet(1, "x"))
+	conn.Close() // double close is a no-op
+	h.Close()
+	if _, err := h.Connect(Filter{Track: []string{"x"}}); err == nil {
+		t.Error("connect after hub close should fail")
+	}
+}
+
+func TestMultipleConnectionsIndependent(t *testing.T) {
+	h := NewHub()
+	kw, _ := h.Connect(Filter{Track: []string{"goal"}})
+	loc, _ := h.Connect(Filter{Locations: []Box{BostonBox}})
+	h.Publish(&tweet.Tweet{ID: 1, Text: "goal!", CreatedAt: time.Unix(0, 0)})
+	h.Publish(&tweet.Tweet{ID: 2, Text: "hello", HasGeo: true, Lat: 42.3, Lon: -71.05, CreatedAt: time.Unix(0, 0)})
+	h.Close()
+	if n := len(drain(kw)); n != 1 {
+		t.Errorf("keyword conn got %d", n)
+	}
+	if n := len(drain(loc)); n != 1 {
+		t.Errorf("location conn got %d", n)
+	}
+}
+
+func drain(c *Connection) []*tweet.Tweet {
+	var out []*tweet.Tweet
+	for tw := range c.C() {
+		out = append(out, tw)
+	}
+	return out
+}
+
+func TestReplay(t *testing.T) {
+	h := NewHub()
+	conn, _ := h.Connect(Filter{SampleRate: 1})
+	tweets := []*tweet.Tweet{mkTweet(1, "a"), mkTweet(2, "b")}
+	Replay(h, tweets)
+	if n := len(drain(conn)); n != 2 {
+		t.Errorf("replay delivered %d", n)
+	}
+}
+
+func TestBoxContains(t *testing.T) {
+	b := Box{MinLat: 0, MinLon: 0, MaxLat: 10, MaxLon: 10}
+	if !b.Contains(5, 5) || !b.Contains(0, 0) || !b.Contains(10, 10) {
+		t.Error("inclusive bounds broken")
+	}
+	if b.Contains(-1, 5) || b.Contains(5, 11) {
+		t.Error("out-of-box accepted")
+	}
+}
+
+func TestFilterString(t *testing.T) {
+	cases := []Filter{
+		{Track: []string{"a"}},
+		{Locations: []Box{NYCBox}},
+		{Follow: []int64{1}},
+		{SampleRate: 0.5},
+		{},
+	}
+	for _, f := range cases {
+		if f.String() == "" {
+			t.Errorf("empty String for %+v", f)
+		}
+	}
+}

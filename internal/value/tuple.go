@@ -1,0 +1,129 @@
+package value
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Field describes one column of a schema.
+type Field struct {
+	Name string
+	Kind Kind // KindNull means "dynamic": any kind may appear
+}
+
+// Schema is an ordered list of named fields. Schemas are immutable once
+// shared between operators; build them with NewSchema.
+type Schema struct {
+	fields []Field
+	index  map[string]int
+}
+
+// NewSchema builds a schema from fields. Duplicate names keep the first
+// position (later fields shadow on lookup only if the earlier is removed).
+func NewSchema(fields ...Field) *Schema {
+	s := &Schema{fields: fields, index: make(map[string]int, len(fields))}
+	for i, f := range fields {
+		key := strings.ToLower(f.Name)
+		if _, dup := s.index[key]; !dup {
+			s.index[key] = i
+		}
+	}
+	return s
+}
+
+// Len reports the number of fields.
+func (s *Schema) Len() int { return len(s.fields) }
+
+// Field returns the i-th field.
+func (s *Schema) Field(i int) Field { return s.fields[i] }
+
+// Fields returns a copy of the field list.
+func (s *Schema) Fields() []Field {
+	out := make([]Field, len(s.fields))
+	copy(out, s.fields)
+	return out
+}
+
+// Index returns the position of the named field (case-insensitive) and
+// whether it exists.
+func (s *Schema) Index(name string) (int, bool) {
+	i, ok := s.index[strings.ToLower(name)]
+	return i, ok
+}
+
+// Names returns the field names in order.
+func (s *Schema) Names() []string {
+	out := make([]string, len(s.fields))
+	for i, f := range s.fields {
+		out[i] = f.Name
+	}
+	return out
+}
+
+// Extend returns a new schema with extra fields appended.
+func (s *Schema) Extend(fields ...Field) *Schema {
+	all := make([]Field, 0, len(s.fields)+len(fields))
+	all = append(all, s.fields...)
+	all = append(all, fields...)
+	return NewSchema(all...)
+}
+
+// String renders the schema as "(name kind, ...)".
+func (s *Schema) String() string {
+	parts := make([]string, len(s.fields))
+	for i, f := range s.fields {
+		parts[i] = f.Name + " " + f.Kind.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Tuple is one row: a schema plus positional values. Tuples also carry
+// the event timestamp used by windowing operators, so time travels with
+// the row even after projection drops the created_at column.
+type Tuple struct {
+	Schema *Schema
+	Values []Value
+	TS     time.Time
+}
+
+// NewTuple pairs a schema with values; it panics if the arity differs,
+// which always indicates an operator bug rather than bad user input.
+func NewTuple(s *Schema, vals []Value, ts time.Time) Tuple {
+	if len(vals) != s.Len() {
+		panic(fmt.Sprintf("value: tuple arity %d != schema arity %d", len(vals), s.Len()))
+	}
+	return Tuple{Schema: s, Values: vals, TS: ts}
+}
+
+// Get returns the value of the named field; NULL if absent.
+func (t Tuple) Get(name string) Value {
+	if i, ok := t.Schema.Index(name); ok {
+		return t.Values[i]
+	}
+	return Null()
+}
+
+// Has reports whether the named field exists in the schema.
+func (t Tuple) Has(name string) bool {
+	_, ok := t.Schema.Index(name)
+	return ok
+}
+
+// String renders the tuple as "name=value, ...".
+func (t Tuple) String() string {
+	parts := make([]string, len(t.Values))
+	for i, v := range t.Values {
+		parts[i] = t.Schema.Field(i).Name + "=" + v.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Map converts the tuple into a name→Go-value map, for JSON encoding.
+func (t Tuple) Map() map[string]any {
+	m := make(map[string]any, len(t.Values))
+	for i, v := range t.Values {
+		m[t.Schema.Field(i).Name] = v.GoValue()
+	}
+	return m
+}

@@ -1,0 +1,87 @@
+package value
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSchemaBasics(t *testing.T) {
+	s := NewSchema(Field{"text", KindString}, Field{"Count", KindInt})
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if i, ok := s.Index("TEXT"); !ok || i != 0 {
+		t.Errorf("Index(TEXT) = %d,%v", i, ok)
+	}
+	if i, ok := s.Index("count"); !ok || i != 1 {
+		t.Errorf("Index(count) = %d,%v", i, ok)
+	}
+	if _, ok := s.Index("missing"); ok {
+		t.Error("Index(missing) should be false")
+	}
+	if got := s.String(); got != "(text string, Count int)" {
+		t.Errorf("String = %q", got)
+	}
+	names := s.Names()
+	if len(names) != 2 || names[0] != "text" || names[1] != "Count" {
+		t.Errorf("Names = %v", names)
+	}
+	fs := s.Fields()
+	fs[0].Name = "mutated"
+	if s.Field(0).Name != "text" {
+		t.Error("Fields() must return a copy")
+	}
+}
+
+func TestSchemaDuplicateKeepsFirst(t *testing.T) {
+	s := NewSchema(Field{"a", KindInt}, Field{"A", KindString})
+	if i, _ := s.Index("a"); i != 0 {
+		t.Errorf("duplicate lookup = %d, want 0", i)
+	}
+}
+
+func TestSchemaExtend(t *testing.T) {
+	s := NewSchema(Field{"a", KindInt})
+	s2 := s.Extend(Field{"b", KindFloat})
+	if s2.Len() != 2 || s.Len() != 1 {
+		t.Fatalf("Extend mutated original: %d %d", s.Len(), s2.Len())
+	}
+	if i, ok := s2.Index("b"); !ok || i != 1 {
+		t.Errorf("extended Index(b) = %d,%v", i, ok)
+	}
+}
+
+func TestTuple(t *testing.T) {
+	s := NewSchema(Field{"text", KindString}, Field{"n", KindInt})
+	ts := time.Unix(1000, 0)
+	tup := NewTuple(s, []Value{String("hello"), Int(3)}, ts)
+	if got := tup.Get("text"); got.String() != "hello" {
+		t.Errorf("Get(text) = %s", got)
+	}
+	if got := tup.Get("absent"); !got.IsNull() {
+		t.Errorf("Get(absent) = %s", got)
+	}
+	if !tup.Has("n") || tup.Has("absent") {
+		t.Error("Has misreports")
+	}
+	if got := tup.String(); got != "text=hello, n=3" {
+		t.Errorf("String = %q", got)
+	}
+	m := tup.Map()
+	if m["text"] != "hello" || m["n"] != int64(3) {
+		t.Errorf("Map = %v", m)
+	}
+	if !tup.TS.Equal(ts) {
+		t.Error("timestamp lost")
+	}
+}
+
+func TestTupleArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewTuple with wrong arity should panic")
+		}
+	}()
+	s := NewSchema(Field{"a", KindInt})
+	NewTuple(s, []Value{Int(1), Int(2)}, time.Time{})
+}

@@ -1,0 +1,411 @@
+// Package value defines the dynamically typed value model used throughout
+// the TweeQL engine: scalar values, tuples (rows), and schemas.
+//
+// TweeQL operates over unstructured tweets, so fields frequently change
+// type across rows (a location string may geocode to a float or fail to
+// null). Values therefore carry their kind at runtime, and the comparison
+// and arithmetic rules perform the numeric coercions SQL users expect
+// (int widens to float; null propagates).
+package value
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Kind enumerates the runtime types a Value may hold.
+type Kind int
+
+const (
+	KindNull Kind = iota
+	KindBool
+	KindInt
+	KindFloat
+	KindString
+	KindTime
+	KindList
+)
+
+// String returns the lower-case SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindBool:
+		return "bool"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindTime:
+		return "time"
+	case KindList:
+		return "list"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Value is a dynamically typed scalar (or list of scalars). The zero
+// Value is NULL, following the zero-value-is-useful convention.
+type Value struct {
+	kind Kind
+	b    bool
+	i    int64
+	f    float64
+	s    string
+	t    time.Time
+	l    []Value
+}
+
+// Null returns the NULL value.
+func Null() Value { return Value{} }
+
+// Bool wraps a bool.
+func Bool(b bool) Value { return Value{kind: KindBool, b: b} }
+
+// Int wraps an int64.
+func Int(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// Float wraps a float64.
+func Float(f float64) Value { return Value{kind: KindFloat, f: f} }
+
+// String wraps a string.
+func String(s string) Value { return Value{kind: KindString, s: s} }
+
+// Time wraps a time.Time.
+func Time(t time.Time) Value { return Value{kind: KindTime, t: t} }
+
+// List wraps a slice of values. The slice is not copied.
+func List(vs []Value) Value { return Value{kind: KindList, l: vs} }
+
+// Strings builds a list value from a string slice.
+func Strings(ss []string) Value {
+	vs := make([]Value, len(ss))
+	for i, s := range ss {
+		vs[i] = String(s)
+	}
+	return List(vs)
+}
+
+// Kind reports the runtime kind of v.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether v is NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// ErrType is returned when a value has the wrong kind for an operation.
+var ErrType = errors.New("value: type mismatch")
+
+// BoolVal returns the boolean content, or an error for non-bools.
+func (v Value) BoolVal() (bool, error) {
+	if v.kind != KindBool {
+		return false, fmt.Errorf("%w: want bool, have %s", ErrType, v.kind)
+	}
+	return v.b, nil
+}
+
+// IntVal returns the integer content; floats with integral values are
+// accepted.
+func (v Value) IntVal() (int64, error) {
+	switch v.kind {
+	case KindInt:
+		return v.i, nil
+	case KindFloat:
+		if v.f == math.Trunc(v.f) {
+			return int64(v.f), nil
+		}
+	}
+	return 0, fmt.Errorf("%w: want int, have %s", ErrType, v.kind)
+}
+
+// FloatVal returns the numeric content widened to float64.
+func (v Value) FloatVal() (float64, error) {
+	switch v.kind {
+	case KindInt:
+		return float64(v.i), nil
+	case KindFloat:
+		return v.f, nil
+	}
+	return 0, fmt.Errorf("%w: want float, have %s", ErrType, v.kind)
+}
+
+// StringVal returns the string content, or an error for non-strings.
+func (v Value) StringVal() (string, error) {
+	if v.kind != KindString {
+		return "", fmt.Errorf("%w: want string, have %s", ErrType, v.kind)
+	}
+	return v.s, nil
+}
+
+// TimeVal returns the time content, or an error for non-times.
+func (v Value) TimeVal() (time.Time, error) {
+	if v.kind != KindTime {
+		return time.Time{}, fmt.Errorf("%w: want time, have %s", ErrType, v.kind)
+	}
+	return v.t, nil
+}
+
+// ListVal returns the list content, or an error for non-lists.
+func (v Value) ListVal() ([]Value, error) {
+	if v.kind != KindList {
+		return nil, fmt.Errorf("%w: want list, have %s", ErrType, v.kind)
+	}
+	return v.l, nil
+}
+
+// Truthy reports whether v counts as true in a WHERE predicate: non-false
+// bools, non-zero numbers, non-empty strings/lists. NULL is never truthy
+// (SQL three-valued logic collapses UNKNOWN to false at the filter).
+func (v Value) Truthy() bool {
+	switch v.kind {
+	case KindBool:
+		return v.b
+	case KindInt:
+		return v.i != 0
+	case KindFloat:
+		return v.f != 0
+	case KindString:
+		return v.s != ""
+	case KindTime:
+		return !v.t.IsZero()
+	case KindList:
+		return len(v.l) > 0
+	default:
+		return false
+	}
+}
+
+// numeric reports whether the kind participates in arithmetic coercion.
+func (k Kind) numeric() bool { return k == KindInt || k == KindFloat }
+
+// Compare orders two values: -1, 0, or +1. Numeric kinds compare after
+// widening; strings compare lexicographically; times chronologically.
+// NULL compares less than everything except NULL. Mismatched,
+// non-coercible kinds return an error.
+func Compare(a, b Value) (int, error) {
+	switch {
+	case a.kind == KindNull && b.kind == KindNull:
+		return 0, nil
+	case a.kind == KindNull:
+		return -1, nil
+	case b.kind == KindNull:
+		return 1, nil
+	}
+	if a.kind.numeric() && b.kind.numeric() {
+		af, _ := a.FloatVal()
+		bf, _ := b.FloatVal()
+		switch {
+		case af < bf:
+			return -1, nil
+		case af > bf:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	}
+	if a.kind != b.kind {
+		return 0, fmt.Errorf("%w: cannot compare %s with %s", ErrType, a.kind, b.kind)
+	}
+	switch a.kind {
+	case KindBool:
+		switch {
+		case !a.b && b.b:
+			return -1, nil
+		case a.b && !b.b:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	case KindString:
+		return strings.Compare(a.s, b.s), nil
+	case KindTime:
+		switch {
+		case a.t.Before(b.t):
+			return -1, nil
+		case a.t.After(b.t):
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	case KindList:
+		for i := 0; i < len(a.l) && i < len(b.l); i++ {
+			c, err := Compare(a.l[i], b.l[i])
+			if err != nil || c != 0 {
+				return c, err
+			}
+		}
+		switch {
+		case len(a.l) < len(b.l):
+			return -1, nil
+		case len(a.l) > len(b.l):
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: cannot compare %s", ErrType, a.kind)
+}
+
+// Equal reports deep equality with numeric coercion. Mismatched kinds are
+// unequal rather than an error, matching filter semantics.
+func Equal(a, b Value) bool {
+	c, err := Compare(a, b)
+	return err == nil && c == 0
+}
+
+// Arith applies a binary arithmetic operator (+ - * / %) with SQL
+// semantics: NULL propagates, ints stay ints except true division by a
+// float, division by zero returns NULL.
+func Arith(op string, a, b Value) (Value, error) {
+	if a.IsNull() || b.IsNull() {
+		return Null(), nil
+	}
+	if op == "+" && a.kind == KindString && b.kind == KindString {
+		return String(a.s + b.s), nil
+	}
+	if !a.kind.numeric() || !b.kind.numeric() {
+		return Null(), fmt.Errorf("%w: %s %s %s", ErrType, a.kind, op, b.kind)
+	}
+	if a.kind == KindInt && b.kind == KindInt {
+		x, y := a.i, b.i
+		switch op {
+		case "+":
+			return Int(x + y), nil
+		case "-":
+			return Int(x - y), nil
+		case "*":
+			return Int(x * y), nil
+		case "/":
+			if y == 0 {
+				return Null(), nil
+			}
+			return Int(x / y), nil
+		case "%":
+			if y == 0 {
+				return Null(), nil
+			}
+			return Int(x % y), nil
+		}
+		return Null(), fmt.Errorf("value: unknown operator %q", op)
+	}
+	x, _ := a.FloatVal()
+	y, _ := b.FloatVal()
+	switch op {
+	case "+":
+		return Float(x + y), nil
+	case "-":
+		return Float(x - y), nil
+	case "*":
+		return Float(x * y), nil
+	case "/":
+		if y == 0 {
+			return Null(), nil
+		}
+		return Float(x / y), nil
+	case "%":
+		if y == 0 {
+			return Null(), nil
+		}
+		return Float(math.Mod(x, y)), nil
+	}
+	return Null(), fmt.Errorf("value: unknown operator %q", op)
+}
+
+// String renders the value for display (REPL output, logs).
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindBool:
+		return strconv.FormatBool(v.b)
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return v.s
+	case KindTime:
+		return v.t.UTC().Format(time.RFC3339)
+	case KindList:
+		parts := make([]string, len(v.l))
+		for i, e := range v.l {
+			parts[i] = e.String()
+		}
+		return "[" + strings.Join(parts, ", ") + "]"
+	default:
+		return "?"
+	}
+}
+
+// GoValue unwraps the value to its natural Go representation, for JSON
+// encoding and UDF interop.
+func (v Value) GoValue() any {
+	switch v.kind {
+	case KindBool:
+		return v.b
+	case KindInt:
+		return v.i
+	case KindFloat:
+		return v.f
+	case KindString:
+		return v.s
+	case KindTime:
+		return v.t
+	case KindList:
+		out := make([]any, len(v.l))
+		for i, e := range v.l {
+			out[i] = e.GoValue()
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+// FromGo converts a natural Go value into a Value. Unsupported types
+// return an error; nil maps to NULL.
+func FromGo(x any) (Value, error) {
+	switch t := x.(type) {
+	case nil:
+		return Null(), nil
+	case bool:
+		return Bool(t), nil
+	case int:
+		return Int(int64(t)), nil
+	case int32:
+		return Int(int64(t)), nil
+	case int64:
+		return Int(t), nil
+	case float32:
+		return Float(float64(t)), nil
+	case float64:
+		return Float(t), nil
+	case string:
+		return String(t), nil
+	case time.Time:
+		return Time(t), nil
+	case Value:
+		return t, nil
+	case []string:
+		return Strings(t), nil
+	case []any:
+		vs := make([]Value, len(t))
+		for i, e := range t {
+			v, err := FromGo(e)
+			if err != nil {
+				return Null(), err
+			}
+			vs[i] = v
+		}
+		return List(vs), nil
+	default:
+		return Null(), fmt.Errorf("%w: unsupported Go type %T", ErrType, x)
+	}
+}

@@ -1,0 +1,35 @@
+package window_test
+
+import (
+	"fmt"
+	"time"
+
+	"tweeql/internal/agg"
+	"tweeql/internal/value"
+	"tweeql/internal/window"
+)
+
+// ExampleManager demonstrates confidence-triggered emission: a dense,
+// low-variance group emits as soon as its CI is met; the sparse group
+// waits for the window to close.
+func ExampleManager() {
+	m := window.NewManager(time.Hour, 0)
+	m.EnableConfidence(0.95, 0.1)
+	mkAggs := func() []agg.Func {
+		a, _ := agg.New("AVG", false)
+		return []agg.Func{a}
+	}
+	epoch := time.Unix(0, 0).UTC()
+	dense := []value.Value{value.String("tokyo")}
+	for i := 0; i < 50; i++ {
+		early := m.Observe(epoch.Add(time.Duration(i)*time.Second), dense, mkAggs, func(b *window.Bucket) {
+			b.Aggs[0].Add(value.Float(0.5))
+		})
+		for _, b := range early {
+			avg, _ := b.Aggs[0].Result().FloatVal()
+			fmt.Printf("early emit %s avg=%.1f after %d rows\n", b.GroupVals[0], avg, b.Rows)
+		}
+	}
+	// Output:
+	// early emit tokyo avg=0.5 after 30 rows
+}

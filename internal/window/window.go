@@ -1,0 +1,243 @@
+// Package window implements TweeQL's windowed grouping state: span
+// assignment for tumbling and sliding windows, and the bucket manager
+// that emits groups either when event time passes the window boundary or
+// — the paper's "Uneven Aggregate Groups" construct — as soon as a
+// bucket's aggregate falls within a requested confidence interval
+// (CONTROL-style online aggregation). Dense groups (Tokyo) reach the
+// confidence bar quickly and emit early; sparse groups (Cape Town) keep
+// accumulating until their window closes.
+package window
+
+import (
+	"sort"
+	"strings"
+	"time"
+
+	"tweeql/internal/agg"
+	"tweeql/internal/value"
+)
+
+// Span is one window instance: [Start, End).
+type Span struct {
+	Start, End time.Time
+}
+
+// Contains reports whether ts falls inside the span.
+func (s Span) Contains(ts time.Time) bool {
+	return !ts.Before(s.Start) && ts.Before(s.End)
+}
+
+// Tumbling returns the single size-aligned window containing ts.
+// Alignment is to the Unix epoch, matching fixed wall-clock buckets
+// ("every three hours").
+func Tumbling(ts time.Time, size time.Duration) Span {
+	start := ts.Truncate(size)
+	return Span{Start: start, End: start.Add(size)}
+}
+
+// Sliding returns every (size, every) window containing ts, earliest
+// first. every == size degenerates to one tumbling window.
+func Sliding(ts time.Time, size, every time.Duration) []Span {
+	if every <= 0 || every == size {
+		return []Span{Tumbling(ts, size)}
+	}
+	var spans []Span
+	// The last window to contain ts starts at the highest multiple of
+	// `every` that is <= ts; earlier ones step back until ts leaves.
+	lastStart := ts.Truncate(every)
+	for start := lastStart; ts.Sub(start) < size; start = start.Add(-every) {
+		spans = append(spans, Span{Start: start, End: start.Add(size)})
+	}
+	// Reverse into chronological order.
+	for i, j := 0, len(spans)-1; i < j; i, j = i+1, j-1 {
+		spans[i], spans[j] = spans[j], spans[i]
+	}
+	return spans
+}
+
+// Key is an encoded group-by key. Encode builds it from group values.
+type Key string
+
+// Encode renders group values into a canonical bucket key.
+func Encode(vals []value.Value) Key {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = v.Kind().String() + ":" + v.String()
+	}
+	return Key(strings.Join(parts, "\x1f"))
+}
+
+// Bucket accumulates one group within one window span.
+type Bucket struct {
+	Span Span
+	Key  Key
+	// GroupVals are the group-by column values for this bucket.
+	GroupVals []value.Value
+	// Aggs are the bucket's aggregate states, in select-list order.
+	Aggs []agg.Func
+	// Rows counts tuples folded into the bucket.
+	Rows int64
+	// EmittedEarly marks buckets already emitted by the confidence
+	// trigger; they are skipped at window close (no duplicate output) but
+	// EarlyAt records when the confidence bar was met.
+	EmittedEarly bool
+	EarlyAt      time.Time
+}
+
+// withinCI reports whether every CI-capable aggregate in the bucket is
+// inside the half-width at the level, with at least minN observations.
+// The sample floor keeps the CLT interval honest: two identical
+// observations have zero sample variance and would otherwise claim a
+// zero-width interval immediately.
+func (b *Bucket) withinCI(level, halfWidth float64, minN int64) bool {
+	gated := false
+	for _, a := range b.Aggs {
+		hw, ok := a.CI(level)
+		if !ok {
+			continue
+		}
+		gated = true
+		if a.N() < minN || hw > halfWidth {
+			return false
+		}
+	}
+	return gated
+}
+
+// Manager tracks all open buckets for one windowed group-by operator.
+// It is single-goroutine, like the operator that owns it.
+type Manager struct {
+	size, every time.Duration
+	// conf enables the confidence trigger when non-nil.
+	confLevel     float64
+	confHalfWidth float64
+	confMinN      int64
+	confEnabled   bool
+
+	buckets   map[Span]map[Key]*Bucket
+	watermark time.Time
+}
+
+// NewManager builds a manager for WINDOW size EVERY every. every <= 0
+// means tumbling.
+func NewManager(size, every time.Duration) *Manager {
+	if every <= 0 {
+		every = size
+	}
+	return &Manager{size: size, every: every, buckets: make(map[Span]map[Key]*Bucket)}
+}
+
+// EnableConfidence switches on CONTROL-style early emission: a bucket
+// whose CI-capable aggregates are all within halfWidth at level (after
+// at least DefaultConfidenceMinSamples observations) emits immediately.
+func (m *Manager) EnableConfidence(level, halfWidth float64) {
+	m.confEnabled = true
+	m.confLevel = level
+	m.confHalfWidth = halfWidth
+	if m.confMinN == 0 {
+		m.confMinN = DefaultConfidenceMinSamples
+	}
+}
+
+// DefaultConfidenceMinSamples is the CLT sample floor for the
+// confidence trigger.
+const DefaultConfidenceMinSamples = 30
+
+// SetConfidenceMinSamples overrides the sample floor (tests use small
+// values).
+func (m *Manager) SetConfidenceMinSamples(n int64) { m.confMinN = n }
+
+// Watermark reports the latest event time observed.
+func (m *Manager) Watermark() time.Time { return m.watermark }
+
+// OpenBuckets reports the number of buckets currently held.
+func (m *Manager) OpenBuckets() int {
+	n := 0
+	for _, g := range m.buckets {
+		n += len(g)
+	}
+	return n
+}
+
+// Observe folds one tuple into every window it belongs to. groupVals
+// identify the bucket; mkAggs constructs fresh aggregate state for new
+// buckets; fold applies the tuple's values to the bucket's aggregates.
+// It returns any buckets the observation pushed over the confidence bar
+// (at most one per containing span), already marked emitted.
+func (m *Manager) Observe(ts time.Time, groupVals []value.Value, mkAggs func() []agg.Func, fold func(*Bucket)) []*Bucket {
+	if ts.After(m.watermark) {
+		m.watermark = ts
+	}
+	key := Encode(groupVals)
+	var early []*Bucket
+	for _, span := range Sliding(ts, m.size, m.every) {
+		group := m.buckets[span]
+		if group == nil {
+			group = make(map[Key]*Bucket)
+			m.buckets[span] = group
+		}
+		b := group[key]
+		if b == nil {
+			vals := make([]value.Value, len(groupVals))
+			copy(vals, groupVals)
+			b = &Bucket{Span: span, Key: key, GroupVals: vals, Aggs: mkAggs()}
+			group[key] = b
+		}
+		b.Rows++
+		fold(b)
+		if m.confEnabled && !b.EmittedEarly && b.withinCI(m.confLevel, m.confHalfWidth, m.confMinN) {
+			b.EmittedEarly = true
+			b.EarlyAt = ts
+			early = append(early, b)
+		}
+	}
+	return early
+}
+
+// Advance moves the watermark and returns the buckets of every window
+// whose end has passed, excluding ones already emitted early, ordered by
+// (window start, key). Closed windows are dropped from state.
+func (m *Manager) Advance(watermark time.Time) []*Bucket {
+	if watermark.After(m.watermark) {
+		m.watermark = watermark
+	}
+	var closed []*Bucket
+	for span, group := range m.buckets {
+		if span.End.After(m.watermark) {
+			continue
+		}
+		for _, b := range group {
+			if !b.EmittedEarly {
+				closed = append(closed, b)
+			}
+		}
+		delete(m.buckets, span)
+	}
+	sortBuckets(closed)
+	return closed
+}
+
+// Flush closes every remaining window regardless of the watermark (end
+// of stream), again excluding early-emitted buckets.
+func (m *Manager) Flush() []*Bucket {
+	var out []*Bucket
+	for span, group := range m.buckets {
+		for _, b := range group {
+			if !b.EmittedEarly {
+				out = append(out, b)
+			}
+		}
+		delete(m.buckets, span)
+	}
+	sortBuckets(out)
+	return out
+}
+
+func sortBuckets(bs []*Bucket) {
+	sort.Slice(bs, func(i, j int) bool {
+		if !bs[i].Span.Start.Equal(bs[j].Span.Start) {
+			return bs[i].Span.Start.Before(bs[j].Span.Start)
+		}
+		return bs[i].Key < bs[j].Key
+	})
+}

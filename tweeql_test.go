@@ -1,0 +1,159 @@
+package tweeql_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"tweeql"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	eng, stream, err := tweeql.NewSimulated(tweeql.SimConfig{Scenario: "soccer", Seed: 1, Duration: 10 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := eng.Query(context.Background(),
+		`SELECT sentiment(text) AS s, text FROM twitter WHERE text CONTAINS 'soccer' LIMIT 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go stream.Replay()
+	n := 0
+	for row := range cur.Rows() {
+		n++
+		if row.Get("text").IsNull() {
+			t.Fatal("null text")
+		}
+	}
+	if n != 5 {
+		t.Errorf("rows = %d", n)
+	}
+}
+
+func TestUnknownScenario(t *testing.T) {
+	if _, _, err := tweeql.NewSimulated(tweeql.SimConfig{Scenario: "nope"}); err == nil {
+		t.Error("unknown scenario should error")
+	}
+}
+
+func TestCustomUDF(t *testing.T) {
+	eng, stream, err := tweeql.NewSimulated(tweeql.SimConfig{Scenario: "background", Seed: 2, Duration: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = eng.RegisterUDF("shout", 1, false, func(_ context.Context, args []tweeql.Value) (tweeql.Value, error) {
+		s, err := args[0].StringVal()
+		if err != nil {
+			return tweeql.NullValue(), nil
+		}
+		return tweeql.StringValue(strings.ToUpper(s) + "!"), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate registration fails.
+	if err := eng.RegisterUDF("shout", 1, false, nil); err == nil {
+		t.Error("duplicate UDF should error")
+	}
+	cur, err := eng.Query(context.Background(), "SELECT shout(username) AS u FROM twitter LIMIT 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go stream.Replay()
+	for row := range cur.Rows() {
+		u, _ := row.Get("u").StringVal()
+		if !strings.HasSuffix(u, "!") || strings.ToUpper(u) != u {
+			t.Errorf("shout = %q", u)
+		}
+	}
+}
+
+func TestStatefulUDFRegistration(t *testing.T) {
+	eng, stream, err := tweeql.NewSimulated(tweeql.SimConfig{Scenario: "background", Seed: 3, Duration: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = eng.RegisterStatefulUDF("seq", func() func(context.Context, []tweeql.Value) (tweeql.Value, error) {
+		var n int64
+		return func(context.Context, []tweeql.Value) (tweeql.Value, error) {
+			n++
+			return tweeql.IntValue(n), nil
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := eng.Query(context.Background(), "SELECT seq() AS n FROM twitter LIMIT 4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go stream.Replay()
+	want := int64(1)
+	for row := range cur.Rows() {
+		n, _ := row.Get("n").IntVal()
+		if n != want {
+			t.Errorf("seq = %d, want %d", n, want)
+		}
+		want++
+	}
+}
+
+func TestExplainPublic(t *testing.T) {
+	eng, _, err := tweeql.NewSimulated(tweeql.SimConfig{Scenario: "background", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := eng.Explain("SELECT text FROM twitter WHERE text CONTAINS 'x'")
+	if err != nil || !strings.Contains(out, "pushdown") {
+		t.Errorf("explain = %q, %v", out, err)
+	}
+}
+
+func TestParsePublic(t *testing.T) {
+	stmt, err := tweeql.Parse("SELECT COUNT(*) FROM twitter WINDOW 1 MINUTE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.Window == nil {
+		t.Error("window lost")
+	}
+	if _, err := tweeql.Parse("SELEC nope"); err == nil {
+		t.Error("bad sql should error")
+	}
+}
+
+func TestGenerateScenario(t *testing.T) {
+	lts, err := tweeql.GenerateScenario("rivalry", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lts) == 0 {
+		t.Fatal("empty scenario")
+	}
+	if _, err := tweeql.GenerateScenario("bogus", 1); err == nil {
+		t.Error("bogus scenario should error")
+	}
+}
+
+func TestManualPublish(t *testing.T) {
+	eng, stream, err := tweeql.NewSimulated(tweeql.SimConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := eng.Query(context.Background(), "SELECT text FROM twitter WHERE text CONTAINS 'hello'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream.Publish(&tweeql.Tweet{ID: 1, Text: "hello world", CreatedAt: time.Unix(0, 0)})
+	stream.Publish(&tweeql.Tweet{ID: 2, Text: "goodbye", CreatedAt: time.Unix(1, 0)})
+	stream.Close()
+	n := 0
+	for range cur.Rows() {
+		n++
+	}
+	if n != 1 {
+		t.Errorf("rows = %d", n)
+	}
+}

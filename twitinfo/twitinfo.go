@@ -1,0 +1,166 @@
+// Package twitinfo is the public API of the TwitInfo reproduction: an
+// event timeline generation and exploration application built on top of
+// the TweeQL stream processor (§3 of the paper). Define an event as a
+// keyword query, feed it tweets (directly or from a TweeQL query), and
+// read back the Figure 1 dashboard: volume timeline with automatically
+// labeled peaks, relevant tweets, aggregate sentiment, popular links,
+// and the geographic sentiment map.
+package twitinfo
+
+import (
+	"context"
+	"net/http"
+
+	"tweeql"
+	"tweeql/internal/dashboard"
+	"tweeql/internal/links"
+	"tweeql/internal/peaks"
+	"tweeql/internal/sentiment"
+	itwitinfo "tweeql/internal/twitinfo"
+)
+
+// Re-exported model types.
+type (
+	// EventConfig defines a tracked event (§3.1): name, keyword query,
+	// optional time window, timeline bin width.
+	EventConfig = itwitinfo.EventConfig
+	// Tracker logs one event and assembles its dashboard.
+	Tracker = itwitinfo.Tracker
+	// Store manages multiple events with safe concurrent access.
+	Store = itwitinfo.Store
+	// Dashboard is the Figure 1 payload.
+	Dashboard = itwitinfo.Dashboard
+	// DashboardOptions bound panel sizes.
+	DashboardOptions = itwitinfo.DashboardOptions
+	// LabeledPeak is a peak plus its automatic key terms.
+	LabeledPeak = itwitinfo.LabeledPeak
+	// RankedTweet is a Relevant Tweets entry.
+	RankedTweet = itwitinfo.RankedTweet
+	// StoredTweet is a logged tweet with derived metadata.
+	StoredTweet = itwitinfo.StoredTweet
+	// Pie is the Overall Sentiment proportions.
+	Pie = itwitinfo.Pie
+	// Pin is a Tweet Map marker.
+	Pin = itwitinfo.Pin
+	// Selection is the drill-down state.
+	Selection = itwitinfo.Selection
+	// PeakConfig tunes the streaming mean-deviation peak detector.
+	PeakConfig = peaks.Config
+	// Peak is one detected volume spike.
+	Peak = peaks.Peak
+	// TimelineBin is one timeline histogram bar.
+	TimelineBin = peaks.Bin
+	// URLCount is a Popular Links entry.
+	URLCount = links.URLCount
+	// SentimentLabel is positive/neutral/negative.
+	SentimentLabel = sentiment.Label
+)
+
+// Sentiment labels.
+const (
+	Positive = sentiment.Positive
+	Neutral  = sentiment.Neutral
+	Negative = sentiment.Negative
+)
+
+// NewStore creates an empty event store with the default sentiment
+// analyzer.
+func NewStore() *Store { return itwitinfo.NewStore(nil) }
+
+// NewTracker creates a standalone tracker for one event.
+func NewTracker(cfg EventConfig) *Tracker { return itwitinfo.NewTracker(cfg, nil) }
+
+// Handler serves the TwitInfo web dashboard (HTML pages and JSON API)
+// over the store.
+func Handler(store *Store, opts DashboardOptions) http.Handler {
+	return dashboard.New(store, opts)
+}
+
+// Tracking is a live event-tracking session: a running TweeQL query
+// feeding a tracker.
+type Tracking struct {
+	cur  *tweeql.Cursor
+	done chan error
+}
+
+// StartTracking issues the event's keyword query through a TweeQL
+// engine and begins ingesting matching tweets into the tracker — the
+// paper's architecture: "TwitInfo is an application written on top of
+// the TweeQL stream processor." It returns once the streaming
+// connection is established (so a subsequent replay cannot race past
+// it); call Wait to block until the stream ends.
+//
+// The generated query is
+//
+//	SELECT * FROM twitter WHERE text CONTAINS 'kw1' OR ... ;
+//
+// so the keyword disjunction is pushed down to the streaming API by the
+// engine's selectivity planner.
+func StartTracking(ctx context.Context, eng *tweeql.Engine, tr *Tracker) (*Tracking, error) {
+	cfg := tr.Config()
+	sql := "SELECT * FROM twitter"
+	for i, kw := range cfg.Keywords {
+		if i == 0 {
+			sql += " WHERE text CONTAINS '" + escape(kw) + "'"
+		} else {
+			sql += " OR text CONTAINS '" + escape(kw) + "'"
+		}
+	}
+	cur, err := eng.Query(ctx, sql)
+	if err != nil {
+		return nil, err
+	}
+	tk := &Tracking{cur: cur, done: make(chan error, 1)}
+	go func() {
+		for row := range cur.Rows() {
+			tr.IngestTuple(row)
+		}
+		tr.Finish()
+		tk.done <- cur.Stats().Err()
+	}()
+	return tk, nil
+}
+
+// Wait blocks until the tracked stream ends and returns the first
+// evaluation error, if any.
+func (tk *Tracking) Wait() error { return <-tk.done }
+
+// Stop cancels the tracking query.
+func (tk *Tracking) Stop() { tk.cur.Stop() }
+
+// TrackQuery is the synchronous convenience form of StartTracking: it
+// ingests until the stream ends. The caller must replay/publish from
+// another goroutine.
+func TrackQuery(ctx context.Context, eng *tweeql.Engine, tr *Tracker) error {
+	tk, err := StartTracking(ctx, eng, tr)
+	if err != nil {
+		return err
+	}
+	return tk.Wait()
+}
+
+func escape(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\'' {
+			out = append(out, '\'')
+		}
+		out = append(out, s[i])
+	}
+	return string(out)
+}
+
+// PeakDetectUDF returns a stateful-UDF factory implementing §3.2's
+// streaming mean-deviation peak detection, for registration with
+// Engine.RegisterStatefulUDF("peak_detect", ...). Applied over a
+// windowed COUNT(*) stream as peak_detect(window_end, n), it returns
+// the open peak's flag letter or NULL.
+func PeakDetectUDF(cfg PeakConfig) func() func(context.Context, []tweeql.Value) (tweeql.Value, error) {
+	factory := itwitinfo.PeakDetectUDF(cfg)
+	return func() func(context.Context, []tweeql.Value) (tweeql.Value, error) {
+		inst := factory()
+		return func(ctx context.Context, args []tweeql.Value) (tweeql.Value, error) {
+			return inst(ctx, args)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package twitinfo_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"tweeql"
+	"tweeql/twitinfo"
+)
+
+func TestTrackQueryEndToEnd(t *testing.T) {
+	// The full paper architecture: TwitInfo defines an event, TweeQL
+	// serves the keyword query over the streaming API, the tracker
+	// builds the dashboard.
+	eng, stream, err := tweeql.NewSimulated(tweeql.SimConfig{Scenario: "soccer", Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := twitinfo.NewTracker(twitinfo.EventConfig{
+		Name:     "Soccer: Manchester City vs Liverpool",
+		Keywords: []string{"soccer", "football", "premierleague", "manchester", "liverpool"},
+	})
+	tk, err := twitinfo.StartTracking(context.Background(), eng, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream.Replay()
+	if err := tk.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Ingested() == 0 {
+		t.Fatal("tracker ingested nothing")
+	}
+	d := tr.Dashboard(twitinfo.DashboardOptions{})
+	if len(d.Peaks) < 3 {
+		t.Errorf("peaks = %d, want the goals detected", len(d.Peaks))
+	}
+	// The flags render TwitInfo-style.
+	if d.Peaks[0].Flag() != "A" {
+		t.Errorf("first flag = %q", d.Peaks[0].Flag())
+	}
+}
+
+func TestStoreAndHandler(t *testing.T) {
+	store := twitinfo.NewStore()
+	_, err := store.Create(twitinfo.EventConfig{Name: "quakes", Keywords: []string{"earthquake", "quake", "tremor"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A two-hour slice of the earthquake day keeps the test fast.
+	_, stream, err := tweeql.NewSimulated(tweeql.SimConfig{Scenario: "earthquakes", Seed: 2, Duration: 2 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tw := range stream.Tweets() {
+		store.Ingest(tw)
+	}
+	store.FinishAll()
+
+	srv := httptest.NewServer(twitinfo.Handler(store, twitinfo.DashboardOptions{}))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/event/quakes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestPeakDetectUDFPublic(t *testing.T) {
+	// Register the §3.2 stateful UDF and run it over a windowed COUNT(*)
+	// query: SELECT peak_detect(window_end, n) over the soccer stream.
+	eng, stream, err := tweeql.NewSimulated(tweeql.SimConfig{Scenario: "soccer", Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RegisterStatefulUDF("peak_detect", twitinfo.PeakDetectUDF(twitinfo.PeakConfig{Bin: time.Minute})); err != nil {
+		t.Fatal(err)
+	}
+	// Two-stage composition: windowed counts into a derived stream, then
+	// the stateful UDF over that stream.
+	_, err = eng.Query(context.Background(),
+		"SELECT COUNT(*) AS n FROM twitter WINDOW 1 MINUTE INTO STREAM counts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	cur, err := eng.Query(context.Background(),
+		"SELECT peak_detect(window_end, n) AS flag, n FROM counts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go stream.Replay()
+	flags := map[string]bool{}
+	deadline := time.After(60 * time.Second)
+	rows := cur.Rows()
+	for {
+		select {
+		case row, ok := <-rows:
+			if !ok {
+				if len(flags) == 0 {
+					t.Error("no peaks flagged by the stateful UDF")
+				}
+				if !flags["A"] {
+					t.Errorf("first peak flag missing: %v", flags)
+				}
+				return
+			}
+			if f, err := row.Get("flag").StringVal(); err == nil {
+				flags[f] = true
+			}
+		case <-deadline:
+			t.Fatal("query did not finish")
+		}
+	}
+}
+
+func TestSentimentLabelsExported(t *testing.T) {
+	if twitinfo.Positive.String() != "positive" || twitinfo.Negative.String() != "negative" || twitinfo.Neutral.String() != "neutral" {
+		t.Error("label exports wrong")
+	}
+}
+
+func TestEscapedKeywords(t *testing.T) {
+	eng, stream, err := tweeql.NewSimulated(tweeql.SimConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := twitinfo.NewTracker(twitinfo.EventConfig{Name: "q", Keywords: []string{"it's"}})
+	done := make(chan error, 1)
+	go func() { done <- twitinfo.TrackQuery(context.Background(), eng, tr) }()
+	time.Sleep(20 * time.Millisecond)
+	stream.Close()
+	if err := <-done; err != nil && !strings.Contains(err.Error(), "context") {
+		t.Errorf("track with quoted keyword: %v", err)
+	}
+}
