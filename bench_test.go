@@ -243,44 +243,76 @@ func BenchmarkE9EddyAdaptation(b *testing.B) {
 	}
 }
 
-// BenchmarkE10QueryThroughput measures end-to-end engine throughput for
-// the representative query shapes of E10 over a 10k-tweet replay.
-func BenchmarkE10QueryThroughput(b *testing.B) {
-	lts := soccerStream()[:10_000]
-	all := firehose.Tweets(lts)
-	shapes := []struct {
-		name string
-		sql  string
-	}{
-		{"project", `SELECT text, username FROM twitter`},
-		{"filter", `SELECT text FROM twitter WHERE text CONTAINS 'liverpool'`},
-		{"sentiment_udf", `SELECT sentiment(text) AS s FROM twitter WHERE text CONTAINS 'liverpool'`},
-		{"windowed_count", `SELECT COUNT(*) AS n FROM twitter WINDOW 1 MINUTE`},
-		{"groupby_window", `SELECT COUNT(*) AS n FROM twitter GROUP BY has_geo WINDOW 5 MINUTES`},
+// e10Shapes are the representative query shapes of E10.
+var e10Shapes = []struct {
+	name string
+	sql  string
+}{
+	{"project", `SELECT text, username FROM twitter`},
+	{"filter", `SELECT text FROM twitter WHERE text CONTAINS 'liverpool'`},
+	{"sentiment_udf", `SELECT sentiment(text) AS s FROM twitter WHERE text CONTAINS 'liverpool'`},
+	{"windowed_count", `SELECT COUNT(*) AS n FROM twitter WINDOW 1 MINUTE`},
+	{"groupby_window", `SELECT COUNT(*) AS n FROM twitter GROUP BY has_geo WINDOW 5 MINUTES`},
+}
+
+// runE10 replays the 10k-tweet soccer prefix through one query and
+// reports throughput.
+func runE10(b *testing.B, sql string, opts core.Options) {
+	b.Helper()
+	all := firehose.Tweets(soccerStream()[:10_000])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hub := twitterapi.NewHub()
+		cat := catalog.New()
+		cat.RegisterSource("twitter", catalog.NewTwitterSource(hub, all[:1000]))
+		svc := geocode.NewService(geocode.ServiceConfig{Sleep: func(time.Duration) {}})
+		if err := core.RegisterStandardUDFs(cat, core.Deps{Geocoder: geocode.NewCachedClient(svc, 10_000, 0)}); err != nil {
+			b.Fatal(err)
+		}
+		opts.SourceBuffer = len(all) + 16
+		eng := core.NewEngine(cat, opts)
+		cur, err := eng.Query(context.Background(), sql)
+		if err != nil {
+			b.Fatal(err)
+		}
+		twitterapi.Replay(hub, all)
+		for range cur.Rows() {
+		}
 	}
-	for _, sh := range shapes {
-		b.Run(sh.name, func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				hub := twitterapi.NewHub()
-				cat := catalog.New()
-				cat.RegisterSource("twitter", catalog.NewTwitterSource(hub, all[:1000]))
-				svc := geocode.NewService(geocode.ServiceConfig{Sleep: func(time.Duration) {}})
-				if err := core.RegisterStandardUDFs(cat, core.Deps{Geocoder: geocode.NewCachedClient(svc, 10_000, 0)}); err != nil {
-					b.Fatal(err)
-				}
+	b.ReportMetric(float64(len(all))*float64(b.N)/b.Elapsed().Seconds(), "tweets/sec")
+}
+
+// BenchmarkE10QueryThroughput measures end-to-end engine throughput for
+// the representative query shapes of E10 over a 10k-tweet replay, with
+// the production defaults (batched execution).
+func BenchmarkE10QueryThroughput(b *testing.B) {
+	for _, sh := range e10Shapes {
+		b.Run(sh.name, func(b *testing.B) { runE10(b, sh.sql, core.DefaultOptions()) })
+	}
+}
+
+// BenchmarkBatchAblation compares the tuple-at-a-time pipeline
+// (BatchSize=1) against batched execution and batched execution with
+// the sharded worker pool, on the same E10 shapes — the scoreboard for
+// the batching refactor.
+func BenchmarkBatchAblation(b *testing.B) {
+	variants := []struct {
+		name               string
+		batchSize, workers int
+	}{
+		{"batch1", 1, 1},
+		{"batch256", 256, 1},
+		{"batch256_workers4", 256, 4},
+	}
+	for _, sh := range e10Shapes {
+		for _, v := range variants {
+			b.Run(sh.name+"/"+v.name, func(b *testing.B) {
 				opts := core.DefaultOptions()
-				opts.SourceBuffer = len(all) + 16
-				eng := core.NewEngine(cat, opts)
-				cur, err := eng.Query(context.Background(), sh.sql)
-				if err != nil {
-					b.Fatal(err)
-				}
-				twitterapi.Replay(hub, all)
-				for range cur.Rows() {
-				}
-			}
-			b.ReportMetric(float64(len(all))*float64(b.N)/b.Elapsed().Seconds(), "tweets/sec")
-		})
+				opts.BatchSize = v.batchSize
+				opts.BatchWorkers = v.workers
+				runE10(b, sh.sql, opts)
+			})
+		}
 	}
 }
 

@@ -38,7 +38,20 @@ func main() {
 	query := flag.String("q", "", "run one query and exit")
 	explain := flag.Bool("explain", false, "explain instead of execute")
 	maxRows := flag.Int("max-rows", 50, "stop printing after this many rows (0 = unlimited)")
+	batchSize := flag.Int("batch-size", 0, "tuples per pipeline batch (0 = engine default, 1 = tuple-at-a-time)")
+	batchWorkers := flag.Int("batch-workers", 0, "worker-pool width for batch filter/projection stages (0 = engine default)")
 	flag.Parse()
+
+	if *batchSize > 0 || *batchWorkers > 0 {
+		opts := tweeql.DefaultOptions()
+		if *batchSize > 0 {
+			opts.BatchSize = *batchSize
+		}
+		if *batchWorkers > 0 {
+			opts.BatchWorkers = *batchWorkers
+		}
+		engineOpts = &opts
+	}
 
 	if *query != "" {
 		if err := runOne(*scenario, *seed, *duration, *query, *explain, *maxRows); err != nil {
@@ -100,11 +113,14 @@ func main() {
 	}
 }
 
+// engineOpts overrides the engine defaults when batch flags are set.
+var engineOpts *tweeql.Options
+
 // runOne executes (or explains) one query against a fresh deterministic
 // replay of the scenario.
 func runOne(scenario string, seed int64, duration time.Duration, sql string, explain bool, maxRows int) error {
 	eng, stream, err := tweeql.NewSimulated(tweeql.SimConfig{
-		Scenario: scenario, Seed: seed, Duration: duration,
+		Scenario: scenario, Seed: seed, Duration: duration, Options: engineOpts,
 	})
 	if err != nil {
 		return err

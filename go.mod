@@ -1,0 +1,3 @@
+module tweeql
+
+go 1.24

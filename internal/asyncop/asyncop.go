@@ -9,6 +9,7 @@ package asyncop
 import (
 	"context"
 	"sync"
+	"time"
 )
 
 // Result pairs an input with its computed output or error.
@@ -214,4 +215,65 @@ func Map[I, O any](ctx context.Context, items []I, workers int, fn func(context.
 		}
 	}
 	return outs, nil
+}
+
+// Chunk groups a channel's items into slices of up to size, the shared
+// accumulate/flush loop behind the engine's batched stages and batched
+// sources. flushEvery bounds how long a partial chunk may wait before
+// being delivered (0 = deliver only full chunks and the final partial
+// chunk when in closes). Chunks are never empty, item order is
+// preserved, and ownership of each delivered chunk passes to the
+// receiver. The returned channel closes when in closes or ctx is
+// cancelled.
+func Chunk[T any](ctx context.Context, in <-chan T, size int, flushEvery time.Duration) <-chan []T {
+	if size < 1 {
+		size = 1
+	}
+	out := make(chan []T, 4)
+	go func() {
+		defer close(out)
+		var timer *time.Timer
+		var timerC <-chan time.Time
+		if flushEvery > 0 {
+			timer = time.NewTimer(flushEvery)
+			defer timer.Stop()
+			timerC = timer.C
+		}
+		chunk := make([]T, 0, size)
+		flush := func() bool {
+			if len(chunk) == 0 {
+				return true
+			}
+			select {
+			case out <- chunk:
+			case <-ctx.Done():
+				return false
+			}
+			chunk = make([]T, 0, size)
+			return true
+		}
+		for {
+			select {
+			case t, ok := <-in:
+				if !ok {
+					flush()
+					return
+				}
+				chunk = append(chunk, t)
+				if len(chunk) >= size {
+					if !flush() {
+						return
+					}
+				}
+			case <-timerC:
+				if !flush() {
+					return
+				}
+				timer.Reset(flushEvery)
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return out
 }

@@ -10,7 +10,9 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
+	"tweeql/internal/asyncop"
 	"tweeql/internal/selectivity"
 	"tweeql/internal/tweet"
 	"tweeql/internal/twitterapi"
@@ -67,6 +69,39 @@ type OpenInfo struct {
 type Source interface {
 	Schema() *value.Schema
 	Open(ctx context.Context, req OpenRequest) (<-chan value.Tuple, *OpenInfo, error)
+}
+
+// BatchOptions shapes a batched source subscription.
+type BatchOptions struct {
+	// Size is the maximum tuples per batch.
+	Size int
+	// FlushEvery bounds how long a partial batch may wait before being
+	// delivered downstream; 0 means only full batches are delivered
+	// (plus the final partial batch at end of stream).
+	FlushEvery time.Duration
+	// Workers parallelizes any CPU-bound per-batch conversion the
+	// source performs (batch order and intra-batch order are preserved
+	// regardless). 0 or 1 converts on a single goroutine.
+	Workers int
+	// Columns, when non-nil, lists the only columns the plan
+	// references: the source MAY prune its tuples to (a superset of)
+	// them, in its own schema order. Pruning is invisible to
+	// evaluation — columns resolve by name — but skips materializing
+	// values nothing will read, which dominates conversion cost for
+	// narrow queries. nil means all columns.
+	Columns []string
+}
+
+// BatchSource is implemented by sources that can emit pre-batched
+// tuples, saving the engine one channel transfer per tuple at the
+// source boundary. Tuple order inside and across batches is the stream
+// order; batches are never empty. Ownership of each delivered batch
+// passes to the receiver, which may mutate it in place (the filter
+// stage compacts survivors into it) — sources must not retain, reuse,
+// or alias delivered batches.
+type BatchSource interface {
+	Source
+	OpenBatches(ctx context.Context, req OpenRequest, bo BatchOptions) (<-chan []value.Tuple, *OpenInfo, error)
 }
 
 // Catalog is the engine's namespace. Safe for concurrent use.
@@ -235,24 +270,24 @@ var TweetSchema = value.NewSchema(
 
 // TweetTuple converts a tweet into a row of TweetSchema.
 func TweetTuple(t *tweet.Tweet) value.Tuple {
-	lat, lon := value.Null(), value.Null()
-	if t.HasGeo {
-		lat, lon = value.Float(t.Lat), value.Float(t.Lon)
+	_, row := AppendTweetTuple(nil, t)
+	return row
+}
+
+// AppendTweetTuple converts a tweet into a row of TweetSchema whose
+// values live in arena, growing and returning it. Batched sources pass
+// one arena per batch so a whole batch of rows costs one values
+// allocation instead of one per tweet — the value slices dominate the
+// conversion's allocation profile. The column mapping itself lives in
+// appendTweetCol, so full and pruned conversion cannot drift.
+func AppendTweetTuple(arena []value.Value, t *tweet.Tweet) ([]value.Value, value.Tuple) {
+	start := len(arena)
+	for ci := 0; ci < TweetSchema.Len(); ci++ {
+		arena = appendTweetCol(arena, t, ci)
 	}
-	return value.NewTuple(TweetSchema, []value.Value{
-		value.Int(t.ID),
-		value.Int(t.UserID),
-		value.String(t.Username),
-		value.String(t.Text),
-		value.Time(t.CreatedAt),
-		value.String(t.Location),
-		value.String(t.Location),
-		lat,
-		lon,
-		value.Bool(t.HasGeo),
-		value.Int(int64(t.Followers)),
-		value.Bool(t.Retweet),
-	}, t.CreatedAt)
+	// The three-index slice caps the row at its own cells, so later
+	// arena appends cannot alias it.
+	return arena, value.NewTuple(TweetSchema, arena[start:len(arena):len(arena)], t.CreatedAt)
 }
 
 // TweetFromTuple reconstructs a Tweet from a TweetSchema row (or any
@@ -319,9 +354,11 @@ func NewTwitterSource(hub *twitterapi.Hub, sample []*tweet.Tweet) *TwitterSource
 // Schema implements Source.
 func (s *TwitterSource) Schema() *value.Schema { return TweetSchema }
 
-// Open implements Source: choose the lowest-selectivity candidate (if
-// any), connect with it, and convert tweets to tuples.
-func (s *TwitterSource) Open(ctx context.Context, req OpenRequest) (<-chan value.Tuple, *OpenInfo, error) {
+// connect applies the §2 pushdown decision shared by Open and
+// OpenBatches — choose the lowest-selectivity candidate (if any) by
+// sampling, and open the streaming connection with it — so the batched
+// and tuple paths can never pick different pushed filters.
+func (s *TwitterSource) connect(req OpenRequest) (*twitterapi.Connection, *OpenInfo, error) {
 	info := &OpenInfo{}
 	filter := twitterapi.Filter{SampleRate: 1} // full stream by default
 	if len(req.Candidates) > 0 {
@@ -340,6 +377,16 @@ func (s *TwitterSource) Open(ctx context.Context, req OpenRequest) (<-chan value
 		opts = append(opts, twitterapi.WithBuffer(req.Buffer))
 	}
 	conn, err := s.hub.Connect(filter, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return conn, info, nil
+}
+
+// Open implements Source: choose the lowest-selectivity candidate (if
+// any), connect with it, and convert tweets to tuples.
+func (s *TwitterSource) Open(ctx context.Context, req OpenRequest) (<-chan value.Tuple, *OpenInfo, error) {
+	conn, info, err := s.connect(req)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -366,6 +413,125 @@ func (s *TwitterSource) Open(ctx context.Context, req OpenRequest) (<-chan value
 	return out, info, nil
 }
 
+// OpenBatches implements BatchSource: the same pushdown decision as
+// Open, with arriving tweets grouped into batches of up to bo.Size
+// tuples and partial batches flushed every bo.FlushEvery.
+func (s *TwitterSource) OpenBatches(ctx context.Context, req OpenRequest, bo BatchOptions) (<-chan []value.Tuple, *OpenInfo, error) {
+	if bo.Size < 1 {
+		bo.Size = 1
+	}
+	conn, info, err := s.connect(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Detach from the hub if the query is cancelled mid-stream (natural
+	// stream end means the hub closed and already dropped us).
+	context.AfterFunc(ctx, conn.Close)
+	// Ingestion and conversion pipeline: stage 1 only accumulates tweet
+	// pointers off the connection (so the stream-facing goroutine is
+	// never behind on a burst), stage 2 converts whole chunks to tuple
+	// batches — on a worker pool when bo.Workers > 1, reassembled in
+	// order — with one value-cell arena per batch, so conversion costs
+	// two allocations per batch instead of one per tweet.
+	raw := asyncop.Chunk(ctx, conn.C(), bo.Size, bo.FlushEvery)
+
+	workers := bo.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	schema, colIdx := pruneTweetSchema(bo.Columns)
+	convert := func(_ context.Context, ts []*tweet.Tweet) ([]value.Tuple, error) {
+		arena := make([]value.Value, 0, len(ts)*len(colIdx))
+		rows := make([]value.Tuple, 0, len(ts))
+		for _, t := range ts {
+			start := len(arena)
+			for _, ci := range colIdx {
+				arena = appendTweetCol(arena, t, ci)
+			}
+			rows = append(rows, value.NewTuple(schema, arena[start:len(arena):len(arena)], t.CreatedAt))
+		}
+		return rows, nil
+	}
+	d := asyncop.New(convert, asyncop.WithWorkers(workers), asyncop.WithOrderPreserved())
+	out := make(chan []value.Tuple, 4)
+	go func() {
+		defer close(out)
+		for r := range d.Run(ctx, raw) {
+			select {
+			case out <- r.Out:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return out, info, nil
+}
+
+// pruneTweetSchema maps a requested column list onto TweetSchema,
+// returning the (possibly pruned) schema and the canonical column
+// indices to materialize, in schema order. nil requests everything;
+// names that are not tweet columns are dropped (they would evaluate to
+// NULL against the full schema too).
+func pruneTweetSchema(columns []string) (*value.Schema, []int) {
+	all := make([]int, TweetSchema.Len())
+	for i := range all {
+		all[i] = i
+	}
+	if columns == nil {
+		return TweetSchema, all
+	}
+	want := make(map[string]bool, len(columns))
+	for _, c := range columns {
+		want[strings.ToLower(c)] = true
+	}
+	var fields []value.Field
+	var idx []int
+	for i := 0; i < TweetSchema.Len(); i++ {
+		f := TweetSchema.Field(i)
+		if want[f.Name] {
+			fields = append(fields, f)
+			idx = append(idx, i)
+		}
+	}
+	return value.NewSchema(fields...), idx
+}
+
+// appendTweetCol materializes the col-th TweetSchema column of t.
+func appendTweetCol(arena []value.Value, t *tweet.Tweet, col int) []value.Value {
+	switch col {
+	case 0:
+		return append(arena, value.Int(t.ID))
+	case 1:
+		return append(arena, value.Int(t.UserID))
+	case 2:
+		return append(arena, value.String(t.Username))
+	case 3:
+		return append(arena, value.String(t.Text))
+	case 4:
+		return append(arena, value.Time(t.CreatedAt))
+	case 5, 6:
+		return append(arena, value.String(t.Location))
+	case 7:
+		if t.HasGeo {
+			return append(arena, value.Float(t.Lat))
+		}
+		return append(arena, value.Null())
+	case 8:
+		if t.HasGeo {
+			return append(arena, value.Float(t.Lon))
+		}
+		return append(arena, value.Null())
+	case 9:
+		return append(arena, value.Bool(t.HasGeo))
+	case 10:
+		return append(arena, value.Int(int64(t.Followers)))
+	case 11:
+		return append(arena, value.Bool(t.Retweet))
+	default:
+		return append(arena, value.Null())
+	}
+}
+
 // SliceSource replays a fixed set of tuples, for tests and derived
 // streams materialized from tables.
 type SliceSource struct {
@@ -387,8 +553,43 @@ func (s *SliceSource) Open(ctx context.Context, _ OpenRequest) (<-chan value.Tup
 	go func() {
 		defer close(out)
 		for _, r := range s.rows {
+			// Check cancellation before the send: with buffer available
+			// and ctx already done, the select below picks a ready case
+			// at random and could leak rows past cancellation.
+			if ctx.Err() != nil {
+				return
+			}
 			select {
 			case out <- r:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return out, &OpenInfo{}, nil
+}
+
+// OpenBatches implements BatchSource: the fixed rows are pre-chunked,
+// so replay costs one channel transfer per bo.Size tuples. Each chunk
+// is copied out of s.rows — batch ownership passes to the receiver,
+// which may compact batches in place, and the source's stored rows
+// must survive for the next query.
+func (s *SliceSource) OpenBatches(ctx context.Context, _ OpenRequest, bo BatchOptions) (<-chan []value.Tuple, *OpenInfo, error) {
+	if bo.Size < 1 {
+		bo.Size = 1
+	}
+	out := make(chan []value.Tuple, 4)
+	go func() {
+		defer close(out)
+		for lo := 0; lo < len(s.rows); lo += bo.Size {
+			hi := min(lo+bo.Size, len(s.rows))
+			if ctx.Err() != nil {
+				return
+			}
+			batch := make([]value.Tuple, hi-lo)
+			copy(batch, s.rows[lo:hi])
+			select {
+			case out <- batch:
 			case <-ctx.Done():
 				return
 			}

@@ -9,7 +9,9 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"strings"
+	"time"
 
 	"tweeql/internal/catalog"
 	"tweeql/internal/exec"
@@ -33,11 +35,37 @@ type Options struct {
 	Seed int64
 	// SourceBuffer is the per-connection buffer requested from sources.
 	SourceBuffer int
+	// BatchSize is the number of tuples moved per channel transfer
+	// through the pipeline's batched stages. 1 (or 0 after
+	// DefaultOptions) disables batching: every stage is tuple-at-a-time.
+	BatchSize int
+	// BatchFlushEvery bounds the extra latency batching may add on a
+	// trickling stream: a partial batch is flushed downstream after this
+	// long even if not full. 0 means partial batches flush only at end
+	// of stream.
+	BatchFlushEvery time.Duration
+	// BatchWorkers shards each batch across a worker pool in the filter
+	// and projection stages, for CPU-bound predicates and UDFs. 0 or 1
+	// keeps those stages single-threaded. Stages evaluating stateful
+	// UDFs always run single-threaded regardless (running state needs
+	// stream order).
+	BatchWorkers int
 }
 
 // DefaultOptions returns the production defaults.
 func DefaultOptions() Options {
-	return Options{AdaptiveFilters: true, AsyncWorkers: 16, SampleSize: 2000, Seed: 1, SourceBuffer: 4096}
+	return Options{
+		AdaptiveFilters: true,
+		AsyncWorkers:    16,
+		SampleSize:      2000,
+		Seed:            1,
+		SourceBuffer:    4096,
+		BatchSize:       256,
+		BatchFlushEvery: 25 * time.Millisecond,
+		// Sharding batches across more workers than cores only adds
+		// scheduling overhead for CPU-bound stages.
+		BatchWorkers: min(4, runtime.GOMAXPROCS(0)),
+	}
 }
 
 // Engine executes TweeQL queries against a catalog.
@@ -50,6 +78,12 @@ type Engine struct {
 func NewEngine(cat *catalog.Catalog, opts Options) *Engine {
 	if opts.AsyncWorkers < 0 {
 		opts.AsyncWorkers = 0
+	}
+	if opts.BatchSize < 1 {
+		opts.BatchSize = 1
+	}
+	if opts.BatchWorkers < 1 {
+		opts.BatchWorkers = 1
 	}
 	return &Engine{cat: cat, opts: opts}
 }
@@ -134,6 +168,7 @@ func (e *Engine) Explain(sql string) (string, error) {
 		b.WriteString("pushdown candidates: none (full stream)\n")
 	}
 	fmt.Fprintf(&b, "residual conjuncts: %d (adaptive=%v)\n", len(plan.conjuncts), e.opts.AdaptiveFilters)
+	fmt.Fprintf(&b, "execution: batch=%d workers=%d\n", e.opts.BatchSize, e.opts.BatchWorkers)
 	if plan.isAggregate {
 		fmt.Fprintf(&b, "aggregate: %d groups x %d aggs, window=%v confidence=%v\n",
 			len(plan.agg.GroupExprs), len(plan.agg.Aggs), stmt.Window != nil, stmt.Confidence != nil)
@@ -159,6 +194,57 @@ type queryPlan struct {
 	agg         exec.AggregateConfig
 	proj        []exec.ProjItem
 	async       bool
+
+	// columns is the set of source columns the plan's expressions
+	// reference, for source-side pruning in the batched path. nil means
+	// "all" (SELECT * or otherwise unprunable).
+	columns []string
+}
+
+// referencedColumns collects every column name the plan can read, or
+// nil when pruning is unsafe (a wildcard projection forwards whole
+// rows). Geo idents (location IN [box]) read the GPS lat/lon columns
+// implicitly, so those ride along.
+func referencedColumns(plan *queryPlan) []string {
+	var exprs []lang.Expr
+	exprs = append(exprs, plan.conjuncts...)
+	if plan.isAggregate {
+		exprs = append(exprs, plan.agg.GroupExprs...)
+		for _, a := range plan.agg.Aggs {
+			if a.Arg != nil {
+				exprs = append(exprs, a.Arg)
+			}
+		}
+	} else {
+		for _, p := range plan.proj {
+			if p.Wildcard {
+				return nil
+			}
+			exprs = append(exprs, p.Expr)
+		}
+	}
+	seen := make(map[string]bool)
+	cols := []string{}
+	add := func(name string) {
+		name = strings.ToLower(name)
+		if !seen[name] {
+			seen[name] = true
+			cols = append(cols, name)
+		}
+	}
+	for _, x := range exprs {
+		lang.Walk(x, func(n lang.Expr) bool {
+			if id, ok := n.(*lang.Ident); ok {
+				add(id.Name)
+				if isGeoName(id.Name) {
+					add("lat")
+					add("lon")
+				}
+			}
+			return true
+		})
+	}
+	return cols
 }
 
 // analyze validates the statement and computes the plan skeleton.
@@ -258,6 +344,7 @@ func (e *Engine) analyze(stmt *lang.SelectStmt) (*queryPlan, error) {
 			return nil, fmt.Errorf("tweeql: JOIN with aggregation is not supported")
 		}
 	}
+	plan.columns = referencedColumns(plan)
 	return plan, nil
 }
 

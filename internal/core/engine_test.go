@@ -311,12 +311,19 @@ func TestIntoStreamComposition(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Give the derived stream a moment to register, then query it.
-	time.Sleep(50 * time.Millisecond)
-	cur2, err := eng.Query(context.Background(),
-		"SELECT text FROM loud WHERE followers > 10 LIMIT 3")
-	if err != nil {
-		t.Fatal(err)
+	// INTO STREAM registers the derived stream before Query returns;
+	// poll rather than sleep so the test cannot flake under load.
+	var cur2 *Cursor
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		cur2, err = eng.Query(context.Background(),
+			"SELECT text FROM loud WHERE followers > 10 LIMIT 3")
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal(err)
+		}
+		time.Sleep(time.Millisecond)
 	}
 	go replay()
 	done := make(chan []value.Tuple, 1)

@@ -21,20 +21,16 @@ func (e *Engine) execute(ctx context.Context, cancel context.CancelFunc, stmt *l
 
 	if stmt.Join != nil {
 		var err error
-		rows, schema, info, err = e.openJoin(ctx, ev, stmt, plan, stats)
+		rows, schema, info, err = e.openJoin(ctx, cancel, ev, stmt, plan, stats)
 		if err != nil {
 			return nil, err
 		}
 	} else {
 		var err error
-		rows, schema, info, err = e.openSingle(ctx, ev, stmt, plan, stats)
+		rows, schema, info, err = e.openSingle(ctx, cancel, ev, stmt, plan, stats)
 		if err != nil {
 			return nil, err
 		}
-	}
-
-	if stmt.Limit >= 0 {
-		rows = exec.LimitStage(stmt.Limit, cancel)(ctx, rows)
 	}
 
 	cur := &Cursor{schema: schema, stats: stats, info: info, stmt: stmt, cancel: cancel}
@@ -69,8 +65,12 @@ func (e *Engine) execute(ctx context.Context, cancel context.CancelFunc, stmt *l
 	return cur, nil
 }
 
-// openSingle builds the pipeline for a single-source query.
-func (e *Engine) openSingle(ctx context.Context, ev *exec.Evaluator, stmt *lang.SelectStmt, plan *queryPlan, stats *exec.Stats) (<-chan value.Tuple, *value.Schema, *catalog.OpenInfo, error) {
+// openSingle builds the pipeline for a single-source query. With
+// Options.BatchSize > 1 tuples move through the hot stages (filter,
+// projection) in batches — one channel transfer per batch — and the
+// window/aggregation boundary consumes batches directly; results are
+// identical to the tuple-at-a-time path either way.
+func (e *Engine) openSingle(ctx context.Context, cancel context.CancelFunc, ev *exec.Evaluator, stmt *lang.SelectStmt, plan *queryPlan, stats *exec.Stats) (<-chan value.Tuple, *value.Schema, *catalog.OpenInfo, error) {
 	src, err := e.cat.Source(stmt.From.Name)
 	if err != nil {
 		return nil, nil, nil, err
@@ -79,11 +79,40 @@ func (e *Engine) openSingle(ctx context.Context, ev *exec.Evaluator, stmt *lang.
 	for _, c := range plan.candidates {
 		req.Candidates = append(req.Candidates, c.filter)
 	}
-	in, info, err := src.Open(ctx, req)
-	if err != nil {
-		return nil, nil, nil, err
+	batching := e.opts.BatchSize > 1
+
+	var rows <-chan value.Tuple
+	var batches <-chan exec.Batch
+	var info *catalog.OpenInfo
+	if batching {
+		// Sources that can pre-batch skip the per-tuple source channel
+		// entirely; the rest get batched right at the boundary.
+		if bs, ok := src.(catalog.BatchSource); ok {
+			batches, info, err = bs.OpenBatches(ctx, req, catalog.BatchOptions{
+				Size:       e.opts.BatchSize,
+				FlushEvery: e.opts.BatchFlushEvery,
+				Workers:    e.opts.BatchWorkers,
+				Columns:    plan.columns,
+			})
+		} else {
+			var in <-chan value.Tuple
+			in, info, err = src.Open(ctx, req)
+			if err == nil {
+				batches = exec.ToBatches(e.opts.BatchSize, e.opts.BatchFlushEvery)(ctx, in)
+			}
+		}
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		batches = exec.BatchCountStage(stats)(ctx, batches)
+	} else {
+		var in <-chan value.Tuple
+		in, info, err = src.Open(ctx, req)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		rows = exec.CountStage(stats)(ctx, in)
 	}
-	rows := exec.CountStage(stats)(ctx, in)
 
 	// Residual filter: every conjunct except the one the source pushed.
 	residual, costs := plan.conjuncts, plan.costs
@@ -104,27 +133,81 @@ func (e *Engine) openSingle(ctx context.Context, ev *exec.Evaluator, stmt *lang.
 		}
 	}
 	if len(residual) > 0 {
-		rows = exec.FilterStage(ev, residual, costs, e.opts.AdaptiveFilters, e.opts.Seed, stats)(ctx, rows)
+		if batching {
+			batches = exec.BatchFilterStage(ev, residual, costs, e.opts.AdaptiveFilters, e.opts.Seed, e.stageWorkers(residual...), stats)(ctx, batches)
+		} else {
+			rows = exec.FilterStage(ev, residual, costs, e.opts.AdaptiveFilters, e.opts.Seed, stats)(ctx, rows)
+		}
 	}
 
 	if plan.isAggregate {
-		rows = exec.AggregateStage(ev, plan.agg, stats)(ctx, rows)
+		if batching {
+			rows = exec.BatchAggregateStage(ev, plan.agg, stats)(ctx, batches)
+		} else {
+			rows = exec.AggregateStage(ev, plan.agg, stats)(ctx, rows)
+		}
+		rows = applyLimit(ctx, cancel, stmt, rows)
 		return rows, exec.AggSchema(plan.agg), info, nil
 	}
 
 	inSchema := src.Schema()
 	outSchema := exec.ProjectSchema(plan.proj, inSchema)
-	if plan.async {
-		rows = exec.AsyncProjectStage(ev, plan.proj, inSchema, e.opts.AsyncWorkers, stats)(ctx, rows)
-	} else {
-		rows = exec.ProjectStage(ev, plan.proj, inSchema, stats)(ctx, rows)
+	projExprs := make([]lang.Expr, 0, len(plan.proj))
+	for _, p := range plan.proj {
+		if p.Expr != nil {
+			projExprs = append(projExprs, p.Expr)
+		}
 	}
-	rows = countOut(ctx, rows, stats)
+	switch {
+	case plan.async:
+		// High-latency UDFs stay on the asynchronous per-tuple worker
+		// pool: latency hiding, not channel amortization, is the win
+		// there.
+		if batching {
+			rows = exec.FromBatches()(ctx, batches)
+		}
+		rows = exec.AsyncProjectStage(ev, plan.proj, inSchema, e.opts.AsyncWorkers, stats)(ctx, rows)
+		rows = countOut(ctx, rows, stats)
+		rows = applyLimit(ctx, cancel, stmt, rows)
+	case batching:
+		batches = exec.BatchProjectStage(ev, plan.proj, inSchema, e.stageWorkers(projExprs...), stats)(ctx, batches)
+		// The unbatcher is the LIMIT cutoff in batch space: it trims
+		// the batch the limit falls inside and cancels upstream.
+		limit := -1
+		if stmt.Limit >= 0 {
+			limit = stmt.Limit
+		}
+		rows = exec.UnbatchStage(limit, cancel, stats)(ctx, batches)
+	default:
+		rows = exec.ProjectStage(ev, plan.proj, inSchema, stats)(ctx, rows)
+		rows = countOut(ctx, rows, stats)
+		rows = applyLimit(ctx, cancel, stmt, rows)
+	}
 	return rows, outSchema, info, nil
 }
 
-// openJoin builds the pipeline for FROM a JOIN b ON ... WINDOW w.
-func (e *Engine) openJoin(ctx context.Context, ev *exec.Evaluator, stmt *lang.SelectStmt, plan *queryPlan, stats *exec.Stats) (<-chan value.Tuple, *value.Schema, *catalog.OpenInfo, error) {
+// stageWorkers decides the worker-pool width for one batch stage:
+// Options.BatchWorkers, unless the stage's expressions call a stateful
+// UDF (whose running state requires stream-ordered evaluation).
+func (e *Engine) stageWorkers(exprs ...lang.Expr) int {
+	if e.opts.BatchWorkers > 1 && exec.HasStateful(e.cat, exprs...) {
+		return 1
+	}
+	return e.opts.BatchWorkers
+}
+
+// applyLimit caps rows at stmt.Limit, cancelling upstream on cutoff.
+func applyLimit(ctx context.Context, cancel context.CancelFunc, stmt *lang.SelectStmt, rows <-chan value.Tuple) <-chan value.Tuple {
+	if stmt.Limit < 0 {
+		return rows
+	}
+	return exec.LimitStage(stmt.Limit, cancel)(ctx, rows)
+}
+
+// openJoin builds the pipeline for FROM a JOIN b ON ... WINDOW w. The
+// join operator interleaves two sources tuple-at-a-time by event time,
+// so this path does not batch.
+func (e *Engine) openJoin(ctx context.Context, cancel context.CancelFunc, ev *exec.Evaluator, stmt *lang.SelectStmt, plan *queryPlan, stats *exec.Stats) (<-chan value.Tuple, *value.Schema, *catalog.OpenInfo, error) {
 	leftSrc, err := e.cat.Source(stmt.From.Name)
 	if err != nil {
 		return nil, nil, nil, err
@@ -168,6 +251,7 @@ func (e *Engine) openJoin(ctx context.Context, ev *exec.Evaluator, stmt *lang.Se
 		rows = exec.ProjectStage(ev, plan.proj, joined, stats)(ctx, rows)
 	}
 	rows = countOut(ctx, rows, stats)
+	rows = applyLimit(ctx, cancel, stmt, rows)
 	return rows, outSchema, info, nil
 }
 

@@ -1,0 +1,277 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"tweeql/internal/catalog"
+	"tweeql/internal/lang"
+	"tweeql/internal/value"
+)
+
+// feedBatches pushes batches on a channel and closes it.
+func feedBatches(bs ...Batch) <-chan Batch {
+	ch := make(chan Batch, len(bs))
+	for _, b := range bs {
+		ch <- b
+	}
+	close(ch)
+	return ch
+}
+
+// feedTuples pushes tuples on a channel and closes it.
+func feedTuples(ts ...value.Tuple) <-chan value.Tuple {
+	ch := make(chan value.Tuple, len(ts))
+	for _, t := range ts {
+		ch <- t
+	}
+	close(ch)
+	return ch
+}
+
+func nRows(n int) []value.Tuple {
+	out := make([]value.Tuple, n)
+	for i := range out {
+		out[i] = row(fmt.Sprintf("t%d", i), int64(i), value.Null(), value.Null(), time.Unix(int64(i), 0))
+	}
+	return out
+}
+
+func collectTuples(ch <-chan value.Tuple) []value.Tuple {
+	var out []value.Tuple
+	for t := range ch {
+		out = append(out, t)
+	}
+	return out
+}
+
+func collectBatches(ch <-chan Batch) []Batch {
+	var out []Batch
+	for b := range ch {
+		out = append(out, b)
+	}
+	return out
+}
+
+func TestToBatchesSplitAndFinalPartial(t *testing.T) {
+	rows := nRows(10)
+	got := collectBatches(ToBatches(4, 0)(context.Background(), feedTuples(rows...)))
+	if len(got) != 3 || len(got[0]) != 4 || len(got[1]) != 4 || len(got[2]) != 2 {
+		t.Fatalf("batch sizes = %v", batchSizes(got))
+	}
+	// Order is preserved across the split.
+	i := 0
+	for _, b := range got {
+		for _, tup := range b {
+			if n, _ := tup.Get("n").IntVal(); n != int64(i) {
+				t.Fatalf("row %d out of order: %s", i, tup)
+			}
+			i++
+		}
+	}
+}
+
+func TestToBatchesEmptyInput(t *testing.T) {
+	got := collectBatches(ToBatches(4, 0)(context.Background(), feedTuples()))
+	if len(got) != 0 {
+		t.Fatalf("empty input produced %d batches", len(got))
+	}
+}
+
+func TestToBatchesFlushInterval(t *testing.T) {
+	// A partial batch on a stalled stream must flush after the
+	// interval, not wait for the batch to fill.
+	in := make(chan value.Tuple, 4)
+	out := ToBatches(1000, 5*time.Millisecond)(context.Background(), in)
+	in <- nRows(1)[0]
+	select {
+	case b := <-out:
+		if len(b) != 1 {
+			t.Fatalf("flushed batch size = %d", len(b))
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("partial batch never flushed")
+	}
+	close(in)
+}
+
+func TestUnbatchOrderAndCounts(t *testing.T) {
+	rows := nRows(7)
+	stats := &Stats{}
+	got := collectTuples(UnbatchStage(-1, nil, stats)(context.Background(), feedBatches(rows[:3], rows[3:3], rows[3:])))
+	if len(got) != 7 {
+		t.Fatalf("rows = %d", len(got))
+	}
+	for i, tup := range got {
+		if n, _ := tup.Get("n").IntVal(); n != int64(i) {
+			t.Fatalf("row %d out of order: %s", i, tup)
+		}
+	}
+	if stats.RowsOut.Load() != 7 {
+		t.Errorf("RowsOut = %d", stats.RowsOut.Load())
+	}
+}
+
+func TestUnbatchLimitMidBatch(t *testing.T) {
+	rows := nRows(10)
+	ctx, cancel := context.WithCancel(context.Background())
+	got := collectTuples(UnbatchStage(5, cancel, nil)(ctx, feedBatches(rows[:4], rows[4:8], rows[8:])))
+	if len(got) != 5 {
+		t.Fatalf("limit rows = %d", len(got))
+	}
+	if ctx.Err() == nil {
+		t.Error("limit did not cancel upstream")
+	}
+}
+
+func TestUnbatchLimitZero(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	got := collectTuples(UnbatchStage(0, cancel, nil)(ctx, feedBatches(nRows(3))))
+	if len(got) != 0 || ctx.Err() == nil {
+		t.Fatalf("limit 0: rows=%d cancelled=%v", len(got), ctx.Err() != nil)
+	}
+}
+
+func TestBatchCountStage(t *testing.T) {
+	rows := nRows(9)
+	stats := &Stats{}
+	collectBatches(BatchCountStage(stats)(context.Background(), feedBatches(rows[:5], rows[5:])))
+	if stats.RowsIn.Load() != 9 {
+		t.Errorf("RowsIn = %d", stats.RowsIn.Load())
+	}
+}
+
+// batchVsTupleFilter runs the same conjuncts through FilterStage and
+// BatchFilterStage and asserts identical surviving rows in order.
+func batchVsTupleFilter(t *testing.T, adaptive bool, workers int) {
+	t.Helper()
+	rows := make([]value.Tuple, 0, 100)
+	for i := 0; i < 100; i++ {
+		txt := "background noise"
+		if i%3 == 0 {
+			txt = "goal scored"
+		}
+		rows = append(rows, row(txt, int64(i), value.Null(), value.Null(), time.Unix(int64(i), 0)))
+	}
+	conjuncts := []lang.Expr{whereExpr(t, "text CONTAINS 'goal'"), whereExpr(t, "n < 80")}
+	costs := []float64{1, 1}
+	ev := NewEvaluator(catalog.New())
+
+	tupleStats := &Stats{}
+	want := collectTuples(FilterStage(ev, conjuncts, costs, adaptive, 1, tupleStats)(context.Background(), feedTuples(rows...)))
+
+	batchStats := &Stats{}
+	gotBatches := BatchFilterStage(ev, conjuncts, costs, adaptive, 1, workers, batchStats)(context.Background(), feedBatches(rows[:33], rows[33:66], rows[66:]))
+	got := collectTuples(FromBatches()(context.Background(), gotBatches))
+
+	if len(got) != len(want) {
+		t.Fatalf("batch filter rows = %d, tuple filter rows = %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].String() != want[i].String() {
+			t.Fatalf("row %d: batch %s != tuple %s", i, got[i], want[i])
+		}
+	}
+	if batchStats.Dropped.Load() != tupleStats.Dropped.Load() {
+		t.Errorf("dropped: batch %d, tuple %d", batchStats.Dropped.Load(), tupleStats.Dropped.Load())
+	}
+}
+
+func TestBatchFilterMatchesTupleFilter(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		adaptive bool
+		workers  int
+	}{
+		{"static_seq", false, 1},
+		{"static_parallel", false, 4},
+		{"adaptive_seq", true, 1},
+		{"adaptive_parallel", true, 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) { batchVsTupleFilter(t, tc.adaptive, tc.workers) })
+	}
+}
+
+func TestBatchProjectMatchesTupleProject(t *testing.T) {
+	rows := nRows(50)
+	items := []ProjItem{
+		{Name: "text", Expr: expr(t, "text")},
+		{Name: "n2", Expr: expr(t, "n * 2")},
+	}
+	ev := NewEvaluator(catalog.New())
+	want := collectTuples(ProjectStage(ev, items, testSchema(), &Stats{})(context.Background(), feedTuples(rows...)))
+	for _, workers := range []int{1, 4} {
+		gotB := BatchProjectStage(ev, items, testSchema(), workers, &Stats{})(context.Background(), feedBatches(rows[:20], rows[20:]))
+		got := collectTuples(FromBatches()(context.Background(), gotB))
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: rows %d != %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].String() != want[i].String() {
+				t.Fatalf("workers=%d row %d: %s != %s", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestBatchAggregateMatchesTupleAggregate(t *testing.T) {
+	// One-minute COUNT(*) windows grouped by parity over 5 minutes.
+	var rows []value.Tuple
+	for i := 0; i < 300; i++ {
+		rows = append(rows, row("x", int64(i%2), value.Null(), value.Null(),
+			time.Unix(int64(i), 0)))
+	}
+	cfg := AggregateConfig{
+		GroupExprs: []lang.Expr{expr(t, "n")},
+		Aggs:       []AggItem{{Name: "c", AggName: "COUNT", Star: true}},
+		Out: []OutCol{
+			{Name: "n", IsAgg: false, Index: 0},
+			{Name: "c", IsAgg: true, Index: 0},
+		},
+		Window: &lang.WindowSpec{Size: time.Minute},
+	}
+	ev := NewEvaluator(catalog.New())
+	want := collectTuples(AggregateStage(ev, cfg, &Stats{})(context.Background(), feedTuples(rows...)))
+	got := collectTuples(BatchAggregateStage(ev, cfg, &Stats{})(context.Background(), feedBatches(rows[:100], rows[100:250], rows[250:])))
+	if len(got) != len(want) {
+		t.Fatalf("agg rows: batch %d != tuple %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].String() != want[i].String() {
+			t.Fatalf("agg row %d: %s != %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBatchAggregateCountWindow(t *testing.T) {
+	var rows []value.Tuple
+	for i := 0; i < 10; i++ {
+		rows = append(rows, row("x", int64(i), value.Null(), value.Null(), time.Unix(int64(i), 0)))
+	}
+	cfg := AggregateConfig{
+		Aggs:   []AggItem{{Name: "c", AggName: "COUNT", Star: true}},
+		Out:    []OutCol{{Name: "c", IsAgg: true, Index: 0}},
+		Window: &lang.WindowSpec{Count: 4},
+	}
+	ev := NewEvaluator(catalog.New())
+	got := collectTuples(BatchAggregateStage(ev, cfg, &Stats{})(context.Background(), feedBatches(rows[:7], rows[7:])))
+	// 10 rows in count-4 windows: 4, 4, final partial 2.
+	if len(got) != 3 {
+		t.Fatalf("count windows = %d", len(got))
+	}
+	for i, wantN := range []int64{4, 4, 2} {
+		if n, _ := got[i].Get("c").IntVal(); n != wantN {
+			t.Errorf("window %d count = %d, want %d", i, n, wantN)
+		}
+	}
+}
+
+func batchSizes(bs []Batch) []int {
+	out := make([]int, len(bs))
+	for i, b := range bs {
+		out[i] = len(b)
+	}
+	return out
+}

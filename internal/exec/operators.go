@@ -200,19 +200,30 @@ func AsyncProjectStage(ev *Evaluator, items []ProjItem, inSchema *value.Schema, 
 }
 
 func projectRow(ctx context.Context, ev *Evaluator, items []ProjItem, outSchema *value.Schema, t value.Tuple) (value.Tuple, error) {
-	vals := make([]value.Value, 0, outSchema.Len())
+	_, row, err := projectRowAppend(ctx, ev, items, outSchema, t, make([]value.Value, 0, outSchema.Len()))
+	return row, err
+}
+
+// projectRowAppend evaluates the select list into arena, growing and
+// returning it. The batched projection passes one arena per batch so a
+// whole batch of output rows costs one values allocation. On error the
+// arena is rolled back to its input length.
+func projectRowAppend(ctx context.Context, ev *Evaluator, items []ProjItem, outSchema *value.Schema, t value.Tuple, arena []value.Value) ([]value.Value, value.Tuple, error) {
+	start := len(arena)
 	for _, it := range items {
 		if it.Wildcard {
-			vals = append(vals, t.Values...)
+			arena = append(arena, t.Values...)
 			continue
 		}
 		v, err := ev.Eval(ctx, it.Expr, t)
 		if err != nil {
-			return value.Tuple{}, err
+			return arena[:start], value.Tuple{}, err
 		}
-		vals = append(vals, v)
+		arena = append(arena, v)
 	}
-	return value.NewTuple(outSchema, vals, t.TS), nil
+	// The three-index slice caps the row at its own cells, so later
+	// arena appends cannot alias it.
+	return arena, value.NewTuple(outSchema, arena[start:len(arena):len(arena)], t.TS), nil
 }
 
 // AggItem is one aggregate in the select list.
@@ -263,6 +274,127 @@ func AggSchema(cfg AggregateConfig) *value.Schema {
 	return value.NewSchema(fields...)
 }
 
+// aggState folds tuples into per-(window, group) buckets. It is the
+// shared core of the tuple-at-a-time AggregateStage and the batched
+// BatchAggregateStage: both drive observe/flush against an emit
+// callback, so the two paths cannot drift semantically.
+type aggState struct {
+	ev        *Evaluator
+	cfg       AggregateConfig
+	stats     *Stats
+	outSchema *value.Schema
+	mgr       *window.Manager
+}
+
+func newAggState(ev *Evaluator, cfg AggregateConfig, stats *Stats) *aggState {
+	s := &aggState{ev: ev, cfg: cfg, stats: stats, outSchema: AggSchema(cfg)}
+	if cfg.Window != nil {
+		s.mgr = window.NewManager(cfg.Window.Size, cfg.Window.Every)
+	} else {
+		// Whole-stream aggregation: one giant tumbling window that
+		// only Flush will ever close.
+		s.mgr = window.NewManager(1<<62-1, 0)
+	}
+	if cfg.Confidence != nil {
+		s.mgr.EnableConfidence(cfg.Confidence.Level, cfg.Confidence.HalfWidth)
+	}
+	return s
+}
+
+func (s *aggState) mkAggs() []agg.Func {
+	fs := make([]agg.Func, len(s.cfg.Aggs))
+	for i, a := range s.cfg.Aggs {
+		f, err := agg.New(a.AggName, a.Star)
+		if err != nil {
+			// Planner validates names; reaching here is a bug.
+			panic(err)
+		}
+		fs[i] = f
+	}
+	return fs
+}
+
+// row materializes one result row from a closed (or early) bucket.
+func (s *aggState) row(b *window.Bucket, early bool) value.Tuple {
+	vals := make([]value.Value, 0, s.outSchema.Len())
+	for _, oc := range s.cfg.Out {
+		if oc.IsAgg {
+			vals = append(vals, b.Aggs[oc.Index].Result())
+		} else {
+			vals = append(vals, b.GroupVals[oc.Index])
+		}
+	}
+	ts := b.Span.End
+	if s.cfg.Window != nil {
+		vals = append(vals, value.Time(b.Span.Start), value.Time(b.Span.End))
+	} else if !b.EarlyAt.IsZero() {
+		ts = b.EarlyAt
+	}
+	if s.cfg.Confidence != nil {
+		vals = append(vals, value.Bool(early))
+		if early {
+			ts = b.EarlyAt
+		}
+	}
+	return value.NewTuple(s.outSchema, vals, ts)
+}
+
+// observe folds one tuple, delivering any buckets it closes (or emits
+// early) through emit. It returns false when emit reports the query is
+// done and folding should stop.
+func (s *aggState) observe(ctx context.Context, t value.Tuple, emit func(value.Tuple) bool) bool {
+	groupVals := make([]value.Value, len(s.cfg.GroupExprs))
+	for i, g := range s.cfg.GroupExprs {
+		v, err := s.ev.Eval(ctx, g, t)
+		if err != nil {
+			s.stats.NoteError(err)
+			return true
+		}
+		groupVals[i] = v
+	}
+	// Evaluate aggregate arguments once per tuple; fold adds them to
+	// every containing window's bucket.
+	argVals := make([]value.Value, len(s.cfg.Aggs))
+	for i, a := range s.cfg.Aggs {
+		if a.Star || a.Arg == nil {
+			argVals[i] = value.Int(1)
+			continue
+		}
+		v, err := s.ev.Eval(ctx, a.Arg, t)
+		if err != nil {
+			s.stats.NoteError(err)
+			v = value.Null()
+		}
+		argVals[i] = v
+	}
+	early := s.mgr.Observe(t.TS, groupVals, s.mkAggs, func(b *window.Bucket) {
+		for i := range b.Aggs {
+			b.Aggs[i].Add(argVals[i])
+		}
+	})
+	for _, b := range early {
+		if !emit(s.row(b, true)) {
+			return false
+		}
+	}
+	for _, b := range s.mgr.Advance(t.TS) {
+		if !emit(s.row(b, false)) {
+			return false
+		}
+	}
+	return true
+}
+
+// flush closes every open bucket at stream end.
+func (s *aggState) flush(emit func(value.Tuple) bool) bool {
+	for _, b := range s.mgr.Flush() {
+		if !emit(s.row(b, false)) {
+			return false
+		}
+	}
+	return true
+}
+
 // AggregateStage implements windowed grouped aggregation. Tuples fold
 // into per-(window, group) buckets; buckets emit when event time passes
 // the window end, when the confidence trigger fires (early), or at
@@ -272,118 +404,29 @@ func AggregateStage(ev *Evaluator, cfg AggregateConfig, stats *Stats) Stage {
 	if cfg.Window != nil && cfg.Window.Count > 0 {
 		return countWindowStage(ev, cfg, stats)
 	}
-	outSchema := AggSchema(cfg)
 	return func(ctx context.Context, in <-chan value.Tuple) <-chan value.Tuple {
 		out := make(chan value.Tuple, 64)
 		go func() {
 			defer close(out)
-			var mgr *window.Manager
-			if cfg.Window != nil {
-				mgr = window.NewManager(cfg.Window.Size, cfg.Window.Every)
-			} else {
-				// Whole-stream aggregation: one giant tumbling window that
-				// only Flush will ever close.
-				mgr = window.NewManager(1<<62-1, 0)
-			}
-			if cfg.Confidence != nil {
-				mgr.EnableConfidence(cfg.Confidence.Level, cfg.Confidence.HalfWidth)
-			}
-			mkAggs := func() []agg.Func {
-				fs := make([]agg.Func, len(cfg.Aggs))
-				for i, a := range cfg.Aggs {
-					f, err := agg.New(a.AggName, a.Star)
-					if err != nil {
-						// Planner validates names; reaching here is a bug.
-						panic(err)
-					}
-					fs[i] = f
-				}
-				return fs
-			}
-			emit := func(b *window.Bucket, early bool) bool {
-				vals := make([]value.Value, 0, outSchema.Len())
-				for _, oc := range cfg.Out {
-					if oc.IsAgg {
-						vals = append(vals, b.Aggs[oc.Index].Result())
-					} else {
-						vals = append(vals, b.GroupVals[oc.Index])
-					}
-				}
-				ts := b.Span.End
-				if cfg.Window != nil {
-					vals = append(vals, value.Time(b.Span.Start), value.Time(b.Span.End))
-				} else if !b.EarlyAt.IsZero() {
-					ts = b.EarlyAt
-				}
-				if cfg.Confidence != nil {
-					vals = append(vals, value.Bool(early))
-					if early {
-						ts = b.EarlyAt
-					}
-				}
+			st := newAggState(ev, cfg, stats)
+			emit := func(row value.Tuple) bool {
 				select {
-				case out <- value.NewTuple(outSchema, vals, ts):
+				case out <- row:
 					stats.RowsOut.Add(1)
 					return true
 				case <-ctx.Done():
 					return false
 				}
 			}
-
 			for t := range in {
 				if ctx.Err() != nil {
 					return
 				}
-				groupVals := make([]value.Value, len(cfg.GroupExprs))
-				bad := false
-				for i, g := range cfg.GroupExprs {
-					v, err := ev.Eval(ctx, g, t)
-					if err != nil {
-						stats.NoteError(err)
-						bad = true
-						break
-					}
-					groupVals[i] = v
-				}
-				if bad {
-					continue
-				}
-				// Evaluate aggregate arguments once per tuple; fold adds
-				// them to every containing window's bucket.
-				argVals := make([]value.Value, len(cfg.Aggs))
-				for i, a := range cfg.Aggs {
-					if a.Star || a.Arg == nil {
-						argVals[i] = value.Int(1)
-						continue
-					}
-					v, err := ev.Eval(ctx, a.Arg, t)
-					if err != nil {
-						stats.NoteError(err)
-						v = value.Null()
-					}
-					argVals[i] = v
-				}
-				early := mgr.Observe(t.TS, groupVals, mkAggs, func(b *window.Bucket) {
-					for i := range b.Aggs {
-						b.Aggs[i].Add(argVals[i])
-					}
-				})
-				for _, b := range early {
-					if !emit(b, true) {
-						return
-					}
-				}
-				for _, b := range mgr.Advance(t.TS) {
-					if !emit(b, false) {
-						return
-					}
-				}
-			}
-			for _, b := range mgr.Flush() {
-				if !emit(b, false) {
+				if !st.observe(ctx, t, emit) {
 					return
 				}
 			}
+			st.flush(emit)
 		}()
 		return out
 	}

@@ -17,6 +17,7 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"tweeql/internal/gazetteer"
@@ -181,6 +182,13 @@ type Generator struct {
 	nextID int64
 
 	topicWeightSum float64
+
+	// mu guards rng/nextID and memoizes the generated stream: the PRNG
+	// state advances as tweets are drawn, so without memoization a
+	// second Generate call would produce a different stream and two
+	// goroutines sharing a Generator would race on the PRNG.
+	mu        sync.Mutex
+	generated []*LabeledTweet
 }
 
 // New builds a generator for the config.
@@ -251,8 +259,21 @@ func (g *Generator) poisson(lambda float64) int {
 	return n + k
 }
 
-// Generate materializes the whole stream, ordered by timestamp.
+// Generate materializes the whole stream, ordered by timestamp. The
+// stream is generated once and memoized: repeated calls — including
+// concurrent ones, e.g. from parallel tests sharing a fixture — all
+// observe the identical stream for a given Config. Callers must not
+// mutate the returned slice.
 func (g *Generator) Generate() []*LabeledTweet {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.generated == nil {
+		g.generated = g.generate()
+	}
+	return g.generated
+}
+
+func (g *Generator) generate() []*LabeledTweet {
 	var out []*LabeledTweet
 	seconds := int(g.cfg.Duration / time.Second)
 	for s := 0; s < seconds; s++ {
@@ -311,6 +332,63 @@ func (g *Generator) Stream(ctx context.Context, speedup float64) <-chan *Labeled
 				return
 			}
 		}
+	}()
+	return ch
+}
+
+// StreamBatches replays the generated stream as pre-batched chunks of
+// up to size tweets — the source-side half of the engine's batched
+// pipeline (one channel transfer per chunk instead of per tweet).
+// speedup scales virtual time exactly as in Stream; whenever the
+// virtual clock would idle waiting for the next tweet, the pending
+// partial batch is flushed first, so batching adds no delivery latency
+// on a paced replay. The channel closes when the stream ends or ctx is
+// cancelled.
+func (g *Generator) StreamBatches(ctx context.Context, speedup float64, size int) <-chan []*LabeledTweet {
+	if size < 1 {
+		size = 1
+	}
+	all := g.Generate()
+	ch := make(chan []*LabeledTweet, 4)
+	go func() {
+		defer close(ch)
+		start := time.Now()
+		batch := make([]*LabeledTweet, 0, size)
+		flush := func() bool {
+			if len(batch) == 0 {
+				return true
+			}
+			select {
+			case ch <- batch:
+			case <-ctx.Done():
+				return false
+			}
+			batch = make([]*LabeledTweet, 0, size)
+			return true
+		}
+		for _, lt := range all {
+			if speedup > 0 {
+				virtual := lt.Tweet.CreatedAt.Sub(g.cfg.Start)
+				due := start.Add(time.Duration(float64(virtual) / speedup))
+				if d := time.Until(due); d > 0 {
+					if !flush() {
+						return
+					}
+					select {
+					case <-time.After(d):
+					case <-ctx.Done():
+						return
+					}
+				}
+			}
+			batch = append(batch, lt)
+			if len(batch) >= size {
+				if !flush() {
+					return
+				}
+			}
+		}
+		flush()
 	}()
 	return ch
 }

@@ -3,6 +3,7 @@ package firehose
 import (
 	"context"
 	"math"
+	"sync"
 	"testing"
 	"time"
 
@@ -285,5 +286,68 @@ func TestTweetsHelper(t *testing.T) {
 		if ts[i] != lts[i].Tweet {
 			t.Fatal("Tweets reordered the stream")
 		}
+	}
+}
+
+func TestGenerateMemoizedAndRaceFree(t *testing.T) {
+	// Generate must be reproducible across repeated and concurrent
+	// calls on one Generator: the stream is materialized once and
+	// shared, so parallel tests over a common fixture agree (and the
+	// race detector stays quiet).
+	g := New(Config{Seed: 99, Duration: 30 * time.Second, BaseRate: 10})
+	var streams [4][]*LabeledTweet
+	var wg sync.WaitGroup
+	for i := range streams {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			streams[i] = g.Generate()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(streams); i++ {
+		if len(streams[i]) != len(streams[0]) {
+			t.Fatalf("call %d: %d tweets != %d", i, len(streams[i]), len(streams[0]))
+		}
+		for j := range streams[i] {
+			if streams[i][j] != streams[0][j] {
+				t.Fatalf("call %d tweet %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestStreamBatches(t *testing.T) {
+	g := New(Config{Seed: 5, Duration: time.Minute, BaseRate: 20})
+	all := g.Generate()
+	var got []*LabeledTweet
+	maxBatch := 0
+	for b := range g.StreamBatches(context.Background(), 0, 64) {
+		if len(b) == 0 {
+			t.Fatal("empty batch emitted")
+		}
+		maxBatch = max(maxBatch, len(b))
+		got = append(got, b...)
+	}
+	if maxBatch > 64 {
+		t.Errorf("batch exceeded size cap: %d", maxBatch)
+	}
+	if len(got) != len(all) {
+		t.Fatalf("streamed %d tweets, generated %d", len(got), len(all))
+	}
+	for i := range got {
+		if got[i] != all[i] {
+			t.Fatalf("tweet %d out of order", i)
+		}
+	}
+}
+
+func TestStreamBatchesCancellation(t *testing.T) {
+	g := New(Config{Seed: 5, Duration: time.Hour, BaseRate: 50})
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := g.StreamBatches(ctx, 1, 32) // real-time pacing: will not finish
+	<-ch
+	cancel()
+	for range ch {
 	}
 }

@@ -264,6 +264,27 @@ func (h *Hub) Publish(t *tweet.Tweet) {
 	}
 }
 
+// PublishBatch pushes a chunk of firehose tweets under one hub lock —
+// the publisher-side half of batched ingestion (per-tweet Publish pays
+// a lock round trip per tweet, which dominates replays of pre-generated
+// streams). Delivery order and per-connection semantics are identical
+// to calling Publish in a loop.
+func (h *Hub) PublishBatch(ts []*tweet.Tweet) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.published += int64(len(ts))
+	for _, t := range ts {
+		for c := range h.conns {
+			if c.filter.Matches(t) {
+				c.offer(t)
+			}
+		}
+	}
+}
+
 // Published reports the number of firehose tweets seen.
 func (h *Hub) Published() int64 {
 	h.mu.Lock()
@@ -302,10 +323,12 @@ func (h *Hub) disconnect(c *Connection) {
 }
 
 // Replay publishes a pre-generated stream through the hub and closes it,
-// for batch experiments.
+// for batch experiments. Tweets are published in chunks (PublishBatch)
+// so a replay is not bottlenecked on per-tweet lock round trips.
 func Replay(h *Hub, tweets []*tweet.Tweet) {
-	for _, t := range tweets {
-		h.Publish(t)
+	const chunk = 256
+	for lo := 0; lo < len(tweets); lo += chunk {
+		h.PublishBatch(tweets[lo:min(lo+chunk, len(tweets))])
 	}
 	h.Close()
 }

@@ -89,11 +89,20 @@ func TestPeakDetectUDFPublic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	time.Sleep(20 * time.Millisecond)
-	cur, err := eng.Query(context.Background(),
-		"SELECT peak_detect(window_end, n) AS flag, n FROM counts")
-	if err != nil {
-		t.Fatal(err)
+	// INTO STREAM registers the derived stream before Query returns;
+	// poll (rather than sleep a fixed time) in case that ever becomes
+	// asynchronous, so the test cannot flake on a loaded machine.
+	var cur *tweeql.Cursor
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		cur, err = eng.Query(context.Background(),
+			"SELECT peak_detect(window_end, n) AS flag, n FROM counts")
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal(err)
+		}
+		time.Sleep(time.Millisecond)
 	}
 	go stream.Replay()
 	flags := map[string]bool{}
@@ -132,11 +141,15 @@ func TestEscapedKeywords(t *testing.T) {
 		t.Fatal(err)
 	}
 	tr := twitinfo.NewTracker(twitinfo.EventConfig{Name: "q", Keywords: []string{"it's"}})
-	done := make(chan error, 1)
-	go func() { done <- twitinfo.TrackQuery(context.Background(), eng, tr) }()
-	time.Sleep(20 * time.Millisecond)
+	// StartTracking returns once the streaming connection is
+	// established, so closing the stream afterwards cannot race the
+	// subscription — no sleep needed.
+	tk, err := twitinfo.StartTracking(context.Background(), eng, tr)
+	if err != nil {
+		t.Fatalf("track with quoted keyword: %v", err)
+	}
 	stream.Close()
-	if err := <-done; err != nil && !strings.Contains(err.Error(), "context") {
+	if err := tk.Wait(); err != nil && !strings.Contains(err.Error(), "context") {
 		t.Errorf("track with quoted keyword: %v", err)
 	}
 }
