@@ -16,8 +16,10 @@ import (
 	"tweeql/internal/catalog"
 	"tweeql/internal/core"
 	"tweeql/internal/eddy"
+	"tweeql/internal/exec"
 	"tweeql/internal/firehose"
 	"tweeql/internal/geocode"
+	"tweeql/internal/lang"
 	"tweeql/internal/links"
 	"tweeql/internal/peaks"
 	"tweeql/internal/selectivity"
@@ -313,6 +315,71 @@ func BenchmarkBatchAblation(b *testing.B) {
 				runE10(b, sh.sql, opts)
 			})
 		}
+	}
+}
+
+// exprShapes are the expression shapes of the compile-vs-interpret
+// ablation: the filter comparisons the compiler fast-paths, the
+// generic/arith/regex shapes, and a projection select list.
+var exprShapes = []struct {
+	name string
+	expr string
+}{
+	{"str_eq", `text = 'goal for liverpool'`},
+	{"contains", `text CONTAINS 'liverpool'`},
+	{"int_cmp", `followers > 500`},
+	{"arith_cmp", `followers * 2 + 1 < 1000`},
+	{"and3", `text CONTAINS 'goal' AND followers > 10 AND NOT retweet`},
+	{"in_list", `username IN ('ava', 'ben', 'carlos', 'diana')`},
+	{"matches", `text MATCHES 'go+al'`},
+	{"proj_upper", `upper(username) + ':' + text`},
+	{"proj_arith", `followers * 2 - 1`},
+}
+
+// BenchmarkExprCompileAblation measures per-row evaluation of each
+// expression shape through the compiled closures and the AST
+// interpreter over real TweetSchema rows. The compiled comparison
+// shapes must be allocation-free (see TestCompiledFilterAllocFree) and
+// at least 2x the interpreter.
+func BenchmarkExprCompileAblation(b *testing.B) {
+	tweets := firehose.Tweets(soccerStream()[:1024])
+	rows := make([]value.Tuple, len(tweets))
+	for i, tw := range tweets {
+		rows[i] = catalog.TweetTuple(tw)
+	}
+	mask := len(rows) - 1 // power-of-two row count: mask instead of modulo
+	ctx := context.Background()
+	for _, sh := range exprShapes {
+		stmt, err := lang.Parse("SELECT x FROM t WHERE " + sh.expr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		x := stmt.Where
+		b.Run(sh.name+"/compiled", func(b *testing.B) {
+			ev := exec.NewEvaluator(catalog.New())
+			fn, err := ev.Compile(x, catalog.TweetSchema)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := fn(ctx, rows[i&mask]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(sh.name+"/interpreted", func(b *testing.B) {
+			ev := exec.NewEvaluator(catalog.New())
+			ev.PrepareRegexes(x)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ev.Eval(ctx, x, rows[i&mask]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -40,9 +40,10 @@ func main() {
 	maxRows := flag.Int("max-rows", 50, "stop printing after this many rows (0 = unlimited)")
 	batchSize := flag.Int("batch-size", 0, "tuples per pipeline batch (0 = engine default, 1 = tuple-at-a-time)")
 	batchWorkers := flag.Int("batch-workers", 0, "worker-pool width for batch filter/projection stages (0 = engine default)")
+	compileExprs := flag.Bool("compile-exprs", true, "compile expressions to closures at plan time (false = per-row AST interpreter)")
 	flag.Parse()
 
-	if *batchSize > 0 || *batchWorkers > 0 {
+	if *batchSize > 0 || *batchWorkers > 0 || !*compileExprs {
 		opts := tweeql.DefaultOptions()
 		if *batchSize > 0 {
 			opts.BatchSize = *batchSize
@@ -50,6 +51,7 @@ func main() {
 		if *batchWorkers > 0 {
 			opts.BatchWorkers = *batchWorkers
 		}
+		opts.CompileExprs = *compileExprs
 		engineOpts = &opts
 	}
 

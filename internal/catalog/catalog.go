@@ -63,6 +63,12 @@ type OpenInfo struct {
 	Pushed bool
 	// Estimates are the sampled selectivities of every candidate.
 	Estimates []selectivity.Estimate
+	// Schema is the exact schema object the delivered tuples carry —
+	// the source's declared schema, or the pruned one when the source
+	// honored BatchOptions.Columns. The engine compiles expressions
+	// against this pointer so pre-resolved column indices hit the fast
+	// path on every row. nil means Source.Schema().
+	Schema *value.Schema
 }
 
 // Source produces a tuple stream for FROM.
@@ -359,7 +365,7 @@ func (s *TwitterSource) Schema() *value.Schema { return TweetSchema }
 // sampling, and open the streaming connection with it — so the batched
 // and tuple paths can never pick different pushed filters.
 func (s *TwitterSource) connect(req OpenRequest) (*twitterapi.Connection, *OpenInfo, error) {
-	info := &OpenInfo{}
+	info := &OpenInfo{Schema: TweetSchema}
 	filter := twitterapi.Filter{SampleRate: 1} // full stream by default
 	if len(req.Candidates) > 0 {
 		sample := s.sample
@@ -440,6 +446,7 @@ func (s *TwitterSource) OpenBatches(ctx context.Context, req OpenRequest, bo Bat
 		workers = 1
 	}
 	schema, colIdx := pruneTweetSchema(bo.Columns)
+	info.Schema = schema
 	convert := func(_ context.Context, ts []*tweet.Tweet) ([]value.Tuple, error) {
 		arena := make([]value.Value, 0, len(ts)*len(colIdx))
 		rows := make([]value.Tuple, 0, len(ts))
@@ -566,7 +573,7 @@ func (s *SliceSource) Open(ctx context.Context, _ OpenRequest) (<-chan value.Tup
 			}
 		}
 	}()
-	return out, &OpenInfo{}, nil
+	return out, &OpenInfo{Schema: s.schema}, nil
 }
 
 // OpenBatches implements BatchSource: the fixed rows are pre-chunked,
@@ -595,7 +602,7 @@ func (s *SliceSource) OpenBatches(ctx context.Context, _ OpenRequest, bo BatchOp
 			}
 		}
 	}()
-	return out, &OpenInfo{}, nil
+	return out, &OpenInfo{Schema: s.schema}, nil
 }
 
 // DerivedStream is a live stream fed by a query's INTO STREAM clause and
@@ -652,7 +659,7 @@ func (d *DerivedStream) Open(ctx context.Context, _ OpenRequest) (<-chan value.T
 		d.mu.Unlock()
 		out := make(chan value.Tuple)
 		close(out)
-		return out, &OpenInfo{}, nil
+		return out, &OpenInfo{Schema: d.schema}, nil
 	}
 	ch := make(chan value.Tuple, 256)
 	d.subs[ch] = true
@@ -684,5 +691,5 @@ func (d *DerivedStream) Open(ctx context.Context, _ OpenRequest) (<-chan value.T
 			}
 		}
 	}()
-	return out, &OpenInfo{}, nil
+	return out, &OpenInfo{Schema: d.schema}, nil
 }

@@ -50,6 +50,13 @@ type Options struct {
 	// UDFs always run single-threaded regardless (running state needs
 	// stream order).
 	BatchWorkers int
+	// CompileExprs lowers every planned expression to a closure at
+	// query start — column indices pre-resolved, regexes compiled,
+	// constants folded, IN-lists hashed — instead of interpreting the
+	// AST per row (default on). Off keeps the tree-walking interpreter,
+	// the differential-testing oracle. Columns with dynamic (KindNull)
+	// schemas still compile but take generic, kind-checked closures.
+	CompileExprs bool
 }
 
 // DefaultOptions returns the production defaults.
@@ -65,6 +72,7 @@ func DefaultOptions() Options {
 		// Sharding batches across more workers than cores only adds
 		// scheduling overhead for CPU-bound stages.
 		BatchWorkers: min(4, runtime.GOMAXPROCS(0)),
+		CompileExprs: true,
 	}
 }
 
@@ -168,7 +176,7 @@ func (e *Engine) Explain(sql string) (string, error) {
 		b.WriteString("pushdown candidates: none (full stream)\n")
 	}
 	fmt.Fprintf(&b, "residual conjuncts: %d (adaptive=%v)\n", len(plan.conjuncts), e.opts.AdaptiveFilters)
-	fmt.Fprintf(&b, "execution: batch=%d workers=%d\n", e.opts.BatchSize, e.opts.BatchWorkers)
+	fmt.Fprintf(&b, "execution: batch=%d workers=%d compile=%v\n", e.opts.BatchSize, e.opts.BatchWorkers, e.opts.CompileExprs)
 	if plan.isAggregate {
 		fmt.Fprintf(&b, "aggregate: %d groups x %d aggs, window=%v confidence=%v\n",
 			len(plan.agg.GroupExprs), len(plan.agg.Aggs), stmt.Window != nil, stmt.Confidence != nil)
@@ -368,7 +376,7 @@ func (e *Engine) analyzeAggregate(stmt *lang.SelectStmt, plan *queryPlan) error 
 		}
 		groupExprs = append(groupExprs, g)
 	}
-	groupKey := func(x lang.Expr) string { return strings.ToLower(x.String()) }
+	groupKey := lang.Key
 	groupIdx := make(map[string]int, len(groupExprs))
 	for i, g := range groupExprs {
 		groupIdx[groupKey(g)] = i

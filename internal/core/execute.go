@@ -13,6 +13,11 @@ import (
 // execute assembles and starts the operator pipeline for a plan.
 func (e *Engine) execute(ctx context.Context, cancel context.CancelFunc, stmt *lang.SelectStmt, plan *queryPlan) (*Cursor, error) {
 	ev := exec.NewEvaluator(e.cat)
+	ev.EnableCompile(e.opts.CompileExprs)
+	// Pre-compile every literal MATCHES pattern before evaluation
+	// starts, so the interpreter path never compiles (or locks) on the
+	// hot path either.
+	ev.PrepareRegexes(planExprs(stmt, plan)...)
 	stats := &exec.Stats{}
 
 	var rows <-chan value.Tuple
@@ -114,6 +119,15 @@ func (e *Engine) openSingle(ctx context.Context, cancel context.CancelFunc, ev *
 		rows = exec.CountStage(stats)(ctx, in)
 	}
 
+	// The schema expressions compile against must be the exact object
+	// the delivered tuples carry — the pruned one when the batched
+	// source honored column pruning — so pre-resolved indices hit the
+	// compiled fast path on every row.
+	inSchema := src.Schema()
+	if info != nil && info.Schema != nil {
+		inSchema = info.Schema
+	}
+
 	// Residual filter: every conjunct except the one the source pushed.
 	residual, costs := plan.conjuncts, plan.costs
 	if info != nil && info.Pushed {
@@ -134,23 +148,24 @@ func (e *Engine) openSingle(ctx context.Context, cancel context.CancelFunc, ev *
 	}
 	if len(residual) > 0 {
 		if batching {
-			batches = exec.BatchFilterStage(ev, residual, costs, e.opts.AdaptiveFilters, e.opts.Seed, e.stageWorkers(residual...), stats)(ctx, batches)
+			batches = exec.BatchFilterStage(ev, residual, inSchema, costs, e.opts.AdaptiveFilters, e.opts.Seed, e.stageWorkers(residual...), stats)(ctx, batches)
 		} else {
-			rows = exec.FilterStage(ev, residual, costs, e.opts.AdaptiveFilters, e.opts.Seed, stats)(ctx, rows)
+			rows = exec.FilterStage(ev, residual, inSchema, costs, e.opts.AdaptiveFilters, e.opts.Seed, stats)(ctx, rows)
 		}
 	}
 
 	if plan.isAggregate {
+		agg := plan.agg
+		agg.InSchema = inSchema
 		if batching {
-			rows = exec.BatchAggregateStage(ev, plan.agg, stats)(ctx, batches)
+			rows = exec.BatchAggregateStage(ev, agg, stats)(ctx, batches)
 		} else {
-			rows = exec.AggregateStage(ev, plan.agg, stats)(ctx, rows)
+			rows = exec.AggregateStage(ev, agg, stats)(ctx, rows)
 		}
 		rows = applyLimit(ctx, cancel, stmt, rows)
-		return rows, exec.AggSchema(plan.agg), info, nil
+		return rows, exec.AggSchema(agg), info, nil
 	}
 
-	inSchema := src.Schema()
 	outSchema := exec.ProjectSchema(plan.proj, inSchema)
 	projExprs := make([]lang.Expr, 0, len(plan.proj))
 	for _, p := range plan.proj {
@@ -184,6 +199,28 @@ func (e *Engine) openSingle(ctx context.Context, cancel context.CancelFunc, ev *
 		rows = applyLimit(ctx, cancel, stmt, rows)
 	}
 	return rows, outSchema, info, nil
+}
+
+// planExprs collects every expression the plan can evaluate, for the
+// evaluator's plan-time regex pre-walk.
+func planExprs(stmt *lang.SelectStmt, plan *queryPlan) []lang.Expr {
+	var exprs []lang.Expr
+	exprs = append(exprs, plan.conjuncts...)
+	exprs = append(exprs, plan.agg.GroupExprs...)
+	for _, a := range plan.agg.Aggs {
+		if a.Arg != nil {
+			exprs = append(exprs, a.Arg)
+		}
+	}
+	for _, p := range plan.proj {
+		if p.Expr != nil {
+			exprs = append(exprs, p.Expr)
+		}
+	}
+	if stmt.Join != nil {
+		exprs = append(exprs, stmt.Join.On)
+	}
+	return exprs
 }
 
 // stageWorkers decides the worker-pool width for one batch stage:
@@ -238,11 +275,15 @@ func (e *Engine) openJoin(ctx context.Context, cancel context.CancelFunc, ev *ex
 		RightKey:     stripQualifier(rightKey),
 		Window:       stmt.Window.Size,
 	}
-	rows := exec.JoinStage(ev, leftIn, rightIn, leftSrc.Schema(), rightSrc.Schema(), cfg, stats)
+	// Build the joined schema once and hand the same object to the join
+	// and every downstream stage: compiled column indices stay on the
+	// fast path because output tuples carry this exact pointer.
 	joined := exec.JoinSchema(leftSrc.Schema(), rightSrc.Schema(), cfg)
+	cfg.OutSchema = joined
+	rows := exec.JoinStage(ev, leftIn, rightIn, leftSrc.Schema(), rightSrc.Schema(), cfg, stats)
 
 	if len(plan.conjuncts) > 0 {
-		rows = exec.FilterStage(ev, plan.conjuncts, plan.costs, e.opts.AdaptiveFilters, e.opts.Seed, stats)(ctx, rows)
+		rows = exec.FilterStage(ev, plan.conjuncts, joined, plan.costs, e.opts.AdaptiveFilters, e.opts.Seed, stats)(ctx, rows)
 	}
 	outSchema := exec.ProjectSchema(plan.proj, joined)
 	if plan.async {

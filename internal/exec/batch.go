@@ -145,18 +145,21 @@ func shardBatch(b Batch, workers int, outs []Batch) []shard {
 // each batch across a worker pool for CPU-bound predicates and UDFs;
 // each worker owns its own eddy (seeded seed+worker) so adaptive
 // routing needs no locking, and survivors reassemble in stream order.
-func BatchFilterStage(ev *Evaluator, conjuncts []lang.Expr, costs []float64, adaptive bool, seed int64, workers int, stats *Stats) BatchStage {
+// Conjuncts compile once against inSchema; the resulting closures are
+// stateless and shared across all workers.
+func BatchFilterStage(ev *Evaluator, conjuncts []lang.Expr, inSchema *value.Schema, costs []float64, adaptive bool, seed int64, workers int, stats *Stats) BatchStage {
 	if workers < 1 {
 		workers = 1
 	}
+	fns := ev.BindAll(conjuncts, inSchema)
 	// mkApply builds one worker's chunk filter: it appends survivors of
 	// in to out, ticking Dropped for the rest. Each worker owns its
 	// closure (and, in the adaptive case, its own eddy), so no locking.
 	mkApply := func(workerSeed int64) func(ctx context.Context, in Batch, out *Batch) {
 		mkPred := func(i int) func(context.Context, value.Tuple) bool {
-			expr := conjuncts[i]
+			fn := fns[i]
 			return func(ctx context.Context, t value.Tuple) bool {
-				v, err := ev.Eval(ctx, expr, t)
+				v, err := fn(ctx, t)
 				if err != nil {
 					stats.NoteError(err)
 					return false
@@ -271,6 +274,7 @@ func BatchFilterStage(ev *Evaluator, conjuncts []lang.Expr, costs []float64, ada
 // as in the tuple path; output order matches input order.
 func BatchProjectStage(ev *Evaluator, items []ProjItem, inSchema *value.Schema, workers int, stats *Stats) BatchStage {
 	outSchema := ProjectSchema(items, inSchema)
+	fns := bindItems(ev, items, inSchema)
 	if workers < 1 {
 		workers = 1
 	}
@@ -293,7 +297,7 @@ func BatchProjectStage(ev *Evaluator, items []ProjItem, inSchema *value.Schema, 
 					for _, t := range b {
 						var row value.Tuple
 						var err error
-						arena, row, err = projectRowAppend(ctx, ev, items, outSchema, t, arena)
+						arena, row, err = projectRowAppend(ctx, items, fns, outSchema, t, arena)
 						if err != nil {
 							stats.NoteError(err)
 							continue
@@ -311,7 +315,7 @@ func BatchProjectStage(ev *Evaluator, items []ProjItem, inSchema *value.Schema, 
 							for _, t := range sh.in {
 								var row value.Tuple
 								var err error
-								arena, row, err = projectRowAppend(ctx, ev, items, outSchema, t, arena)
+								arena, row, err = projectRowAppend(ctx, items, fns, outSchema, t, arena)
 								if err != nil {
 									stats.NoteError(err)
 									continue

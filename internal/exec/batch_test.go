@@ -160,10 +160,10 @@ func batchVsTupleFilter(t *testing.T, adaptive bool, workers int) {
 	ev := NewEvaluator(catalog.New())
 
 	tupleStats := &Stats{}
-	want := collectTuples(FilterStage(ev, conjuncts, costs, adaptive, 1, tupleStats)(context.Background(), feedTuples(rows...)))
+	want := collectTuples(FilterStage(ev, conjuncts, testSchema(), costs, adaptive, 1, tupleStats)(context.Background(), feedTuples(rows...)))
 
 	batchStats := &Stats{}
-	gotBatches := BatchFilterStage(ev, conjuncts, costs, adaptive, 1, workers, batchStats)(context.Background(), feedBatches(rows[:33], rows[33:66], rows[66:]))
+	gotBatches := BatchFilterStage(ev, conjuncts, testSchema(), costs, adaptive, 1, workers, batchStats)(context.Background(), feedBatches(rows[:33], rows[33:66], rows[66:]))
 	got := collectTuples(FromBatches()(context.Background(), gotBatches))
 
 	if len(got) != len(want) {

@@ -18,6 +18,7 @@ import (
 // so its "current" aggregate includes stale tweets.
 func countWindowStage(ev *Evaluator, cfg AggregateConfig, stats *Stats) Stage {
 	outSchema := AggSchema(cfg)
+	groupFns, argFns := bindAggExprs(ev, cfg)
 	n := cfg.Window.Count
 	return func(ctx context.Context, in <-chan value.Tuple) <-chan value.Tuple {
 		out := make(chan value.Tuple, 64)
@@ -88,8 +89,8 @@ func countWindowStage(ev *Evaluator, cfg AggregateConfig, stats *Stats) Stage {
 				}
 				groupVals := make([]value.Value, len(cfg.GroupExprs))
 				bad := false
-				for i, g := range cfg.GroupExprs {
-					v, err := ev.Eval(ctx, g, t)
+				for i, fn := range groupFns {
+					v, err := fn(ctx, t)
 					if err != nil {
 						stats.NoteError(err)
 						bad = true
@@ -106,12 +107,12 @@ func countWindowStage(ev *Evaluator, cfg AggregateConfig, stats *Stats) Stage {
 					b = &bucket{key: key, groupVals: groupVals, aggs: mkAggs()}
 					buckets[key] = b
 				}
-				for i, a := range cfg.Aggs {
-					if a.Star || a.Arg == nil {
+				for i, fn := range argFns {
+					if fn == nil { // COUNT(*)
 						b.aggs[i].Add(value.Int(1))
 						continue
 					}
-					v, err := ev.Eval(ctx, a.Arg, t)
+					v, err := fn(ctx, t)
 					if err != nil {
 						stats.NoteError(err)
 						v = value.Null()

@@ -30,6 +30,14 @@ import (
 type Evaluator struct {
 	cat *catalog.Catalog
 
+	// compileOn makes Bind lower expressions to closures (see
+	// compile.go); off, Bind delegates every call to Eval.
+	compileOn bool
+	// prepared holds regexes compiled by PrepareRegexes before
+	// evaluation starts. It is read-only once evaluation begins, so the
+	// hot path consults it without taking mu.
+	prepared map[string]*regexp.Regexp
+
 	mu        sync.Mutex
 	statefuls map[string]catalog.ScalarFn
 	regexes   map[string]*regexp.Regexp
@@ -41,6 +49,46 @@ func NewEvaluator(cat *catalog.Catalog) *Evaluator {
 		cat:       cat,
 		statefuls: make(map[string]catalog.ScalarFn),
 		regexes:   make(map[string]*regexp.Regexp),
+	}
+}
+
+// PrepareRegexes walks the expressions and compiles every literal
+// MATCHES pattern into a read-only map consulted lock-free at eval
+// time. Call it before evaluation starts (the engine does, at plan
+// time); patterns that fail to compile are skipped here and report
+// their error per row exactly as before. Only dynamically computed
+// patterns fall back to the mutex-guarded cache.
+func (e *Evaluator) PrepareRegexes(exprs ...lang.Expr) {
+	for _, expr := range exprs {
+		if expr == nil {
+			continue
+		}
+		lang.Walk(expr, func(n lang.Expr) bool {
+			b, ok := n.(*lang.Binary)
+			if !ok || b.Op != "MATCHES" {
+				return true
+			}
+			lit, ok := b.R.(*lang.Literal)
+			if !ok {
+				return true
+			}
+			pat, err := lit.Val.StringVal()
+			if err != nil {
+				return true
+			}
+			if _, done := e.prepared[pat]; done {
+				return true
+			}
+			re, err := compilePattern(pat)
+			if err != nil {
+				return true
+			}
+			if e.prepared == nil {
+				e.prepared = make(map[string]*regexp.Regexp)
+			}
+			e.prepared[pat] = re
+			return true
+		})
 	}
 }
 
@@ -75,22 +123,38 @@ func (e *Evaluator) Eval(ctx context.Context, expr lang.Expr, t value.Tuple) (va
 // evalIdent resolves a column, preferring the qualified name in join
 // outputs ("a.text"), then the bare name.
 func (e *Evaluator) evalIdent(x *lang.Ident, t value.Tuple) value.Value {
-	if x.Qualifier != "" {
-		if i, ok := t.Schema.Index(x.Qualifier + "." + x.Name); ok {
-			return t.Values[i]
-		}
-	}
-	if i, ok := t.Schema.Index(x.Name); ok {
+	return lookupIdent(x, t)
+}
+
+// lookupIdent is the dynamic (per-tuple) column resolution shared by
+// the interpreter and the compiled path's schema-mismatch fallback.
+func lookupIdent(x *lang.Ident, t value.Tuple) value.Value {
+	if i, ok := resolveIdent(t.Schema, x); ok {
 		return t.Values[i]
 	}
-	// Unqualified name may still exist only in qualified form.
-	for i := 0; i < t.Schema.Len(); i++ {
-		name := t.Schema.Field(i).Name
-		if j := strings.IndexByte(name, '.'); j >= 0 && strings.EqualFold(name[j+1:], x.Name) {
-			return t.Values[i]
+	return value.Null()
+}
+
+// resolveIdent maps an ident to its column index in schema: the
+// qualified name first in join outputs ("a.text"), then the bare name,
+// then any qualified column with a matching name suffix.
+func resolveIdent(schema *value.Schema, x *lang.Ident) (int, bool) {
+	if x.Qualifier != "" {
+		if i, ok := schema.IndexFold(x.Qualifier + "." + x.Name); ok {
+			return i, true
 		}
 	}
-	return value.Null()
+	if i, ok := schema.IndexFold(x.Name); ok {
+		return i, true
+	}
+	// Unqualified name may still exist only in qualified form.
+	for i := 0; i < schema.Len(); i++ {
+		name := schema.Field(i).Name
+		if j := strings.IndexByte(name, '.'); j >= 0 && strings.EqualFold(name[j+1:], x.Name) {
+			return i, true
+		}
+	}
+	return 0, false
 }
 
 func (e *Evaluator) evalUnary(ctx context.Context, x *lang.Unary, t value.Tuple) (value.Value, error) {
@@ -169,29 +233,7 @@ func (e *Evaluator) evalBinary(ctx context.Context, x *lang.Binary, t value.Tupl
 		if l.IsNull() || r.IsNull() {
 			return value.Null(), nil // SQL: comparisons with NULL are UNKNOWN
 		}
-		c, err := value.Compare(l, r)
-		if err != nil {
-			// Incomparable kinds are simply unequal, matching the lax
-			// typing of tweet fields.
-			if x.Op == "!=" {
-				return value.Bool(true), nil
-			}
-			return value.Bool(false), nil
-		}
-		switch x.Op {
-		case "=":
-			return value.Bool(c == 0), nil
-		case "!=":
-			return value.Bool(c != 0), nil
-		case "<":
-			return value.Bool(c < 0), nil
-		case "<=":
-			return value.Bool(c <= 0), nil
-		case ">":
-			return value.Bool(c > 0), nil
-		case ">=":
-			return value.Bool(c >= 0), nil
-		}
+		return compareVals(x.Op, l, r)
 	case "CONTAINS":
 		if l.IsNull() || r.IsNull() {
 			return value.Null(), nil
@@ -220,17 +262,59 @@ func (e *Evaluator) evalBinary(ctx context.Context, x *lang.Binary, t value.Tupl
 	return value.Null(), fmt.Errorf("tweeql: unknown operator %q", x.Op)
 }
 
+// compareVals applies a non-NULL comparison with the engine's lax
+// typing: incomparable kinds are simply unequal, matching the loose
+// typing of tweet fields. Shared by the interpreter and the compiled
+// path's generic comparison closure.
+func compareVals(op string, l, r value.Value) (value.Value, error) {
+	c, err := value.Compare(l, r)
+	if err != nil {
+		return value.Bool(op == "!="), nil
+	}
+	switch op {
+	case "=":
+		return value.Bool(c == 0), nil
+	case "!=":
+		return value.Bool(c != 0), nil
+	case "<":
+		return value.Bool(c < 0), nil
+	case "<=":
+		return value.Bool(c <= 0), nil
+	case ">":
+		return value.Bool(c > 0), nil
+	case ">=":
+		return value.Bool(c >= 0), nil
+	}
+	return value.Null(), fmt.Errorf("tweeql: unknown comparison %q", op)
+}
+
 func (e *Evaluator) compiled(pat string) (*regexp.Regexp, error) {
+	// Patterns known at plan time live in the read-only prepared map:
+	// no lock on the hot path.
+	if re, ok := e.prepared[pat]; ok {
+		return re, nil
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if re, ok := e.regexes[pat]; ok {
 		return re, nil
 	}
+	re, err := compilePattern(pat)
+	if err != nil {
+		return nil, err
+	}
+	e.regexes[pat] = re
+	return re, nil
+}
+
+// compilePattern is the single place MATCHES patterns become regexes —
+// case-insensitive, with the user-facing error text — shared by the
+// compiled path, the plan-time pre-walk, and the dynamic cache.
+func compilePattern(pat string) (*regexp.Regexp, error) {
 	re, err := regexp.Compile("(?i)" + pat)
 	if err != nil {
 		return nil, fmt.Errorf("tweeql: bad regex %q: %w", pat, err)
 	}
-	e.regexes[pat] = re
 	return re, nil
 }
 
@@ -337,17 +421,27 @@ func (e *Evaluator) evalCall(ctx context.Context, x *lang.Call, t value.Tuple) (
 		return udf.Fn(ctx, args)
 	}
 	if factory, ok := e.cat.Stateful(name); ok {
-		e.mu.Lock()
-		inst, exists := e.statefuls[name]
-		if !exists {
-			inst = factory()
-			e.statefuls[name] = inst
-		}
-		out, err := inst(ctx, args)
-		e.mu.Unlock()
-		return out, err
+		return e.callStateful(ctx, name, factory, args)
 	}
 	return value.Null(), fmt.Errorf("tweeql: unknown function %q", x.Name)
+}
+
+// callStateful invokes a stateful UDF, instantiating it once per query
+// and serializing calls on the evaluator lock — running state is the
+// whole point of these functions, so stream order must hold even when
+// other expressions evaluate from worker goroutines. Shared by the
+// interpreter and the compiled path so the two cannot diverge on the
+// serialization contract.
+func (e *Evaluator) callStateful(ctx context.Context, name string, factory catalog.StatefulFactory, args []value.Value) (value.Value, error) {
+	e.mu.Lock()
+	inst, exists := e.statefuls[name]
+	if !exists {
+		inst = factory()
+		e.statefuls[name] = inst
+	}
+	out, err := inst(ctx, args)
+	e.mu.Unlock()
+	return out, err
 }
 
 // builtins are the engine-level scalar functions that need no catalog

@@ -279,7 +279,7 @@ func TestFilterStage(t *testing.T) {
 	stats := &Stats{}
 	conjuncts := []lang.Expr{whereExpr(t, "n > 2"), whereExpr(t, "text CONTAINS 'keep'")}
 	for _, adaptive := range []bool{false, true} {
-		stage := FilterStage(ev, conjuncts, []float64{1, 1}, adaptive, 1, stats)
+		stage := FilterStage(ev, conjuncts, testSchema(), []float64{1, 1}, adaptive, 1, stats)
 		out := collect(stage(context.Background(), feedRows(
 			row("keep me", 3, value.Null(), value.Null(), time.Unix(1, 0)),
 			row("keep me", 1, value.Null(), value.Null(), time.Unix(2, 0)),
@@ -494,7 +494,7 @@ func TestChainAndCount(t *testing.T) {
 	stats := &Stats{}
 	stage := Chain(
 		CountStage(stats),
-		FilterStage(ev, []lang.Expr{whereExpr(t, "n > 1")}, []float64{1}, false, 1, stats),
+		FilterStage(ev, []lang.Expr{whereExpr(t, "n > 1")}, testSchema(), []float64{1}, false, 1, stats),
 	)
 	out := collect(stage(context.Background(), feedRows(
 		row("a", 1, value.Null(), value.Null(), time.Unix(0, 0)),
@@ -509,7 +509,7 @@ func TestStatsErrors(t *testing.T) {
 	ev := NewEvaluator(catalog.New())
 	stats := &Stats{}
 	// Unknown function inside filter: rows drop, error recorded, stream continues.
-	stage := FilterStage(ev, []lang.Expr{whereExpr(t, "nosuchfn(n) > 0")}, []float64{1}, false, 1, stats)
+	stage := FilterStage(ev, []lang.Expr{whereExpr(t, "nosuchfn(n) > 0")}, testSchema(), []float64{1}, false, 1, stats)
 	out := collect(stage(context.Background(), feedRows(
 		row("a", 1, value.Null(), value.Null(), time.Unix(0, 0)),
 	)))

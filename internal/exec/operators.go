@@ -63,16 +63,19 @@ func Chain(stages ...Stage) Stage {
 // conjuncts and adaptive=true it routes tuples through an Eddy, so the
 // evaluation order tracks observed selectivities; otherwise conjuncts
 // run in query order. costs must parallel conjuncts (see CostOf).
-func FilterStage(ev *Evaluator, conjuncts []lang.Expr, costs []float64, adaptive bool, seed int64, stats *Stats) Stage {
+// Conjuncts are compiled against inSchema at stage construction (see
+// Bind); the eddy's per-conjunct predicates wrap the compiled closures.
+func FilterStage(ev *Evaluator, conjuncts []lang.Expr, inSchema *value.Schema, costs []float64, adaptive bool, seed int64, stats *Stats) Stage {
+	fns := ev.BindAll(conjuncts, inSchema)
 	return func(ctx context.Context, in <-chan value.Tuple) <-chan value.Tuple {
 		out := make(chan value.Tuple, 64)
 		go func() {
 			defer close(out)
 			var pass func(value.Tuple) bool
 			mkPred := func(i int) func(value.Tuple) bool {
-				expr := conjuncts[i]
+				fn := fns[i]
 				return func(t value.Tuple) bool {
-					v, err := ev.Eval(ctx, expr, t)
+					v, err := fn(ctx, t)
 					if err != nil {
 						stats.NoteError(err)
 						return false
@@ -146,15 +149,28 @@ func ProjectSchema(items []ProjItem, in *value.Schema) *value.Schema {
 	return value.NewSchema(fields...)
 }
 
+// bindItems compiles each non-wildcard select item against the input
+// schema; wildcard slots stay nil.
+func bindItems(ev *Evaluator, items []ProjItem, inSchema *value.Schema) []CompiledExpr {
+	fns := make([]CompiledExpr, len(items))
+	for i, it := range items {
+		if !it.Wildcard {
+			fns[i] = ev.Bind(it.Expr, inSchema)
+		}
+	}
+	return fns
+}
+
 // ProjectStage evaluates the select list synchronously.
 func ProjectStage(ev *Evaluator, items []ProjItem, inSchema *value.Schema, stats *Stats) Stage {
 	outSchema := ProjectSchema(items, inSchema)
+	fns := bindItems(ev, items, inSchema)
 	return func(ctx context.Context, in <-chan value.Tuple) <-chan value.Tuple {
 		out := make(chan value.Tuple, 64)
 		go func() {
 			defer close(out)
 			for t := range in {
-				row, err := projectRow(ctx, ev, items, outSchema, t)
+				row, err := projectRow(ctx, items, fns, outSchema, t)
 				if err != nil {
 					stats.NoteError(err)
 					continue
@@ -176,10 +192,11 @@ func ProjectStage(ev *Evaluator, items []ProjItem, inSchema *value.Schema, stats
 // in-flight web requests.
 func AsyncProjectStage(ev *Evaluator, items []ProjItem, inSchema *value.Schema, workers int, stats *Stats) Stage {
 	outSchema := ProjectSchema(items, inSchema)
+	fns := bindItems(ev, items, inSchema)
 	return func(ctx context.Context, in <-chan value.Tuple) <-chan value.Tuple {
 		out := make(chan value.Tuple, 64)
 		d := asyncop.New(func(ctx context.Context, t value.Tuple) (value.Tuple, error) {
-			return projectRow(ctx, ev, items, outSchema, t)
+			return projectRow(ctx, items, fns, outSchema, t)
 		}, asyncop.WithWorkers(workers), asyncop.WithOrderPreserved())
 		go func() {
 			defer close(out)
@@ -199,23 +216,24 @@ func AsyncProjectStage(ev *Evaluator, items []ProjItem, inSchema *value.Schema, 
 	}
 }
 
-func projectRow(ctx context.Context, ev *Evaluator, items []ProjItem, outSchema *value.Schema, t value.Tuple) (value.Tuple, error) {
-	_, row, err := projectRowAppend(ctx, ev, items, outSchema, t, make([]value.Value, 0, outSchema.Len()))
+func projectRow(ctx context.Context, items []ProjItem, fns []CompiledExpr, outSchema *value.Schema, t value.Tuple) (value.Tuple, error) {
+	_, row, err := projectRowAppend(ctx, items, fns, outSchema, t, make([]value.Value, 0, outSchema.Len()))
 	return row, err
 }
 
 // projectRowAppend evaluates the select list into arena, growing and
 // returning it. The batched projection passes one arena per batch so a
 // whole batch of output rows costs one values allocation. On error the
-// arena is rolled back to its input length.
-func projectRowAppend(ctx context.Context, ev *Evaluator, items []ProjItem, outSchema *value.Schema, t value.Tuple, arena []value.Value) ([]value.Value, value.Tuple, error) {
+// arena is rolled back to its input length. fns parallels items (see
+// bindItems); wildcard slots are nil.
+func projectRowAppend(ctx context.Context, items []ProjItem, fns []CompiledExpr, outSchema *value.Schema, t value.Tuple, arena []value.Value) ([]value.Value, value.Tuple, error) {
 	start := len(arena)
-	for _, it := range items {
+	for i, it := range items {
 		if it.Wildcard {
 			arena = append(arena, t.Values...)
 			continue
 		}
-		v, err := ev.Eval(ctx, it.Expr, t)
+		v, err := fns[i](ctx, t)
 		if err != nil {
 			return arena[:start], value.Tuple{}, err
 		}
@@ -253,6 +271,10 @@ type AggregateConfig struct {
 	Window *lang.WindowSpec
 	// Confidence enables CONTROL-style early emission.
 	Confidence *lang.ConfidenceSpec
+	// InSchema is the schema of the stage's input tuples; when set, the
+	// group keys and aggregate arguments compile against it (see Bind).
+	// nil keeps the interpreter.
+	InSchema *value.Schema
 }
 
 // AggSchema computes the output schema: the mapped columns, plus
@@ -284,10 +306,15 @@ type aggState struct {
 	stats     *Stats
 	outSchema *value.Schema
 	mgr       *window.Manager
+	// groupFns/argFns are the bound evaluation closures for the group
+	// keys and aggregate arguments (argFns slots are nil for COUNT(*)).
+	groupFns []CompiledExpr
+	argFns   []CompiledExpr
 }
 
 func newAggState(ev *Evaluator, cfg AggregateConfig, stats *Stats) *aggState {
 	s := &aggState{ev: ev, cfg: cfg, stats: stats, outSchema: AggSchema(cfg)}
+	s.groupFns, s.argFns = bindAggExprs(ev, cfg)
 	if cfg.Window != nil {
 		s.mgr = window.NewManager(cfg.Window.Size, cfg.Window.Every)
 	} else {
@@ -299,6 +326,20 @@ func newAggState(ev *Evaluator, cfg AggregateConfig, stats *Stats) *aggState {
 		s.mgr.EnableConfidence(cfg.Confidence.Level, cfg.Confidence.HalfWidth)
 	}
 	return s
+}
+
+// bindAggExprs binds the group keys and aggregate arguments against
+// cfg.InSchema, shared by the time-window aggState and the count-window
+// operator so both evaluate through the same closures.
+func bindAggExprs(ev *Evaluator, cfg AggregateConfig) (groupFns, argFns []CompiledExpr) {
+	groupFns = ev.BindAll(cfg.GroupExprs, cfg.InSchema)
+	argFns = make([]CompiledExpr, len(cfg.Aggs))
+	for i, a := range cfg.Aggs {
+		if !a.Star && a.Arg != nil {
+			argFns[i] = ev.Bind(a.Arg, cfg.InSchema)
+		}
+	}
+	return groupFns, argFns
 }
 
 func (s *aggState) mkAggs() []agg.Func {
@@ -344,8 +385,8 @@ func (s *aggState) row(b *window.Bucket, early bool) value.Tuple {
 // done and folding should stop.
 func (s *aggState) observe(ctx context.Context, t value.Tuple, emit func(value.Tuple) bool) bool {
 	groupVals := make([]value.Value, len(s.cfg.GroupExprs))
-	for i, g := range s.cfg.GroupExprs {
-		v, err := s.ev.Eval(ctx, g, t)
+	for i, fn := range s.groupFns {
+		v, err := fn(ctx, t)
 		if err != nil {
 			s.stats.NoteError(err)
 			return true
@@ -355,12 +396,12 @@ func (s *aggState) observe(ctx context.Context, t value.Tuple, emit func(value.T
 	// Evaluate aggregate arguments once per tuple; fold adds them to
 	// every containing window's bucket.
 	argVals := make([]value.Value, len(s.cfg.Aggs))
-	for i, a := range s.cfg.Aggs {
-		if a.Star || a.Arg == nil {
+	for i, fn := range s.argFns {
+		if fn == nil { // COUNT(*)
 			argVals[i] = value.Int(1)
 			continue
 		}
-		v, err := s.ev.Eval(ctx, a.Arg, t)
+		v, err := fn(ctx, t)
 		if err != nil {
 			s.stats.NoteError(err)
 			v = value.Null()
@@ -439,6 +480,11 @@ type JoinConfig struct {
 	// Window bounds how far apart in event time two tuples may be and
 	// still join.
 	Window time.Duration
+	// OutSchema, when set, is used for combined tuples instead of a
+	// freshly built JoinSchema — the engine passes the same pointer to
+	// downstream stages so their compiled column indices hit the fast
+	// path on join output.
+	OutSchema *value.Schema
 }
 
 // JoinSchema prefixes both sides' columns with their binding.
@@ -457,7 +503,12 @@ func JoinSchema(left, right *value.Schema, cfg JoinConfig) *value.Schema {
 // are equal and whose event times are within the window — a symmetric
 // hash join with time-based eviction.
 func JoinStage(ev *Evaluator, left, right <-chan value.Tuple, leftSchema, rightSchema *value.Schema, cfg JoinConfig, stats *Stats) <-chan value.Tuple {
-	outSchema := JoinSchema(leftSchema, rightSchema, cfg)
+	outSchema := cfg.OutSchema
+	if outSchema == nil {
+		outSchema = JoinSchema(leftSchema, rightSchema, cfg)
+	}
+	leftKeyFn := ev.Bind(cfg.LeftKey, leftSchema)
+	rightKeyFn := ev.Bind(cfg.RightKey, rightSchema)
 	out := make(chan value.Tuple, 64)
 
 	type buffered struct {
@@ -497,8 +548,8 @@ func JoinStage(ev *Evaluator, left, right <-chan value.Tuple, leftSchema, rightS
 			}
 			return value.NewTuple(outSchema, vals, ts)
 		}
-		process := func(t value.Tuple, keyExpr lang.Expr, own, other map[string][]buffered, isLeft bool) bool {
-			kv, err := ev.Eval(ctx, keyExpr, t)
+		process := func(t value.Tuple, keyFn CompiledExpr, own, other map[string][]buffered, isLeft bool) bool {
+			kv, err := keyFn(ctx, t)
 			if err != nil {
 				stats.NoteError(err)
 				return true
@@ -542,7 +593,7 @@ func JoinStage(ev *Evaluator, left, right <-chan value.Tuple, leftSchema, rightS
 				if t.TS.After(leftWM) {
 					leftWM = t.TS
 				}
-				process(t, cfg.LeftKey, leftBuf, rightBuf, true)
+				process(t, leftKeyFn, leftBuf, rightBuf, true)
 				evict(rightBuf, leftWM)
 			case t, ok := <-r:
 				if !ok {
@@ -553,7 +604,7 @@ func JoinStage(ev *Evaluator, left, right <-chan value.Tuple, leftSchema, rightS
 				if t.TS.After(rightWM) {
 					rightWM = t.TS
 				}
-				process(t, cfg.RightKey, rightBuf, leftBuf, false)
+				process(t, rightKeyFn, rightBuf, leftBuf, false)
 				evict(leftBuf, rightWM)
 			}
 		}

@@ -325,6 +325,18 @@ func formatDuration(d time.Duration) string {
 	}
 }
 
+// Key returns a stable, case-insensitive identity for an expression:
+// two expressions with equal Key evaluate identically against any
+// tuple. The planner uses it to match select items to GROUP BY
+// expressions, and the executor relies on it to pair compiled closures
+// with the eddy conjuncts they came from across plan rebuilds.
+func Key(e Expr) string {
+	if e == nil {
+		return ""
+	}
+	return strings.ToLower(e.String())
+}
+
 // Walk applies fn to every expression node in the tree rooted at e,
 // parents before children. Returning false stops descent into children.
 func Walk(e Expr, fn func(Expr) bool) {

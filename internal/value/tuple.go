@@ -48,8 +48,35 @@ func (s *Schema) Fields() []Field {
 // Index returns the position of the named field (case-insensitive) and
 // whether it exists.
 func (s *Schema) Index(name string) (int, bool) {
+	return s.IndexFold(name)
+}
+
+// IndexFold is the case-insensitive lookup behind Index. The index keys
+// are pre-lower-cased at NewSchema time, so a name that is already
+// lower-case — the common case on the per-row hot path — is a single
+// map probe with no folding; only names containing upper-case (or
+// non-ASCII) characters pay for strings.ToLower.
+func (s *Schema) IndexFold(name string) (int, bool) {
+	if i, ok := s.index[name]; ok {
+		return i, true
+	}
+	if !needsFold(name) {
+		return 0, false
+	}
 	i, ok := s.index[strings.ToLower(name)]
 	return i, ok
+}
+
+// needsFold reports whether name can differ from its lower-casing:
+// upper-case ASCII always does, and any non-ASCII byte might.
+func needsFold(name string) bool {
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if ('A' <= c && c <= 'Z') || c >= 0x80 {
+			return true
+		}
+	}
+	return false
 }
 
 // Names returns the field names in order.

@@ -38,6 +38,41 @@ func TestSchemaDuplicateKeepsFirst(t *testing.T) {
 	if i, _ := s.Index("a"); i != 0 {
 		t.Errorf("duplicate lookup = %d, want 0", i)
 	}
+	// Case-variant probes hit the same (first) slot through IndexFold.
+	for _, name := range []string{"a", "A"} {
+		if i, ok := s.IndexFold(name); !ok || i != 0 {
+			t.Errorf("IndexFold(%q) = %d,%v, want 0,true", name, i, ok)
+		}
+	}
+}
+
+func TestSchemaIndexFold(t *testing.T) {
+	s := NewSchema(Field{"text", KindString}, Field{"Count", KindInt}, Field{"café", KindString})
+	cases := []struct {
+		name string
+		idx  int
+		ok   bool
+	}{
+		{"text", 0, true},  // already lower: single map probe
+		{"TEXT", 0, true},  // upper ASCII folds
+		{"Count", 1, true}, // stored mixed-case, folded key
+		{"count", 1, true}, // pre-lowered probe
+		{"café", 2, true},  // non-ASCII lower: direct hit
+		{"CAFÉ", 2, true},  // non-ASCII upper folds
+		{"missing", 0, false},
+		{"MISSING", 0, false},
+	}
+	for _, c := range cases {
+		i, ok := s.IndexFold(c.name)
+		if ok != c.ok || (ok && i != c.idx) {
+			t.Errorf("IndexFold(%q) = %d,%v, want %d,%v", c.name, i, ok, c.idx, c.ok)
+		}
+	}
+	// The already-lower-case probe — the per-row hot path — must not
+	// allocate (no strings.ToLower call).
+	if allocs := testing.AllocsPerRun(100, func() { s.IndexFold("text") }); allocs != 0 {
+		t.Errorf("IndexFold(lower) allocates %v/op, want 0", allocs)
+	}
 }
 
 func TestSchemaExtend(t *testing.T) {

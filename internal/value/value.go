@@ -152,6 +152,26 @@ func (v Value) TimeVal() (time.Time, error) {
 	return v.t, nil
 }
 
+// Str returns the string content without StringVal's kind check and
+// error path — the zero string for non-string kinds. Hot paths that
+// have already checked Kind use it to stay call-free: Str inlines,
+// while StringVal cannot (its error construction is too costly for the
+// inliner), so every StringVal call copies the whole Value.
+func (v Value) Str() string { return v.s }
+
+// Num returns the numeric content widened to float64 for KindInt and
+// KindFloat, 0 otherwise; the same check-Kind-first contract as Str.
+func (v Value) Num() float64 {
+	if v.kind == KindInt {
+		return float64(v.i)
+	}
+	return v.f
+}
+
+// IntRaw returns the raw int64 content for KindInt, 0 otherwise; the
+// same check-Kind-first contract as Str.
+func (v Value) IntRaw() int64 { return v.i }
+
 // ListVal returns the list content, or an error for non-lists.
 func (v Value) ListVal() ([]Value, error) {
 	if v.kind != KindList {
