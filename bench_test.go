@@ -24,6 +24,7 @@ import (
 	"tweeql/internal/peaks"
 	"tweeql/internal/selectivity"
 	"tweeql/internal/sentiment"
+	"tweeql/internal/store"
 	"tweeql/internal/terms"
 	"tweeql/internal/twitinfo"
 	"tweeql/internal/twitterapi"
@@ -381,6 +382,60 @@ func BenchmarkExprCompileAblation(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkTableStore measures the persistent table store: batched
+// appends (encode + buffered write) and full-table scans (decode +
+// time filter) over real tweet rows — the perf scoreboard for the
+// INTO TABLE / FROM <table> path.
+func BenchmarkTableStore(b *testing.B) {
+	tweets := firehose.Tweets(soccerStream()[:10_000])
+	rows := make([]value.Tuple, len(tweets))
+	for i, tw := range tweets {
+		rows[i] = catalog.TweetTuple(tw)
+	}
+
+	b.Run("append", func(b *testing.B) {
+		tab, err := store.Open(store.Options{Dir: b.TempDir(), Fsync: store.FsyncNone})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer tab.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			lo := (i * 256) % (len(rows) - 256)
+			if err := tab.AppendBatch(rows[lo : lo+256]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)*256/b.Elapsed().Seconds(), "tweets/sec")
+	})
+
+	b.Run("scan", func(b *testing.B) {
+		tab, err := store.Open(store.Options{Dir: b.TempDir(), Fsync: store.FsyncNone})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer tab.Close()
+		if err := tab.AppendBatch(rows); err != nil {
+			b.Fatal(err)
+		}
+		if err := tab.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			n := 0
+			err := tab.Scan(time.Time{}, time.Time{}, 256, func(batch []value.Tuple) error {
+				n += len(batch)
+				return nil
+			})
+			if err != nil || n != len(rows) {
+				b.Fatalf("scan: n=%d err=%v", n, err)
+			}
+		}
+		b.ReportMetric(float64(b.N)*float64(len(rows))/b.Elapsed().Seconds(), "tweets/sec")
+	})
 }
 
 // BenchmarkE11PeakLabels measures TF-IDF peak labeling (Figure 1.2's

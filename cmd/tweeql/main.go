@@ -41,9 +41,13 @@ func main() {
 	batchSize := flag.Int("batch-size", 0, "tuples per pipeline batch (0 = engine default, 1 = tuple-at-a-time)")
 	batchWorkers := flag.Int("batch-workers", 0, "worker-pool width for batch filter/projection stages (0 = engine default)")
 	compileExprs := flag.Bool("compile-exprs", true, "compile expressions to closures at plan time (false = per-row AST interpreter)")
+	dataDir := flag.String("data-dir", "", "root directory for persistent tables; INTO TABLE targets survive restarts and are queryable in FROM (empty = in-memory)")
+	segmentMaxBytes := flag.Int64("segment-max-bytes", 0, "seal a persistent table segment at this data-file size (0 = 64MiB default)")
+	fsyncPolicy := flag.String("fsync", "seal", "persistent table fsync policy: none, seal, or flush")
+	retainSegments := flag.Int("retain-segments", 0, "keep at most this many sealed segments per table (0 = unlimited)")
 	flag.Parse()
 
-	if *batchSize > 0 || *batchWorkers > 0 || !*compileExprs {
+	if *batchSize > 0 || *batchWorkers > 0 || !*compileExprs || *dataDir != "" {
 		opts := tweeql.DefaultOptions()
 		if *batchSize > 0 {
 			opts.BatchSize = *batchSize
@@ -52,6 +56,10 @@ func main() {
 			opts.BatchWorkers = *batchWorkers
 		}
 		opts.CompileExprs = *compileExprs
+		opts.DataDir = *dataDir
+		opts.SegmentMaxBytes = *segmentMaxBytes
+		opts.FsyncPolicy = *fsyncPolicy
+		opts.TableRetainSegments = *retainSegments
 		engineOpts = &opts
 	}
 
@@ -128,6 +136,9 @@ func runOne(scenario string, seed int64, duration time.Duration, sql string, exp
 		return err
 	}
 	defer stream.Close()
+	// Persistent tables must flush on the way out; the next query (or
+	// process) reopens them from the data dir.
+	defer eng.Close()
 	if explain {
 		out, err := eng.Explain(sql)
 		if err != nil {
@@ -145,6 +156,19 @@ func runOne(scenario string, seed int64, duration time.Duration, sql string, exp
 	go stream.Replay()
 
 	start := time.Now()
+	if cur.Routed() {
+		// INTO STREAM / INTO TABLE: results feed the named target.
+		// Drained closes when the target has received (and, for
+		// persistent tables, flushed) the final row.
+		<-cur.Drained()
+		stats := cur.Stats()
+		fmt.Printf("(%d rows routed to %s, %d tweets in, %v)\n",
+			stats.RowsOut.Load(), cur.Statement().Into.Name, stats.RowsIn.Load(), time.Since(start).Round(time.Millisecond))
+		if err := stats.Err(); err != nil {
+			return err
+		}
+		return nil
+	}
 	cols := cur.Schema().Names()
 	fmt.Println(strings.Join(cols, " | "))
 	fmt.Println(strings.Repeat("-", len(strings.Join(cols, " | "))))

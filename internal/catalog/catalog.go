@@ -7,6 +7,7 @@ package catalog
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -51,6 +52,16 @@ type OpenRequest struct {
 	SampleSize int
 	// Buffer is the connection buffer size (0 = source default).
 	Buffer int
+	// From/To bound the event timestamps the query can accept (zero =
+	// open), extracted by the planner from created_at predicates. Table
+	// sources use them to prune whole segments; streaming sources may
+	// ignore them — the residual WHERE filter still applies exactly.
+	From, To time.Time
+	// OnError, when non-nil, receives errors the source hits after Open
+	// returned (a corrupt segment mid-scan, a lost connection). The
+	// engine wires it to the query's stats so a silently truncated
+	// stream is never mistaken for a complete one.
+	OnError func(error)
 }
 
 // OpenInfo reports what the source actually did, for EXPLAIN output and
@@ -117,6 +128,7 @@ type Catalog struct {
 	scalars   map[string]*ScalarUDF
 	statefuls map[string]StatefulFactory
 	tables    map[string]*Table
+	factory   TableFactory
 }
 
 // New returns an empty catalog.
@@ -136,15 +148,35 @@ func (c *Catalog) RegisterSource(name string, s Source) {
 	c.sources[strings.ToLower(name)] = s
 }
 
-// Source resolves a FROM name.
+// Source resolves a FROM name: a registered stream source first, then
+// a result table — INTO TABLE targets are queryable, and with a
+// persistent backend a table logged by an earlier process resolves
+// here too (the factory reopens its durable state on demand).
 func (c *Catalog) Source(name string) (Source, error) {
+	key := strings.ToLower(name)
 	c.mu.RLock()
-	defer c.mu.RUnlock()
-	s, ok := c.sources[strings.ToLower(name)]
+	s, ok := c.sources[key]
 	if !ok {
-		return nil, fmt.Errorf("tweeql: unknown stream %q", name)
+		var t *Table
+		if t, ok = c.tables[key]; ok {
+			s = t
+		}
 	}
-	return s, nil
+	factory := c.factory
+	c.mu.RUnlock()
+	if ok {
+		return s, nil
+	}
+	if factory != nil {
+		t, err := c.openTable(name, false)
+		if err == nil {
+			return t, nil
+		}
+		if err != ErrNoTable {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("tweeql: unknown stream %q", name)
 }
 
 // SourceNames lists registered sources, for the REPL's catalog listing.
@@ -210,50 +242,322 @@ func (c *Catalog) Stateful(name string) (StatefulFactory, bool) {
 	return f, ok
 }
 
-// Table returns (creating if needed) the named result table, the INTO
-// TABLE target.
-func (c *Catalog) Table(name string) *Table {
+// TableBackend is the storage engine behind one result table. The
+// in-memory ring buffer (NewMemBackend) is the default; internal/store
+// provides the persistent, time-partitioned implementation. Backends
+// must be safe for concurrent use and must not retain slices passed to
+// AppendBatch.
+type TableBackend interface {
+	// AppendBatch appends rows in order.
+	AppendBatch(rows []value.Tuple) error
+	// Flush makes pending appends readable and (per the backend's
+	// durability policy) durable.
+	Flush() error
+	// Scan streams rows whose event timestamp falls in [from, to]
+	// (zero bounds open; rows without an event time always match), in
+	// append order, in freshly allocated batches of at most batchHint
+	// rows. fn owns each batch; its error stops the scan.
+	Scan(from, to time.Time, batchHint int, fn func([]value.Tuple) error) error
+	// Schema reports the schema of the newest appended row, nil while
+	// empty.
+	Schema() *value.Schema
+	// Len reports the stored row count.
+	Len() int
+	// Close releases the backend; further operations may error.
+	Close() error
+}
+
+// ErrNoTable is returned by a TableFactory asked to open (not create) a
+// table that has no durable state.
+var ErrNoTable = errors.New("catalog: no such table")
+
+// TableFactory builds the backend for a named table. With create=false
+// it must only open pre-existing durable state, returning ErrNoTable
+// when there is none (the FROM-clause resolution path probes unknown
+// names and must not litter the data directory with empty tables).
+type TableFactory func(name string, create bool) (TableBackend, error)
+
+// SetTableFactory installs the backend factory used for tables created
+// after this call. The engine installs one at construction: in-memory
+// ring buffers by default, the persistent store when a data directory
+// is configured.
+func (c *Catalog) SetTableFactory(f TableFactory) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.factory = f
+}
+
+// OpenTable returns the named result table, creating its backend via
+// the table factory if it does not exist yet. This is the INTO TABLE
+// path: factory errors (bad data directory, corrupt segment) surface
+// here, at query-start time.
+func (c *Catalog) OpenTable(name string) (*Table, error) {
+	return c.openTable(name, true)
+}
+
+func (c *Catalog) openTable(name string, create bool) (*Table, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	key := strings.ToLower(name)
-	t, ok := c.tables[key]
-	if !ok {
-		t = &Table{Name: name}
-		c.tables[key] = t
+	if t, ok := c.tables[key]; ok {
+		return t, nil
 	}
-	return t
+	var backend TableBackend
+	if c.factory != nil {
+		b, err := c.factory(name, create)
+		if err != nil {
+			return nil, err
+		}
+		backend = b
+	} else if create {
+		backend = NewMemBackend(0)
+	} else {
+		return nil, ErrNoTable
+	}
+	t := &Table{Name: name, backend: backend}
+	c.tables[key] = t
+	return t, nil
 }
 
-// Table is an in-memory result table fed by INTO TABLE.
+// Table returns (creating an in-memory-backed one if needed) the named
+// result table — the historical lookup API. When a configured factory
+// fails, the returned table is a throwaway in-memory stand-in that is
+// deliberately NOT cached: a later OpenTable (the INTO TABLE path)
+// must retry the factory and surface its error rather than silently
+// writing to memory under a data dir.
+func (c *Catalog) Table(name string) *Table {
+	t, err := c.OpenTable(name)
+	if err == nil {
+		return t
+	}
+	return &Table{Name: name, backend: NewMemBackend(0)}
+}
+
+// CloseTables closes every table backend (flushing persistent ones)
+// and empties the table namespace. The first error wins; closing
+// continues regardless.
+func (c *Catalog) CloseTables() error {
+	c.mu.Lock()
+	tables := c.tables
+	c.tables = make(map[string]*Table)
+	c.mu.Unlock()
+	var first error
+	for _, t := range tables {
+		if err := t.backend.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Table is a named result table fed by INTO TABLE and readable from a
+// FROM clause. Storage is delegated to a TableBackend; the Table layer
+// adds the catalog identity and the Source/BatchSource adaptation.
 type Table struct {
-	Name string
-
-	mu   sync.RWMutex
-	rows []value.Tuple
+	Name    string
+	backend TableBackend
 }
 
-// Append adds a row.
-func (t *Table) Append(row value.Tuple) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.rows = append(t.rows, row)
+// Backend exposes the storage engine, for introspection (segment
+// counts, scan counters) and tests.
+func (t *Table) Backend() TableBackend { return t.backend }
+
+// Append adds one row.
+func (t *Table) Append(row value.Tuple) error {
+	return t.backend.AppendBatch([]value.Tuple{row})
 }
+
+// AppendBatch adds rows in order. The slice is not retained.
+func (t *Table) AppendBatch(rows []value.Tuple) error {
+	return t.backend.AppendBatch(rows)
+}
+
+// Flush makes pending appends readable and, per the backend's policy,
+// durable.
+func (t *Table) Flush() error { return t.backend.Flush() }
 
 // Rows returns a copy of the stored rows.
 func (t *Table) Rows() []value.Tuple {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	out := make([]value.Tuple, len(t.rows))
-	copy(out, t.rows)
+	var out []value.Tuple
+	_ = t.backend.Scan(time.Time{}, time.Time{}, 256, func(b []value.Tuple) error {
+		out = append(out, b...)
+		return nil
+	})
 	return out
 }
 
 // Len reports the row count.
-func (t *Table) Len() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return len(t.rows)
+func (t *Table) Len() int { return t.backend.Len() }
+
+// emptySchema backs Schema() for tables nothing has been written to:
+// the planner needs a non-nil schema to compile against, and every
+// column of an empty table resolves to NULL.
+var emptySchema = value.NewSchema()
+
+// Schema implements Source: the schema of the newest appended row.
+func (t *Table) Schema() *value.Schema {
+	if s := t.backend.Schema(); s != nil {
+		return s
+	}
+	return emptySchema
 }
+
+// Open implements Source: a snapshot scan of the table's rows within
+// the request's time range, closing at the end — historical replay,
+// not a live tail. A scan error ends the stream early and is reported
+// through req.OnError (cancellation is not an error).
+func (t *Table) Open(ctx context.Context, req OpenRequest) (<-chan value.Tuple, *OpenInfo, error) {
+	out := make(chan value.Tuple, 64)
+	go func() {
+		defer close(out)
+		err := t.backend.Scan(req.From, req.To, 64, func(batch []value.Tuple) error {
+			for _, row := range batch {
+				select {
+				case out <- row:
+				case <-ctx.Done():
+					return ctx.Err()
+				}
+			}
+			return nil
+		})
+		reportScanErr(req, err)
+	}()
+	return out, &OpenInfo{Schema: t.Schema()}, nil
+}
+
+// OpenBatches implements BatchSource: the same snapshot scan, one
+// channel transfer per batch. Each delivered batch is freshly
+// allocated by the backend, so ownership passes cleanly.
+func (t *Table) OpenBatches(ctx context.Context, req OpenRequest, bo BatchOptions) (<-chan []value.Tuple, *OpenInfo, error) {
+	if bo.Size < 1 {
+		bo.Size = 1
+	}
+	out := make(chan []value.Tuple, 4)
+	go func() {
+		defer close(out)
+		err := t.backend.Scan(req.From, req.To, bo.Size, func(batch []value.Tuple) error {
+			select {
+			case out <- batch:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		})
+		reportScanErr(req, err)
+	}()
+	return out, &OpenInfo{Schema: t.Schema()}, nil
+}
+
+// reportScanErr forwards a mid-stream scan failure to the request's
+// error hook; context cancellation is the consumer's doing, not a
+// table failure.
+func reportScanErr(req OpenRequest, err error) {
+	if err == nil || req.OnError == nil ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return
+	}
+	req.OnError(err)
+}
+
+// DefaultMemTableRows caps in-memory tables when no explicit cap is
+// configured, so INTO TABLE under firehose load degrades to a sliding
+// window instead of exhausting memory.
+const DefaultMemTableRows = 1 << 20
+
+// MemBackend is the in-memory TableBackend: a bounded ring buffer that
+// keeps the newest capRows rows.
+type MemBackend struct {
+	cap int
+
+	mu     sync.RWMutex
+	schema *value.Schema
+	rows   []value.Tuple
+	start  int // ring read position once len(rows) == cap
+}
+
+// NewMemBackend builds an in-memory backend keeping at most capRows
+// rows (<= 0 means DefaultMemTableRows).
+func NewMemBackend(capRows int) *MemBackend {
+	if capRows <= 0 {
+		capRows = DefaultMemTableRows
+	}
+	return &MemBackend{cap: capRows}
+}
+
+// AppendBatch implements TableBackend.
+func (m *MemBackend) AppendBatch(rows []value.Tuple) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, r := range rows {
+		if r.Schema != nil {
+			m.schema = r.Schema
+		}
+		if len(m.rows) < m.cap {
+			m.rows = append(m.rows, r)
+		} else {
+			m.rows[m.start] = r
+			m.start = (m.start + 1) % m.cap
+		}
+	}
+	return nil
+}
+
+// Flush implements TableBackend (appends are immediately readable).
+func (m *MemBackend) Flush() error { return nil }
+
+// Schema implements TableBackend.
+func (m *MemBackend) Schema() *value.Schema {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.schema
+}
+
+// Len implements TableBackend.
+func (m *MemBackend) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.rows)
+}
+
+// Scan implements TableBackend over a snapshot of the ring.
+func (m *MemBackend) Scan(from, to time.Time, batchHint int, fn func([]value.Tuple) error) error {
+	if batchHint < 1 {
+		batchHint = 256
+	}
+	m.mu.RLock()
+	snap := make([]value.Tuple, 0, len(m.rows))
+	snap = append(snap, m.rows[m.start:]...)
+	snap = append(snap, m.rows[:m.start]...)
+	m.mu.RUnlock()
+	var batch []value.Tuple
+	for _, r := range snap {
+		if !r.TS.IsZero() {
+			if !from.IsZero() && r.TS.Before(from) {
+				continue
+			}
+			if !to.IsZero() && r.TS.After(to) {
+				continue
+			}
+		}
+		if batch == nil {
+			batch = make([]value.Tuple, 0, batchHint)
+		}
+		batch = append(batch, r)
+		if len(batch) >= batchHint {
+			if err := fn(batch); err != nil {
+				return err
+			}
+			batch = nil
+		}
+	}
+	if len(batch) > 0 {
+		return fn(batch)
+	}
+	return nil
+}
+
+// Close implements TableBackend.
+func (m *MemBackend) Close() error { return nil }
 
 // TweetSchema is the schema of the base twitter stream. Field names
 // follow the paper's examples: `text`, `loc` (the free-text profile

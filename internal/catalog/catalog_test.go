@@ -2,6 +2,7 @@ package catalog
 
 import (
 	"context"
+	"strings"
 	"testing"
 	"time"
 
@@ -74,6 +75,150 @@ func TestTable(t *testing.T) {
 	rows[0] = value.Tuple{} // mutating the copy must not affect the table
 	if tab.Rows()[0].Schema == nil {
 		t.Error("Rows returned shared slice")
+	}
+}
+
+func TestMemBackendRing(t *testing.T) {
+	s := value.NewSchema(value.Field{Name: "x", Kind: value.KindInt})
+	mk := func(i int) value.Tuple {
+		return value.NewTuple(s, []value.Value{value.Int(int64(i))}, time.Unix(int64(i), 0))
+	}
+	m := NewMemBackend(5)
+	var batch []value.Tuple
+	for i := 0; i < 12; i++ {
+		batch = append(batch, mk(i))
+	}
+	if err := m.AppendBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 5 {
+		t.Fatalf("ring len = %d", m.Len())
+	}
+	var got []int64
+	_ = m.Scan(time.Time{}, time.Time{}, 2, func(b []value.Tuple) error {
+		for _, r := range b {
+			v, _ := r.Get("x").IntVal()
+			got = append(got, v)
+		}
+		return nil
+	})
+	// The newest 5 rows, in append order.
+	want := []int64{7, 8, 9, 10, 11}
+	if len(got) != len(want) {
+		t.Fatalf("scan = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scan = %v, want %v", got, want)
+		}
+	}
+	// Time-ranged scan filters rows.
+	got = got[:0]
+	_ = m.Scan(time.Unix(9, 0), time.Unix(10, 0), 16, func(b []value.Tuple) error {
+		for _, r := range b {
+			v, _ := r.Get("x").IntVal()
+			got = append(got, v)
+		}
+		return nil
+	})
+	if len(got) != 2 || got[0] != 9 || got[1] != 10 {
+		t.Fatalf("ranged scan = %v", got)
+	}
+}
+
+func TestTableAsSource(t *testing.T) {
+	c := New()
+	s := value.NewSchema(value.Field{Name: "x", Kind: value.KindInt})
+	tab := c.Table("t")
+	for i := 0; i < 10; i++ {
+		if err := tab.Append(value.NewTuple(s, []value.Value{value.Int(int64(i))}, time.Unix(int64(i), 0))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// FROM resolution falls through to tables.
+	src, err := c.Source("T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Schema() != s {
+		t.Errorf("table source schema = %s", src.Schema())
+	}
+	rows, info, err := src.Open(context.Background(), OpenRequest{From: time.Unix(3, 0), To: time.Unix(6, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Schema != s {
+		t.Error("OpenInfo schema mismatch")
+	}
+	var got []int64
+	for r := range rows {
+		v, _ := r.Get("x").IntVal()
+		got = append(got, v)
+	}
+	if len(got) != 4 || got[0] != 3 || got[3] != 6 {
+		t.Fatalf("ranged table scan = %v", got)
+	}
+	// Batched path too.
+	bs, ok := Source(src).(BatchSource)
+	if !ok {
+		t.Fatal("table is not a BatchSource")
+	}
+	batches, _, err := bs.OpenBatches(context.Background(), OpenRequest{}, BatchOptions{Size: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for b := range batches {
+		if len(b) > 3 {
+			t.Fatalf("batch size %d > hint", len(b))
+		}
+		n += len(b)
+	}
+	if n != 10 {
+		t.Fatalf("batched rows = %d", n)
+	}
+	// A registered stream source shadows a table of the same name.
+	c.RegisterSource("t", NewSliceSource(s, nil))
+	if got, _ := c.Source("t"); got == Source(tab) {
+		t.Error("stream source should shadow the table")
+	}
+}
+
+func TestTableFactory(t *testing.T) {
+	c := New()
+	calls := 0
+	c.SetTableFactory(func(name string, create bool) (TableBackend, error) {
+		calls++
+		if !create {
+			return nil, ErrNoTable
+		}
+		return NewMemBackend(4), nil
+	})
+	tab, err := c.OpenTable("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab != c.Table("x") || calls != 1 {
+		t.Errorf("OpenTable not memoized (calls=%d)", calls)
+	}
+	// Unknown FROM names probe the factory with create=false and still
+	// report unknown stream.
+	if _, err := c.Source("nosuch"); err == nil || !strings.Contains(err.Error(), "unknown stream") {
+		t.Errorf("source err = %v", err)
+	}
+	// The factory's cap applies to tables it creates.
+	s := value.NewSchema(value.Field{Name: "x", Kind: value.KindInt})
+	for i := 0; i < 10; i++ {
+		_ = tab.Append(value.NewTuple(s, []value.Value{value.Int(int64(i))}, time.Time{}))
+	}
+	if tab.Len() != 4 {
+		t.Errorf("capped table len = %d", tab.Len())
+	}
+	if err := c.CloseTables(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Table("x").Rows()) != 0 {
+		t.Error("CloseTables should reset the namespace")
 	}
 }
 

@@ -102,19 +102,20 @@ func TestBatchedLimitMidBatch(t *testing.T) {
 // through the batched pipeline.
 func TestBatchedIntoTable(t *testing.T) {
 	eng, replay := batchTestEngine(t, firehose.Config{Seed: 3, Duration: time.Minute, BaseRate: 10}, 64, 1)
-	_, err := eng.Query(context.Background(), "SELECT text FROM twitter LIMIT 10 INTO TABLE r")
+	cur, err := eng.Query(context.Background(), "SELECT text FROM twitter LIMIT 10 INTO TABLE r")
 	if err != nil {
 		t.Fatal(err)
 	}
 	replay()
-	table := eng.Catalog().Table("r")
-	deadline := time.After(10 * time.Second)
-	for table.Len() < 10 {
-		select {
-		case <-deadline:
-			t.Fatalf("table rows = %d after timeout", table.Len())
-		case <-time.After(time.Millisecond):
-		}
+	// The Drained sync hook replaces the old polling loop: when it
+	// closes, the routing goroutine has appended and flushed every row.
+	select {
+	case <-cur.Drained():
+	case <-time.After(10 * time.Second):
+		t.Fatal("Drained did not close")
+	}
+	if n := eng.Catalog().Table("r").Len(); n != 10 {
+		t.Fatalf("table rows = %d after drain", n)
 	}
 }
 

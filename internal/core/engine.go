@@ -9,6 +9,9 @@ package core
 import (
 	"context"
 	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
@@ -16,6 +19,7 @@ import (
 	"tweeql/internal/catalog"
 	"tweeql/internal/exec"
 	"tweeql/internal/lang"
+	"tweeql/internal/store"
 	"tweeql/internal/twitterapi"
 	"tweeql/internal/value"
 )
@@ -57,6 +61,32 @@ type Options struct {
 	// the differential-testing oracle. Columns with dynamic (KindNull)
 	// schemas still compile but take generic, kind-checked closures.
 	CompileExprs bool
+
+	// DataDir roots the persistent table store. When set, INTO TABLE
+	// targets become durable time-partitioned tables (one directory of
+	// segment files per table under DataDir) that survive restarts and
+	// are queryable in FROM clauses; "" keeps tables in memory.
+	DataDir string
+	// SegmentMaxBytes seals a persistent segment at this data-file
+	// size. 0 = store default (64 MiB).
+	SegmentMaxBytes int64
+	// SegmentMaxAge seals a persistent segment this long after its
+	// first append, so retention can reclaim quiet streams. 0 = never.
+	SegmentMaxAge time.Duration
+	// FsyncPolicy is the persistent appender's durability policy:
+	// "seal" (fsync once per segment, the default), "none", or "flush"
+	// (fsync every flushed batch).
+	FsyncPolicy string
+	// TableRetainSegments keeps at most this many sealed segments per
+	// persistent table, deleting the oldest. 0 keeps everything.
+	TableRetainSegments int
+	// TableRetainMaxAge deletes sealed segments whose newest row is
+	// older than this. 0 keeps everything.
+	TableRetainMaxAge time.Duration
+	// TableMemRows caps each in-memory table: a ring buffer keeping the
+	// newest rows, so INTO TABLE without a data dir cannot exhaust
+	// memory under firehose load. 0 = catalog default (1Mi rows).
+	TableMemRows int
 }
 
 // DefaultOptions returns the production defaults.
@@ -73,6 +103,7 @@ func DefaultOptions() Options {
 		// scheduling overhead for CPU-bound stages.
 		BatchWorkers: min(4, runtime.GOMAXPROCS(0)),
 		CompileExprs: true,
+		FsyncPolicy:  "seal",
 	}
 }
 
@@ -93,20 +124,89 @@ func NewEngine(cat *catalog.Catalog, opts Options) *Engine {
 	if opts.BatchWorkers < 1 {
 		opts.BatchWorkers = 1
 	}
+	cat.SetTableFactory(tableFactory(opts))
 	return &Engine{cat: cat, opts: opts}
+}
+
+// tableFactory builds the table-backend factory the engine installs in
+// its catalog: the persistent store under Options.DataDir when one is
+// configured, bounded in-memory ring buffers otherwise. Factory errors
+// (bad directory, unknown fsync policy, corrupt segment) surface at
+// query start via Catalog.OpenTable.
+func tableFactory(opts Options) catalog.TableFactory {
+	return func(name string, create bool) (catalog.TableBackend, error) {
+		if opts.DataDir == "" {
+			if !create {
+				return nil, catalog.ErrNoTable
+			}
+			return catalog.NewMemBackend(opts.TableMemRows), nil
+		}
+		fsync, err := store.ParseFsync(opts.FsyncPolicy)
+		if err != nil {
+			return nil, err
+		}
+		dir := filepath.Join(opts.DataDir, tableDirName(name))
+		if !create {
+			if _, err := os.Stat(dir); err != nil {
+				return nil, catalog.ErrNoTable
+			}
+		}
+		return store.Open(store.Options{
+			Dir:             dir,
+			SegmentMaxBytes: opts.SegmentMaxBytes,
+			SegmentMaxAge:   opts.SegmentMaxAge,
+			Fsync:           fsync,
+			RetainSegments:  opts.TableRetainSegments,
+			RetainMaxAge:    opts.TableRetainMaxAge,
+		})
+	}
+}
+
+// tableDirName maps a table name onto a safe directory name: lower-
+// cased (table names are case-insensitive) with anything outside
+// [a-z0-9_-] replaced, so a hostile name cannot escape the data dir.
+// Names the replacement would alias (the lexer admits idents like
+// `#log` and `@log`, both of which would map to `_log`) get a hash of
+// the raw name appended, so two distinct live tables can never share
+// — and corrupt — one segment directory.
+func tableDirName(name string) string {
+	lower := strings.ToLower(name)
+	out := make([]byte, len(lower))
+	mangled := false
+	for i := 0; i < len(lower); i++ {
+		c := lower[i]
+		if ('a' <= c && c <= 'z') || ('0' <= c && c <= '9') || c == '_' || c == '-' {
+			out[i] = c
+		} else {
+			out[i] = '_'
+			mangled = true
+		}
+	}
+	if !mangled {
+		return string(out)
+	}
+	h := fnv.New32a()
+	h.Write([]byte(lower))
+	return fmt.Sprintf("%s-%08x", out, h.Sum32())
 }
 
 // Catalog exposes the engine's catalog for registration.
 func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
 
+// Close releases the engine's tables, flushing and closing persistent
+// backends. Call it before discarding an engine whose Options.DataDir
+// is set: the active segment's buffered tail becomes durable here.
+func (e *Engine) Close() error { return e.cat.CloseTables() }
+
 // Cursor is a handle on a running query.
 type Cursor struct {
-	schema *value.Schema
-	rows   <-chan value.Tuple
-	stats  *exec.Stats
-	info   *catalog.OpenInfo
-	stmt   *lang.SelectStmt
-	cancel context.CancelFunc
+	schema  *value.Schema
+	rows    <-chan value.Tuple
+	stats   *exec.Stats
+	info    *catalog.OpenInfo
+	stmt    *lang.SelectStmt
+	cancel  context.CancelFunc
+	drained chan struct{}
 }
 
 // Rows returns the result channel; it closes when the stream ends, the
@@ -126,6 +226,22 @@ func (c *Cursor) Info() *catalog.OpenInfo { return c.info }
 
 // Statement returns the parsed statement.
 func (c *Cursor) Statement() *lang.SelectStmt { return c.stmt }
+
+// Drained returns a channel that closes once an INTO STREAM/INTO
+// TABLE query's results have been fully delivered to the target (and,
+// for persistent tables, flushed). This is the completion/sync hook
+// routed queries need — their Rows channel closes immediately, so
+// without it a caller cannot tell when the table is complete. Errors
+// encountered while routing land in Stats().Err(). For ordinary
+// queries Rows itself is the completion signal and Drained is already
+// closed.
+func (c *Cursor) Drained() <-chan struct{} { return c.drained }
+
+// Routed reports whether results feed a named target (INTO STREAM or
+// INTO TABLE) rather than the cursor's Rows channel.
+func (c *Cursor) Routed() bool {
+	return c.stmt.Into != nil && c.stmt.Into.Kind != lang.IntoStdout
+}
 
 // Stop cancels the query.
 func (c *Cursor) Stop() { c.cancel() }
@@ -176,6 +292,9 @@ func (e *Engine) Explain(sql string) (string, error) {
 		b.WriteString("pushdown candidates: none (full stream)\n")
 	}
 	fmt.Fprintf(&b, "residual conjuncts: %d (adaptive=%v)\n", len(plan.conjuncts), e.opts.AdaptiveFilters)
+	if !plan.timeFrom.IsZero() || !plan.timeTo.IsZero() {
+		fmt.Fprintf(&b, "time range: [%s, %s]\n", fmtBound(plan.timeFrom), fmtBound(plan.timeTo))
+	}
 	fmt.Fprintf(&b, "execution: batch=%d workers=%d compile=%v\n", e.opts.BatchSize, e.opts.BatchWorkers, e.opts.CompileExprs)
 	if plan.isAggregate {
 		fmt.Fprintf(&b, "aggregate: %d groups x %d aggs, window=%v confidence=%v\n",
@@ -184,6 +303,14 @@ func (e *Engine) Explain(sql string) (string, error) {
 		fmt.Fprintf(&b, "projection: %d items, async=%v\n", len(plan.proj), plan.async)
 	}
 	return b.String(), nil
+}
+
+// fmtBound renders one EXPLAIN time bound ("-" = open).
+func fmtBound(t time.Time) string {
+	if t.IsZero() {
+		return "-"
+	}
+	return t.UTC().Format(time.RFC3339)
 }
 
 // candidate pairs an API filter with the WHERE conjunct it came from.
@@ -207,6 +334,84 @@ type queryPlan struct {
 	// reference, for source-side pruning in the batched path. nil means
 	// "all" (SELECT * or otherwise unprunable).
 	columns []string
+
+	// timeFrom/timeTo bound the event timestamps the WHERE clause can
+	// accept (zero = open), extracted from created_at comparisons with
+	// literal times. Table sources prune segments by them; the
+	// conjuncts stay in the residual filter, so the bounds only have to
+	// be conservative, never exact.
+	timeFrom, timeTo time.Time
+}
+
+// extractTimeRange derives [from, to] bounds from conjuncts of the
+// shape `created_at <op> <literal>`. It relies on the engine-wide
+// invariant that a row's created_at column equals its event timestamp
+// (TweetTuple and every stage that forwards rows preserve it), which
+// is what lets a column predicate prune time partitions keyed on the
+// event timestamp.
+func extractTimeRange(conjuncts []lang.Expr) (from, to time.Time) {
+	for _, c := range conjuncts {
+		b, ok := c.(*lang.Binary)
+		if !ok {
+			continue
+		}
+		op := b.Op
+		ts, ok := timeBound(b.L, b.R)
+		if !ok {
+			if ts, ok = timeBound(b.R, b.L); !ok {
+				continue
+			}
+			op = flipCmp(op)
+		}
+		switch op {
+		case ">", ">=":
+			if from.IsZero() || ts.After(from) {
+				from = ts
+			}
+		case "<", "<=":
+			if to.IsZero() || ts.Before(to) {
+				to = ts
+			}
+		case "=":
+			from, to = ts, ts
+		}
+	}
+	return from, to
+}
+
+// timeBound matches (created_at ident, time literal) and returns the
+// literal's timestamp.
+func timeBound(l, r lang.Expr) (time.Time, bool) {
+	id, ok := l.(*lang.Ident)
+	if !ok || id.Qualifier != "" || !strings.EqualFold(id.Name, "created_at") {
+		return time.Time{}, false
+	}
+	lit, ok := r.(*lang.Literal)
+	if !ok {
+		return time.Time{}, false
+	}
+	switch lit.Val.Kind() {
+	case value.KindTime:
+		t, _ := lit.Val.TimeVal()
+		return t, true
+	case value.KindString:
+		return exec.ParseTimeLiteral(lit.Val.Str())
+	}
+	return time.Time{}, false
+}
+
+func flipCmp(op string) string {
+	switch op {
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	}
+	return op
 }
 
 // referencedColumns collects every column name the plan can read, or
@@ -269,6 +474,7 @@ func (e *Engine) analyze(stmt *lang.SelectStmt) (*queryPlan, error) {
 				plan.candidates = append(plan.candidates, candidate{filter: f, conjunctIdx: i})
 			}
 		}
+		plan.timeFrom, plan.timeTo = extractTimeRange(plan.conjuncts)
 	}
 
 	// Aggregate detection.

@@ -288,17 +288,25 @@ func TestIntoTable(t *testing.T) {
 	if rows := drainCursor(t, cur); len(rows) != 0 {
 		t.Errorf("INTO cursor rows = %d", len(rows))
 	}
+	if !cur.Routed() {
+		t.Error("INTO TABLE cursor should report Routed")
+	}
+	// Drained is the sync hook: once it closes, the table holds every
+	// routed row — no polling.
+	select {
+	case <-cur.Drained():
+	case <-time.After(10 * time.Second):
+		t.Fatal("Drained did not close")
+	}
 	table := eng.Catalog().Table("results")
-	deadline := time.After(5 * time.Second)
-	for table.Len() < 10 {
-		select {
-		case <-deadline:
-			t.Fatalf("table rows = %d after timeout", table.Len())
-		case <-time.After(10 * time.Millisecond):
-		}
+	if table.Len() != 10 {
+		t.Fatalf("table rows = %d after drain", table.Len())
 	}
 	if got := table.Rows()[0]; got.Get("text").IsNull() {
 		t.Errorf("bad table row: %s", got)
+	}
+	if err := cur.Stats().Err(); err != nil {
+		t.Errorf("routing error: %v", err)
 	}
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"tweeql/internal/catalog"
 	"tweeql/internal/exec"
@@ -38,10 +39,13 @@ func (e *Engine) execute(ctx context.Context, cancel context.CancelFunc, stmt *l
 		}
 	}
 
-	cur := &Cursor{schema: schema, stats: stats, info: info, stmt: stmt, cancel: cancel}
+	cur := &Cursor{schema: schema, stats: stats, info: info, stmt: stmt, cancel: cancel,
+		drained: make(chan struct{})}
 
 	// INTO routing: results feed the named target; the cursor itself
-	// closes immediately (documented on Rows).
+	// closes immediately (documented on Rows) and Drained signals when
+	// the target has received — and, for persistent tables, flushed —
+	// the final row. Routing errors land in Stats().Err().
 	if stmt.Into != nil && stmt.Into.Kind != lang.IntoStdout {
 		empty := make(chan value.Tuple)
 		close(empty)
@@ -51,23 +55,89 @@ func (e *Engine) execute(ctx context.Context, cancel context.CancelFunc, stmt *l
 			ds := catalog.NewDerivedStream(stmt.Into.Name, schema)
 			e.cat.RegisterSource(stmt.Into.Name, ds)
 			go func() {
+				defer close(cur.drained)
 				defer ds.CloseStream()
 				for t := range rows {
 					ds.Publish(t)
 				}
 			}()
 		case lang.IntoTable:
-			table := e.cat.Table(stmt.Into.Name)
-			go func() {
-				for t := range rows {
-					table.Append(t)
-				}
-			}()
+			table, err := e.cat.OpenTable(stmt.Into.Name)
+			if err != nil {
+				cancel()
+				return nil, err
+			}
+			go e.routeToTable(rows, table, stats, cur.drained)
 		}
 		return cur, nil
 	}
+	// Ordinary queries deliver through Rows, whose closure is the
+	// completion signal; Drained has nothing extra to say, so it closes
+	// immediately rather than taxing the hot output path with a relay
+	// goroutine just to mirror the channel close.
 	cur.rows = rows
+	close(cur.drained)
 	return cur, nil
+}
+
+// hasTimeColumn reports whether the schema declares a created_at
+// column of kind time — the gate for event-timestamp range pushdown.
+func hasTimeColumn(s *value.Schema) bool {
+	if i, ok := s.Index("created_at"); ok {
+		return s.Field(i).Kind == value.KindTime
+	}
+	return false
+}
+
+// routeToTable forwards a query's result stream into a table in
+// batches: one AppendBatch per Options.BatchSize rows (or per
+// BatchFlushEvery on a trickle), a final Flush at end of stream, and
+// the drained channel closed last. The loop drains rows until the
+// upstream closes — never bailing on context cancellation — so a LIMIT
+// cutoff (which cancels the query context while its final rows are
+// still in flight) cannot drop them.
+func (e *Engine) routeToTable(rows <-chan value.Tuple, table *catalog.Table, stats *exec.Stats, drained chan struct{}) {
+	defer close(drained)
+	size := e.opts.BatchSize
+	if size < 1 {
+		size = 1
+	}
+	var timer *time.Timer
+	var timerC <-chan time.Time
+	if e.opts.BatchFlushEvery > 0 {
+		timer = time.NewTimer(e.opts.BatchFlushEvery)
+		defer timer.Stop()
+		timerC = timer.C
+	}
+	batch := make([]value.Tuple, 0, size)
+	appendBatch := func() {
+		if len(batch) == 0 {
+			return
+		}
+		if err := table.AppendBatch(batch); err != nil {
+			stats.NoteError(err)
+		}
+		batch = batch[:0]
+	}
+	for {
+		select {
+		case t, ok := <-rows:
+			if !ok {
+				appendBatch()
+				if err := table.Flush(); err != nil {
+					stats.NoteError(err)
+				}
+				return
+			}
+			batch = append(batch, t)
+			if len(batch) >= size {
+				appendBatch()
+			}
+		case <-timerC:
+			appendBatch()
+			timer.Reset(e.opts.BatchFlushEvery)
+		}
+	}
 }
 
 // openSingle builds the pipeline for a single-source query. With
@@ -80,7 +150,17 @@ func (e *Engine) openSingle(ctx context.Context, cancel context.CancelFunc, ev *
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	req := catalog.OpenRequest{SampleSize: e.opts.SampleSize, Buffer: e.opts.SourceBuffer}
+	req := catalog.OpenRequest{SampleSize: e.opts.SampleSize, Buffer: e.opts.SourceBuffer,
+		OnError: stats.NoteError}
+	// Time-range pushdown is sound only when the created_at column IS
+	// the event timestamp rows are partitioned on. The schema gate
+	// enforces it: only a source declaring created_at as KindTime gets
+	// the bounds (an aliased `text AS created_at` arrives as KindString
+	// or dynamic, and its range predicate then runs purely as the
+	// residual filter it is).
+	if hasTimeColumn(src.Schema()) {
+		req.From, req.To = plan.timeFrom, plan.timeTo
+	}
 	for _, c := range plan.candidates {
 		req.Candidates = append(req.Candidates, c.filter)
 	}
@@ -258,7 +338,7 @@ func (e *Engine) openJoin(ctx context.Context, cancel context.CancelFunc, ev *ex
 		return nil, nil, nil, err
 	}
 
-	req := catalog.OpenRequest{Buffer: e.opts.SourceBuffer}
+	req := catalog.OpenRequest{Buffer: e.opts.SourceBuffer, OnError: stats.NoteError}
 	leftIn, info, err := leftSrc.Open(ctx, req)
 	if err != nil {
 		return nil, nil, nil, err

@@ -1,0 +1,349 @@
+package core
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"tweeql/internal/catalog"
+	"tweeql/internal/firehose"
+	"tweeql/internal/geocode"
+	"tweeql/internal/store"
+	"tweeql/internal/twitterapi"
+	"tweeql/internal/value"
+)
+
+// persistEngine wires a full engine over a synthetic stream with the
+// given extra option tweaks (testEngine with configurable Options).
+func persistEngine(t *testing.T, cfg firehose.Config, tweak func(*Options)) (*Engine, func()) {
+	t.Helper()
+	tweets := firehose.Tweets(firehose.New(cfg).Generate())
+	hub := twitterapi.NewHub()
+	cat := catalog.New()
+	sampleN := min(len(tweets)/10, 2000)
+	cat.RegisterSource("twitter", catalog.NewTwitterSource(hub, tweets[:sampleN]))
+	svc := geocode.NewService(geocode.ServiceConfig{Sleep: func(time.Duration) {}})
+	if err := RegisterStandardUDFs(cat, Deps{Geocoder: geocode.NewCachedClient(svc, 10000, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.SourceBuffer = len(tweets) + 16
+	if tweak != nil {
+		tweak(&opts)
+	}
+	eng := NewEngine(cat, opts)
+	t.Cleanup(func() { hub.Close(); eng.Close() })
+	return eng, func() { twitterapi.Replay(hub, tweets) }
+}
+
+// queryStrings runs sql to completion and returns each row's rendering.
+func queryStrings(t *testing.T, eng *Engine, sql string) []string {
+	t.Helper()
+	cur, err := eng.Query(context.Background(), sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for row := range cur.Rows() {
+		out = append(out, row.String())
+	}
+	if err := cur.Stats().Err(); err != nil {
+		t.Fatalf("%s: %v", sql, err)
+	}
+	return out
+}
+
+// logStream runs the INTO TABLE query and waits for routing to finish.
+func logStream(t *testing.T, eng *Engine, replay func(), sql string) {
+	t.Helper()
+	cur, err := eng.Query(context.Background(), sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay()
+	select {
+	case <-cur.Drained():
+	case <-time.After(30 * time.Second):
+		t.Fatal("INTO TABLE routing did not drain")
+	}
+	if err := cur.Stats().Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The firehose clock starts 2011-06-12 12:00 UTC (the SIGMOD'11 week);
+// midpoints below sit inside the generated streams.
+const persistScenarioMid = "2011-06-12 14:00:00"
+
+// TestPersistentTableDifferential is the acceptance gate for the
+// store: the same stream logged INTO TABLE through the persistent
+// backend (with a restart in between) and through the in-memory
+// backend must answer a time-predicated SELECT identically.
+func TestPersistentTableDifferential(t *testing.T) {
+	cfg := firehose.Config{Seed: 21, Duration: 4 * time.Hour, BaseRate: 8}
+	logSQL := `SELECT text, username, followers, created_at FROM twitter INTO TABLE logged`
+	readSQL := `SELECT text, followers FROM logged WHERE created_at >= '` + persistScenarioMid + `' AND followers > 50`
+
+	dir := t.TempDir()
+	// Engine A: log through the persistent backend, then shut down.
+	engA, replayA := persistEngine(t, cfg, func(o *Options) { o.DataDir = dir })
+	logStream(t, engA, replayA, logSQL)
+	if err := engA.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Engine B: a fresh process image over the same data dir; the table
+	// resolves in FROM straight from disk.
+	engB, _ := persistEngine(t, cfg, func(o *Options) { o.DataDir = dir })
+	gotPersist := queryStrings(t, engB, readSQL)
+
+	// Engine C: same stream, in-memory backend, same queries.
+	engC, replayC := persistEngine(t, cfg, nil)
+	logStream(t, engC, replayC, logSQL)
+	gotMem := queryStrings(t, engC, readSQL)
+
+	if len(gotPersist) == 0 {
+		t.Fatal("persistent read returned nothing")
+	}
+	if len(gotPersist) != len(gotMem) {
+		t.Fatalf("persistent rows %d != in-memory rows %d", len(gotPersist), len(gotMem))
+	}
+	for i := range gotPersist {
+		if gotPersist[i] != gotMem[i] {
+			t.Fatalf("row %d differs:\n  persist: %s\n  memory:  %s", i, gotPersist[i], gotMem[i])
+		}
+	}
+	// The predicate actually bit: some rows are before the midpoint.
+	all := queryStrings(t, engB, `SELECT text FROM logged`)
+	if len(all) <= len(gotPersist) {
+		t.Errorf("time predicate filtered nothing: %d vs %d", len(all), len(gotPersist))
+	}
+}
+
+// TestPersistentTimePruning checks the planner's created_at range
+// reaches the store and skips whole segments.
+func TestPersistentTimePruning(t *testing.T) {
+	dir := t.TempDir()
+	eng, replay := persistEngine(t, firehose.Config{Seed: 5, Duration: 6 * time.Hour, BaseRate: 8},
+		func(o *Options) {
+			o.DataDir = dir
+			o.SegmentMaxBytes = 32 << 10 // many small segments
+		})
+	logStream(t, eng, replay, `SELECT text, created_at FROM twitter INTO TABLE seg`)
+
+	st, ok := eng.Catalog().Table("seg").Backend().(*store.Table)
+	if !ok {
+		t.Fatalf("backend is %T, want *store.Table", eng.Catalog().Table("seg").Backend())
+	}
+	if sealed, _ := st.Segments(); sealed < 2 {
+		t.Fatalf("sealed segments = %d; need several to observe pruning", sealed)
+	}
+	s0, p0 := st.ScanCounters()
+	rows := queryStrings(t, eng, `SELECT text FROM seg WHERE created_at >= '2011-06-12 17:00:00'`)
+	s1, p1 := st.ScanCounters()
+	if len(rows) == 0 {
+		t.Fatal("ranged query returned nothing (check the scenario clock)")
+	}
+	if p1-p0 == 0 {
+		t.Errorf("no segments pruned (scanned %d)", s1-s0)
+	}
+	// And EXPLAIN surfaces the extracted range.
+	out, err := eng.Explain(`SELECT text FROM seg WHERE created_at >= '2011-06-12 17:00:00'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "time range:") {
+		t.Errorf("explain missing time range:\n%s", out)
+	}
+}
+
+// TestPersistentTornTailAtEngineLevel simulates a crash mid-write:
+// after logging, the newest segment file loses its last few bytes; a
+// fresh engine must open the table, drop only the torn row, and keep
+// serving queries and appends.
+func TestPersistentTornTailAtEngineLevel(t *testing.T) {
+	dir := t.TempDir()
+	cfg := firehose.Config{Seed: 9, Duration: time.Hour, BaseRate: 10}
+	engA, replayA := persistEngine(t, cfg, func(o *Options) { o.DataDir = dir })
+	logStream(t, engA, replayA, `SELECT text, created_at FROM twitter INTO TABLE crashlog`)
+	total := engA.Catalog().Table("crashlog").Len()
+	if total < 10 {
+		t.Fatalf("logged rows = %d", total)
+	}
+	if err := engA.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the newest segment's tail.
+	segs, err := filepath.Glob(filepath.Join(dir, "crashlog", "seg-*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segment files: %v", err)
+	}
+	sort.Strings(segs)
+	newest := segs[len(segs)-1]
+	info, err := os.Stat(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(newest, info.Size()-4); err != nil {
+		t.Fatal(err)
+	}
+
+	engB, _ := persistEngine(t, cfg, func(o *Options) { o.DataDir = dir })
+	rows := queryStrings(t, engB, `SELECT text FROM crashlog`)
+	if len(rows) != total-1 {
+		t.Fatalf("rows after torn tail = %d, want %d", len(rows), total-1)
+	}
+	// The recovered table accepts new appends on a clean boundary.
+	tab, err := engB.Catalog().OpenTable("crashlog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := value.NewTuple(engB.Catalog().Table("crashlog").Schema(),
+		[]value.Value{value.String("post-recovery"), value.Time(time.Unix(1, 0))}, time.Unix(1, 0))
+	if err := tab.Append(extra); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := queryStrings(t, engB, `SELECT text FROM crashlog`); len(got) != total {
+		t.Fatalf("rows after recovery append = %d, want %d", len(got), total)
+	}
+}
+
+// TestAliasedCreatedAtIsNotPruned pins the pushdown soundness gate: a
+// table whose created_at column is NOT the event timestamp (a plain
+// alias of a string column) must answer range predicates purely via
+// the residual filter — the source-level timestamp filter would drop
+// rows the string comparison matches.
+func TestAliasedCreatedAtIsNotPruned(t *testing.T) {
+	eng, replay := persistEngine(t, firehose.Config{Seed: 2, Duration: 30 * time.Minute, BaseRate: 10}, nil)
+	// created_at here is tweet TEXT; the rows' event TS stays 2011-06.
+	logStream(t, eng, replay, `SELECT text AS created_at FROM twitter INTO TABLE aliased`)
+	all := queryStrings(t, eng, `SELECT created_at FROM aliased`)
+	if len(all) == 0 {
+		t.Fatal("nothing logged")
+	}
+	// String comparison: texts sorting at or before "zzz" — all of them.
+	got := queryStrings(t, eng, `SELECT created_at FROM aliased WHERE created_at <= 'zzz'`)
+	if len(got) != len(all) {
+		t.Fatalf("aliased range query returned %d of %d rows — TS filtering leaked into a string predicate", len(got), len(all))
+	}
+	// And a bound below every text drops them all, via the predicate.
+	got = queryStrings(t, eng, `SELECT created_at FROM aliased WHERE created_at <= '!'`)
+	if len(got) != 0 {
+		t.Fatalf("aliased lower-bound query returned %d rows", len(got))
+	}
+}
+
+// TestCorruptSegmentSurfacesError pins mid-scan failure reporting: a
+// corrupt sealed segment must not let a FROM-table query complete as
+// if the truncated result were the whole table.
+func TestCorruptSegmentSurfacesError(t *testing.T) {
+	dir := t.TempDir()
+	cfg := firehose.Config{Seed: 3, Duration: time.Hour, BaseRate: 10}
+	engA, replayA := persistEngine(t, cfg, func(o *Options) {
+		o.DataDir = dir
+		o.SegmentMaxBytes = 32 << 10 // force sealed segments
+	})
+	logStream(t, engA, replayA, `SELECT text, created_at FROM twitter INTO TABLE c`)
+	if err := engA.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the interior of a SEALED segment: its sidecar index
+	// attests the data length, so reopen trusts it (only unsealed
+	// segments are re-scanned and tail-truncated) and the damage must
+	// surface as a mid-scan error, not a silent truncation.
+	segs, _ := filepath.Glob(filepath.Join(dir, "c", "seg-*.seg"))
+	if len(segs) < 2 {
+		t.Fatalf("segments = %d, need a sealed one", len(segs))
+	}
+	sort.Strings(segs)
+	if _, err := os.Stat(strings.TrimSuffix(segs[0], ".seg") + ".idx"); err != nil {
+		t.Fatalf("first segment not sealed: %v", err)
+	}
+	f, err := os.OpenFile(segs[0], os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, _ := f.Stat()
+	if _, err := f.WriteAt([]byte{0xFF, 0xFF, 0xFF, 0xFF}, info.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	engB, _ := persistEngine(t, cfg, func(o *Options) { o.DataDir = dir })
+	cur, err := engB.Query(context.Background(), `SELECT text FROM c`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for range cur.Rows() {
+	}
+	if err := cur.Stats().Err(); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("corrupt segment scan reported err = %v, want a corrupt-record error", err)
+	}
+}
+
+// TestTableDirNameCollision pins the data-dir mapping: distinct table
+// names must never share a segment directory, even when sanitization
+// replaces their distinguishing characters.
+func TestTableDirNameCollision(t *testing.T) {
+	a, b := tableDirName("#log"), tableDirName("@log")
+	if a == b {
+		t.Fatalf("distinct names map to one dir %q", a)
+	}
+	for _, d := range []string{a, b} {
+		if strings.ContainsAny(d, "/\\.") {
+			t.Fatalf("unsafe dir name %q", d)
+		}
+	}
+	if tableDirName("Results") != "results" {
+		t.Errorf("clean names should stay readable: %q", tableDirName("Results"))
+	}
+}
+
+// TestMemTableRingCap pins the in-memory bound: INTO TABLE without a
+// data dir keeps only the newest TableMemRows rows.
+func TestMemTableRingCap(t *testing.T) {
+	eng, replay := persistEngine(t, firehose.Config{Seed: 4, Duration: time.Hour, BaseRate: 10},
+		func(o *Options) { o.TableMemRows = 25 })
+	logStream(t, eng, replay, `SELECT text, created_at FROM twitter INTO TABLE ring`)
+	tab := eng.Catalog().Table("ring")
+	if tab.Len() != 25 {
+		t.Fatalf("ring length = %d, want the 25-row cap", tab.Len())
+	}
+	// The survivors are the newest rows: timestamps are non-decreasing
+	// and the last one is the stream's last matching tweet.
+	rows := tab.Rows()
+	for i := 1; i < len(rows); i++ {
+		if rows[i].TS.Before(rows[i-1].TS) {
+			t.Fatalf("ring out of order at %d", i)
+		}
+	}
+}
+
+// TestIntoTableOpenError pins query-time surfacing of backend errors:
+// an unusable data dir fails the INTO TABLE query at Query() rather
+// than silently dropping rows later.
+func TestIntoTableOpenError(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	eng, _ := persistEngine(t, firehose.Config{Seed: 1, Duration: time.Minute, BaseRate: 5},
+		func(o *Options) { o.DataDir = file })
+	if _, err := eng.Query(context.Background(), `SELECT text FROM twitter INTO TABLE boom`); err == nil {
+		t.Fatal("INTO TABLE under an unusable data dir should fail at query start")
+	}
+	// A bad fsync policy fails the same way.
+	eng2, _ := persistEngine(t, firehose.Config{Seed: 1, Duration: time.Minute, BaseRate: 5},
+		func(o *Options) { o.DataDir = t.TempDir(); o.FsyncPolicy = "bogus" })
+	if _, err := eng2.Query(context.Background(), `SELECT text FROM twitter INTO TABLE boom`); err == nil {
+		t.Fatal("bad fsync policy should fail at query start")
+	}
+}

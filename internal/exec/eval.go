@@ -13,6 +13,7 @@ import (
 	"regexp"
 	"strings"
 	"sync"
+	"time"
 
 	"tweeql/internal/catalog"
 	"tweeql/internal/gazetteer"
@@ -263,13 +264,19 @@ func (e *Evaluator) evalBinary(ctx context.Context, x *lang.Binary, t value.Tupl
 }
 
 // compareVals applies a non-NULL comparison with the engine's lax
-// typing: incomparable kinds are simply unequal, matching the loose
-// typing of tweet fields. Shared by the interpreter and the compiled
-// path's generic comparison closure.
+// typing: a time compared with a parseable time-literal string
+// compares chronologically (so `created_at > '2011-02-01'` works
+// against the KindTime column), and otherwise incomparable kinds are
+// simply unequal, matching the loose typing of tweet fields. Shared by
+// the interpreter and the compiled path's generic comparison closure,
+// so the two cannot diverge.
 func compareVals(op string, l, r value.Value) (value.Value, error) {
 	c, err := value.Compare(l, r)
 	if err != nil {
-		return value.Bool(op == "!="), nil
+		var ok bool
+		if c, ok = compareTimeString(l, r); !ok {
+			return value.Bool(op == "!="), nil
+		}
 	}
 	switch op {
 	case "=":
@@ -286,6 +293,60 @@ func compareVals(op string, l, r value.Value) (value.Value, error) {
 		return value.Bool(c >= 0), nil
 	}
 	return value.Null(), fmt.Errorf("tweeql: unknown comparison %q", op)
+}
+
+// compareTimeString coerces a time⊗string comparison: the string side
+// must parse as a time literal. ok is false when the pair is not a
+// time/string mix or the string does not parse.
+func compareTimeString(l, r value.Value) (int, bool) {
+	if l.Kind() == value.KindTime && r.Kind() == value.KindString {
+		if ts, ok := ParseTimeLiteral(r.Str()); ok {
+			lt, _ := l.TimeVal()
+			return compareTimes(lt, ts), true
+		}
+	}
+	if l.Kind() == value.KindString && r.Kind() == value.KindTime {
+		if ts, ok := ParseTimeLiteral(l.Str()); ok {
+			rt, _ := r.TimeVal()
+			return compareTimes(ts, rt), true
+		}
+	}
+	return 0, false
+}
+
+func compareTimes(a, b time.Time) int {
+	switch {
+	case a.Before(b):
+		return -1
+	case a.After(b):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// timeLayouts are the string forms a time literal may take, most
+// specific first. Layouts without a zone parse as UTC.
+var timeLayouts = []string{
+	time.RFC3339Nano,
+	time.RFC3339,
+	"2006-01-02 15:04:05",
+	"2006-01-02T15:04:05",
+	"2006-01-02",
+}
+
+// ParseTimeLiteral parses the string forms accepted in time
+// comparisons (`created_at > '2011-02-01 12:00:00'`). Shared with the
+// planner's time-range extraction, so pruning and row-level filtering
+// cannot disagree on what a literal means.
+func ParseTimeLiteral(s string) (time.Time, bool) {
+	s = strings.TrimSpace(s)
+	for _, layout := range timeLayouts {
+		if t, err := time.Parse(layout, s); err == nil {
+			return t, true
+		}
+	}
+	return time.Time{}, false
 }
 
 func (e *Evaluator) compiled(pat string) (*regexp.Regexp, error) {

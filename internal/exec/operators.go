@@ -144,7 +144,20 @@ func ProjectSchema(items []ProjItem, in *value.Schema) *value.Schema {
 			fields = append(fields, in.Fields()...)
 			continue
 		}
-		fields = append(fields, value.Field{Name: it.Name, Kind: value.KindNull})
+		// A bare column reference keeps the input column's declared
+		// kind; computed items stay dynamic. Downstream consumers of
+		// the projected schema (tables logged INTO, derived streams)
+		// rely on this: e.g. time-range pushdown only trusts a
+		// created_at column the schema declares as KindTime. Declared
+		// kinds remain advisory — every kernel still checks the runtime
+		// kind — so a too-precise kind can never change results.
+		kind := value.KindNull
+		if id, ok := it.Expr.(*lang.Ident); ok {
+			if i, ok := resolveIdent(in, id); ok {
+				kind = in.Field(i).Kind
+			}
+		}
+		fields = append(fields, value.Field{Name: it.Name, Kind: kind})
 	}
 	return value.NewSchema(fields...)
 }

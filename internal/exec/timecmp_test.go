@@ -1,0 +1,96 @@
+package exec
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"tweeql/internal/catalog"
+	"tweeql/internal/lang"
+	"tweeql/internal/tweet"
+	"tweeql/internal/value"
+)
+
+func TestParseTimeLiteral(t *testing.T) {
+	good := map[string]time.Time{
+		"2011-06-12T14:00:00Z":      time.Date(2011, 6, 12, 14, 0, 0, 0, time.UTC),
+		"2011-06-12 14:00:00":       time.Date(2011, 6, 12, 14, 0, 0, 0, time.UTC),
+		"2011-06-12T14:00:00":       time.Date(2011, 6, 12, 14, 0, 0, 0, time.UTC),
+		"2011-06-12":                time.Date(2011, 6, 12, 0, 0, 0, 0, time.UTC),
+		" 2011-06-12 ":              time.Date(2011, 6, 12, 0, 0, 0, 0, time.UTC),
+		"2011-06-12T14:00:00.5Z":    time.Date(2011, 6, 12, 14, 0, 0, 500_000_000, time.UTC),
+		"2011-06-12T14:00:00+02:00": time.Date(2011, 6, 12, 12, 0, 0, 0, time.UTC),
+	}
+	for s, want := range good {
+		got, ok := ParseTimeLiteral(s)
+		if !ok || !got.Equal(want) {
+			t.Errorf("ParseTimeLiteral(%q) = %v, %v; want %v", s, got, ok, want)
+		}
+	}
+	for _, s := range []string{"", "goal", "14:00:00", "2011-13-45"} {
+		if _, ok := ParseTimeLiteral(s); ok {
+			t.Errorf("ParseTimeLiteral(%q) accepted garbage", s)
+		}
+	}
+}
+
+// TestTimeStringComparisonBothPaths pins the created_at-vs-literal
+// coercion to identical results on the compiled and interpreted paths
+// — the predicate behind persistent-table time-range queries.
+func TestTimeStringComparisonBothPaths(t *testing.T) {
+	base := time.Date(2011, 6, 12, 12, 0, 0, 0, time.UTC)
+	rows := []value.Tuple{
+		catalog.TweetTuple(&tweet.Tweet{ID: 1, CreatedAt: base.Add(-time.Hour)}),
+		catalog.TweetTuple(&tweet.Tweet{ID: 2, CreatedAt: base}),
+		catalog.TweetTuple(&tweet.Tweet{ID: 3, CreatedAt: base.Add(time.Hour)}),
+	}
+	exprs := []string{
+		`created_at > '2011-06-12 12:00:00'`,
+		`created_at >= '2011-06-12 12:00:00'`,
+		`created_at < '2011-06-12'`,
+		`created_at <= '2011-06-12T12:00:00Z'`,
+		`created_at = '2011-06-12 12:00:00'`,
+		`created_at != '2011-06-12 12:00:00'`,
+		`'2011-06-12 12:00:00' < created_at`,
+		`created_at > 'not a time'`, // unparseable: unequal kinds, op-dependent constant
+		`created_at != 'not a time'`,
+	}
+	ctx := context.Background()
+	for _, src := range exprs {
+		stmt, err := lang.Parse("SELECT x FROM t WHERE " + src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		x := stmt.Where
+		evC := NewEvaluator(catalog.New())
+		fn, err := evC.Compile(x, catalog.TweetSchema)
+		if err != nil {
+			t.Fatalf("%s: compile: %v", src, err)
+		}
+		evI := NewEvaluator(catalog.New())
+		for i, row := range rows {
+			gotC, errC := fn(ctx, row)
+			gotI, errI := evI.Eval(ctx, x, row)
+			if (errC == nil) != (errI == nil) {
+				t.Fatalf("%s row %d: err compiled=%v interpreted=%v", src, i, errC, errI)
+			}
+			if gotC.String() != gotI.String() {
+				t.Fatalf("%s row %d: compiled=%s interpreted=%s", src, i, gotC, gotI)
+			}
+		}
+		// Spot-check semantics on the middle row (ts == base).
+		mid, _ := evI.Eval(ctx, x, rows[1])
+		switch src {
+		case `created_at >= '2011-06-12 12:00:00'`,
+			`created_at <= '2011-06-12T12:00:00Z'`,
+			`created_at = '2011-06-12 12:00:00'`:
+			if !mid.Truthy() {
+				t.Errorf("%s should hold at the boundary", src)
+			}
+		case `created_at > '2011-06-12 12:00:00'`, `created_at != '2011-06-12 12:00:00'`:
+			if mid.Truthy() {
+				t.Errorf("%s should not hold at the boundary", src)
+			}
+		}
+	}
+}

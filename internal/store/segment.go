@@ -1,0 +1,288 @@
+// Package store is an embedded, append-only, time-partitioned storage
+// engine for TweeQL tables. A table is a directory of segment files:
+// each segment holds a schema header followed by length-prefixed
+// binary-encoded tuples, with a sidecar sparse timestamp index written
+// when the segment seals. Writes go through a batched, buffered
+// appender with an explicit fsync policy; startup recovery scans any
+// unsealed segment and truncates a torn tail; scans prune whole
+// segments whose timestamp range misses the query's — the layout Dobos
+// et al. use for multi-terabyte geo-tagged tweet archives, scaled down
+// to an embedded engine.
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"tweeql/internal/value"
+)
+
+const (
+	segSuffix = ".seg"
+	idxSuffix = ".idx"
+	// segMagic / idxMagic head the data and index files; the version
+	// byte after them gates future format changes.
+	segMagic      = "TQLS"
+	idxMagic      = "TQLI"
+	formatVersion = 1
+)
+
+func segPath(dir string, seq int) string {
+	return filepath.Join(dir, fmt.Sprintf("seg-%08d%s", seq, segSuffix))
+}
+
+func idxPath(segFile string) string {
+	return segFile[:len(segFile)-len(segSuffix)] + idxSuffix
+}
+
+// segMeta is everything the table keeps in memory about one segment.
+type segMeta struct {
+	seq    int
+	path   string
+	schema *value.Schema
+	key    string // value.SchemaKey(schema)
+
+	rows    int64
+	dataEnd int64 // file offset past the last valid record
+	hdrLen  int64
+
+	// Timestamp bounds over rows with a non-zero event time; hasTS is
+	// false when no row carried one (such segments are never pruned).
+	minTS, maxTS int64
+	hasTS        bool
+	// ordered reports the non-zero timestamps arrived non-decreasing;
+	// only then may a scan seek via the sparse index.
+	ordered bool
+	lastTS  int64
+
+	// index holds a sparse (file offset, timestamp) entry every
+	// IndexEvery rows, for seeking ordered segments.
+	index []indexEntry
+}
+
+type indexEntry struct {
+	off int64
+	ts  int64
+}
+
+// note updates row-count, bounds, order, and the sparse index for one
+// appended (or recovered) record starting at file offset off.
+func (m *segMeta) note(off int64, ts int64, every int) {
+	if ts == 0 {
+		// A row without an event time matches every scan range; index
+		// seeks and early stops could skip or cut it, so the segment
+		// falls back to full scans.
+		m.ordered = false
+	}
+	if ts != 0 {
+		if !m.hasTS {
+			m.minTS, m.maxTS, m.hasTS = ts, ts, true
+		} else {
+			if ts < m.minTS {
+				m.minTS = ts
+			}
+			if ts > m.maxTS {
+				m.maxTS = ts
+			}
+		}
+		if ts < m.lastTS {
+			m.ordered = false
+		}
+		m.lastTS = ts
+	}
+	if every > 0 && m.rows%int64(every) == 0 {
+		m.index = append(m.index, indexEntry{off: off, ts: ts})
+	}
+	m.rows++
+}
+
+// overlaps reports whether the segment may hold rows in [from, to]
+// (zero bounds are open). Segments without timestamp bounds always
+// overlap — pruning must be conservative.
+func (m *segMeta) overlaps(from, to time.Time) bool {
+	if !m.hasTS {
+		return true
+	}
+	if !from.IsZero() && m.maxTS < from.UnixNano() {
+		return false
+	}
+	if !to.IsZero() && m.minTS > to.UnixNano() {
+		return false
+	}
+	return true
+}
+
+// seekOffset returns the file offset scanning may start at for a lower
+// bound: the last sparse entry at or before from on an ordered segment,
+// the header end otherwise.
+func (m *segMeta) seekOffset(from time.Time) int64 {
+	if from.IsZero() || !m.ordered {
+		return m.hdrLen
+	}
+	// Start at the last entry strictly before from: every earlier record
+	// then has ts <= entry.ts < from, so none in [from, to] is skipped
+	// (records with ts == from may share a timestamp run with the entry
+	// at or after from, so >= entries are not safe starting points).
+	target := from.UnixNano()
+	i := sort.Search(len(m.index), func(i int) bool { return m.index[i].ts >= target })
+	if i == 0 {
+		return m.hdrLen
+	}
+	return m.index[i-1].off
+}
+
+// writeHeader writes the segment file header (magic, version, schema)
+// and returns its length.
+func writeHeader(f *os.File, schema *value.Schema) (int64, error) {
+	buf := append([]byte(segMagic), formatVersion)
+	buf = value.AppendSchema(buf, schema)
+	if _, err := f.Write(buf); err != nil {
+		return 0, err
+	}
+	return int64(len(buf)), nil
+}
+
+// readHeader validates a segment header and returns the schema and
+// header length.
+func readHeader(r *bufio.Reader) (*value.Schema, int64, error) {
+	head := make([]byte, len(segMagic)+1)
+	if _, err := io.ReadFull(r, head); err != nil {
+		return nil, 0, fmt.Errorf("store: short segment header: %w", err)
+	}
+	if string(head[:len(segMagic)]) != segMagic {
+		return nil, 0, fmt.Errorf("store: bad segment magic %q", head[:len(segMagic)])
+	}
+	if head[len(segMagic)] != formatVersion {
+		return nil, 0, fmt.Errorf("store: unsupported segment version %d", head[len(segMagic)])
+	}
+	// Schemas are small; peek generously and decode in place.
+	peek, err := r.Peek(r.Size())
+	if err != nil && err != io.EOF && err != bufio.ErrBufferFull {
+		return nil, 0, err
+	}
+	schema, n, err := value.DecodeSchema(peek)
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: bad segment schema: %w", err)
+	}
+	if _, err := r.Discard(n); err != nil {
+		return nil, 0, err
+	}
+	return schema, int64(len(head) + n), nil
+}
+
+// writeIndex persists the sidecar index that marks a segment sealed:
+// bounds, order flag, row count, and the sparse entries.
+func writeIndex(m *segMeta, fsyncDir bool) error {
+	buf := append([]byte(idxMagic), formatVersion)
+	buf = binary.AppendVarint(buf, m.rows)
+	buf = binary.AppendVarint(buf, m.dataEnd)
+	buf = binary.AppendVarint(buf, m.hdrLen)
+	var flags byte
+	if m.hasTS {
+		flags |= 1
+	}
+	if m.ordered {
+		flags |= 2
+	}
+	buf = append(buf, flags)
+	buf = binary.AppendVarint(buf, m.minTS)
+	buf = binary.AppendVarint(buf, m.maxTS)
+	buf = binary.AppendUvarint(buf, uint64(len(m.index)))
+	for _, e := range m.index {
+		buf = binary.AppendVarint(buf, e.off)
+		buf = binary.AppendVarint(buf, e.ts)
+	}
+	path := idxPath(m.path)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	if fsyncDir {
+		syncDir(filepath.Dir(path))
+	}
+	return nil
+}
+
+// readIndex loads a sealed segment's metadata from its sidecar. The
+// schema still comes from the data file header (one authoritative
+// copy), read separately by the caller.
+func readIndex(m *segMeta) error {
+	buf, err := os.ReadFile(idxPath(m.path))
+	if err != nil {
+		return err
+	}
+	if len(buf) < len(idxMagic)+1 || string(buf[:len(idxMagic)]) != idxMagic {
+		return fmt.Errorf("store: bad index magic in %s", idxPath(m.path))
+	}
+	if buf[len(idxMagic)] != formatVersion {
+		return fmt.Errorf("store: unsupported index version %d", buf[len(idxMagic)])
+	}
+	p := buf[len(idxMagic)+1:]
+	rd := func() (int64, error) {
+		v, n := binary.Varint(p)
+		if n <= 0 {
+			return 0, fmt.Errorf("store: truncated index %s", idxPath(m.path))
+		}
+		p = p[n:]
+		return v, nil
+	}
+	if m.rows, err = rd(); err != nil {
+		return err
+	}
+	if m.dataEnd, err = rd(); err != nil {
+		return err
+	}
+	if m.hdrLen, err = rd(); err != nil {
+		return err
+	}
+	if len(p) < 1 {
+		return fmt.Errorf("store: truncated index %s", idxPath(m.path))
+	}
+	flags := p[0]
+	p = p[1:]
+	m.hasTS = flags&1 != 0
+	m.ordered = flags&2 != 0
+	if m.minTS, err = rd(); err != nil {
+		return err
+	}
+	if m.maxTS, err = rd(); err != nil {
+		return err
+	}
+	cnt, n := binary.Uvarint(p)
+	if n <= 0 {
+		return fmt.Errorf("store: truncated index %s", idxPath(m.path))
+	}
+	p = p[n:]
+	m.index = make([]indexEntry, 0, cnt)
+	for i := uint64(0); i < cnt; i++ {
+		var e indexEntry
+		if e.off, err = rd(); err != nil {
+			return err
+		}
+		if e.ts, err = rd(); err != nil {
+			return err
+		}
+		m.index = append(m.index, e)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so file creations, renames, and removals
+// inside it are durable. Best effort: not all platforms support it.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
+}

@@ -1,0 +1,679 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tweeql/internal/value"
+)
+
+// Fsync is the durability policy of a table's appender.
+type Fsync int
+
+const (
+	// FsyncOnSeal (the default) fsyncs a segment once, when it seals;
+	// the active segment rides the OS page cache, and a crash loses at
+	// most the unsynced tail (which recovery truncates cleanly).
+	FsyncOnSeal Fsync = iota
+	// FsyncNone never fsyncs; fastest, weakest.
+	FsyncNone
+	// FsyncOnFlush fsyncs after every flushed batch: an acknowledged
+	// Flush is durable.
+	FsyncOnFlush
+)
+
+// ParseFsync maps the user-facing policy names ("seal", "none",
+// "flush") onto Fsync.
+func ParseFsync(s string) (Fsync, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "seal":
+		return FsyncOnSeal, nil
+	case "none":
+		return FsyncNone, nil
+	case "flush", "always":
+		return FsyncOnFlush, nil
+	}
+	return 0, fmt.Errorf("store: unknown fsync policy %q (want none, seal, or flush)", s)
+}
+
+// Options configure one table.
+type Options struct {
+	// Dir is the table's directory (created if missing).
+	Dir string
+	// SegmentMaxBytes seals the active segment once its data file
+	// reaches this size. Default 64 MiB.
+	SegmentMaxBytes int64
+	// SegmentMaxAge seals the active segment this long after its first
+	// append, so retention can reclaim quiet streams. 0 disables.
+	SegmentMaxAge time.Duration
+	// Fsync is the durability policy (see the constants).
+	Fsync Fsync
+	// FlushBytes bounds the appender's write buffer. Default 256 KiB.
+	FlushBytes int
+	// IndexEvery is the sparse-index granularity: one (offset,
+	// timestamp) entry per this many rows. Default 512.
+	IndexEvery int
+	// RetainSegments keeps at most this many sealed segments, deleting
+	// the oldest beyond it. 0 keeps everything.
+	RetainSegments int
+	// RetainMaxAge deletes sealed segments whose newest row is older
+	// than this. 0 keeps everything.
+	RetainMaxAge time.Duration
+
+	// now overrides the clock in tests.
+	now func() time.Time
+}
+
+func (o *Options) defaults() {
+	if o.SegmentMaxBytes <= 0 {
+		o.SegmentMaxBytes = 64 << 20
+	}
+	if o.FlushBytes <= 0 {
+		o.FlushBytes = 256 << 10
+	}
+	if o.IndexEvery <= 0 {
+		o.IndexEvery = 512
+	}
+	if o.now == nil {
+		o.now = time.Now
+	}
+}
+
+// Table is one persistent, append-only, time-partitioned table. Safe
+// for concurrent use: appends serialize on an internal lock; scans
+// snapshot the segment list under it, then read files without it.
+type Table struct {
+	opts Options
+
+	mu      sync.Mutex
+	sealed  []*segMeta
+	active  *segMeta
+	f       *os.File // active segment data file
+	written int64    // active data file size (bytes actually written)
+	buf     []byte   // encoded records not yet written to f
+	openAt  time.Time
+	schema  *value.Schema // schema of the newest segment
+	closed  bool
+
+	scanned atomic.Int64 // segments read by scans
+	pruned  atomic.Int64 // segments skipped by time-range pruning
+}
+
+// ErrClosed is returned by operations on a closed table.
+var ErrClosed = errors.New("store: table is closed")
+
+// Open opens (creating or recovering as needed) the table at opts.Dir.
+// Recovery reads sealed segments' sidecar indexes, re-scans any
+// unsealed segment, and truncates a torn tail so subsequent appends
+// land on a clean record boundary.
+func Open(opts Options) (*Table, error) {
+	opts.defaults()
+	if opts.Dir == "" {
+		return nil, errors.New("store: Options.Dir required")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	t := &Table{opts: opts}
+
+	entries, err := os.ReadDir(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	var seqs []int
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		seq, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "seg-"), segSuffix))
+		if err != nil {
+			continue
+		}
+		seqs = append(seqs, seq)
+	}
+	sort.Ints(seqs)
+
+	canon := map[string]*value.Schema{} // one schema object per structure
+	for i, seq := range seqs {
+		m := &segMeta{seq: seq, path: segPath(opts.Dir, seq), ordered: true}
+		isSealed := readIndex(m) == nil
+		if err := readSegmentSchema(m, canon); err != nil {
+			return nil, err
+		}
+		if !isSealed {
+			// Unsealed: the previous run's active segment, or a crash
+			// before seal. Rebuild metadata by scanning, truncating a
+			// torn tail at the last valid record boundary.
+			if err := recoverSegment(m, opts.IndexEvery); err != nil {
+				return nil, err
+			}
+		}
+		if i == len(seqs)-1 && !isSealed {
+			// The newest unsealed segment stays active: reopen for
+			// appending at the recovered end.
+			f, err := os.OpenFile(m.path, os.O_WRONLY, 0o644)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := f.Seek(m.dataEnd, io.SeekStart); err != nil {
+				f.Close()
+				return nil, err
+			}
+			t.active, t.f, t.written, t.openAt = m, f, m.dataEnd, opts.now()
+		} else {
+			if !isSealed {
+				// A non-newest unsealed segment can only come from a
+				// crash mid-rotation; seal it now.
+				if err := writeIndex(m, opts.Fsync != FsyncNone); err != nil {
+					return nil, err
+				}
+			}
+			t.sealed = append(t.sealed, m)
+		}
+		t.schema = m.schema
+	}
+	t.applyRetentionLocked()
+	return t, nil
+}
+
+// readSegmentSchema reads the schema from a segment's header and
+// canonicalizes it: structurally equal schemas across segments share
+// one *Schema, keeping the engine's compiled-expression fast path.
+func readSegmentSchema(m *segMeta, canon map[string]*value.Schema) error {
+	f, err := os.Open(m.path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	schema, hdrLen, err := readHeader(bufio.NewReaderSize(f, 64<<10))
+	if err != nil {
+		return fmt.Errorf("store: segment %s: %w", m.path, err)
+	}
+	key := value.SchemaKey(schema)
+	if c, ok := canon[key]; ok {
+		schema = c
+	} else {
+		canon[key] = schema
+	}
+	m.schema, m.key, m.hdrLen = schema, key, hdrLen
+	return nil
+}
+
+// recoverSegment scans a segment without a sidecar index, rebuilding
+// row count, bounds, order, and the sparse index, and truncating the
+// file at the first record that does not decode — the torn tail of an
+// interrupted write.
+func recoverSegment(m *segMeta, indexEvery int) error {
+	f, err := os.Open(m.path)
+	if err != nil {
+		return err
+	}
+	data, err := io.ReadAll(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	off := m.hdrLen
+	for off < int64(len(data)) {
+		rec, n, ok := decodeFrame(data[off:], m.schema)
+		if !ok {
+			break
+		}
+		m.note(off, tsNano(rec.TS), indexEvery)
+		off += int64(n)
+	}
+	m.dataEnd = off
+	if off < int64(len(data)) {
+		if err := os.Truncate(m.path, off); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// decodeFrame decodes one length-prefixed record. ok is false when the
+// frame is torn or corrupt.
+func decodeFrame(buf []byte, schema *value.Schema) (value.Tuple, int, bool) {
+	l, n := binary.Uvarint(buf)
+	if n <= 0 || l == 0 || uint64(len(buf)-n) < l {
+		return value.Tuple{}, 0, false
+	}
+	rec, used, err := value.DecodeTuple(buf[n:n+int(l)], schema)
+	if err != nil || used != int(l) {
+		return value.Tuple{}, 0, false
+	}
+	return rec, n + int(l), true
+}
+
+func tsNano(ts time.Time) int64 {
+	if ts.IsZero() {
+		return 0
+	}
+	return ts.UnixNano()
+}
+
+// AppendBatch appends rows. Records are buffered and written in
+// batches; the active segment seals (and retention runs) when it
+// crosses the size or age threshold. A row whose schema differs
+// structurally from the active segment's starts a new segment. The
+// rows slice is not retained.
+func (t *Table) AppendBatch(rows []value.Tuple) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return ErrClosed
+	}
+	for i := range rows {
+		if err := t.appendLocked(rows[i]); err != nil {
+			return err
+		}
+	}
+	if len(t.buf) >= t.opts.FlushBytes {
+		return t.flushLocked()
+	}
+	return nil
+}
+
+// Append appends one row.
+func (t *Table) Append(row value.Tuple) error {
+	return t.AppendBatch([]value.Tuple{row})
+}
+
+func (t *Table) appendLocked(row value.Tuple) error {
+	if row.Schema == nil {
+		return errors.New("store: row without schema")
+	}
+	// Rotate on schema change (pointer check first — the common case is
+	// every row carrying the same schema object).
+	if t.active != nil && row.Schema != t.active.schema && value.SchemaKey(row.Schema) != t.active.key {
+		if err := t.sealLocked(); err != nil {
+			return err
+		}
+	}
+	if t.active == nil {
+		if err := t.newSegmentLocked(row.Schema); err != nil {
+			return err
+		}
+	}
+	m := t.active
+	off := t.written + int64(len(t.buf)) // this record's file offset
+	payload := value.AppendTuple(nil, row)
+	t.buf = binary.AppendUvarint(t.buf, uint64(len(payload)))
+	t.buf = append(t.buf, payload...)
+	m.note(off, tsNano(row.TS), t.opts.IndexEvery)
+	m.dataEnd = t.written + int64(len(t.buf))
+	if m.dataEnd >= t.opts.SegmentMaxBytes ||
+		(t.opts.SegmentMaxAge > 0 && t.opts.now().Sub(t.openAt) >= t.opts.SegmentMaxAge) {
+		return t.sealLocked()
+	}
+	return nil
+}
+
+func (t *Table) newSegmentLocked(schema *value.Schema) error {
+	seq := 0
+	if n := len(t.sealed); n > 0 {
+		seq = t.sealed[n-1].seq + 1
+	}
+	m := &segMeta{seq: seq, path: segPath(t.opts.Dir, seq), ordered: true}
+	f, err := os.OpenFile(m.path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	hdrLen, err := writeHeader(f, schema)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if t.opts.Fsync != FsyncNone {
+		syncDir(t.opts.Dir)
+	}
+	m.schema, m.key, m.hdrLen, m.dataEnd = schema, value.SchemaKey(schema), hdrLen, hdrLen
+	t.active, t.f, t.written, t.openAt, t.schema = m, f, hdrLen, t.opts.now(), schema
+	return nil
+}
+
+// flushLocked writes the buffered records to the active data file.
+func (t *Table) flushLocked() error {
+	if t.f == nil || len(t.buf) == 0 {
+		return nil
+	}
+	n, err := t.f.Write(t.buf)
+	t.written += int64(n)
+	if err != nil {
+		return err
+	}
+	t.buf = t.buf[:0]
+	if t.opts.Fsync == FsyncOnFlush {
+		return t.f.Sync()
+	}
+	return nil
+}
+
+// Flush writes buffered records to the data file (and fsyncs under the
+// "flush" policy).
+func (t *Table) Flush() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return ErrClosed
+	}
+	return t.flushLocked()
+}
+
+// Sync flushes and fsyncs regardless of policy.
+func (t *Table) Sync() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return ErrClosed
+	}
+	if err := t.flushLocked(); err != nil {
+		return err
+	}
+	if t.f != nil {
+		return t.f.Sync()
+	}
+	return nil
+}
+
+// sealLocked flushes, fsyncs (unless the policy is none), writes the
+// sidecar index, closes the active file, and applies retention.
+func (t *Table) sealLocked() error {
+	if t.active == nil {
+		return nil
+	}
+	if err := t.flushLocked(); err != nil {
+		return err
+	}
+	if t.opts.Fsync != FsyncNone {
+		if err := t.f.Sync(); err != nil {
+			return err
+		}
+	}
+	if err := t.f.Close(); err != nil {
+		return err
+	}
+	if err := writeIndex(t.active, t.opts.Fsync != FsyncNone); err != nil {
+		return err
+	}
+	t.sealed = append(t.sealed, t.active)
+	t.active, t.f, t.written = nil, nil, 0
+	t.applyRetentionLocked()
+	return nil
+}
+
+// applyRetentionLocked deletes sealed segments beyond RetainSegments
+// (oldest first) or older than RetainMaxAge. The active segment is
+// never deleted.
+func (t *Table) applyRetentionLocked() {
+	drop := 0
+	if n := t.opts.RetainSegments; n > 0 && len(t.sealed) > n {
+		drop = len(t.sealed) - n
+	}
+	if age := t.opts.RetainMaxAge; age > 0 {
+		cutoff := t.opts.now().Add(-age).UnixNano()
+		for drop < len(t.sealed) {
+			m := t.sealed[drop]
+			if m.hasTS && m.maxTS < cutoff {
+				drop++
+				continue
+			}
+			break
+		}
+	}
+	if drop == 0 {
+		return
+	}
+	for _, m := range t.sealed[:drop] {
+		os.Remove(m.path)
+		os.Remove(idxPath(m.path))
+	}
+	t.sealed = append([]*segMeta{}, t.sealed[drop:]...)
+	if t.opts.Fsync != FsyncNone {
+		syncDir(t.opts.Dir)
+	}
+}
+
+// Schema returns the schema of the newest segment, nil for an empty
+// table.
+func (t *Table) Schema() *value.Schema {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.schema
+}
+
+// Len reports the total row count across all segments (including rows
+// still in the append buffer).
+func (t *Table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := int64(0)
+	for _, m := range t.sealed {
+		n += m.rows
+	}
+	if t.active != nil {
+		n += t.active.rows
+	}
+	return int(n)
+}
+
+// Segments reports (sealed, active) segment counts, for tests and
+// introspection.
+func (t *Table) Segments() (sealed, active int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.active != nil {
+		active = 1
+	}
+	return len(t.sealed), active
+}
+
+// ScanCounters reports cumulative segments read vs pruned across all
+// scans, the observability hook for time-range pruning.
+func (t *Table) ScanCounters() (scanned, pruned int64) {
+	return t.scanned.Load(), t.pruned.Load()
+}
+
+// Scan streams every row whose event timestamp falls in [from, to]
+// (zero bounds are open; rows without an event time always match) to
+// fn in freshly allocated batches of at most batchHint rows, in append
+// order. Segments whose timestamp range cannot overlap the query's are
+// pruned without being read; ordered segments additionally seek via
+// their sparse index and stop early past the upper bound. fn owns each
+// batch; an error from fn stops the scan and is returned.
+func (t *Table) Scan(from, to time.Time, batchHint int, fn func([]value.Tuple) error) error {
+	if batchHint < 1 {
+		batchHint = 256
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrClosed
+	}
+	segs := make([]*segMeta, 0, len(t.sealed)+1)
+	segs = append(segs, t.sealed...)
+	var activeCopy *segMeta
+	var pending []byte
+	var flushedEnd int64
+	if t.active != nil {
+		c := *t.active // snapshot of bounds and offsets
+		activeCopy = &c
+		pending = append([]byte(nil), t.buf...)
+		flushedEnd = t.written
+		segs = append(segs, activeCopy)
+	}
+	t.mu.Unlock()
+
+	s := &scanState{batchHint: batchHint, fn: fn}
+	for _, m := range segs {
+		if !m.overlaps(from, to) {
+			t.pruned.Add(1)
+			continue
+		}
+		t.scanned.Add(1)
+		end := m.dataEnd
+		if m == activeCopy {
+			end = flushedEnd
+		}
+		if err := scanFile(m, end, from, to, s); err != nil {
+			if os.IsNotExist(err) {
+				// Retention removed the segment between snapshot and
+				// open; its rows are gone by policy.
+				continue
+			}
+			return err
+		}
+		if m == activeCopy {
+			// Records still in the append buffer at snapshot time.
+			if err := scanBytes(pending, m.schema, from, to, s); err != nil {
+				return err
+			}
+		}
+	}
+	return s.flush()
+}
+
+type scanState struct {
+	batchHint int
+	batch     []value.Tuple
+	fn        func([]value.Tuple) error
+}
+
+func (s *scanState) push(row value.Tuple) error {
+	if s.batch == nil {
+		s.batch = make([]value.Tuple, 0, s.batchHint)
+	}
+	s.batch = append(s.batch, row)
+	if len(s.batch) >= s.batchHint {
+		return s.flush()
+	}
+	return nil
+}
+
+func (s *scanState) flush() error {
+	if len(s.batch) == 0 {
+		return nil
+	}
+	b := s.batch
+	s.batch = nil
+	return s.fn(b)
+}
+
+func inRange(ts time.Time, from, to time.Time) bool {
+	if ts.IsZero() {
+		return true
+	}
+	if !from.IsZero() && ts.Before(from) {
+		return false
+	}
+	if !to.IsZero() && ts.After(to) {
+		return false
+	}
+	return true
+}
+
+// errStopScan ends a segment scan early (ordered segment past the
+// upper bound) without aborting the whole Scan.
+var errStopScan = errors.New("store: stop scan")
+
+// scanFile streams one segment's records in [seek, end) through the
+// row-level time filter.
+func scanFile(m *segMeta, end int64, from, to time.Time, s *scanState) error {
+	start := m.seekOffset(from)
+	if start >= end {
+		return nil
+	}
+	f, err := os.Open(m.path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(io.NewSectionReader(f, start, end-start), 256<<10)
+	for {
+		l, err := binary.ReadUvarint(br)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil || l == 0 {
+			return fmt.Errorf("store: segment %s: corrupt record length", m.path)
+		}
+		payload := make([]byte, l)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return fmt.Errorf("store: segment %s: corrupt record: %w", m.path, err)
+		}
+		rec, used, err := value.DecodeTuple(payload, m.schema)
+		if err != nil || used != int(l) {
+			return fmt.Errorf("store: segment %s: corrupt record", m.path)
+		}
+		if err := filterPush(rec, m.ordered, from, to, s); err != nil {
+			if err == errStopScan {
+				return nil
+			}
+			return err
+		}
+	}
+}
+
+// scanBytes scans the in-memory pending buffer (always whole records:
+// the buffer holds only complete encodings).
+func scanBytes(data []byte, schema *value.Schema, from, to time.Time, s *scanState) error {
+	off := 0
+	for off < len(data) {
+		rec, n, ok := decodeFrame(data[off:], schema)
+		if !ok {
+			return errors.New("store: corrupt append buffer")
+		}
+		off += n
+		if err := filterPush(rec, false, from, to, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// filterPush applies the row-level time filter (and the ordered
+// early-stop) before handing the record to the batcher.
+func filterPush(rec value.Tuple, ordered bool, from, to time.Time, s *scanState) error {
+	if ordered && !to.IsZero() && !rec.TS.IsZero() && rec.TS.After(to) {
+		return errStopScan
+	}
+	if !inRange(rec.TS, from, to) {
+		return nil
+	}
+	return s.push(rec)
+}
+
+// Close flushes, fsyncs, and closes the table. The active segment is
+// left unsealed — reopening recovers it and appends continue in place.
+func (t *Table) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil
+	}
+	t.closed = true
+	if err := t.flushLocked(); err != nil {
+		return err
+	}
+	if t.f != nil {
+		if err := t.f.Sync(); err != nil {
+			return err
+		}
+		return t.f.Close()
+	}
+	return nil
+}

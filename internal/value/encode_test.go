@@ -1,0 +1,136 @@
+package value
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestValueEncodeRoundTrip(t *testing.T) {
+	vals := []Value{
+		Null(),
+		Bool(true),
+		Bool(false),
+		Int(0),
+		Int(-1),
+		Int(1 << 60),
+		Int(math.MinInt64),
+		Float(0),
+		Float(-2.5),
+		Float(math.Inf(1)),
+		Float(math.SmallestNonzeroFloat64),
+		String(""),
+		String("hello, 世界 — tweet text with 'quotes'"),
+		Time(time.Time{}),
+		Time(time.Unix(1300000000, 123456789)),
+		Time(time.Unix(-5, 999)),
+		List(nil),
+		List([]Value{Int(1), String("x"), Null(), List([]Value{Bool(true)})}),
+		Strings([]string{"a", "b"}),
+	}
+	for _, v := range vals {
+		buf := AppendValue(nil, v)
+		got, n, err := DecodeValue(buf)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", v, err)
+		}
+		if n != len(buf) {
+			t.Fatalf("%s: consumed %d of %d bytes", v, n, len(buf))
+		}
+		if !Equal(got, v) || got.Kind() != v.Kind() {
+			t.Fatalf("round trip: %s (%s) != %s (%s)", got, got.Kind(), v, v.Kind())
+		}
+	}
+	// NaN compares unequal to itself; check bits.
+	buf := AppendValue(nil, Float(math.NaN()))
+	got, _, err := DecodeValue(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, _ := got.FloatVal(); !math.IsNaN(f) {
+		t.Errorf("NaN round trip = %v", f)
+	}
+}
+
+func TestTupleEncodeRoundTrip(t *testing.T) {
+	s := NewSchema(
+		Field{Name: "text", Kind: KindString},
+		Field{Name: "n", Kind: KindInt},
+		Field{Name: "when", Kind: KindTime},
+		Field{Name: "dyn", Kind: KindNull},
+	)
+	rows := []Tuple{
+		NewTuple(s, []Value{String("hi"), Int(7), Time(time.Unix(99, 0)), Float(1.5)}, time.Unix(99, 0)),
+		NewTuple(s, []Value{Null(), Int(-2), Time(time.Time{}), String("drifted")}, time.Time{}),
+	}
+	var buf []byte
+	for _, r := range rows {
+		buf = AppendTuple(buf, r)
+	}
+	off := 0
+	for i, want := range rows {
+		got, n, err := DecodeTuple(buf[off:], s)
+		if err != nil {
+			t.Fatalf("row %d: %v", i, err)
+		}
+		off += n
+		if got.Schema != s {
+			t.Fatalf("row %d: schema pointer lost", i)
+		}
+		if !got.TS.Equal(want.TS) {
+			t.Fatalf("row %d: TS %v != %v", i, got.TS, want.TS)
+		}
+		if got.String() != want.String() {
+			t.Fatalf("row %d: %s != %s", i, got, want)
+		}
+	}
+	if off != len(buf) {
+		t.Fatalf("consumed %d of %d bytes", off, len(buf))
+	}
+}
+
+func TestSchemaEncodeRoundTrip(t *testing.T) {
+	s := NewSchema(
+		Field{Name: "id", Kind: KindInt},
+		Field{Name: "text", Kind: KindString},
+		Field{Name: "a.x", Kind: KindFloat},
+	)
+	buf := AppendSchema(nil, s)
+	got, n, err := DecodeSchema(buf)
+	if err != nil || n != len(buf) {
+		t.Fatalf("decode: n=%d err=%v", n, err)
+	}
+	if got.String() != s.String() {
+		t.Fatalf("schema round trip: %s != %s", got, s)
+	}
+	if SchemaKey(got) != SchemaKey(s) {
+		t.Error("SchemaKey differs for structurally equal schemas")
+	}
+	if SchemaKey(s) == SchemaKey(NewSchema(Field{Name: "id", Kind: KindInt})) {
+		t.Error("SchemaKey collides for different schemas")
+	}
+}
+
+// TestDecodeTruncated feeds every proper prefix of valid encodings to
+// the decoders: all must fail cleanly with ErrCorrupt, never panic or
+// succeed — this is the property torn-tail recovery relies on.
+func TestDecodeTruncated(t *testing.T) {
+	s := NewSchema(Field{Name: "text", Kind: KindString}, Field{Name: "n", Kind: KindInt})
+	row := NewTuple(s, []Value{String("some tweet text"), Int(12345678)}, time.Unix(42, 0))
+	buf := AppendTuple(nil, row)
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, err := DecodeTuple(buf[:cut], s); err == nil {
+			t.Fatalf("truncated decode at %d/%d succeeded", cut, len(buf))
+		}
+	}
+	sb := AppendSchema(nil, s)
+	for cut := 0; cut < len(sb); cut++ {
+		if _, _, err := DecodeSchema(sb[:cut]); err == nil {
+			t.Fatalf("truncated schema decode at %d/%d succeeded", cut, len(sb))
+		}
+	}
+	// Garbage kind byte.
+	if _, _, err := DecodeValue([]byte{0xEE, 1, 2}); err == nil {
+		t.Error("unknown kind should error")
+	}
+}

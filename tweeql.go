@@ -88,6 +88,13 @@ func (e *Engine) Query(ctx context.Context, sql string) (*Cursor, error) {
 	return e.inner.Query(ctx, sql)
 }
 
+// Close releases the engine's result tables, flushing and closing
+// persistent backends. Engines whose Options.DataDir is set must be
+// closed before the process exits (or before another engine reopens
+// the same data dir): the active segment's buffered tail becomes
+// durable here.
+func (e *Engine) Close() error { return e.inner.Close() }
+
 // Explain describes the plan (pushdown candidates, residual filters,
 // aggregation shape) without running the query.
 func (e *Engine) Explain(sql string) (string, error) { return e.inner.Explain(sql) }

@@ -10,6 +10,8 @@ package twitinfo
 import (
 	"context"
 	"net/http"
+	"strings"
+	"time"
 
 	"tweeql"
 	"tweeql/internal/dashboard"
@@ -137,6 +139,37 @@ func TrackQuery(ctx context.Context, eng *tweeql.Engine, tr *Tracker) error {
 		return err
 	}
 	return tk.Wait()
+}
+
+// ReplayEvent rebuilds an event from a logged TweeQL table — the
+// historical-replay path the persistent store enables: log the stream
+// once (`SELECT * FROM twitter INTO TABLE tweets_log` with a data dir
+// configured), and regenerate the Figure 1 dashboard for any event and
+// any time range after a restart, without re-crawling. The query scans
+// the table bounded by [from, to] on created_at (zero bounds are open;
+// the engine prunes whole time partitions), and the tracker keeps only
+// tweets matching the event's keywords.
+func ReplayEvent(ctx context.Context, eng *tweeql.Engine, tr *Tracker, table string, from, to time.Time) error {
+	sql := "SELECT * FROM " + table
+	var conds []string
+	if !from.IsZero() {
+		conds = append(conds, "created_at >= '"+from.UTC().Format(time.RFC3339Nano)+"'")
+	}
+	if !to.IsZero() {
+		conds = append(conds, "created_at <= '"+to.UTC().Format(time.RFC3339Nano)+"'")
+	}
+	if len(conds) > 0 {
+		sql += " WHERE " + strings.Join(conds, " AND ")
+	}
+	cur, err := eng.Query(ctx, sql)
+	if err != nil {
+		return err
+	}
+	for row := range cur.Rows() {
+		tr.IngestTuple(row)
+	}
+	tr.Finish()
+	return cur.Stats().Err()
 }
 
 func escape(s string) string {

@@ -129,6 +129,73 @@ func TestPeakDetectUDFPublic(t *testing.T) {
 	}
 }
 
+func TestHistoricalReplayFromPersistentTable(t *testing.T) {
+	// The full durable pipeline: log the stream INTO TABLE with a data
+	// dir, shut the engine down, then rebuild the event dashboard from
+	// disk in a fresh engine — TwitInfo timeline replay over logged
+	// tweets, no re-crawl.
+	dir := t.TempDir()
+	opts := tweeql.DefaultOptions()
+	opts.DataDir = dir
+	eng, stream, err := tweeql.NewSimulated(tweeql.SimConfig{Scenario: "soccer", Seed: 6, Options: &opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := eng.Query(context.Background(), "SELECT * FROM twitter INTO TABLE tweets_log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream.Replay()
+	select {
+	case <-cur.Drained():
+	case <-time.After(60 * time.Second):
+		t.Fatal("logging did not drain")
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh engine over the same data dir (empty scenario: nothing
+	// live to stream; the logged table is the only source of tweets).
+	opts2 := tweeql.DefaultOptions()
+	opts2.DataDir = dir
+	eng2, _, err := tweeql.NewSimulated(tweeql.SimConfig{Options: &opts2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng2.Close()
+	tr := twitinfo.NewTracker(twitinfo.EventConfig{
+		Name:     "Soccer replay",
+		Keywords: []string{"soccer", "football", "premierleague", "manchester", "liverpool"},
+	})
+	if err := twitinfo.ReplayEvent(context.Background(), eng2, tr, "tweets_log", time.Time{}, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Ingested() == 0 {
+		t.Fatal("replay ingested nothing")
+	}
+	d := tr.Dashboard(twitinfo.DashboardOptions{})
+	if len(d.Peaks) < 3 {
+		t.Errorf("replayed dashboard peaks = %d, want the goals detected", len(d.Peaks))
+	}
+
+	// A time-bounded replay (second half only) sees strictly fewer
+	// tweets but still a dashboard.
+	first := stream.Tweets()[0].CreatedAt
+	last := stream.Tweets()[len(stream.Tweets())-1].CreatedAt
+	mid := first.Add(last.Sub(first) / 2)
+	tr2 := twitinfo.NewTracker(twitinfo.EventConfig{
+		Name:     "Soccer second half",
+		Keywords: []string{"soccer", "football", "premierleague", "manchester", "liverpool"},
+	})
+	if err := twitinfo.ReplayEvent(context.Background(), eng2, tr2, "tweets_log", mid, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Ingested() == 0 || tr2.Ingested() >= tr.Ingested() {
+		t.Errorf("bounded replay ingested %d of %d", tr2.Ingested(), tr.Ingested())
+	}
+}
+
 func TestSentimentLabelsExported(t *testing.T) {
 	if twitinfo.Positive.String() != "positive" || twitinfo.Negative.String() != "negative" || twitinfo.Neutral.String() != "neutral" {
 		t.Error("label exports wrong")
