@@ -1,0 +1,196 @@
+// Command tweeqld is the TweeQL serving daemon: one process that feeds
+// a (simulated) live tweet stream, manages many named continuous
+// queries through a JSON REST API, fans results out to SSE/NDJSON
+// subscribers, snapshots persistent tables, and serves the TwitInfo
+// dashboard — the paper's demo as a service instead of a REPL.
+//
+//	tweeqld -addr :8080 -data-dir ./data -scenario soccer -speedup 60
+//
+// Quickstart (see README "Serving layer"):
+//
+//	curl -X POST localhost:8080/api/queries \
+//	  -d '{"name":"goals","sql":"SELECT text FROM twitter WHERE text CONTAINS '\''goal'\''"}'
+//	curl -N localhost:8080/api/queries/goals/stream
+//	curl localhost:8080/api/tables/goal_log/snapshot?limit=10
+//	curl localhost:8080/metrics
+//
+// With -data-dir set, the query registry is journaled: kill the daemon,
+// restart it with the same flags, and every registered query (and its
+// INTO TABLE / INTO STREAM target) is restored.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tweeql"
+	"tweeql/internal/server"
+	"tweeql/twitinfo"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	scenario := flag.String("scenario", "soccer", "canned stream: soccer, earthquakes, obama, rivalry, background")
+	seed := flag.Int64("seed", 1, "generator seed")
+	duration := flag.Duration("duration", 0, "override scenario duration")
+	speedup := flag.Float64("speedup", 60, "replay speed vs event time (0 = as fast as possible)")
+	loop := flag.Bool("loop", true, "replay the scenario forever (false = one pass, then idle)")
+	dataDir := flag.String("data-dir", "", "root for persistent tables AND the durable query registry (empty = everything in memory)")
+	fsyncPolicy := flag.String("fsync", "seal", "persistent table fsync policy: none, seal, or flush")
+	streamBuffer := flag.Int("stream-buffer", 256, "default per-subscriber ring size for /stream (override per request with ?buffer=)")
+	blockDefault := flag.Bool("stream-block", false, "default /stream backpressure to block instead of drop (override with ?policy=)")
+	maxRestarts := flag.Int("max-restarts", 5, "restart-on-error attempts per query before giving up")
+	withTwitinfo := flag.Bool("twitinfo", true, "track a TwitInfo event for the scenario and mount the dashboard at /twitinfo/")
+	flag.Parse()
+
+	opts := tweeql.DefaultOptions()
+	opts.DataDir = *dataDir
+	opts.FsyncPolicy = *fsyncPolicy
+	eng, stream, err := tweeql.NewSimulated(tweeql.SimConfig{
+		Scenario: *scenario, Seed: *seed, Duration: *duration, Options: &opts,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv, err := server.New(eng.Core(), server.Options{
+		DataDir:      *dataDir,
+		Restart:      server.RestartPolicy{MaxRestarts: *maxRestarts},
+		StreamBuffer: *streamBuffer,
+		BlockDefault: *blockDefault,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if n := len(srv.Registry().List()); n > 0 {
+		fmt.Printf("restored %d journaled quer%s from %s\n", n, plural(n, "y", "ies"), *dataDir)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	mux := http.NewServeMux()
+	mux.Handle("/api/", srv)
+	mux.Handle("/metrics", srv)
+	mux.Handle("/healthz", srv)
+
+	// TwitInfo rides along: the dashboard handler mounts under
+	// /twitinfo/, fed by a tracking query on the same engine — one
+	// process, both APIs, exactly the paper's TweeQL→TwitInfo stack.
+	if *withTwitinfo {
+		tstore := twitinfo.NewStore()
+		tr, err := tstore.Create(scenarioEvent(*scenario))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := twitinfo.StartTracking(ctx, eng, tr); err != nil {
+			log.Fatal(err)
+		}
+		mux.Handle("/twitinfo/", http.StripPrefix("/twitinfo",
+			twitinfo.Handler(tstore, twitinfo.DashboardOptions{})))
+	}
+
+	go feed(ctx, stream, *speedup, *loop)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: mux}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Printf("tweeqld: serving on http://%s (scenario %q, seed %d, speedup %gx)\n",
+		*addr, *scenario, *seed, *speedup)
+
+	select {
+	case <-ctx.Done():
+		fmt.Println("\ntweeqld: shutting down...")
+	case err := <-errCh:
+		log.Fatal(err)
+	}
+
+	// Graceful teardown, in dependency order: stop the feed (queries see
+	// end-of-stream), stop registered cursors and drain their routing,
+	// end subscriber streams, close HTTP, then flush persistent tables.
+	stop()
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	stream.Close()
+	if err := srv.Close(shutCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "tweeqld:", err)
+	}
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "tweeqld: http shutdown:", err)
+	}
+	if err := eng.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "tweeqld: engine close:", err)
+	}
+	fmt.Println("tweeqld: bye")
+}
+
+// feed publishes the scenario's pre-generated tweets through the
+// streaming API, paced against event time by speedup, looping if asked.
+// The hub stays open between passes so long-running queries keep their
+// connections; Close happens in main's teardown.
+func feed(ctx context.Context, stream *tweeql.Stream, speedup float64, loop bool) {
+	tweets := stream.Tweets()
+	if len(tweets) == 0 {
+		return
+	}
+	const chunk = 64
+	for {
+		start := time.Now()
+		base := tweets[0].CreatedAt
+		for lo := 0; lo < len(tweets); lo += chunk {
+			hi := min(lo+chunk, len(tweets))
+			if speedup > 0 {
+				due := start.Add(time.Duration(float64(tweets[lo].CreatedAt.Sub(base)) / speedup))
+				if d := time.Until(due); d > 0 {
+					select {
+					case <-time.After(d):
+					case <-ctx.Done():
+						return
+					}
+				}
+			}
+			if ctx.Err() != nil {
+				return
+			}
+			stream.PublishBatch(tweets[lo:hi])
+		}
+		if !loop {
+			return
+		}
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+	}
+}
+
+// scenarioEvent picks the TwitInfo event definition for the scenario:
+// the shared §4 canned table (same dashboards as cmd/twitinfo), with a
+// fallback for scenarios it doesn't cover.
+func scenarioEvent(scenario string) twitinfo.EventConfig {
+	for _, c := range twitinfo.CannedEvents() {
+		if c.Scenario == scenario {
+			return c.Event
+		}
+	}
+	if scenario == "rivalry" {
+		return twitinfo.EventConfig{Name: "Baseball rivalry",
+			Keywords: []string{"yankees", "redsox", "baseball"}}
+	}
+	return twitinfo.EventConfig{Name: scenario, Keywords: []string{scenario}}
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
+}

@@ -14,48 +14,19 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"tweeql"
 	"tweeql/twitinfo"
 )
-
-// canned describes the §4 demo events and the scenario that feeds each.
-var canned = []struct {
-	scenario string
-	event    twitinfo.EventConfig
-	duration time.Duration
-}{
-	{
-		scenario: "soccer",
-		event: twitinfo.EventConfig{
-			Name:     "Soccer: Manchester City vs Liverpool",
-			Keywords: []string{"soccer", "football", "premierleague", "manchester", "liverpool"},
-		},
-	},
-	{
-		scenario: "earthquakes",
-		event: twitinfo.EventConfig{
-			Name:     "Earthquakes",
-			Keywords: []string{"earthquake", "quake", "tremor"},
-			Bin:      10 * time.Minute, // a day-long event reads better in coarse bins
-		},
-	},
-	{
-		scenario: "obama",
-		event: twitinfo.EventConfig{
-			Name:     "A month of Obama",
-			Keywords: []string{"obama"},
-			Bin:      6 * time.Hour, // a month-long event, coarser still
-		},
-		duration: 10 * 24 * time.Hour, // ten days keeps startup snappy
-	},
-}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
@@ -65,16 +36,16 @@ func main() {
 
 	store := twitinfo.NewStore()
 	loaded := 0
-	for _, c := range canned {
-		if *scenario != "" && c.scenario != *scenario {
+	for _, c := range twitinfo.CannedEvents() {
+		if *scenario != "" && c.Scenario != *scenario {
 			continue
 		}
-		tr, err := store.Create(c.event)
+		tr, err := store.Create(c.Event)
 		if err != nil {
 			log.Fatal(err)
 		}
 		_, stream, err := tweeql.NewSimulated(tweeql.SimConfig{
-			Scenario: c.scenario, Seed: *seed, Duration: c.duration,
+			Scenario: c.Scenario, Seed: *seed, Duration: c.Duration,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -86,7 +57,7 @@ func main() {
 			}
 		}
 		tr.Finish()
-		fmt.Printf("loaded %q: %d matching tweets, %d peaks\n", c.event.Name, n, len(tr.Peaks(0)))
+		fmt.Printf("loaded %q: %d matching tweets, %d peaks\n", c.Event.Name, n, len(tr.Peaks(0)))
 		loaded++
 	}
 	if loaded == 0 {
@@ -96,5 +67,23 @@ func main() {
 
 	handler := twitinfo.Handler(store, twitinfo.DashboardOptions{})
 	fmt.Printf("TwitInfo dashboard: http://%s/\n", *addr)
-	log.Fatal(http.ListenAndServe(*addr, handler))
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight requests instead
+	// of dying mid-response.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	srv := &http.Server{Addr: *addr, Handler: handler}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	select {
+	case <-ctx.Done():
+		fmt.Println("\ntwitinfo: shutting down...")
+	case err := <-errCh:
+		log.Fatal(err)
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "twitinfo: http shutdown:", err)
+	}
 }

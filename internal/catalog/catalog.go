@@ -333,6 +333,18 @@ func (c *Catalog) Table(name string) *Table {
 	return &Table{Name: name, backend: NewMemBackend(0)}
 }
 
+// Tables snapshots the open result tables, for metrics and
+// introspection.
+func (c *Catalog) Tables() []*Table {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*Table, 0, len(c.tables))
+	for _, t := range c.tables {
+		out = append(out, t)
+	}
+	return out
+}
+
 // CloseTables closes every table backend (flushing persistent ones)
 // and empties the table namespace. The first error wins; closing
 // continues regardless.
@@ -909,91 +921,6 @@ func (s *SliceSource) OpenBatches(ctx context.Context, _ OpenRequest, bo BatchOp
 	return out, &OpenInfo{Schema: s.schema}, nil
 }
 
-// DerivedStream is a live stream fed by a query's INTO STREAM clause and
-// consumable by later FROM clauses. It broadcasts to all open readers.
-type DerivedStream struct {
-	name   string
-	schema *value.Schema
-
-	mu     sync.Mutex
-	subs   map[chan value.Tuple]bool
-	closed bool
-}
-
-// NewDerivedStream creates a derived stream with the producing query's
-// output schema.
-func NewDerivedStream(name string, schema *value.Schema) *DerivedStream {
-	return &DerivedStream{name: name, schema: schema, subs: make(map[chan value.Tuple]bool)}
-}
-
-// Schema implements Source.
-func (d *DerivedStream) Schema() *value.Schema { return d.schema }
-
-// Publish broadcasts a tuple to all subscribers (dropping to slow ones,
-// like the upstream API).
-func (d *DerivedStream) Publish(row value.Tuple) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	for ch := range d.subs {
-		select {
-		case ch <- row:
-		default:
-		}
-	}
-}
-
-// CloseStream ends the stream: all subscriber channels close.
-func (d *DerivedStream) CloseStream() {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.closed {
-		return
-	}
-	d.closed = true
-	for ch := range d.subs {
-		close(ch)
-		delete(d.subs, ch)
-	}
-}
-
-// Open implements Source.
-func (d *DerivedStream) Open(ctx context.Context, _ OpenRequest) (<-chan value.Tuple, *OpenInfo, error) {
-	d.mu.Lock()
-	if d.closed {
-		d.mu.Unlock()
-		out := make(chan value.Tuple)
-		close(out)
-		return out, &OpenInfo{Schema: d.schema}, nil
-	}
-	ch := make(chan value.Tuple, 256)
-	d.subs[ch] = true
-	d.mu.Unlock()
-
-	out := make(chan value.Tuple, 64)
-	go func() {
-		defer close(out)
-		defer func() {
-			d.mu.Lock()
-			if d.subs[ch] {
-				delete(d.subs, ch)
-			}
-			d.mu.Unlock()
-		}()
-		for {
-			select {
-			case row, ok := <-ch:
-				if !ok {
-					return
-				}
-				select {
-				case out <- row:
-				case <-ctx.Done():
-					return
-				}
-			case <-ctx.Done():
-				return
-			}
-		}
-	}()
-	return out, &OpenInfo{Schema: d.schema}, nil
-}
+// DerivedStream lives in stream.go: a live stream fed by a query's
+// INTO STREAM clause (or a server-side result broadcaster), consumable
+// by later FROM clauses and by fan-out subscribers.

@@ -1,0 +1,59 @@
+package catalog
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"tweeql/internal/value"
+)
+
+// BenchmarkFanout measures the DerivedStream broadcast hot path —
+// routing one row to every subscriber — at 1, 16, and 256 subscribers,
+// per-tuple Publish vs PublishBatch(256). Drop-policy subscribers with
+// nobody draining: publishers never block, so the numbers isolate the
+// subscriber-set traversal + ring-append cost the serving layer's
+// fan-out pays per row.
+//
+//	go test ./internal/catalog -bench=Fanout -benchtime=1s
+func BenchmarkFanout(b *testing.B) {
+	schema := value.NewSchema(
+		value.Field{Name: "x", Kind: value.KindInt},
+		value.Field{Name: "text", Kind: value.KindString},
+	)
+	const batchSize = 256
+	batch := make([]value.Tuple, batchSize)
+	for i := range batch {
+		batch[i] = value.NewTuple(schema,
+			[]value.Value{value.Int(int64(i)), value.String("the quick brown fox")},
+			time.Unix(int64(i), 0))
+	}
+	for _, subs := range []int{1, 16, 256} {
+		for _, mode := range []string{"tuple", "batch"} {
+			b.Run(fmt.Sprintf("subs=%d/%s", subs, mode), func(b *testing.B) {
+				d := NewDerivedStream("bench", schema)
+				for i := 0; i < subs; i++ {
+					sub := d.Subscribe(SubOptions{Buffer: 1024, Policy: DropOldest})
+					defer sub.Cancel()
+				}
+				b.ResetTimer()
+				if mode == "batch" {
+					for n := 0; n < b.N; n += batchSize {
+						d.PublishBatch(batch)
+					}
+				} else {
+					for n := 0; n < b.N; n++ {
+						d.Publish(batch[n%batchSize])
+					}
+				}
+				b.StopTimer()
+				d.CloseStream()
+				rows := float64(b.N)
+				if mode == "batch" {
+					rows = float64((b.N + batchSize - 1) / batchSize * batchSize)
+				}
+				b.ReportMetric(rows*float64(subs)/b.Elapsed().Seconds(), "deliveries/s")
+			})
+		}
+	}
+}

@@ -1,0 +1,393 @@
+package catalog
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"tweeql/internal/value"
+)
+
+// streamShards splits a DerivedStream's subscriber set so that
+// subscribe/cancel churn on one shard never contends with churn on
+// another, and a publisher touches one atomic pointer load per shard
+// per batch instead of one mutex acquisition per tuple.
+const streamShards = 8
+
+// BackpressurePolicy decides what a DerivedStream does when a
+// subscriber's ring buffer is full.
+type BackpressurePolicy int
+
+const (
+	// DropOldest overwrites the oldest buffered row and counts a drop —
+	// the streaming-API contract ("receive *most* tweets"): slow readers
+	// lose data, the publisher never stalls.
+	DropOldest BackpressurePolicy = iota
+	// Block makes the publisher wait for ring space. Total delivery at
+	// the price of publisher throughput: one blocked subscriber slows
+	// every downstream of the publishing query. Subscribers holding this
+	// policy MUST be cancelled when their reader goes away.
+	Block
+)
+
+// String renders the policy for stats and metrics output.
+func (p BackpressurePolicy) String() string {
+	if p == Block {
+		return "block"
+	}
+	return "drop"
+}
+
+// SubOptions shape one subscription.
+type SubOptions struct {
+	// Buffer is the subscriber's ring capacity (<= 0 means 256).
+	Buffer int
+	// Policy picks the full-ring behaviour.
+	Policy BackpressurePolicy
+}
+
+// SubStats is a snapshot of one subscription's delivery counters.
+type SubStats struct {
+	Delivered int64 // rows handed to the reader
+	Dropped   int64 // rows lost to ring overflow (DropOldest only)
+}
+
+// StreamStats is a snapshot of a DerivedStream's broadcast counters.
+type StreamStats struct {
+	Subscribers int
+	Published   int64 // rows offered to the stream
+	Dropped     int64 // rows lost across all subscribers, ever
+}
+
+// DerivedStream is a live stream fed by a query's INTO STREAM clause and
+// consumable by later FROM clauses. It broadcasts to all subscribers;
+// the serving layer also uses it as the fan-out hub behind SSE/NDJSON
+// result streaming, so the subscriber set is sharded and the publish
+// hot path is lock-free (copy-on-write subscriber slices, one atomic
+// load per shard per batch).
+type DerivedStream struct {
+	name   string
+	schema *value.Schema
+
+	published atomic.Int64
+	dropped   atomic.Int64
+	nextShard atomic.Uint32
+	closed    atomic.Bool
+
+	shards [streamShards]subShard
+}
+
+// subShard holds one slice of the subscriber set. Mutations rebuild the
+// slice under mu (copy-on-write); publishers read it with one atomic
+// load and never take the lock.
+type subShard struct {
+	mu   sync.Mutex
+	subs atomic.Pointer[[]*Subscription]
+}
+
+// NewDerivedStream creates a derived stream with the producing query's
+// output schema.
+func NewDerivedStream(name string, schema *value.Schema) *DerivedStream {
+	return &DerivedStream{name: name, schema: schema}
+}
+
+// Schema implements Source.
+func (d *DerivedStream) Schema() *value.Schema { return d.schema }
+
+// Name reports the stream's name.
+func (d *DerivedStream) Name() string { return d.name }
+
+// Subscribe attaches a new subscriber. On an already-closed stream the
+// returned subscription is immediately at end-of-stream. The caller
+// must Cancel the subscription when done with it.
+func (d *DerivedStream) Subscribe(opts SubOptions) *Subscription {
+	buffer := opts.Buffer
+	if buffer <= 0 {
+		buffer = 256
+	}
+	s := &Subscription{
+		d:      d,
+		policy: opts.Policy,
+		buf:    make([]value.Tuple, buffer),
+		notify: make(chan struct{}, 1),
+		done:   make(chan struct{}),
+	}
+	s.space.L = &s.mu
+	if d.closed.Load() {
+		s.closed = true
+		close(s.done)
+		return s
+	}
+	s.shard = int(d.nextShard.Add(1) % streamShards)
+	sh := &d.shards[s.shard]
+	sh.mu.Lock()
+	// CloseStream marks the stream closed BEFORE sweeping the shards, so
+	// re-checking under the shard lock guarantees no subscriber slips in
+	// after its shard was swept.
+	if d.closed.Load() {
+		sh.mu.Unlock()
+		s.closed = true
+		close(s.done)
+		return s
+	}
+	var next []*Subscription
+	if cur := sh.subs.Load(); cur != nil {
+		next = append(next, *cur...)
+	}
+	next = append(next, s)
+	sh.subs.Store(&next)
+	sh.mu.Unlock()
+	return s
+}
+
+// Publish broadcasts one tuple to all subscribers. Prefer PublishBatch
+// on hot paths: it pays the per-shard subscriber lookup once per batch.
+func (d *DerivedStream) Publish(row value.Tuple) {
+	d.PublishBatch([]value.Tuple{row})
+}
+
+// PublishBatch broadcasts rows, in order, to all subscribers. The slice
+// is not retained: rows are copied into each subscriber's ring before
+// returning (Block-policy subscribers may make that wait). Publishing
+// to a closed stream is a no-op.
+func (d *DerivedStream) PublishBatch(rows []value.Tuple) {
+	if len(rows) == 0 || d.closed.Load() {
+		return
+	}
+	d.published.Add(int64(len(rows)))
+	for i := range d.shards {
+		ptr := d.shards[i].subs.Load()
+		if ptr == nil {
+			continue
+		}
+		for _, s := range *ptr {
+			s.offer(rows)
+		}
+	}
+}
+
+// CloseStream ends the stream: every subscription reaches end-of-stream
+// once its buffered rows are drained, and later subscribers see an
+// empty, closed stream. Safe to call more than once.
+func (d *DerivedStream) CloseStream() {
+	if d.closed.Swap(true) {
+		return
+	}
+	for i := range d.shards {
+		sh := &d.shards[i]
+		sh.mu.Lock()
+		ptr := sh.subs.Load()
+		sh.subs.Store(nil)
+		sh.mu.Unlock()
+		if ptr == nil {
+			continue
+		}
+		for _, s := range *ptr {
+			s.markClosed()
+		}
+	}
+}
+
+// Stats snapshots the stream's broadcast counters.
+func (d *DerivedStream) Stats() StreamStats {
+	st := StreamStats{
+		Published: d.published.Load(),
+		Dropped:   d.dropped.Load(),
+	}
+	for i := range d.shards {
+		if ptr := d.shards[i].subs.Load(); ptr != nil {
+			st.Subscribers += len(*ptr)
+		}
+	}
+	return st
+}
+
+// Open implements Source: a drop-policy subscription with the historic
+// 256-row buffer, bridged onto a tuple channel.
+func (d *DerivedStream) Open(ctx context.Context, _ OpenRequest) (<-chan value.Tuple, *OpenInfo, error) {
+	sub := d.Subscribe(SubOptions{Buffer: 256, Policy: DropOldest})
+	out := make(chan value.Tuple, 64)
+	go func() {
+		defer close(out)
+		defer sub.Cancel()
+		for {
+			rows, err := sub.Recv(ctx)
+			if err != nil {
+				return
+			}
+			for _, row := range rows {
+				select {
+				case out <- row:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}
+	}()
+	return out, &OpenInfo{Schema: d.schema}, nil
+}
+
+// ErrStreamClosed is returned by Subscription.Recv at end-of-stream.
+var ErrStreamClosed = errStreamClosed{}
+
+type errStreamClosed struct{}
+
+func (errStreamClosed) Error() string { return "catalog: derived stream closed" }
+
+// Subscription is one subscriber's handle on a DerivedStream: a ring
+// buffer the publisher writes into and the reader drains with Recv.
+type Subscription struct {
+	d      *DerivedStream
+	shard  int
+	policy BackpressurePolicy
+
+	mu        sync.Mutex
+	space     sync.Cond // Block-policy publishers wait here for ring room
+	buf       []value.Tuple
+	head, n   int
+	delivered int64
+	dropped   int64
+	closed    bool
+
+	notify chan struct{} // 1-buffered reader wakeup
+	done   chan struct{} // closed once (Cancel or CloseStream)
+}
+
+// offer appends rows to the ring, applying the backpressure policy.
+// Called by the publisher with no stream-level lock held, so a blocked
+// Block-policy publisher stalls only itself.
+func (s *Subscription) offer(rows []value.Tuple) {
+	s.mu.Lock()
+	for _, row := range rows {
+		if s.closed {
+			break
+		}
+		if s.n == len(s.buf) {
+			if s.policy == Block {
+				// The reader may be parked on notify from before this
+				// offer; wake it NOW — the ring it must drain is full —
+				// or Wait below deadlocks against a reader that never
+				// learns there is data (the end-of-offer notify hasn't
+				// been sent yet).
+				s.wake()
+				for s.n == len(s.buf) && !s.closed {
+					s.space.Wait()
+				}
+				if s.closed {
+					break
+				}
+			} else {
+				s.buf[s.head] = value.Tuple{}
+				s.head = (s.head + 1) % len(s.buf)
+				s.n--
+				s.dropped++
+				if s.d != nil {
+					s.d.dropped.Add(1)
+				}
+			}
+		}
+		s.buf[(s.head+s.n)%len(s.buf)] = row
+		s.n++
+	}
+	s.mu.Unlock()
+	s.wake()
+}
+
+// wake nudges the reader (non-blocking; the 1-buffered channel makes a
+// pending nudge idempotent). Safe with or without s.mu held.
+func (s *Subscription) wake() {
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+// Recv blocks until rows are buffered, then pops and returns all of
+// them (so one SSE write+flush covers a burst). It returns
+// ErrStreamClosed once the stream ended or the subscription was
+// cancelled AND the buffer is drained, or ctx.Err() if ctx ends first.
+func (s *Subscription) Recv(ctx context.Context) ([]value.Tuple, error) {
+	for {
+		s.mu.Lock()
+		if s.n > 0 {
+			out := make([]value.Tuple, 0, s.n)
+			for s.n > 0 {
+				out = append(out, s.buf[s.head])
+				s.buf[s.head] = value.Tuple{}
+				s.head = (s.head + 1) % len(s.buf)
+				s.n--
+			}
+			s.head = 0
+			s.delivered += int64(len(out))
+			if s.policy == Block {
+				s.space.Broadcast()
+			}
+			s.mu.Unlock()
+			return out, nil
+		}
+		closed := s.closed
+		s.mu.Unlock()
+		if closed {
+			return nil, ErrStreamClosed
+		}
+		select {
+		case <-s.notify:
+		case <-s.done:
+			// Loop: drain anything offered before the close landed.
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// Stats snapshots the subscription's delivery counters.
+func (s *Subscription) Stats() SubStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SubStats{Delivered: s.delivered, Dropped: s.dropped}
+}
+
+// Cancel detaches the subscription: publishers stop delivering to it
+// (waking a Block-policy publisher mid-wait) and Recv drains the buffer
+// then returns ErrStreamClosed. Safe to call more than once.
+func (s *Subscription) Cancel() {
+	if !s.markClosed() {
+		return
+	}
+	if s.d == nil {
+		return
+	}
+	sh := &s.d.shards[s.shard]
+	sh.mu.Lock()
+	if cur := sh.subs.Load(); cur != nil {
+		for i, sub := range *cur {
+			if sub == s {
+				next := make([]*Subscription, 0, len(*cur)-1)
+				next = append(next, (*cur)[:i]...)
+				next = append(next, (*cur)[i+1:]...)
+				if len(next) == 0 {
+					sh.subs.Store(nil)
+				} else {
+					sh.subs.Store(&next)
+				}
+				break
+			}
+		}
+	}
+	sh.mu.Unlock()
+}
+
+// markClosed flips the subscription to closed exactly once, waking any
+// blocked publisher and the reader. Reports whether this call did it.
+func (s *Subscription) markClosed() bool {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return false
+	}
+	s.closed = true
+	s.space.Broadcast()
+	s.mu.Unlock()
+	close(s.done)
+	return true
+}

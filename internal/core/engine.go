@@ -193,6 +193,11 @@ func tableDirName(name string) string {
 // Catalog exposes the engine's catalog for registration.
 func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
 
+// Options reports the engine's effective (normalized) options — the
+// serving layer reads batch sizing and the data directory from here so
+// its result fan-out and registry journal agree with the engine.
+func (e *Engine) Options() Options { return e.opts }
+
 // Close releases the engine's tables, flushing and closing persistent
 // backends. Call it before discarding an engine whose Options.DataDir
 // is set: the active segment's buffered tail becomes durable here.

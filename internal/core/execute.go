@@ -54,13 +54,7 @@ func (e *Engine) execute(ctx context.Context, cancel context.CancelFunc, stmt *l
 		case lang.IntoStream:
 			ds := catalog.NewDerivedStream(stmt.Into.Name, schema)
 			e.cat.RegisterSource(stmt.Into.Name, ds)
-			go func() {
-				defer close(cur.drained)
-				defer ds.CloseStream()
-				for t := range rows {
-					ds.Publish(t)
-				}
-			}()
+			go e.routeToStream(rows, ds, cur.drained)
 		case lang.IntoTable:
 			table, err := e.cat.OpenTable(stmt.Into.Name)
 			if err != nil {
@@ -89,54 +83,74 @@ func hasTimeColumn(s *value.Schema) bool {
 	return false
 }
 
-// routeToTable forwards a query's result stream into a table in
-// batches: one AppendBatch per Options.BatchSize rows (or per
-// BatchFlushEvery on a trickle), a final Flush at end of stream, and
-// the drained channel closed last. The loop drains rows until the
-// upstream closes — never bailing on context cancellation — so a LIMIT
-// cutoff (which cancels the query context while its final rows are
-// still in flight) cannot drop them.
-func (e *Engine) routeToTable(rows <-chan value.Tuple, table *catalog.Table, stats *exec.Stats, drained chan struct{}) {
-	defer close(drained)
-	size := e.opts.BatchSize
+// DrainBatches accumulates rows into batches of up to size tuples and
+// hands each (never empty, reused between calls — sinks must not
+// retain it) to sink; a partial batch is delivered after flushEvery on
+// a trickling stream (0 = only full batches plus the final partial
+// one). It drains until rows closes — never bailing on context
+// cancellation — so a LIMIT cutoff (which cancels the query context
+// while its final rows are still in flight) cannot drop them. Shared
+// by INTO STREAM / INTO TABLE routing and the serving layer's fan-out
+// pump.
+func DrainBatches(rows <-chan value.Tuple, size int, flushEvery time.Duration, sink func([]value.Tuple)) {
 	if size < 1 {
 		size = 1
 	}
 	var timer *time.Timer
 	var timerC <-chan time.Time
-	if e.opts.BatchFlushEvery > 0 {
-		timer = time.NewTimer(e.opts.BatchFlushEvery)
+	if flushEvery > 0 {
+		timer = time.NewTimer(flushEvery)
 		defer timer.Stop()
 		timerC = timer.C
 	}
 	batch := make([]value.Tuple, 0, size)
-	appendBatch := func() {
-		if len(batch) == 0 {
-			return
+	flush := func() {
+		if len(batch) > 0 {
+			sink(batch)
+			batch = batch[:0]
 		}
-		if err := table.AppendBatch(batch); err != nil {
-			stats.NoteError(err)
-		}
-		batch = batch[:0]
 	}
 	for {
 		select {
 		case t, ok := <-rows:
 			if !ok {
-				appendBatch()
-				if err := table.Flush(); err != nil {
-					stats.NoteError(err)
-				}
+				flush()
 				return
 			}
 			batch = append(batch, t)
 			if len(batch) >= size {
-				appendBatch()
+				flush()
 			}
 		case <-timerC:
-			appendBatch()
-			timer.Reset(e.opts.BatchFlushEvery)
+			flush()
+			timer.Reset(flushEvery)
 		}
+	}
+}
+
+// routeToStream forwards a query's result stream into a derived stream
+// in batches — one PublishBatch (one subscriber-set traversal) per
+// Options.BatchSize rows — then closes the stream (subscribers see
+// end-of-stream after draining their buffers) and signals drained.
+func (e *Engine) routeToStream(rows <-chan value.Tuple, ds *catalog.DerivedStream, drained chan struct{}) {
+	defer close(drained)
+	defer ds.CloseStream()
+	DrainBatches(rows, e.opts.BatchSize, e.opts.BatchFlushEvery, ds.PublishBatch)
+}
+
+// routeToTable forwards a query's result stream into a table in
+// batches: one AppendBatch per Options.BatchSize rows, a final Flush
+// at end of stream, and the drained channel closed last. Append and
+// flush errors land in the query's stats.
+func (e *Engine) routeToTable(rows <-chan value.Tuple, table *catalog.Table, stats *exec.Stats, drained chan struct{}) {
+	defer close(drained)
+	DrainBatches(rows, e.opts.BatchSize, e.opts.BatchFlushEvery, func(batch []value.Tuple) {
+		if err := table.AppendBatch(batch); err != nil {
+			stats.NoteError(err)
+		}
+	})
+	if err := table.Flush(); err != nil {
+		stats.NoteError(err)
 	}
 }
 

@@ -1,0 +1,213 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+)
+
+// The registry journal is an append-only JSON-lines file under the data
+// directory (queries.journal). Each control-plane operation appends one
+// record and fsyncs — these are rare, so durability is cheap:
+//
+//	{"op":"create","name":"hot","sql":"SELECT ...","restart":true,"ts":"..."}
+//	{"op":"pause","name":"hot","ts":"..."}
+//	{"op":"resume","name":"hot","ts":"..."}
+//	{"op":"drop","name":"hot","ts":"..."}
+//
+// On open the journal is replayed (a torn final line from a crash is
+// ignored), reduced to the live query set, and compacted: the file is
+// atomically rewritten as one create (plus one pause, if paused) per
+// surviving query, so it never grows with churn.
+const journalFile = "queries.journal"
+
+const (
+	opCreate = "create"
+	opPause  = "pause"
+	opResume = "resume"
+	opDrop   = "drop"
+)
+
+// journalRecord is one journal line.
+type journalRecord struct {
+	Op      string    `json:"op"`
+	Name    string    `json:"name"`
+	SQL     string    `json:"sql,omitempty"`
+	Restart bool      `json:"restart,omitempty"`
+	TS      time.Time `json:"ts"`
+}
+
+// journaledSpec is a replayed query definition plus its reduced state.
+type journaledSpec struct {
+	QuerySpec
+	Paused bool
+}
+
+// journal appends registry operations durably.
+type journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+// openJournal replays (tolerating a torn tail), compacts, and reopens
+// the journal for appending. It returns the surviving query specs in
+// creation order.
+func openJournal(dataDir string) (*journal, []journaledSpec, error) {
+	if err := os.MkdirAll(dataDir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("server: journal dir: %w", err)
+	}
+	path := filepath.Join(dataDir, journalFile)
+	specs, err := replayJournal(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := compactJournal(path, specs); err != nil {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("server: journal open: %w", err)
+	}
+	return &journal{f: f, path: path}, specs, nil
+}
+
+// replayJournal reduces the journal to the live query set.
+func replayJournal(path string) ([]journaledSpec, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("server: journal read: %w", err)
+	}
+	defer f.Close()
+	byName := make(map[string]*journaledSpec)
+	var order []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var rec journalRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			// A torn tail (crash mid-append) parses as garbage; every
+			// complete record before it already landed, so stop here.
+			break
+		}
+		key := strings.ToLower(rec.Name)
+		switch rec.Op {
+		case opCreate:
+			if _, dup := byName[key]; dup {
+				continue
+			}
+			byName[key] = &journaledSpec{QuerySpec: QuerySpec{
+				Name: rec.Name, SQL: rec.SQL, Restart: rec.Restart,
+			}}
+			order = append(order, key)
+		case opPause:
+			if js, ok := byName[key]; ok {
+				js.Paused = true
+			}
+		case opResume:
+			if js, ok := byName[key]; ok {
+				js.Paused = false
+			}
+		case opDrop:
+			if _, ok := byName[key]; ok {
+				delete(byName, key)
+				for i, n := range order {
+					if n == key {
+						order = append(order[:i], order[i+1:]...)
+						break
+					}
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("server: journal scan: %w", err)
+	}
+	out := make([]journaledSpec, 0, len(order))
+	for _, key := range order {
+		out = append(out, *byName[key])
+	}
+	return out, nil
+}
+
+// compactJournal atomically rewrites the journal as the minimal record
+// sequence reproducing specs.
+func compactJournal(path string, specs []journaledSpec) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("server: journal compact: %w", err)
+	}
+	enc := json.NewEncoder(f)
+	now := time.Now().UTC()
+	for _, js := range specs {
+		if err := enc.Encode(journalRecord{Op: opCreate, Name: js.Name,
+			SQL: js.SQL, Restart: js.Restart, TS: now}); err != nil {
+			f.Close()
+			return err
+		}
+		if js.Paused {
+			if err := enc.Encode(journalRecord{Op: opPause, Name: js.Name, TS: now}); err != nil {
+				f.Close()
+				return err
+			}
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// append durably writes one record.
+func (j *journal) append(rec journalRecord) error {
+	rec.TS = time.Now().UTC()
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("server: journal closed")
+	}
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("server: journal append: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("server: journal sync: %w", err)
+	}
+	return nil
+}
+
+// close syncs and closes the journal file.
+func (j *journal) close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Sync()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.f = nil
+	return err
+}

@@ -1,0 +1,74 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"tweeql/internal/store"
+)
+
+// metrics serves Prometheus-style text exposition: daemon uptime, the
+// query registry (per-query rows in/out/sec, filter drops, eval
+// errors, restart count), fan-out state (subscriber counts, published
+// rows, per-query subscriber drops), and persistent-table observability
+// (row counts, segment scan/prune counters from the PR 3 store).
+func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var b strings.Builder
+
+	fmt.Fprintf(&b, "# TYPE tweeqld_uptime_seconds gauge\n")
+	fmt.Fprintf(&b, "tweeqld_uptime_seconds %.3f\n", time.Since(s.started).Seconds())
+
+	statuses := s.reg.List()
+	byState := map[QueryState]int{}
+	for _, st := range statuses {
+		byState[st.State]++
+	}
+	fmt.Fprintf(&b, "# TYPE tweeqld_queries gauge\n")
+	for _, state := range []QueryState{StateRunning, StatePaused, StateDone, StateError} {
+		fmt.Fprintf(&b, "tweeqld_queries{state=%q} %d\n", state, byState[state])
+	}
+
+	fmt.Fprintf(&b, "# TYPE tweeqld_query_rows_in_total counter\n")
+	fmt.Fprintf(&b, "# TYPE tweeqld_query_rows_out_total counter\n")
+	fmt.Fprintf(&b, "# TYPE tweeqld_query_filter_dropped_total counter\n")
+	fmt.Fprintf(&b, "# TYPE tweeqld_query_eval_errors_total counter\n")
+	fmt.Fprintf(&b, "# TYPE tweeqld_query_rows_per_sec gauge\n")
+	// restarts is a gauge: it reports the CURRENT failure streak and
+	// resets when a restarted run stays healthy (or on manual resume).
+	fmt.Fprintf(&b, "# TYPE tweeqld_query_restarts gauge\n")
+	fmt.Fprintf(&b, "# TYPE tweeqld_query_subscribers gauge\n")
+	fmt.Fprintf(&b, "# TYPE tweeqld_query_published_total counter\n")
+	fmt.Fprintf(&b, "# TYPE tweeqld_query_subscriber_dropped_total counter\n")
+	for _, st := range statuses {
+		l := fmt.Sprintf("{query=%q}", st.Name)
+		fmt.Fprintf(&b, "tweeqld_query_rows_in_total%s %d\n", l, st.RowsIn)
+		fmt.Fprintf(&b, "tweeqld_query_rows_out_total%s %d\n", l, st.RowsOut)
+		fmt.Fprintf(&b, "tweeqld_query_filter_dropped_total%s %d\n", l, st.FilterDrop)
+		fmt.Fprintf(&b, "tweeqld_query_eval_errors_total%s %d\n", l, st.EvalErrors)
+		fmt.Fprintf(&b, "tweeqld_query_rows_per_sec%s %.3f\n", l, st.RowsPerSec)
+		fmt.Fprintf(&b, "tweeqld_query_restarts%s %d\n", l, st.Restarts)
+		fmt.Fprintf(&b, "tweeqld_query_subscribers%s %d\n", l, st.Subscribers)
+		fmt.Fprintf(&b, "tweeqld_query_published_total%s %d\n", l, st.Published)
+		fmt.Fprintf(&b, "tweeqld_query_subscriber_dropped_total%s %d\n", l, st.SubscriberDrop)
+	}
+
+	tables := s.eng.Catalog().Tables()
+	sort.Slice(tables, func(i, j int) bool { return tables[i].Name < tables[j].Name })
+	fmt.Fprintf(&b, "# TYPE tweeqld_table_rows gauge\n")
+	fmt.Fprintf(&b, "# TYPE tweeqld_table_segments_scanned_total counter\n")
+	fmt.Fprintf(&b, "# TYPE tweeqld_table_segments_pruned_total counter\n")
+	for _, t := range tables {
+		l := fmt.Sprintf("{table=%q}", t.Name)
+		fmt.Fprintf(&b, "tweeqld_table_rows%s %d\n", l, t.Len())
+		if st, ok := t.Backend().(*store.Table); ok {
+			scanned, pruned := st.ScanCounters()
+			fmt.Fprintf(&b, "tweeqld_table_segments_scanned_total%s %d\n", l, scanned)
+			fmt.Fprintf(&b, "tweeqld_table_segments_pruned_total%s %d\n", l, pruned)
+		}
+	}
+	w.Write([]byte(b.String()))
+}

@@ -1,0 +1,281 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"tweeql/internal/core"
+	"tweeql/internal/value"
+)
+
+// Options tune the serving layer.
+type Options struct {
+	// DataDir roots the durable registry journal. "" keeps the registry
+	// in memory (queries die with the process). Point it at the engine's
+	// data dir so the journal and the tables it references travel
+	// together.
+	DataDir string
+	// Restart bounds error-triggered restarts of Restart-flagged queries.
+	Restart RestartPolicy
+	// StreamBuffer is the default per-subscriber ring capacity for
+	// /stream endpoints (0 = 256). Clients override with ?buffer=.
+	StreamBuffer int
+	// BlockDefault makes /stream subscribers block the publisher instead
+	// of dropping when their ring fills. Clients override with ?policy=.
+	BlockDefault bool
+	// SnapshotLimit caps rows returned by one snapshot call when the
+	// client sends no ?limit= (0 = 10000).
+	SnapshotLimit int
+}
+
+func (o Options) withDefaults() Options {
+	if o.StreamBuffer <= 0 {
+		o.StreamBuffer = 256
+	}
+	if o.SnapshotLimit <= 0 {
+		o.SnapshotLimit = 10000
+	}
+	return o
+}
+
+// Server is the HTTP face of one engine: the query registry API,
+// result streaming, table snapshots, and metrics.
+type Server struct {
+	eng     *core.Engine
+	reg     *Registry
+	opts    Options
+	mux     *http.ServeMux
+	started time.Time
+}
+
+// New builds a server over eng, restoring journaled queries when
+// opts.DataDir is set.
+func New(eng *core.Engine, opts Options) (*Server, error) {
+	opts = opts.withDefaults()
+	reg, err := NewRegistry(eng, opts.DataDir, opts.Restart)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{eng: eng, reg: reg, opts: opts, mux: http.NewServeMux(), started: time.Now()}
+	s.mux.HandleFunc("GET /api/queries", s.listQueries)
+	s.mux.HandleFunc("POST /api/queries", s.createQuery)
+	s.mux.HandleFunc("GET /api/queries/{name}", s.getQuery)
+	s.mux.HandleFunc("POST /api/queries/{name}/pause", s.pauseQuery)
+	s.mux.HandleFunc("POST /api/queries/{name}/resume", s.resumeQuery)
+	s.mux.HandleFunc("DELETE /api/queries/{name}", s.dropQuery)
+	s.mux.HandleFunc("GET /api/queries/{name}/stream", s.streamQuery)
+	s.mux.HandleFunc("GET /api/tables/{name}/snapshot", s.snapshotTable)
+	s.mux.HandleFunc("GET /metrics", s.metrics)
+	s.mux.HandleFunc("GET /healthz", s.healthz)
+	return s, nil
+}
+
+// Registry exposes the query registry (tests, embedding daemons).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close stops every registered query, waits (bounded by ctx) for
+// routing to drain, ends all subscriber streams, and closes the
+// journal. Call the engine's Close after this returns.
+func (s *Server) Close(ctx context.Context) error { return s.reg.Close(ctx) }
+
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil && code < 500 {
+		// Too late for an error status; nothing useful left to do.
+		_ = err
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, err error) {
+	s.writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"uptime": time.Since(s.started).Round(time.Millisecond).String(),
+	})
+}
+
+func (s *Server) listQueries(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{"queries": s.reg.List()})
+}
+
+func (s *Server) createQuery(w http.ResponseWriter, r *http.Request) {
+	var spec QuerySpec
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&spec); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad request: %w", err))
+		return
+	}
+	q, err := s.reg.Create(spec)
+	if err != nil {
+		code := http.StatusBadRequest
+		switch {
+		case q != nil:
+			code = http.StatusInternalServerError // started but journal failed
+		case errors.Is(err, errDuplicate):
+			code = http.StatusConflict
+		}
+		s.writeError(w, code, err)
+		return
+	}
+	s.writeJSON(w, http.StatusCreated, q.Status())
+}
+
+func (s *Server) getQuery(w http.ResponseWriter, r *http.Request) {
+	q, ok := s.reg.Get(r.PathValue("name"))
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("unknown query %q", r.PathValue("name")))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, q.Status())
+}
+
+// lifecycleCode maps a registry lifecycle error onto a status: unknown
+// names are 404, invalid transitions (pause a paused query) are 409,
+// and anything else — e.g. a journal write failing AFTER the operation
+// took effect — is a 500 the client must not mistake for "no such
+// query".
+func lifecycleCode(err error) int {
+	switch {
+	case errors.Is(err, ErrUnknownQuery):
+		return http.StatusNotFound
+	case errors.Is(err, errBadState):
+		return http.StatusConflict
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) pauseQuery(w http.ResponseWriter, r *http.Request) {
+	if err := s.reg.Pause(r.PathValue("name")); err != nil {
+		s.writeError(w, lifecycleCode(err), err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]string{"state": string(StatePaused)})
+}
+
+func (s *Server) resumeQuery(w http.ResponseWriter, r *http.Request) {
+	if err := s.reg.Resume(r.PathValue("name")); err != nil {
+		s.writeError(w, lifecycleCode(err), err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]string{"state": string(StateRunning)})
+}
+
+func (s *Server) dropQuery(w http.ResponseWriter, r *http.Request) {
+	if err := s.reg.Drop(r.PathValue("name")); err != nil {
+		s.writeError(w, lifecycleCode(err), err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]string{"dropped": r.PathValue("name")})
+}
+
+// snapshotTable runs a one-shot time-ranged SELECT over a result table
+// (in-memory or persistent) and returns the rows as JSON. Query params:
+// from/to (RFC3339, open when absent), limit.
+//
+//	GET /api/tables/goals/snapshot?from=2011-06-01T00:00:00Z&limit=100
+func (s *Server) snapshotTable(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !nameRe.MatchString(name) {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("invalid table name %q", name))
+		return
+	}
+	// Only tables snapshot. A registered stream source under this name
+	// (the live hub, a derived stream) would make the SELECT below tail
+	// a continuous stream until the row limit or timeout — refuse it.
+	for _, src := range s.eng.Catalog().SourceNames() {
+		if strings.EqualFold(src, name) {
+			s.writeError(w, http.StatusConflict,
+				fmt.Errorf("%q is a stream source, not a table; subscribe via a query's /stream endpoint", name))
+			return
+		}
+	}
+	limit := s.opts.SnapshotLimit
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", v))
+			return
+		}
+		limit = n
+	}
+	sql := "SELECT * FROM " + name
+	var conds []string
+	for _, bound := range []struct{ param, op string }{{"from", ">="}, {"to", "<="}} {
+		v := r.URL.Query().Get(bound.param)
+		if v == "" {
+			continue
+		}
+		if _, err := time.Parse(time.RFC3339, v); err != nil {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad %s %q: want RFC3339", bound.param, v))
+			return
+		}
+		conds = append(conds, "created_at "+bound.op+" '"+v+"'")
+	}
+	for i, c := range conds {
+		if i == 0 {
+			sql += " WHERE " + c
+		} else {
+			sql += " AND " + c
+		}
+	}
+	sql += fmt.Sprintf(" LIMIT %d", limit)
+
+	ctx, cancel := context.WithTimeout(r.Context(), 30*time.Second)
+	defer cancel()
+	cur, err := s.eng.Query(ctx, sql)
+	if err != nil {
+		s.writeError(w, http.StatusNotFound, err)
+		return
+	}
+	defer cur.Stop()
+	rows := make([]map[string]any, 0, 64)
+	for row := range cur.Rows() {
+		rows = append(rows, rowMap(row))
+	}
+	if err := cur.Stats().Err(); err != nil {
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"table":   name,
+		"columns": cur.Schema().Names(),
+		"count":   len(rows),
+		"rows":    rows,
+	})
+}
+
+// rowMap converts one tuple to its JSON object form.
+func rowMap(row value.Tuple) map[string]any {
+	m := make(map[string]any, len(row.Values))
+	if row.Schema != nil {
+		for i, v := range row.Values {
+			if i < row.Schema.Len() {
+				m[row.Schema.Field(i).Name] = jsonValue(v)
+			}
+		}
+	}
+	return m
+}
+
+// jsonValue unwraps a value for JSON, rendering times as RFC3339 so
+// snapshots and streams agree with the query language's literals.
+func jsonValue(v value.Value) any {
+	if v.Kind() == value.KindTime {
+		t, _ := v.TimeVal()
+		return t.UTC().Format(time.RFC3339Nano)
+	}
+	return v.GoValue()
+}

@@ -1,0 +1,151 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"tweeql/internal/catalog"
+)
+
+// heartbeatEvery bounds how long an idle SSE connection goes without
+// traffic, so proxies and dead-peer detection keep the stream alive.
+const heartbeatEvery = 15 * time.Second
+
+// streamQuery serves a query's live results as SSE (default) or NDJSON:
+//
+//	GET /api/queries/{name}/stream?format=sse|ndjson&buffer=64&policy=drop|block
+//
+// Each connection gets its own ring buffer of `buffer` rows. Policy
+// "drop" (default) drops the oldest buffered rows when the client lags
+// — drops are counted and surfaced in the query status and /metrics —
+// while "block" applies backpressure to the query's fan-out (total
+// delivery, shared cost: one blocked client slows every subscriber's
+// feed). The stream ends when the query is dropped or the daemon shuts
+// down; a paused query keeps connections open and idle.
+func (s *Server) streamQuery(w http.ResponseWriter, r *http.Request) {
+	q, ok := s.reg.Get(r.PathValue("name"))
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("unknown query %q", r.PathValue("name")))
+		return
+	}
+	bcast := q.Broadcaster()
+	if bcast == nil {
+		s.writeError(w, http.StatusConflict,
+			fmt.Errorf("query %q routes INTO TABLE; use /api/tables/{name}/snapshot", q.Spec().Name))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		s.writeError(w, http.StatusInternalServerError, fmt.Errorf("response writer cannot stream"))
+		return
+	}
+
+	buffer := s.opts.StreamBuffer
+	if v := r.URL.Query().Get("buffer"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 || n > 1<<20 {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad buffer %q", v))
+			return
+		}
+		buffer = n
+	}
+	policy := catalog.DropOldest
+	if s.opts.BlockDefault {
+		policy = catalog.Block
+	}
+	switch r.URL.Query().Get("policy") {
+	case "":
+	case "drop":
+		policy = catalog.DropOldest
+	case "block":
+		policy = catalog.Block
+	default:
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Errorf("bad policy %q: want drop or block", r.URL.Query().Get("policy")))
+		return
+	}
+	sse := true
+	switch r.URL.Query().Get("format") {
+	case "", "sse":
+	case "ndjson":
+		sse = false
+	default:
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Errorf("bad format %q: want sse or ndjson", r.URL.Query().Get("format")))
+		return
+	}
+
+	sub := bcast.Subscribe(catalog.SubOptions{Buffer: buffer, Policy: policy})
+	defer sub.Cancel()
+
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+		w.Header().Set("Connection", "keep-alive")
+		fmt.Fprintf(w, ": stream %s columns=%s\n\n", q.Spec().Name, mustJSON(bcast.Schema().Names()))
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	flusher.Flush()
+
+	var buf bytes.Buffer
+	for {
+		hb, cancel := context.WithTimeout(r.Context(), heartbeatEvery)
+		rows, err := sub.Recv(hb)
+		cancel()
+		switch {
+		case err == nil:
+		case errors.Is(err, context.DeadlineExceeded) && r.Context().Err() == nil:
+			// Idle: keep the connection visibly alive.
+			if sse {
+				if _, werr := fmt.Fprint(w, ": ping\n\n"); werr != nil {
+					return
+				}
+				flusher.Flush()
+			}
+			continue
+		default:
+			// Stream closed (query dropped / shutdown) or client gone.
+			if sse && errors.Is(err, catalog.ErrStreamClosed) {
+				fmt.Fprint(w, "event: end\ndata: {}\n\n")
+				flusher.Flush()
+			}
+			return
+		}
+		buf.Reset()
+		for _, row := range rows {
+			line, merr := json.Marshal(rowMap(row))
+			if merr != nil {
+				continue
+			}
+			if sse {
+				buf.WriteString("data: ")
+				buf.Write(line)
+				buf.WriteString("\n\n")
+			} else {
+				buf.Write(line)
+				buf.WriteByte('\n')
+			}
+		}
+		if _, werr := w.Write(buf.Bytes()); werr != nil {
+			return
+		}
+		flusher.Flush()
+	}
+}
+
+// mustJSON renders v for informational headers; marshal failures become
+// null rather than an error path nobody can hit with string slices.
+func mustJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return []byte("null")
+	}
+	return b
+}

@@ -88,6 +88,11 @@ func (e *Engine) Query(ctx context.Context, sql string) (*Cursor, error) {
 	return e.inner.Query(ctx, sql)
 }
 
+// Core exposes the underlying core engine for this module's serving
+// layer (internal/server, cmd/tweeqld). External module users cannot
+// name the returned type; the public API surface is this package.
+func (e *Engine) Core() *core.Engine { return e.inner }
+
 // Close releases the engine's result tables, flushing and closing
 // persistent backends. Engines whose Options.DataDir is set must be
 // closed before the process exits (or before another engine reopens
@@ -128,6 +133,11 @@ type Stream struct {
 
 // Publish pushes one tweet through the streaming API.
 func (s *Stream) Publish(t *Tweet) { s.hub.Publish(t) }
+
+// PublishBatch pushes a chunk of tweets under one streaming-API lock —
+// the daemon feeder's path: per-tweet Publish pays a lock round trip
+// per tweet.
+func (s *Stream) PublishBatch(ts []*Tweet) { s.hub.PublishBatch(ts) }
 
 // Replay publishes the stream's pre-generated scenario tweets in
 // timestamp order and closes the stream. Safe to call once.

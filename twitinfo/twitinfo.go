@@ -69,6 +69,52 @@ const (
 // analyzer.
 func NewStore() *Store { return itwitinfo.NewStore(nil) }
 
+// CannedEvent pairs a canned firehose scenario with the §4 demo event
+// TwitInfo tracks over it.
+type CannedEvent struct {
+	// Scenario names the generator scenario feeding the event.
+	Scenario string
+	// Event is the tracked event definition (name, keywords, bin width).
+	Event EventConfig
+	// Duration overrides the scenario's default stream length (0 keeps
+	// the default).
+	Duration time.Duration
+}
+
+// CannedEvents returns the §4 demo events — a soccer match, a timeline
+// of earthquakes, and a summary of a month in Barack Obama's life —
+// with the scenario each is fed by. The single source both cmd/twitinfo
+// and cmd/tweeqld load, so the same scenario renders the same dashboard
+// regardless of which binary serves it.
+func CannedEvents() []CannedEvent {
+	return []CannedEvent{
+		{
+			Scenario: "soccer",
+			Event: EventConfig{
+				Name:     "Soccer: Manchester City vs Liverpool",
+				Keywords: []string{"soccer", "football", "premierleague", "manchester", "liverpool"},
+			},
+		},
+		{
+			Scenario: "earthquakes",
+			Event: EventConfig{
+				Name:     "Earthquakes",
+				Keywords: []string{"earthquake", "quake", "tremor"},
+				Bin:      10 * time.Minute, // a day-long event reads better in coarse bins
+			},
+		},
+		{
+			Scenario: "obama",
+			Event: EventConfig{
+				Name:     "A month of Obama",
+				Keywords: []string{"obama"},
+				Bin:      6 * time.Hour, // a month-long event, coarser still
+			},
+			Duration: 10 * 24 * time.Hour, // ten days keeps startup snappy
+		},
+	}
+}
+
 // NewTracker creates a standalone tracker for one event.
 func NewTracker(cfg EventConfig) *Tracker { return itwitinfo.NewTracker(cfg, nil) }
 
