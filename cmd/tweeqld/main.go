@@ -47,10 +47,12 @@ func main() {
 	streamBuffer := flag.Int("stream-buffer", 256, "default per-subscriber ring size for /stream (override per request with ?buffer=)")
 	blockDefault := flag.Bool("stream-block", false, "default /stream backpressure to block instead of drop (override with ?policy=)")
 	maxRestarts := flag.Int("max-restarts", 5, "restart-on-error attempts per query before giving up")
+	sharedScans := flag.Bool("shared-scans", true, "share one physical source scan between registered queries with equal scan signatures")
 	withTwitinfo := flag.Bool("twitinfo", true, "track a TwitInfo event for the scenario and mount the dashboard at /twitinfo/")
 	flag.Parse()
 
 	opts := tweeql.DefaultOptions()
+	opts.SharedScans = *sharedScans
 	opts.DataDir = *dataDir
 	opts.FsyncPolicy = *fsyncPolicy
 	eng, stream, err := tweeql.NewSimulated(tweeql.SimConfig{

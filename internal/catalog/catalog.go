@@ -70,6 +70,12 @@ type OpenInfo struct {
 	// Chosen is the filter pushed to the API (zero Filter when the source
 	// subscribed to the full stream).
 	Chosen twitterapi.Filter
+	// ChosenIdx is the index of Chosen within OpenRequest.Candidates.
+	// Sources that set Pushed must set it: the planner uses the index
+	// (not Chosen's display string, which collapses distinct follow
+	// lists onto one rendering) to identify which WHERE conjunct the
+	// pushed filter already enforces.
+	ChosenIdx int
 	// Pushed reports whether any candidate was pushed down.
 	Pushed bool
 	// Estimates are the sampled selectivities of every candidate.
@@ -107,6 +113,18 @@ type BatchOptions struct {
 	// values nothing will read, which dominates conversion cost for
 	// narrow queries. nil means all columns.
 	Columns []string
+}
+
+// LiveSource is implemented by sources with attach-time semantics: an
+// unbounded live stream where a subscriber sees the rows published
+// after it joined (the streaming-API contract). Only such sources are
+// eligible for shared scans — finite replay sources (tables, slice
+// sources) hand every opener the full data set from the start, which a
+// late attach to a shared scan would violate.
+type LiveSource interface {
+	Source
+	// LiveStream reports that Open attaches to a live stream.
+	LiveStream() bool
 }
 
 // BatchSource is implemented by sources that can emit pre-batched
@@ -177,6 +195,19 @@ func (c *Catalog) Source(name string) (Source, error) {
 		}
 	}
 	return nil, fmt.Errorf("tweeql: unknown stream %q", name)
+}
+
+// RegisteredSource resolves a name against the registered stream
+// sources ONLY — no table fallthrough, no factory probe. Plan
+// inspection (EXPLAIN's sharing status) uses it because resolving a
+// durable table via Source has side effects: the factory opens the
+// table and its recovery may truncate a torn tail, which must never
+// happen on a describe-only path.
+func (c *Catalog) RegisteredSource(name string) (Source, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	s, ok := c.sources[strings.ToLower(name)]
+	return s, ok
 }
 
 // SourceNames lists registered sources, for the REPL's catalog listing.
@@ -676,6 +707,10 @@ func NewTwitterSource(hub *twitterapi.Hub, sample []*tweet.Tweet) *TwitterSource
 // Schema implements Source.
 func (s *TwitterSource) Schema() *value.Schema { return TweetSchema }
 
+// LiveStream implements LiveSource: the twitter stream is live, so N
+// queries with one scan signature can share one API connection.
+func (s *TwitterSource) LiveStream() bool { return true }
+
 // connect applies the §2 pushdown decision shared by Open and
 // OpenBatches — choose the lowest-selectivity candidate (if any) by
 // sampling, and open the streaming connection with it — so the batched
@@ -691,6 +726,7 @@ func (s *TwitterSource) connect(req OpenRequest) (*twitterapi.Connection, *OpenI
 		best, ests := selectivity.Choose(sample, req.Candidates)
 		info.Estimates = ests
 		info.Chosen = req.Candidates[best]
+		info.ChosenIdx = best
 		info.Pushed = true
 		filter = req.Candidates[best]
 	}

@@ -94,6 +94,11 @@ func NewDerivedStream(name string, schema *value.Schema) *DerivedStream {
 // Schema implements Source.
 func (d *DerivedStream) Schema() *value.Schema { return d.schema }
 
+// LiveStream implements LiveSource: a derived stream is live — a
+// subscriber sees what is published after it attaches — so queries
+// reading it may share one upstream subscription.
+func (d *DerivedStream) LiveStream() bool { return true }
+
 // Name reports the stream's name.
 func (d *DerivedStream) Name() string { return d.name }
 

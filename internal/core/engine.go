@@ -1,9 +1,13 @@
-// Package core is the TweeQL engine: it parses a query, analyzes the
-// select list and WHERE clause, plans streaming-API pushdown by sampled
-// selectivity (§2 "Uncertain Selectivities"), assembles the operator
-// pipeline (adaptive filters, async projection for high-latency UDFs,
-// confidence-triggered windowed aggregation), and exposes results as a
-// cursor or routes them INTO derived streams and tables.
+// Package core is the TweeQL engine: it hands a parsed query to the
+// planner (internal/plan) for analysis — select-list shape, WHERE
+// conjuncts, streaming-API pushdown candidates scored by sampled
+// selectivity (§2 "Uncertain Selectivities"), event-time range, and the
+// canonical scan signature — then assembles the operator pipeline
+// (adaptive filters, async projection for high-latency UDFs,
+// confidence-triggered windowed aggregation) over either a private
+// source scan or a ref-counted shared scan serving every query with
+// the same signature, and exposes results as a cursor or routes them
+// INTO derived streams and tables.
 package core
 
 import (
@@ -19,8 +23,8 @@ import (
 	"tweeql/internal/catalog"
 	"tweeql/internal/exec"
 	"tweeql/internal/lang"
+	"tweeql/internal/plan"
 	"tweeql/internal/store"
-	"tweeql/internal/twitterapi"
 	"tweeql/internal/value"
 )
 
@@ -61,6 +65,15 @@ type Options struct {
 	// the differential-testing oracle. Columns with dynamic (KindNull)
 	// schemas still compile but take generic, kind-checked closures.
 	CompileExprs bool
+	// SharedScans lets queries with equal scan signatures (same source,
+	// same merged pushdown set, same pushed time range — see
+	// plan.Query.Signature) share one physical source subscription: one
+	// API cursor and one ingest/conversion pipeline fan out to every
+	// attached query's residual pipeline, so ingest cost stays ~O(1) in
+	// the number of registered queries instead of O(N). Default on.
+	// Only live stream sources (catalog.LiveSource) share; tables,
+	// slice replays, and join inputs always open private scans.
+	SharedScans bool
 
 	// DataDir roots the persistent table store. When set, INTO TABLE
 	// targets become durable time-partitioned tables (one directory of
@@ -103,14 +116,16 @@ func DefaultOptions() Options {
 		// scheduling overhead for CPU-bound stages.
 		BatchWorkers: min(4, runtime.GOMAXPROCS(0)),
 		CompileExprs: true,
+		SharedScans:  true,
 		FsyncPolicy:  "seal",
 	}
 }
 
 // Engine executes TweeQL queries against a catalog.
 type Engine struct {
-	cat  *catalog.Catalog
-	opts Options
+	cat   *catalog.Catalog
+	opts  Options
+	scans *scanManager
 }
 
 // NewEngine builds an engine over the catalog.
@@ -125,7 +140,7 @@ func NewEngine(cat *catalog.Catalog, opts Options) *Engine {
 		opts.BatchWorkers = 1
 	}
 	cat.SetTableFactory(tableFactory(opts))
-	return &Engine{cat: cat, opts: opts}
+	return &Engine{cat: cat, opts: opts, scans: newScanManager()}
 }
 
 // tableFactory builds the table-backend factory the engine installs in
@@ -210,6 +225,8 @@ type Cursor struct {
 	stats   *exec.Stats
 	info    *catalog.OpenInfo
 	stmt    *lang.SelectStmt
+	plan    *plan.Query
+	scan    *SharedScan // nil when the query opened a private scan
 	cancel  context.CancelFunc
 	drained chan struct{}
 }
@@ -231,6 +248,22 @@ func (c *Cursor) Info() *catalog.OpenInfo { return c.info }
 
 // Statement returns the parsed statement.
 func (c *Cursor) Statement() *lang.SelectStmt { return c.stmt }
+
+// Plan returns the analyzed plan the cursor is executing.
+func (c *Cursor) Plan() *plan.Query { return c.plan }
+
+// ScanSignature reports the canonical identity of the physical scan
+// the query reads (plan.Query.Signature), shared or not.
+func (c *Cursor) ScanSignature() string {
+	if c.plan == nil {
+		return ""
+	}
+	return c.plan.Signature
+}
+
+// ScanShared reports whether the query attached to a shared scan
+// rather than opening a private source subscription.
+func (c *Cursor) ScanShared() bool { return c.scan != nil }
 
 // Drained returns a channel that closes once an INTO STREAM/INTO
 // TABLE query's results have been fully delivered to the target (and,
@@ -262,17 +295,29 @@ func (e *Engine) Query(ctx context.Context, sql string) (*Cursor, error) {
 
 // QueryStmt runs an already-parsed statement.
 func (e *Engine) QueryStmt(ctx context.Context, stmt *lang.SelectStmt) (*Cursor, error) {
-	plan, err := e.analyze(stmt)
+	p, err := plan.Analyze(stmt, e.cat, e.planOptions())
 	if err != nil {
 		return nil, err
 	}
 	qctx, cancel := context.WithCancel(ctx)
-	cur, err := e.execute(qctx, cancel, stmt, plan)
+	cur, err := e.execute(qctx, cancel, stmt, p)
 	if err != nil {
 		cancel()
 		return nil, err
 	}
 	return cur, nil
+}
+
+// planOptions maps engine options onto the planner's knobs.
+func (e *Engine) planOptions() plan.Options {
+	return plan.Options{AsyncUDFs: e.opts.AsyncWorkers > 0}
+}
+
+// Plan analyzes a statement without running it, exposing the plan IR
+// to callers (the serving layer groups queries by scan signature, tests
+// assert pushdown decisions).
+func (e *Engine) Plan(stmt *lang.SelectStmt) (*plan.Query, error) {
+	return plan.Analyze(stmt, e.cat, e.planOptions())
 }
 
 // Explain describes the plan for a statement without running it.
@@ -281,33 +326,58 @@ func (e *Engine) Explain(sql string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	plan, err := e.analyze(stmt)
+	p, err := plan.Analyze(stmt, e.cat, e.planOptions())
 	if err != nil {
 		return "", err
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "query: %s\n", stmt)
 	fmt.Fprintf(&b, "source: %s\n", stmt.From.Name)
-	if len(plan.candidates) > 0 {
-		fmt.Fprintf(&b, "pushdown candidates (%d):\n", len(plan.candidates))
-		for _, c := range plan.candidates {
-			fmt.Fprintf(&b, "  - %s\n", c.filter)
+	fmt.Fprintf(&b, "scan signature: %s\n", p.Signature)
+	fmt.Fprintf(&b, "shared scan: %s\n", e.explainSharing(p))
+	if len(p.Candidates) > 0 {
+		fmt.Fprintf(&b, "pushdown candidates (%d):\n", len(p.Candidates))
+		for _, c := range p.Candidates {
+			fmt.Fprintf(&b, "  - %s\n", c.Filter)
 		}
 	} else {
 		b.WriteString("pushdown candidates: none (full stream)\n")
 	}
-	fmt.Fprintf(&b, "residual conjuncts: %d (adaptive=%v)\n", len(plan.conjuncts), e.opts.AdaptiveFilters)
-	if !plan.timeFrom.IsZero() || !plan.timeTo.IsZero() {
-		fmt.Fprintf(&b, "time range: [%s, %s]\n", fmtBound(plan.timeFrom), fmtBound(plan.timeTo))
+	fmt.Fprintf(&b, "residual conjuncts: %d (adaptive=%v)\n", len(p.Conjuncts), e.opts.AdaptiveFilters)
+	if !p.TimeFrom.IsZero() || !p.TimeTo.IsZero() {
+		fmt.Fprintf(&b, "time range: [%s, %s]\n", fmtBound(p.TimeFrom), fmtBound(p.TimeTo))
 	}
 	fmt.Fprintf(&b, "execution: batch=%d workers=%d compile=%v\n", e.opts.BatchSize, e.opts.BatchWorkers, e.opts.CompileExprs)
-	if plan.isAggregate {
+	if p.IsAggregate {
 		fmt.Fprintf(&b, "aggregate: %d groups x %d aggs, window=%v confidence=%v\n",
-			len(plan.agg.GroupExprs), len(plan.agg.Aggs), stmt.Window != nil, stmt.Confidence != nil)
+			len(p.Agg.GroupExprs), len(p.Agg.Aggs), stmt.Window != nil, stmt.Confidence != nil)
 	} else {
-		fmt.Fprintf(&b, "projection: %d items, async=%v\n", len(plan.proj), plan.async)
+		fmt.Fprintf(&b, "projection: %d items, async=%v\n", len(p.Proj), p.Async)
 	}
 	return b.String(), nil
+}
+
+// explainSharing renders the sharing status EXPLAIN reports: whether
+// this statement would attach to a shared scan, and whether one with
+// its signature is live right now. Only registered stream sources are
+// consulted — EXPLAIN must stay side-effect free, and resolving a
+// durable table here would open it (running recovery against files a
+// live writer may hold).
+func (e *Engine) explainSharing(p *plan.Query) string {
+	switch {
+	case !e.opts.SharedScans:
+		return "off (Options.SharedScans disabled)"
+	case p.Join != nil:
+		return "off (joins open private scans)"
+	}
+	src, ok := e.cat.RegisteredSource(p.Source)
+	if !ok || !isLiveSource(src) {
+		return "off (finite or unregistered source, private scan)"
+	}
+	if queries := e.scans.queries(p.Signature); queries > 0 {
+		return fmt.Sprintf("on (would join live scan serving %d queries)", queries)
+	}
+	return "on (would open the shared scan)"
 }
 
 // fmtBound renders one EXPLAIN time bound ("-" = open).
@@ -316,448 +386,4 @@ func fmtBound(t time.Time) string {
 		return "-"
 	}
 	return t.UTC().Format(time.RFC3339)
-}
-
-// candidate pairs an API filter with the WHERE conjunct it came from.
-type candidate struct {
-	filter      twitterapi.Filter
-	conjunctIdx int
-}
-
-// queryPlan is the analyzed form of a statement.
-type queryPlan struct {
-	conjuncts  []lang.Expr // all WHERE conjuncts, pre-pushdown
-	costs      []float64
-	candidates []candidate
-
-	isAggregate bool
-	agg         exec.AggregateConfig
-	proj        []exec.ProjItem
-	async       bool
-
-	// columns is the set of source columns the plan's expressions
-	// reference, for source-side pruning in the batched path. nil means
-	// "all" (SELECT * or otherwise unprunable).
-	columns []string
-
-	// timeFrom/timeTo bound the event timestamps the WHERE clause can
-	// accept (zero = open), extracted from created_at comparisons with
-	// literal times. Table sources prune segments by them; the
-	// conjuncts stay in the residual filter, so the bounds only have to
-	// be conservative, never exact.
-	timeFrom, timeTo time.Time
-}
-
-// extractTimeRange derives [from, to] bounds from conjuncts of the
-// shape `created_at <op> <literal>`. It relies on the engine-wide
-// invariant that a row's created_at column equals its event timestamp
-// (TweetTuple and every stage that forwards rows preserve it), which
-// is what lets a column predicate prune time partitions keyed on the
-// event timestamp.
-func extractTimeRange(conjuncts []lang.Expr) (from, to time.Time) {
-	for _, c := range conjuncts {
-		b, ok := c.(*lang.Binary)
-		if !ok {
-			continue
-		}
-		op := b.Op
-		ts, ok := timeBound(b.L, b.R)
-		if !ok {
-			if ts, ok = timeBound(b.R, b.L); !ok {
-				continue
-			}
-			op = flipCmp(op)
-		}
-		switch op {
-		case ">", ">=":
-			if from.IsZero() || ts.After(from) {
-				from = ts
-			}
-		case "<", "<=":
-			if to.IsZero() || ts.Before(to) {
-				to = ts
-			}
-		case "=":
-			from, to = ts, ts
-		}
-	}
-	return from, to
-}
-
-// timeBound matches (created_at ident, time literal) and returns the
-// literal's timestamp.
-func timeBound(l, r lang.Expr) (time.Time, bool) {
-	id, ok := l.(*lang.Ident)
-	if !ok || id.Qualifier != "" || !strings.EqualFold(id.Name, "created_at") {
-		return time.Time{}, false
-	}
-	lit, ok := r.(*lang.Literal)
-	if !ok {
-		return time.Time{}, false
-	}
-	switch lit.Val.Kind() {
-	case value.KindTime:
-		t, _ := lit.Val.TimeVal()
-		return t, true
-	case value.KindString:
-		return exec.ParseTimeLiteral(lit.Val.Str())
-	}
-	return time.Time{}, false
-}
-
-func flipCmp(op string) string {
-	switch op {
-	case ">":
-		return "<"
-	case ">=":
-		return "<="
-	case "<":
-		return ">"
-	case "<=":
-		return ">="
-	}
-	return op
-}
-
-// referencedColumns collects every column name the plan can read, or
-// nil when pruning is unsafe (a wildcard projection forwards whole
-// rows). Geo idents (location IN [box]) read the GPS lat/lon columns
-// implicitly, so those ride along.
-func referencedColumns(plan *queryPlan) []string {
-	var exprs []lang.Expr
-	exprs = append(exprs, plan.conjuncts...)
-	if plan.isAggregate {
-		exprs = append(exprs, plan.agg.GroupExprs...)
-		for _, a := range plan.agg.Aggs {
-			if a.Arg != nil {
-				exprs = append(exprs, a.Arg)
-			}
-		}
-	} else {
-		for _, p := range plan.proj {
-			if p.Wildcard {
-				return nil
-			}
-			exprs = append(exprs, p.Expr)
-		}
-	}
-	seen := make(map[string]bool)
-	cols := []string{}
-	add := func(name string) {
-		name = strings.ToLower(name)
-		if !seen[name] {
-			seen[name] = true
-			cols = append(cols, name)
-		}
-	}
-	for _, x := range exprs {
-		lang.Walk(x, func(n lang.Expr) bool {
-			if id, ok := n.(*lang.Ident); ok {
-				add(id.Name)
-				if isGeoName(id.Name) {
-					add("lat")
-					add("lon")
-				}
-			}
-			return true
-		})
-	}
-	return cols
-}
-
-// analyze validates the statement and computes the plan skeleton.
-func (e *Engine) analyze(stmt *lang.SelectStmt) (*queryPlan, error) {
-	plan := &queryPlan{}
-
-	if stmt.Where != nil {
-		plan.conjuncts = splitConjuncts(stmt.Where)
-		for _, c := range plan.conjuncts {
-			plan.costs = append(plan.costs, exec.CostOf(e.cat, c))
-		}
-		for i, c := range plan.conjuncts {
-			if f, ok := conjunctToFilter(c); ok {
-				plan.candidates = append(plan.candidates, candidate{filter: f, conjunctIdx: i})
-			}
-		}
-		plan.timeFrom, plan.timeTo = extractTimeRange(plan.conjuncts)
-	}
-
-	// Aggregate detection.
-	hasAgg := false
-	for _, it := range stmt.Items {
-		if it.Wildcard {
-			continue
-		}
-		if call, ok := it.Expr.(*lang.Call); ok && isAggCall(call) {
-			hasAgg = true
-		}
-		// Nested aggregates are not supported.
-		var nested error
-		lang.Walk(it.Expr, func(n lang.Expr) bool {
-			if n == it.Expr {
-				return true
-			}
-			if call, ok := n.(*lang.Call); ok && isAggCall(call) {
-				nested = fmt.Errorf("tweeql: aggregate %s must be at the top of a select item", call.Name)
-				return false
-			}
-			return true
-		})
-		if nested != nil {
-			return nil, nested
-		}
-	}
-	plan.isAggregate = hasAgg || len(stmt.GroupBy) > 0
-
-	if stmt.Where != nil {
-		var aggInWhere error
-		lang.Walk(stmt.Where, func(n lang.Expr) bool {
-			if call, ok := n.(*lang.Call); ok && isAggCall(call) {
-				aggInWhere = fmt.Errorf("tweeql: aggregate %s not allowed in WHERE", call.Name)
-				return false
-			}
-			return true
-		})
-		if aggInWhere != nil {
-			return nil, aggInWhere
-		}
-	}
-
-	if stmt.Window != nil && stmt.Window.Count > 0 && stmt.Confidence != nil {
-		// Confidence emission replaces fixed windows; combining it with a
-		// count window re-creates the problem it solves.
-		return nil, fmt.Errorf("tweeql: WITH CONFIDENCE requires a time window, not WINDOW n TWEETS")
-	}
-	if plan.isAggregate {
-		if err := e.analyzeAggregate(stmt, plan); err != nil {
-			return nil, err
-		}
-	} else {
-		if stmt.Window != nil && stmt.Join == nil {
-			return nil, fmt.Errorf("tweeql: WINDOW requires aggregation or JOIN")
-		}
-		if stmt.Confidence != nil {
-			return nil, fmt.Errorf("tweeql: WITH CONFIDENCE requires aggregation")
-		}
-		for _, it := range stmt.Items {
-			if it.Wildcard {
-				plan.proj = append(plan.proj, exec.ProjItem{Wildcard: true})
-				continue
-			}
-			plan.proj = append(plan.proj, exec.ProjItem{Name: it.Name(), Expr: it.Expr})
-		}
-		exprs := make([]lang.Expr, 0, len(plan.proj))
-		for _, p := range plan.proj {
-			if p.Expr != nil {
-				exprs = append(exprs, p.Expr)
-			}
-		}
-		plan.async = e.opts.AsyncWorkers > 0 && exec.HasHighLatency(e.cat, exprs...)
-	}
-
-	if stmt.Join != nil {
-		if stmt.Window == nil || stmt.Window.Count > 0 {
-			return nil, fmt.Errorf("tweeql: JOIN requires a time WINDOW clause")
-		}
-		if plan.isAggregate {
-			return nil, fmt.Errorf("tweeql: JOIN with aggregation is not supported")
-		}
-	}
-	plan.columns = referencedColumns(plan)
-	return plan, nil
-}
-
-// analyzeAggregate fills plan.agg: group expressions (with alias
-// substitution), aggregate items, and the output column mapping.
-func (e *Engine) analyzeAggregate(stmt *lang.SelectStmt, plan *queryPlan) error {
-	aliases := make(map[string]lang.Expr)
-	for _, it := range stmt.Items {
-		if it.Alias != "" && !it.Wildcard {
-			aliases[strings.ToLower(it.Alias)] = it.Expr
-		}
-	}
-	// Group-by expressions, aliases substituted.
-	var groupExprs []lang.Expr
-	for _, g := range stmt.GroupBy {
-		if id, ok := g.(*lang.Ident); ok && id.Qualifier == "" {
-			if sub, ok := aliases[strings.ToLower(id.Name)]; ok {
-				groupExprs = append(groupExprs, sub)
-				continue
-			}
-		}
-		groupExprs = append(groupExprs, g)
-	}
-	groupKey := lang.Key
-	groupIdx := make(map[string]int, len(groupExprs))
-	for i, g := range groupExprs {
-		groupIdx[groupKey(g)] = i
-	}
-
-	cfg := exec.AggregateConfig{GroupExprs: groupExprs, Window: stmt.Window, Confidence: stmt.Confidence}
-	for _, it := range stmt.Items {
-		if it.Wildcard {
-			return fmt.Errorf("tweeql: * is not allowed with GROUP BY or aggregates")
-		}
-		if call, ok := it.Expr.(*lang.Call); ok && isAggCall(call) {
-			if !call.Star && len(call.Args) != 1 {
-				return fmt.Errorf("tweeql: %s takes exactly one argument", call.Name)
-			}
-			var arg lang.Expr
-			if !call.Star {
-				arg = call.Args[0]
-				// Aggregate args may reference select aliases too.
-				if id, ok := arg.(*lang.Ident); ok && id.Qualifier == "" {
-					if sub, ok := aliases[strings.ToLower(id.Name)]; ok {
-						arg = sub
-					}
-				}
-			}
-			cfg.Out = append(cfg.Out, exec.OutCol{Name: it.Name(), IsAgg: true, Index: len(cfg.Aggs)})
-			cfg.Aggs = append(cfg.Aggs, exec.AggItem{
-				Name:    it.Name(),
-				AggName: exec.NormalizeAggName(call.Name),
-				Star:    call.Star,
-				Arg:     arg,
-			})
-			continue
-		}
-		// Non-aggregate item must be a group expression (directly or via
-		// its own alias).
-		expr := it.Expr
-		if idx, ok := groupIdx[groupKey(expr)]; ok {
-			cfg.Out = append(cfg.Out, exec.OutCol{Name: it.Name(), Index: idx})
-			continue
-		}
-		return fmt.Errorf("tweeql: select item %q must be an aggregate or appear in GROUP BY", it.Expr)
-	}
-	plan.agg = cfg
-	return nil
-}
-
-func isAggCall(c *lang.Call) bool {
-	switch strings.ToUpper(c.Name) {
-	case "COUNT", "SUM", "AVG", "MIN", "MAX", "VAR", "STDDEV":
-		return true
-	}
-	return false
-}
-
-// splitConjuncts flattens the AND tree into a conjunct list.
-func splitConjuncts(e lang.Expr) []lang.Expr {
-	if b, ok := e.(*lang.Binary); ok && b.Op == "AND" {
-		return append(splitConjuncts(b.L), splitConjuncts(b.R)...)
-	}
-	return []lang.Expr{e}
-}
-
-// conjunctToFilter maps one WHERE conjunct to a streaming-API filter if
-// the API can serve it: keyword CONTAINS (or an OR of them), a geo
-// bounding box, or user-id equality/membership.
-func conjunctToFilter(c lang.Expr) (twitterapi.Filter, bool) {
-	switch x := c.(type) {
-	case *lang.Binary:
-		switch x.Op {
-		case "CONTAINS":
-			if kw, ok := containsKeyword(x); ok {
-				return twitterapi.Filter{Track: []string{kw}}, true
-			}
-		case "OR":
-			if kws, ok := orOfContains(x); ok {
-				return twitterapi.Filter{Track: kws}, true
-			}
-		case "=":
-			if id, ok := userIDIdent(x.L); ok {
-				if lit, ok := x.R.(*lang.Literal); ok {
-					if n, err := lit.Val.IntVal(); err == nil && id {
-						return twitterapi.Filter{Follow: []int64{n}}, true
-					}
-				}
-			}
-		}
-	case *lang.InBox:
-		if id, ok := x.Loc.(*lang.Ident); ok && isGeoName(id.Name) {
-			box, err := exec.ResolveBox(x.Box)
-			if err == nil {
-				return twitterapi.Filter{Locations: []twitterapi.Box{box}}, true
-			}
-		}
-	case *lang.InList:
-		if id, ok := userIDIdent(x.X); ok && id {
-			var ids []int64
-			for _, item := range x.Items {
-				lit, ok := item.(*lang.Literal)
-				if !ok {
-					return twitterapi.Filter{}, false
-				}
-				n, err := lit.Val.IntVal()
-				if err != nil {
-					return twitterapi.Filter{}, false
-				}
-				ids = append(ids, n)
-			}
-			if len(ids) > 0 {
-				return twitterapi.Filter{Follow: ids}, true
-			}
-		}
-	}
-	return twitterapi.Filter{}, false
-}
-
-func containsKeyword(b *lang.Binary) (string, bool) {
-	id, ok := b.L.(*lang.Ident)
-	if !ok || !strings.EqualFold(id.Name, "text") {
-		return "", false
-	}
-	lit, ok := b.R.(*lang.Literal)
-	if !ok {
-		return "", false
-	}
-	s, err := lit.Val.StringVal()
-	if err != nil || s == "" {
-		return "", false
-	}
-	return s, true
-}
-
-// orOfContains matches OR trees whose every leaf is text CONTAINS 'kw',
-// which the track filter's any-keyword semantics serves exactly.
-func orOfContains(e lang.Expr) ([]string, bool) {
-	b, ok := e.(*lang.Binary)
-	if !ok {
-		return nil, false
-	}
-	switch b.Op {
-	case "OR":
-		l, ok1 := orOfContains(b.L)
-		r, ok2 := orOfContains(b.R)
-		if ok1 && ok2 {
-			return append(l, r...), true
-		}
-		return nil, false
-	case "CONTAINS":
-		kw, ok := containsKeyword(b)
-		if !ok {
-			return nil, false
-		}
-		return []string{kw}, true
-	default:
-		return nil, false
-	}
-}
-
-func userIDIdent(e lang.Expr) (bool, bool) {
-	id, ok := e.(*lang.Ident)
-	if !ok {
-		return false, false
-	}
-	name := strings.ToLower(id.Name)
-	return name == "user_id" || name == "userid", true
-}
-
-func isGeoName(name string) bool {
-	switch strings.ToLower(name) {
-	case "location", "loc", "geo", "coordinates":
-		return true
-	}
-	return false
 }

@@ -2,45 +2,38 @@ package core
 
 import (
 	"context"
-	"fmt"
 	"time"
 
 	"tweeql/internal/catalog"
 	"tweeql/internal/exec"
 	"tweeql/internal/lang"
+	"tweeql/internal/plan"
 	"tweeql/internal/value"
 )
 
 // execute assembles and starts the operator pipeline for a plan.
-func (e *Engine) execute(ctx context.Context, cancel context.CancelFunc, stmt *lang.SelectStmt, plan *queryPlan) (*Cursor, error) {
+func (e *Engine) execute(ctx context.Context, cancel context.CancelFunc, stmt *lang.SelectStmt, p *plan.Query) (*Cursor, error) {
 	ev := exec.NewEvaluator(e.cat)
 	ev.EnableCompile(e.opts.CompileExprs)
 	// Pre-compile every literal MATCHES pattern before evaluation
 	// starts, so the interpreter path never compiles (or locks) on the
 	// hot path either.
-	ev.PrepareRegexes(planExprs(stmt, plan)...)
+	ev.PrepareRegexes(planExprs(stmt, p)...)
 	stats := &exec.Stats{}
 
-	var rows <-chan value.Tuple
-	var schema *value.Schema
-	var info *catalog.OpenInfo
-
-	if stmt.Join != nil {
-		var err error
-		rows, schema, info, err = e.openJoin(ctx, cancel, ev, stmt, plan, stats)
-		if err != nil {
-			return nil, err
-		}
-	} else {
-		var err error
-		rows, schema, info, err = e.openSingle(ctx, cancel, ev, stmt, plan, stats)
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	cur := &Cursor{schema: schema, stats: stats, info: info, stmt: stmt, cancel: cancel,
+	cur := &Cursor{stmt: stmt, plan: p, stats: stats, cancel: cancel,
 		drained: make(chan struct{})}
+
+	var rows <-chan value.Tuple
+	var err error
+	if p.Join != nil {
+		rows, err = e.openJoin(ctx, cancel, ev, stmt, p, stats, cur)
+	} else {
+		rows, err = e.openSingle(ctx, cancel, ev, stmt, p, stats, cur)
+	}
+	if err != nil {
+		return nil, err
+	}
 
 	// INTO routing: results feed the named target; the cursor itself
 	// closes immediately (documented on Rows) and Drained signals when
@@ -52,7 +45,7 @@ func (e *Engine) execute(ctx context.Context, cancel context.CancelFunc, stmt *l
 		cur.rows = empty
 		switch stmt.Into.Kind {
 		case lang.IntoStream:
-			ds := catalog.NewDerivedStream(stmt.Into.Name, schema)
+			ds := catalog.NewDerivedStream(stmt.Into.Name, cur.schema)
 			e.cat.RegisterSource(stmt.Into.Name, ds)
 			go e.routeToStream(rows, ds, cur.drained)
 		case lang.IntoTable:
@@ -154,16 +147,31 @@ func (e *Engine) routeToTable(rows <-chan value.Tuple, table *catalog.Table, sta
 	}
 }
 
-// openSingle builds the pipeline for a single-source query. With
-// Options.BatchSize > 1 tuples move through the hot stages (filter,
-// projection) in batches — one channel transfer per batch — and the
-// window/aggregation boundary consumes batches directly; results are
-// identical to the tuple-at-a-time path either way.
-func (e *Engine) openSingle(ctx context.Context, cancel context.CancelFunc, ev *exec.Evaluator, stmt *lang.SelectStmt, plan *queryPlan, stats *exec.Stats) (<-chan value.Tuple, *value.Schema, *catalog.OpenInfo, error) {
-	src, err := e.cat.Source(stmt.From.Name)
-	if err != nil {
-		return nil, nil, nil, err
+// openScanStream opens the physical (or shared) scan for a
+// single-source plan: the batch/tuple stream, the open info, and the
+// stable key of the conjunct the scan's pushed filter already
+// enforces (""= nothing pushed). Exactly one of batches/rows is
+// non-nil, matching the engine's batching mode.
+func (e *Engine) openScanStream(ctx context.Context, src catalog.Source, p *plan.Query, stats *exec.Stats, cur *Cursor) (batches <-chan exec.Batch, rows <-chan value.Tuple, info *catalog.OpenInfo, pushedKey string, err error) {
+	batching := e.opts.BatchSize > 1
+
+	// Shared path: live sources join (or open) the ref-counted scan for
+	// the plan's signature. One physical subscription and one
+	// conversion pipeline serve every attached query.
+	if e.opts.SharedScans && isLiveSource(src) {
+		b, i, scan, err := e.attachShared(ctx, src, p, stats)
+		if err != nil {
+			return nil, nil, nil, "", err
+		}
+		cur.scan = scan
+		b = exec.BatchCountStage(stats)(ctx, b)
+		if !batching {
+			return nil, exec.FromBatches()(ctx, b), i, scan.pushedKey, nil
+		}
+		return b, nil, i, scan.pushedKey, nil
 	}
+
+	// Private path: this query owns the source subscription.
 	req := catalog.OpenRequest{SampleSize: e.opts.SampleSize, Buffer: e.opts.SourceBuffer,
 		OnError: stats.NoteError}
 	// Time-range pushdown is sound only when the created_at column IS
@@ -173,16 +181,12 @@ func (e *Engine) openSingle(ctx context.Context, cancel context.CancelFunc, ev *
 	// or dynamic, and its range predicate then runs purely as the
 	// residual filter it is).
 	if hasTimeColumn(src.Schema()) {
-		req.From, req.To = plan.timeFrom, plan.timeTo
+		req.From, req.To = p.TimeFrom, p.TimeTo
 	}
-	for _, c := range plan.candidates {
-		req.Candidates = append(req.Candidates, c.filter)
+	for _, c := range p.Candidates {
+		req.Candidates = append(req.Candidates, c.Filter)
 	}
-	batching := e.opts.BatchSize > 1
 
-	var rows <-chan value.Tuple
-	var batches <-chan exec.Batch
-	var info *catalog.OpenInfo
 	if batching {
 		// Sources that can pre-batch skip the per-tuple source channel
 		// entirely; the rest get batched right at the boundary.
@@ -191,7 +195,7 @@ func (e *Engine) openSingle(ctx context.Context, cancel context.CancelFunc, ev *
 				Size:       e.opts.BatchSize,
 				FlushEvery: e.opts.BatchFlushEvery,
 				Workers:    e.opts.BatchWorkers,
-				Columns:    plan.columns,
+				Columns:    p.Columns,
 			})
 		} else {
 			var in <-chan value.Tuple
@@ -201,17 +205,39 @@ func (e *Engine) openSingle(ctx context.Context, cancel context.CancelFunc, ev *
 			}
 		}
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, nil, "", err
 		}
 		batches = exec.BatchCountStage(stats)(ctx, batches)
 	} else {
 		var in <-chan value.Tuple
 		in, info, err = src.Open(ctx, req)
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, nil, "", err
 		}
 		rows = exec.CountStage(stats)(ctx, in)
 	}
+	if info != nil && info.Pushed && info.ChosenIdx >= 0 && info.ChosenIdx < len(p.Candidates) {
+		pushedKey = p.CandidateKey(info.ChosenIdx)
+	}
+	return batches, rows, info, pushedKey, nil
+}
+
+// openSingle builds the pipeline for a single-source query. With
+// Options.BatchSize > 1 tuples move through the hot stages (filter,
+// projection) in batches — one channel transfer per batch — and the
+// window/aggregation boundary consumes batches directly; results are
+// identical to the tuple-at-a-time path either way.
+func (e *Engine) openSingle(ctx context.Context, cancel context.CancelFunc, ev *exec.Evaluator, stmt *lang.SelectStmt, p *plan.Query, stats *exec.Stats, cur *Cursor) (<-chan value.Tuple, error) {
+	src, err := e.cat.Source(stmt.From.Name)
+	if err != nil {
+		return nil, err
+	}
+	batches, rows, info, pushedKey, err := e.openScanStream(ctx, src, p, stats, cur)
+	if err != nil {
+		return nil, err
+	}
+	cur.info = info
+	batching := batches != nil
 
 	// The schema expressions compile against must be the exact object
 	// the delivered tuples carry — the pruned one when the batched
@@ -222,24 +248,8 @@ func (e *Engine) openSingle(ctx context.Context, cancel context.CancelFunc, ev *
 		inSchema = info.Schema
 	}
 
-	// Residual filter: every conjunct except the one the source pushed.
-	residual, costs := plan.conjuncts, plan.costs
-	if info != nil && info.Pushed {
-		for i, c := range plan.candidates {
-			if c.filter.String() == info.Chosen.String() {
-				idx := plan.candidates[i].conjunctIdx
-				residual = make([]lang.Expr, 0, len(plan.conjuncts)-1)
-				costs = make([]float64, 0, len(plan.conjuncts)-1)
-				for j := range plan.conjuncts {
-					if j != idx {
-						residual = append(residual, plan.conjuncts[j])
-						costs = append(costs, plan.costs[j])
-					}
-				}
-				break
-			}
-		}
-	}
+	// Residual filter: every conjunct except the one the scan pushed.
+	residual, costs := p.Residual(pushedKey)
 	if len(residual) > 0 {
 		if batching {
 			batches = exec.BatchFilterStage(ev, residual, inSchema, costs, e.opts.AdaptiveFilters, e.opts.Seed, e.stageWorkers(residual...), stats)(ctx, batches)
@@ -248,8 +258,8 @@ func (e *Engine) openSingle(ctx context.Context, cancel context.CancelFunc, ev *
 		}
 	}
 
-	if plan.isAggregate {
-		agg := plan.agg
+	if p.IsAggregate {
+		agg := p.Agg
 		agg.InSchema = inSchema
 		if batching {
 			rows = exec.BatchAggregateStage(ev, agg, stats)(ctx, batches)
@@ -257,29 +267,30 @@ func (e *Engine) openSingle(ctx context.Context, cancel context.CancelFunc, ev *
 			rows = exec.AggregateStage(ev, agg, stats)(ctx, rows)
 		}
 		rows = applyLimit(ctx, cancel, stmt, rows)
-		return rows, exec.AggSchema(agg), info, nil
+		cur.schema = exec.AggSchema(agg)
+		return rows, nil
 	}
 
-	outSchema := exec.ProjectSchema(plan.proj, inSchema)
-	projExprs := make([]lang.Expr, 0, len(plan.proj))
-	for _, p := range plan.proj {
-		if p.Expr != nil {
-			projExprs = append(projExprs, p.Expr)
+	cur.schema = exec.ProjectSchema(p.Proj, inSchema)
+	projExprs := make([]lang.Expr, 0, len(p.Proj))
+	for _, pi := range p.Proj {
+		if pi.Expr != nil {
+			projExprs = append(projExprs, pi.Expr)
 		}
 	}
 	switch {
-	case plan.async:
+	case p.Async:
 		// High-latency UDFs stay on the asynchronous per-tuple worker
 		// pool: latency hiding, not channel amortization, is the win
 		// there.
 		if batching {
 			rows = exec.FromBatches()(ctx, batches)
 		}
-		rows = exec.AsyncProjectStage(ev, plan.proj, inSchema, e.opts.AsyncWorkers, stats)(ctx, rows)
+		rows = exec.AsyncProjectStage(ev, p.Proj, inSchema, e.opts.AsyncWorkers, stats)(ctx, rows)
 		rows = countOut(ctx, rows, stats)
 		rows = applyLimit(ctx, cancel, stmt, rows)
 	case batching:
-		batches = exec.BatchProjectStage(ev, plan.proj, inSchema, e.stageWorkers(projExprs...), stats)(ctx, batches)
+		batches = exec.BatchProjectStage(ev, p.Proj, inSchema, e.stageWorkers(projExprs...), stats)(ctx, batches)
 		// The unbatcher is the LIMIT cutoff in batch space: it trims
 		// the batch the limit falls inside and cancels upstream.
 		limit := -1
@@ -288,27 +299,27 @@ func (e *Engine) openSingle(ctx context.Context, cancel context.CancelFunc, ev *
 		}
 		rows = exec.UnbatchStage(limit, cancel, stats)(ctx, batches)
 	default:
-		rows = exec.ProjectStage(ev, plan.proj, inSchema, stats)(ctx, rows)
+		rows = exec.ProjectStage(ev, p.Proj, inSchema, stats)(ctx, rows)
 		rows = countOut(ctx, rows, stats)
 		rows = applyLimit(ctx, cancel, stmt, rows)
 	}
-	return rows, outSchema, info, nil
+	return rows, nil
 }
 
 // planExprs collects every expression the plan can evaluate, for the
 // evaluator's plan-time regex pre-walk.
-func planExprs(stmt *lang.SelectStmt, plan *queryPlan) []lang.Expr {
+func planExprs(stmt *lang.SelectStmt, p *plan.Query) []lang.Expr {
 	var exprs []lang.Expr
-	exprs = append(exprs, plan.conjuncts...)
-	exprs = append(exprs, plan.agg.GroupExprs...)
-	for _, a := range plan.agg.Aggs {
+	exprs = append(exprs, p.Conjuncts...)
+	exprs = append(exprs, p.Agg.GroupExprs...)
+	for _, a := range p.Agg.Aggs {
 		if a.Arg != nil {
 			exprs = append(exprs, a.Arg)
 		}
 	}
-	for _, p := range plan.proj {
-		if p.Expr != nil {
-			exprs = append(exprs, p.Expr)
+	for _, pi := range p.Proj {
+		if pi.Expr != nil {
+			exprs = append(exprs, pi.Expr)
 		}
 	}
 	if stmt.Join != nil {
@@ -337,37 +348,35 @@ func applyLimit(ctx context.Context, cancel context.CancelFunc, stmt *lang.Selec
 
 // openJoin builds the pipeline for FROM a JOIN b ON ... WINDOW w. The
 // join operator interleaves two sources tuple-at-a-time by event time,
-// so this path does not batch.
-func (e *Engine) openJoin(ctx context.Context, cancel context.CancelFunc, ev *exec.Evaluator, stmt *lang.SelectStmt, plan *queryPlan, stats *exec.Stats) (<-chan value.Tuple, *value.Schema, *catalog.OpenInfo, error) {
+// so this path does not batch — and both sides stay private scans (a
+// shared fan-out has no pairing between the two sides' attach times).
+func (e *Engine) openJoin(ctx context.Context, cancel context.CancelFunc, ev *exec.Evaluator, stmt *lang.SelectStmt, p *plan.Query, stats *exec.Stats, cur *Cursor) (<-chan value.Tuple, error) {
 	leftSrc, err := e.cat.Source(stmt.From.Name)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, err
 	}
-	rightSrc, err := e.cat.Source(stmt.Join.Right.Name)
+	rightSrc, err := e.cat.Source(p.Join.Right)
 	if err != nil {
-		return nil, nil, nil, err
-	}
-	leftKey, rightKey, err := splitJoinKeys(stmt)
-	if err != nil {
-		return nil, nil, nil, err
+		return nil, err
 	}
 
 	req := catalog.OpenRequest{Buffer: e.opts.SourceBuffer, OnError: stats.NoteError}
 	leftIn, info, err := leftSrc.Open(ctx, req)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, err
 	}
 	rightIn, _, err := rightSrc.Open(ctx, req)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, err
 	}
+	cur.info = info
 
 	cfg := exec.JoinConfig{
-		LeftBinding:  stmt.From.Binding(),
-		RightBinding: stmt.Join.Right.Binding(),
-		LeftKey:      stripQualifier(leftKey),
-		RightKey:     stripQualifier(rightKey),
-		Window:       stmt.Window.Size,
+		LeftBinding:  p.Join.LeftBinding,
+		RightBinding: p.Join.RightBinding,
+		LeftKey:      p.Join.LeftKey,
+		RightKey:     p.Join.RightKey,
+		Window:       p.Join.Window,
 	}
 	// Build the joined schema once and hand the same object to the join
 	// and every downstream stage: compiled column indices stay on the
@@ -376,73 +385,18 @@ func (e *Engine) openJoin(ctx context.Context, cancel context.CancelFunc, ev *ex
 	cfg.OutSchema = joined
 	rows := exec.JoinStage(ev, leftIn, rightIn, leftSrc.Schema(), rightSrc.Schema(), cfg, stats)
 
-	if len(plan.conjuncts) > 0 {
-		rows = exec.FilterStage(ev, plan.conjuncts, joined, plan.costs, e.opts.AdaptiveFilters, e.opts.Seed, stats)(ctx, rows)
+	if len(p.Conjuncts) > 0 {
+		rows = exec.FilterStage(ev, p.Conjuncts, joined, p.Costs, e.opts.AdaptiveFilters, e.opts.Seed, stats)(ctx, rows)
 	}
-	outSchema := exec.ProjectSchema(plan.proj, joined)
-	if plan.async {
-		rows = exec.AsyncProjectStage(ev, plan.proj, joined, e.opts.AsyncWorkers, stats)(ctx, rows)
+	cur.schema = exec.ProjectSchema(p.Proj, joined)
+	if p.Async {
+		rows = exec.AsyncProjectStage(ev, p.Proj, joined, e.opts.AsyncWorkers, stats)(ctx, rows)
 	} else {
-		rows = exec.ProjectStage(ev, plan.proj, joined, stats)(ctx, rows)
+		rows = exec.ProjectStage(ev, p.Proj, joined, stats)(ctx, rows)
 	}
 	rows = countOut(ctx, rows, stats)
 	rows = applyLimit(ctx, cancel, stmt, rows)
-	return rows, outSchema, info, nil
-}
-
-// splitJoinKeys validates ON as a two-sided equality and returns the
-// (left, right) key expressions by matching qualifiers to bindings.
-func splitJoinKeys(stmt *lang.SelectStmt) (lang.Expr, lang.Expr, error) {
-	eq, ok := stmt.Join.On.(*lang.Binary)
-	if !ok || eq.Op != "=" {
-		return nil, nil, fmt.Errorf("tweeql: JOIN ON must be an equality")
-	}
-	lIdent, ok1 := eq.L.(*lang.Ident)
-	rIdent, ok2 := eq.R.(*lang.Ident)
-	if !ok1 || !ok2 {
-		return nil, nil, fmt.Errorf("tweeql: JOIN ON must compare two columns")
-	}
-	lb, rb := stmt.From.Binding(), stmt.Join.Right.Binding()
-	switch {
-	case matchesBinding(lIdent, lb) && matchesBinding(rIdent, rb):
-		return lIdent, rIdent, nil
-	case matchesBinding(lIdent, rb) && matchesBinding(rIdent, lb):
-		return rIdent, lIdent, nil
-	default:
-		return nil, nil, fmt.Errorf("tweeql: JOIN ON columns must be qualified with %q and %q", lb, rb)
-	}
-}
-
-func matchesBinding(id *lang.Ident, binding string) bool {
-	return id.Qualifier != "" && equalFold(id.Qualifier, binding)
-}
-
-func equalFold(a, b string) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := 0; i < len(a); i++ {
-		ca, cb := a[i], b[i]
-		if 'A' <= ca && ca <= 'Z' {
-			ca += 'a' - 'A'
-		}
-		if 'A' <= cb && cb <= 'Z' {
-			cb += 'a' - 'A'
-		}
-		if ca != cb {
-			return false
-		}
-	}
-	return true
-}
-
-// stripQualifier rewrites a.x to x for evaluation against the pre-join
-// side schemas (which are unprefixed).
-func stripQualifier(e lang.Expr) lang.Expr {
-	if id, ok := e.(*lang.Ident); ok && id.Qualifier != "" {
-		return &lang.Ident{Name: id.Name}
-	}
-	return e
+	return rows, nil
 }
 
 func countOut(ctx context.Context, in <-chan value.Tuple, stats *exec.Stats) <-chan value.Tuple {

@@ -1,0 +1,318 @@
+package core
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"tweeql/internal/catalog"
+	"tweeql/internal/exec"
+	"tweeql/internal/plan"
+	"tweeql/internal/value"
+)
+
+// Shared-scan execution: the paper's premise is many continuous queries
+// over ONE rate-limited tweet stream, yet a naive engine opens one API
+// cursor and one ingest/conversion pipeline per query — O(N) endpoint
+// load and ingest work for N queries over the same stream. A SharedScan
+// is one physical source subscription keyed by the plan's scan
+// signature (source + merged pushdown set + pushed time range): the
+// first query with a signature opens the source, every later query with
+// the same signature attaches to the existing scan, and batches fan out
+// through a DerivedStream's sharded, lock-free subscriber set to each
+// query's private residual pipeline. Queries detach on stop/pause/drop;
+// the last detach closes the physical source.
+
+// scanManager owns an engine's live shared scans, keyed by signature.
+type scanManager struct {
+	mu    sync.Mutex
+	scans map[string]*SharedScan
+}
+
+func newScanManager() *scanManager {
+	return &scanManager{scans: make(map[string]*SharedScan)}
+}
+
+// SharedScan is one ref-counted physical scan of a live source, fanned
+// out to every attached query.
+type SharedScan struct {
+	sig    string
+	source string
+	mgr    *scanManager
+	ds     *catalog.DerivedStream
+	info   *catalog.OpenInfo
+	// pushedKey is the stable conjunct key (plan.Query.CandidateKey) of
+	// the candidate the physical connection pushed down, "" when the
+	// scan reads the full stream. Attaching queries resolve their
+	// residual conjuncts against it.
+	pushedKey string
+	cancel    context.CancelFunc
+
+	rowsIn    atomic.Int64
+	batchesIn atomic.Int64
+	ended     atomic.Bool
+	scanErr   atomic.Pointer[error]
+
+	// refs counts attached queries; guarded by mgr.mu so attach and
+	// last-detach-closes are atomic with map membership.
+	refs int
+}
+
+// ScanStatus is a snapshot of one shared scan, for metrics and EXPLAIN.
+type ScanStatus struct {
+	// Signature is the scan's plan signature (the map key).
+	Signature string
+	// Source is the scanned source name.
+	Source string
+	// Queries is the number of currently attached queries.
+	Queries int
+	// RowsIn / Batches count rows and batches ingested from the
+	// physical source since the scan opened.
+	RowsIn  int64
+	Batches int64
+	// Subscribers / Dropped mirror the fan-out stream's counters:
+	// attached pipelines and rows lost to slow ones (DropOldest rings,
+	// the streaming-API "receive most tweets" contract).
+	Subscribers int
+	Dropped     int64
+	// Pushed / Filter report the scan's pushdown decision.
+	Pushed bool
+	Filter string
+}
+
+// isLiveSource reports whether src opted into shared scanning.
+func isLiveSource(src catalog.Source) bool {
+	ls, ok := src.(catalog.LiveSource)
+	return ok && ls.LiveStream()
+}
+
+// queries reports how many queries are attached to the scan with the
+// given signature (0 = no live scan).
+func (m *scanManager) queries(sig string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if s, ok := m.scans[sig]; ok && !s.ended.Load() {
+		return s.refs
+	}
+	return 0
+}
+
+// Scans snapshots the engine's live shared scans, sorted by signature.
+func (e *Engine) Scans() []ScanStatus {
+	m := e.scans
+	m.mu.Lock()
+	scans := make([]*SharedScan, 0, len(m.scans))
+	refs := make([]int, 0, len(m.scans))
+	for _, s := range m.scans {
+		scans = append(scans, s)
+		refs = append(refs, s.refs)
+	}
+	m.mu.Unlock()
+	out := make([]ScanStatus, 0, len(scans))
+	for i, s := range scans {
+		ss := s.ds.Stats()
+		st := ScanStatus{
+			Signature:   s.sig,
+			Source:      s.source,
+			Queries:     refs[i],
+			RowsIn:      s.rowsIn.Load(),
+			Batches:     s.batchesIn.Load(),
+			Subscribers: ss.Subscribers,
+			Dropped:     ss.Dropped,
+		}
+		if s.info != nil && s.info.Pushed {
+			st.Pushed = true
+			st.Filter = s.info.Chosen.String()
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Signature < out[j].Signature })
+	return out
+}
+
+// attachShared resolves the query onto a shared scan: joining the live
+// scan with its plan's signature, or opening a new one. It returns the
+// query's private batch stream off the scan's fan-out, the scan's open
+// info (pushdown decision — made once, by whichever query opened the
+// scan), and the scan handle.
+func (e *Engine) attachShared(ctx context.Context, src catalog.Source, p *plan.Query, stats *exec.Stats) (<-chan exec.Batch, *catalog.OpenInfo, *SharedScan, error) {
+	m := e.scans
+	m.mu.Lock()
+	s := m.scans[p.Signature]
+	if s != nil && s.ended.Load() {
+		// The previous scan's stream ended (source closed); a new query
+		// wants a fresh subscription, exactly as a private open would
+		// make one.
+		delete(m.scans, p.Signature)
+		s = nil
+	}
+	if s == nil {
+		var err error
+		s, err = e.openScan(p, src)
+		if err != nil {
+			m.mu.Unlock()
+			return nil, nil, nil, err
+		}
+		m.scans[p.Signature] = s
+	}
+	s.refs++
+	m.mu.Unlock()
+	return s.attach(ctx, e.opts, stats), s.info, s, nil
+}
+
+// openScan opens the physical source subscription for a new shared
+// scan and starts its pump. Called with mgr.mu held (scan opening is a
+// control-plane event; queries start rarely relative to rows flowing).
+func (e *Engine) openScan(p *plan.Query, src catalog.Source) (*SharedScan, error) {
+	sctx, cancel := context.WithCancel(context.Background())
+	s := &SharedScan{sig: p.Signature, source: p.Source, mgr: e.scans, cancel: cancel}
+	req := catalog.OpenRequest{
+		SampleSize: e.opts.SampleSize,
+		Buffer:     e.opts.SourceBuffer,
+		OnError:    s.noteErr,
+	}
+	if hasTimeColumn(src.Schema()) {
+		req.From, req.To = p.TimeFrom, p.TimeTo
+	}
+	for _, c := range p.Candidates {
+		req.Candidates = append(req.Candidates, c.Filter)
+	}
+	size := e.opts.BatchSize
+	if size < 1 {
+		size = 1
+	}
+
+	var batches <-chan exec.Batch
+	var info *catalog.OpenInfo
+	var err error
+	if bs, ok := src.(catalog.BatchSource); ok {
+		// Columns stays nil: the scan serves every query shape with this
+		// signature, including ones registered later, so the source must
+		// materialize full rows. Pruning is a private-scan optimization.
+		batches, info, err = bs.OpenBatches(sctx, req, catalog.BatchOptions{
+			Size:       size,
+			FlushEvery: e.opts.BatchFlushEvery,
+			Workers:    e.opts.BatchWorkers,
+		})
+	} else {
+		var in <-chan value.Tuple
+		in, info, err = src.Open(sctx, req)
+		if err == nil {
+			batches = exec.ToBatches(size, e.opts.BatchFlushEvery)(sctx, in)
+		}
+	}
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	schema := src.Schema()
+	if info == nil {
+		info = &catalog.OpenInfo{Schema: schema}
+	}
+	if info.Schema != nil {
+		schema = info.Schema
+	}
+	s.info = info
+	if info.Pushed && info.ChosenIdx >= 0 && info.ChosenIdx < len(p.Candidates) {
+		s.pushedKey = p.CandidateKey(info.ChosenIdx)
+	}
+	s.ds = catalog.NewDerivedStream("scan:"+p.Signature, schema)
+	go s.pump(batches)
+	return s, nil
+}
+
+// pump moves batches from the physical source into the fan-out stream
+// until the source ends (stream over, or the last query detached and
+// cancelled the scan context), then closes the stream so every
+// attached query sees end-of-stream after draining its ring.
+func (s *SharedScan) pump(batches <-chan exec.Batch) {
+	for b := range batches {
+		s.rowsIn.Add(int64(len(b)))
+		s.batchesIn.Add(1)
+		s.ds.PublishBatch(b)
+	}
+	s.ended.Store(true)
+	s.ds.CloseStream()
+}
+
+// noteErr records a mid-scan source error; every query attached at
+// end-of-stream copies it into its own stats (a silently truncated
+// shared stream must not look complete to anyone).
+func (s *SharedScan) noteErr(err error) {
+	if err != nil {
+		s.scanErr.Store(&err)
+	}
+}
+
+// err returns the recorded source error, if any.
+func (s *SharedScan) err() error {
+	if p := s.scanErr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// attach subscribes one query to the scan's fan-out and bridges the
+// subscription onto a batch channel. The subscription ring holds
+// Options.SourceBuffer rows with drop-oldest backpressure — the same
+// best-effort contract a private streaming connection gives a slow
+// consumer, and what guarantees one stalled query can never block its
+// siblings or the scan. The bridge owns the query's scan reference:
+// it detaches (and, when it is the last, closes the physical scan)
+// when the query's context ends or the stream closes.
+func (s *SharedScan) attach(ctx context.Context, opts Options, stats *exec.Stats) <-chan exec.Batch {
+	buffer := opts.SourceBuffer
+	if buffer <= 0 {
+		buffer = 4096
+	}
+	size := opts.BatchSize
+	if size < 1 {
+		size = 1
+	}
+	sub := s.ds.Subscribe(catalog.SubOptions{Buffer: buffer, Policy: catalog.DropOldest})
+	out := make(chan exec.Batch, 4)
+	go func() {
+		defer s.mgr.detach(s)
+		defer close(out)
+		defer sub.Cancel()
+		for {
+			rows, err := sub.Recv(ctx)
+			if err != nil {
+				if err == catalog.ErrStreamClosed && stats != nil {
+					if serr := s.err(); serr != nil {
+						stats.NoteError(serr)
+					}
+				}
+				return
+			}
+			// Recv drains the whole ring; re-chunk to the engine's batch
+			// size. Sub-slices are disjoint and rows is freshly allocated
+			// per Recv, so batch ownership passes cleanly downstream.
+			for lo := 0; lo < len(rows); lo += size {
+				hi := min(lo+size, len(rows))
+				select {
+				case out <- rows[lo:hi:hi]:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}
+	}()
+	return out
+}
+
+// detach drops one query's reference; the last reference closes the
+// physical source subscription and forgets the scan.
+func (m *scanManager) detach(s *SharedScan) {
+	m.mu.Lock()
+	s.refs--
+	last := s.refs == 0
+	if last && m.scans[s.sig] == s {
+		delete(m.scans, s.sig)
+	}
+	m.mu.Unlock()
+	if last {
+		s.cancel()
+	}
+}

@@ -56,6 +56,24 @@ func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(&b, "tweeqld_query_subscriber_dropped_total%s %d\n", l, st.SubscriberDrop)
 	}
 
+	// Shared scans: per-signature ingest and fan-out counters. The gap
+	// between registered queries and live scans is the endpoint load the
+	// sharing saves.
+	scans := s.eng.Scans()
+	fmt.Fprintf(&b, "# TYPE tweeqld_scans gauge\n")
+	fmt.Fprintf(&b, "tweeqld_scans %d\n", len(scans))
+	fmt.Fprintf(&b, "# TYPE tweeqld_scan_queries gauge\n")
+	fmt.Fprintf(&b, "# TYPE tweeqld_scan_rows_in_total counter\n")
+	fmt.Fprintf(&b, "# TYPE tweeqld_scan_batches_in_total counter\n")
+	fmt.Fprintf(&b, "# TYPE tweeqld_scan_subscriber_dropped_total counter\n")
+	for _, sc := range scans {
+		l := fmt.Sprintf("{scan=%q,source=%q}", sc.Signature, sc.Source)
+		fmt.Fprintf(&b, "tweeqld_scan_queries%s %d\n", l, sc.Queries)
+		fmt.Fprintf(&b, "tweeqld_scan_rows_in_total%s %d\n", l, sc.RowsIn)
+		fmt.Fprintf(&b, "tweeqld_scan_batches_in_total%s %d\n", l, sc.Batches)
+		fmt.Fprintf(&b, "tweeqld_scan_subscriber_dropped_total%s %d\n", l, sc.Dropped)
+	}
+
 	tables := s.eng.Catalog().Tables()
 	sort.Slice(tables, func(i, j int) bool { return tables[i].Name < tables[j].Name })
 	fmt.Fprintf(&b, "# TYPE tweeqld_table_rows gauge\n")

@@ -82,6 +82,13 @@ type QueryStatus struct {
 	CreatedAt time.Time  `json:"created_at"`
 	StartedAt time.Time  `json:"started_at,omitempty"` // current run
 
+	// Scan is the canonical signature of the physical scan the query
+	// reads; ScanShared reports whether the current run attached to a
+	// shared scan (one source subscription serving every query with
+	// this signature) rather than opening a private one.
+	Scan       string `json:"scan,omitempty"`
+	ScanShared bool   `json:"scan_shared,omitempty"`
+
 	RowsIn     int64   `json:"rows_in"`
 	RowsOut    int64   `json:"rows_out"`
 	FilterDrop int64   `json:"filter_dropped"`
@@ -586,6 +593,8 @@ func (q *Query) Status() QueryStatus {
 	q.mu.Unlock()
 
 	if cur != nil {
+		st.Scan = cur.ScanSignature()
+		st.ScanShared = cur.ScanShared()
 		s := cur.Stats()
 		st.RowsIn = s.RowsIn.Load()
 		st.RowsOut = s.RowsOut.Load()

@@ -1,0 +1,209 @@
+package server
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"tweeql/internal/catalog"
+	"tweeql/internal/tweet"
+	"tweeql/internal/twitterapi"
+)
+
+// feedTweets publishes n tweets with distinct ids starting at base.
+func feedTweets(hub *twitterapi.Hub, base, n int) {
+	batch := make([]*tweet.Tweet, 0, n)
+	for i := 0; i < n; i++ {
+		batch = append(batch, mkTweet(int64(base+i), "steady stream", int64(base+i)))
+	}
+	hub.PublishBatch(batch)
+}
+
+// collectIDs drains a fan-out subscription until want rows arrived (or
+// the deadline passes), returning the id column values.
+func collectIDs(t *testing.T, sub *catalog.Subscription, want int) []int64 {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	var ids []int64
+	for len(ids) < want {
+		rows, err := sub.Recv(ctx)
+		if err != nil {
+			t.Fatalf("after %d of %d rows: %v", len(ids), want, err)
+		}
+		for _, r := range rows {
+			id, _ := r.Get("id").IntVal()
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// TestRegistrySiblingsShareScan pins the serving-layer contract: every
+// registered query over the same stream shares ONE physical scan, and
+// pausing, resuming, or dropping one query never stalls or drops rows
+// for its siblings.
+func TestRegistrySiblingsShareScan(t *testing.T) {
+	eng, hub, srv := newTestDeployment(t, "")
+	defer eng.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Close(context.Background())
+	defer hub.Close()
+
+	for _, name := range []string{"alpha", "beta", "gamma"} {
+		createQuery(t, ts.URL, name, `SELECT id FROM twitter`)
+	}
+	waitFor(t, 5*time.Second, "three queries on one scan", func() bool {
+		scans := eng.Scans()
+		return len(scans) == 1 && scans[0].Queries == 3
+	})
+
+	reg := srv.Registry()
+	subFor := func(name string) *catalog.Subscription {
+		q, ok := reg.Get(name)
+		if !ok {
+			t.Fatalf("query %q missing", name)
+		}
+		return q.Broadcaster().Subscribe(catalog.SubOptions{Buffer: 4096})
+	}
+	subA, subC := subFor("alpha"), subFor("gamma")
+	defer subA.Cancel()
+	defer subC.Cancel()
+
+	// Pause beta mid-stream: it detaches from the scan; siblings keep
+	// receiving every row.
+	if err := reg.Pause("beta"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "beta detached", func() bool {
+		scans := eng.Scans()
+		return len(scans) == 1 && scans[0].Queries == 2
+	})
+	feedTweets(hub, 100, 50)
+	for name, sub := range map[string]*catalog.Subscription{"alpha": subA, "gamma": subC} {
+		ids := collectIDs(t, sub, 50)
+		for i, id := range ids {
+			if id != int64(100+i) {
+				t.Fatalf("%s row %d: id=%d, want %d (dropped or reordered while sibling paused)", name, i, id, 100+i)
+			}
+		}
+	}
+
+	// Resume beta: it re-coalesces onto the same scan and receives rows
+	// fed afterwards.
+	if err := reg.Resume("beta"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "beta re-attached", func() bool {
+		scans := eng.Scans()
+		return len(scans) == 1 && scans[0].Queries == 3
+	})
+	subB := subFor("beta")
+	defer subB.Cancel()
+	feedTweets(hub, 200, 30)
+	for name, want := range map[*catalog.Subscription]int{subA: 30, subB: 30, subC: 30} {
+		ids := collectIDs(t, name, want)
+		if ids[0] != 200 || ids[len(ids)-1] != 229 {
+			t.Fatalf("want ids 200..229, got [%d..%d]", ids[0], ids[len(ids)-1])
+		}
+	}
+
+	// Drop gamma: scan stays up for the remaining two.
+	if err := reg.Drop("gamma"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "gamma detached", func() bool {
+		scans := eng.Scans()
+		return len(scans) == 1 && scans[0].Queries == 2
+	})
+	feedTweets(hub, 300, 10)
+	if ids := collectIDs(t, subA, 10); ids[0] != 300 {
+		t.Fatalf("alpha lost rows after sibling drop: first id %d", ids[0])
+	}
+
+	// No fan-out drops anywhere in this run, and the status/metrics
+	// surfaces report the sharing.
+	sc := eng.Scans()[0]
+	if sc.Dropped != 0 {
+		t.Fatalf("scan dropped %d rows", sc.Dropped)
+	}
+	st := getStatus(t, ts.URL, "alpha")
+	if !st.ScanShared || st.Scan != sc.Signature {
+		t.Fatalf("status scan fields = (%q, %v), want (%q, true)", st.Scan, st.ScanShared, sc.Signature)
+	}
+	metrics := httpGetBody(t, ts.URL+"/metrics")
+	if !strings.Contains(metrics, "tweeqld_scan_queries") || !strings.Contains(metrics, sc.Signature) {
+		t.Fatalf("/metrics missing shared-scan series:\n%s", metrics)
+	}
+}
+
+// TestJournalRestoreCoalescesScans: a registry restored from its
+// journal must re-coalesce its queries onto shared scans exactly as
+// the original process had them.
+func TestJournalRestoreCoalescesScans(t *testing.T) {
+	dir := t.TempDir()
+	eng, hub, srv := newTestDeployment(t, dir)
+	ts := httptest.NewServer(srv)
+	createQuery(t, ts.URL, "ids", `SELECT id FROM twitter`)
+	createQuery(t, ts.URL, "texts", `SELECT text FROM twitter`)
+	createQuery(t, ts.URL, "goals", `SELECT id FROM twitter WHERE text CONTAINS 'goal'`)
+	if scans := eng.Scans(); len(scans) != 2 {
+		t.Fatalf("before restart: %d scans, want 2 (full stream + goal pushdown)", len(scans))
+	}
+	ts.Close()
+	if err := srv.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	hub.Close()
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	eng2, hub2, srv2 := newTestDeployment(t, dir)
+	defer eng2.Close()
+	defer srv2.Close(context.Background())
+	defer hub2.Close()
+	waitFor(t, 5*time.Second, "restored queries re-coalesced", func() bool {
+		total, scans := 0, eng2.Scans()
+		for _, sc := range scans {
+			total += sc.Queries
+		}
+		return len(scans) == 2 && total == 3
+	})
+	for _, name := range []string{"ids", "texts", "goals"} {
+		st := getStatusReg(t, srv2, name)
+		if st.State != StateRunning || !st.ScanShared {
+			t.Fatalf("restored %q: state=%s shared=%v", name, st.State, st.ScanShared)
+		}
+	}
+}
+
+// getStatusReg reads a query's status straight off the registry.
+func getStatusReg(t *testing.T, srv *Server, name string) QueryStatus {
+	t.Helper()
+	q, ok := srv.Registry().Get(name)
+	if !ok {
+		t.Fatalf("query %q missing after restore", name)
+	}
+	return q.Status()
+}
+
+// httpGetBody fetches a URL and returns the body as a string.
+func httpGetBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var b strings.Builder
+	if _, err := io.Copy(&b, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}

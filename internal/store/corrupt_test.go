@@ -1,0 +1,170 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"os"
+	"testing"
+	"time"
+
+	"tweeql/internal/value"
+)
+
+// TestPartialWriteRetryNoDuplicate pins the flushLocked contract: a
+// flush that fails after a partial write must advance the buffer past
+// the bytes that landed, so the retried flush appends only the
+// remainder — never a duplicated prefix.
+func TestPartialWriteRetryNoDuplicate(t *testing.T) {
+	dir := t.TempDir()
+	tab := mustOpen(t, Options{Dir: dir, Fsync: FsyncNone})
+	if err := tab.AppendBatch(rows(0, 100)); err != nil {
+		t.Fatal(err)
+	}
+
+	// First flush: write half the buffered bytes for real, then fail.
+	injected := errors.New("injected write error")
+	tab.mu.Lock()
+	buffered := len(tab.buf)
+	tab.writeHook = func(b []byte) (int, error) {
+		k := len(b) / 2
+		n, err := tab.f.Write(b[:k])
+		if err != nil {
+			return n, err
+		}
+		return n, injected
+	}
+	tab.mu.Unlock()
+	if err := tab.Flush(); !errors.Is(err, injected) {
+		t.Fatalf("Flush with partial write: err=%v, want injected", err)
+	}
+	tab.mu.Lock()
+	if got, want := len(tab.buf), buffered-buffered/2; got != want {
+		tab.mu.Unlock()
+		t.Fatalf("buffer after partial write: %d bytes left, want %d", got, want)
+	}
+	tab.writeHook = nil
+	tab.mu.Unlock()
+
+	// Retry must complete the stream without duplicating the prefix.
+	if err := tab.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, tab, time.Time{}, time.Time{})
+	if len(got) != 100 {
+		t.Fatalf("after retried flush: %d rows, want 100", len(got))
+	}
+	for i, r := range got {
+		if n, _ := r.Get("n").IntVal(); n != int64(i) {
+			t.Fatalf("row %d: n=%d (duplicated or reordered bytes)", i, n)
+		}
+	}
+
+	// The on-disk stream must also be clean across a reopen.
+	if err := tab.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re := mustOpen(t, Options{Dir: dir, Fsync: FsyncNone})
+	if got := collect(t, re, time.Time{}, time.Time{}); len(got) != 100 {
+		t.Fatalf("after reopen: %d rows, want 100", len(got))
+	}
+}
+
+// TestTruncatedSidecarRecovery pins the readIndex contract: a sidecar
+// that parses only partway must leave the segment meta untouched, so
+// the recovery re-scan that follows cannot accumulate the sidecar's
+// counters on top of its own.
+func TestTruncatedSidecarRecovery(t *testing.T) {
+	dir := t.TempDir()
+	tab := mustOpen(t, Options{Dir: dir, Fsync: FsyncNone})
+	if err := tab.AppendBatch(rows(0, 50)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A truncated sidecar: magic, version, then a rows count of 7 and
+	// nothing else. Before the fix, recovery started from rows=7 and
+	// reported 57.
+	idx := append([]byte(idxMagic), formatVersion)
+	idx = binary.AppendVarint(idx, 7)
+	if err := os.WriteFile(idxPath(segPath(dir, 0)), idx, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re := mustOpen(t, Options{Dir: dir, Fsync: FsyncNone})
+	if got := re.Len(); got != 50 {
+		t.Fatalf("Len after recovery with truncated sidecar: %d, want 50", got)
+	}
+	got := collect(t, re, time.Time{}, time.Time{})
+	if len(got) != 50 {
+		t.Fatalf("scan after recovery: %d rows, want 50", len(got))
+	}
+}
+
+// TestScanCorruptRecordLength pins the scanFile contract: a sealed
+// segment whose record stream carries an absurd on-disk length must
+// surface ErrCorrupt — not allocate from the hostile length and panic.
+func TestScanCorruptRecordLength(t *testing.T) {
+	dir := t.TempDir()
+	tab := mustOpen(t, Options{Dir: dir, Fsync: FsyncNone})
+	if err := tab.AppendBatch(rows(0, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Append a record frame claiming 2^62 bytes, then seal the segment
+	// by writing a sidecar that vouches for the whole file.
+	path := segPath(dir, 0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	garbage := binary.AppendUvarint(nil, 1<<62)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(garbage); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	m := &segMeta{path: path, rows: 11, dataEnd: int64(len(data) + len(garbage))}
+	if err := writeIndex(m, false); err != nil {
+		t.Fatal(err)
+	}
+
+	re := mustOpen(t, Options{Dir: dir, Fsync: FsyncNone})
+	err = re.Scan(time.Time{}, time.Time{}, 64, func([]value.Tuple) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("scan over corrupt record length: err=%v, want ErrCorrupt", err)
+	}
+}
+
+// TestReadIndexBoundsSanity rejects sidecars whose bounds cannot
+// describe a real segment (negative sizes, header past the data end):
+// trusting them would seed scans with hostile offsets.
+func TestReadIndexBoundsSanity(t *testing.T) {
+	dir := t.TempDir()
+	tab := mustOpen(t, Options{Dir: dir, Fsync: FsyncNone})
+	if err := tab.AppendBatch(rows(0, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m := &segMeta{path: segPath(dir, 0), rows: 5, dataEnd: 10, hdrLen: 99}
+	if err := writeIndex(m, false); err != nil {
+		t.Fatal(err)
+	}
+	probe := &segMeta{path: segPath(dir, 0)}
+	if err := readIndex(probe); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("readIndex with hdrLen > dataEnd: err=%v, want ErrCorrupt", err)
+	}
+	// The failed read must leave the meta zeroed for recovery.
+	if probe.rows != 0 || probe.dataEnd != 0 || probe.hdrLen != 0 || probe.index != nil {
+		t.Fatalf("failed readIndex mutated meta: %+v", probe)
+	}
+}

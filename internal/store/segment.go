@@ -13,6 +13,7 @@ package store
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -22,6 +23,12 @@ import (
 
 	"tweeql/internal/value"
 )
+
+// ErrCorrupt marks malformed or truncated on-disk state — a bad
+// header, a record whose length or payload does not decode, a
+// truncated sidecar index. Corrupt input must always surface as this
+// sentinel (or a clean recovery truncation), never as a panic.
+var ErrCorrupt = errors.New("store: corrupt data")
 
 const (
 	segSuffix = ".seg"
@@ -153,13 +160,13 @@ func writeHeader(f *os.File, schema *value.Schema) (int64, error) {
 func readHeader(r *bufio.Reader) (*value.Schema, int64, error) {
 	head := make([]byte, len(segMagic)+1)
 	if _, err := io.ReadFull(r, head); err != nil {
-		return nil, 0, fmt.Errorf("store: short segment header: %w", err)
+		return nil, 0, fmt.Errorf("%w: short segment header: %v", ErrCorrupt, err)
 	}
 	if string(head[:len(segMagic)]) != segMagic {
-		return nil, 0, fmt.Errorf("store: bad segment magic %q", head[:len(segMagic)])
+		return nil, 0, fmt.Errorf("%w: bad segment magic %q", ErrCorrupt, head[:len(segMagic)])
 	}
 	if head[len(segMagic)] != formatVersion {
-		return nil, 0, fmt.Errorf("store: unsupported segment version %d", head[len(segMagic)])
+		return nil, 0, fmt.Errorf("%w: unsupported segment version %d", ErrCorrupt, head[len(segMagic)])
 	}
 	// Schemas are small; peek generously and decode in place.
 	peek, err := r.Peek(r.Size())
@@ -214,55 +221,71 @@ func writeIndex(m *segMeta, fsyncDir bool) error {
 
 // readIndex loads a sealed segment's metadata from its sidecar. The
 // schema still comes from the data file header (one authoritative
-// copy), read separately by the caller.
+// copy), read separately by the caller. Decoding goes into a local
+// scratch meta and is copied onto m only when the whole sidecar
+// parsed: a truncated or corrupt index must leave m untouched, because
+// the caller then falls back to recovery, which re-scans the data file
+// and accumulates note() onto whatever counters m already holds.
 func readIndex(m *segMeta) error {
 	buf, err := os.ReadFile(idxPath(m.path))
 	if err != nil {
 		return err
 	}
 	if len(buf) < len(idxMagic)+1 || string(buf[:len(idxMagic)]) != idxMagic {
-		return fmt.Errorf("store: bad index magic in %s", idxPath(m.path))
+		return fmt.Errorf("%w: bad index magic in %s", ErrCorrupt, idxPath(m.path))
 	}
 	if buf[len(idxMagic)] != formatVersion {
-		return fmt.Errorf("store: unsupported index version %d", buf[len(idxMagic)])
+		return fmt.Errorf("%w: unsupported index version %d", ErrCorrupt, buf[len(idxMagic)])
 	}
 	p := buf[len(idxMagic)+1:]
+	truncated := fmt.Errorf("%w: truncated index %s", ErrCorrupt, idxPath(m.path))
 	rd := func() (int64, error) {
 		v, n := binary.Varint(p)
 		if n <= 0 {
-			return 0, fmt.Errorf("store: truncated index %s", idxPath(m.path))
+			return 0, truncated
 		}
 		p = p[n:]
 		return v, nil
 	}
-	if m.rows, err = rd(); err != nil {
+	var tmp segMeta
+	if tmp.rows, err = rd(); err != nil {
 		return err
 	}
-	if m.dataEnd, err = rd(); err != nil {
+	if tmp.dataEnd, err = rd(); err != nil {
 		return err
 	}
-	if m.hdrLen, err = rd(); err != nil {
+	if tmp.hdrLen, err = rd(); err != nil {
 		return err
 	}
 	if len(p) < 1 {
-		return fmt.Errorf("store: truncated index %s", idxPath(m.path))
+		return truncated
 	}
 	flags := p[0]
 	p = p[1:]
-	m.hasTS = flags&1 != 0
-	m.ordered = flags&2 != 0
-	if m.minTS, err = rd(); err != nil {
+	tmp.hasTS = flags&1 != 0
+	tmp.ordered = flags&2 != 0
+	if tmp.minTS, err = rd(); err != nil {
 		return err
 	}
-	if m.maxTS, err = rd(); err != nil {
+	if tmp.maxTS, err = rd(); err != nil {
 		return err
 	}
 	cnt, n := binary.Uvarint(p)
 	if n <= 0 {
-		return fmt.Errorf("store: truncated index %s", idxPath(m.path))
+		return truncated
 	}
 	p = p[n:]
-	m.index = make([]indexEntry, 0, cnt)
+	// Every entry is at least two varint bytes; a count beyond what the
+	// remaining bytes could hold is corrupt, and allocating from it
+	// unvalidated would be an OOM. (Divide instead of multiplying cnt,
+	// which a hostile value could overflow.)
+	if cnt > uint64(len(p))/2 {
+		return truncated
+	}
+	if tmp.rows < 0 || tmp.dataEnd < 0 || tmp.hdrLen < 0 || tmp.hdrLen > tmp.dataEnd {
+		return fmt.Errorf("%w: implausible bounds in index %s", ErrCorrupt, idxPath(m.path))
+	}
+	tmp.index = make([]indexEntry, 0, cnt)
 	for i := uint64(0); i < cnt; i++ {
 		var e indexEntry
 		if e.off, err = rd(); err != nil {
@@ -271,8 +294,12 @@ func readIndex(m *segMeta) error {
 		if e.ts, err = rd(); err != nil {
 			return err
 		}
-		m.index = append(m.index, e)
+		tmp.index = append(tmp.index, e)
 	}
+	m.rows, m.dataEnd, m.hdrLen = tmp.rows, tmp.dataEnd, tmp.hdrLen
+	m.hasTS, m.ordered = tmp.hasTS, tmp.ordered
+	m.minTS, m.maxTS = tmp.minTS, tmp.maxTS
+	m.index = tmp.index
 	return nil
 }
 

@@ -107,6 +107,10 @@ type Table struct {
 
 	scanned atomic.Int64 // segments read by scans
 	pruned  atomic.Int64 // segments skipped by time-range pruning
+
+	// writeHook overrides the active data-file write in tests (fault
+	// injection for partial and failed writes); nil uses f.Write.
+	writeHook func([]byte) (int, error)
 }
 
 // ErrClosed is returned by operations on a closed table.
@@ -351,12 +355,19 @@ func (t *Table) flushLocked() error {
 	if t.f == nil || len(t.buf) == 0 {
 		return nil
 	}
-	n, err := t.f.Write(t.buf)
+	write := t.f.Write
+	if t.writeHook != nil {
+		write = t.writeHook
+	}
+	n, err := write(t.buf)
 	t.written += int64(n)
+	// Drop what landed even on a short write: the file cursor has moved
+	// past those bytes, so a retried flush that kept them would write
+	// them twice and corrupt the record stream.
+	t.buf = t.buf[:copy(t.buf, t.buf[n:])]
 	if err != nil {
 		return err
 	}
-	t.buf = t.buf[:0]
 	if t.opts.Fsync == FsyncOnFlush {
 		return t.f.Sync()
 	}
@@ -608,16 +619,19 @@ func scanFile(m *segMeta, end int64, from, to time.Time, s *scanState) error {
 		if err == io.EOF {
 			return nil
 		}
-		if err != nil || l == 0 {
-			return fmt.Errorf("store: segment %s: corrupt record length", m.path)
+		// Validate the on-disk length BEFORE allocating from it: a
+		// corrupt varint can claim up to MaxUint64 bytes, and no valid
+		// record can be longer than the scanned section itself.
+		if err != nil || l == 0 || l > uint64(end-start) {
+			return fmt.Errorf("%w: segment %s: bad record length", ErrCorrupt, m.path)
 		}
 		payload := make([]byte, l)
 		if _, err := io.ReadFull(br, payload); err != nil {
-			return fmt.Errorf("store: segment %s: corrupt record: %w", m.path, err)
+			return fmt.Errorf("%w: segment %s: truncated record: %v", ErrCorrupt, m.path, err)
 		}
 		rec, used, err := value.DecodeTuple(payload, m.schema)
 		if err != nil || used != int(l) {
-			return fmt.Errorf("store: segment %s: corrupt record", m.path)
+			return fmt.Errorf("%w: segment %s: corrupt record", ErrCorrupt, m.path)
 		}
 		if err := filterPush(rec, m.ordered, from, to, s); err != nil {
 			if err == errStopScan {
@@ -635,7 +649,7 @@ func scanBytes(data []byte, schema *value.Schema, from, to time.Time, s *scanSta
 	for off < len(data) {
 		rec, n, ok := decodeFrame(data[off:], schema)
 		if !ok {
-			return errors.New("store: corrupt append buffer")
+			return fmt.Errorf("%w: corrupt append buffer", ErrCorrupt)
 		}
 		off += n
 		if err := filterPush(rec, false, from, to, s); err != nil {
@@ -657,8 +671,9 @@ func filterPush(rec value.Tuple, ordered bool, from, to time.Time, s *scanState)
 	return s.push(rec)
 }
 
-// Close flushes, fsyncs, and closes the table. The active segment is
-// left unsealed — reopening recovers it and appends continue in place.
+// Close flushes, fsyncs (unless the policy is none), and closes the
+// table. The active segment is left unsealed — reopening recovers it
+// and appends continue in place.
 func (t *Table) Close() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -670,8 +685,10 @@ func (t *Table) Close() error {
 		return err
 	}
 	if t.f != nil {
-		if err := t.f.Sync(); err != nil {
-			return err
+		if t.opts.Fsync != FsyncNone {
+			if err := t.f.Sync(); err != nil {
+				return err
+			}
 		}
 		return t.f.Close()
 	}

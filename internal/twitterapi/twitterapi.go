@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sync"
+	"sync/atomic"
 
 	"tweeql/internal/tweet"
 )
@@ -198,6 +199,7 @@ func (c *Connection) offer(t *tweet.Tweet) {
 	select {
 	case c.ch <- t:
 		c.stats.Delivered++
+		c.hub.delivered.Add(1)
 	default:
 		c.stats.Dropped++ // slow consumer: best-effort delivery
 	}
@@ -209,6 +211,7 @@ type Hub struct {
 	mu        sync.Mutex
 	conns     map[*Connection]bool
 	published int64
+	delivered atomic.Int64 // rows enqueued across ALL connections, ever
 	closed    bool
 }
 
@@ -291,6 +294,11 @@ func (h *Hub) Published() int64 {
 	defer h.mu.Unlock()
 	return h.published
 }
+
+// Delivered reports the total rows enqueued across every connection
+// the hub has ever had — the endpoint's cumulative delivery work, the
+// quantity shared scans exist to keep O(1) in the query count.
+func (h *Hub) Delivered() int64 { return h.delivered.Load() }
 
 // Close shuts the hub and closes every connection channel.
 func (h *Hub) Close() {

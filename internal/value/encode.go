@@ -190,10 +190,16 @@ func DecodeSchema(buf []byte) (*Schema, int, error) {
 	fields := make([]Field, cnt)
 	for i := range fields {
 		l, w := binary.Uvarint(buf[n:])
-		if w <= 0 || uint64(len(buf)-n-w) < l+1 {
+		if w <= 0 {
 			return nil, 0, ErrCorrupt
 		}
 		n += w
+		// Need l name bytes plus one kind byte. Compare without adding
+		// to l: `l+1` wraps to 0 at MaxUint64 and would pass a `< l+1`
+		// check straight into a negative-length slice panic.
+		if uint64(len(buf)-n) <= l {
+			return nil, 0, ErrCorrupt
+		}
 		fields[i].Name = string(buf[n : n+int(l)])
 		n += int(l)
 		fields[i].Kind = Kind(buf[n])

@@ -1,0 +1,72 @@
+package value_test
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"tweeql/internal/value"
+)
+
+// FuzzDecodeSchema proves hostile schema bytes always surface as
+// ErrCorrupt, never a panic — above all the MaxUint64 field-name
+// length whose `l+1` bounds check used to wrap to zero and slice with
+// a negative length.
+func FuzzDecodeSchema(f *testing.F) {
+	f.Add(value.AppendSchema(nil, value.NewSchema(
+		value.Field{Name: "text", Kind: value.KindString},
+		value.Field{Name: "n", Kind: value.KindInt},
+		value.Field{Name: "created_at", Kind: value.KindTime},
+	)))
+	// One field whose name claims MaxUint64 bytes.
+	overflow := binary.AppendUvarint(nil, 1)
+	overflow = binary.AppendUvarint(overflow, math.MaxUint64)
+	f.Add(overflow)
+	f.Add([]byte{})
+	f.Add(binary.AppendUvarint(nil, math.MaxUint64)) // hostile field count
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, n, err := value.DecodeSchema(data)
+		if err != nil {
+			if !errors.Is(err, value.ErrCorrupt) {
+				t.Fatalf("decode error must be ErrCorrupt, got: %v", err)
+			}
+			return
+		}
+		if n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		// A successful decode must re-encode within the bytes it
+		// consumed (varints may be non-minimal, so only bound the size).
+		if re := value.AppendSchema(nil, s); len(re) > n {
+			t.Fatalf("re-encoded schema (%d bytes) larger than consumed input (%d)", len(re), n)
+		}
+	})
+}
+
+// FuzzDecodeTuple drives the row decoder against the seed schema: the
+// frame decode used by scans and recovery must reject, not panic on,
+// corrupt payloads.
+func FuzzDecodeTuple(f *testing.F) {
+	schema := value.NewSchema(
+		value.Field{Name: "text", Kind: value.KindString},
+		value.Field{Name: "n", Kind: value.KindInt},
+	)
+	row := value.NewTuple(schema, []value.Value{value.String("seed"), value.Int(7)}, time.Time{})
+	f.Add(value.AppendTuple(nil, row))
+	f.Add([]byte{1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, n, err := value.DecodeTuple(data, schema)
+		if err != nil {
+			if !errors.Is(err, value.ErrCorrupt) {
+				t.Fatalf("decode error must be ErrCorrupt, got: %v", err)
+			}
+			return
+		}
+		if n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+	})
+}
