@@ -21,6 +21,7 @@ func captureStdout(t *testing.T, fn func() error) (string, error) {
 	go func() {
 		buf := make([]byte, 0, 64*1024)
 		tmp := make([]byte, 32*1024)
+		//tweeqlvet:ignore goroutinectx -- exits when the pipe write end closes: r.Read returns EOF and the loop breaks
 		for {
 			n, err := r.Read(tmp)
 			buf = append(buf, tmp[:n]...)

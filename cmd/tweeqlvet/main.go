@@ -1,0 +1,110 @@
+// Command tweeqlvet machine-enforces this repository's concurrency
+// and corruption invariants: the multichecker for the analyzers under
+// internal/analysis. It exits non-zero when any finding survives, so
+// `go run ./cmd/tweeqlvet ./...` is a CI gate.
+//
+// Usage:
+//
+//	tweeqlvet [-run name,name] [package patterns]
+//	tweeqlvet help
+//
+// A finding is silenced only by fixing it or by annotating the line
+// (or the line above) with a justification:
+//
+//	//tweeqlvet:ignore <analyzer>[,<analyzer>] -- <reason>
+//
+// The reason is mandatory; a bare ignore is itself a finding.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tweeql/internal/analysis"
+	"tweeql/internal/analysis/corrupterr"
+	"tweeql/internal/analysis/goroutinectx"
+	"tweeql/internal/analysis/load"
+	"tweeql/internal/analysis/lockscope"
+	"tweeql/internal/analysis/sleepsync"
+	"tweeql/internal/analysis/valuekind"
+)
+
+// analyzers is the full suite, in reporting order.
+var analyzers = []*analysis.Analyzer{
+	corrupterr.Analyzer,
+	goroutinectx.Analyzer,
+	lockscope.Analyzer,
+	sleepsync.Analyzer,
+	valuekind.Analyzer,
+}
+
+func main() {
+	runList := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = usage
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 1 && args[0] == "help" {
+		help()
+		return
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+
+	selected := analyzers
+	if *runList != "" {
+		byName := make(map[string]*analysis.Analyzer)
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		selected = nil
+		for _, name := range strings.Split(*runList, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "tweeqlvet: unknown analyzer %q (run `tweeqlvet help`)\n", name)
+				os.Exit(2)
+			}
+			selected = append(selected, a)
+		}
+	}
+
+	pkgs, err := load.Packages(".", args)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tweeqlvet: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(pkgs, selected)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tweeqlvet: %v\n", err)
+		os.Exit(2)
+	}
+	if len(diags) == 0 {
+		return
+	}
+	fset := pkgs[0].Fset
+	for _, d := range diags {
+		fmt.Printf("%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	fmt.Fprintf(os.Stderr, "tweeqlvet: %d finding(s)\n", len(diags))
+	os.Exit(1)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: tweeqlvet [-run name,name] [package patterns]")
+	fmt.Fprintln(os.Stderr, "       tweeqlvet help")
+	flag.PrintDefaults()
+}
+
+func help() {
+	fmt.Println("tweeqlvet enforces the engine's concurrency and corruption invariants.")
+	fmt.Println()
+	for _, a := range analyzers {
+		fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+	}
+	fmt.Println()
+	fmt.Println("Silence a justified exception with a line (or line-above) comment:")
+	fmt.Println("  //tweeqlvet:ignore <analyzer>[,<analyzer>] -- <reason>")
+}

@@ -1,0 +1,249 @@
+// Package analysis is a minimal, offline reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary — Analyzer, Pass,
+// Diagnostic — sized for tweeqlvet, this repo's invariant checker.
+//
+// The real x/tools module is the natural home for these interfaces,
+// but this repository builds with no module dependencies (and in
+// hermetic environments with no module proxy at all), so the subset
+// tweeqlvet needs is defined here with the same shape: an analyzer
+// receives one type-checked package per Pass and reports position-
+// anchored diagnostics. If the repo ever grows an x/tools dependency,
+// each analyzer's Run function ports across unchanged.
+//
+// Suppression is built into the Pass: a diagnostic whose line (or the
+// line above it) carries a
+//
+//	//tweeqlvet:ignore <name>[,<name>...] -- <reason>
+//
+// comment naming the reporting analyzer is dropped. The reason is
+// mandatory — an unjustified ignore is itself reported — so every
+// silenced finding documents why the invariant does not apply.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in ignore
+	// annotations. It must be a valid identifier.
+	Name string
+	// Doc is the analyzer's one-paragraph description, shown by
+	// `tweeqlvet help`.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Pass is one (analyzer, package) unit of work, mirroring
+// x/tools/go/analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// report receives every diagnostic that survives suppression.
+	report func(Diagnostic)
+	// ignores indexes tweeqlvet:ignore annotations by file and line.
+	ignores *IgnoreIndex
+}
+
+// Diagnostic is one finding, anchored to a position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Reportf reports a finding at pos unless an ignore annotation
+// covering pos names this analyzer.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.ignores.Suppressed(p.Fset, pos, p.Analyzer.Name) {
+		return
+	}
+	p.report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// LineComment returns the trimmed text of line comments that end on
+// the given line of the file containing pos (e.g. a trailing
+// annotation on the flagged line), plus those that end on the line
+// above. Analyzers use it for domain-specific annotations such as
+// valuekind's "kernel: kind pre-proven".
+func (p *Pass) LineComment(pos token.Pos) []string {
+	var out []string
+	position := p.Fset.Position(pos)
+	for _, f := range p.Files {
+		if p.Fset.File(f.Pos()) != p.Fset.File(pos) {
+			continue
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				end := p.Fset.Position(c.End())
+				if end.Filename == position.Filename && (end.Line == position.Line || end.Line == position.Line-1) {
+					out = append(out, strings.TrimSpace(strings.TrimPrefix(c.Text, "//")))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ignoreRe matches one suppression annotation. The reason after "--"
+// is mandatory. Both patterns are anchored to the start of the comment
+// so prose and indented doc examples that merely mention the syntax do
+// not register as annotations.
+var ignoreRe = regexp.MustCompile(`^//\s*tweeqlvet:ignore\s+([A-Za-z0-9_,]+)\s+--\s*(\S.*)`)
+
+// bareIgnoreRe catches tweeqlvet:ignore annotations that are missing
+// the mandatory "-- reason" clause so they can be reported.
+var bareIgnoreRe = regexp.MustCompile(`^//\s*tweeqlvet:ignore\b`)
+
+// ignoreEntry is one parsed annotation.
+type ignoreEntry struct {
+	names  []string
+	reason string
+	pos    token.Pos
+	used   bool
+}
+
+// IgnoreIndex holds the parsed tweeqlvet:ignore annotations of one
+// package, keyed by file name and line.
+type IgnoreIndex struct {
+	entries   map[string]map[int]*ignoreEntry // file -> line -> entry
+	malformed []token.Pos
+}
+
+// BuildIgnoreIndex scans the package's comments for suppression
+// annotations. An annotation covers findings on its own line and on
+// the line directly below it (annotation-above-the-statement style).
+func BuildIgnoreIndex(fset *token.FileSet, files []*ast.File) *IgnoreIndex {
+	idx := &IgnoreIndex{entries: make(map[string]map[int]*ignoreEntry)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					if bareIgnoreRe.MatchString(c.Text) {
+						idx.malformed = append(idx.malformed, c.Pos())
+					}
+					continue
+				}
+				end := fset.Position(c.End())
+				byLine := idx.entries[end.Filename]
+				if byLine == nil {
+					byLine = make(map[int]*ignoreEntry)
+					idx.entries[end.Filename] = byLine
+				}
+				byLine[end.Line] = &ignoreEntry{
+					names:  strings.Split(m[1], ","),
+					reason: strings.TrimSpace(m[2]),
+					pos:    c.Pos(),
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// Suppressed reports whether a finding by the named analyzer at pos is
+// covered by an annotation on the same line or the line above.
+func (idx *IgnoreIndex) Suppressed(fset *token.FileSet, pos token.Pos, name string) bool {
+	if idx == nil {
+		return false
+	}
+	position := fset.Position(pos)
+	byLine := idx.entries[position.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range []int{position.Line, position.Line - 1} {
+		if e, ok := byLine[line]; ok {
+			for _, n := range e.names {
+				if n == name {
+					e.used = true
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// Malformed returns the positions of tweeqlvet:ignore annotations that
+// are missing their mandatory "-- reason" clause.
+func (idx *IgnoreIndex) Malformed() []token.Pos { return idx.malformed }
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// PkgPath is the package's import path. Test-augmented variants
+	// keep the go list spelling ("p [p.test]") so diagnostics name the
+	// exact compilation unit.
+	PkgPath   string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// Run applies each analyzer to each package and returns the surviving
+// diagnostics sorted by position. Malformed ignore annotations are
+// reported once per package under the pseudo-analyzer "ignore".
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		idx := BuildIgnoreIndex(pkg.Fset, pkg.Files)
+		for _, pos := range idx.Malformed() {
+			diags = append(diags, Diagnostic{
+				Pos:      pos,
+				Analyzer: "ignore",
+				Message:  "tweeqlvet:ignore annotation is missing its mandatory `-- reason` clause",
+			})
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				ignores:   idx,
+				report:    func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	sortDiags(diags, pkgs)
+	return diags, nil
+}
+
+// sortDiags orders diagnostics by file position, then analyzer name.
+func sortDiags(diags []Diagnostic, pkgs []*Package) {
+	if len(pkgs) == 0 {
+		return
+	}
+	fset := pkgs[0].Fset
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+}

@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+const ignoreSrc = `package p
+
+func a() {
+	//tweeqlvet:ignore lockscope -- reason one
+	x()
+	y() //tweeqlvet:ignore lockscope,sleepsync -- two names, one reason
+	//tweeqlvet:ignore corrupterr
+	z()
+}
+
+// Prose that merely mentions the syntax, like this doc example:
+//
+//	//tweeqlvet:ignore lockscope -- some reason
+//
+// must not register as an annotation (or as a malformed one).
+func b() {}
+`
+
+func TestIgnoreIndex(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", ignoreSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := BuildIgnoreIndex(fset, []*ast.File{f})
+	tf := fset.File(f.Pos())
+
+	pos := func(line int) token.Pos { return tf.LineStart(line) }
+
+	// Line 5 (x call) is covered by the annotation on line 4.
+	if !idx.Suppressed(fset, pos(5), "lockscope") {
+		t.Error("annotation-above did not suppress")
+	}
+	if idx.Suppressed(fset, pos(5), "sleepsync") {
+		t.Error("annotation suppressed an analyzer it does not name")
+	}
+	// Line 6 (y call) carries a trailing two-name annotation.
+	if !idx.Suppressed(fset, pos(6), "lockscope") || !idx.Suppressed(fset, pos(6), "sleepsync") {
+		t.Error("trailing multi-name annotation did not suppress both names")
+	}
+	// Line 7's bare annotation is malformed: it suppresses nothing and
+	// is reported.
+	if idx.Suppressed(fset, pos(8), "corrupterr") {
+		t.Error("a reasonless annotation must not suppress")
+	}
+	if len(idx.Malformed()) != 1 {
+		t.Errorf("malformed = %d, want 1 (the reasonless annotation only, not doc prose)", len(idx.Malformed()))
+	}
+}

@@ -1,0 +1,203 @@
+// Package analysistest runs an analyzer over fixture packages and
+// checks its diagnostics against // want expectations, mirroring
+// x/tools/go/analysis/analysistest for the in-repo analysis framework.
+//
+// Fixtures live in GOPATH-style trees: testdata/src/<pkgpath>/*.go.
+// Imports between fixture packages resolve inside the tree ("a" imports
+// "value" from testdata/src/value); everything else resolves from the
+// standard library, type-checked from source so no pre-built export
+// data is required.
+//
+// Expectations are comments of the form
+//
+//	expr() // want `regexp` `another regexp`
+//
+// Each diagnostic the analyzer reports must match one unconsumed
+// expectation on its line, and every expectation must be consumed —
+// both a missing and a surplus diagnostic fail the test. Suppression
+// runs before matching, so fixtures exercise tweeqlvet:ignore handling
+// too: a properly annotated line wants nothing, and a malformed
+// annotation wants the "ignore" pseudo-analyzer's report.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"testing"
+
+	"tweeql/internal/analysis"
+)
+
+// TestData returns the calling package's testdata/src root.
+func TestData(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(wd, "testdata", "src")
+}
+
+// Run loads the fixture package at root/<pkgpath>, applies the
+// analyzer, and enforces the package's // want expectations.
+func Run(t *testing.T, root string, a *analysis.Analyzer, pkgpath string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	im := &fixtureImporter{
+		root: root,
+		fset: fset,
+		std:  importer.ForCompiler(fset, "source", nil),
+		pkgs: make(map[string]*types.Package),
+	}
+	pkg, err := im.load(pkgpath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgpath, err)
+	}
+	diags, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, pkgpath, err)
+	}
+	match(t, fset, pkg.Files, diags)
+}
+
+// want is one expectation: a regexp on a specific file line.
+type want struct {
+	file     string
+	line     int
+	re       *regexp.Regexp
+	consumed bool
+}
+
+// wantRe finds the expectation clause inside a comment; the clause may
+// be embedded after other comment text (so annotation lines can carry
+// expectations about themselves).
+var wantRe = regexp.MustCompile("//\\s*want((?:\\s+`[^`]*`)+)\\s*$")
+
+// wantPat extracts each backquoted pattern from the clause.
+var wantPat = regexp.MustCompile("`([^`]*)`")
+
+// collectWants parses every // want comment in the fixture files.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, pat := range wantPat.FindAllStringSubmatch(m[1], -1) {
+					re, err := regexp.Compile(pat[1])
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat[1], err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// match checks diagnostics against expectations one-to-one.
+func match(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, fset, files)
+diag:
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		for _, w := range wants {
+			if !w.consumed && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.consumed = true
+				continue diag
+			}
+		}
+		t.Errorf("%s: unexpected diagnostic: [%s] %s", pos, d.Analyzer, d.Message)
+	}
+	for _, w := range wants {
+		if !w.consumed {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// fixtureImporter resolves fixture-tree packages first and falls back
+// to the source importer for the standard library.
+type fixtureImporter struct {
+	root string
+	fset *token.FileSet
+	std  types.Importer
+	pkgs map[string]*types.Package
+}
+
+func (im *fixtureImporter) Import(path string) (*types.Package, error) {
+	if p, ok := im.pkgs[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(im.root, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		pkg, err := im.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return im.std.Import(path)
+}
+
+func (im *fixtureImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	return im.Import(path)
+}
+
+// load parses and type-checks one fixture package directory.
+func (im *fixtureImporter) load(pkgpath string) (*analysis.Package, error) {
+	dir := filepath.Join(im.root, filepath.FromSlash(pkgpath))
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no fixture files in %s", dir)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(im.fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: im}
+	tpkg, err := conf.Check(pkgpath, im.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", pkgpath, err)
+	}
+	im.pkgs[pkgpath] = tpkg
+	return &analysis.Package{
+		PkgPath:   pkgpath,
+		Fset:      im.fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}

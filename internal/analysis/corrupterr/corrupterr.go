@@ -1,0 +1,125 @@
+// Package corrupterr locks in the store's corrupt-input error
+// contract.
+//
+// PR 5 fixed four paths in internal/store where malformed on-disk
+// bytes surfaced as anonymous errors (or worse) instead of wrapping
+// store.ErrCorrupt — the sentinel recovery and fuzzing key on. The
+// invariant, forever: in a package that declares a package-level
+// ErrCorrupt sentinel, every decode/read/scan/recover function that
+// constructs a NEW error must wrap a sentinel or an upstream error
+// with %w. Freshly minted anonymous errors (errors.New, fmt.Errorf
+// without %w) are the exact shape that escaped before, so they are
+// flagged at the construction site.
+//
+// Propagating an upstream error (`return err`, or wrapping it with
+// `fmt.Errorf("...: %w", err)`) is always allowed: the upstream error
+// is either already in the ErrCorrupt chain or a genuine I/O error
+// that must not be mislabeled as corruption.
+//
+// A construction that is deliberate (e.g. an error that really is not
+// an input-corruption report) carries an annotation:
+//
+//	//tweeqlvet:ignore corrupterr -- <why this is not a corrupt-input path>
+package corrupterr
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"tweeql/internal/analysis"
+)
+
+// Analyzer is the corrupterr invariant checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "corrupterr",
+	Doc:  "in packages declaring ErrCorrupt, decode/read paths must wrap ErrCorrupt (or propagate upstream errors) rather than minting anonymous errors",
+	Run:  run,
+}
+
+// targetFunc matches the names of decode/read-path functions under
+// contract. Parsers of user input (ParseFsync) and lifecycle funcs
+// (Open, Close) are out: their errors describe arguments or the
+// environment, not on-disk corruption.
+var targetFunc = regexp.MustCompile(`^(Decode|decode|Read|read|Scan|scan|Recover|recover)`)
+
+func run(pass *analysis.Pass) error {
+	// The contract binds any package that declares the sentinel; other
+	// packages are out of scope.
+	if pass.Pkg.Scope().Lookup("ErrCorrupt") == nil {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue // tests construct arbitrary errors freely
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !targetFunc.MatchString(fd.Name.Name) {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// checkFunc flags anonymous error constructions anywhere inside one
+// decode/read function, including its closures.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case isPkgFunc(pass, call, "errors", "New"):
+			pass.Reportf(call.Pos(), "%s is a decode/read path but errors.New mints an error outside the ErrCorrupt chain; use fmt.Errorf(\"%%w: ...\", ErrCorrupt)", fd.Name.Name)
+		case isPkgFunc(pass, call, "fmt", "Errorf"):
+			if !wrapsSentinelOrUpstream(pass, call) {
+				pass.Reportf(call.Pos(), "%s is a decode/read path but this fmt.Errorf does not wrap ErrCorrupt or an upstream error with %%w", fd.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+// wrapsSentinelOrUpstream reports whether a fmt.Errorf call uses %w
+// with an error-typed operand (a sentinel like ErrCorrupt, or an
+// upstream error being propagated).
+func wrapsSentinelOrUpstream(pass *analysis.Pass, call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		// Dynamic format string: not analyzable; trust a later reviewer
+		// rather than flag what we cannot read.
+		return true
+	}
+	if !strings.Contains(constant.StringVal(tv.Value), "%w") {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type()
+	for _, arg := range call.Args[1:] {
+		if t, ok := pass.TypesInfo.Types[arg]; ok && types.AssignableTo(t.Type, errType) {
+			return true
+		}
+	}
+	return false
+}
+
+// isPkgFunc reports whether call invokes pkg.name (e.g. errors.New).
+func isPkgFunc(pass *analysis.Pass, call *ast.CallExpr, pkg, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == pkg && fn.Name() == name
+}

@@ -1,0 +1,16 @@
+package corrupterr_test
+
+import (
+	"testing"
+
+	"tweeql/internal/analysis/analysistest"
+	"tweeql/internal/analysis/corrupterr"
+)
+
+func TestCorruptErr(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), corrupterr.Analyzer, "a")
+}
+
+func TestNoSentinelNoContract(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), corrupterr.Analyzer, "nosentinel")
+}

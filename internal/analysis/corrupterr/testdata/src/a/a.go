@@ -1,0 +1,62 @@
+// Package a pins the PR 5 corrupt-error contract: in a package that
+// declares ErrCorrupt, decode/read paths must not mint anonymous
+// errors — malformed input either wraps the sentinel or propagates the
+// upstream error.
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCorrupt activates the contract for this package.
+var ErrCorrupt = errors.New("a: corrupt")
+
+// The PR 5 escape shape: a decode path minting errors outside the
+// sentinel chain, invisible to errors.Is(err, ErrCorrupt) recovery.
+func decodeFrame(b []byte) error {
+	if len(b) < 4 {
+		return errors.New("short frame") // want `errors\.New mints an error outside the ErrCorrupt chain`
+	}
+	if b[0] != 0x7f {
+		return fmt.Errorf("bad magic %x", b[0]) // want `does not wrap ErrCorrupt or an upstream error`
+	}
+	return nil
+}
+
+// Wrapping the sentinel is the contract.
+func decodeHeader(b []byte) error {
+	if len(b) < 8 {
+		return fmt.Errorf("%w: header truncated at %d bytes", ErrCorrupt, len(b))
+	}
+	return nil
+}
+
+// Propagating an upstream error is always allowed: it is either
+// already in the ErrCorrupt chain or a genuine I/O error that must not
+// be mislabeled as corruption.
+func readIndex(read func() error) error {
+	if err := read(); err != nil {
+		return fmt.Errorf("read index: %w", err)
+	}
+	return nil
+}
+
+// Non-decode lifecycle functions are out of contract: their errors
+// describe arguments or the environment, not on-disk bytes.
+func Open(path string) error {
+	if path == "" {
+		return errors.New("empty path")
+	}
+	return nil
+}
+
+// A deliberate non-corruption error inside a decode path carries its
+// justification.
+func decodeLimited(n int) error {
+	if n > 1<<20 {
+		//tweeqlvet:ignore corrupterr -- resource limit, not input corruption
+		return errors.New("value too large")
+	}
+	return nil
+}

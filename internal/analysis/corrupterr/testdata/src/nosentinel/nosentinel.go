@@ -1,0 +1,12 @@
+// Package nosentinel declares no ErrCorrupt, so the corrupterr
+// contract does not bind it: decode functions may construct any error.
+package nosentinel
+
+import "errors"
+
+func decodeFreely(b []byte) error {
+	if len(b) == 0 {
+		return errors.New("anything goes here")
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+// Package goroutinectx requires an exit signal in long-running
+// goroutines.
+//
+// A `go func` whose body spins in an unconditional `for {}` loop with
+// no way to observe cancellation never terminates: it leaks past
+// engine shutdown, keeps sources and subscriptions alive, and turns
+// graceful teardown (tweeqld drains cursors, then streams, then HTTP)
+// into a hang. Every infinite loop inside a goroutine literal must be
+// able to exit: receive from a ctx.Done()/stop/done channel, consult
+// ctx.Err(), or call into a context-aware API (a call that takes a
+// context.Context terminates when that context does).
+//
+// Bounded loops (`for cond {}`, `for i := ...`), and `for range ch`
+// loops (which end when the channel closes) are fine as-is.
+//
+// A loop whose lifetime is intentionally the process's (e.g. a
+// signal-handler pump) carries an annotation:
+//
+//	//tweeqlvet:ignore goroutinectx -- runs for the process lifetime by design
+package goroutinectx
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"tweeql/internal/analysis"
+)
+
+// Analyzer is the goroutinectx invariant checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "goroutinectx",
+	Doc:  "infinite loops inside goroutine literals must observe ctx.Done(), a done/stop channel, or a context-aware call",
+	Run:  run,
+}
+
+// doneName matches channel expressions conventionally used as exit
+// signals.
+var doneName = regexp.MustCompile(`(?i)(^|\.)(done|stop|quit|closed?|cancel|exit)(\(\))?$`)
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := g.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			checkGoroutine(pass, lit)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkGoroutine flags every infinite for-loop in the goroutine body
+// that has no observable exit signal.
+func checkGoroutine(pass *analysis.Pass, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Cond != nil {
+			return true
+		}
+		if !hasExitSignal(pass, loop.Body) {
+			pass.Reportf(loop.Pos(), "infinite loop in goroutine has no exit signal; select on ctx.Done() or a stop/done channel so the goroutine can terminate")
+		}
+		return true
+	})
+}
+
+// hasExitSignal reports whether the loop body can observe
+// cancellation: a receive from a done-ish channel or ctx.Done(), a
+// ctx.Err() check, or a call passing a context.Context onward.
+func hasExitSignal(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" && doneName.MatchString(types.ExprString(n.X)) {
+				found = true
+			}
+		case *ast.RangeStmt:
+			// Ranging over a channel ends when the producer closes it —
+			// the producer owns cancellation.
+			if t, ok := pass.TypesInfo.Types[n.X]; ok {
+				if _, isChan := t.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if isCtxMethod(pass, n, "Err") || isCtxMethod(pass, n, "Done") {
+				found = true
+				return false
+			}
+			for _, arg := range n.Args {
+				if t, ok := pass.TypesInfo.Types[arg]; ok && isContext(t.Type) {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isCtxMethod reports whether call is <ctx>.<name>() on a
+// context.Context value.
+func isCtxMethod(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	t, ok := pass.TypesInfo.Types[sel.X]
+	return ok && isContext(t.Type)
+}
+
+// isContext reports whether t is context.Context.
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

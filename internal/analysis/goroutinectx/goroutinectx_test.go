@@ -1,0 +1,12 @@
+package goroutinectx_test
+
+import (
+	"testing"
+
+	"tweeql/internal/analysis/analysistest"
+	"tweeql/internal/analysis/goroutinectx"
+)
+
+func TestGoroutineCtx(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), goroutinectx.Analyzer, "a")
+}

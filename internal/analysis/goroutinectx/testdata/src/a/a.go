@@ -1,0 +1,78 @@
+// Package a pins which goroutine loops goroutinectx flags: infinite
+// loops with no observable cancellation leak past engine shutdown.
+package a
+
+import "context"
+
+// The leak shape: nothing can ever stop this goroutine.
+func leaky(ch chan int) {
+	go func() {
+		for { // want `infinite loop in goroutine has no exit signal`
+			ch <- 1
+		}
+	}()
+}
+
+// Selecting on a done/stop channel is an exit signal.
+func stopChannel(ch chan int, stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case ch <- 1:
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// Consulting ctx.Err() is an exit signal.
+func ctxErr(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			if ctx.Err() != nil {
+				return
+			}
+			ch <- 1
+		}
+	}()
+}
+
+// Calling a context-aware API forwards cancellation.
+func ctxAwareCall(ctx context.Context, step func(context.Context) error) {
+	go func() {
+		for {
+			if err := step(ctx); err != nil {
+				return
+			}
+		}
+	}()
+}
+
+// Ranging over a channel ends when the producer closes it.
+func rangeOverChannel(in chan int, out chan int) {
+	go func() {
+		for v := range in {
+			out <- v
+		}
+	}()
+}
+
+// Bounded loops are not infinite loops.
+func bounded(n int, ch chan int) {
+	go func() {
+		for i := 0; i < n; i++ {
+			ch <- i
+		}
+	}()
+}
+
+// A process-lifetime pump carries its justification.
+func annotated(ch chan struct{}) {
+	go func() {
+		//tweeqlvet:ignore goroutinectx -- fixture: runs for the process lifetime by design
+		for {
+			<-ch
+		}
+	}()
+}

@@ -1,0 +1,196 @@
+// Package load turns `go list` output into type-checked packages for
+// tweeqlvet's analyzers.
+//
+// The usual driver for go/analysis tools is golang.org/x/tools/go/packages,
+// which this repo cannot depend on (no module dependencies, and the
+// build must work with no module proxy). The same result is available
+// from the toolchain alone: `go list -test -export -deps -json` both
+// plans the build (which files form each package, including the
+// test-augmented "p [p.test]" variants) and compiles export data for
+// every dependency. Each target package is then parsed from source and
+// type-checked with go/types, resolving imports through the compiler's
+// export data via go/importer — no network, no third-party code.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"tweeql/internal/analysis"
+)
+
+// listPackage is the subset of `go list -json` output the loader uses.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	CgoFiles   []string
+	Export     string
+	Standard   bool
+	ForTest    string
+	Module     *struct{ Path string }
+	Incomplete bool
+	Error      *struct{ Err string }
+	DepsErrors []struct{ Err string }
+}
+
+// basePath strips the " [p.test]" variant suffix from an import path.
+func basePath(importPath string) string {
+	if i := strings.Index(importPath, " ["); i >= 0 {
+		return importPath[:i]
+	}
+	return importPath
+}
+
+// Packages runs `go list` in dir for the given patterns and returns
+// every module package (with its test files) type-checked and ready
+// for analysis. When a test-augmented variant of a package exists, the
+// variant is analyzed instead of the plain package so each file is
+// checked exactly once.
+func Packages(dir string, patterns []string) ([]*analysis.Package, error) {
+	args := append([]string{
+		"list", "-e", "-test", "-export", "-deps",
+		"-json=ImportPath,Dir,GoFiles,CgoFiles,Export,Standard,ForTest,Module,Incomplete,Error,DepsErrors",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	var all []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		all = append(all, p)
+	}
+
+	// Export data maps: the plain build, plus per-test-binary variant
+	// overlays ("p [q.test]" entries keyed by the tested package q).
+	plainExport := make(map[string]string)
+	variantExport := make(map[string]map[string]string)
+	hasVariant := make(map[string]bool)
+	for _, p := range all {
+		if p.Export == "" {
+			continue
+		}
+		if p.ForTest == "" {
+			plainExport[p.ImportPath] = p.Export
+			continue
+		}
+		byPath := variantExport[p.ForTest]
+		if byPath == nil {
+			byPath = make(map[string]string)
+			variantExport[p.ForTest] = byPath
+		}
+		byPath[basePath(p.ImportPath)] = p.Export
+		if basePath(p.ImportPath) == p.ForTest {
+			hasVariant[p.ForTest] = true
+		}
+	}
+
+	fset := token.NewFileSet()
+	var pkgs []*analysis.Package
+	for _, p := range all {
+		if !analyzable(p, hasVariant) {
+			continue
+		}
+		pkg, err := check(fset, p, plainExport, variantExport[p.ForTest])
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// analyzable picks the compilation units worth analyzing: packages in
+// this module, skipping synthesized test mains and plain packages
+// superseded by their test-augmented variant.
+func analyzable(p *listPackage, hasVariant map[string]bool) bool {
+	if p.Standard || p.Module == nil || len(p.GoFiles) == 0 {
+		return false
+	}
+	if strings.HasSuffix(p.ImportPath, ".test") {
+		return false // synthesized test main
+	}
+	if len(p.CgoFiles) > 0 {
+		return false // cgo is out of scope for this driver
+	}
+	if p.ForTest == "" && hasVariant[p.ImportPath] {
+		return false // the "p [p.test]" variant covers these files and more
+	}
+	if p.Error != nil {
+		return false // go list already reported it; -e keeps us going
+	}
+	return true
+}
+
+// check parses and type-checks one package against export data.
+func check(fset *token.FileSet, p *listPackage, plain map[string]string, variant map[string]string) (*analysis.Package, error) {
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(p.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %v", path, err)
+		}
+		files = append(files, f)
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if exp, ok := variant[path]; ok {
+			return os.Open(exp)
+		}
+		if exp, ok := plain[path]; ok {
+			return os.Open(exp)
+		}
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	conf := types.Config{
+		// A fresh importer per package keeps each test binary's variant
+		// overlay from leaking into other packages' type identities.
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tpkg, err := conf.Check(basePath(p.ImportPath), fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", p.ImportPath, err)
+	}
+	return &analysis.Package{
+		PkgPath:   p.ImportPath,
+		Fset:      fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}

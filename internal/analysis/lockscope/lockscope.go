@@ -1,0 +1,439 @@
+// Package lockscope forbids potentially-blocking operations while a
+// sync.Mutex or sync.RWMutex is held.
+//
+// This is the PR 4 deadlock class: DerivedStream's Block-policy
+// publisher parked on ring space while holding a fan-out shard lock,
+// and the reader that would have drained the ring needed that same
+// lock to wake — publisher and reader each waiting on the other. The
+// general invariant: a critical section must not wait on anything
+// another goroutine produces, because that goroutine may need the held
+// lock to produce it.
+//
+// Within one function, after x.Lock()/x.RLock() and before the
+// matching unlock (or to the end of the function for `defer
+// x.Unlock()`), the analyzer flags:
+//
+//   - channel sends and receives (a select with a `default` case is
+//     non-blocking and permitted)
+//   - select statements without a default case
+//   - time.Sleep and sync.WaitGroup.Wait
+//   - fan-out and subscription calls by name: Subscribe, Recv,
+//     Publish, PublishBatch — the engine's cross-goroutine
+//     rendezvous points
+//   - calls through function values (fields, parameters, variables):
+//     a callback invoked under a lock runs unknown code that may need
+//     the lock
+//
+// sync.Cond.Wait is exempt: it releases the mutex while waiting —
+// that is the sanctioned way to block in a critical section (and how
+// the PR 4 bug was ultimately fixed).
+//
+// The analysis is intraprocedural and optimistic: it tracks locks
+// acquired in the function being analyzed, follows straight-line flow
+// into branches, and merges branch outcomes by intersection, so a
+// branch that unlocks-and-returns does not poison the fall-through
+// path. Locks held by callers are invisible — the blocklist of
+// rendezvous calls is what catches one function blocking inside
+// another's critical section. A deliberate blocking call under a lock
+// (for example serialized I/O in an appender) carries an annotation:
+//
+//	//tweeqlvet:ignore lockscope -- <why this cannot deadlock>
+package lockscope
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"tweeql/internal/analysis"
+)
+
+// Analyzer is the lockscope invariant checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockscope",
+	Doc:  "no channel operations, blocking waits, fan-out calls, or callback invocations while holding a sync.Mutex/RWMutex",
+	Run:  run,
+}
+
+// blockingNames are method names that rendezvous with another
+// goroutine in this codebase's architecture: calling one while holding
+// a lock re-creates the PR 4 deadlock shape regardless of receiver
+// type (the fan-out hub, subscriptions, and their wrappers all share
+// these names).
+var blockingNames = map[string]bool{
+	"Subscribe":    true,
+	"Recv":         true,
+	"Publish":      true,
+	"PublishBatch": true,
+}
+
+func run(pass *analysis.Pass) error {
+	s := &scanner{pass: pass}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			// Every function body — declarations and literals alike —
+			// starts with no locks held; literals are visited by this
+			// same Inspect, so each body is scanned exactly once.
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					s.block(fn.Body.List, state{})
+				}
+			case *ast.FuncLit:
+				s.block(fn.Body.List, state{})
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// state maps a lock's receiver expression (its source text) to the
+// position where it was acquired.
+type state map[string]token.Pos
+
+func (st state) clone() state {
+	out := make(state, len(st))
+	for k, v := range st {
+		out[k] = v
+	}
+	return out
+}
+
+// intersect keeps only locks held in every non-terminated branch.
+func intersect(states []state) state {
+	if len(states) == 0 {
+		return state{}
+	}
+	out := states[0].clone()
+	for _, other := range states[1:] {
+		for k := range out {
+			if _, ok := other[k]; !ok {
+				delete(out, k)
+			}
+		}
+	}
+	return out
+}
+
+type scanner struct {
+	pass *analysis.Pass
+}
+
+// block walks a statement list, threading the held-lock state through
+// it. It returns the state at the end and whether the path terminated
+// (return / break / continue / goto).
+func (s *scanner) block(list []ast.Stmt, held state) (state, bool) {
+	for _, stmt := range list {
+		var term bool
+		held, term = s.stmt(stmt, held)
+		if term {
+			return held, true
+		}
+	}
+	return held, false
+}
+
+func (s *scanner) stmt(stmt ast.Stmt, held state) (state, bool) {
+	switch st := stmt.(type) {
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if key, lock, isOp := s.mutexOp(call); isOp {
+				if lock {
+					held[key] = call.Pos()
+				} else {
+					delete(held, key)
+				}
+				return held, false
+			}
+		}
+		s.expr(st.X, held)
+	case *ast.DeferStmt:
+		// `defer mu.Unlock()` keeps the lock held for the remainder of
+		// the function — exactly how the state already reads, so it is
+		// a no-op here. The deferred call itself runs at return time,
+		// outside this scan; only its argument expressions run now.
+		if _, _, isOp := s.mutexOp(st.Call); !isOp {
+			for _, arg := range st.Call.Args {
+				s.expr(arg, held)
+			}
+		}
+	case *ast.GoStmt:
+		// Launching is non-blocking; the literal's body is scanned
+		// separately with an empty state. Arguments evaluate now.
+		for _, arg := range st.Call.Args {
+			s.expr(arg, held)
+		}
+	case *ast.SendStmt:
+		s.expr(st.Chan, held)
+		s.expr(st.Value, held)
+		s.violate(st.Arrow, held, "channel send")
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			s.expr(e, held)
+		}
+		for _, e := range st.Lhs {
+			s.expr(e, held)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						s.expr(e, held)
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		s.expr(st.X, held)
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			s.expr(e, held)
+		}
+		return held, true
+	case *ast.BranchStmt:
+		return held, true
+	case *ast.LabeledStmt:
+		return s.stmt(st.Stmt, held)
+	case *ast.BlockStmt:
+		return s.block(st.List, held)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			held, _ = s.stmt(st.Init, held)
+		}
+		s.expr(st.Cond, held)
+		var outs []state
+		thenOut, thenTerm := s.block(st.Body.List, held.clone())
+		if !thenTerm {
+			outs = append(outs, thenOut)
+		}
+		if st.Else != nil {
+			elseOut, elseTerm := s.stmt(st.Else, held.clone())
+			if !elseTerm {
+				outs = append(outs, elseOut)
+			}
+		} else {
+			outs = append(outs, held)
+		}
+		if len(outs) == 0 {
+			return held, true
+		}
+		return intersect(outs), false
+	case *ast.ForStmt:
+		if st.Init != nil {
+			held, _ = s.stmt(st.Init, held)
+		}
+		if st.Cond != nil {
+			s.expr(st.Cond, held)
+		}
+		// One pass over the body; loop-carried lock state is out of
+		// scope for this analyzer (fixtures pin the supported shapes).
+		s.block(st.Body.List, held.clone())
+		return held, false
+	case *ast.RangeStmt:
+		s.expr(st.X, held)
+		s.block(st.Body.List, held.clone())
+		return held, false
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			held, _ = s.stmt(st.Init, held)
+		}
+		if st.Tag != nil {
+			s.expr(st.Tag, held)
+		}
+		return s.caseBodies(st.Body, held)
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			held, _ = s.stmt(st.Init, held)
+		}
+		return s.caseBodies(st.Body, held)
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			s.violate(st.Pos(), held, "select without default")
+		}
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				s.block(cc.Body, held.clone())
+			}
+		}
+		return held, false
+	}
+	return held, false
+}
+
+// caseBodies walks switch cases on state copies and merges the
+// non-terminated outcomes by intersection.
+func (s *scanner) caseBodies(body *ast.BlockStmt, held state) (state, bool) {
+	var outs []state
+	sawDefault := false
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			sawDefault = true
+		}
+		for _, e := range cc.List {
+			s.expr(e, held)
+		}
+		out, term := s.block(cc.Body, held.clone())
+		if !term {
+			outs = append(outs, out)
+		}
+	}
+	if !sawDefault {
+		outs = append(outs, held) // no default: the switch may fall through
+	}
+	if len(outs) == 0 {
+		return held, true
+	}
+	return intersect(outs), false
+}
+
+// expr inspects an expression for blocking operations, skipping nested
+// function literals (they run later, with their own empty state).
+func (s *scanner) expr(e ast.Expr, held state) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				s.violate(n.Pos(), held, "channel receive")
+			}
+		case *ast.CallExpr:
+			s.checkCall(n, held)
+		}
+		return true
+	})
+}
+
+// checkCall classifies one call made while locks may be held.
+func (s *scanner) checkCall(call *ast.CallExpr, held state) {
+	if len(held) == 0 {
+		return
+	}
+	if tv, ok := s.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		return // conversion, not a call
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		switch obj := s.pass.TypesInfo.Uses[fun].(type) {
+		case *types.Builtin:
+			return
+		case *types.Var:
+			s.violate(call.Pos(), held, "call through function value "+fun.Name)
+			return
+		case *types.Func:
+			_ = obj // static call to a package function: allowed
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := s.pass.TypesInfo.Selections[fun]; ok {
+			switch sel.Kind() {
+			case types.FieldVal:
+				s.violate(call.Pos(), held, "call through function field "+types.ExprString(fun))
+				return
+			case types.MethodVal:
+				m := sel.Obj().(*types.Func)
+				if fromSync(m, "Cond", "") {
+					return // Cond.Wait releases the mutex; Signal/Broadcast never block
+				}
+				if fromSync(m, "WaitGroup", "Wait") {
+					s.violate(call.Pos(), held, "sync.WaitGroup.Wait")
+					return
+				}
+				if blockingNames[m.Name()] {
+					s.violate(call.Pos(), held, "fan-out call "+types.ExprString(fun))
+					return
+				}
+			}
+		} else if fn, ok := s.pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			// Package-qualified call (no selection entry).
+			if fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "Sleep" {
+				s.violate(call.Pos(), held, "time.Sleep")
+				return
+			}
+			if blockingNames[fn.Name()] {
+				s.violate(call.Pos(), held, "fan-out call "+types.ExprString(fun))
+				return
+			}
+		} else if obj, ok := s.pass.TypesInfo.Uses[fun.Sel].(*types.Var); ok {
+			_ = obj
+			s.violate(call.Pos(), held, "call through function value "+types.ExprString(fun))
+			return
+		}
+	}
+}
+
+// violate reports one blocking operation if any lock is held.
+func (s *scanner) violate(pos token.Pos, held state, what string) {
+	if len(held) == 0 {
+		return
+	}
+	// Name the longest-held lock for the message.
+	var key string
+	var at token.Pos
+	for k, p := range held {
+		if key == "" || p < at {
+			key, at = k, p
+		}
+	}
+	s.pass.Reportf(pos, "%s while %s is locked (line %d): a critical section must not wait on another goroutine (PR 4 deadlock class)", what, key, s.pass.Fset.Position(at).Line)
+}
+
+// mutexOp recognizes x.Lock()/x.RLock()/x.Unlock()/x.RUnlock() on
+// sync mutexes (including embedded ones) and returns the lock's
+// receiver text and whether the op acquires.
+func (s *scanner) mutexOp(call *ast.CallExpr) (key string, lock, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	name := sel.Sel.Name
+	if name != "Lock" && name != "RLock" && name != "Unlock" && name != "RUnlock" {
+		return "", false, false
+	}
+	selection, found := s.pass.TypesInfo.Selections[sel]
+	if !found {
+		return "", false, false
+	}
+	m, isFunc := selection.Obj().(*types.Func)
+	if !isFunc || !(fromSync(m, "Mutex", "") || fromSync(m, "RWMutex", "") || fromSync(m, "Locker", "")) {
+		return "", false, false
+	}
+	return types.ExprString(sel.X), name == "Lock" || name == "RLock", true
+}
+
+// fromSync reports whether m is a method of sync.<recvType> (any
+// method when method == "").
+func fromSync(m *types.Func, recvType, method string) bool {
+	if m.Pkg() == nil || m.Pkg().Path() != "sync" {
+		return false
+	}
+	if method != "" && m.Name() != method {
+		return false
+	}
+	sig, ok := m.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	switch t := t.(type) {
+	case *types.Named:
+		return t.Obj().Name() == recvType
+	case *types.Interface:
+		return recvType == "Locker"
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package lockscope_test
+
+import (
+	"testing"
+
+	"tweeql/internal/analysis/analysistest"
+	"tweeql/internal/analysis/lockscope"
+)
+
+func TestLockScope(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), lockscope.Analyzer, "a")
+}

@@ -1,0 +1,129 @@
+// Package a pins the lock-scope shapes lockscope must and must not
+// flag. The flagged cases are the PR 4 deadlock class in miniature:
+// a critical section waiting on something only another goroutine can
+// produce.
+package a
+
+import (
+	"sync"
+	"time"
+)
+
+type bus struct{}
+
+func (bus) Subscribe() {}
+
+type stream struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	out   chan int
+	cb    func(int)
+	space sync.Cond
+	wg    sync.WaitGroup
+	b     bus
+}
+
+// The PR 4 regression shape: a Block-policy publisher parked on a
+// channel while holding the fan-out lock. The reader that would drain
+// the channel needs the same lock to wake.
+func (s *stream) publishBlocking(v int) {
+	s.mu.Lock()
+	s.out <- v // want `channel send while s\.mu is locked \(line \d+\)`
+	s.mu.Unlock()
+}
+
+func (s *stream) recvUnderLock() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.out // want `channel receive while s\.mu is locked`
+}
+
+func (s *stream) selectUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `select without default while s\.mu is locked`
+	case v := <-s.out:
+		_ = v
+	}
+}
+
+// A non-blocking wake — select with a default case — is the sanctioned
+// under-lock notification pattern.
+func (s *stream) wake() {
+	s.mu.Lock()
+	select {
+	case s.out <- 0:
+	default:
+	}
+	s.mu.Unlock()
+}
+
+func (s *stream) sleepUnderRLock() {
+	s.rw.RLock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while s\.rw is locked`
+	s.rw.RUnlock()
+}
+
+func (s *stream) waitGroupUnderLock() {
+	s.mu.Lock()
+	s.wg.Wait() // want `sync\.WaitGroup\.Wait while s\.mu is locked`
+	s.mu.Unlock()
+}
+
+func (s *stream) fanOutUnderLock() {
+	s.mu.Lock()
+	s.b.Subscribe() // want `fan-out call s\.b\.Subscribe while s\.mu is locked`
+	s.mu.Unlock()
+}
+
+func (s *stream) callbackUnderLock(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cb(v) // want `call through function field s\.cb while s\.mu is locked`
+}
+
+func (s *stream) funcValueUnderLock(fn func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fn() // want `call through function value fn while s\.mu is locked`
+}
+
+// Snapshot-then-call is the sanctioned fix: the callback runs after
+// the unlock, on a copy taken inside the critical section.
+func (s *stream) callbackAfterUnlock(v int) {
+	s.mu.Lock()
+	cb := s.cb
+	s.mu.Unlock()
+	cb(v)
+}
+
+// Cond.Wait releases the mutex while waiting — exempt. This is how the
+// PR 4 deadlock was ultimately fixed.
+func (s *stream) condWait() {
+	s.mu.Lock()
+	for len(s.out) == 0 {
+		s.space.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// A branch that unlocks and returns must not poison the fall-through
+// path (branch states merge by intersection).
+func (s *stream) branchMerge(ok bool) {
+	s.mu.Lock()
+	if ok {
+		s.mu.Unlock()
+		s.out <- 1
+		return
+	}
+	s.mu.Unlock()
+	s.out <- 2
+}
+
+// A deliberate blocking call under a lock carries its justification.
+func (s *stream) annotated(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//tweeqlvet:ignore lockscope -- fixture: deliberate block with a documented reason
+	s.out <- v
+}

@@ -1,0 +1,69 @@
+// Package sleepsync flags time.Sleep-based synchronization in test
+// files.
+//
+// A test that sleeps "long enough" for a goroutine to reach a state is
+// a race with the scheduler: it flakes under -race, under load, and on
+// slow CI machines (this repo's PR 1 de-flaked exactly such tests).
+// Tests must synchronize on observable state — a channel handshake or
+// a condition poll with a deadline (internal/testutil.WaitFor) — not
+// on wall-clock time.
+//
+// The testutil package itself is exempt: its polling helpers own the
+// one legitimate sleep. A sleep that genuinely simulates latency (a
+// slow UDF, a paced mock server) rather than synchronizing may be
+// annotated:
+//
+//	//tweeqlvet:ignore sleepsync -- simulates a slow geocode backend
+package sleepsync
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"tweeql/internal/analysis"
+)
+
+// Analyzer is the sleepsync invariant checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "sleepsync",
+	Doc:  "forbid time.Sleep-based synchronization in _test.go files (use testutil.WaitFor or a channel handshake)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "testutil" {
+		return nil // the shared polling helpers legitimately sleep
+	}
+	for _, file := range pass.Files {
+		name := pass.Fset.Position(file.Pos()).Filename
+		if !strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isTimeSleep(pass, call) {
+				pass.Reportf(call.Pos(), "time.Sleep in a test synchronizes on wall-clock time and flakes under load; poll with testutil.WaitFor or use a channel handshake")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isTimeSleep reports whether call is time.Sleep(...).
+func isTimeSleep(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == "time" && fn.Name() == "Sleep"
+}

@@ -1,0 +1,16 @@
+package sleepsync_test
+
+import (
+	"testing"
+
+	"tweeql/internal/analysis/analysistest"
+	"tweeql/internal/analysis/sleepsync"
+)
+
+func TestSleepSync(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), sleepsync.Analyzer, "a")
+}
+
+func TestTestutilExempt(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), sleepsync.Analyzer, "testutil")
+}

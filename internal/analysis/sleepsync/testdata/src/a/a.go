@@ -1,0 +1,10 @@
+// Package a pins sleepsync's scope: only _test.go files are under
+// contract. Production code may sleep (pacing, backoff) — other
+// analyzers police those contexts.
+package a
+
+import "time"
+
+func pace() {
+	time.Sleep(time.Millisecond)
+}

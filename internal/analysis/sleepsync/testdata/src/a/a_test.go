@@ -1,0 +1,21 @@
+package a
+
+import "time"
+
+// The flake shape: a fixed delay racing the scheduler.
+func sleepToSync() {
+	time.Sleep(10 * time.Millisecond) // want `time\.Sleep in a test synchronizes on wall-clock time`
+}
+
+// A justified sleep (e.g. simulated work latency) is annotated.
+func annotatedSleep() {
+	//tweeqlvet:ignore sleepsync -- fixture: simulated work latency, not synchronization
+	time.Sleep(time.Millisecond)
+}
+
+// An ignore missing its reason suppresses nothing and is itself
+// reported.
+func bareIgnore() {
+	//tweeqlvet:ignore sleepsync // want `missing its mandatory .-- reason. clause`
+	time.Sleep(time.Millisecond) // want `time\.Sleep in a test synchronizes on wall-clock time`
+}

@@ -1,0 +1,52 @@
+// Package a pins the check-Kind-first contract on value.Value's raw
+// accessors.
+package a
+
+import "value"
+
+// A Kind guard before the accessor satisfies the contract.
+func guarded(v value.Value) string {
+	if v.Kind() != value.KindString {
+		return ""
+	}
+	return v.Str()
+}
+
+// A switch on Kind counts as a guard.
+func switchGuarded(v value.Value) float64 {
+	switch v.Kind() {
+	case value.KindInt:
+		return float64(v.IntRaw())
+	case value.KindFloat:
+		return v.Num()
+	}
+	return 0
+}
+
+// No guard anywhere: the wrong-result bug waiting for kind drift.
+func unguarded(v value.Value) string {
+	return v.Str() // want `raw accessor v\.Str\(\) without a preceding v\.Kind\(\) check`
+}
+
+// A guard that comes after the accessor does not protect it.
+func guardTooLate(v value.Value) string {
+	s := v.Str() // want `raw accessor v\.Str\(\) without a preceding v\.Kind\(\) check`
+	if v.Kind() != value.KindString {
+		return ""
+	}
+	return s
+}
+
+// Guarding one receiver says nothing about another.
+func wrongReceiver(v, w value.Value) float64 {
+	if v.Kind() != value.KindFloat {
+		return 0
+	}
+	return w.Num() // want `raw accessor w\.Num\(\) without a preceding w\.Kind\(\) check`
+}
+
+// The compiled-kernel annotation asserts the kind is proven elsewhere.
+func annotated(v value.Value) int64 {
+	// kernel: kind pre-proven
+	return v.IntRaw()
+}

@@ -1,0 +1,34 @@
+// Package value is a fixture-local miniature of the engine's value
+// package: the analyzer recognizes raw accessors by method name on a
+// type named Value in a package named value.
+package value
+
+// Kind enumerates runtime value types.
+type Kind int
+
+// The kinds the fixtures exercise.
+const (
+	KindInt Kind = iota
+	KindFloat
+	KindString
+)
+
+// Value is the miniature variant type.
+type Value struct {
+	kind Kind
+	s    string
+	f    float64
+	i    int64
+}
+
+// Kind returns the runtime type tag.
+func (v Value) Kind() Kind { return v.kind }
+
+// Str is a raw accessor: no kind check, wrong-kind calls yield "".
+func (v Value) Str() string { return v.s }
+
+// Num is a raw accessor for floats.
+func (v Value) Num() float64 { return v.f }
+
+// IntRaw is a raw accessor for ints.
+func (v Value) IntRaw() int64 { return v.i }

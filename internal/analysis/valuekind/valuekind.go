@@ -1,0 +1,133 @@
+// Package valuekind enforces the compiled-kernel accessor contract on
+// value.Value.
+//
+// Str, Num, and IntRaw skip StringVal/FloatVal's kind check and error
+// path so the expression compiler's fused kernels stay inlinable (PR
+// 2). Their contract is check-Kind-first: calling Str on a non-string
+// silently yields "" — a wrong RESULT, not an error — so an unguarded
+// call is a correctness bug waiting for kind drift (tweet fields
+// change type across rows by design).
+//
+// The analyzer requires every raw accessor call to be lexically
+// preceded, inside the same top-level function, by a Kind() call on
+// the identical receiver expression — `v.Kind() == value.KindString`,
+// `switch v.Kind()`, or `numericKind(v.Kind())` all qualify. The check
+// is lexical, not a dominator analysis: it accepts a guard on an
+// earlier line even when control flow could bypass it. That trade
+// keeps the checker simple and catches the real failure mode (no
+// guard anywhere).
+//
+// Call sites whose kind is proven by construction elsewhere (e.g. a
+// compile-time constant already switched on) carry the annotation the
+// kernel code established:
+//
+//	// kernel: kind pre-proven
+//
+// on the call's line or the line above.
+package valuekind
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"tweeql/internal/analysis"
+)
+
+// Analyzer is the valuekind invariant checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "valuekind",
+	Doc:  "require a preceding Kind() check (or a `kernel: kind pre-proven` annotation) before raw value.Value accessors Str/Num/IntRaw",
+	Run:  run,
+}
+
+// rawAccessors are the unchecked accessors under contract.
+var rawAccessors = map[string]bool{"Str": true, "Num": true, "IntRaw": true}
+
+// annotation is the accepted proof comment, per the compiled-kernel
+// contract from PR 2.
+const annotation = "kernel: kind pre-proven"
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkFunc scans one top-level function body: it collects the
+// positions of Kind() calls keyed by receiver expression, then demands
+// one before each raw accessor call on the same receiver.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	kindChecks := make(map[string][]token.Pos) // receiver text -> Kind() call positions
+	ast.Inspect(body, func(n ast.Node) bool {
+		if recv, ok := valueMethodRecv(pass, n, "Kind"); ok {
+			key := types.ExprString(recv)
+			kindChecks[key] = append(kindChecks[key], n.Pos())
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !rawAccessors[sel.Sel.Name] || !isValueMethod(pass, sel) {
+			return true
+		}
+		key := types.ExprString(sel.X)
+		for _, p := range kindChecks[key] {
+			if p < call.Pos() {
+				return true
+			}
+		}
+		for _, c := range pass.LineComment(call.Pos()) {
+			if strings.Contains(c, annotation) {
+				return true
+			}
+		}
+		pass.Reportf(call.Pos(), "raw accessor %s.%s() without a preceding %s.Kind() check in this function; check Kind first or annotate with `// %s`", key, sel.Sel.Name, key, annotation)
+		return true
+	})
+}
+
+// valueMethodRecv returns the receiver expression if n is a call of
+// the named method on value.Value.
+func valueMethodRecv(pass *analysis.Pass, n ast.Node, name string) (ast.Expr, bool) {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return nil, false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name || !isValueMethod(pass, sel) {
+		return nil, false
+	}
+	return sel.X, true
+}
+
+// isValueMethod reports whether sel selects a method whose receiver is
+// the value package's Value type (directly or via pointer).
+func isValueMethod(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return false
+	}
+	recv := s.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Value" && obj.Pkg() != nil && obj.Pkg().Name() == "value"
+}

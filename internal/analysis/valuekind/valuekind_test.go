@@ -1,0 +1,12 @@
+package valuekind_test
+
+import (
+	"testing"
+
+	"tweeql/internal/analysis/analysistest"
+	"tweeql/internal/analysis/valuekind"
+)
+
+func TestValueKind(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), valuekind.Analyzer, "a")
+}

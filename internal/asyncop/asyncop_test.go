@@ -40,6 +40,7 @@ func TestOrderPreserved(t *testing.T) {
 	// Workers sleep inversely to index, so completion order inverts input
 	// order — output must still be input order.
 	d := New(func(_ context.Context, x int) (int, error) {
+		//tweeqlvet:ignore sleepsync -- simulated work latency inside the operation under test, not synchronization
 		time.Sleep(time.Duration(10-x) * time.Millisecond)
 		return x, nil
 	}, WithWorkers(10), WithOrderPreserved())
@@ -67,6 +68,7 @@ func TestBoundedConcurrency(t *testing.T) {
 				break
 			}
 		}
+		//tweeqlvet:ignore sleepsync -- simulated work latency so concurrent workers overlap, not synchronization
 		time.Sleep(2 * time.Millisecond)
 		inFlight.Add(-1)
 		return x, nil
@@ -204,6 +206,7 @@ func TestMapCancelled(t *testing.T) {
 	cancel()
 	items := make([]int, 10000)
 	_, err := Map(ctx, items, 1, func(ctx context.Context, x int) (int, error) {
+		//tweeqlvet:ignore sleepsync -- simulated work latency inside the operation under test, not synchronization
 		time.Sleep(time.Millisecond)
 		return x, nil
 	})
@@ -216,6 +219,7 @@ func TestThroughputAdvantage(t *testing.T) {
 	// The E4 claim in miniature: with 5ms per call and 8 workers, 40
 	// calls should take far less than the serial 200ms.
 	d := New(func(_ context.Context, x int) (int, error) {
+		//tweeqlvet:ignore sleepsync -- the E4 experiment needs a fixed per-call latency to measure against; not synchronization
 		time.Sleep(5 * time.Millisecond)
 		return x, nil
 	}, WithWorkers(8))

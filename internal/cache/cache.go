@@ -79,6 +79,7 @@ func (c *Cache[K, V]) Get(key K) (V, bool) {
 		return zero, false
 	}
 	ent := el.Value.(*entry[K, V])
+	//tweeqlvet:ignore lockscope -- c.now is a pure clock (time.Now or a test stub) and must be read under c.mu because SetClock writes it
 	if !ent.expires.IsZero() && c.now().After(ent.expires) {
 		c.removeElement(el)
 		c.stats.Expired++
@@ -97,6 +98,7 @@ func (c *Cache[K, V]) Put(key K, val V) {
 	defer c.mu.Unlock()
 	var expires time.Time
 	if c.ttl > 0 {
+		//tweeqlvet:ignore lockscope -- c.now is a pure clock (time.Now or a test stub) and must be read under c.mu because SetClock writes it
 		expires = c.now().Add(c.ttl)
 	}
 	if el, ok := c.items[key]; ok {

@@ -335,6 +335,7 @@ func (c *Catalog) openTable(name string, create bool) (*Table, error) {
 	}
 	var backend TableBackend
 	if c.factory != nil {
+		//tweeqlvet:ignore lockscope -- the factory does disk I/O, not cross-goroutine waits; holding c.mu serializes creation so two queries cannot double-open one table
 		b, err := c.factory(name, create)
 		if err != nil {
 			return nil, err

@@ -10,6 +10,7 @@ import (
 	"tweeql/internal/catalog"
 	"tweeql/internal/firehose"
 	"tweeql/internal/geocode"
+	"tweeql/internal/testutil"
 	"tweeql/internal/tweet"
 	"tweeql/internal/twitterapi"
 	"tweeql/internal/value"
@@ -319,20 +320,14 @@ func TestIntoStreamComposition(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// INTO STREAM registers the derived stream before Query returns;
-	// poll rather than sleep so the test cannot flake under load.
+	// INTO STREAM registers the derived stream asynchronously; poll
+	// rather than sleep so the test cannot flake under load.
 	var cur2 *Cursor
-	for deadline := time.Now().Add(10 * time.Second); ; {
+	testutil.WaitFor(t, 10*time.Second, func() bool {
 		cur2, err = eng.Query(context.Background(),
 			"SELECT text FROM loud WHERE followers > 10 LIMIT 3")
-		if err == nil {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatal(err)
-		}
-		time.Sleep(time.Millisecond)
-	}
+		return err == nil
+	}, "derived stream to register")
 	go replay()
 	done := make(chan []value.Tuple, 1)
 	go func() { done <- drainCursorQuiet(cur2) }()

@@ -10,6 +10,7 @@ import (
 
 	"tweeql/internal/catalog"
 	"tweeql/internal/firehose"
+	"tweeql/internal/testutil"
 	"tweeql/internal/value"
 )
 
@@ -81,14 +82,7 @@ func liveEngine(t *testing.T, opts Options) (*Engine, *countingLiveSource) {
 // eventually polls cond until it holds or the deadline passes.
 func eventually(t *testing.T, what string, cond func() bool) {
 	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		if cond() {
-			return
-		}
-		time.Sleep(2 * time.Millisecond)
-	}
-	t.Fatalf("timeout waiting for %s", what)
+	testutil.WaitFor(t, 5*time.Second, cond, what)
 }
 
 // TestSharedScanCoalescesQueries pins the tentpole contract: N queries

@@ -497,9 +497,11 @@ func (e *Evaluator) callStateful(ctx context.Context, name string, factory catal
 	e.mu.Lock()
 	inst, exists := e.statefuls[name]
 	if !exists {
+		//tweeqlvet:ignore lockscope -- stateful-UDF contract: factories construct state and must not block; e.mu is what serializes them
 		inst = factory()
 		e.statefuls[name] = inst
 	}
+	//tweeqlvet:ignore lockscope -- stateful-UDF contract: calls serialize on e.mu so running state sees stream order (see doc comment)
 	out, err := inst(ctx, args)
 	e.mu.Unlock()
 	return out, err

@@ -302,6 +302,7 @@ func TestProjectStageSyncAsyncAgree(t *testing.T) {
 		Name: "slow_double", Arity: 1, HighLatency: true,
 		Fn: func(_ context.Context, args []value.Value) (value.Value, error) {
 			calls.Add(1)
+			//tweeqlvet:ignore sleepsync -- simulated slow UDF so the async stage overlaps calls, not synchronization
 			time.Sleep(time.Millisecond)
 			return value.Arith("*", args[0], value.Int(2))
 		},

@@ -15,6 +15,7 @@ import (
 
 	"tweeql/internal/catalog"
 	"tweeql/internal/core"
+	"tweeql/internal/testutil"
 	"tweeql/internal/tweet"
 	"tweeql/internal/twitterapi"
 )
@@ -82,14 +83,7 @@ func getStatus(t *testing.T, base, name string) QueryStatus {
 // waitFor polls cond until it holds or the deadline passes.
 func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
 	t.Helper()
-	deadline := time.Now().Add(d)
-	for time.Now().Before(deadline) {
-		if cond() {
-			return
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
-	t.Fatalf("timed out waiting for %s", what)
+	testutil.WaitFor(t, d, cond, what)
 }
 
 // sseRows reads n data rows from an SSE stream, then disconnects.

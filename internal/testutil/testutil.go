@@ -1,0 +1,33 @@
+// Package testutil holds shared test helpers.
+//
+// It exists mainly so tests stop hand-rolling time.Sleep polling
+// loops: the sleepsync analyzer forbids sleep-based synchronization in
+// _test.go files, and WaitFor is the replacement — a bounded poll that
+// fails the test with a caller-supplied description instead of racing
+// a fixed delay against the scheduler.
+package testutil
+
+import (
+	"testing"
+	"time"
+)
+
+// WaitFor polls cond every millisecond until it returns true or the
+// timeout elapses, then fails the test. Use it wherever a test needs
+// to observe an asynchronous state change (a goroutine draining a
+// channel, a subscriber registering, a file appearing): unlike a bare
+// time.Sleep it is immune to slow-CI scheduling and converges in
+// microseconds on fast machines.
+func WaitFor(t testing.TB, timeout time.Duration, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		if cond() {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out after %v waiting for %s", timeout, what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -98,6 +98,7 @@ func (s *Store) WithTracker(name string, fn func(*Tracker) error) error {
 	if !ok {
 		return fmt.Errorf("twitinfo: unknown event %q", name)
 	}
+	//tweeqlvet:ignore lockscope -- WithTracker's documented contract: fn reads the tracker under s.mu for a consistent dashboard snapshot and must not block
 	return fn(tr)
 }
 

@@ -8,8 +8,16 @@ import (
 	"testing"
 	"time"
 
+	"tweeql/internal/testutil"
 	"tweeql/internal/tweet"
 )
+
+// waitConnected blocks until a streaming client has attached to the
+// hub, so publishes cannot race the long-poll handshake.
+func waitConnected(t *testing.T, h *Hub) {
+	t.Helper()
+	testutil.WaitFor(t, 5*time.Second, func() bool { return h.Connections() > 0 }, "long-poll client to connect")
+}
 
 // httpHub starts an HTTP streaming server over a fresh hub.
 func httpHub(t *testing.T) (*Hub, *httptest.Server) {
@@ -29,12 +37,11 @@ func TestHTTPTrackStream(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	waitConnected(t, h)
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		// Give the long-poll a moment to connect before publishing.
-		time.Sleep(50 * time.Millisecond)
 		h.Publish(&tweet.Tweet{ID: 1, Text: "GOAL by Tevez", CreatedAt: time.Unix(0, 0)})
 		h.Publish(&tweet.Tweet{ID: 2, Text: "irrelevant", CreatedAt: time.Unix(1, 0)})
 		h.Publish(&tweet.Tweet{ID: 3, Text: "another goal", CreatedAt: time.Unix(2, 0)})
@@ -62,8 +69,8 @@ func TestHTTPLocationsRealOrder(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	waitConnected(t, h)
 	go func() {
-		time.Sleep(50 * time.Millisecond)
 		h.Publish(&tweet.Tweet{ID: 1, HasGeo: true, Lat: 40.71, Lon: -74.0, CreatedAt: time.Unix(0, 0)})
 		h.Publish(&tweet.Tweet{ID: 2, HasGeo: true, Lat: 42.36, Lon: -71.05, CreatedAt: time.Unix(1, 0)})
 		h.Close()
@@ -88,8 +95,8 @@ func TestHTTPSampleEndpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	waitConnected(t, h)
 	go func() {
-		time.Sleep(50 * time.Millisecond)
 		for i := 0; i < 5; i++ {
 			h.Publish(&tweet.Tweet{ID: int64(i), Text: "x", CreatedAt: time.Unix(int64(i), 0)})
 		}
@@ -140,7 +147,7 @@ func TestHTTPClientCancellation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	time.Sleep(50 * time.Millisecond)
+	waitConnected(t, h)
 	h.Publish(&tweet.Tweet{ID: 1, Text: "x", CreatedAt: time.Unix(0, 0)})
 	<-ch
 	cancel()
@@ -165,8 +172,8 @@ func TestHTTPFollowStream(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	waitConnected(t, h)
 	go func() {
-		time.Sleep(50 * time.Millisecond)
 		h.Publish(&tweet.Tweet{ID: 1, UserID: 7, Text: "mine", CreatedAt: time.Unix(0, 0)})
 		h.Publish(&tweet.Tweet{ID: 2, UserID: 8, Text: "theirs", CreatedAt: time.Unix(1, 0)})
 		h.Close()

@@ -288,6 +288,15 @@ func (h *Hub) PublishBatch(ts []*tweet.Tweet) {
 	}
 }
 
+// Connections reports the number of currently open streaming
+// connections. Tests use it to wait for a long-poll client to attach
+// before publishing, instead of sleeping and hoping.
+func (h *Hub) Connections() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.conns)
+}
+
 // Published reports the number of firehose tweets seen.
 func (h *Hub) Published() int64 {
 	h.mu.Lock()

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"tweeql"
+	"tweeql/internal/testutil"
 	"tweeql/twitinfo"
 )
 
@@ -93,17 +94,11 @@ func TestPeakDetectUDFPublic(t *testing.T) {
 	// poll (rather than sleep a fixed time) in case that ever becomes
 	// asynchronous, so the test cannot flake on a loaded machine.
 	var cur *tweeql.Cursor
-	for deadline := time.Now().Add(10 * time.Second); ; {
+	testutil.WaitFor(t, 10*time.Second, func() bool {
 		cur, err = eng.Query(context.Background(),
 			"SELECT peak_detect(window_end, n) AS flag, n FROM counts")
-		if err == nil {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatal(err)
-		}
-		time.Sleep(time.Millisecond)
-	}
+		return err == nil
+	}, "derived counts stream to register")
 	go stream.Replay()
 	flags := map[string]bool{}
 	deadline := time.After(60 * time.Second)
