@@ -1,0 +1,406 @@
+// Fault-matrix chaos coverage: every injectable fault class armed
+// against a live engine, asserting the resilience layer's contract —
+// no query ever wedges, siblings on a shared scan are isolated from a
+// dying source, degraded values are NULLs (not errors), and once a
+// fault clears, results are byte-identical to a never-faulted oracle.
+package tweeql_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"tweeql/internal/catalog"
+	"tweeql/internal/core"
+	"tweeql/internal/fault"
+	"tweeql/internal/firehose"
+	"tweeql/internal/geocode"
+	"tweeql/internal/store"
+	"tweeql/internal/testutil"
+	"tweeql/internal/tweet"
+	"tweeql/internal/twitterapi"
+)
+
+// newChaosEngine wires a hub-fed engine with the standard UDFs and
+// chaos-friendly knobs: fast batch flushes, fast scan-restart backoff,
+// and tight UDF deadlines so hang faults resolve in milliseconds.
+func newChaosEngine(t *testing.T, dataDir string) (*core.Engine, *twitterapi.Hub) {
+	t.Helper()
+	hub := twitterapi.NewHub()
+	cat := catalog.New()
+	cat.RegisterSource("twitter", catalog.NewTwitterSource(hub, nil))
+	svc := geocode.NewService(geocode.ServiceConfig{Sleep: func(time.Duration) {}})
+	if err := core.RegisterStandardUDFs(cat, core.Deps{
+		Geocoder:    geocode.NewCachedClient(svc, 10_000, 0),
+		CallTimeout: 100 * time.Millisecond,
+		Retries:     1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	opts := core.DefaultOptions()
+	opts.Seed = 42
+	opts.SourceBuffer = 50_000
+	opts.BatchFlushEvery = 2 * time.Millisecond
+	opts.DataDir = dataDir
+	opts.ScanRestartBackoff = 5 * time.Millisecond
+	eng := core.NewEngine(cat, opts)
+	return eng, hub
+}
+
+// mustDrain reads every row off cur within the deadline — the no-wedge
+// assertion every fault class shares.
+func mustDrain(t *testing.T, cur *core.Cursor) []string {
+	t.Helper()
+	var rows []string
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for r := range cur.Rows() {
+			rows = append(rows, r.String())
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("query wedged: rows channel never closed")
+	}
+	return rows
+}
+
+func chaosTweets(n int) []*tweet.Tweet {
+	return firehose.Tweets(soccerStream()[:n])
+}
+
+// oracleRows runs sql over tweets on a clean engine — the no-fault
+// differential baseline.
+func oracleRows(t *testing.T, sql string, tweets []*tweet.Tweet) []string {
+	t.Helper()
+	eng, hub := newChaosEngine(t, "")
+	defer eng.Close()
+	cur, err := eng.Query(context.Background(), sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twitterapi.Replay(hub, tweets)
+	return mustDrain(t, cur)
+}
+
+func assertIdentical(t *testing.T, label string, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d rows, oracle has %d", label, len(got), len(want))
+	}
+	if len(want) == 0 {
+		t.Fatalf("%s: oracle produced no rows; differential is vacuous", label)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s row %d:\n got    %s\n oracle %s", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestFaultMatrixScanSourceError kills the shared scan's physical
+// source under two sibling queries: the supervisor must reopen it
+// (restart counter ticks), neither sibling may see an error, and rows
+// published after recovery must match the no-fault oracle
+// byte-for-byte.
+func TestFaultMatrixScanSourceError(t *testing.T) {
+	defer fault.Reset()
+	const q1 = `SELECT text FROM twitter`
+	const q2 = `SELECT username FROM twitter`
+	all := chaosTweets(201)
+	sacrificial, main := all[0], all[1:]
+
+	eng, hub := newChaosEngine(t, "")
+	defer eng.Close()
+	cur1, err := eng.Query(context.Background(), q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur2, err := eng.Query(context.Background(), q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scans := eng.Scans(); len(scans) != 1 || scans[0].Queries != 2 {
+		t.Fatalf("scans = %+v, want both queries on one shared scan", scans)
+	}
+
+	// The next received batch dies; the sacrificial tweet rides it.
+	disarm := fault.Arm("scan.source.recv", fault.Spec{Mode: fault.ModeError, Times: 1})
+	defer disarm()
+	hub.Publish(sacrificial)
+	testutil.WaitFor(t, 10*time.Second, func() bool {
+		scans := eng.Scans()
+		return len(scans) == 1 && scans[0].Restarts == 1
+	}, "supervised scan to restart after source error")
+
+	// Post-recovery stream: both siblings must deliver it unharmed.
+	twitterapi.Replay(hub, main)
+	rows1, rows2 := mustDrain(t, cur1), mustDrain(t, cur2)
+	if err := cur1.Stats().Err(); err != nil {
+		t.Fatalf("sibling 1 saw the source error: %v", err)
+	}
+	if err := cur2.Stats().Err(); err != nil {
+		t.Fatalf("sibling 2 saw the source error: %v", err)
+	}
+	assertIdentical(t, "sibling 1", rows1, oracleRows(t, q1, main))
+	assertIdentical(t, "sibling 2", rows2, oracleRows(t, q2, main))
+}
+
+// TestFaultMatrixUDFErrorRetries arms one transient geocode failure:
+// the retry inside the resilience policy absorbs it, so results are
+// byte-identical to the oracle and nothing counts as degraded.
+func TestFaultMatrixUDFErrorRetries(t *testing.T) {
+	defer fault.Reset()
+	const sql = `SELECT latitude(loc) AS lat, text FROM twitter`
+	tweets := chaosTweets(120)
+
+	eng, hub := newChaosEngine(t, "")
+	defer eng.Close()
+	cur, err := eng.Query(context.Background(), sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disarm := fault.Arm("udf.geocode.call", fault.Spec{Mode: fault.ModeError, Times: 1})
+	defer disarm()
+	twitterapi.Replay(hub, tweets)
+	rows := mustDrain(t, cur)
+
+	if fault.Fired("udf.geocode.call") != 1 {
+		t.Fatalf("fault fired %d times, want 1", fault.Fired("udf.geocode.call"))
+	}
+	if d := cur.Stats().Degraded.Load(); d != 0 {
+		t.Fatalf("retried-and-recovered call counted degraded: %d", d)
+	}
+	assertIdentical(t, "retried geocode", rows, oracleRows(t, sql, tweets))
+}
+
+// TestFaultMatrixUDFHangDegrades arms a permanent hang on the geocode
+// service: per-call deadlines must free the workers, every value
+// degrades to NULL (rows still flow), the degraded counter ticks, and
+// the query completes.
+func TestFaultMatrixUDFHangDegrades(t *testing.T) {
+	defer fault.Reset()
+	const sql = `SELECT latitude(loc) AS lat, text FROM twitter`
+	tweets := chaosTweets(30)
+
+	eng, hub := newChaosEngine(t, "")
+	defer eng.Close()
+	cur, err := eng.Query(context.Background(), sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disarm := fault.Arm("udf.geocode.call", fault.Spec{Mode: fault.ModeHang})
+	defer disarm()
+	twitterapi.Replay(hub, tweets)
+	rows := mustDrain(t, cur)
+
+	if err := cur.Stats().Err(); err != nil {
+		t.Fatalf("hung-UDF query errored instead of degrading: %v", err)
+	}
+	want := oracleRows(t, sql, tweets)
+	if len(rows) != len(want) {
+		t.Fatalf("degraded run dropped rows: %d, oracle has %d", len(rows), len(want))
+	}
+	if d := cur.Stats().Degraded.Load(); d == 0 {
+		t.Fatal("hung geocode calls never counted degraded")
+	}
+}
+
+// TestFaultMatrixUDFHangOutlivesAsyncDeadline reproduces the daemon's
+// default-knob shape: the geocode retry budget (attempts x
+// Deps.CallTimeout) is LONGER than the async stage's per-call deadline,
+// so a hung service resolves by the async deadline killing the call
+// context mid-retry, not by retry exhaustion. That deadline must read
+// as service failure (NULL + degraded), not query death (eval error +
+// dropped row) — found live when a hung geocoder produced eval errors
+// under tweeqld's defaults.
+func TestFaultMatrixUDFHangOutlivesAsyncDeadline(t *testing.T) {
+	defer fault.Reset()
+	const sql = `SELECT latitude(loc) AS lat, text FROM twitter`
+	tweets := chaosTweets(30)
+
+	hub := twitterapi.NewHub()
+	cat := catalog.New()
+	cat.RegisterSource("twitter", catalog.NewTwitterSource(hub, nil))
+	svc := geocode.NewService(geocode.ServiceConfig{Sleep: func(time.Duration) {}})
+	if err := core.RegisterStandardUDFs(cat, core.Deps{
+		Geocoder:    geocode.NewCachedClient(svc, 10_000, 0),
+		CallTimeout: 10 * time.Second, // per attempt: far beyond the async deadline
+		Retries:     2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	opts := core.DefaultOptions()
+	opts.Seed = 42
+	opts.SourceBuffer = 50_000
+	opts.BatchFlushEvery = 2 * time.Millisecond
+	opts.AsyncCallTimeout = 50 * time.Millisecond
+	eng := core.NewEngine(cat, opts)
+	defer eng.Close()
+
+	cur, err := eng.Query(context.Background(), sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disarm := fault.Arm("udf.geocode.call", fault.Spec{Mode: fault.ModeHang})
+	defer disarm()
+	twitterapi.Replay(hub, tweets)
+	rows := mustDrain(t, cur)
+
+	if err := cur.Stats().Err(); err != nil {
+		t.Fatalf("hung-UDF query errored instead of degrading: %v", err)
+	}
+	if n := cur.Stats().EvalErrors.Load(); n != 0 {
+		t.Fatalf("async deadline surfaced as %d eval errors, want degraded rows", n)
+	}
+	want := oracleRows(t, sql, tweets)
+	if len(rows) != len(want) {
+		t.Fatalf("degraded run dropped rows: %d, oracle has %d", len(rows), len(want))
+	}
+	if d := cur.Stats().Degraded.Load(); d == 0 {
+		t.Fatal("hung geocode calls never counted degraded")
+	}
+}
+
+// TestFaultMatrixSentimentFault degrades the sentiment classifier for
+// exactly three calls: three NULL scores, three degraded ticks, full
+// row count — the row survives its missing value.
+func TestFaultMatrixSentimentFault(t *testing.T) {
+	defer fault.Reset()
+	const sql = `SELECT sentiment(text) AS s, text FROM twitter`
+	tweets := chaosTweets(50)
+
+	eng, hub := newChaosEngine(t, "")
+	defer eng.Close()
+	cur, err := eng.Query(context.Background(), sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disarm := fault.Arm("udf.sentiment.call", fault.Spec{Mode: fault.ModeError, Times: 3})
+	defer disarm()
+	twitterapi.Replay(hub, tweets)
+	rows := mustDrain(t, cur)
+
+	want := oracleRows(t, sql, tweets)
+	if len(rows) != len(want) {
+		t.Fatalf("degraded run dropped rows: %d, oracle has %d", len(rows), len(want))
+	}
+	if d := cur.Stats().Degraded.Load(); d != 3 {
+		t.Fatalf("degraded = %d, want 3", d)
+	}
+}
+
+// TestFaultMatrixStoreShortWrite injects two short writes into the
+// persistent table's append path during an INTO TABLE run: the store's
+// internal retry must absorb them (advancing past the bytes that
+// landed), and a reopened engine must read back exactly the oracle's
+// rows.
+func TestFaultMatrixStoreShortWrite(t *testing.T) {
+	defer fault.Reset()
+	const run = `SELECT id, text FROM twitter INTO TABLE chaos_sw`
+	const snap = `SELECT * FROM chaos_sw LIMIT 100000`
+	tweets := chaosTweets(100)
+
+	snapshot := func(dir string, arm bool) []string {
+		eng, hub := newChaosEngine(t, dir)
+		cur, err := eng.Query(context.Background(), run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var disarm func()
+		if arm {
+			disarm = fault.Arm("store.append.write", fault.Spec{Mode: fault.ModeShortWrite, Times: 2})
+		}
+		twitterapi.Replay(hub, tweets)
+		select {
+		case <-cur.Drained():
+		case <-time.After(30 * time.Second):
+			t.Fatal("INTO TABLE query wedged")
+		}
+		if err := eng.Close(); err != nil {
+			t.Fatalf("engine close (flushes table): %v", err)
+		}
+		if arm {
+			if n := fault.Fired("store.append.write"); n != 2 {
+				t.Fatalf("fault fired %d times, want 2", n)
+			}
+			disarm()
+		}
+		// Fresh engine over the same data dir: what actually persisted.
+		eng2, _ := newChaosEngine(t, dir)
+		defer eng2.Close()
+		cur2, err := eng2.Query(context.Background(), snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mustDrain(t, cur2)
+	}
+
+	got := snapshot(t.TempDir(), true)
+	want := snapshot(t.TempDir(), false)
+	assertIdentical(t, "post-recovery table", got, want)
+}
+
+// TestFaultMatrixStoreReadOnly arms a permanent append failure: the
+// table flips read-only, later routed rows count degraded instead of
+// killing the query, and everything already written keeps serving.
+func TestFaultMatrixStoreReadOnly(t *testing.T) {
+	defer fault.Reset()
+	tweets := chaosTweets(40)
+	first, rest := tweets[:30], tweets[30:]
+
+	eng, hub := newChaosEngine(t, t.TempDir())
+	defer eng.Close()
+	cur, err := eng.Query(context.Background(), `SELECT id, text FROM twitter INTO TABLE chaos_ro`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := eng.Catalog().OpenedTable("chaos_ro")
+	if tab == nil {
+		t.Fatal("INTO TABLE target not open")
+	}
+	st, ok := tab.Backend().(*store.Table)
+	if !ok {
+		t.Fatalf("backend is %T, want *store.Table", tab.Backend())
+	}
+	hub.PublishBatch(first)
+	testutil.WaitFor(t, 10*time.Second, func() bool {
+		return tab.Len() == len(first)
+	}, "first batch to route into the table")
+
+	disarm := fault.Arm("store.append.write", fault.Spec{Mode: fault.ModeError})
+	defer disarm()
+	if err := st.Flush(); err == nil {
+		t.Fatal("flush under permanent write failure succeeded")
+	}
+	if err := tab.Healthy(); !errors.Is(err, store.ErrReadOnly) {
+		t.Fatalf("table health = %v, want ErrReadOnly", err)
+	}
+
+	// Rows routed after the flip degrade; the query itself survives.
+	hub.PublishBatch(rest)
+	testutil.WaitFor(t, 10*time.Second, func() bool {
+		return cur.Stats().Degraded.Load() >= int64(len(rest))
+	}, "post-degrade rows to count degraded")
+	hub.Close()
+	select {
+	case <-cur.Drained():
+	case <-time.After(30 * time.Second):
+		t.Fatal("query wedged after table degraded")
+	}
+	if err := cur.Stats().Err(); err != nil {
+		t.Fatalf("query on read-only table errored: %v", err)
+	}
+
+	// The 30 pre-degrade rows (flushed or buffered) still scan.
+	cur2, err := eng.Query(context.Background(), `SELECT * FROM chaos_ro LIMIT 1000`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows := mustDrain(t, cur2); len(rows) != len(first) {
+		t.Fatalf("read-only table serves %d rows, want %d", len(rows), len(first))
+	}
+}

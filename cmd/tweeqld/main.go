@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"tweeql"
+	"tweeql/internal/fault"
 	"tweeql/internal/server"
 	"tweeql/twitinfo"
 )
@@ -49,7 +50,17 @@ func main() {
 	maxRestarts := flag.Int("max-restarts", 5, "restart-on-error attempts per query before giving up")
 	sharedScans := flag.Bool("shared-scans", true, "share one physical source scan between registered queries with equal scan signatures")
 	withTwitinfo := flag.Bool("twitinfo", true, "track a TwitInfo event for the scenario and mount the dashboard at /twitinfo/")
+	faultSpec := flag.String("fault-spec", "", "arm deterministic fault points for chaos drills, e.g. 'scan.source.recv:error,times=3;udf.geocode.call:latency,d=2s,p=0.5' (empty = zero-cost disabled)")
 	flag.Parse()
+
+	if *faultSpec != "" {
+		disarm, err := fault.ArmSpec(*faultSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer disarm()
+		fmt.Printf("tweeqld: FAULT INJECTION ARMED: %s\n", *faultSpec)
+	}
 
 	opts := tweeql.DefaultOptions()
 	opts.SharedScans = *sharedScans
@@ -82,6 +93,7 @@ func main() {
 	mux.Handle("/api/", srv)
 	mux.Handle("/metrics", srv)
 	mux.Handle("/healthz", srv)
+	mux.Handle("/readyz", srv)
 
 	// TwitInfo rides along: the dashboard handler mounts under
 	// /twitinfo/, fed by a tracking query on the same engine — one

@@ -67,6 +67,36 @@ func bounded(n int, ch chan int) {
 	}()
 }
 
+// The retry-backoff trap: an attempt/sleep loop whose exits all hinge
+// on the attempt succeeding. Neither call observes a context, so a
+// supervisor stuck retrying a dead dependency outlives shutdown.
+func retryNoCtx(attempt func() error, sleep func()) {
+	go func() {
+		for { // want `infinite loop in goroutine has no exit signal`
+			if attempt() == nil {
+				return
+			}
+			sleep()
+		}
+	}()
+}
+
+// The supervised-restart shape (internal/core scan supervisor): the
+// backoff sleep is ctx-aware — resilience.Sleep returns false when the
+// context dies mid-backoff — so the retry loop always terminates.
+func retryCtxAwareBackoff(ctx context.Context, attempt func() error, sleep func(context.Context) bool) {
+	go func() {
+		for {
+			if attempt() == nil {
+				return
+			}
+			if !sleep(ctx) {
+				return
+			}
+		}
+	}()
+}
+
 // A process-lifetime pump carries its justification.
 func annotated(ch chan struct{}) {
 	go func() {

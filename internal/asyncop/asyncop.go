@@ -26,6 +26,7 @@ type Result[I, O any] struct {
 type Dispatcher[I, O any] struct {
 	workers       int
 	preserveOrder bool
+	callTimeout   time.Duration
 	fn            func(context.Context, I) (O, error)
 }
 
@@ -35,6 +36,7 @@ type Option func(*options)
 type options struct {
 	workers       int
 	preserveOrder bool
+	callTimeout   time.Duration
 }
 
 // WithWorkers bounds in-flight calls (default 8).
@@ -54,13 +56,35 @@ func WithOrderPreserved() Option {
 	return func(o *options) { o.preserveOrder = true }
 }
 
+// WithPerCallTimeout gives every in-flight call its own derived deadline
+// (0 disables). Without it a hung web-service call occupies a worker
+// slot forever; with it the call's ctx expires, the worker frees, and
+// the timeout surfaces as the Result's Err.
+func WithPerCallTimeout(d time.Duration) Option {
+	return func(o *options) {
+		if d > 0 {
+			o.callTimeout = d
+		}
+	}
+}
+
 // New builds a dispatcher around fn.
 func New[I, O any](fn func(context.Context, I) (O, error), opts ...Option) *Dispatcher[I, O] {
 	o := options{workers: 8}
 	for _, opt := range opts {
 		opt(&o)
 	}
-	return &Dispatcher[I, O]{workers: o.workers, preserveOrder: o.preserveOrder, fn: fn}
+	return &Dispatcher[I, O]{workers: o.workers, preserveOrder: o.preserveOrder, callTimeout: o.callTimeout, fn: fn}
+}
+
+// call runs fn under the per-call deadline, if configured.
+func (d *Dispatcher[I, O]) call(ctx context.Context, item I) (O, error) {
+	if d.callTimeout > 0 {
+		cctx, cancel := context.WithTimeout(ctx, d.callTimeout)
+		defer cancel()
+		ctx = cctx
+	}
+	return d.fn(ctx, item)
 }
 
 // Run consumes in until it closes (or ctx is cancelled), applying fn
@@ -104,7 +128,7 @@ func (d *Dispatcher[I, O]) runUnordered(ctx context.Context, in <-chan I, out ch
 			go func() {
 				defer wg.Done()
 				defer func() { <-sem }()
-				o, err := d.fn(ctx, item)
+				o, err := d.call(ctx, item)
 				select {
 				case out <- Result[I, O]{In: item, Out: o, Err: err, Seq: s}:
 				case <-ctx.Done():
@@ -168,7 +192,7 @@ feed:
 			go func() {
 				defer wg.Done()
 				defer func() { <-sem }()
-				o, err := d.fn(ctx, item)
+				o, err := d.call(ctx, item)
 				slot <- Result[I, O]{In: item, Out: o, Err: err, Seq: s}
 			}()
 		}

@@ -236,3 +236,43 @@ func TestThroughputAdvantage(t *testing.T) {
 		t.Errorf("async run took %v, want well under serial 200ms", elapsed)
 	}
 }
+
+func TestPerCallTimeoutFreesHungWorker(t *testing.T) {
+	// Item 0 hangs until its ctx dies; the per-call deadline must free
+	// the worker so the remaining items still complete.
+	d := New(func(ctx context.Context, x int) (int, error) {
+		if x == 0 {
+			<-ctx.Done()
+			return 0, ctx.Err()
+		}
+		return x, nil
+	}, WithWorkers(1), WithPerCallTimeout(10*time.Millisecond))
+	var ok, timedOut int
+	for r := range d.Run(context.Background(), feed(4)) {
+		if r.Err != nil {
+			if !errors.Is(r.Err, context.DeadlineExceeded) {
+				t.Fatalf("in %d: err = %v", r.In, r.Err)
+			}
+			timedOut++
+			continue
+		}
+		ok++
+	}
+	if timedOut != 1 || ok != 3 {
+		t.Fatalf("timedOut=%d ok=%d, want 1/3", timedOut, ok)
+	}
+}
+
+func TestPerCallTimeoutDisabledByDefault(t *testing.T) {
+	d := New(func(ctx context.Context, x int) (int, error) {
+		if _, has := ctx.Deadline(); has {
+			return 0, errors.New("unexpected deadline")
+		}
+		return x, nil
+	}, WithWorkers(2))
+	for r := range d.Run(context.Background(), feed(4)) {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"tweeql/internal/asyncop"
+	"tweeql/internal/resilience"
 	"tweeql/internal/selectivity"
 	"tweeql/internal/tweet"
 	"tweeql/internal/twitterapi"
@@ -147,6 +148,7 @@ type Catalog struct {
 	statefuls map[string]StatefulFactory
 	tables    map[string]*Table
 	factory   TableFactory
+	breakers  []*resilience.Breaker
 }
 
 // New returns an empty catalog.
@@ -298,6 +300,14 @@ type TableBackend interface {
 	Close() error
 }
 
+// HealthReporter is optionally implemented by table backends that can
+// degrade without failing (the persistent store flips read-only after
+// exhausted write retries). Healthy returns nil while fully writable
+// and the reason otherwise.
+type HealthReporter interface {
+	Healthy() error
+}
+
 // ErrNoTable is returned by a TableFactory asked to open (not create) a
 // table that has no durable state.
 var ErrNoTable = errors.New("catalog: no such table")
@@ -363,6 +373,33 @@ func (c *Catalog) Table(name string) *Table {
 		return t
 	}
 	return &Table{Name: name, backend: NewMemBackend(0)}
+}
+
+// OpenedTable returns the already-open table with the given name (nil
+// if none) — a side-effect-free lookup for health checks and status
+// rendering, which must never trigger the factory probe Source/
+// OpenTable run.
+func (c *Catalog) OpenedTable(name string) *Table {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.tables[strings.ToLower(name)]
+}
+
+// RegisterBreaker records a circuit breaker in this catalog's
+// namespace so status and metrics endpoints can report breaker state
+// per engine (a process hosting two engines must not blend their
+// breakers).
+func (c *Catalog) RegisterBreaker(b *resilience.Breaker) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.breakers = append(c.breakers, b)
+}
+
+// Breakers snapshots the registered breakers.
+func (c *Catalog) Breakers() []*resilience.Breaker {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]*resilience.Breaker(nil), c.breakers...)
 }
 
 // Tables snapshots the open result tables, for metrics and
@@ -432,6 +469,15 @@ func (t *Table) Rows() []value.Tuple {
 
 // Len reports the row count.
 func (t *Table) Len() int { return t.backend.Len() }
+
+// Healthy reports the backend's write health: nil for backends that
+// never degrade, the degradation reason otherwise (see HealthReporter).
+func (t *Table) Healthy() error {
+	if h, ok := t.backend.(HealthReporter); ok {
+		return h.Healthy()
+	}
+	return nil
+}
 
 // emptySchema backs Schema() for tables nothing has been written to:
 // the planner needs a non-nil schema to compile against, and every

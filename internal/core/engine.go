@@ -74,6 +74,30 @@ type Options struct {
 	// Only live stream sources (catalog.LiveSource) share; tables,
 	// slice replays, and join inputs always open private scans.
 	SharedScans bool
+	// ScanMaxRestarts supervises shared scans: when the physical source
+	// fails mid-stream, the scan reopens it with backoff instead of
+	// fanning a fatal error to every attached query, up to this many
+	// consecutive failures (a run surviving ScanHealthyAfter resets the
+	// streak). 0 disables supervision — the pre-existing fail-fast
+	// behavior. DefaultOptions sets 5.
+	ScanMaxRestarts int
+	// ScanRestartBackoff is the base delay between scan restart
+	// attempts (capped exponential). 0 = 200ms.
+	ScanRestartBackoff time.Duration
+	// ScanHealthyAfter is how long a restarted scan must run before its
+	// failure streak resets. 0 = 30s.
+	ScanHealthyAfter time.Duration
+	// AsyncCallTimeout bounds each in-flight call in the async
+	// projection path, so one hung web-service request cannot pin a
+	// worker slot forever. 0 disables. DefaultOptions sets 10s.
+	AsyncCallTimeout time.Duration
+	// UDFCallTimeout / UDFRetries drive the resilient wrappers around
+	// the web-service UDFs (geocode family): each call gets a derived
+	// deadline and failed calls retry; exhausted retries degrade to
+	// NULL + a degraded-counter tick instead of an eval error, the
+	// paper's partial-results stance. Zero values mean 5s / 2.
+	UDFCallTimeout time.Duration
+	UDFRetries     int
 
 	// DataDir roots the persistent table store. When set, INTO TABLE
 	// targets become durable time-partitioned tables (one directory of
@@ -114,10 +138,13 @@ func DefaultOptions() Options {
 		BatchFlushEvery: 25 * time.Millisecond,
 		// Sharding batches across more workers than cores only adds
 		// scheduling overhead for CPU-bound stages.
-		BatchWorkers: min(4, runtime.GOMAXPROCS(0)),
-		CompileExprs: true,
-		SharedScans:  true,
-		FsyncPolicy:  "seal",
+		BatchWorkers:       min(4, runtime.GOMAXPROCS(0)),
+		CompileExprs:       true,
+		SharedScans:        true,
+		ScanMaxRestarts:    5,
+		ScanRestartBackoff: 200 * time.Millisecond,
+		AsyncCallTimeout:   10 * time.Second,
+		FsyncPolicy:        "seal",
 	}
 }
 

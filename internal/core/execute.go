@@ -2,12 +2,14 @@ package core
 
 import (
 	"context"
+	"errors"
 	"time"
 
 	"tweeql/internal/catalog"
 	"tweeql/internal/exec"
 	"tweeql/internal/lang"
 	"tweeql/internal/plan"
+	"tweeql/internal/store"
 	"tweeql/internal/value"
 )
 
@@ -20,6 +22,10 @@ func (e *Engine) execute(ctx context.Context, cancel context.CancelFunc, stmt *l
 	// hot path either.
 	ev.PrepareRegexes(planExprs(stmt, p)...)
 	stats := &exec.Stats{}
+	// Stats travel on the context so the resilience wrappers around
+	// web-service UDFs (deep below the stage API) can tick this query's
+	// degraded counter when they substitute NULL for a failed call.
+	ctx = exec.WithStats(ctx, stats)
 
 	cur := &Cursor{stmt: stmt, plan: p, stats: stats, cancel: cancel,
 		drained: make(chan struct{})}
@@ -134,15 +140,29 @@ func (e *Engine) routeToStream(rows <-chan value.Tuple, ds *catalog.DerivedStrea
 // routeToTable forwards a query's result stream into a table in
 // batches: one AppendBatch per Options.BatchSize rows, a final Flush
 // at end of stream, and the drained channel closed last. Append and
-// flush errors land in the query's stats.
+// flush errors land in the query's stats — except a read-only sink
+// (the store degraded after exhausted write retries), which counts the
+// lost rows as degraded and keeps draining: the query itself is
+// healthy, its sink is not, and it must not wedge or die for it.
 func (e *Engine) routeToTable(rows <-chan value.Tuple, table *catalog.Table, stats *exec.Stats, drained chan struct{}) {
 	defer close(drained)
+	// sinkDegraded covers both failure shapes: batches rejected by an
+	// already-read-only table, and the batch whose own exhausted write
+	// retries flipped it (that error carries the write failure, not
+	// ErrReadOnly — the table's health is the tell).
+	sinkDegraded := func(err error) bool {
+		return errors.Is(err, store.ErrReadOnly) || table.Healthy() != nil
+	}
 	DrainBatches(rows, e.opts.BatchSize, e.opts.BatchFlushEvery, func(batch []value.Tuple) {
 		if err := table.AppendBatch(batch); err != nil {
+			if sinkDegraded(err) {
+				stats.Degraded.Add(int64(len(batch)))
+				return
+			}
 			stats.NoteError(err)
 		}
 	})
-	if err := table.Flush(); err != nil {
+	if err := table.Flush(); err != nil && !sinkDegraded(err) {
 		stats.NoteError(err)
 	}
 }
@@ -286,7 +306,7 @@ func (e *Engine) openSingle(ctx context.Context, cancel context.CancelFunc, ev *
 		if batching {
 			rows = exec.FromBatches()(ctx, batches)
 		}
-		rows = exec.AsyncProjectStage(ev, p.Proj, inSchema, e.opts.AsyncWorkers, stats)(ctx, rows)
+		rows = exec.AsyncProjectStage(ev, p.Proj, inSchema, e.opts.AsyncWorkers, e.opts.AsyncCallTimeout, stats)(ctx, rows)
 		rows = countOut(ctx, rows, stats)
 		rows = applyLimit(ctx, cancel, stmt, rows)
 	case batching:
@@ -390,7 +410,7 @@ func (e *Engine) openJoin(ctx context.Context, cancel context.CancelFunc, ev *ex
 	}
 	cur.schema = exec.ProjectSchema(p.Proj, joined)
 	if p.Async {
-		rows = exec.AsyncProjectStage(ev, p.Proj, joined, e.opts.AsyncWorkers, stats)(ctx, rows)
+		rows = exec.AsyncProjectStage(ev, p.Proj, joined, e.opts.AsyncWorkers, e.opts.AsyncCallTimeout, stats)(ctx, rows)
 	} else {
 		rows = exec.ProjectStage(ev, p.Proj, joined, stats)(ctx, rows)
 	}

@@ -5,10 +5,13 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"tweeql/internal/catalog"
 	"tweeql/internal/exec"
+	"tweeql/internal/fault"
 	"tweeql/internal/plan"
+	"tweeql/internal/resilience"
 	"tweeql/internal/value"
 )
 
@@ -35,7 +38,10 @@ func newScanManager() *scanManager {
 }
 
 // SharedScan is one ref-counted physical scan of a live source, fanned
-// out to every attached query.
+// out to every attached query. A supervisor goroutine owns the
+// physical subscription: when the source fails mid-stream it reopens
+// it with backoff (up to the engine's restart budget) instead of
+// fanning a fatal error to every attached query.
 type SharedScan struct {
 	sig    string
 	source string
@@ -47,16 +53,49 @@ type SharedScan struct {
 	// scan reads the full stream. Attaching queries resolve their
 	// residual conjuncts against it.
 	pushedKey string
-	cancel    context.CancelFunc
+	// ctx is the scan's root context; cancel (fired by the last detach)
+	// ends the supervisor and the current physical subscription.
+	ctx    context.Context
+	cancel context.CancelFunc
+	// reopen opens a fresh physical subscription under a child of ctx,
+	// captured at openScan so the supervisor can restart the source.
+	reopen func() (<-chan exec.Batch, context.CancelFunc, error)
 
 	rowsIn    atomic.Int64
 	batchesIn atomic.Int64
+	restarts  atomic.Int64
 	ended     atomic.Bool
 	scanErr   atomic.Pointer[error]
 
 	// refs counts attached queries; guarded by mgr.mu so attach and
 	// last-detach-closes are atomic with map membership.
 	refs int
+}
+
+// scanPolicy is the supervisor's restart discipline, derived from
+// engine options (and overridable in tests).
+type scanPolicy struct {
+	maxRestarts  int
+	backoff      resilience.Backoff
+	healthyAfter time.Duration
+	now          func() time.Time
+}
+
+func scanPolicyFrom(opts Options) scanPolicy {
+	base := opts.ScanRestartBackoff
+	if base <= 0 {
+		base = 200 * time.Millisecond
+	}
+	healthy := opts.ScanHealthyAfter
+	if healthy <= 0 {
+		healthy = 30 * time.Second
+	}
+	return scanPolicy{
+		maxRestarts:  opts.ScanMaxRestarts,
+		backoff:      resilience.Backoff{Base: base, Cap: 20 * base, Jitter: 0.2},
+		healthyAfter: healthy,
+		now:          time.Now,
+	}
 }
 
 // ScanStatus is a snapshot of one shared scan, for metrics and EXPLAIN.
@@ -71,6 +110,9 @@ type ScanStatus struct {
 	// physical source since the scan opened.
 	RowsIn  int64
 	Batches int64
+	// Restarts counts supervisor restarts of the physical source after
+	// mid-stream failures.
+	Restarts int64
 	// Subscribers / Dropped mirror the fan-out stream's counters:
 	// attached pipelines and rows lost to slow ones (DropOldest rings,
 	// the streaming-API "receive most tweets" contract).
@@ -118,6 +160,7 @@ func (e *Engine) Scans() []ScanStatus {
 			Queries:     refs[i],
 			RowsIn:      s.rowsIn.Load(),
 			Batches:     s.batchesIn.Load(),
+			Restarts:    s.restarts.Load(),
 			Subscribers: ss.Subscribers,
 			Dropped:     ss.Dropped,
 		}
@@ -162,11 +205,13 @@ func (e *Engine) attachShared(ctx context.Context, src catalog.Source, p *plan.Q
 }
 
 // openScan opens the physical source subscription for a new shared
-// scan and starts its pump. Called with mgr.mu held (scan opening is a
-// control-plane event; queries start rarely relative to rows flowing).
+// scan and starts its supervisor. Called with mgr.mu held (scan
+// opening is a control-plane event; queries start rarely relative to
+// rows flowing). The first open is synchronous so a broken source
+// fails query start, exactly as a private open would.
 func (e *Engine) openScan(p *plan.Query, src catalog.Source) (*SharedScan, error) {
 	sctx, cancel := context.WithCancel(context.Background())
-	s := &SharedScan{sig: p.Signature, source: p.Source, mgr: e.scans, cancel: cancel}
+	s := &SharedScan{sig: p.Signature, source: p.Source, mgr: e.scans, ctx: sctx, cancel: cancel}
 	req := catalog.OpenRequest{
 		SampleSize: e.opts.SampleSize,
 		Buffer:     e.opts.SourceBuffer,
@@ -183,30 +228,46 @@ func (e *Engine) openScan(p *plan.Query, src catalog.Source) (*SharedScan, error
 		size = 1
 	}
 
-	var batches <-chan exec.Batch
-	var info *catalog.OpenInfo
-	var err error
-	if bs, ok := src.(catalog.BatchSource); ok {
-		// Columns stays nil: the scan serves every query shape with this
-		// signature, including ones registered later, so the source must
-		// materialize full rows. Pruning is a private-scan optimization.
-		batches, info, err = bs.OpenBatches(sctx, req, catalog.BatchOptions{
-			Size:       size,
-			FlushEvery: e.opts.BatchFlushEvery,
-			Workers:    e.opts.BatchWorkers,
-		})
-	} else {
-		var in <-chan value.Tuple
-		in, info, err = src.Open(sctx, req)
-		if err == nil {
-			batches = exec.ToBatches(size, e.opts.BatchFlushEvery)(sctx, in)
+	var firstInfo *catalog.OpenInfo
+	s.reopen = func() (<-chan exec.Batch, context.CancelFunc, error) {
+		cctx, ccancel := context.WithCancel(sctx)
+		var batches <-chan exec.Batch
+		var info *catalog.OpenInfo
+		var err error
+		if bs, ok := src.(catalog.BatchSource); ok {
+			// Columns stays nil: the scan serves every query shape with
+			// this signature, including ones registered later, so the
+			// source must materialize full rows. Pruning is a private-scan
+			// optimization.
+			batches, info, err = bs.OpenBatches(cctx, req, catalog.BatchOptions{
+				Size:       size,
+				FlushEvery: e.opts.BatchFlushEvery,
+				Workers:    e.opts.BatchWorkers,
+			})
+		} else {
+			var in <-chan value.Tuple
+			in, info, err = src.Open(cctx, req)
+			if err == nil {
+				batches = exec.ToBatches(size, e.opts.BatchFlushEvery)(cctx, in)
+			}
 		}
+		if err != nil {
+			ccancel()
+			return nil, nil, err
+		}
+		if firstInfo == nil {
+			firstInfo = info
+		}
+		return batches, ccancel, nil
 	}
+
+	batches, childCancel, err := s.reopen()
 	if err != nil {
 		cancel()
 		return nil, err
 	}
 	schema := src.Schema()
+	info := firstInfo
 	if info == nil {
 		info = &catalog.OpenInfo{Schema: schema}
 	}
@@ -218,22 +279,78 @@ func (e *Engine) openScan(p *plan.Query, src catalog.Source) (*SharedScan, error
 		s.pushedKey = p.CandidateKey(info.ChosenIdx)
 	}
 	s.ds = catalog.NewDerivedStream("scan:"+p.Signature, schema)
-	go s.pump(batches)
+	go s.supervise(batches, childCancel, scanPolicyFrom(e.opts))
 	return s, nil
 }
 
-// pump moves batches from the physical source into the fan-out stream
-// until the source ends (stream over, or the last query detached and
-// cancelled the scan context), then closes the stream so every
-// attached query sees end-of-stream after draining its ring.
-func (s *SharedScan) pump(batches <-chan exec.Batch) {
+// supervise pumps the physical source into the fan-out stream and, on
+// mid-stream failure, restarts it with capped backoff — transient
+// stream drops stay invisible to attached queries (modulo the gap in
+// rows) instead of terminating all of them. A streak of pol.maxRestarts
+// consecutive failures (runs shorter than pol.healthyAfter) exhausts
+// the budget; then — and on clean end of stream — the fan-out stream
+// closes so every query sees end-of-stream, with the recorded error
+// (if any) copied into its stats.
+func (s *SharedScan) supervise(batches <-chan exec.Batch, childCancel context.CancelFunc, pol scanPolicy) {
+	defer func() {
+		s.ended.Store(true)
+		s.ds.CloseStream()
+	}()
+	streak := 0
+	for {
+		if batches != nil {
+			start := pol.now()
+			err := s.pumpOnce(batches, childCancel)
+			if err == nil {
+				return // clean end of stream
+			}
+			if pol.now().Sub(start) >= pol.healthyAfter {
+				streak = 0
+			}
+		}
+		if pol.maxRestarts <= 0 || streak >= pol.maxRestarts {
+			return // supervision off or budget exhausted; scanErr fans out
+		}
+		streak++
+		if !resilience.Sleep(s.ctx, pol.backoff.Delay(streak-1)) {
+			return // last query detached
+		}
+		var err error
+		batches, childCancel, err = s.reopen()
+		if err != nil {
+			// Reopen failure counts against the streak like a failed run.
+			s.noteErr(err)
+			batches, childCancel = nil, nil
+			continue
+		}
+		s.restarts.Add(1)
+	}
+}
+
+// pumpOnce moves batches from one physical subscription into the
+// fan-out stream until it ends, returning nil on clean end of stream
+// and the recorded source error otherwise. The scan.source.recv fault
+// point simulates a dropped connection: it cancels the subscription
+// and surfaces an injected transient error.
+func (s *SharedScan) pumpOnce(batches <-chan exec.Batch, childCancel context.CancelFunc) error {
+	s.scanErr.Store(nil)
 	for b := range batches {
+		if fault.Active() {
+			if err := fault.Check(s.ctx, "scan.source.recv"); err != nil {
+				s.noteErr(err)
+				childCancel()
+				for range batches {
+					// Drain the cancelled subscription's tail.
+				}
+				return err
+			}
+		}
 		s.rowsIn.Add(int64(len(b)))
 		s.batchesIn.Add(1)
 		s.ds.PublishBatch(b)
 	}
-	s.ended.Store(true)
-	s.ds.CloseStream()
+	childCancel()
+	return s.err()
 }
 
 // noteErr records a mid-scan source error; every query attached at

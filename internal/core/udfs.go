@@ -2,14 +2,19 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"regexp"
 	"strings"
 	"sync"
+	"time"
 
 	"tweeql/internal/catalog"
 	"tweeql/internal/entities"
+	"tweeql/internal/exec"
+	"tweeql/internal/fault"
 	"tweeql/internal/geocode"
+	"tweeql/internal/resilience"
 	"tweeql/internal/sentiment"
 	"tweeql/internal/tweet"
 	"tweeql/internal/value"
@@ -22,6 +27,17 @@ type Deps struct {
 	Geocoder geocode.Geocoder
 	// Analyzer backs sentiment()/sentiment_label().
 	Analyzer *sentiment.Analyzer
+	// CallTimeout bounds each web-service (geocode) call. 0 = 5s.
+	CallTimeout time.Duration
+	// Retries is how many times a failed web-service call retries
+	// before degrading to NULL. 0 = 2; negative disables retries.
+	Retries int
+	// Breaker guards the geocode family: after enough consecutive
+	// failures calls short-circuit to NULL (degraded) until the
+	// cooldown's probe succeeds, so a dead geocoder costs nothing per
+	// row instead of a timeout per row. nil = a default breaker,
+	// registered in the catalog either way.
+	Breaker *resilience.Breaker
 }
 
 // RegisterStandardUDFs installs the paper's UDF library into the
@@ -39,13 +55,35 @@ func RegisterStandardUDFs(cat *catalog.Catalog, deps Deps) error {
 	if deps.Analyzer == nil {
 		deps.Analyzer = sentiment.Default()
 	}
+	if deps.CallTimeout <= 0 {
+		deps.CallTimeout = 5 * time.Second
+	}
+	if deps.Retries == 0 {
+		deps.Retries = 2
+	}
+	if deps.Retries < 0 {
+		deps.Retries = 0
+	}
+	if deps.Breaker == nil {
+		deps.Breaker = resilience.NewBreaker("geocode", 8, 5*time.Second)
+	}
+	cat.RegisterBreaker(deps.Breaker)
 	udfs := []*catalog.ScalarUDF{
 		{
 			Name: "sentiment", Arity: 1,
-			Fn: func(_ context.Context, args []value.Value) (value.Value, error) {
+			Fn: func(ctx context.Context, args []value.Value) (value.Value, error) {
 				s, err := textArg(args[0])
 				if err != nil || s == "" {
 					return value.Null(), nil
+				}
+				// The analyzer is local and cannot fail outside tests, so
+				// a firing fault point degrades straight to NULL — the
+				// row survives, only the score is missing.
+				if fault.Active() {
+					if ferr := fault.Check(ctx, "udf.sentiment.call"); ferr != nil {
+						exec.NoteDegraded(ctx)
+						return value.Null(), nil
+					}
 				}
 				return value.Float(deps.Analyzer.Score(s)), nil
 			},
@@ -124,7 +162,19 @@ func textArg(v value.Value) (string, error) {
 // geoPart builds a UDF that geocodes its string argument and projects
 // one part of the result. Unresolvable locations yield NULL, which the
 // paper's queries then drop via grouping/filtering.
+//
+// The geocoder is a web service, so the call runs under the resilience
+// stack: a per-call deadline, bounded retries with backoff, and the
+// shared geocode breaker. When all of that is exhausted the value
+// degrades to NULL and the query's degraded counter ticks — the row
+// still flows (the paper's partial-results stance) instead of carrying
+// an eval error.
 func geoPart(deps Deps, pick func(geocode.Result) value.Value) catalog.ScalarFn {
+	pol := resilience.Policy{
+		Attempts:       deps.Retries + 1,
+		Backoff:        resilience.Backoff{Base: 25 * time.Millisecond, Cap: 500 * time.Millisecond, Jitter: 0.2},
+		PerCallTimeout: deps.CallTimeout,
+	}
 	return func(ctx context.Context, args []value.Value) (value.Value, error) {
 		if deps.Geocoder == nil {
 			return value.Null(), nil
@@ -133,9 +183,35 @@ func geoPart(deps Deps, pick func(geocode.Result) value.Value) catalog.ScalarFn 
 		if err != nil || strings.TrimSpace(s) == "" {
 			return value.Null(), nil
 		}
-		r, err := deps.Geocoder.Geocode(ctx, s)
+		if err := deps.Breaker.Allow(); err != nil {
+			exec.NoteDegraded(ctx)
+			return value.Null(), nil
+		}
+		var r geocode.Result
+		err = resilience.Do(ctx, pol, func(ctx context.Context) error {
+			if ferr := fault.Check(ctx, "udf.geocode.call"); ferr != nil {
+				return ferr
+			}
+			var gerr error
+			r, gerr = deps.Geocoder.Geocode(ctx, s)
+			return gerr
+		})
+		if err != nil && errors.Is(ctx.Err(), context.Canceled) {
+			// The query itself is dying (LIMIT cutoff, stop, shutdown);
+			// surface that, and don't charge the breaker for a
+			// cancellation that wasn't the service's fault. A deadline
+			// on ctx is NOT query death — the async stage hands each
+			// call a derived per-call deadline, and a geocoder slow
+			// enough to blow it is exactly what degrading to NULL is
+			// for (the default 3x5s retry budget outlives the 10s async
+			// deadline, so this path, not retry exhaustion, is how a
+			// hung service usually resolves).
+			return value.Null(), ctx.Err()
+		}
+		deps.Breaker.Record(err)
 		if err != nil {
-			return value.Null(), err
+			exec.NoteDegraded(ctx)
+			return value.Null(), nil
 		}
 		if !r.Found {
 			return value.Null(), nil

@@ -317,7 +317,7 @@ func TestProjectStageSyncAsyncAgree(t *testing.T) {
 		rows = append(rows, row("r", i, value.Null(), value.Null(), time.Unix(i, 0)))
 	}
 	sync := collect(ProjectStage(ev, items, testSchema(), &Stats{})(context.Background(), feedRows(rows...)))
-	async := collect(AsyncProjectStage(ev, items, testSchema(), 8, &Stats{})(context.Background(), feedRows(rows...)))
+	async := collect(AsyncProjectStage(ev, items, testSchema(), 8, 0, &Stats{})(context.Background(), feedRows(rows...)))
 	if len(sync) != 20 || len(async) != 20 {
 		t.Fatalf("lens: %d %d", len(sync), len(async))
 	}

@@ -23,6 +23,10 @@ type Stats struct {
 	RowsOut    atomic.Int64
 	Dropped    atomic.Int64 // rows removed by filters
 	EvalErrors atomic.Int64
+	// Degraded counts values the resilience layer replaced with NULL
+	// (UDF retries exhausted, breaker open) and rows routed to an
+	// unhealthy sink. The row survives; the counter is the only trace.
+	Degraded atomic.Int64
 
 	mu      sync.Mutex
 	lastErr error
@@ -43,6 +47,27 @@ func (s *Stats) Err() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.lastErr
+}
+
+type statsCtxKey struct{}
+
+// WithStats attaches the query's Stats to ctx so code far below the
+// executor (UDF resilience wrappers) can tick per-query counters.
+func WithStats(ctx context.Context, s *Stats) context.Context {
+	return context.WithValue(ctx, statsCtxKey{}, s)
+}
+
+// StatsFrom returns the Stats attached to ctx, or nil.
+func StatsFrom(ctx context.Context) *Stats {
+	s, _ := ctx.Value(statsCtxKey{}).(*Stats)
+	return s
+}
+
+// NoteDegraded ticks the Degraded counter of the ctx's Stats, if any.
+func NoteDegraded(ctx context.Context) {
+	if s := StatsFrom(ctx); s != nil {
+		s.Degraded.Add(1)
+	}
 }
 
 // Stage is a channel-to-channel operator.
@@ -202,15 +227,17 @@ func ProjectStage(ev *Evaluator, items []ProjItem, inSchema *value.Schema, stats
 // AsyncProjectStage evaluates the select list on a bounded worker pool,
 // preserving input order — the §2 "asynchronous iteration" treatment for
 // select lists that call high-latency web-service UDFs. workers bounds
-// in-flight web requests.
-func AsyncProjectStage(ev *Evaluator, items []ProjItem, inSchema *value.Schema, workers int, stats *Stats) Stage {
+// in-flight web requests; callTimeout (0 = none) bounds each row's
+// evaluation so a hung web-service call cannot pin a worker slot.
+func AsyncProjectStage(ev *Evaluator, items []ProjItem, inSchema *value.Schema, workers int, callTimeout time.Duration, stats *Stats) Stage {
 	outSchema := ProjectSchema(items, inSchema)
 	fns := bindItems(ev, items, inSchema)
 	return func(ctx context.Context, in <-chan value.Tuple) <-chan value.Tuple {
 		out := make(chan value.Tuple, 64)
 		d := asyncop.New(func(ctx context.Context, t value.Tuple) (value.Tuple, error) {
 			return projectRow(ctx, items, fns, outSchema, t)
-		}, asyncop.WithWorkers(workers), asyncop.WithOrderPreserved())
+		}, asyncop.WithWorkers(workers), asyncop.WithOrderPreserved(),
+			asyncop.WithPerCallTimeout(callTimeout))
 		go func() {
 			defer close(out)
 			for r := range d.Run(ctx, in) {

@@ -1,0 +1,307 @@
+// Package fault is a deterministic fault-injection registry. Production
+// code declares named fault points ("store.append.write",
+// "scan.source.recv", ...) by calling Check or WrapWrite at the spot
+// where an external dependency can misbehave. With no points armed the
+// cost is one atomic load; tests (or an operator via -fault-spec) arm a
+// point with a Spec describing when and how it should fire.
+//
+// Triggering is deterministic: each armed point carries its own PRNG
+// seeded from Spec.Seed, and Skip/Times gates fire on exact call counts,
+// so a failing chaos run replays identically.
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the error returned by fault points firing in ModeError
+// (and wrapped by ModeShortWrite). Resilience layers treat it as
+// transient, like a dropped connection.
+var ErrInjected = errors.New("fault: injected")
+
+// Mode selects how an armed point misbehaves.
+type Mode int
+
+const (
+	// ModeError makes the point return ErrInjected.
+	ModeError Mode = iota
+	// ModeLatency makes the point sleep Spec.Latency (ctx-aware), then
+	// succeed.
+	ModeLatency
+	// ModeShortWrite makes WrapWrite land only half the buffer before
+	// returning ErrInjected. Check treats it like ModeError.
+	ModeShortWrite
+	// ModeHang blocks the point until its context is cancelled, then
+	// returns ctx.Err(). Simulates a wedged web-service call.
+	ModeHang
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeError:
+		return "error"
+	case ModeLatency:
+		return "latency"
+	case ModeShortWrite:
+		return "shortwrite"
+	case ModeHang:
+		return "hang"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+func parseMode(s string) (Mode, error) {
+	switch s {
+	case "error":
+		return ModeError, nil
+	case "latency":
+		return ModeLatency, nil
+	case "shortwrite":
+		return ModeShortWrite, nil
+	case "hang":
+		return ModeHang, nil
+	}
+	return 0, fmt.Errorf("fault: unknown mode %q", s)
+}
+
+// Spec describes when and how an armed point fires.
+type Spec struct {
+	Mode    Mode
+	Prob    float64       // firing probability once eligible; 0 means 1.0
+	Times   int           // fire at most this many times; 0 means unlimited
+	Skip    int           // let this many eligible calls pass before firing
+	Latency time.Duration // sleep for ModeLatency
+	Err     error         // error to inject; nil means ErrInjected
+	Seed    int64         // PRNG seed for Prob draws; 0 means 1
+}
+
+type point struct {
+	mu    sync.Mutex
+	spec  Spec
+	rng   *rand.Rand
+	seen  int // eligible calls observed
+	fired int
+}
+
+// trigger decides whether this call fires, and under which spec.
+func (p *point) trigger() (Spec, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	sp := p.spec
+	if sp.Times > 0 && p.fired >= sp.Times {
+		return sp, false
+	}
+	p.seen++
+	if p.seen <= sp.Skip {
+		return sp, false
+	}
+	if sp.Prob > 0 && sp.Prob < 1 && p.rng.Float64() >= sp.Prob {
+		return sp, false
+	}
+	p.fired++
+	return sp, true
+}
+
+var (
+	regMu  sync.Mutex
+	points = map[string]*point{}
+	// armed counts armed points; the Active fast path is one atomic load.
+	armed atomic.Int32
+)
+
+// Active reports whether any fault point is armed. Hot paths gate on
+// this before doing per-point work.
+func Active() bool { return armed.Load() > 0 }
+
+// Arm installs spec at the named point and returns a disarm func.
+// Re-arming a point replaces its spec and resets its counters.
+func Arm(name string, spec Spec) (disarm func()) {
+	seed := spec.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	regMu.Lock()
+	if _, exists := points[name]; !exists {
+		armed.Add(1)
+	}
+	points[name] = &point{spec: spec, rng: rand.New(rand.NewSource(seed))}
+	regMu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			regMu.Lock()
+			if _, exists := points[name]; exists {
+				delete(points, name)
+				armed.Add(-1)
+			}
+			regMu.Unlock()
+		})
+	}
+}
+
+// Reset disarms every point.
+func Reset() {
+	regMu.Lock()
+	armed.Add(-int32(len(points)))
+	points = map[string]*point{}
+	regMu.Unlock()
+}
+
+// Fired reports how many times the named point has fired since it was
+// armed. Zero for unarmed points.
+func Fired(name string) int {
+	regMu.Lock()
+	p := points[name]
+	regMu.Unlock()
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.fired
+}
+
+func lookup(name string) *point {
+	regMu.Lock()
+	p := points[name]
+	regMu.Unlock()
+	return p
+}
+
+// Check is a fault point for call-shaped dependencies. It returns nil
+// unless the named point is armed and fires: ModeError/ModeShortWrite
+// return the injected error, ModeLatency sleeps (ctx-aware) then
+// returns nil, ModeHang blocks until ctx is done.
+func Check(ctx context.Context, name string) error {
+	if !Active() {
+		return nil
+	}
+	p := lookup(name)
+	if p == nil {
+		return nil
+	}
+	sp, fire := p.trigger()
+	if !fire {
+		return nil
+	}
+	switch sp.Mode {
+	case ModeLatency:
+		t := time.NewTimer(sp.Latency)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	case ModeHang:
+		<-ctx.Done()
+		return ctx.Err()
+	default:
+		return injectedErr(name, sp)
+	}
+}
+
+// WrapWrite wraps a write func with the named fault point. ModeShortWrite
+// lands half the buffer then fails; ModeError fails without writing;
+// other modes are treated as ModeError (writes have no context to hang
+// or sleep against).
+func WrapWrite(name string, write func([]byte) (int, error)) func([]byte) (int, error) {
+	return func(b []byte) (int, error) {
+		if Active() {
+			if p := lookup(name); p != nil {
+				if sp, fire := p.trigger(); fire {
+					if sp.Mode == ModeShortWrite && len(b) > 0 {
+						n, err := write(b[:len(b)/2])
+						if err != nil {
+							return n, err
+						}
+						return n, injectedErr(name, sp)
+					}
+					return 0, injectedErr(name, sp)
+				}
+			}
+		}
+		return write(b)
+	}
+}
+
+func injectedErr(name string, sp Spec) error {
+	err := sp.Err
+	if err == nil {
+		err = ErrInjected
+	}
+	return fmt.Errorf("%s: %w", name, err)
+}
+
+// ArmSpec parses and arms a -fault-spec string:
+//
+//	point:mode[,key=val...][;point2:mode...]
+//
+// Modes: error, latency, shortwrite, hang. Keys: p=<prob 0..1>,
+// times=<n>, skip=<n>, d=<duration> (latency), seed=<n>. Example:
+//
+//	scan.source.recv:error,times=2;udf.geocode.call:latency,d=500ms,p=0.1
+//
+// It returns a func disarming everything it armed.
+func ArmSpec(s string) (disarm func(), err error) {
+	var disarms []func()
+	undo := func() {
+		for _, d := range disarms {
+			d()
+		}
+	}
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, rest, ok := strings.Cut(part, ":")
+		if !ok || name == "" {
+			undo()
+			return nil, fmt.Errorf("fault: bad spec %q (want point:mode[,k=v...])", part)
+		}
+		fields := strings.Split(rest, ",")
+		mode, err := parseMode(strings.TrimSpace(fields[0]))
+		if err != nil {
+			undo()
+			return nil, err
+		}
+		sp := Spec{Mode: mode}
+		for _, kv := range fields[1:] {
+			key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+			if !ok {
+				undo()
+				return nil, fmt.Errorf("fault: bad option %q in %q", kv, part)
+			}
+			switch key {
+			case "p":
+				sp.Prob, err = strconv.ParseFloat(val, 64)
+			case "times":
+				sp.Times, err = strconv.Atoi(val)
+			case "skip":
+				sp.Skip, err = strconv.Atoi(val)
+			case "d":
+				sp.Latency, err = time.ParseDuration(val)
+			case "seed":
+				sp.Seed, err = strconv.ParseInt(val, 10, 64)
+			default:
+				err = fmt.Errorf("fault: unknown option %q", key)
+			}
+			if err != nil {
+				undo()
+				return nil, fmt.Errorf("fault: option %q in %q: %w", kv, part, err)
+			}
+		}
+		disarms = append(disarms, Arm(name, sp))
+	}
+	return undo, nil
+}

@@ -1,0 +1,156 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestInactiveIsFree(t *testing.T) {
+	Reset()
+	if Active() {
+		t.Fatal("no points armed but Active() true")
+	}
+	if err := Check(context.Background(), "nope"); err != nil {
+		t.Fatalf("unarmed Check: %v", err)
+	}
+}
+
+func TestErrorModeTimesAndSkip(t *testing.T) {
+	defer Reset()
+	disarm := Arm("p", Spec{Mode: ModeError, Skip: 1, Times: 2})
+	defer disarm()
+	ctx := context.Background()
+	if err := Check(ctx, "p"); err != nil {
+		t.Fatalf("skip=1 should pass first call: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := Check(ctx, "p"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("call %d: want ErrInjected, got %v", i, err)
+		}
+	}
+	if err := Check(ctx, "p"); err != nil {
+		t.Fatalf("times=2 exhausted, should pass: %v", err)
+	}
+	if got := Fired("p"); got != 2 {
+		t.Fatalf("Fired = %d, want 2", got)
+	}
+}
+
+func TestProbDeterministic(t *testing.T) {
+	defer Reset()
+	run := func() []bool {
+		disarm := Arm("p", Spec{Mode: ModeError, Prob: 0.5, Seed: 42})
+		defer disarm()
+		out := make([]bool, 20)
+		for i := range out {
+			out[i] = Check(context.Background(), "p") != nil
+		}
+		return out
+	}
+	a, b := run(), run()
+	var fired bool
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("call %d differs across seeded runs", i)
+		}
+		fired = fired || a[i]
+	}
+	if !fired {
+		t.Fatal("p=0.5 over 20 calls never fired")
+	}
+}
+
+func TestHangObservesCtx(t *testing.T) {
+	defer Reset()
+	disarm := Arm("p", Spec{Mode: ModeHang})
+	defer disarm()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- Check(ctx, "p") }()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("hang returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("hang did not observe ctx cancellation")
+	}
+}
+
+func TestLatencyMode(t *testing.T) {
+	defer Reset()
+	disarm := Arm("p", Spec{Mode: ModeLatency, Latency: time.Millisecond})
+	defer disarm()
+	if err := Check(context.Background(), "p"); err != nil {
+		t.Fatalf("latency mode should succeed: %v", err)
+	}
+}
+
+func TestWrapWriteShortWrite(t *testing.T) {
+	defer Reset()
+	disarm := Arm("w", Spec{Mode: ModeShortWrite, Times: 1})
+	defer disarm()
+	var landed []byte
+	w := WrapWrite("w", func(b []byte) (int, error) {
+		landed = append(landed, b...)
+		return len(b), nil
+	})
+	n, err := w([]byte("abcdefgh"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if n != 4 || string(landed) != "abcd" {
+		t.Fatalf("short write landed n=%d %q, want 4 `abcd`", n, landed)
+	}
+	n, err = w([]byte("ijkl"))
+	if err != nil || n != 4 {
+		t.Fatalf("after times=1: n=%d err=%v", n, err)
+	}
+	if string(landed) != "abcdijkl" {
+		t.Fatalf("landed %q", landed)
+	}
+}
+
+func TestArmSpec(t *testing.T) {
+	defer Reset()
+	disarm, err := ArmSpec("a:error,times=1;b:latency,d=1ms,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := Check(ctx, "a"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("point a: %v", err)
+	}
+	if err := Check(ctx, "b"); err != nil {
+		t.Fatalf("point b: %v", err)
+	}
+	disarm()
+	if Active() {
+		t.Fatal("disarm left points armed")
+	}
+	if _, err := ArmSpec("bad"); err == nil {
+		t.Fatal("want parse error for missing mode")
+	}
+	if _, err := ArmSpec("a:nope"); err == nil {
+		t.Fatal("want parse error for unknown mode")
+	}
+	if _, err := ArmSpec("a:error,wat=1"); err == nil {
+		t.Fatal("want parse error for unknown option")
+	}
+	if Active() {
+		t.Fatal("failed ArmSpec left points armed")
+	}
+}
+
+func TestCustomError(t *testing.T) {
+	defer Reset()
+	custom := errors.New("boom")
+	disarm := Arm("p", Spec{Mode: ModeError, Err: custom})
+	defer disarm()
+	if err := Check(context.Background(), "p"); !errors.Is(err, custom) {
+		t.Fatalf("want custom error, got %v", err)
+	}
+}

@@ -1,0 +1,242 @@
+// Package resilience provides the retry/backoff/breaker primitives the
+// engine uses around unreliable dependencies: capped exponential backoff
+// with deterministic jitter, bounded retry with per-attempt deadlines,
+// and a small circuit breaker with an injectable clock.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Backoff computes capped exponential delays: Base*Factor^attempt,
+// clamped to Cap, plus up to Jitter fraction of the delay. Jitter is
+// derived deterministically from the attempt number so tests replay.
+type Backoff struct {
+	Base   time.Duration // first delay; 0 means 50ms
+	Cap    time.Duration // max delay; 0 means 5s
+	Factor float64       // growth; <2 means 2
+	Jitter float64       // extra fraction in [0,Jitter); 0 means none
+}
+
+// Delay returns the delay before retry number attempt (0-based).
+func (b Backoff) Delay(attempt int) time.Duration {
+	base, cap_, factor := b.Base, b.Cap, b.Factor
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	if cap_ <= 0 {
+		cap_ = 5 * time.Second
+	}
+	if factor < 2 {
+		factor = 2
+	}
+	d := float64(base)
+	for i := 0; i < attempt; i++ {
+		d *= factor
+		if d >= float64(cap_) {
+			d = float64(cap_)
+			break
+		}
+	}
+	if b.Jitter > 0 {
+		// Cheap deterministic hash of the attempt number: replayable
+		// spread without a shared PRNG.
+		h := uint64(attempt+1) * 0x9e3779b97f4a7c15
+		frac := float64(h%1024) / 1024
+		d += d * b.Jitter * frac
+	}
+	if d > float64(cap_)*(1+b.Jitter) {
+		d = float64(cap_) * (1 + b.Jitter)
+	}
+	return time.Duration(d)
+}
+
+// Sleep waits d or until ctx is done; it reports whether the full
+// duration elapsed.
+func Sleep(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// Policy bounds a retried call.
+type Policy struct {
+	Attempts       int           // total tries; <1 means 1
+	Backoff        Backoff       // delay between tries
+	PerCallTimeout time.Duration // per-attempt deadline; 0 means none
+}
+
+// Do runs fn under p: each attempt gets its own derived deadline, and
+// failed attempts back off (ctx-aware) before retrying. It returns nil
+// on the first success, ctx.Err() if the parent dies, and otherwise the
+// last attempt's error.
+func Do(ctx context.Context, p Policy, fn func(ctx context.Context) error) error {
+	attempts := p.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var last error
+	for i := 0; i < attempts; i++ {
+		if i > 0 && !Sleep(ctx, p.Backoff.Delay(i-1)) {
+			return ctx.Err()
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		actx, cancel := ctx, context.CancelFunc(func() {})
+		if p.PerCallTimeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, p.PerCallTimeout)
+		}
+		err := fn(actx)
+		cancel()
+		if err == nil {
+			return nil
+		}
+		last = err
+	}
+	return last
+}
+
+// ErrBreakerOpen is returned by Breaker.Allow while the breaker is
+// rejecting calls.
+var ErrBreakerOpen = errors.New("resilience: breaker open")
+
+// BreakerState is a Breaker's current mode.
+type BreakerState int
+
+const (
+	// BreakerClosed admits calls normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen rejects calls until Cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen admits one probe call after Cooldown.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Breaker is a consecutive-failure circuit breaker: Threshold failures
+// in a row open it; after Cooldown one probe is admitted (half-open);
+// the probe's outcome closes or re-opens it.
+type Breaker struct {
+	name      string
+	threshold int
+	cooldown  time.Duration
+
+	mu       sync.Mutex
+	now      func() time.Time
+	state    BreakerState
+	failures int
+	openedAt time.Time
+	probing  bool
+}
+
+// NewBreaker returns a closed breaker. threshold<1 means 1; cooldown<=0
+// means 30s.
+func NewBreaker(name string, threshold int, cooldown time.Duration) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if cooldown <= 0 {
+		cooldown = 30 * time.Second
+	}
+	return &Breaker{name: name, threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// Name returns the breaker's name.
+func (b *Breaker) Name() string { return b.name }
+
+// SetClock replaces the breaker's clock (tests).
+func (b *Breaker) SetClock(now func() time.Time) {
+	b.mu.Lock()
+	b.now = now
+	b.mu.Unlock()
+}
+
+// clock reads the injected time source and calls it outside the state
+// lock, so a clock call can never extend a critical section.
+func (b *Breaker) clock() time.Time {
+	b.mu.Lock()
+	f := b.now
+	b.mu.Unlock()
+	return f()
+}
+
+// Allow reports whether a call may proceed; it returns ErrBreakerOpen
+// while open. In half-open only one in-flight probe is admitted.
+func (b *Breaker) Allow() error {
+	now := b.clock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return nil
+	case BreakerOpen:
+		if now.Sub(b.openedAt) < b.cooldown {
+			return fmt.Errorf("%s: %w", b.name, ErrBreakerOpen)
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return nil
+	default: // half-open
+		if b.probing {
+			return fmt.Errorf("%s: %w", b.name, ErrBreakerOpen)
+		}
+		b.probing = true
+		return nil
+	}
+}
+
+// Record reports a call outcome to the breaker.
+func (b *Breaker) Record(err error) {
+	now := b.clock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err == nil {
+		b.state = BreakerClosed
+		b.failures = 0
+		b.probing = false
+		return
+	}
+	b.probing = false
+	b.failures++
+	if b.state == BreakerHalfOpen || b.failures >= b.threshold {
+		b.state = BreakerOpen
+		b.openedAt = now
+		b.failures = 0
+	}
+}
+
+// State returns the breaker's current state, promoting open→half-open
+// if the cooldown has elapsed.
+func (b *Breaker) State() BreakerState {
+	now := b.clock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && now.Sub(b.openedAt) >= b.cooldown {
+		return BreakerHalfOpen
+	}
+	return b.state
+}

@@ -1,0 +1,157 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestBackoffDelayGrowsAndCaps(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Cap: 80 * time.Millisecond}
+	want := []time.Duration{10, 20, 40, 80, 80}
+	for i, w := range want {
+		if got := b.Delay(i); got != w*time.Millisecond {
+			t.Fatalf("Delay(%d) = %v, want %v", i, got, w*time.Millisecond)
+		}
+	}
+}
+
+func TestBackoffJitterDeterministic(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Cap: time.Second, Jitter: 0.5}
+	for i := 0; i < 5; i++ {
+		d1, d2 := b.Delay(i), b.Delay(i)
+		if d1 != d2 {
+			t.Fatalf("Delay(%d) not deterministic: %v vs %v", i, d1, d2)
+		}
+		base := Backoff{Base: 10 * time.Millisecond, Cap: time.Second}.Delay(i)
+		if d1 < base || d1 > base+base/2 {
+			t.Fatalf("Delay(%d) = %v outside [%v, %v]", i, d1, base, base+base/2)
+		}
+	}
+}
+
+func TestDoRetriesThenSucceeds(t *testing.T) {
+	calls := 0
+	err := Do(context.Background(), Policy{
+		Attempts: 3,
+		Backoff:  Backoff{Base: time.Millisecond, Cap: time.Millisecond},
+	}, func(ctx context.Context) error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestDoReturnsLastError(t *testing.T) {
+	boom := errors.New("boom")
+	calls := 0
+	err := Do(context.Background(), Policy{
+		Attempts: 2,
+		Backoff:  Backoff{Base: time.Millisecond, Cap: time.Millisecond},
+	}, func(ctx context.Context) error { calls++; return boom })
+	if !errors.Is(err, boom) || calls != 2 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestDoPerCallTimeout(t *testing.T) {
+	var seen []error
+	err := Do(context.Background(), Policy{
+		Attempts:       2,
+		Backoff:        Backoff{Base: time.Millisecond, Cap: time.Millisecond},
+		PerCallTimeout: 5 * time.Millisecond,
+	}, func(ctx context.Context) error {
+		<-ctx.Done() // simulate a hung call; per-call deadline frees it
+		seen = append(seen, ctx.Err())
+		return ctx.Err()
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if len(seen) != 2 {
+		t.Fatalf("attempts = %d, want 2", len(seen))
+	}
+}
+
+func TestDoObservesParentCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := Do(ctx, Policy{Attempts: 5}, func(ctx context.Context) error {
+		calls++
+		return errors.New("x")
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	if calls != 0 {
+		t.Fatalf("calls = %d, want 0 (parent already dead)", calls)
+	}
+}
+
+func TestSleepCtxAware(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if Sleep(ctx, time.Hour) {
+		t.Fatal("Sleep ignored cancelled ctx")
+	}
+	if !Sleep(context.Background(), 0) {
+		t.Fatal("zero-duration Sleep on live ctx should report true")
+	}
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	b := NewBreaker("geo", 2, 10*time.Second)
+	b.SetClock(clock)
+
+	if err := b.Allow(); err != nil {
+		t.Fatalf("closed breaker rejected: %v", err)
+	}
+	boom := errors.New("boom")
+	b.Record(boom)
+	if b.State() != BreakerClosed {
+		t.Fatalf("one failure below threshold opened breaker: %v", b.State())
+	}
+	b.Record(boom)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open breaker admitted call: %v", err)
+	}
+
+	now = now.Add(11 * time.Second)
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state after cooldown = %v, want half-open", b.State())
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("half-open breaker rejected probe: %v", err)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatal("half-open breaker admitted second concurrent probe")
+	}
+	b.Record(boom) // probe failed → re-open
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v, want open after failed probe", b.State())
+	}
+
+	now = now.Add(11 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("second probe rejected: %v", err)
+	}
+	b.Record(nil)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state = %v, want closed after successful probe", b.State())
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("closed breaker rejected: %v", err)
+	}
+}

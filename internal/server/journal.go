@@ -9,6 +9,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"tweeql/internal/fault"
 )
 
 // The registry journal is an append-only JSON-lines file under the data
@@ -188,7 +190,20 @@ func (j *journal) append(rec journalRecord) error {
 	if j.f == nil {
 		return fmt.Errorf("server: journal closed")
 	}
-	if _, err := j.f.Write(line); err != nil {
+	tail := int64(-1)
+	if st, err := j.f.Stat(); err == nil {
+		tail = st.Size()
+	}
+	write := fault.WrapWrite("server.journal.append", j.f.Write)
+	//tweeqlvet:ignore lockscope -- j.mu exists to serialize appends; the durable write IS the critical section, same as the j.f.Sync below it
+	if _, err := write(line); err != nil {
+		// Chop any partially written bytes so the next append starts on
+		// a clean line boundary. Best effort: if the truncate fails too,
+		// replay still survives — it treats the torn line as a crash
+		// tail and keeps every complete record before it.
+		if tail >= 0 {
+			_ = j.f.Truncate(tail)
+		}
 		return fmt.Errorf("server: journal append: %w", err)
 	}
 	if err := j.f.Sync(); err != nil {

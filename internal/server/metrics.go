@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"tweeql/internal/resilience"
 	"tweeql/internal/store"
 )
 
@@ -40,10 +41,13 @@ func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
 	// restarts is a gauge: it reports the CURRENT failure streak and
 	// resets when a restarted run stays healthy (or on manual resume).
 	fmt.Fprintf(&b, "# TYPE tweeqld_query_restarts gauge\n")
+	fmt.Fprintf(&b, "# TYPE tweeqld_query_degraded_total counter\n")
 	fmt.Fprintf(&b, "# TYPE tweeqld_query_subscribers gauge\n")
 	fmt.Fprintf(&b, "# TYPE tweeqld_query_published_total counter\n")
 	fmt.Fprintf(&b, "# TYPE tweeqld_query_subscriber_dropped_total counter\n")
+	var degradedTotal int64
 	for _, st := range statuses {
+		degradedTotal += st.Degraded
 		l := fmt.Sprintf("{query=%q}", st.Name)
 		fmt.Fprintf(&b, "tweeqld_query_rows_in_total%s %d\n", l, st.RowsIn)
 		fmt.Fprintf(&b, "tweeqld_query_rows_out_total%s %d\n", l, st.RowsOut)
@@ -51,10 +55,16 @@ func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(&b, "tweeqld_query_eval_errors_total%s %d\n", l, st.EvalErrors)
 		fmt.Fprintf(&b, "tweeqld_query_rows_per_sec%s %.3f\n", l, st.RowsPerSec)
 		fmt.Fprintf(&b, "tweeqld_query_restarts%s %d\n", l, st.Restarts)
+		fmt.Fprintf(&b, "tweeqld_query_degraded_total%s %d\n", l, st.Degraded)
 		fmt.Fprintf(&b, "tweeqld_query_subscribers%s %d\n", l, st.Subscribers)
 		fmt.Fprintf(&b, "tweeqld_query_published_total%s %d\n", l, st.Published)
 		fmt.Fprintf(&b, "tweeqld_query_subscriber_dropped_total%s %d\n", l, st.SubscriberDrop)
 	}
+	// Degraded rows across every live query: NULL substitutions from
+	// exhausted UDF retries plus rows dropped on read-only sinks — the
+	// price of keeping results flowing instead of failing queries.
+	fmt.Fprintf(&b, "# TYPE tweeqld_degraded_total counter\n")
+	fmt.Fprintf(&b, "tweeqld_degraded_total %d\n", degradedTotal)
 
 	// Shared scans: per-signature ingest and fan-out counters. The gap
 	// between registered queries and live scans is the endpoint load the
@@ -66,12 +76,32 @@ func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(&b, "# TYPE tweeqld_scan_rows_in_total counter\n")
 	fmt.Fprintf(&b, "# TYPE tweeqld_scan_batches_in_total counter\n")
 	fmt.Fprintf(&b, "# TYPE tweeqld_scan_subscriber_dropped_total counter\n")
+	// Supervised restarts: how many times each shared scan's physical
+	// source died and was reopened without touching the queries on it.
+	fmt.Fprintf(&b, "# TYPE tweeqld_scan_restarts_total counter\n")
 	for _, sc := range scans {
 		l := fmt.Sprintf("{scan=%q,source=%q}", sc.Signature, sc.Source)
 		fmt.Fprintf(&b, "tweeqld_scan_queries%s %d\n", l, sc.Queries)
 		fmt.Fprintf(&b, "tweeqld_scan_rows_in_total%s %d\n", l, sc.RowsIn)
 		fmt.Fprintf(&b, "tweeqld_scan_batches_in_total%s %d\n", l, sc.Batches)
 		fmt.Fprintf(&b, "tweeqld_scan_subscriber_dropped_total%s %d\n", l, sc.Dropped)
+		fmt.Fprintf(&b, "tweeqld_scan_restarts_total%s %d\n", l, sc.Restarts)
+	}
+
+	// Circuit breakers guarding web-service UDFs: 0 closed (healthy),
+	// 1 half-open (probing), 2 open (short-circuiting to NULL).
+	if breakers := s.eng.Catalog().Breakers(); len(breakers) > 0 {
+		fmt.Fprintf(&b, "# TYPE tweeqld_breaker_state gauge\n")
+		for _, br := range breakers {
+			var v int
+			switch br.State() {
+			case resilience.BreakerHalfOpen:
+				v = 1
+			case resilience.BreakerOpen:
+				v = 2
+			}
+			fmt.Fprintf(&b, "tweeqld_breaker_state{breaker=%q} %d\n", br.Name(), v)
+		}
 	}
 
 	tables := s.eng.Catalog().Tables()
@@ -79,9 +109,17 @@ func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(&b, "# TYPE tweeqld_table_rows gauge\n")
 	fmt.Fprintf(&b, "# TYPE tweeqld_table_segments_scanned_total counter\n")
 	fmt.Fprintf(&b, "# TYPE tweeqld_table_segments_pruned_total counter\n")
+	// 1 when persistent append failures flipped the table read-only
+	// (reads still serve; writers see ErrReadOnly and count degraded).
+	fmt.Fprintf(&b, "# TYPE tweeqld_table_readonly gauge\n")
 	for _, t := range tables {
 		l := fmt.Sprintf("{table=%q}", t.Name)
 		fmt.Fprintf(&b, "tweeqld_table_rows%s %d\n", l, t.Len())
+		ro := 0
+		if t.Healthy() != nil {
+			ro = 1
+		}
+		fmt.Fprintf(&b, "tweeqld_table_readonly%s %d\n", l, ro)
 		if st, ok := t.Backend().(*store.Table); ok {
 			scanned, pruned := st.ScanCounters()
 			fmt.Fprintf(&b, "tweeqld_table_segments_scanned_total%s %d\n", l, scanned)

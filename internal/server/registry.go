@@ -53,11 +53,18 @@ type QuerySpec struct {
 // queries.
 type RestartPolicy struct {
 	// MaxRestarts caps consecutive restarts per query (0 = default 5);
-	// the counter resets once a restarted run stays healthy for a
-	// minute, so lifetime blips never exhaust it.
+	// the counter resets once a restarted run stays healthy for
+	// HealthyAfter, so lifetime blips never exhaust it.
 	MaxRestarts int
 	// Backoff is the delay before each restart (0 = default 500ms).
 	Backoff time.Duration
+	// HealthyAfter is how long a restarted run must survive before the
+	// restart counter resets (0 = default 1 minute).
+	HealthyAfter time.Duration
+	// Now is the clock the streak logic reads (nil = time.Now). Tests
+	// inject a fake clock so "ran healthy for a minute" is assertable
+	// without waiting a minute.
+	Now func() time.Time
 }
 
 func (p RestartPolicy) withDefaults() RestartPolicy {
@@ -66,6 +73,12 @@ func (p RestartPolicy) withDefaults() RestartPolicy {
 	}
 	if p.Backoff <= 0 {
 		p.Backoff = 500 * time.Millisecond
+	}
+	if p.HealthyAfter <= 0 {
+		p.HealthyAfter = healthyRunDuration
+	}
+	if p.Now == nil {
+		p.Now = time.Now
 	}
 	return p
 }
@@ -81,6 +94,17 @@ type QueryStatus struct {
 	Restarts  int        `json:"restarts"`
 	CreatedAt time.Time  `json:"created_at"`
 	StartedAt time.Time  `json:"started_at,omitempty"` // current run
+
+	// Health is the honest one-word answer to "is this query fine":
+	// "ok" (running clean), "degraded" (still serving, but values were
+	// NULLed by exhausted retries, rows were dropped on a read-only
+	// table, the run is inside a restart streak, or its INTO TABLE
+	// target went read-only), or "failed" (dead, restart policy gave
+	// up). A paused/done query with no residue reports "ok".
+	Health string `json:"health"`
+	// Degraded counts NULL substitutions and rows dropped on unhealthy
+	// sinks in the current run.
+	Degraded int64 `json:"degraded"`
 
 	// Scan is the canonical signature of the physical scan the query
 	// reads; ScanShared reports whether the current run attached to a
@@ -135,14 +159,21 @@ var errBadState = errors.New("server: invalid state transition")
 // errDuplicate marks creates of names already registered — HTTP 409.
 var errDuplicate = errors.New("server: query already exists")
 
+// errJournal marks a create whose journal append failed: the query was
+// started, then rolled back, because an unjournaled query would
+// silently vanish on the next daemon restart — an honest 500 now beats
+// a quiet disappearance later.
+var errJournal = errors.New("server: journal write failed, query rolled back")
+
 // maxSQLLen bounds a registered statement. The journal replayer reads
 // line-wise with a 1 MiB cap; bounding SQL well below that guarantees
 // a journaled create can always be replayed.
 const maxSQLLen = 64 << 10
 
-// healthyRunDuration is how long a restarted run must survive before
-// the restart counter resets — MaxRestarts caps *consecutive* rapid
-// failures, not lifetime blips spread over days.
+// healthyRunDuration is the RestartPolicy.HealthyAfter default: how
+// long a restarted run must survive before the restart counter resets
+// — MaxRestarts caps *consecutive* rapid failures, not lifetime blips
+// spread over days.
 const healthyRunDuration = time.Minute
 
 // Registry owns the set of registered queries over one engine, their
@@ -196,7 +227,7 @@ func NewRegistry(eng *core.Engine, dataDir string, policy RestartPolicy) (*Regis
 			// fixes the environment) has the Into metadata it needs.
 			stmt, _ := lang.Parse(js.SQL)
 			q = &Query{reg: r, spec: js.QuerySpec, stmt: stmt, state: StateError,
-				stateErr: err.Error(), createdAt: time.Now()}
+				stateErr: err.Error(), createdAt: r.policy.Now()}
 			r.mu.Lock()
 			r.queries[strings.ToLower(js.Name)] = q
 			r.order = append(r.order, js.Name)
@@ -231,7 +262,7 @@ func (r *Registry) create(spec QuerySpec, journal bool) (*Query, error) {
 	// Registered as running before start() so no concurrent List or
 	// metrics scrape ever observes a query without a lifecycle state;
 	// a start failure removes the entry again below.
-	q := &Query{reg: r, spec: spec, stmt: stmt, state: StateRunning, createdAt: time.Now()}
+	q := &Query{reg: r, spec: spec, stmt: stmt, state: StateRunning, createdAt: r.policy.Now()}
 
 	r.mu.Lock()
 	if r.closed {
@@ -248,24 +279,46 @@ func (r *Registry) create(spec QuerySpec, journal bool) (*Query, error) {
 	r.mu.Unlock()
 
 	if err := q.start(); err != nil {
-		r.mu.Lock()
-		delete(r.queries, key)
-		for i := len(r.order) - 1; i >= 0; i-- {
-			if strings.EqualFold(r.order[i], spec.Name) {
-				r.order = append(r.order[:i], r.order[i+1:]...)
-				break
-			}
-		}
-		r.mu.Unlock()
+		r.removeEntry(spec.Name)
 		return nil, err
 	}
 	if journal && r.journal != nil {
 		if err := r.journal.append(journalRecord{Op: opCreate, Name: spec.Name,
 			SQL: spec.SQL, Restart: spec.Restart}); err != nil {
-			return q, fmt.Errorf("server: query started but journal write failed: %w", err)
+			// The query started but its definition didn't land durably; on
+			// the next daemon restart it would silently not exist. Roll the
+			// create back completely — stop the run, remove the entry, end
+			// its fan-out — so the registry and the journal agree again and
+			// the client gets an error it can retry.
+			r.removeEntry(spec.Name)
+			q.mu.Lock()
+			q.state = StateDone
+			cur, bcast := q.cur, q.bcast
+			q.cur = nil
+			q.mu.Unlock()
+			if cur != nil {
+				cur.Stop()
+			}
+			if bcast != nil {
+				bcast.CloseStream()
+			}
+			return nil, fmt.Errorf("%w: %v", errJournal, err)
 		}
 	}
 	return q, nil
+}
+
+// removeEntry unregisters name from the query map and creation order.
+func (r *Registry) removeEntry(name string) {
+	r.mu.Lock()
+	delete(r.queries, strings.ToLower(name))
+	for i := len(r.order) - 1; i >= 0; i-- {
+		if strings.EqualFold(r.order[i], name) {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
+	r.mu.Unlock()
 }
 
 // Get resolves a registered query by name.
@@ -274,6 +327,14 @@ func (r *Registry) Get(name string) (*Query, bool) {
 	defer r.mu.Unlock()
 	q, ok := r.queries[strings.ToLower(name)]
 	return q, ok
+}
+
+// Closed reports whether the registry has shut down — the one state in
+// which the daemon is not ready to serve at all.
+func (r *Registry) Closed() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.closed
 }
 
 // List snapshots every registered query's status, in creation order.
@@ -453,6 +514,7 @@ func (q *Query) start() error {
 		return err
 	}
 
+	now := q.reg.policy.Now() // read the clock outside q.mu
 	q.mu.Lock()
 	if q.state == StateRunning && q.cur != nil {
 		q.mu.Unlock()
@@ -462,7 +524,7 @@ func (q *Query) start() error {
 	q.cur = cur
 	q.state = StateRunning
 	q.stateErr = ""
-	q.startedAt = time.Now()
+	q.startedAt = now
 	q.epoch++
 	epoch := q.epoch
 	routed := cur.Routed()
@@ -512,6 +574,7 @@ func (q *Query) pump(epoch int, cur *core.Cursor, routed bool, bcast *catalog.De
 // onRunEnd settles the query's state after a run and applies the
 // restart policy.
 func (q *Query) onRunEnd(epoch int, err error) {
+	now := q.reg.policy.Now() // read the clock outside q.mu
 	q.mu.Lock()
 	if epoch != q.epoch {
 		q.mu.Unlock()
@@ -530,7 +593,7 @@ func (q *Query) onRunEnd(epoch int, err error) {
 	policy := q.reg.policy
 	// A run that survived a healthy interval ends the current failure
 	// streak: MaxRestarts bounds consecutive rapid failures only.
-	if !q.startedAt.IsZero() && time.Since(q.startedAt) > healthyRunDuration {
+	if !q.startedAt.IsZero() && now.Sub(q.startedAt) > policy.HealthyAfter {
 		q.restarts = 0
 	}
 	if !q.spec.Restart || q.restarts >= policy.MaxRestarts {
@@ -568,6 +631,7 @@ func (q *Query) Spec() QuerySpec { return q.spec }
 
 // Status snapshots the query for the API and metrics.
 func (q *Query) Status() QueryStatus {
+	now := q.reg.policy.Now() // read the clock outside q.mu
 	q.mu.Lock()
 	st := QueryStatus{
 		Name:      q.spec.Name,
@@ -600,8 +664,9 @@ func (q *Query) Status() QueryStatus {
 		st.RowsOut = s.RowsOut.Load()
 		st.FilterDrop = s.Dropped.Load()
 		st.EvalErrors = s.EvalErrors.Load()
+		st.Degraded = s.Degraded.Load()
 		if st.State == StateRunning && !started.IsZero() {
-			if secs := time.Since(started).Seconds(); secs > 0 {
+			if secs := now.Sub(started).Seconds(); secs > 0 {
 				st.RowsPerSec = float64(st.RowsOut) / secs
 			}
 		}
@@ -612,5 +677,27 @@ func (q *Query) Status() QueryStatus {
 		st.Published = bs.Published
 		st.SubscriberDrop = bs.Dropped
 	}
+	// Health: failed beats degraded beats ok. A query can be degraded
+	// without a single eval error — NULLed UDF values and rows dropped
+	// on a read-only sink keep results flowing by design, and this
+	// field is where that residue shows up.
+	switch {
+	case st.State == StateError:
+		st.Health = "failed"
+	case st.Degraded > 0 || st.Restarts > 0 || st.Error != "",
+		q.stmt != nil && q.stmt.Into != nil && q.stmt.Into.Kind == lang.IntoTable &&
+			q.reg.tableUnhealthy(q.stmt.Into.Name):
+		st.Health = "degraded"
+	default:
+		st.Health = "ok"
+	}
 	return st
+}
+
+// tableUnhealthy reports whether an already-open table backend is
+// degraded (e.g. flipped read-only after persistent append failures):
+// the query keeps running, but its rows are going nowhere durable.
+func (r *Registry) tableUnhealthy(name string) bool {
+	t := r.eng.Catalog().OpenedTable(name)
+	return t != nil && t.Healthy() != nil
 }

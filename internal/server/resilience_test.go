@@ -1,0 +1,275 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"tweeql/internal/catalog"
+	"tweeql/internal/core"
+	"tweeql/internal/fault"
+	"tweeql/internal/resilience"
+	"tweeql/internal/twitterapi"
+)
+
+func contextWithTimeout(d time.Duration) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), d)
+}
+
+// fakeClock is an injectable RestartPolicy.Now: tests advance it by
+// hand instead of waiting out the healthy-run interval.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// newTestRegistry builds a hub-fed engine and a registry with the
+// given policy, without the HTTP layer.
+func newTestRegistry(t *testing.T, policy RestartPolicy) (*Registry, *twitterapi.Hub) {
+	t.Helper()
+	cat := catalog.New()
+	hub := twitterapi.NewHub()
+	cat.RegisterSource("twitter", catalog.NewTwitterSource(hub, nil))
+	opts := core.DefaultOptions()
+	opts.BatchFlushEvery = 2 * time.Millisecond
+	eng := core.NewEngine(cat, opts)
+	reg, err := NewRegistry(eng, "", policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := contextWithTimeout(5 * time.Second)
+		defer cancel()
+		_ = reg.Close(ctx)
+		hub.Close()
+		_ = eng.Close()
+	})
+	return reg, hub
+}
+
+// stopWithError kills the query's current run with an induced error
+// and waits for the restart policy to settle (restarted or errored).
+func stopWithError(t *testing.T, q *Query) {
+	t.Helper()
+	q.mu.Lock()
+	cur := q.cur
+	q.mu.Unlock()
+	if cur == nil {
+		t.Fatal("query has no live cursor to fail")
+	}
+	cur.Stats().NoteError(os.ErrDeadlineExceeded)
+	cur.Stop()
+	waitFor(t, 10*time.Second, "query to settle after induced error", func() bool {
+		q.mu.Lock()
+		defer q.mu.Unlock()
+		return q.state == StateError || (q.state == StateRunning && q.cur != nil && q.cur != cur)
+	})
+}
+
+// TestRestartStreakResetsWithInjectedClock pins the healthy-run streak
+// logic against an injected clock: a run that survives HealthyAfter
+// (by fake-clock time) resets the restart budget, and with the clock
+// frozen the budget exhausts into an honest "failed" health.
+func TestRestartStreakResetsWithInjectedClock(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1_000_000, 0)}
+	reg, _ := newTestRegistry(t, RestartPolicy{
+		MaxRestarts: 2, Backoff: time.Millisecond,
+		HealthyAfter: time.Minute, Now: clk.now,
+	})
+	q, err := reg.Create(QuerySpec{Name: "streak", SQL: "SELECT id FROM twitter", Restart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stopWithError(t, q)
+	if st := q.Status(); st.Restarts != 1 || st.State != StateRunning {
+		t.Fatalf("after first failure: restarts=%d state=%s, want 1/running", st.Restarts, st.State)
+	}
+	if got := q.Status().Health; got != "degraded" {
+		t.Fatalf("health inside restart streak = %q, want degraded", got)
+	}
+
+	// The restarted run "survives" two minutes of fake time: the next
+	// failure must reset the streak first, landing on 1, not 2.
+	clk.advance(2 * time.Minute)
+	stopWithError(t, q)
+	if st := q.Status(); st.Restarts != 1 || st.State != StateRunning {
+		t.Fatalf("after healthy interval + failure: restarts=%d state=%s, want 1/running", st.Restarts, st.State)
+	}
+
+	// Clock frozen: rapid consecutive failures exhaust the budget.
+	stopWithError(t, q)
+	if st := q.Status(); st.Restarts != 2 || st.State != StateRunning {
+		t.Fatalf("after rapid failure: restarts=%d state=%s, want 2/running", st.Restarts, st.State)
+	}
+	stopWithError(t, q)
+	st := q.Status()
+	if st.State != StateError {
+		t.Fatalf("after exhausting budget: state=%s, want error", st.State)
+	}
+	if st.Health != "failed" {
+		t.Fatalf("health of exhausted query = %q, want failed", st.Health)
+	}
+}
+
+// TestJournalAppendFailureRollsBackCreate injects a short write into
+// the registry journal mid-create: the API must report the failure,
+// the registry must not keep the half-journaled query, and a replay of
+// the (truncated) journal must restore exactly the queries whose
+// creates landed durably.
+func TestJournalAppendFailureRollsBackCreate(t *testing.T) {
+	defer fault.Reset()
+	dir := t.TempDir()
+	eng1, hub1, srv1 := newTestDeployment(t, dir)
+	ts1 := httptest.NewServer(srv1)
+
+	createQuery(t, ts1.URL, "keeper", `SELECT id, text FROM twitter`)
+
+	disarm := fault.Arm("server.journal.append", fault.Spec{Mode: fault.ModeShortWrite, Times: 1})
+	resp := postJSON(t, ts1.URL+"/api/queries", QuerySpec{Name: "victim", SQL: `SELECT id FROM twitter`})
+	var apiErr map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&apiErr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	disarm()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("create with journal fault: status %d (%v), want 500", resp.StatusCode, apiErr)
+	}
+	if _, ok := srv1.Registry().Get("victim"); ok {
+		t.Fatal("rolled-back query still registered")
+	}
+
+	// The failed append truncated its partial bytes, so the journal is
+	// immediately writable again: the same name can be re-created.
+	createQuery(t, ts1.URL, "victim", `SELECT id FROM twitter`)
+
+	ts1.Close()
+	ctx, cancel := contextWithTimeout(5 * time.Second)
+	defer cancel()
+	if err := srv1.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	hub1.Close()
+	if err := eng1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh daemon replays the journal: keeper and the successfully
+	// re-created victim, nothing else, no parse garbage from the torn
+	// line.
+	eng2, hub2, srv2 := newTestDeployment(t, dir)
+	defer func() {
+		ctx, cancel := contextWithTimeout(5 * time.Second)
+		defer cancel()
+		_ = srv2.Close(ctx)
+		hub2.Close()
+		_ = eng2.Close()
+	}()
+	list := srv2.Registry().List()
+	if len(list) != 2 || list[0].Name != "keeper" || list[1].Name != "victim" {
+		names := make([]string, len(list))
+		for i, st := range list {
+			names[i] = st.Name
+		}
+		t.Fatalf("restored queries = %v, want [keeper victim]", names)
+	}
+}
+
+// TestTruncatedJournalReplayConsistent pins replay when the append-
+// failure truncation itself fails (simulated by writing the torn tail
+// directly): every complete record before the tear survives.
+func TestTruncatedJournalReplayConsistent(t *testing.T) {
+	dir := t.TempDir()
+	eng1, hub1, srv1 := newTestDeployment(t, dir)
+	ts1 := httptest.NewServer(srv1)
+	createQuery(t, ts1.URL, "keeper", `SELECT id FROM twitter`)
+	ts1.Close()
+	ctx, cancel := contextWithTimeout(5 * time.Second)
+	defer cancel()
+	if err := srv1.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	hub1.Close()
+	if err := eng1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the tail: half a create record, no newline — the shape a
+	// crash mid-append leaves when truncation never ran.
+	f, err := os.OpenFile(dir+"/"+journalFile, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"op":"create","name":"torn","sql":"SELE`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	eng2, hub2, srv2 := newTestDeployment(t, dir)
+	defer func() {
+		ctx, cancel := contextWithTimeout(5 * time.Second)
+		defer cancel()
+		_ = srv2.Close(ctx)
+		hub2.Close()
+		_ = eng2.Close()
+	}()
+	list := srv2.Registry().List()
+	if len(list) != 1 || list[0].Name != "keeper" {
+		t.Fatalf("replay over torn tail restored %d queries, want just keeper", len(list))
+	}
+}
+
+// TestReadyzHonestStates drives /readyz through its three answers:
+// ready-ok, ready-degraded (an open breaker), and 503 once closed.
+func TestReadyzHonestStates(t *testing.T) {
+	eng, _, srv := newTestDeployment(t, "")
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var body struct {
+		Status string   `json:"status"`
+		Checks []string `json:"checks"`
+	}
+	if code := getJSON(t, ts.URL+"/readyz", &body); code != http.StatusOK || body.Status != "ok" {
+		t.Fatalf("fresh daemon readyz = %d %q, want 200 ok", code, body.Status)
+	}
+
+	// An open breaker degrades readiness without failing it.
+	br := resilience.NewBreaker("testsvc", 1, time.Hour)
+	eng.Catalog().RegisterBreaker(br)
+	br.Record(errors.New("service down"))
+	if code := getJSON(t, ts.URL+"/readyz", &body); code != http.StatusOK || body.Status != "degraded" {
+		t.Fatalf("readyz with open breaker = %d %q, want 200 degraded", code, body.Status)
+	}
+	if len(body.Checks) == 0 {
+		t.Fatal("degraded readyz reported no checks")
+	}
+
+	ctx, cancel := contextWithTimeout(5 * time.Second)
+	defer cancel()
+	if err := srv.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if code := getJSON(t, ts.URL+"/readyz", &body); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz after close = %d, want 503", code)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"tweeql/internal/core"
+	"tweeql/internal/resilience"
 	"tweeql/internal/value"
 )
 
@@ -73,6 +74,7 @@ func New(eng *core.Engine, opts Options) (*Server, error) {
 	s.mux.HandleFunc("GET /api/tables/{name}/snapshot", s.snapshotTable)
 	s.mux.HandleFunc("GET /metrics", s.metrics)
 	s.mux.HandleFunc("GET /healthz", s.healthz)
+	s.mux.HandleFunc("GET /readyz", s.readyz)
 	return s, nil
 }
 
@@ -107,6 +109,39 @@ func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+// readyz is the honest readiness probe: 503 only when the registry has
+// shut down (nothing can be served), otherwise 200 with status "ok" or
+// "degraded" plus the specific residue — read-only tables, open
+// breakers, failed queries. Degraded is deliberately still ready: the
+// daemon serves partial results rather than dropping out of rotation.
+func (s *Server) readyz(w http.ResponseWriter, _ *http.Request) {
+	if s.reg.Closed() {
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "closed"})
+		return
+	}
+	var checks []string
+	for _, t := range s.eng.Catalog().Tables() {
+		if err := t.Healthy(); err != nil {
+			checks = append(checks, fmt.Sprintf("table %s: %v", t.Name, err))
+		}
+	}
+	for _, br := range s.eng.Catalog().Breakers() {
+		if st := br.State(); st != resilience.BreakerClosed {
+			checks = append(checks, fmt.Sprintf("breaker %s: %s", br.Name(), st))
+		}
+	}
+	for _, st := range s.reg.List() {
+		if st.Health != "ok" {
+			checks = append(checks, fmt.Sprintf("query %s: %s", st.Name, st.Health))
+		}
+	}
+	status := "ok"
+	if len(checks) > 0 {
+		status = "degraded"
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"status": status, "checks": checks})
+}
+
 func (s *Server) listQueries(w http.ResponseWriter, _ *http.Request) {
 	s.writeJSON(w, http.StatusOK, map[string]any{"queries": s.reg.List()})
 }
@@ -121,8 +156,8 @@ func (s *Server) createQuery(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		code := http.StatusBadRequest
 		switch {
-		case q != nil:
-			code = http.StatusInternalServerError // started but journal failed
+		case errors.Is(err, errJournal):
+			code = http.StatusInternalServerError // started, then rolled back
 		case errors.Is(err, errDuplicate):
 			code = http.StatusConflict
 		}

@@ -11,9 +11,10 @@ import (
 )
 
 // TestPartialWriteRetryNoDuplicate pins the flushLocked contract: a
-// flush that fails after a partial write must advance the buffer past
-// the bytes that landed, so the retried flush appends only the
-// remainder — never a duplicated prefix.
+// write attempt that fails after a partial write must advance the
+// buffer past the bytes that landed, so the internal retry appends
+// only the remainder — never a duplicated prefix — and the flush as a
+// whole recovers without surfacing the transient error.
 func TestPartialWriteRetryNoDuplicate(t *testing.T) {
 	dir := t.TempDir()
 	tab := mustOpen(t, Options{Dir: dir, Fsync: FsyncNone})
@@ -21,11 +22,17 @@ func TestPartialWriteRetryNoDuplicate(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// First flush: write half the buffered bytes for real, then fail.
+	// First write attempt: land half the buffered bytes for real, then
+	// fail. Later attempts succeed. (failed is guarded by tab.mu: the
+	// hook only runs under flushLocked.)
 	injected := errors.New("injected write error")
+	failed := false
 	tab.mu.Lock()
-	buffered := len(tab.buf)
 	tab.writeHook = func(b []byte) (int, error) {
+		if failed {
+			return tab.f.Write(b)
+		}
+		failed = true
 		k := len(b) / 2
 		n, err := tab.f.Write(b[:k])
 		if err != nil {
@@ -34,21 +41,15 @@ func TestPartialWriteRetryNoDuplicate(t *testing.T) {
 		return n, injected
 	}
 	tab.mu.Unlock()
-	if err := tab.Flush(); !errors.Is(err, injected) {
-		t.Fatalf("Flush with partial write: err=%v, want injected", err)
+	if err := tab.Flush(); err != nil {
+		t.Fatalf("Flush with transient partial write: %v (retry should recover)", err)
+	}
+	if err := tab.Healthy(); err != nil {
+		t.Fatalf("recovered table reports unhealthy: %v", err)
 	}
 	tab.mu.Lock()
-	if got, want := len(tab.buf), buffered-buffered/2; got != want {
-		tab.mu.Unlock()
-		t.Fatalf("buffer after partial write: %d bytes left, want %d", got, want)
-	}
 	tab.writeHook = nil
 	tab.mu.Unlock()
-
-	// Retry must complete the stream without duplicating the prefix.
-	if err := tab.Flush(); err != nil {
-		t.Fatal(err)
-	}
 	got := collect(t, tab, time.Time{}, time.Time{})
 	if len(got) != 100 {
 		t.Fatalf("after retried flush: %d rows, want 100", len(got))

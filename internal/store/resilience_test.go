@@ -1,0 +1,100 @@
+package store
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"tweeql/internal/fault"
+)
+
+// TestTransientWriteFailureRecovers arms the store.append.write fault
+// point for two failures: the internal retry loop must absorb them and
+// the table must stay healthy.
+func TestTransientWriteFailureRecovers(t *testing.T) {
+	defer fault.Reset()
+	tab := mustOpen(t, Options{Dir: t.TempDir(), Fsync: FsyncNone})
+	disarm := fault.Arm("store.append.write", fault.Spec{Mode: fault.ModeError, Times: 2})
+	defer disarm()
+
+	if err := tab.AppendBatch(rows(0, 50)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Flush(); err != nil {
+		t.Fatalf("flush with 2 transient write failures: %v", err)
+	}
+	if err := tab.Healthy(); err != nil {
+		t.Fatalf("table unhealthy after recovered flush: %v", err)
+	}
+	if got := collect(t, tab, time.Time{}, time.Time{}); len(got) != 50 {
+		t.Fatalf("rows = %d, want 50", len(got))
+	}
+	if fault.Fired("store.append.write") != 2 {
+		t.Fatalf("fault fired %d times, want 2", fault.Fired("store.append.write"))
+	}
+	if err := tab.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPersistentWriteFailureFlipsReadOnly arms the write fault point
+// permanently: retries exhaust, the table degrades to read-only,
+// appends reject with ErrReadOnly — and everything already readable
+// (flushed segments AND the pending buffer) still scans.
+func TestPersistentWriteFailureFlipsReadOnly(t *testing.T) {
+	defer fault.Reset()
+	tab := mustOpen(t, Options{Dir: t.TempDir(), Fsync: FsyncNone, AppendRetries: 1})
+	// 50 rows flushed for real before the fault arms.
+	if err := tab.AppendBatch(rows(0, 50)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// 10 more land in the pending buffer, then every write fails.
+	if err := tab.AppendBatch(rows(50, 60)); err != nil {
+		t.Fatal(err)
+	}
+	disarm := fault.Arm("store.append.write", fault.Spec{Mode: fault.ModeError})
+	defer disarm()
+
+	err := tab.Flush()
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("flush under persistent failure: %v, want injected", err)
+	}
+	if err := tab.Healthy(); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("Healthy = %v, want ErrReadOnly", err)
+	}
+	if err := tab.AppendBatch(rows(60, 65)); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("append to read-only table: %v, want ErrReadOnly", err)
+	}
+	// Reads still serve: the 50 durable rows plus the 10 buffered ones.
+	if got := collect(t, tab, time.Time{}, time.Time{}); len(got) != 60 {
+		t.Fatalf("rows after degrade = %d, want 60 (segments + pending buffer)", len(got))
+	}
+	if err := tab.Close(); err == nil {
+		t.Log("close after degrade succeeded (pending buffer dropped by design)")
+	}
+}
+
+// TestFsyncFailureFlipsReadOnly covers the fsync-path fault point under
+// the flush durability policy.
+func TestFsyncFailureFlipsReadOnly(t *testing.T) {
+	defer fault.Reset()
+	tab := mustOpen(t, Options{Dir: t.TempDir(), Fsync: FsyncOnFlush, AppendRetries: 1})
+	if err := tab.AppendBatch(rows(0, 10)); err != nil {
+		t.Fatal(err)
+	}
+	disarm := fault.Arm("store.append.fsync", fault.Spec{Mode: fault.ModeError})
+	defer disarm()
+	if err := tab.Flush(); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("flush = %v, want injected fsync error", err)
+	}
+	if err := tab.Healthy(); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("Healthy = %v, want ErrReadOnly", err)
+	}
+	// The data bytes landed (only fsync failed), so rows still scan.
+	if got := collect(t, tab, time.Time{}, time.Time{}); len(got) != 10 {
+		t.Fatalf("rows = %d, want 10", len(got))
+	}
+}

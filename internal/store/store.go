@@ -2,6 +2,7 @@ package store
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -14,6 +15,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tweeql/internal/fault"
+	"tweeql/internal/resilience"
 	"tweeql/internal/value"
 )
 
@@ -69,6 +72,10 @@ type Options struct {
 	// RetainMaxAge deletes sealed segments whose newest row is older
 	// than this. 0 keeps everything.
 	RetainMaxAge time.Duration
+	// AppendRetries is how many times a failed data-file write or fsync
+	// is retried (with a short capped backoff) before the table degrades
+	// to read-only. Default 3; negative disables retries.
+	AppendRetries int
 
 	// now overrides the clock in tests.
 	now func() time.Time
@@ -84,10 +91,22 @@ func (o *Options) defaults() {
 	if o.IndexEvery <= 0 {
 		o.IndexEvery = 512
 	}
+	if o.AppendRetries == 0 {
+		o.AppendRetries = 3
+	}
+	if o.AppendRetries < 0 {
+		o.AppendRetries = 0
+	}
 	if o.now == nil {
 		o.now = time.Now
 	}
 }
+
+// appendBackoff spaces write/fsync retries. It stays tiny because the
+// retry loop runs under the table lock: the worst case (3 retries)
+// blocks appenders ~14ms, while scans only briefly need the lock to
+// snapshot state.
+var appendBackoff = resilience.Backoff{Base: 2 * time.Millisecond, Cap: 20 * time.Millisecond}
 
 // Table is one persistent, append-only, time-partitioned table. Safe
 // for concurrent use: appends serialize on an internal lock; scans
@@ -108,6 +127,13 @@ type Table struct {
 	scanned atomic.Int64 // segments read by scans
 	pruned  atomic.Int64 // segments skipped by time-range pruning
 
+	// readonly flips when a data-file write or fsync keeps failing after
+	// retries: the table stops accepting appends (degradeErr says why)
+	// but keeps serving scans — flushed segments and the pending buffer
+	// stay readable. Guarded by mu.
+	readonly   bool
+	degradeErr error
+
 	// writeHook overrides the active data-file write in tests (fault
 	// injection for partial and failed writes); nil uses f.Write.
 	writeHook func([]byte) (int, error)
@@ -115,6 +141,10 @@ type Table struct {
 
 // ErrClosed is returned by operations on a closed table.
 var ErrClosed = errors.New("store: table is closed")
+
+// ErrReadOnly is returned by appends after the table degraded to
+// read-only (persistent write failure). Wrapped errors carry the cause.
+var ErrReadOnly = errors.New("store: table is read-only")
 
 // Open opens (creating or recovering as needed) the table at opts.Dir.
 // Recovery reads sealed segments' sidecar indexes, re-scans any
@@ -281,6 +311,9 @@ func (t *Table) AppendBatch(rows []value.Tuple) error {
 	if t.closed {
 		return ErrClosed
 	}
+	if t.readonly {
+		return t.readOnlyErrLocked()
+	}
 	for i := range rows {
 		if err := t.appendLocked(rows[i]); err != nil {
 			return err
@@ -288,6 +321,28 @@ func (t *Table) AppendBatch(rows []value.Tuple) error {
 	}
 	if len(t.buf) >= t.opts.FlushBytes {
 		return t.flushLocked()
+	}
+	return nil
+}
+
+// readOnlyErrLocked wraps ErrReadOnly with the degradation cause.
+func (t *Table) readOnlyErrLocked() error {
+	return fmt.Errorf("%w: %v", ErrReadOnly, t.degradeErr)
+}
+
+// degradeLocked flips the table read-only after exhausted retries.
+func (t *Table) degradeLocked(err error) {
+	t.readonly = true
+	t.degradeErr = err
+}
+
+// Healthy implements catalog.HealthReporter: nil while writable, the
+// degradation reason once the table flipped read-only.
+func (t *Table) Healthy() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.readonly {
+		return t.readOnlyErrLocked()
 	}
 	return nil
 }
@@ -351,27 +406,65 @@ func (t *Table) newSegmentLocked(schema *value.Schema) error {
 }
 
 // flushLocked writes the buffered records to the active data file.
+// Transient write failures retry with a short backoff; once retries
+// are exhausted the table degrades to read-only (already-flushed
+// segments and the pending buffer remain scannable).
 func (t *Table) flushLocked() error {
 	if t.f == nil || len(t.buf) == 0 {
 		return nil
+	}
+	if t.readonly {
+		return t.readOnlyErrLocked()
 	}
 	write := t.f.Write
 	if t.writeHook != nil {
 		write = t.writeHook
 	}
-	n, err := write(t.buf)
-	t.written += int64(n)
-	// Drop what landed even on a short write: the file cursor has moved
-	// past those bytes, so a retried flush that kept them would write
-	// them twice and corrupt the record stream.
-	t.buf = t.buf[:copy(t.buf, t.buf[n:])]
+	write = fault.WrapWrite("store.append.write", write)
+	var err error
+	for attempt := 0; attempt <= t.opts.AppendRetries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(appendBackoff.Delay(attempt - 1))
+		}
+		var n int
+		n, err = write(t.buf)
+		t.written += int64(n)
+		// Drop what landed even on a short write: the file cursor has
+		// moved past those bytes, so a retried flush that kept them would
+		// write them twice and corrupt the record stream.
+		t.buf = t.buf[:copy(t.buf, t.buf[n:])]
+		if err == nil {
+			break
+		}
+	}
 	if err != nil {
-		return err
+		t.degradeLocked(err)
+		return fmt.Errorf("store: flush: %w", err)
 	}
 	if t.opts.Fsync == FsyncOnFlush {
-		return t.f.Sync()
+		return t.syncActiveLocked()
 	}
 	return nil
+}
+
+// syncActiveLocked fsyncs the active data file with the same retry/
+// degrade discipline as flushLocked.
+func (t *Table) syncActiveLocked() error {
+	var err error
+	for attempt := 0; attempt <= t.opts.AppendRetries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(appendBackoff.Delay(attempt - 1))
+		}
+		err = fault.Check(context.Background(), "store.append.fsync")
+		if err == nil {
+			err = t.f.Sync()
+		}
+		if err == nil {
+			return nil
+		}
+	}
+	t.degradeLocked(err)
+	return fmt.Errorf("store: fsync: %w", err)
 }
 
 // Flush writes buffered records to the data file (and fsyncs under the

@@ -77,7 +77,13 @@ func New(opts Options, geo GeocoderConfig) (*Engine, error) {
 	cat := catalog.New()
 	svc := geocode.NewService(geo)
 	cached := geocode.NewCachedClient(svc, 50_000, 0)
-	if err := core.RegisterStandardUDFs(cat, core.Deps{Geocoder: cached, Analyzer: sentiment.Default()}); err != nil {
+	deps := core.Deps{
+		Geocoder:    cached,
+		Analyzer:    sentiment.Default(),
+		CallTimeout: opts.UDFCallTimeout,
+		Retries:     opts.UDFRetries,
+	}
+	if err := core.RegisterStandardUDFs(cat, deps); err != nil {
 		return nil, err
 	}
 	return &Engine{inner: core.NewEngine(cat, opts)}, nil
