@@ -1,0 +1,48 @@
+// Command promlint checks Prometheus text exposition the way promtool
+// would, using the in-repo linter (internal/obs.LintMetrics): HELP and
+// TYPE syntax, metric/label naming conventions, counter families
+// ending in _total, and histogram invariants (le labels, cumulative
+// buckets, +Inf bucket equal to _count). It exists so CI can validate
+// a live /metrics scrape without pulling in external tooling:
+//
+//	curl -s localhost:8080/metrics | go run ./cmd/promlint
+//	go run ./cmd/promlint metrics.txt
+//
+// Exit status is 1 when any violation is found, 2 on I/O errors.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"tweeql/internal/obs"
+)
+
+func main() {
+	var (
+		data []byte
+		err  error
+	)
+	switch len(os.Args) {
+	case 1:
+		data, err = io.ReadAll(os.Stdin)
+	case 2:
+		data, err = os.ReadFile(os.Args[1])
+	default:
+		fmt.Fprintln(os.Stderr, "usage: promlint [file]  (default: stdin)")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "promlint:", err)
+		os.Exit(2)
+	}
+	violations := obs.LintMetrics(string(data))
+	for _, v := range violations {
+		fmt.Println(v)
+	}
+	if len(violations) > 0 {
+		fmt.Fprintf(os.Stderr, "promlint: %d violation(s)\n", len(violations))
+		os.Exit(1)
+	}
+}

@@ -79,6 +79,7 @@ func main() {
 		fmt.Printf("  %d) %s\n", i+1, q)
 	}
 	fmt.Println(`End queries with ';'. Commands: \q quit, \explain <sql>, \scenario <name>.`)
+	fmt.Println(`Prefix a query with EXPLAIN ANALYZE to run it briefly and see per-operator timings.`)
 
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -143,6 +144,20 @@ func runOne(scenario string, seed int64, duration time.Duration, sql string, exp
 	defer eng.Close()
 	if explain {
 		out, err := eng.Explain(sql)
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		return nil
+	}
+	// EXPLAIN ANALYZE: run the statement against the replay for a
+	// bounded window and print the plan annotated with measured
+	// per-operator rows, selectivity, latency, and end-to-end lag.
+	if _, ok := tweeql.StripExplainAnalyze(sql); ok {
+		out, err := eng.ExplainAnalyze(context.Background(), sql, tweeql.AnalyzeOptions{
+			MaxRows: maxRows,
+			OnStart: func() { go stream.Replay() },
+		})
 		if err != nil {
 			return err
 		}

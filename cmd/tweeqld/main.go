@@ -23,8 +23,9 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -32,9 +33,17 @@ import (
 
 	"tweeql"
 	"tweeql/internal/fault"
+	"tweeql/internal/obs"
 	"tweeql/internal/server"
 	"tweeql/twitinfo"
 )
+
+// fatal logs the error and exits: the structured replacement for
+// log.Fatal.
+func fatal(log *slog.Logger, msg string, err error) {
+	log.Error(msg, "error", err)
+	os.Exit(1)
+}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
@@ -51,39 +60,54 @@ func main() {
 	sharedScans := flag.Bool("shared-scans", true, "share one physical source scan between registered queries with equal scan signatures")
 	withTwitinfo := flag.Bool("twitinfo", true, "track a TwitInfo event for the scenario and mount the dashboard at /twitinfo/")
 	faultSpec := flag.String("fault-spec", "", "arm deterministic fault points for chaos drills, e.g. 'scan.source.recv:error,times=3;udf.geocode.call:latency,d=2s,p=0.5' (empty = zero-cost disabled)")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, or error")
+	logFormat := flag.String("log-format", "text", "log format: text or json")
+	traceSample := flag.Int("trace-sample", 64, "sample every Nth batch per operator into each query's trace ring (0 = off)")
+	metricsCompat := flag.Bool("metrics-compat", false, "also emit pre-rename metric families (tweeqld_query_rows_per_sec, tweeqld_query_restarts) on /metrics")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tweeqld:", err)
+		os.Exit(2)
+	}
+	slog.SetDefault(logger)
 
 	if *faultSpec != "" {
 		disarm, err := fault.ArmSpec(*faultSpec)
 		if err != nil {
-			log.Fatal(err)
+			fatal(logger, "bad -fault-spec", err)
 		}
 		defer disarm()
-		fmt.Printf("tweeqld: FAULT INJECTION ARMED: %s\n", *faultSpec)
+		logger.Warn("FAULT INJECTION ARMED", "spec", *faultSpec)
 	}
 
 	opts := tweeql.DefaultOptions()
 	opts.SharedScans = *sharedScans
 	opts.DataDir = *dataDir
 	opts.FsyncPolicy = *fsyncPolicy
+	opts.TraceSampleEvery = *traceSample
 	eng, stream, err := tweeql.NewSimulated(tweeql.SimConfig{
 		Scenario: *scenario, Seed: *seed, Duration: *duration, Options: &opts,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal(logger, "engine start failed", err)
 	}
 
 	srv, err := server.New(eng.Core(), server.Options{
-		DataDir:      *dataDir,
-		Restart:      server.RestartPolicy{MaxRestarts: *maxRestarts},
-		StreamBuffer: *streamBuffer,
-		BlockDefault: *blockDefault,
+		DataDir:       *dataDir,
+		Restart:       server.RestartPolicy{MaxRestarts: *maxRestarts},
+		StreamBuffer:  *streamBuffer,
+		BlockDefault:  *blockDefault,
+		Logger:        logger,
+		MetricsCompat: *metricsCompat,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal(logger, "server start failed", err)
 	}
 	if n := len(srv.Registry().List()); n > 0 {
-		fmt.Printf("restored %d journaled quer%s from %s\n", n, plural(n, "y", "ies"), *dataDir)
+		logger.Info("restored journaled queries", "count", n, "data_dir", *dataDir)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -102,13 +126,24 @@ func main() {
 		tstore := twitinfo.NewStore()
 		tr, err := tstore.Create(scenarioEvent(*scenario))
 		if err != nil {
-			log.Fatal(err)
+			fatal(logger, "twitinfo event create failed", err)
 		}
 		if _, err := twitinfo.StartTracking(ctx, eng, tr); err != nil {
-			log.Fatal(err)
+			fatal(logger, "twitinfo tracking failed", err)
 		}
 		mux.Handle("/twitinfo/", http.StripPrefix("/twitinfo",
 			twitinfo.Handler(tstore, twitinfo.DashboardOptions{})))
+	}
+
+	// Profiling endpoints are opt-in: pprof handlers expose heap and
+	// goroutine internals, so they stay off unless asked for.
+	if *pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		logger.Info("pprof mounted", "path", "/debug/pprof/")
 	}
 
 	go feed(ctx, stream, *speedup, *loop)
@@ -116,14 +151,14 @@ func main() {
 	httpSrv := &http.Server{Addr: *addr, Handler: mux}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	fmt.Printf("tweeqld: serving on http://%s (scenario %q, seed %d, speedup %gx)\n",
-		*addr, *scenario, *seed, *speedup)
+	logger.Info("serving", "addr", "http://"+*addr, "scenario", *scenario,
+		"seed", *seed, "speedup", *speedup)
 
 	select {
 	case <-ctx.Done():
-		fmt.Println("\ntweeqld: shutting down...")
+		logger.Info("shutting down")
 	case err := <-errCh:
-		log.Fatal(err)
+		fatal(logger, "http server failed", err)
 	}
 
 	// Graceful teardown, in dependency order: stop the feed (queries see
@@ -134,15 +169,15 @@ func main() {
 	defer cancel()
 	stream.Close()
 	if err := srv.Close(shutCtx); err != nil {
-		fmt.Fprintln(os.Stderr, "tweeqld:", err)
+		logger.Error("server close failed", "error", err)
 	}
 	if err := httpSrv.Shutdown(shutCtx); err != nil {
-		fmt.Fprintln(os.Stderr, "tweeqld: http shutdown:", err)
+		logger.Error("http shutdown failed", "error", err)
 	}
 	if err := eng.Close(); err != nil {
-		fmt.Fprintln(os.Stderr, "tweeqld: engine close:", err)
+		logger.Error("engine close failed", "error", err)
 	}
-	fmt.Println("tweeqld: bye")
+	logger.Info("bye")
 }
 
 // feed publishes the scenario's pre-generated tweets through the
@@ -200,11 +235,4 @@ func scenarioEvent(scenario string) twitinfo.EventConfig {
 			Keywords: []string{"yankees", "redsox", "baseball"}}
 	}
 	return twitinfo.EventConfig{Name: scenario, Keywords: []string{scenario}}
-}
-
-func plural(n int, one, many string) string {
-	if n == 1 {
-		return one
-	}
-	return many
 }

@@ -27,6 +27,7 @@ import (
 	"tweeql/internal/analysis/goroutinectx"
 	"tweeql/internal/analysis/load"
 	"tweeql/internal/analysis/lockscope"
+	"tweeql/internal/analysis/rawlog"
 	"tweeql/internal/analysis/sleepsync"
 	"tweeql/internal/analysis/valuekind"
 )
@@ -36,6 +37,7 @@ var analyzers = []*analysis.Analyzer{
 	corrupterr.Analyzer,
 	goroutinectx.Analyzer,
 	lockscope.Analyzer,
+	rawlog.Analyzer,
 	sleepsync.Analyzer,
 	valuekind.Analyzer,
 }

@@ -17,7 +17,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -25,14 +25,31 @@ import (
 	"time"
 
 	"tweeql"
+	"tweeql/internal/obs"
 	"tweeql/twitinfo"
 )
+
+// fatal logs the error and exits: the structured replacement for
+// log.Fatal.
+func fatal(log *slog.Logger, msg string, err error) {
+	log.Error(msg, "error", err)
+	os.Exit(1)
+}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
 	scenario := flag.String("scenario", "", "load only this canned scenario (default: all)")
 	seed := flag.Int64("seed", 1, "generator seed")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, or error")
+	logFormat := flag.String("log-format", "text", "log format: text or json")
 	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "twitinfo:", err)
+		os.Exit(2)
+	}
+	slog.SetDefault(logger)
 
 	store := twitinfo.NewStore()
 	loaded := 0
@@ -42,13 +59,13 @@ func main() {
 		}
 		tr, err := store.Create(c.Event)
 		if err != nil {
-			log.Fatal(err)
+			fatal(logger, "event create failed", err)
 		}
 		_, stream, err := tweeql.NewSimulated(tweeql.SimConfig{
 			Scenario: c.Scenario, Seed: *seed, Duration: c.Duration,
 		})
 		if err != nil {
-			log.Fatal(err)
+			fatal(logger, "scenario load failed", err)
 		}
 		n := 0
 		for _, tw := range stream.Tweets() {
@@ -57,16 +74,16 @@ func main() {
 			}
 		}
 		tr.Finish()
-		fmt.Printf("loaded %q: %d matching tweets, %d peaks\n", c.Event.Name, n, len(tr.Peaks(0)))
+		logger.Info("event loaded", "event", c.Event.Name, "matching_tweets", n, "peaks", len(tr.Peaks(0)))
 		loaded++
 	}
 	if loaded == 0 {
-		fmt.Fprintf(os.Stderr, "unknown scenario %q\n", *scenario)
+		logger.Error("unknown scenario", "scenario", *scenario)
 		os.Exit(1)
 	}
 
 	handler := twitinfo.Handler(store, twitinfo.DashboardOptions{})
-	fmt.Printf("TwitInfo dashboard: http://%s/\n", *addr)
+	logger.Info("dashboard serving", "addr", "http://"+*addr+"/")
 
 	// Serve until SIGINT/SIGTERM, then drain in-flight requests instead
 	// of dying mid-response.
@@ -77,13 +94,13 @@ func main() {
 	go func() { errCh <- srv.ListenAndServe() }()
 	select {
 	case <-ctx.Done():
-		fmt.Println("\ntwitinfo: shutting down...")
+		logger.Info("shutting down")
 	case err := <-errCh:
-		log.Fatal(err)
+		fatal(logger, "http server failed", err)
 	}
 	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {
-		fmt.Fprintln(os.Stderr, "twitinfo: http shutdown:", err)
+		logger.Error("http shutdown failed", "error", err)
 	}
 }

@@ -1,0 +1,79 @@
+// Package rawlog forbids the standard library "log" package in
+// library code.
+//
+// The engine's observability contract (PR 8) is structured logging:
+// every message flows through log/slog with machine-readable
+// key=value attributes (query IDs, epochs, error chains), a
+// caller-chosen level, and a caller-chosen format. A raw log.Printf
+// bypasses all of that — it writes an unlevelled, unparseable line to
+// a global logger the embedding application cannot redirect — and
+// log.Fatal additionally calls os.Exit from library code, skipping
+// deferred cleanup (segment flushes, journal seals).
+//
+// Binaries are exempt: package main owns the process, so cmd/ and
+// examples/ may print however they like (tweeqld and twitinfo still
+// choose slog). Everything else must take or construct a
+// *slog.Logger (see internal/obs.NewLogger).
+//
+// A justified exception may be annotated:
+//
+//	//tweeqlvet:ignore rawlog -- <reason>
+package rawlog
+
+import (
+	"go/ast"
+	"go/types"
+
+	"tweeql/internal/analysis"
+)
+
+// Analyzer is the rawlog invariant checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "rawlog",
+	Doc:  "forbid the standard \"log\" package outside package main (use log/slog via internal/obs.NewLogger)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil // binaries own their process and its output
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := stdLogCall(pass, call); ok {
+				pass.Reportf(call.Pos(), "log.%s writes unstructured output to the global logger; library code must log through *slog.Logger (internal/obs.NewLogger)", name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// stdLogCall reports whether call invokes a function of the standard
+// "log" package (log.Printf, log.Fatal, log.New, ...), returning its
+// name. log/slog has a different import path and never matches.
+func stdLogCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", false
+	}
+	if fn.Pkg().Path() != "log" {
+		return "", false
+	}
+	// Methods on *log.Logger values reach here too (their Pkg is
+	// "log"); only flag package-level functions, which are the ones
+	// bound to the global logger. A deliberately constructed
+	// *log.Logger is an explicit choice with an owner.
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return "", false
+	}
+	return fn.Name(), true
+}

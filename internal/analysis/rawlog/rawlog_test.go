@@ -1,0 +1,16 @@
+package rawlog_test
+
+import (
+	"testing"
+
+	"tweeql/internal/analysis/analysistest"
+	"tweeql/internal/analysis/rawlog"
+)
+
+func TestRawLog(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), rawlog.Analyzer, "a")
+}
+
+func TestMainExempt(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), rawlog.Analyzer, "mainpkg")
+}

@@ -1,0 +1,33 @@
+// Package a is a library package: raw "log" calls are findings.
+package a
+
+import (
+	"log"
+	"log/slog"
+	"os"
+)
+
+func rawPrints() {
+	log.Printf("row count %d", 7) // want `log\.Printf writes unstructured output`
+	log.Println("starting")       // want `log\.Println writes unstructured output`
+	log.Fatal("boom")             // want `log\.Fatal writes unstructured output`
+}
+
+// slog is the sanctioned path and never matches.
+func structured() {
+	slog.Info("row count", "n", 7)
+	slog.New(slog.NewTextHandler(os.Stderr, nil)).Warn("starting")
+}
+
+// Methods on an explicitly constructed *log.Logger are an owner's
+// choice, not a global-logger leak.
+func ownedLogger() {
+	l := log.New(os.Stderr, "", 0) // want `log\.New writes unstructured output`
+	l.Printf("fine: method on an owned logger")
+}
+
+// A justified exception is annotated.
+func annotated() {
+	//tweeqlvet:ignore rawlog -- fixture: exercising the escape hatch
+	log.Println("allowed")
+}

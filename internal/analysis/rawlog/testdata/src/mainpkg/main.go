@@ -1,0 +1,10 @@
+// Package main is exempt: binaries own the process and its output
+// (this is what keeps cmd/ and examples/ out of scope).
+package main
+
+import "log"
+
+func main() {
+	log.Printf("binaries may print")
+	log.Fatal("and may exit")
+}

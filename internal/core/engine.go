@@ -18,11 +18,13 @@ import (
 	"path/filepath"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"tweeql/internal/catalog"
 	"tweeql/internal/exec"
 	"tweeql/internal/lang"
+	"tweeql/internal/obs"
 	"tweeql/internal/plan"
 	"tweeql/internal/store"
 	"tweeql/internal/value"
@@ -124,6 +126,24 @@ type Options struct {
 	// newest rows, so INTO TABLE without a data dir cannot exhaust
 	// memory under firehose load. 0 = catalog default (1Mi rows).
 	TableMemRows int
+
+	// Profiling attaches an observability profile (internal/obs) to
+	// every query: per-operator rows/latency/selectivity, the
+	// ingest→delivery watermark-lag histogram, and — when
+	// TraceSampleEvery > 0 — sampled batch traces. Default on; the cost
+	// per batch is two clock reads and a few atomic adds (per-row
+	// stages decimate their clock reads 64:1). Off leaves
+	// Cursor.Profile nil and every hook a free nil no-op.
+	Profiling bool
+	// TraceSampleEvery samples every Nth batch observation per stage
+	// into the query's bounded trace ring. The sampled set is a
+	// deterministic function of (TraceSampleEvery, Seed). 0 disables
+	// trace collection (profiling histograms still record).
+	// DefaultOptions sets 64.
+	TraceSampleEvery int
+	// TraceCap bounds retained trace events per query; once full the
+	// oldest are overwritten. 0 = 4096.
+	TraceCap int
 }
 
 // DefaultOptions returns the production defaults.
@@ -145,6 +165,8 @@ func DefaultOptions() Options {
 		ScanRestartBackoff: 200 * time.Millisecond,
 		AsyncCallTimeout:   10 * time.Second,
 		FsyncPolicy:        "seal",
+		Profiling:          true,
+		TraceSampleEvery:   64,
 	}
 }
 
@@ -153,6 +175,8 @@ type Engine struct {
 	cat   *catalog.Catalog
 	opts  Options
 	scans *scanManager
+	// qseq numbers query runs for profile/trace/log correlation IDs.
+	qseq atomic.Int64
 }
 
 // NewEngine builds an engine over the catalog.
@@ -270,6 +294,16 @@ func (c *Cursor) Schema() *value.Schema { return c.schema }
 // Stats exposes live execution counters.
 func (c *Cursor) Stats() *exec.Stats { return c.stats }
 
+// Profile exposes the query's observability profile: per-operator
+// rows, latency, selectivity, watermark lag, and the sampled trace
+// ring. Nil when Options.Profiling is off.
+func (c *Cursor) Profile() *obs.Profile {
+	if c.stats == nil {
+		return nil
+	}
+	return c.stats.Profile
+}
+
 // Info reports the source-open decision (pushdown filter, estimates).
 func (c *Cursor) Info() *catalog.OpenInfo { return c.info }
 
@@ -357,6 +391,12 @@ func (e *Engine) Explain(sql string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	return e.explainText(stmt, p), nil
+}
+
+// explainText renders the static EXPLAIN header for an analyzed plan
+// (shared by Explain and ExplainAnalyze).
+func (e *Engine) explainText(stmt *lang.SelectStmt, p *plan.Query) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "query: %s\n", stmt)
 	fmt.Fprintf(&b, "source: %s\n", stmt.From.Name)
@@ -381,7 +421,7 @@ func (e *Engine) Explain(sql string) (string, error) {
 	} else {
 		fmt.Fprintf(&b, "projection: %d items, async=%v\n", len(p.Proj), p.Async)
 	}
-	return b.String(), nil
+	return b.String()
 }
 
 // explainSharing renders the sharing status EXPLAIN reports: whether

@@ -3,11 +3,13 @@ package core
 import (
 	"context"
 	"errors"
+	"fmt"
 	"time"
 
 	"tweeql/internal/catalog"
 	"tweeql/internal/exec"
 	"tweeql/internal/lang"
+	"tweeql/internal/obs"
 	"tweeql/internal/plan"
 	"tweeql/internal/store"
 	"tweeql/internal/value"
@@ -22,6 +24,16 @@ func (e *Engine) execute(ctx context.Context, cancel context.CancelFunc, stmt *l
 	// hot path either.
 	ev.PrepareRegexes(planExprs(stmt, p)...)
 	stats := &exec.Stats{}
+	if e.opts.Profiling {
+		// One profile per query run: stages register themselves on it as
+		// the pipeline assembles, in pipeline order. The trace sample set
+		// is a deterministic function of (TraceSampleEvery, Seed).
+		stats.Profile = obs.NewProfile(fmt.Sprintf("q%d", e.qseq.Add(1)), obs.ProfileOptions{
+			TraceEveryN: e.opts.TraceSampleEvery,
+			TraceSeed:   e.opts.Seed,
+			TraceCap:    e.opts.TraceCap,
+		})
+	}
 	// Stats travel on the context so the resilience wrappers around
 	// web-service UDFs (deep below the stage API) can tick this query's
 	// degraded counter when they substitute NULL for a failed call.
@@ -53,14 +65,14 @@ func (e *Engine) execute(ctx context.Context, cancel context.CancelFunc, stmt *l
 		case lang.IntoStream:
 			ds := catalog.NewDerivedStream(stmt.Into.Name, cur.schema)
 			e.cat.RegisterSource(stmt.Into.Name, ds)
-			go e.routeToStream(rows, ds, cur.drained)
+			go e.routeToStream(rows, ds, stats, cur.drained)
 		case lang.IntoTable:
 			table, err := e.cat.OpenTable(stmt.Into.Name)
 			if err != nil {
 				cancel()
 				return nil, err
 			}
-			go e.routeToTable(rows, table, stats, cur.drained)
+			go e.routeToTable(rows, table, stmt.Into.Name, stats, cur.drained)
 		}
 		return cur, nil
 	}
@@ -131,10 +143,15 @@ func DrainBatches(rows <-chan value.Tuple, size int, flushEvery time.Duration, s
 // in batches — one PublishBatch (one subscriber-set traversal) per
 // Options.BatchSize rows — then closes the stream (subscribers see
 // end-of-stream after draining their buffers) and signals drained.
-func (e *Engine) routeToStream(rows <-chan value.Tuple, ds *catalog.DerivedStream, drained chan struct{}) {
+func (e *Engine) routeToStream(rows <-chan value.Tuple, ds *catalog.DerivedStream, stats *exec.Stats, drained chan struct{}) {
 	defer close(drained)
 	defer ds.CloseStream()
-	DrainBatches(rows, e.opts.BatchSize, e.opts.BatchFlushEvery, ds.PublishBatch)
+	sp := stats.StageProf("sink", "stream "+ds.Name(), "batch")
+	DrainBatches(rows, e.opts.BatchSize, e.opts.BatchFlushEvery, func(batch []value.Tuple) {
+		span := sp.Enter()
+		ds.PublishBatch(batch)
+		span.Exit(len(batch), len(batch))
+	})
 }
 
 // routeToTable forwards a query's result stream into a table in
@@ -144,8 +161,9 @@ func (e *Engine) routeToStream(rows <-chan value.Tuple, ds *catalog.DerivedStrea
 // (the store degraded after exhausted write retries), which counts the
 // lost rows as degraded and keeps draining: the query itself is
 // healthy, its sink is not, and it must not wedge or die for it.
-func (e *Engine) routeToTable(rows <-chan value.Tuple, table *catalog.Table, stats *exec.Stats, drained chan struct{}) {
+func (e *Engine) routeToTable(rows <-chan value.Tuple, table *catalog.Table, name string, stats *exec.Stats, drained chan struct{}) {
 	defer close(drained)
+	sp := stats.StageProf("sink", "table "+name, "batch")
 	// sinkDegraded covers both failure shapes: batches rejected by an
 	// already-read-only table, and the batch whose own exhausted write
 	// retries flipped it (that error carries the write failure, not
@@ -154,13 +172,18 @@ func (e *Engine) routeToTable(rows <-chan value.Tuple, table *catalog.Table, sta
 		return errors.Is(err, store.ErrReadOnly) || table.Healthy() != nil
 	}
 	DrainBatches(rows, e.opts.BatchSize, e.opts.BatchFlushEvery, func(batch []value.Tuple) {
-		if err := table.AppendBatch(batch); err != nil {
+		span := sp.Enter()
+		err := table.AppendBatch(batch)
+		if err != nil {
+			span.Exit(len(batch), 0)
 			if sinkDegraded(err) {
 				stats.Degraded.Add(int64(len(batch)))
 				return
 			}
 			stats.NoteError(err)
+			return
 		}
+		span.Exit(len(batch), len(batch))
 	})
 	if err := table.Flush(); err != nil && !sinkDegraded(err) {
 		stats.NoteError(err)
@@ -419,12 +442,18 @@ func (e *Engine) openJoin(ctx context.Context, cancel context.CancelFunc, ev *ex
 	return rows, nil
 }
 
+// countOut counts delivered rows and records each row's
+// ingest→delivery watermark lag. It terminates the tuple-at-a-time
+// pipeline shapes (project, async, join); the batched shape records
+// both in UnbatchStage, and aggregates record at window emit — so
+// every delivered row hits exactly one lag observation point.
 func countOut(ctx context.Context, in <-chan value.Tuple, stats *exec.Stats) <-chan value.Tuple {
 	out := make(chan value.Tuple, 64)
 	go func() {
 		defer close(out)
 		for t := range in {
 			stats.RowsOut.Add(1)
+			stats.ObserveLag(t.TS, 1)
 			select {
 			case out <- t:
 			case <-ctx.Done():

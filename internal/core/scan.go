@@ -389,11 +389,17 @@ func (s *SharedScan) attach(ctx context.Context, opts Options, stats *exec.Stats
 	}
 	sub := s.ds.Subscribe(catalog.SubOptions{Buffer: buffer, Policy: catalog.DropOldest})
 	out := make(chan exec.Batch, 4)
+	// The fan-out hop is this query's view of the shared scan: the span
+	// opens before Recv, so its latency is time spent waiting on the
+	// shared ring — an ingest-bound query shows up here, not in its
+	// residual stages.
+	sp := stats.StageProf("fanout", "scan "+s.source, "batch")
 	go func() {
 		defer s.mgr.detach(s)
 		defer close(out)
 		defer sub.Cancel()
 		for {
+			span := sp.Enter()
 			rows, err := sub.Recv(ctx)
 			if err != nil {
 				if err == catalog.ErrStreamClosed && stats != nil {
@@ -403,6 +409,7 @@ func (s *SharedScan) attach(ctx context.Context, opts Options, stats *exec.Stats
 				}
 				return
 			}
+			span.Exit(len(rows), len(rows))
 			// Recv drains the whole ring; re-chunk to the engine's batch
 			// size. Sub-slices are disjoint and rows is freshly allocated
 			// per Recv, so batch ownership passes cleanly downstream.

@@ -187,6 +187,9 @@ func geoPart(deps Deps, pick func(geocode.Result) value.Value) catalog.ScalarFn 
 			exec.NoteDegraded(ctx)
 			return value.Null(), nil
 		}
+		// One obs span per physical call attempt block (including
+		// retries): the latency a row actually paid for this UDF.
+		span := exec.StatsFrom(ctx).StageProf("udf", "geocode", "call").Enter()
 		var r geocode.Result
 		err = resilience.Do(ctx, pol, func(ctx context.Context) error {
 			if ferr := fault.Check(ctx, "udf.geocode.call"); ferr != nil {
@@ -196,6 +199,11 @@ func geoPart(deps Deps, pick func(geocode.Result) value.Value) catalog.ScalarFn 
 			r, gerr = deps.Geocoder.Geocode(ctx, s)
 			return gerr
 		})
+		if err == nil {
+			span.Exit(1, 1)
+		} else {
+			span.Exit(1, 0)
+		}
 		if err != nil && errors.Is(ctx.Err(), context.Canceled) {
 			// The query itself is dying (LIMIT cutoff, stop, shutdown);
 			// surface that, and don't charge the breaker for a

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"context"
+	"strconv"
 	"sync"
 	"time"
 
@@ -72,6 +73,12 @@ func UnbatchStage(limit int, cancel context.CancelFunc, stats *Stats) func(ctx c
 			}
 			count := 0
 			for b := range in {
+				// The unbatcher is the batch pipeline's delivery boundary:
+				// record the batch's watermark lag (now minus its minimum
+				// event timestamp) against the query's profile.
+				if stats != nil {
+					stats.ObserveLag(minEventTS(b), len(b))
+				}
 				for _, t := range b {
 					select {
 					case out <- t:
@@ -96,13 +103,23 @@ func UnbatchStage(limit int, cancel context.CancelFunc, stats *Stats) func(ctx c
 }
 
 // BatchCountStage ticks RowsIn for every tuple inside each passing
-// batch, the batched counterpart of CountStage.
+// batch, the batched counterpart of CountStage. Its obs stage is the
+// pipeline's "scan" operator: each span times the wait for the source
+// (or shared-scan fan-out) to produce the next batch, so a
+// scan-dominated profile reads as ingest-bound rather than CPU-bound.
 func BatchCountStage(stats *Stats) BatchStage {
+	sp := stats.StageProf("scan", "source", "batch")
 	return func(ctx context.Context, in <-chan Batch) <-chan Batch {
 		out := make(chan Batch, 4)
 		go func() {
 			defer close(out)
-			for b := range in {
+			for {
+				span := sp.Enter()
+				b, ok := <-in
+				if !ok {
+					return
+				}
+				span.Exit(len(b), len(b))
 				stats.RowsIn.Add(int64(len(b)))
 				select {
 				case out <- b:
@@ -113,6 +130,22 @@ func BatchCountStage(stats *Stats) BatchStage {
 		}()
 		return out
 	}
+}
+
+// minEventTS is the batch's minimum non-zero event timestamp (zero
+// when no row carries one) — the watermark the lag histograms track.
+func minEventTS(b Batch) time.Time {
+	var min time.Time
+	for i := range b {
+		ts := b[i].TS
+		if ts.IsZero() {
+			continue
+		}
+		if min.IsZero() || ts.Before(min) {
+			min = ts
+		}
+	}
+	return min
 }
 
 // shard is one contiguous chunk of a batch assigned to a worker, plus
@@ -152,6 +185,7 @@ func BatchFilterStage(ev *Evaluator, conjuncts []lang.Expr, inSchema *value.Sche
 		workers = 1
 	}
 	fns := ev.BindAll(conjuncts, inSchema)
+	sp := stats.StageProf("filter", filterLabel(len(conjuncts)), "batch")
 	// mkApply builds one worker's chunk filter: it appends survivors of
 	// in to out, ticking Dropped for the rest. Each worker owns its
 	// closure (and, in the adaptive case, its own eddy), so no locking.
@@ -233,6 +267,7 @@ func BatchFilterStage(ev *Evaluator, conjuncts []lang.Expr, inSchema *value.Sche
 				if ctx.Err() != nil {
 					return
 				}
+				span := sp.Enter()
 				var kept Batch
 				if workers == 1 || len(b) < 2*workers {
 					// The batch is ours once received: filter in place.
@@ -254,6 +289,7 @@ func BatchFilterStage(ev *Evaluator, conjuncts []lang.Expr, inSchema *value.Sche
 						kept = append(kept, *sh.out...)
 					}
 				}
+				span.Exit(len(b), len(kept))
 				if len(kept) == 0 {
 					continue
 				}
@@ -278,6 +314,7 @@ func BatchProjectStage(ev *Evaluator, items []ProjItem, inSchema *value.Schema, 
 	if workers < 1 {
 		workers = 1
 	}
+	sp := stats.StageProf("project", strconv.Itoa(len(items))+" items", "batch")
 	return func(ctx context.Context, in <-chan Batch) <-chan Batch {
 		out := make(chan Batch, 4)
 		go func() {
@@ -287,6 +324,7 @@ func BatchProjectStage(ev *Evaluator, items []ProjItem, inSchema *value.Schema, 
 				if ctx.Err() != nil {
 					return
 				}
+				span := sp.Enter()
 				var rows Batch
 				if workers == 1 || len(b) < 2*workers {
 					// One arena of value cells per batch (see
@@ -330,6 +368,7 @@ func BatchProjectStage(ev *Evaluator, items []ProjItem, inSchema *value.Schema, 
 						rows = append(rows, *sh.out...)
 					}
 				}
+				span.Exit(len(b), len(rows))
 				if len(rows) == 0 {
 					continue
 				}
@@ -358,15 +397,21 @@ func BatchAggregateStage(ev *Evaluator, cfg AggregateConfig, stats *Stats) func(
 			return inner(ctx, FromBatches()(ctx, in))
 		}
 	}
+	sp := stats.StageProf("aggregate", aggLabel(cfg), "batch")
 	return func(ctx context.Context, in <-chan Batch) <-chan value.Tuple {
 		out := make(chan value.Tuple, 64)
 		go func() {
 			defer close(out)
 			st := newAggState(ev, cfg, stats)
+			emitted := 0
 			emit := func(row value.Tuple) bool {
 				select {
 				case out <- row:
 					stats.RowsOut.Add(1)
+					// Aggregate rows carry their window end as event
+					// time, so this lag is the emitted window's staleness.
+					stats.ObserveLag(row.TS, 1)
+					emitted++
 					return true
 				case <-ctx.Done():
 					return false
@@ -376,11 +421,14 @@ func BatchAggregateStage(ev *Evaluator, cfg AggregateConfig, stats *Stats) func(
 				if ctx.Err() != nil {
 					return
 				}
+				span := sp.Enter()
+				emitted = 0
 				for _, t := range b {
 					if !st.observe(ctx, t, emit) {
 						return
 					}
 				}
+				span.Exit(len(b), emitted)
 			}
 			st.flush(emit)
 		}()

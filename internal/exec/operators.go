@@ -2,6 +2,7 @@ package exec
 
 import (
 	"context"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -11,6 +12,7 @@ import (
 	"tweeql/internal/asyncop"
 	"tweeql/internal/eddy"
 	"tweeql/internal/lang"
+	"tweeql/internal/obs"
 	"tweeql/internal/value"
 	"tweeql/internal/window"
 )
@@ -28,8 +30,33 @@ type Stats struct {
 	// unhealthy sink. The row survives; the counter is the only trace.
 	Degraded atomic.Int64
 
+	// Profile, when non-nil, is the query's per-operator observability
+	// profile (internal/obs): stage constructors register themselves on
+	// it and record rows, batches, and latency. nil disables
+	// instrumentation — every hook below degrades to a nil-receiver
+	// no-op, so un-profiled pipelines pay nothing.
+	Profile *obs.Profile
+
 	mu      sync.Mutex
 	lastErr error
+}
+
+// StageProf registers (or fetches) the obs stage for one operator
+// instance. Nil-safe end to end: a nil Stats or nil Profile yields a
+// nil *obs.Stage whose methods all no-op.
+func (s *Stats) StageProf(kind, name, unit string) *obs.Stage {
+	if s == nil {
+		return nil
+	}
+	return s.Profile.Stage(kind, name, unit)
+}
+
+// ObserveLag records ingest→delivery watermark lag for rows whose
+// minimum event timestamp is ts. Nil-safe.
+func (s *Stats) ObserveLag(ts time.Time, rows int) {
+	if s != nil {
+		s.Profile.ObserveLag(ts, rows)
+	}
 }
 
 // NoteError records an evaluation error (keeping the first for Err).
@@ -92,6 +119,7 @@ func Chain(stages ...Stage) Stage {
 // Bind); the eddy's per-conjunct predicates wrap the compiled closures.
 func FilterStage(ev *Evaluator, conjuncts []lang.Expr, inSchema *value.Schema, costs []float64, adaptive bool, seed int64, stats *Stats) Stage {
 	fns := ev.BindAll(conjuncts, inSchema)
+	sp := stats.StageProf("filter", filterLabel(len(conjuncts)), "row")
 	return func(ctx context.Context, in <-chan value.Tuple) <-chan value.Tuple {
 		out := make(chan value.Tuple, 64)
 		go func() {
@@ -137,19 +165,31 @@ func FilterStage(ev *Evaluator, conjuncts []lang.Expr, inSchema *value.Schema, c
 				if ctx.Err() != nil {
 					return
 				}
-				if pass(t) {
+				span := sp.EnterSampled()
+				ok := pass(t)
+				if ok {
+					span.Exit(1, 1)
 					select {
 					case out <- t:
 					case <-ctx.Done():
 						return
 					}
 				} else {
+					span.Exit(1, 0)
 					stats.Dropped.Add(1)
 				}
 			}
 		}()
 		return out
 	}
+}
+
+// filterLabel names a filter stage by its conjunct count.
+func filterLabel(n int) string {
+	if n == 1 {
+		return "1 conjunct"
+	}
+	return strconv.Itoa(n) + " conjuncts"
 }
 
 // ProjItem is one projected output column.
@@ -203,16 +243,20 @@ func bindItems(ev *Evaluator, items []ProjItem, inSchema *value.Schema) []Compil
 func ProjectStage(ev *Evaluator, items []ProjItem, inSchema *value.Schema, stats *Stats) Stage {
 	outSchema := ProjectSchema(items, inSchema)
 	fns := bindItems(ev, items, inSchema)
+	sp := stats.StageProf("project", strconv.Itoa(len(items))+" items", "row")
 	return func(ctx context.Context, in <-chan value.Tuple) <-chan value.Tuple {
 		out := make(chan value.Tuple, 64)
 		go func() {
 			defer close(out)
 			for t := range in {
+				span := sp.EnterSampled()
 				row, err := projectRow(ctx, items, fns, outSchema, t)
 				if err != nil {
+					span.Exit(1, 0)
 					stats.NoteError(err)
 					continue
 				}
+				span.Exit(1, 1)
 				select {
 				case out <- row:
 				case <-ctx.Done():
@@ -232,10 +276,21 @@ func ProjectStage(ev *Evaluator, items []ProjItem, inSchema *value.Schema, stats
 func AsyncProjectStage(ev *Evaluator, items []ProjItem, inSchema *value.Schema, workers int, callTimeout time.Duration, stats *Stats) Stage {
 	outSchema := ProjectSchema(items, inSchema)
 	fns := bindItems(ev, items, inSchema)
+	// Each worker call is a full select-list evaluation including the
+	// high-latency web-service UDFs — exactly the latency worth a span
+	// per call, so no sampling here.
+	sp := stats.StageProf("async-project", strconv.Itoa(len(items))+" items", "call")
 	return func(ctx context.Context, in <-chan value.Tuple) <-chan value.Tuple {
 		out := make(chan value.Tuple, 64)
 		d := asyncop.New(func(ctx context.Context, t value.Tuple) (value.Tuple, error) {
-			return projectRow(ctx, items, fns, outSchema, t)
+			span := sp.Enter()
+			row, err := projectRow(ctx, items, fns, outSchema, t)
+			if err != nil {
+				span.Exit(1, 0)
+			} else {
+				span.Exit(1, 1)
+			}
+			return row, err
 		}, asyncop.WithWorkers(workers), asyncop.WithOrderPreserved(),
 			asyncop.WithPerCallTimeout(callTimeout))
 		go func() {
@@ -485,15 +540,22 @@ func AggregateStage(ev *Evaluator, cfg AggregateConfig, stats *Stats) Stage {
 	if cfg.Window != nil && cfg.Window.Count > 0 {
 		return countWindowStage(ev, cfg, stats)
 	}
+	sp := stats.StageProf("aggregate", aggLabel(cfg), "row")
 	return func(ctx context.Context, in <-chan value.Tuple) <-chan value.Tuple {
 		out := make(chan value.Tuple, 64)
 		go func() {
 			defer close(out)
 			st := newAggState(ev, cfg, stats)
+			emitted := 0
 			emit := func(row value.Tuple) bool {
 				select {
 				case out <- row:
 					stats.RowsOut.Add(1)
+					// An aggregate row's event time is its window end (or
+					// early-emission time), so lag here is exactly how
+					// stale the emitted window is.
+					stats.ObserveLag(row.TS, 1)
+					emitted++
 					return true
 				case <-ctx.Done():
 					return false
@@ -503,7 +565,11 @@ func AggregateStage(ev *Evaluator, cfg AggregateConfig, stats *Stats) Stage {
 				if ctx.Err() != nil {
 					return
 				}
-				if !st.observe(ctx, t, emit) {
+				span := sp.EnterSampled()
+				emitted = 0
+				ok := st.observe(ctx, t, emit)
+				span.Exit(1, emitted)
+				if !ok {
 					return
 				}
 			}
@@ -511,6 +577,15 @@ func AggregateStage(ev *Evaluator, cfg AggregateConfig, stats *Stats) Stage {
 		}()
 		return out
 	}
+}
+
+// aggLabel names an aggregation stage by its shape.
+func aggLabel(cfg AggregateConfig) string {
+	l := strconv.Itoa(len(cfg.GroupExprs)) + " groups x " + strconv.Itoa(len(cfg.Aggs)) + " aggs"
+	if cfg.Window != nil {
+		l += ", windowed"
+	}
+	return l
 }
 
 // JoinConfig drives JoinStage: a windowed stream-stream equi-join.
@@ -549,6 +624,7 @@ func JoinStage(ev *Evaluator, left, right <-chan value.Tuple, leftSchema, rightS
 	}
 	leftKeyFn := ev.Bind(cfg.LeftKey, leftSchema)
 	rightKeyFn := ev.Bind(cfg.RightKey, rightSchema)
+	sp := stats.StageProf("join", cfg.LeftBinding+"⋈"+cfg.RightBinding, "row")
 	out := make(chan value.Tuple, 64)
 
 	type buffered struct {
@@ -588,15 +664,16 @@ func JoinStage(ev *Evaluator, left, right <-chan value.Tuple, leftSchema, rightS
 			}
 			return value.NewTuple(outSchema, vals, ts)
 		}
-		process := func(t value.Tuple, keyFn CompiledExpr, own, other map[string][]buffered, isLeft bool) bool {
+		process := func(t value.Tuple, keyFn CompiledExpr, own, other map[string][]buffered, isLeft bool) int {
 			kv, err := keyFn(ctx, t)
 			if err != nil {
 				stats.NoteError(err)
-				return true
+				return 0
 			}
 			if kv.IsNull() {
-				return true // NULL keys never join
+				return 0 // NULL keys never join
 			}
+			emitted := 0
 			k := kv.Kind().String() + ":" + kv.String()
 			own[k] = append(own[k], buffered{key: kv, t: t})
 			for _, m := range other[k] {
@@ -617,8 +694,9 @@ func JoinStage(ev *Evaluator, left, right <-chan value.Tuple, leftSchema, rightS
 					out <- row
 					stats.RowsOut.Add(1)
 				}
+				emitted++
 			}
-			return true
+			return emitted
 		}
 
 		l, r := left, right
@@ -633,7 +711,8 @@ func JoinStage(ev *Evaluator, left, right <-chan value.Tuple, leftSchema, rightS
 				if t.TS.After(leftWM) {
 					leftWM = t.TS
 				}
-				process(t, leftKeyFn, leftBuf, rightBuf, true)
+				span := sp.EnterSampled()
+				span.Exit(1, process(t, leftKeyFn, leftBuf, rightBuf, true))
 				evict(rightBuf, leftWM)
 			case t, ok := <-r:
 				if !ok {
@@ -644,7 +723,8 @@ func JoinStage(ev *Evaluator, left, right <-chan value.Tuple, leftSchema, rightS
 				if t.TS.After(rightWM) {
 					rightWM = t.TS
 				}
-				process(t, rightKeyFn, rightBuf, leftBuf, false)
+				span := sp.EnterSampled()
+				span.Exit(1, process(t, rightKeyFn, rightBuf, leftBuf, false))
 				evict(leftBuf, rightWM)
 			}
 		}
@@ -692,13 +772,22 @@ func LimitStage(n int, cancel context.CancelFunc) Stage {
 }
 
 // CountStage ticks RowsIn for every tuple passing through, placed right
-// after the source.
+// after the source. Its obs stage is the pipeline's "scan" operator:
+// the sampled latency is the time spent waiting on the source for the
+// next tuple, so a scan-dominated profile reads as ingest-bound.
 func CountStage(stats *Stats) Stage {
+	sp := stats.StageProf("scan", "source", "row")
 	return func(ctx context.Context, in <-chan value.Tuple) <-chan value.Tuple {
 		out := make(chan value.Tuple, 64)
 		go func() {
 			defer close(out)
-			for t := range in {
+			for {
+				span := sp.EnterSampled()
+				t, ok := <-in
+				if !ok {
+					return
+				}
+				span.Exit(1, 1)
 				stats.RowsIn.Add(1)
 				select {
 				case out <- t:

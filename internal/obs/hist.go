@@ -1,0 +1,227 @@
+// Package obs is the engine's zero-dependency observability layer:
+// lock-free log-bucketed latency histograms, per-operator profiles
+// (rows, batches, latency, selectivity), end-to-end watermark lag,
+// deterministic sampled batch traces, and structured-logging helpers.
+//
+// Everything here is built to be safe on hot paths: a disabled profile
+// is a nil pointer (every method is nil-receiver safe and free), and an
+// enabled one records a batch observation with two clock reads and a
+// handful of atomic adds — mirroring internal/fault's armed/disarmed
+// discipline so instrumentation never taxes the pipeline it measures.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-ladder log-bucketed duration histogram. Bucket i
+// (for i >= 1) covers [2^(loBit+i-1), 2^(loBit+i)) nanoseconds; bucket
+// 0 is the underflow bucket (< 2^loBit ns) and the last bucket is the
+// overflow (+Inf). The ladder is fixed at construction, so two
+// histograms built by the same constructor merge bucket-by-bucket.
+//
+// Observe is lock-free: one bits.Len to find the bucket, then atomic
+// adds. Concurrent recorders never block each other, and a concurrent
+// Snapshot sees some consistent-enough prefix of the traffic (counts
+// and sum may be torn against each other by in-flight adds, which is
+// fine for monitoring).
+type Histogram struct {
+	loBit int // smallest resolved exponent: bucket 1 starts at 2^loBit ns
+	n     int // number of finite buckets (underflow + ladder)
+
+	counts []atomic.Int64 // len n+1; counts[n] is the +Inf bucket
+	sum    atomic.Int64   // total observed nanoseconds (rows-weighted)
+}
+
+// newHistogram builds a ladder resolving [2^loBit, 2^hiBit) ns.
+func newHistogram(loBit, hiBit int) *Histogram {
+	h := &Histogram{loBit: loBit, n: hiBit - loBit + 1}
+	h.counts = make([]atomic.Int64, h.n+1)
+	return h
+}
+
+// NewLatencyHistogram covers ~1µs to ~68s — operator and store call
+// latencies. Durations outside the ladder land in the edge buckets.
+func NewLatencyHistogram() *Histogram { return newHistogram(10, 36) }
+
+// NewLagHistogram covers ~1ms to ~13 days — ingest→delivery watermark
+// lag, which for historical replays can be arbitrarily large.
+func NewLagHistogram() *Histogram { return newHistogram(20, 50) }
+
+// bucketIndex maps a duration in nanoseconds onto its bucket.
+func (h *Histogram) bucketIndex(ns int64) int {
+	if ns < 1<<h.loBit {
+		return 0
+	}
+	i := bits.Len64(uint64(ns)) - h.loBit // floor(log2(ns)) - loBit + 1
+	if i > h.n {
+		return h.n
+	}
+	return i
+}
+
+// Observe records one duration. Nil-safe.
+func (h *Histogram) Observe(d time.Duration) { h.ObserveN(d, 1) }
+
+// ObserveN records a duration with weight n (a batch of n rows sharing
+// one lag measurement). Nil-safe; n <= 0 records nothing.
+//
+// The sum clamps each observation to the ladder's top finite bound and
+// saturates at MaxInt64 instead of wrapping: replays of historical
+// streams produce year-scale "lag" whose rows-weighted total would
+// otherwise overflow int64 and turn the exposed sum negative.
+func (h *Histogram) ObserveN(d time.Duration, n int) {
+	if h == nil || n <= 0 {
+		return
+	}
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.counts[h.bucketIndex(ns)].Add(int64(n))
+	if maxNS := int64(1) << (h.loBit + h.n - 1); ns > maxNS {
+		ns = maxNS
+	}
+	if ns > math.MaxInt64/int64(n) {
+		h.addSum(math.MaxInt64)
+		return
+	}
+	h.addSum(ns * int64(n))
+}
+
+// addSum is a saturating atomic add: once the total reaches MaxInt64
+// it pins there rather than wrapping negative.
+func (h *Histogram) addSum(delta int64) {
+	for {
+		cur := h.sum.Load()
+		next := cur + delta
+		if next < cur {
+			next = math.MaxInt64
+		}
+		if h.sum.CompareAndSwap(cur, next) {
+			return
+		}
+	}
+}
+
+// Merge folds other into h. Both must come from the same constructor;
+// mismatched ladders are a programming error and panic. Nil others are
+// no-ops.
+func (h *Histogram) Merge(other *Histogram) {
+	if h == nil || other == nil {
+		return
+	}
+	if h.loBit != other.loBit || h.n != other.n {
+		panic("obs: merging histograms with different bucket ladders")
+	}
+	for i := range other.counts {
+		if v := other.counts[i].Load(); v != 0 {
+			h.counts[i].Add(v)
+		}
+	}
+	h.addSum(other.sum.Load())
+}
+
+// HistSnapshot is a point-in-time copy of a histogram, in seconds.
+type HistSnapshot struct {
+	// Bounds[i] is the inclusive upper bound of bucket i in seconds;
+	// the final bucket is +Inf.
+	Bounds []float64 `json:"-"`
+	// Counts[i] is the (non-cumulative) count of bucket i.
+	Counts []int64 `json:"-"`
+	// Count is the total number of observations (rows-weighted).
+	Count int64 `json:"count"`
+	// Sum is the total observed time in seconds.
+	Sum float64 `json:"sum_seconds"`
+	// P50/P99 are quantile estimates in seconds, precomputed so JSON
+	// consumers (the /profile endpoint) need no bucket math.
+	P50 float64 `json:"p50_seconds"`
+	P99 float64 `json:"p99_seconds"`
+}
+
+// Snapshot copies the histogram. Nil-safe: returns a zero snapshot.
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	s := HistSnapshot{
+		Bounds: make([]float64, h.n+1),
+		Counts: make([]int64, h.n+1),
+	}
+	for i := 0; i <= h.n; i++ {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+		if i < h.n {
+			s.Bounds[i] = float64(int64(1)<<(h.loBit+i)) / 1e9
+		} else {
+			s.Bounds[i] = math.Inf(1)
+		}
+	}
+	s.Sum = float64(h.sum.Load()) / 1e9
+	s.P50 = s.Quantile(0.50)
+	s.P99 = s.Quantile(0.99)
+	return s
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) in seconds, by
+// linear interpolation within the winning bucket. Returns 0 on an
+// empty snapshot.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Counts) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	cum := int64(0)
+	for i, c := range s.Counts {
+		if float64(cum+c) >= rank && c > 0 {
+			lo := 0.0
+			if i > 0 {
+				lo = s.Bounds[i-1]
+			}
+			hi := s.Bounds[i]
+			if math.IsInf(hi, 1) {
+				// Overflow bucket has no finite width; report its floor.
+				return lo
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			return lo + frac*(hi-lo)
+		}
+		cum += c
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// Mean is the average observation in seconds (0 when empty).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// fmtSeconds renders a seconds value with a duration-style unit.
+func fmtSeconds(sec float64) string {
+	switch {
+	case sec == 0:
+		return "0"
+	case sec < 1e-3:
+		return fmt.Sprintf("%.1fµs", sec*1e6)
+	case sec < 1:
+		return fmt.Sprintf("%.2fms", sec*1e3)
+	case sec < 120:
+		return fmt.Sprintf("%.2fs", sec)
+	default:
+		return time.Duration(sec * float64(time.Second)).Round(time.Second).String()
+	}
+}

@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketBoundaries pins the ladder contract: bucket i (i >= 1)
+// covers [2^(loBit+i-1), 2^(loBit+i)) ns, bucket 0 is the underflow,
+// and the last bucket is the overflow. Off-by-one here silently skews
+// every percentile, so the edges are asserted exactly.
+func TestBucketBoundaries(t *testing.T) {
+	h := newHistogram(10, 14) // buckets: <2^10, [2^10,2^11), ..., [2^13,2^14), overflow
+	cases := []struct {
+		ns   int64
+		want int
+	}{
+		{0, 0},
+		{1, 0},
+		{1023, 0},      // 2^10 - 1: still underflow
+		{1024, 1},      // exactly 2^10: first ladder bucket
+		{2047, 1},      // 2^11 - 1
+		{2048, 2},      // exactly 2^11
+		{1 << 13, 4},   // exactly 2^13: last finite bucket
+		{1<<14 - 1, 4}, // top of the ladder
+		{1 << 14, 5},   // exactly 2^14: overflow
+		{math.MaxInt64 / 2, 5},
+	}
+	for _, c := range cases {
+		if got := h.bucketIndex(c.ns); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+
+	// The snapshot's bounds must mirror the same edges, in seconds.
+	h.Observe(1024 * time.Nanosecond)
+	s := h.Snapshot()
+	if want := float64(1024) / 1e9; s.Bounds[0] != want {
+		t.Errorf("Bounds[0] = %g, want %g", s.Bounds[0], want)
+	}
+	if !math.IsInf(s.Bounds[len(s.Bounds)-1], 1) {
+		t.Errorf("last bound = %g, want +Inf", s.Bounds[len(s.Bounds)-1])
+	}
+	// 1024ns is the inclusive lower edge of bucket 1: it must land
+	// above Bounds[0], i.e. in Counts[1].
+	if s.Counts[0] != 0 || s.Counts[1] != 1 {
+		t.Errorf("1024ns landed in Counts=%v, want bucket 1", s.Counts)
+	}
+}
+
+// TestNegativeAndZeroWeight pins the degenerate inputs: negative
+// durations clamp to zero, non-positive weights record nothing, and
+// the nil receiver is a free no-op.
+func TestNegativeAndZeroWeight(t *testing.T) {
+	h := NewLatencyHistogram()
+	h.Observe(-time.Second)
+	h.ObserveN(time.Second, 0)
+	h.ObserveN(time.Second, -3)
+	s := h.Snapshot()
+	if s.Count != 1 {
+		t.Fatalf("Count = %d, want 1 (only the clamped negative)", s.Count)
+	}
+	if s.Sum != 0 {
+		t.Fatalf("Sum = %g, want 0 (negative clamps to zero)", s.Sum)
+	}
+
+	var nilH *Histogram
+	nilH.Observe(time.Second) // must not panic
+	if s := nilH.Snapshot(); s.Count != 0 {
+		t.Fatalf("nil snapshot Count = %d, want 0", s.Count)
+	}
+}
+
+// TestConcurrentMergeEquivalence is the lock-free correctness check:
+// P goroutines each observing into a private histogram, merged, must
+// equal one histogram observing the same multiset serially — and a
+// single histogram observed concurrently must agree too.
+func TestConcurrentMergeEquivalence(t *testing.T) {
+	const workers = 8
+	const perWorker = 10_000
+	dur := func(w, i int) time.Duration {
+		// Deterministic spread across the whole ladder (and both edges).
+		return time.Duration((int64(w*perWorker+i) * 7919) % (90 * int64(time.Second)))
+	}
+
+	serial := NewLatencyHistogram()
+	for w := 0; w < workers; w++ {
+		for i := 0; i < perWorker; i++ {
+			serial.ObserveN(dur(w, i), 1+i%3)
+		}
+	}
+
+	// Private histograms, merged after the fact.
+	privates := make([]*Histogram, workers)
+	shared := NewLatencyHistogram()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		privates[w] = NewLatencyHistogram()
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				privates[w].ObserveN(dur(w, i), 1+i%3)
+				shared.ObserveN(dur(w, i), 1+i%3)
+			}
+		}(w)
+	}
+	wg.Wait()
+	merged := NewLatencyHistogram()
+	for _, p := range privates {
+		merged.Merge(p)
+	}
+
+	want := serial.Snapshot()
+	for name, got := range map[string]HistSnapshot{"merged": merged.Snapshot(), "shared": shared.Snapshot()} {
+		if got.Count != want.Count || got.Sum != want.Sum {
+			t.Errorf("%s: Count/Sum = %d/%g, want %d/%g", name, got.Count, got.Sum, want.Count, want.Sum)
+		}
+		for i := range want.Counts {
+			if got.Counts[i] != want.Counts[i] {
+				t.Errorf("%s: bucket %d = %d, want %d", name, i, got.Counts[i], want.Counts[i])
+			}
+		}
+	}
+}
+
+// TestSumSaturates: year-scale lag from historical replays is clamped
+// to the ladder top and the rows-weighted total saturates at MaxInt64
+// instead of wrapping negative (the /metrics _sum must stay a valid
+// non-decreasing counter).
+func TestSumSaturates(t *testing.T) {
+	h := NewLagHistogram()
+	for i := 0; i < 50_000; i++ {
+		h.ObserveN(20*365*24*time.Hour, 256)
+	}
+	s := h.Snapshot()
+	if s.Sum <= 0 {
+		t.Fatalf("Sum = %g, wrapped or zero", s.Sum)
+	}
+	if want := float64(math.MaxInt64) / 1e9; s.Sum != want {
+		t.Fatalf("Sum = %g, want saturated %g", s.Sum, want)
+	}
+	// A merge of two saturated histograms must stay pinned too.
+	h.Merge(h)
+	if got := h.Snapshot().Sum; got != s.Sum {
+		t.Fatalf("merged Sum = %g, want still %g", got, s.Sum)
+	}
+}
+
+// TestMergeLadderMismatchPanics: merging histograms from different
+// constructors is a programming error, not a silent skew.
+func TestMergeLadderMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging mismatched ladders did not panic")
+		}
+	}()
+	NewLatencyHistogram().Merge(NewLagHistogram())
+}
+
+// TestQuantile checks interpolation and the overflow-floor rule.
+func TestQuantile(t *testing.T) {
+	h := newHistogram(10, 14)
+	for i := 0; i < 100; i++ {
+		h.Observe(1536 * time.Nanosecond) // mid bucket 1: [1024, 2048)
+	}
+	s := h.Snapshot()
+	p50 := s.Quantile(0.5)
+	if lo, hi := 1024.0/1e9, 2048.0/1e9; p50 < lo || p50 > hi {
+		t.Errorf("P50 = %g, want within bucket [%g, %g]", p50, lo, hi)
+	}
+	if s.P50 != s.Quantile(0.5) || s.P99 != s.Quantile(0.99) {
+		t.Errorf("precomputed P50/P99 disagree with Quantile")
+	}
+
+	// All mass in the overflow bucket: quantiles report its floor, the
+	// top finite bound, rather than +Inf.
+	h2 := newHistogram(10, 14)
+	h2.Observe(time.Hour)
+	if got, want := h2.Snapshot().Quantile(0.99), float64(int64(1)<<14)/1e9; got != want {
+		t.Errorf("overflow quantile = %g, want floor %g", got, want)
+	}
+
+	if got := (HistSnapshot{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %g, want 0", got)
+	}
+}

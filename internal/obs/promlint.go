@@ -1,0 +1,350 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LintMetrics validates a Prometheus text-exposition payload the way
+// promtool's lint does, without the dependency: syntax of HELP/TYPE
+// and sample lines, every sample belonging to a declared family, HELP
+// present for every TYPE, counters named *_total, and histogram
+// invariants (le labels, cumulative buckets, a +Inf bucket agreeing
+// with _count). It returns every violation found, empty when clean.
+func LintMetrics(text string) []error {
+	l := &metricsLinter{
+		types:  map[string]string{},
+		helped: map[string]bool{},
+		hists:  map[string]map[string][]bucketSample{},
+		counts: map[string]map[string]float64{},
+	}
+	for i, line := range strings.Split(text, "\n") {
+		l.line(i+1, line)
+	}
+	l.finish()
+	return l.errs
+}
+
+type bucketSample struct {
+	le    float64
+	value float64
+	line  int
+}
+
+type metricsLinter struct {
+	errs   []error
+	types  map[string]string // family → type
+	helped map[string]bool
+	// hists collects, per histogram family, its _bucket samples grouped
+	// by (sorted) non-le label signature; counts collects _count values
+	// under the same signatures.
+	hists  map[string]map[string][]bucketSample
+	counts map[string]map[string]float64
+}
+
+func (l *metricsLinter) errorf(line int, format string, args ...any) {
+	l.errs = append(l.errs, fmt.Errorf("line %d: "+format, append([]any{line}, args...)...))
+}
+
+var validTypes = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true,
+	"summary": true, "untyped": true,
+}
+
+func (l *metricsLinter) line(n int, line string) {
+	if strings.TrimSpace(line) == "" {
+		return
+	}
+	if strings.HasPrefix(line, "#") {
+		l.comment(n, line)
+		return
+	}
+	name, labels, valueStr, ok := splitSample(line)
+	if !ok {
+		l.errorf(n, "malformed sample line %q", line)
+		return
+	}
+	if !validMetricName(name) {
+		l.errorf(n, "invalid metric name %q", name)
+		return
+	}
+	val, err := parseValue(valueStr)
+	if err != nil {
+		l.errorf(n, "metric %s: bad value %q", name, valueStr)
+		return
+	}
+	lm, err := parseLabels(labels)
+	if err != nil {
+		l.errorf(n, "metric %s: %v", name, err)
+		return
+	}
+	fam, suffix := familyOf(name, l.types)
+	typ, declared := l.types[fam]
+	if !declared {
+		l.errorf(n, "metric %s has no preceding # TYPE declaration", name)
+		return
+	}
+	switch typ {
+	case "histogram":
+		sig := labelSignature(lm, "le")
+		switch suffix {
+		case "_bucket":
+			le, ok := lm["le"]
+			if !ok {
+				l.errorf(n, "histogram bucket %s missing le label", name)
+				return
+			}
+			lef, err := parseValue(le)
+			if err != nil {
+				l.errorf(n, "histogram bucket %s: bad le %q", name, le)
+				return
+			}
+			l.hists[fam][sig] = append(l.hists[fam][sig], bucketSample{le: lef, value: val, line: n})
+		case "_count":
+			l.counts[fam][sig] = val
+		case "_sum":
+		default:
+			l.errorf(n, "sample %s does not fit histogram family %s (want _bucket/_sum/_count)", name, fam)
+		}
+	case "counter":
+		if !strings.HasSuffix(name, "_total") {
+			l.errorf(n, "counter %s should end in _total", name)
+		}
+		if val < 0 {
+			l.errorf(n, "counter %s has negative value %g", name, val)
+		}
+	}
+}
+
+func (l *metricsLinter) comment(n int, line string) {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 || (fields[1] != "TYPE" && fields[1] != "HELP") {
+		return // free-form comment, legal
+	}
+	name := fields[2]
+	if !validMetricName(name) {
+		l.errorf(n, "# %s with invalid metric name %q", fields[1], name)
+		return
+	}
+	if fields[1] == "HELP" {
+		if len(fields) < 4 || strings.TrimSpace(fields[3]) == "" {
+			l.errorf(n, "# HELP %s has empty help text", name)
+		}
+		l.helped[name] = true
+		return
+	}
+	if len(fields) != 4 || !validTypes[strings.TrimSpace(fields[3])] {
+		l.errorf(n, "# TYPE %s has invalid type %q", name, strings.Join(fields[3:], " "))
+		return
+	}
+	if _, dup := l.types[name]; dup {
+		l.errorf(n, "duplicate # TYPE for %s", name)
+		return
+	}
+	typ := strings.TrimSpace(fields[3])
+	l.types[name] = typ
+	if typ == "histogram" {
+		l.hists[name] = map[string][]bucketSample{}
+		l.counts[name] = map[string]float64{}
+	}
+}
+
+func (l *metricsLinter) finish() {
+	for fam := range l.types {
+		if !l.helped[fam] {
+			l.errs = append(l.errs, fmt.Errorf("family %s has # TYPE but no # HELP", fam))
+		}
+	}
+	// Histogram invariants, per label signature: buckets cumulative and
+	// non-decreasing in le order, a +Inf bucket present and equal to
+	// _count.
+	fams := make([]string, 0, len(l.hists))
+	for fam := range l.hists {
+		fams = append(fams, fam)
+	}
+	sort.Strings(fams)
+	for _, fam := range fams {
+		for sig, buckets := range l.hists[fam] {
+			sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+			prev := math.Inf(-1)
+			hasInf := false
+			last := 0.0
+			for _, b := range buckets {
+				if b.value < last {
+					l.errorf(b.line, "histogram %s{%s}: bucket counts not cumulative (le=%g count %g < %g)",
+						fam, sig, b.le, b.value, last)
+				}
+				last = b.value
+				if b.le <= prev {
+					l.errorf(b.line, "histogram %s{%s}: duplicate le=%g", fam, sig, b.le)
+				}
+				prev = b.le
+				if math.IsInf(b.le, 1) {
+					hasInf = true
+				}
+			}
+			if !hasInf {
+				l.errs = append(l.errs, fmt.Errorf("histogram %s{%s} missing le=\"+Inf\" bucket", fam, sig))
+				continue
+			}
+			if count, ok := l.counts[fam][sig]; ok && len(buckets) > 0 {
+				if inf := buckets[len(buckets)-1].value; inf != count {
+					l.errs = append(l.errs, fmt.Errorf("histogram %s{%s}: +Inf bucket %g != _count %g", fam, sig, inf, count))
+				}
+			}
+		}
+	}
+}
+
+// familyOf maps a sample name onto its declared family: itself, or —
+// for histogram/summary component suffixes — the declared base name.
+func familyOf(name string, types map[string]string) (fam, suffix string) {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name {
+			if t, ok := types[base]; ok && (t == "histogram" || t == "summary") {
+				return base, suf
+			}
+		}
+	}
+	return name, ""
+}
+
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') ||
+			(i > 0 && '0' <= c && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(name string) bool {
+	if name == "" || strings.ContainsRune(name, ':') {
+		return false
+	}
+	return validMetricName(name)
+}
+
+// splitSample splits "name{labels} value [ts]" into its parts.
+func splitSample(line string) (name, labels, value string, ok bool) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		j := strings.LastIndexByte(rest, '}')
+		if j < i {
+			return "", "", "", false
+		}
+		name, labels, rest = rest[:i], rest[i+1:j], rest[j+1:]
+	} else {
+		k := strings.IndexAny(rest, " \t")
+		if k < 0 {
+			return "", "", "", false
+		}
+		name, rest = rest[:k], rest[k:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", "", "", false
+	}
+	if len(fields) == 2 { // optional timestamp
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", "", "", false
+		}
+	}
+	return name, labels, fields[0], true
+}
+
+// parseLabels parses `k="v",k2="v2"` into a map, validating names and
+// quoting.
+func parseLabels(s string) (map[string]string, error) {
+	out := map[string]string{}
+	s = strings.TrimSpace(s)
+	for s != "" {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("bad label pair near %q", s)
+		}
+		name := strings.TrimSpace(s[:eq])
+		if !validLabelName(name) {
+			return nil, fmt.Errorf("invalid label name %q", name)
+		}
+		s = strings.TrimSpace(s[eq+1:])
+		if len(s) == 0 || s[0] != '"' {
+			return nil, fmt.Errorf("label %s: value not quoted", name)
+		}
+		// Find the closing quote, honoring escapes.
+		end := -1
+		for i := 1; i < len(s); i++ {
+			if s[i] == '\\' {
+				i++
+				continue
+			}
+			if s[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return nil, fmt.Errorf("label %s: unterminated value", name)
+		}
+		val, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			return nil, fmt.Errorf("label %s: bad escaping: %v", name, err)
+		}
+		if _, dup := out[name]; dup {
+			return nil, fmt.Errorf("duplicate label %q", name)
+		}
+		out[name] = val
+		s = strings.TrimSpace(s[end+1:])
+		if strings.HasPrefix(s, ",") {
+			s = strings.TrimSpace(s[1:])
+		} else if s != "" {
+			return nil, fmt.Errorf("trailing garbage after label %q", name)
+		}
+	}
+	return out, nil
+}
+
+// parseValue parses a sample value (floats plus +Inf/-Inf/NaN).
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// labelSignature renders the labels (minus the excluded ones) as a
+// stable signature for grouping histogram series.
+func labelSignature(labels map[string]string, exclude ...string) string {
+	skip := map[string]bool{}
+	for _, e := range exclude {
+		skip[e] = true
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if !skip[k] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%q", k, labels[k])
+	}
+	return strings.Join(parts, ",")
+}

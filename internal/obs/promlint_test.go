@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// lintErrs joins the linter's findings for containment assertions.
+func lintErrs(text string) string {
+	var b strings.Builder
+	for _, err := range LintMetrics(text) {
+		b.WriteString(err.Error())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func TestLintCleanPayload(t *testing.T) {
+	clean := `# HELP up_total Requests served.
+# TYPE up_total counter
+up_total{query="a"} 12
+# HELP lat_seconds Request latency.
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="0.1"} 3
+lat_seconds_bucket{le="1"} 7
+lat_seconds_bucket{le="+Inf"} 9
+lat_seconds_sum 4.5
+lat_seconds_count 9
+# HELP temp Current temperature.
+# TYPE temp gauge
+temp -3.5
+`
+	if errs := LintMetrics(clean); len(errs) != 0 {
+		t.Fatalf("clean payload flagged: %v", errs)
+	}
+}
+
+func TestLintViolations(t *testing.T) {
+	cases := []struct {
+		name, payload, want string
+	}{
+		{"type without help",
+			"# TYPE x gauge\nx 1\n",
+			"has # TYPE but no # HELP"},
+		{"sample without type",
+			"orphan 1\n",
+			"no preceding # TYPE"},
+		{"counter not _total",
+			"# HELP hits Hits.\n# TYPE hits counter\nhits 3\n",
+			"should end in _total"},
+		{"negative counter",
+			"# HELP hits_total Hits.\n# TYPE hits_total counter\nhits_total -1\n",
+			"negative value"},
+		{"invalid metric name",
+			"# HELP 9bad Bad.\n# TYPE 9bad gauge\n",
+			"invalid metric name"},
+		{"bucket missing le",
+			"# HELP h H.\n# TYPE h histogram\nh_bucket{x=\"1\"} 1\n",
+			"missing le label"},
+		{"buckets not cumulative",
+			"# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_count 5\n",
+			"not cumulative"},
+		{"missing +Inf",
+			"# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_count 5\n",
+			`missing le="+Inf"`},
+		{"inf disagrees with count",
+			"# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_count 7\n",
+			"+Inf bucket 5 != _count 7"},
+		{"unquoted label value",
+			"# HELP g G.\n# TYPE g gauge\ng{a=1} 2\n",
+			"not quoted"},
+		{"malformed sample",
+			"# HELP g G.\n# TYPE g gauge\njust-garbage\n",
+			"malformed sample"},
+		{"duplicate type",
+			"# HELP g G.\n# TYPE g gauge\n# TYPE g counter\n",
+			"duplicate # TYPE"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := lintErrs(c.payload)
+			if !strings.Contains(got, c.want) {
+				t.Fatalf("want a violation containing %q, got:\n%s", c.want, got)
+			}
+		})
+	}
+}
+
+// TestLintPerSignatureHistograms: the invariants group by non-le label
+// signature, so two queries' series are checked independently.
+func TestLintPerSignatureHistograms(t *testing.T) {
+	payload := `# HELP h H.
+# TYPE h histogram
+h_bucket{query="a",le="1"} 2
+h_bucket{query="a",le="+Inf"} 2
+h_count{query="a"} 2
+h_bucket{query="b",le="1"} 9
+h_bucket{query="b",le="+Inf"} 9
+h_count{query="b"} 8
+`
+	got := lintErrs(payload)
+	if !strings.Contains(got, `query="b"`) || strings.Contains(got, `query="a"`) {
+		t.Fatalf("want only query=b flagged, got:\n%s", got)
+	}
+}

@@ -2,25 +2,65 @@ package server
 
 import (
 	"fmt"
+	"math"
 	"net/http"
 	"sort"
 	"strings"
 	"time"
 
+	"tweeql/internal/obs"
 	"tweeql/internal/resilience"
 	"tweeql/internal/store"
 )
 
-// metrics serves Prometheus-style text exposition: daemon uptime, the
-// query registry (per-query rows in/out/sec, filter drops, eval
-// errors, restart count), fan-out state (subscriber counts, published
-// rows, per-query subscriber drops), and persistent-table observability
-// (row counts, segment scan/prune counters from the PR 3 store).
+// fam declares one metric family: a # HELP line and a # TYPE line, the
+// contract the in-repo promlint (and real promtool) checks.
+func fam(b *strings.Builder, name, typ, help string) {
+	fmt.Fprintf(b, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(b, "# TYPE %s %s\n", name, typ)
+}
+
+// hist renders one histogram series (labels = rendered `k="v",...`
+// pairs, "" for none) from an obs snapshot: the full fixed bucket
+// ladder as cumulative le buckets plus _sum and _count. Emitting every
+// ladder bucket keeps the series shape identical across scrapes and
+// queries, which is what makes them aggregatable.
+func hist(b *strings.Builder, name, labels string, s obs.HistSnapshot) {
+	leSep := ""
+	if labels != "" {
+		leSep = ","
+	}
+	cum := int64(0)
+	for i, bound := range s.Bounds {
+		cum += s.Counts[i]
+		le := "+Inf"
+		if !math.IsInf(bound, 1) {
+			le = fmt.Sprintf("%g", bound)
+		}
+		fmt.Fprintf(b, "%s_bucket{%s%sle=%q} %d\n", name, labels, leSep, le, cum)
+	}
+	braced := ""
+	if labels != "" {
+		braced = "{" + labels + "}"
+	}
+	fmt.Fprintf(b, "%s_sum%s %g\n", name, braced, s.Sum)
+	fmt.Fprintf(b, "%s_count%s %d\n", name, braced, s.Count)
+}
+
+// metrics serves Prometheus text exposition: daemon uptime, the query
+// registry (per-query rows in/out, filter drops, eval errors, restart
+// streaks), per-operator stage-latency and output-lag histograms from
+// each query's profile, shared-scan ingest counters, breaker states,
+// and table observability (row counts, segment scan/prune counters,
+// append/scan latency histograms). Every family carries # HELP and
+// # TYPE and follows Prometheus naming (counters end in _total, units
+// are seconds); Options.MetricsCompat additionally re-emits the
+// pre-rename families for dashboards still reading the old names.
 func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	var b strings.Builder
 
-	fmt.Fprintf(&b, "# TYPE tweeqld_uptime_seconds gauge\n")
+	fam(&b, "tweeqld_uptime_seconds", "gauge", "Seconds since the daemon started.")
 	fmt.Fprintf(&b, "tweeqld_uptime_seconds %.3f\n", time.Since(s.started).Seconds())
 
 	statuses := s.reg.List()
@@ -28,23 +68,24 @@ func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
 	for _, st := range statuses {
 		byState[st.State]++
 	}
-	fmt.Fprintf(&b, "# TYPE tweeqld_queries gauge\n")
+	fam(&b, "tweeqld_queries", "gauge", "Registered queries by lifecycle state.")
 	for _, state := range []QueryState{StateRunning, StatePaused, StateDone, StateError} {
 		fmt.Fprintf(&b, "tweeqld_queries{state=%q} %d\n", state, byState[state])
 	}
 
-	fmt.Fprintf(&b, "# TYPE tweeqld_query_rows_in_total counter\n")
-	fmt.Fprintf(&b, "# TYPE tweeqld_query_rows_out_total counter\n")
-	fmt.Fprintf(&b, "# TYPE tweeqld_query_filter_dropped_total counter\n")
-	fmt.Fprintf(&b, "# TYPE tweeqld_query_eval_errors_total counter\n")
-	fmt.Fprintf(&b, "# TYPE tweeqld_query_rows_per_sec gauge\n")
-	// restarts is a gauge: it reports the CURRENT failure streak and
-	// resets when a restarted run stays healthy (or on manual resume).
-	fmt.Fprintf(&b, "# TYPE tweeqld_query_restarts gauge\n")
-	fmt.Fprintf(&b, "# TYPE tweeqld_query_degraded_total counter\n")
-	fmt.Fprintf(&b, "# TYPE tweeqld_query_subscribers gauge\n")
-	fmt.Fprintf(&b, "# TYPE tweeqld_query_published_total counter\n")
-	fmt.Fprintf(&b, "# TYPE tweeqld_query_subscriber_dropped_total counter\n")
+	fam(&b, "tweeqld_query_rows_in_total", "counter", "Rows ingested by the query's current run.")
+	fam(&b, "tweeqld_query_rows_out_total", "counter", "Rows delivered by the query's current run.")
+	fam(&b, "tweeqld_query_filter_dropped_total", "counter", "Rows removed by the query's filters.")
+	fam(&b, "tweeqld_query_eval_errors_total", "counter", "Expression evaluation errors in the query's current run.")
+	fam(&b, "tweeqld_query_rows_per_second", "gauge", "Delivered-row rate over the current run's lifetime.")
+	// The restart streak is a gauge by design: it counts CONSECUTIVE
+	// failures and resets when a restarted run stays healthy (or on
+	// manual resume) — a monotonic _total would hide recovery.
+	fam(&b, "tweeqld_query_restart_streak", "gauge", "Current consecutive restart count; resets when a run stays healthy.")
+	fam(&b, "tweeqld_query_degraded_total", "counter", "Values NULLed by exhausted retries plus rows dropped on unhealthy sinks.")
+	fam(&b, "tweeqld_query_subscribers", "gauge", "Live subscribers on the query's fan-out stream.")
+	fam(&b, "tweeqld_query_published_total", "counter", "Rows published to the query's fan-out stream.")
+	fam(&b, "tweeqld_query_subscriber_dropped_total", "counter", "Rows dropped on lagging subscriber rings.")
 	var degradedTotal int64
 	for _, st := range statuses {
 		degradedTotal += st.Degraded
@@ -53,32 +94,65 @@ func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(&b, "tweeqld_query_rows_out_total%s %d\n", l, st.RowsOut)
 		fmt.Fprintf(&b, "tweeqld_query_filter_dropped_total%s %d\n", l, st.FilterDrop)
 		fmt.Fprintf(&b, "tweeqld_query_eval_errors_total%s %d\n", l, st.EvalErrors)
-		fmt.Fprintf(&b, "tweeqld_query_rows_per_sec%s %.3f\n", l, st.RowsPerSec)
-		fmt.Fprintf(&b, "tweeqld_query_restarts%s %d\n", l, st.Restarts)
+		fmt.Fprintf(&b, "tweeqld_query_rows_per_second%s %.3f\n", l, st.RowsPerSec)
+		fmt.Fprintf(&b, "tweeqld_query_restart_streak%s %d\n", l, st.Restarts)
 		fmt.Fprintf(&b, "tweeqld_query_degraded_total%s %d\n", l, st.Degraded)
 		fmt.Fprintf(&b, "tweeqld_query_subscribers%s %d\n", l, st.Subscribers)
 		fmt.Fprintf(&b, "tweeqld_query_published_total%s %d\n", l, st.Published)
 		fmt.Fprintf(&b, "tweeqld_query_subscriber_dropped_total%s %d\n", l, st.SubscriberDrop)
 	}
+	if s.opts.MetricsCompat {
+		// Pre-PR-8 names, kept only for old dashboards: rows_per_sec
+		// (now _per_second) and restarts (now restart_streak).
+		fam(&b, "tweeqld_query_rows_per_sec", "gauge", "Deprecated alias of tweeqld_query_rows_per_second.")
+		fam(&b, "tweeqld_query_restarts", "gauge", "Deprecated alias of tweeqld_query_restart_streak.")
+		for _, st := range statuses {
+			l := fmt.Sprintf("{query=%q}", st.Name)
+			fmt.Fprintf(&b, "tweeqld_query_rows_per_sec%s %.3f\n", l, st.RowsPerSec)
+			fmt.Fprintf(&b, "tweeqld_query_restarts%s %d\n", l, st.Restarts)
+		}
+	}
 	// Degraded rows across every live query: NULL substitutions from
 	// exhausted UDF retries plus rows dropped on read-only sinks — the
 	// price of keeping results flowing instead of failing queries.
-	fmt.Fprintf(&b, "# TYPE tweeqld_degraded_total counter\n")
+	fam(&b, "tweeqld_degraded_total", "counter", "Degraded rows across all queries.")
 	fmt.Fprintf(&b, "tweeqld_degraded_total %d\n", degradedTotal)
+
+	// Per-operator latency and end-to-end lag, from each running
+	// query's observability profile. The bucket ladder is fixed, so the
+	// same series aggregate cleanly across queries and restarts.
+	fam(&b, "tweeqld_stage_latency_seconds", "histogram", "Per-operator observation latency (unit per stage: batch, row sample, or call).")
+	fam(&b, "tweeqld_query_output_lag_seconds", "histogram", "Ingest-to-delivery watermark lag of delivered rows.")
+	for _, st := range statuses {
+		q, ok := s.reg.Get(st.Name)
+		if !ok {
+			continue
+		}
+		prof := q.Profile()
+		if prof == nil {
+			continue
+		}
+		snap := prof.Snapshot()
+		for _, stage := range snap.Stages {
+			labels := fmt.Sprintf("query=%q,kind=%q,stage=%q", st.Name, stage.Kind, stage.Name)
+			hist(&b, "tweeqld_stage_latency_seconds", labels, stage.Latency)
+		}
+		hist(&b, "tweeqld_query_output_lag_seconds", fmt.Sprintf("query=%q", st.Name), snap.Lag)
+	}
 
 	// Shared scans: per-signature ingest and fan-out counters. The gap
 	// between registered queries and live scans is the endpoint load the
 	// sharing saves.
 	scans := s.eng.Scans()
-	fmt.Fprintf(&b, "# TYPE tweeqld_scans gauge\n")
+	fam(&b, "tweeqld_scans", "gauge", "Live shared scans.")
 	fmt.Fprintf(&b, "tweeqld_scans %d\n", len(scans))
-	fmt.Fprintf(&b, "# TYPE tweeqld_scan_queries gauge\n")
-	fmt.Fprintf(&b, "# TYPE tweeqld_scan_rows_in_total counter\n")
-	fmt.Fprintf(&b, "# TYPE tweeqld_scan_batches_in_total counter\n")
-	fmt.Fprintf(&b, "# TYPE tweeqld_scan_subscriber_dropped_total counter\n")
+	fam(&b, "tweeqld_scan_queries", "gauge", "Queries attached to the shared scan.")
+	fam(&b, "tweeqld_scan_rows_in_total", "counter", "Rows ingested from the scan's physical source.")
+	fam(&b, "tweeqld_scan_batches_in_total", "counter", "Batches ingested from the scan's physical source.")
+	fam(&b, "tweeqld_scan_subscriber_dropped_total", "counter", "Rows dropped on lagging attached-query rings.")
 	// Supervised restarts: how many times each shared scan's physical
 	// source died and was reopened without touching the queries on it.
-	fmt.Fprintf(&b, "# TYPE tweeqld_scan_restarts_total counter\n")
+	fam(&b, "tweeqld_scan_restarts_total", "counter", "Supervisor restarts of the scan's physical source.")
 	for _, sc := range scans {
 		l := fmt.Sprintf("{scan=%q,source=%q}", sc.Signature, sc.Source)
 		fmt.Fprintf(&b, "tweeqld_scan_queries%s %d\n", l, sc.Queries)
@@ -91,7 +165,7 @@ func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
 	// Circuit breakers guarding web-service UDFs: 0 closed (healthy),
 	// 1 half-open (probing), 2 open (short-circuiting to NULL).
 	if breakers := s.eng.Catalog().Breakers(); len(breakers) > 0 {
-		fmt.Fprintf(&b, "# TYPE tweeqld_breaker_state gauge\n")
+		fam(&b, "tweeqld_breaker_state", "gauge", "Breaker state: 0 closed, 1 half-open, 2 open.")
 		for _, br := range breakers {
 			var v int
 			switch br.State() {
@@ -106,12 +180,14 @@ func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
 
 	tables := s.eng.Catalog().Tables()
 	sort.Slice(tables, func(i, j int) bool { return tables[i].Name < tables[j].Name })
-	fmt.Fprintf(&b, "# TYPE tweeqld_table_rows gauge\n")
-	fmt.Fprintf(&b, "# TYPE tweeqld_table_segments_scanned_total counter\n")
-	fmt.Fprintf(&b, "# TYPE tweeqld_table_segments_pruned_total counter\n")
+	fam(&b, "tweeqld_table_rows", "gauge", "Rows currently readable from the table.")
+	fam(&b, "tweeqld_table_segments_scanned_total", "counter", "Segments read by table scans.")
+	fam(&b, "tweeqld_table_segments_pruned_total", "counter", "Segments skipped by time-range pruning.")
 	// 1 when persistent append failures flipped the table read-only
 	// (reads still serve; writers see ErrReadOnly and count degraded).
-	fmt.Fprintf(&b, "# TYPE tweeqld_table_readonly gauge\n")
+	fam(&b, "tweeqld_table_readonly", "gauge", "1 when the table degraded to read-only after write failures.")
+	fam(&b, "tweeqld_table_append_latency_seconds", "histogram", "AppendBatch call latency on the persistent store.")
+	fam(&b, "tweeqld_table_scan_latency_seconds", "histogram", "Scan call latency on the persistent store.")
 	for _, t := range tables {
 		l := fmt.Sprintf("{table=%q}", t.Name)
 		fmt.Fprintf(&b, "tweeqld_table_rows%s %d\n", l, t.Len())
@@ -124,6 +200,10 @@ func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
 			scanned, pruned := st.ScanCounters()
 			fmt.Fprintf(&b, "tweeqld_table_segments_scanned_total%s %d\n", l, scanned)
 			fmt.Fprintf(&b, "tweeqld_table_segments_pruned_total%s %d\n", l, pruned)
+			appendLat, scanLat := st.LatencySnapshots()
+			labels := fmt.Sprintf("table=%q", t.Name)
+			hist(&b, "tweeqld_table_append_latency_seconds", labels, appendLat)
+			hist(&b, "tweeqld_table_scan_latency_seconds", labels, scanLat)
 		}
 	}
 	w.Write([]byte(b.String()))

@@ -13,6 +13,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"regexp"
 	"strings"
 	"sync"
@@ -21,6 +23,8 @@ import (
 	"tweeql/internal/catalog"
 	"tweeql/internal/core"
 	"tweeql/internal/lang"
+	"tweeql/internal/obs"
+	"tweeql/internal/value"
 )
 
 // QueryState is a registered query's lifecycle state.
@@ -183,6 +187,7 @@ type Registry struct {
 	eng     *core.Engine
 	journal *journal // nil when the registry is not durable
 	policy  RestartPolicy
+	log     *slog.Logger // never nil; discards when no logger was given
 
 	// opMu serializes the mutating control-plane operations end-to-end
 	// (state change + journal append), so the journal's record order can
@@ -198,15 +203,24 @@ type Registry struct {
 	wg      sync.WaitGroup
 }
 
+// discardLogger swallows records; the registry logs unconditionally
+// and this is the "no logger configured" sink.
+var discardLogger = slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.Level(127)}))
+
 // NewRegistry builds a registry over eng. dataDir roots the durable
 // journal ("" keeps the registry in memory only); queries journaled by
 // an earlier process are restored — re-issued against the engine, which
 // in turn reopens their INTO TABLE targets from the engine's data dir
-// and re-registers their INTO STREAM targets.
-func NewRegistry(eng *core.Engine, dataDir string, policy RestartPolicy) (*Registry, error) {
+// and re-registers their INTO STREAM targets. log receives structured
+// lifecycle events (nil discards them).
+func NewRegistry(eng *core.Engine, dataDir string, policy RestartPolicy, log *slog.Logger) (*Registry, error) {
+	if log == nil {
+		log = discardLogger
+	}
 	r := &Registry{
 		eng:     eng,
 		policy:  policy.withDefaults(),
+		log:     log,
 		queries: make(map[string]*Query),
 	}
 	if dataDir == "" {
@@ -220,6 +234,8 @@ func NewRegistry(eng *core.Engine, dataDir string, policy RestartPolicy) (*Regis
 	for _, js := range specs {
 		q, err := r.create(js.QuerySpec, false)
 		if err != nil {
+			r.log.Warn("journaled query failed to restore",
+				"query", js.Name, "error", err.Error())
 			// A journaled query the engine now rejects (e.g. its source is
 			// gone) must not brick the daemon; surface it as an errored
 			// registry entry instead. Keep the parsed statement when the
@@ -305,6 +321,7 @@ func (r *Registry) create(spec QuerySpec, journal bool) (*Query, error) {
 			return nil, fmt.Errorf("%w: %v", errJournal, err)
 		}
 	}
+	r.log.Info("query created", "query", spec.Name, "restart", spec.Restart, "sql", spec.SQL)
 	return q, nil
 }
 
@@ -380,6 +397,7 @@ func (r *Registry) pauseLocked(q *Query, journal bool) error {
 	if cur != nil {
 		cur.Stop()
 	}
+	r.log.Info("query paused", "query", q.spec.Name)
 	if journal && r.journal != nil {
 		return r.journal.append(journalRecord{Op: opPause, Name: q.spec.Name})
 	}
@@ -404,6 +422,7 @@ func (r *Registry) Resume(name string) error {
 	if err := q.start(); err != nil {
 		return err
 	}
+	r.log.Info("query resumed", "query", q.spec.Name)
 	if r.journal != nil {
 		return r.journal.append(journalRecord{Op: opResume, Name: q.spec.Name})
 	}
@@ -442,6 +461,7 @@ func (r *Registry) Drop(name string) error {
 	if bcast != nil {
 		bcast.CloseStream()
 	}
+	r.log.Info("query dropped", "query", name)
 	if r.journal != nil {
 		return r.journal.append(journalRecord{Op: opDrop, Name: name})
 	}
@@ -553,6 +573,14 @@ func (q *Query) start() error {
 	bcast := q.bcast
 	q.mu.Unlock()
 
+	profileID := ""
+	if prof := cur.Profile(); prof != nil {
+		profileID = prof.ID
+	}
+	q.reg.log.Info("query run started",
+		"query", q.spec.Name, "epoch", epoch, "profile", profileID,
+		"scan", cur.ScanSignature(), "scan_shared", cur.ScanShared())
+
 	q.reg.wg.Add(1)
 	go q.pump(epoch, cur, routed, bcast)
 	return nil
@@ -566,7 +594,16 @@ func (q *Query) pump(epoch int, cur *core.Cursor, routed bool, bcast *catalog.De
 		<-cur.Drained()
 	} else {
 		opts := q.reg.eng.Options()
-		core.DrainBatches(cur.Rows(), opts.BatchSize, opts.BatchFlushEvery, bcast.PublishBatch)
+		// The delivery hop is the last instrumented stage: latency of
+		// one fan-out publish (subscriber-set traversal plus any Block
+		// backpressure), closing the ingest→delivery span the profile's
+		// lag histogram measures.
+		sp := cur.Profile().Stage("deliver", "subscribers", "batch")
+		core.DrainBatches(cur.Rows(), opts.BatchSize, opts.BatchFlushEvery, func(batch []value.Tuple) {
+			span := sp.Enter()
+			bcast.PublishBatch(batch)
+			span.Exit(len(batch), len(batch))
+		})
 	}
 	q.onRunEnd(epoch, cur.Stats().Err())
 }
@@ -587,6 +624,7 @@ func (q *Query) onRunEnd(epoch int, err error) {
 	if err == nil {
 		q.state = StateDone
 		q.mu.Unlock()
+		q.reg.log.Info("query run ended", "query", q.spec.Name, "epoch", epoch)
 		return
 	}
 	q.stateErr = err.Error()
@@ -599,9 +637,13 @@ func (q *Query) onRunEnd(epoch int, err error) {
 	if !q.spec.Restart || q.restarts >= policy.MaxRestarts {
 		q.state = StateError
 		q.mu.Unlock()
+		q.reg.log.Warn("query run failed", "query", q.spec.Name, "epoch", epoch,
+			"error", err.Error(), "restarts_exhausted", q.spec.Restart)
 		return
 	}
 	q.restarts++
+	q.reg.log.Warn("query restart scheduled", "query", q.spec.Name, "epoch", epoch,
+		"error", err.Error(), "attempt", q.restarts, "backoff", policy.Backoff)
 	// Clear the dead run's cursor so the restart passes start()'s
 	// duplicate-run guard (per-run stats reset with it; cumulative
 	// restart counts survive on the query).
@@ -628,6 +670,20 @@ func (q *Query) Broadcaster() *catalog.DerivedStream {
 
 // Spec returns the query's definition.
 func (q *Query) Spec() QuerySpec { return q.spec }
+
+// Profile returns the current run's observability profile: per-
+// operator rows/latency/selectivity, output watermark lag, and the
+// sampled trace ring. Nil when the query has no live run or the
+// engine's profiling is off.
+func (q *Query) Profile() *obs.Profile {
+	q.mu.Lock()
+	cur := q.cur
+	q.mu.Unlock()
+	if cur == nil {
+		return nil
+	}
+	return cur.Profile()
+}
 
 // Status snapshots the query for the API and metrics.
 func (q *Query) Status() QueryStatus {

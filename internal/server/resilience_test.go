@@ -51,7 +51,7 @@ func newTestRegistry(t *testing.T, policy RestartPolicy) (*Registry, *twitterapi
 	opts := core.DefaultOptions()
 	opts.BatchFlushEvery = 2 * time.Millisecond
 	eng := core.NewEngine(cat, opts)
-	reg, err := NewRegistry(eng, "", policy)
+	reg, err := NewRegistry(eng, "", policy, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,12 +5,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
 	"time"
 
 	"tweeql/internal/core"
+	"tweeql/internal/obs"
 	"tweeql/internal/resilience"
 	"tweeql/internal/value"
 )
@@ -33,6 +35,14 @@ type Options struct {
 	// SnapshotLimit caps rows returned by one snapshot call when the
 	// client sends no ?limit= (0 = 10000).
 	SnapshotLimit int
+	// Logger receives the registry's structured lifecycle events
+	// (create/start/pause/resume/drop/restart, with query and profile
+	// IDs). nil discards them.
+	Logger *slog.Logger
+	// MetricsCompat re-emits the pre-rename metric families
+	// (tweeqld_query_rows_per_sec, tweeqld_query_restarts) alongside
+	// their normalized successors, for dashboards not yet migrated.
+	MetricsCompat bool
 }
 
 func (o Options) withDefaults() Options {
@@ -59,7 +69,7 @@ type Server struct {
 // opts.DataDir is set.
 func New(eng *core.Engine, opts Options) (*Server, error) {
 	opts = opts.withDefaults()
-	reg, err := NewRegistry(eng, opts.DataDir, opts.Restart)
+	reg, err := NewRegistry(eng, opts.DataDir, opts.Restart, opts.Logger)
 	if err != nil {
 		return nil, err
 	}
@@ -71,6 +81,8 @@ func New(eng *core.Engine, opts Options) (*Server, error) {
 	s.mux.HandleFunc("POST /api/queries/{name}/resume", s.resumeQuery)
 	s.mux.HandleFunc("DELETE /api/queries/{name}", s.dropQuery)
 	s.mux.HandleFunc("GET /api/queries/{name}/stream", s.streamQuery)
+	s.mux.HandleFunc("GET /api/queries/{name}/profile", s.profileQuery)
+	s.mux.HandleFunc("GET /api/queries/{name}/trace", s.traceQuery)
 	s.mux.HandleFunc("GET /api/tables/{name}/snapshot", s.snapshotTable)
 	s.mux.HandleFunc("GET /metrics", s.metrics)
 	s.mux.HandleFunc("GET /healthz", s.healthz)
@@ -214,6 +226,87 @@ func (s *Server) dropQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.writeJSON(w, http.StatusOK, map[string]string{"dropped": r.PathValue("name")})
+}
+
+// profileQuery serves the current run's per-operator profile as JSON:
+//
+//	GET /api/queries/{name}/profile
+//
+// Stages appear in pipeline order with rows in/out, selectivity,
+// observation counts, and latency count/sum/p50/p99; output_lag is the
+// ingest→delivery watermark-lag histogram. 409 when the query has no
+// live run or profiling is disabled.
+func (s *Server) profileQuery(w http.ResponseWriter, r *http.Request) {
+	q, ok := s.reg.Get(r.PathValue("name"))
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("unknown query %q", r.PathValue("name")))
+		return
+	}
+	prof := q.Profile()
+	if prof == nil {
+		s.writeError(w, http.StatusConflict,
+			fmt.Errorf("query %q has no live profile (not running, or profiling disabled)", q.Spec().Name))
+		return
+	}
+	snap := prof.Snapshot()
+	type stageView struct {
+		obs.StageSnapshot
+		Selectivity float64 `json:"selectivity"`
+	}
+	stages := make([]stageView, 0, len(snap.Stages))
+	for _, st := range snap.Stages {
+		stages = append(stages, stageView{StageSnapshot: st, Selectivity: st.Selectivity()})
+	}
+	resp := map[string]any{
+		"query":      q.Spec().Name,
+		"profile_id": snap.ID,
+		"stages":     stages,
+		"output_lag": snap.Lag,
+	}
+	if tr := prof.Tracer(); tr != nil {
+		resp["trace"] = map[string]any{
+			"events":  len(tr.Events()),
+			"dropped": tr.Dropped(),
+		}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// traceQuery exports the current run's sampled batch spans:
+//
+//	GET /api/queries/{name}/trace?format=jsonl|chrome
+//
+// jsonl (default) is one span object per line; chrome is the Chrome
+// trace-event JSON array, loadable in chrome://tracing or Perfetto.
+// 409 when the query has no live run or trace sampling is disabled.
+func (s *Server) traceQuery(w http.ResponseWriter, r *http.Request) {
+	q, ok := s.reg.Get(r.PathValue("name"))
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("unknown query %q", r.PathValue("name")))
+		return
+	}
+	prof := q.Profile()
+	var tr *obs.Tracer
+	if prof != nil {
+		tr = prof.Tracer()
+	}
+	if tr == nil {
+		s.writeError(w, http.StatusConflict,
+			fmt.Errorf("query %q has no trace (not running, or trace sampling disabled)", q.Spec().Name))
+		return
+	}
+	events := tr.Events()
+	switch r.URL.Query().Get("format") {
+	case "", "jsonl":
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = obs.WriteJSONL(w, events)
+	case "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		_ = obs.WriteChromeTrace(w, prof.ID, events)
+	default:
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Errorf("bad format %q: want jsonl or chrome", r.URL.Query().Get("format")))
+	}
 }
 
 // snapshotTable runs a one-shot time-ranged SELECT over a result table

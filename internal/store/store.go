@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"tweeql/internal/fault"
+	"tweeql/internal/obs"
 	"tweeql/internal/resilience"
 	"tweeql/internal/value"
 )
@@ -76,6 +77,10 @@ type Options struct {
 	// is retried (with a short capped backoff) before the table degrades
 	// to read-only. Default 3; negative disables retries.
 	AppendRetries int
+	// NoLatencyHist disables the per-table append/scan latency
+	// histograms (two clock reads per call). Benchmarks use it as the
+	// uninstrumented baseline; production tables keep them on.
+	NoLatencyHist bool
 
 	// now overrides the clock in tests.
 	now func() time.Time
@@ -127,6 +132,11 @@ type Table struct {
 	scanned atomic.Int64 // segments read by scans
 	pruned  atomic.Int64 // segments skipped by time-range pruning
 
+	// appendLat/scanLat time whole AppendBatch and Scan calls (nil when
+	// Options.NoLatencyHist): the store's contribution to /metrics.
+	appendLat *obs.Histogram
+	scanLat   *obs.Histogram
+
 	// readonly flips when a data-file write or fsync keeps failing after
 	// retries: the table stops accepting appends (degradeErr says why)
 	// but keeps serving scans — flushed segments and the pending buffer
@@ -159,6 +169,10 @@ func Open(opts Options) (*Table, error) {
 		return nil, err
 	}
 	t := &Table{opts: opts}
+	if !opts.NoLatencyHist {
+		t.appendLat = obs.NewLatencyHistogram()
+		t.scanLat = obs.NewLatencyHistogram()
+	}
 
 	entries, err := os.ReadDir(opts.Dir)
 	if err != nil {
@@ -305,6 +319,10 @@ func tsNano(ts time.Time) int64 {
 func (t *Table) AppendBatch(rows []value.Tuple) error {
 	if len(rows) == 0 {
 		return nil
+	}
+	if h := t.appendLat; h != nil {
+		start := time.Now()
+		defer func() { h.Observe(time.Since(start)) }()
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -592,6 +610,13 @@ func (t *Table) ScanCounters() (scanned, pruned int64) {
 	return t.scanned.Load(), t.pruned.Load()
 }
 
+// LatencySnapshots reports the table's append and scan latency
+// histograms (zero snapshots when Options.NoLatencyHist disabled
+// them) — the store families exported on /metrics.
+func (t *Table) LatencySnapshots() (appendLat, scanLat obs.HistSnapshot) {
+	return t.appendLat.Snapshot(), t.scanLat.Snapshot()
+}
+
 // Scan streams every row whose event timestamp falls in [from, to]
 // (zero bounds are open; rows without an event time always match) to
 // fn in freshly allocated batches of at most batchHint rows, in append
@@ -602,6 +627,10 @@ func (t *Table) ScanCounters() (scanned, pruned int64) {
 func (t *Table) Scan(from, to time.Time, batchHint int, fn func([]value.Tuple) error) error {
 	if batchHint < 1 {
 		batchHint = 256
+	}
+	if h := t.scanLat; h != nil {
+		start := time.Now()
+		defer func() { h.Observe(time.Since(start)) }()
 	}
 	t.mu.Lock()
 	if t.closed {

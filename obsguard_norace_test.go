@@ -1,0 +1,7 @@
+//go:build !race
+
+package tweeql_test
+
+// raceEnabled gates the observability overhead guard; see
+// obsguard_race_test.go.
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package tweeql_test
+
+// raceEnabled gates the observability overhead guard: the race
+// detector multiplies every atomic's cost, so overhead ratios measured
+// under -race say nothing about production builds.
+const raceEnabled = true

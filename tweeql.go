@@ -46,6 +46,8 @@ type (
 	Cursor = core.Cursor
 	// Options tune engine behaviour (adaptive filters, async workers...).
 	Options = core.Options
+	// AnalyzeOptions bound an ExplainAnalyze run (rows and wall clock).
+	AnalyzeOptions = core.AnalyzeOptions
 	// Statement is a parsed TweeQL statement.
 	Statement = lang.SelectStmt
 	// Filter is a streaming-API filter (one type per connection).
@@ -109,6 +111,20 @@ func (e *Engine) Close() error { return e.inner.Close() }
 // Explain describes the plan (pushdown candidates, residual filters,
 // aggregation shape) without running the query.
 func (e *Engine) Explain(sql string) (string, error) { return e.inner.Explain(sql) }
+
+// ExplainAnalyze runs the statement for a bounded window and renders
+// the plan annotated with measured per-operator rows, selectivity, and
+// latency percentiles plus the end-to-end watermark lag. A leading
+// "EXPLAIN ANALYZE" keyword pair is accepted and stripped; INTO
+// routing is suppressed (the run must not create streams or tables).
+func (e *Engine) ExplainAnalyze(ctx context.Context, sql string, opts AnalyzeOptions) (string, error) {
+	return e.inner.ExplainAnalyze(ctx, sql, opts)
+}
+
+// StripExplainAnalyze removes a leading EXPLAIN ANALYZE keyword pair,
+// reporting whether one was present — for REPLs and APIs that route
+// such statements to Engine.ExplainAnalyze.
+func StripExplainAnalyze(sql string) (string, bool) { return core.StripExplainAnalyze(sql) }
 
 // RegisterUDF adds a scalar UDF. arity < 0 means variadic; highLatency
 // marks web-service-style functions that should use the asynchronous
