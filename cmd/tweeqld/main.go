@@ -21,6 +21,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -60,9 +61,13 @@ func main() {
 	sharedScans := flag.Bool("shared-scans", true, "share one physical source scan between registered queries with equal scan signatures")
 	withTwitinfo := flag.Bool("twitinfo", true, "track a TwitInfo event for the scenario and mount the dashboard at /twitinfo/")
 	faultSpec := flag.String("fault-spec", "", "arm deterministic fault points for chaos drills, e.g. 'scan.source.recv:error,times=3;udf.geocode.call:latency,d=2s,p=0.5' (empty = zero-cost disabled)")
+	sysStreams := flag.Bool("sys-streams", true, "register the $sys.metrics/$sys.events self-observation streams and start the sampler (false = zero overhead, no alerting inputs)")
+	sysSampleEvery := flag.Duration("sys-sample-every", 5*time.Second, "self-observation sampling interval")
+	alertsFile := flag.String("alerts-file", "", "bootstrap alert rules from this JSON file (array of alert specs; existing names are skipped)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, or error")
 	logFormat := flag.String("log-format", "text", "log format: text or json")
 	traceSample := flag.Int("trace-sample", 64, "sample every Nth batch per operator into each query's trace ring (0 = off)")
+	batchSize := flag.Int("batch-size", 0, "rows per pipeline batch (0 = engine default; 1 = per-row delivery, useful when alerting on output lag of slow queries)")
 	metricsCompat := flag.Bool("metrics-compat", false, "also emit pre-rename metric families (tweeqld_query_rows_per_sec, tweeqld_query_restarts) on /metrics")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
@@ -88,6 +93,11 @@ func main() {
 	opts.DataDir = *dataDir
 	opts.FsyncPolicy = *fsyncPolicy
 	opts.TraceSampleEvery = *traceSample
+	opts.SysStreams = *sysStreams
+	opts.SysSampleEvery = *sysSampleEvery
+	if *batchSize > 0 {
+		opts.BatchSize = *batchSize
+	}
 	eng, stream, err := tweeql.NewSimulated(tweeql.SimConfig{
 		Scenario: *scenario, Seed: *seed, Duration: *duration, Options: &opts,
 	})
@@ -109,6 +119,18 @@ func main() {
 	if n := len(srv.Registry().List()); n > 0 {
 		logger.Info("restored journaled queries", "count", n, "data_dir", *dataDir)
 	}
+	if *alertsFile != "" {
+		specs, err := loadAlertSpecs(*alertsFile)
+		if err != nil {
+			fatal(logger, "bad -alerts-file", err)
+		}
+		added, err := srv.BootstrapAlerts(specs)
+		if err != nil {
+			fatal(logger, "alert bootstrap failed", err)
+		}
+		logger.Info("bootstrapped alerts", "file", *alertsFile, "added", added,
+			"skipped", len(specs)-added)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -118,6 +140,7 @@ func main() {
 	mux.Handle("/metrics", srv)
 	mux.Handle("/healthz", srv)
 	mux.Handle("/readyz", srv)
+	mux.Handle("/debug/bundle", srv)
 
 	// TwitInfo rides along: the dashboard handler mounts under
 	// /twitinfo/, fed by a tracking query on the same engine — one
@@ -130,6 +153,19 @@ func main() {
 		}
 		if _, err := twitinfo.StartTracking(ctx, eng, tr); err != nil {
 			fatal(logger, "twitinfo tracking failed", err)
+		}
+		// Ops dashboard: the same event-timeline view pointed at the
+		// engine's own output-lag telemetry — peaks in this timeline are
+		// latency spikes, labeled by the offending series.
+		if *sysStreams {
+			const opsMetric = "output_lag_p99"
+			opsTr, err := tstore.Create(twitinfo.OpsEventConfig(opsMetric, *sysSampleEvery))
+			if err != nil {
+				fatal(logger, "twitinfo ops event create failed", err)
+			}
+			if _, err := twitinfo.StartOpsTracking(ctx, eng, opsTr, opsMetric); err != nil {
+				fatal(logger, "twitinfo ops tracking failed", err)
+			}
 		}
 		mux.Handle("/twitinfo/", http.StripPrefix("/twitinfo",
 			twitinfo.Handler(tstore, twitinfo.DashboardOptions{})))
@@ -219,6 +255,27 @@ func feed(ctx context.Context, stream *tweeql.Stream, speedup float64, loop bool
 		default:
 		}
 	}
+}
+
+// loadAlertSpecs reads an -alerts-file: either a bare JSON array of
+// alert specs or an object with an "alerts" array (the same shape
+// GET /api/alerts returns, so a snapshot can be replayed).
+func loadAlertSpecs(path string) ([]server.AlertSpec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var specs []server.AlertSpec
+	if err := json.Unmarshal(data, &specs); err == nil {
+		return specs, nil
+	}
+	var wrapped struct {
+		Alerts []server.AlertSpec `json:"alerts"`
+	}
+	if err := json.Unmarshal(data, &wrapped); err != nil {
+		return nil, fmt.Errorf("%s: want a JSON array of alert specs or {\"alerts\": [...]}: %w", path, err)
+	}
+	return wrapped.Alerts, nil
 }
 
 // scenarioEvent picks the TwitInfo event definition for the scenario:

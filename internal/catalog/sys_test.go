@@ -1,0 +1,114 @@
+package catalog
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"tweeql/internal/obs"
+	"tweeql/internal/value"
+)
+
+// tupleStr and tupleNum read a column kind-checked first (the
+// valuekind contract); a drifted kind reads as the zero value and
+// fails the assertion honestly.
+func tupleStr(row value.Tuple, col string) string {
+	if v := row.Get(col); v.Kind() == value.KindString {
+		return v.Str()
+	}
+	return ""
+}
+
+func tupleNum(row value.Tuple, col string) float64 {
+	if v := row.Get(col); v.Kind() == value.KindFloat || v.Kind() == value.KindInt {
+		return v.Num()
+	}
+	return 0
+}
+
+func TestEnableSysStreamsIdempotent(t *testing.T) {
+	c := New()
+	m1, e1 := c.EnableSysStreams()
+	m2, e2 := c.EnableSysStreams()
+	if m1 != m2 || e1 != e2 {
+		t.Fatal("EnableSysStreams not idempotent: second call returned new streams")
+	}
+	if m, e := c.SysStreams(); m != m1 || e != e1 {
+		t.Fatal("SysStreams does not return the registered streams")
+	}
+	// The streams resolve as ordinary FROM sources, case-insensitively.
+	if _, err := c.Source("$sys.metrics"); err != nil {
+		t.Fatalf("Source($sys.metrics): %v", err)
+	}
+	if _, err := c.Source("$SYS.EVENTS"); err != nil {
+		t.Fatalf("Source($SYS.EVENTS): %v", err)
+	}
+}
+
+func TestSysStreamsDisabledByDefault(t *testing.T) {
+	c := New()
+	if m, e := c.SysStreams(); m != nil || e != nil {
+		t.Fatal("SysStreams non-nil on a fresh catalog")
+	}
+	if _, err := c.Source("$sys.metrics"); err == nil {
+		t.Fatal("Source($sys.metrics) resolved without EnableSysStreams")
+	}
+}
+
+func TestMetricAndEventTuples(t *testing.T) {
+	at := time.Unix(1700000000, 0).UTC()
+	row := MetricTuple(obs.Metric{
+		Name:   "output_lag_p99",
+		Labels: `query="hot"`,
+		Value:  0.25,
+		At:     at,
+	})
+	if got := tupleStr(row, "name"); got != "output_lag_p99" {
+		t.Errorf("name = %q", got)
+	}
+	if got := tupleNum(row, "value"); got != 0.25 {
+		t.Errorf("value = %v", got)
+	}
+	if ts, err := row.Get("created_at").TimeVal(); err != nil || !ts.Equal(at) {
+		t.Errorf("created_at = %v, %v", ts, err)
+	}
+	if !row.TS.Equal(at) {
+		t.Errorf("tuple event time = %v, want %v", row.TS, at)
+	}
+
+	ev := EventTuple(obs.SysEvent{Kind: "scan_restart", Name: "twitter", Detail: "epoch 3", At: at})
+	if got := tupleStr(ev, "kind"); got != "scan_restart" {
+		t.Errorf("kind = %q", got)
+	}
+	if got := tupleStr(ev, "detail"); got != "epoch 3" {
+		t.Errorf("detail = %q", got)
+	}
+	if !ev.TS.Equal(at) {
+		t.Errorf("event tuple time = %v, want %v", ev.TS, at)
+	}
+}
+
+func TestPublishMetricsReachesSubscribers(t *testing.T) {
+	c := New()
+	metrics, _ := c.EnableSysStreams()
+	sub := metrics.Subscribe(SubOptions{Buffer: 16})
+	defer sub.Cancel()
+
+	at := time.Unix(1700000100, 0).UTC()
+	PublishMetrics(metrics, []obs.Metric{
+		{Name: "a", Value: 1, At: at},
+		{Name: "b", Value: 2, At: at},
+	})
+	PublishMetrics(metrics, nil) // no-op
+	PublishMetrics(nil, []obs.Metric{{Name: "x"}})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	rows, err := sub.Recv(ctx)
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	if len(rows) != 2 || tupleStr(rows[0], "name") != "a" || tupleNum(rows[1], "value") != 2 {
+		t.Fatalf("unexpected batch %v", rows)
+	}
+}

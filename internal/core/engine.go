@@ -122,10 +122,25 @@ type Options struct {
 	// TableRetainMaxAge deletes sealed segments whose newest row is
 	// older than this. 0 keeps everything.
 	TableRetainMaxAge time.Duration
+	// TableRetainMaxBytes caps the total bytes of sealed segments per
+	// persistent table, deleting the oldest beyond the budget — the
+	// natural retention unit for always-on logged system tables
+	// ($sys.metrics INTO TABLE). 0 keeps everything.
+	TableRetainMaxBytes int64
 	// TableMemRows caps each in-memory table: a ring buffer keeping the
 	// newest rows, so INTO TABLE without a data dir cannot exhaust
 	// memory under firehose load. 0 = catalog default (1Mi rows).
 	TableMemRows int
+
+	// SysStreams registers the built-in $sys.metrics and $sys.events
+	// catalog streams, making the engine's own telemetry queryable with
+	// ordinary TweeQL (windows, GROUP BY, peaks, INTO TABLE). Off by
+	// default: when false nothing is registered, no sampler runs, and
+	// the hot path is untouched. The serving layer starts the sampler
+	// that feeds the streams.
+	SysStreams bool
+	// SysSampleEvery is the self-observation sampling interval. 0 = 5s.
+	SysSampleEvery time.Duration
 
 	// Profiling attaches an observability profile (internal/obs) to
 	// every query: per-operator rows/latency/selectivity, the
@@ -191,6 +206,9 @@ func NewEngine(cat *catalog.Catalog, opts Options) *Engine {
 		opts.BatchWorkers = 1
 	}
 	cat.SetTableFactory(tableFactory(opts))
+	if opts.SysStreams {
+		cat.EnableSysStreams()
+	}
 	return &Engine{cat: cat, opts: opts, scans: newScanManager()}
 }
 
@@ -224,6 +242,7 @@ func tableFactory(opts Options) catalog.TableFactory {
 			Fsync:           fsync,
 			RetainSegments:  opts.TableRetainSegments,
 			RetainMaxAge:    opts.TableRetainMaxAge,
+			RetainMaxBytes:  opts.TableRetainMaxBytes,
 		})
 	}
 }

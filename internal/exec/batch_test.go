@@ -216,6 +216,51 @@ func TestBatchProjectMatchesTupleProject(t *testing.T) {
 	}
 }
 
+// TestProjectWildcardSchemaDrift pins the schema-drift guard: a
+// wildcard projection planned against an empty schema (a table that
+// had no rows at plan time) can still receive full-width rows from a
+// concurrent writer. The row must drop as an eval error — never panic
+// the pipeline on the NewTuple arity invariant.
+func TestProjectWildcardSchemaDrift(t *testing.T) {
+	rows := nRows(10)
+	items := []ProjItem{{Name: "*", Wildcard: true}}
+	empty := value.NewSchema() // what Table.Schema() reports while empty
+	ev := NewEvaluator(catalog.New())
+
+	t.Run("tuple", func(t *testing.T) {
+		stats := &Stats{}
+		got := collectTuples(ProjectStage(ev, items, empty, stats)(context.Background(), feedTuples(rows...)))
+		if len(got) != 0 {
+			t.Fatalf("drifted rows delivered: %d", len(got))
+		}
+		if n := stats.EvalErrors.Load(); n != int64(len(rows)) {
+			t.Fatalf("EvalErrors = %d, want %d", n, len(rows))
+		}
+	})
+	t.Run("batch", func(t *testing.T) {
+		for _, workers := range []int{1, 4} {
+			stats := &Stats{}
+			out := BatchProjectStage(ev, items, empty, workers, stats)(context.Background(), feedBatches(rows[:5], rows[5:]))
+			if got := collectTuples(FromBatches()(context.Background(), out)); len(got) != 0 {
+				t.Fatalf("workers=%d: drifted rows delivered: %d", workers, len(got))
+			}
+			if n := stats.EvalErrors.Load(); n != int64(len(rows)) {
+				t.Fatalf("workers=%d: EvalErrors = %d, want %d", workers, n, len(rows))
+			}
+		}
+	})
+	t.Run("async", func(t *testing.T) {
+		stats := &Stats{}
+		got := collectTuples(AsyncProjectStage(ev, items, empty, 4, 0, stats)(context.Background(), feedTuples(rows...)))
+		if len(got) != 0 {
+			t.Fatalf("drifted rows delivered: %d", len(got))
+		}
+		if n := stats.EvalErrors.Load(); n != int64(len(rows)) {
+			t.Fatalf("EvalErrors = %d, want %d", n, len(rows))
+		}
+	})
+}
+
 func TestBatchAggregateMatchesTupleAggregate(t *testing.T) {
 	// One-minute COUNT(*) windows grouped by parity over 5 minutes.
 	var rows []value.Tuple

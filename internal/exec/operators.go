@@ -2,6 +2,7 @@ package exec
 
 import (
 	"context"
+	"fmt"
 	"strconv"
 	"strings"
 	"sync"
@@ -333,6 +334,18 @@ func projectRowAppend(ctx context.Context, items []ProjItem, fns []CompiledExpr,
 			return arena[:start], value.Tuple{}, err
 		}
 		arena = append(arena, v)
+	}
+	// A wildcard copies however many cells the input row actually has,
+	// which can disagree with the schema the stage was planned against:
+	// a table that was empty at plan time (arity-0 schema) can receive
+	// concurrent appends before the scan runs, delivering full-width
+	// rows. Schema drift is a per-row data problem, not an invariant
+	// violation — drop the row with a noted error instead of letting
+	// NewTuple panic the pipeline.
+	if got := len(arena) - start; got != outSchema.Len() {
+		return arena[:start], value.Tuple{}, fmt.Errorf(
+			"exec: projected row arity %d != schema arity %d (input schema changed since plan)",
+			got, outSchema.Len())
 	}
 	// The three-index slice caps the row at its own cells, so later
 	// arena appends cannot alias it.

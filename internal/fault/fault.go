@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -167,6 +168,34 @@ func Fired(name string) int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.fired
+}
+
+// PointStatus is one armed point's snapshot, for the self-observation
+// sampler and the debug bundle.
+type PointStatus struct {
+	Name  string `json:"name"`
+	Mode  string `json:"mode"`
+	Seen  int    `json:"seen"`  // eligible calls observed
+	Fired int    `json:"fired"` // calls that actually fired
+}
+
+// Points snapshots every armed fault point, sorted by name. Empty when
+// nothing is armed (the common production state — the one atomic load
+// in Active gates the locking).
+func Points() []PointStatus {
+	if !Active() {
+		return nil
+	}
+	regMu.Lock()
+	ps := make([]PointStatus, 0, len(points))
+	for name, p := range points {
+		p.mu.Lock()
+		ps = append(ps, PointStatus{Name: name, Mode: p.spec.Mode.String(), Seen: p.seen, Fired: p.fired})
+		p.mu.Unlock()
+	}
+	regMu.Unlock()
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Name < ps[j].Name })
+	return ps
 }
 
 func lookup(name string) *point {

@@ -424,3 +424,63 @@ func TestSelectItemName(t *testing.T) {
 		t.Errorf("call name = %q", stmt.Items[1].Name())
 	}
 }
+
+// TestLexSigilIdents pins the sigil scan: ident-start runes that are
+// not ident-part runes ($, #, @) must still advance the lexer — a
+// regression here is an infinite loop, not a wrong token.
+func TestLexSigilIdents(t *testing.T) {
+	toks, err := Lex("$sys #tag @user $ # @")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var texts []string
+	for _, tk := range toks {
+		if tk.Kind == TokIdent {
+			texts = append(texts, tk.Text)
+		}
+	}
+	want := []string{"$sys", "#tag", "@user", "$", "#", "@"}
+	if len(texts) != len(want) {
+		t.Fatalf("idents = %q, want %q", texts, want)
+	}
+	for i := range want {
+		if texts[i] != want[i] {
+			t.Fatalf("idents = %q, want %q", texts, want)
+		}
+	}
+}
+
+func TestParseSystemStreamNames(t *testing.T) {
+	stmt, err := Parse(`SELECT name, value FROM $sys.metrics WHERE name = 'output_lag_p99' WINDOW 1 MINUTE`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.From.Name != "$sys.metrics" {
+		t.Fatalf("from = %q, want $sys.metrics", stmt.From.Name)
+	}
+	// Dotted names take aliases like any other source, and the alias
+	// qualifies columns as usual.
+	stmt, err = Parse(`SELECT m.value FROM $sys.metrics m WHERE m.name = 'x'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.From.Name != "$sys.metrics" || stmt.From.Alias != "m" {
+		t.Fatalf("from = %+v", stmt.From)
+	}
+	id, ok := stmt.Items[0].Expr.(*Ident)
+	if !ok || id.Qualifier != "m" || id.Name != "value" {
+		t.Fatalf("item0 = %v", stmt.Items[0].Expr)
+	}
+	// Round-trip: a dotted FROM name re-renders and re-parses.
+	stmt2, err := Parse(stmt.String())
+	if err != nil {
+		t.Fatalf("round-trip of %q: %v", stmt.String(), err)
+	}
+	if stmt2.From.Name != "$sys.metrics" {
+		t.Fatalf("round-trip from = %q", stmt2.From.Name)
+	}
+	// A trailing dot with no identifier is a parse error, not a panic.
+	if _, err := Parse(`SELECT x FROM $sys.`); err == nil {
+		t.Error("dangling dot in FROM should fail")
+	}
+}

@@ -144,6 +144,10 @@ func Lex(input string) ([]Token, error) {
 			toks = append(toks, Token{Kind: TokNumber, Text: text, Norm: text, Pos: start})
 		case isIdentStart(rune(c)):
 			start := i
+			// Consume the start rune unconditionally: sigils ($, #, @)
+			// begin an identifier but are not ident-part runes, so the
+			// part loop alone would never advance past them.
+			i++
 			for i < n && isIdentPart(rune(input[i])) {
 				i++
 			}
@@ -186,7 +190,10 @@ func Lex(input string) ([]Token, error) {
 }
 
 func isIdentStart(r rune) bool {
-	return unicode.IsLetter(r) || r == '_' || r == '#' || r == '@'
+	// '$' admits the built-in system catalog names ($sys): dotted refs
+	// like $sys.metrics lex as ident '.' ident and fold back together in
+	// the parser's table-reference rule.
+	return unicode.IsLetter(r) || r == '_' || r == '#' || r == '@' || r == '$'
 }
 
 func isIdentPart(r rune) bool {

@@ -277,7 +277,18 @@ func (p *parser) parseTableRef() (TableRef, error) {
 	if err != nil {
 		return TableRef{}, err
 	}
-	tr := TableRef{Name: name.Text}
+	full := name.Text
+	// Dotted source names ($sys.metrics, $sys.events) fold into one FROM
+	// name: TweeQL has no schema qualification between FROM and its
+	// source, so every dot here is part of the catalog name itself.
+	for p.accept(TokSymbol, ".") {
+		part, err := p.expect(TokIdent, "")
+		if err != nil {
+			return TableRef{}, err
+		}
+		full += "." + part.Text
+	}
+	tr := TableRef{Name: full}
 	if p.accept(TokKeyword, "AS") {
 		alias, err := p.expect(TokIdent, "")
 		if err != nil {

@@ -202,6 +202,37 @@ func (s HistSnapshot) Quantile(q float64) float64 {
 	return s.Bounds[len(s.Bounds)-1]
 }
 
+// Delta subtracts an earlier snapshot of the same histogram bucket-by-
+// bucket, yielding the distribution of only the observations that
+// arrived between the two snapshots. Cumulative quantiles never
+// decrease, so interval deltas are what a latency alert must watch to
+// ever resolve. A mismatched or empty prev (different ladder, or the
+// histogram was swapped out) falls back to s unchanged; negative
+// residues clamp to zero.
+func (s HistSnapshot) Delta(prev HistSnapshot) HistSnapshot {
+	if len(prev.Counts) != len(s.Counts) || len(s.Counts) == 0 {
+		return s
+	}
+	d := HistSnapshot{
+		Bounds: s.Bounds,
+		Counts: make([]int64, len(s.Counts)),
+	}
+	for i, c := range s.Counts {
+		dc := c - prev.Counts[i]
+		if dc < 0 {
+			dc = 0
+		}
+		d.Counts[i] = dc
+		d.Count += dc
+	}
+	if d.Sum = s.Sum - prev.Sum; d.Sum < 0 {
+		d.Sum = 0
+	}
+	d.P50 = d.Quantile(0.50)
+	d.P99 = d.Quantile(0.99)
+	return d
+}
+
 // Mean is the average observation in seconds (0 when empty).
 func (s HistSnapshot) Mean() float64 {
 	if s.Count == 0 {

@@ -1,0 +1,227 @@
+// Self-observation primitives: typed metric/event rows and the sampler
+// that periodically turns live telemetry (profiles, scans, tables,
+// breakers, subscriber counters) into rows for the engine's built-in
+// $sys.metrics and $sys.events catalog streams — "metrics as data",
+// the same move the paper makes with tweets. The types here are
+// deliberately engine-agnostic: obs stays at the bottom of the import
+// graph, so the sampler takes a collect callback and a publish
+// callback instead of knowing what a registry or a catalog is.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metric is one sampled measurement, one row of the $sys.metrics
+// stream: a short metric name, a rendered label set, the value, and
+// the sample time (the row's event time, so windows and INTO TABLE
+// partition on it).
+type Metric struct {
+	Name   string
+	Labels string // `k="v",k2="v2"` pairs, "" when unlabeled
+	Value  float64
+	At     time.Time
+}
+
+// RenderLabels renders alternating key, value arguments as a stable
+// Prometheus-style label string: keys sorted, values quoted. A
+// trailing unpaired key is ignored.
+func RenderLabels(kv ...string) string {
+	n := len(kv) / 2
+	if n == 0 {
+		return ""
+	}
+	pairs := make([]string, 0, n)
+	for i := 0; i+1 < len(kv); i += 2 {
+		pairs = append(pairs, fmt.Sprintf("%s=%q", kv[i], kv[i+1]))
+	}
+	sort.Strings(pairs)
+	return strings.Join(pairs, ",")
+}
+
+// SysEvent is one system lifecycle event, one row of the $sys.events
+// stream: registry lifecycle (query created/paused/dropped), scan
+// restarts, degradations, alert transitions, fault firings.
+type SysEvent struct {
+	Kind   string    `json:"kind"`   // e.g. "query_created", "scan_restart", "alert_firing"
+	Name   string    `json:"name"`   // the subject: query/scan/alert/fault-point name
+	Detail string    `json:"detail"` // human-readable specifics, may be ""
+	At     time.Time `json:"at"`
+}
+
+// EventLog collects recent system events in a bounded ring and hands
+// each one to an optional sink (the $sys.events stream publisher). A
+// nil *EventLog is the disabled state: Emit is a free no-op, mirroring
+// the nil-Profile discipline, so event call sites never need a gate.
+type EventLog struct {
+	now  func() time.Time
+	sink func(SysEvent) // may be nil; called outside the ring lock
+
+	mu    sync.Mutex
+	ring  []SysEvent
+	next  int
+	total int64
+}
+
+// NewEventLog builds an event log retaining the last capacity events
+// (<= 0 means 1024). sink, when non-nil, receives every event after it
+// lands in the ring; now overrides the clock (nil = time.Now).
+func NewEventLog(capacity int, now func() time.Time, sink func(SysEvent)) *EventLog {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &EventLog{now: now, sink: sink, ring: make([]SysEvent, 0, capacity)}
+}
+
+// Emit records one event. Nil-safe.
+func (l *EventLog) Emit(kind, name, detail string) {
+	if l == nil {
+		return
+	}
+	ev := SysEvent{Kind: kind, Name: name, Detail: detail, At: l.now()}
+	l.mu.Lock()
+	if len(l.ring) < cap(l.ring) {
+		l.ring = append(l.ring, ev)
+	} else {
+		l.ring[l.next] = ev
+	}
+	l.next = (l.next + 1) % cap(l.ring)
+	l.total++
+	l.mu.Unlock()
+	// The sink may fan out to blocking subscribers; never call it under
+	// the ring lock.
+	if l.sink != nil {
+		l.sink(ev)
+	}
+}
+
+// Recent returns up to n of the newest events, oldest first. Nil-safe.
+func (l *EventLog) Recent(n int) []SysEvent {
+	if l == nil || n <= 0 {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	size := len(l.ring)
+	if n > size {
+		n = size
+	}
+	out := make([]SysEvent, 0, n)
+	// Oldest retained event sits at next when the ring wrapped, at 0
+	// before that.
+	start := 0
+	if size == cap(l.ring) {
+		start = l.next
+	}
+	for i := size - n; i < size; i++ {
+		out = append(out, l.ring[(start+i)%size])
+	}
+	return out
+}
+
+// Total reports how many events were ever emitted (including ones the
+// ring has since overwritten). Nil-safe.
+func (l *EventLog) Total() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Sampler periodically snapshots a collector into Metric rows and
+// hands them to a publisher. It owns one goroutine between Start and
+// Close; an injectable clock keeps interval math testable. The
+// disabled state is simply "no sampler constructed" — the engine's hot
+// paths never consult it, so -sys-streams=false costs zero.
+type Sampler struct {
+	every   time.Duration
+	now     func() time.Time
+	collect func(now time.Time) []Metric
+	publish func([]Metric)
+
+	samples atomic.Int64
+	stop    chan struct{}
+	done    chan struct{}
+	started atomic.Bool
+}
+
+// NewSampler builds a sampler ticking every interval (<= 0 means 5s).
+// collect builds the rows for one sample; publish delivers them (both
+// required). now overrides the clock (nil = time.Now).
+func NewSampler(every time.Duration, now func() time.Time,
+	collect func(now time.Time) []Metric, publish func([]Metric)) *Sampler {
+	if every <= 0 {
+		every = 5 * time.Second
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Sampler{
+		every:   every,
+		now:     now,
+		collect: collect,
+		publish: publish,
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+}
+
+// SampleOnce runs one synchronous collect+publish cycle — the ticker's
+// body, also callable directly (tests, the debug bundle's one-shot
+// snapshot).
+func (s *Sampler) SampleOnce() {
+	rows := s.collect(s.now())
+	if len(rows) > 0 {
+		s.publish(rows)
+	}
+	s.samples.Add(1)
+}
+
+// Samples reports completed sample cycles.
+func (s *Sampler) Samples() int64 { return s.samples.Load() }
+
+// Every reports the sampling interval.
+func (s *Sampler) Every() time.Duration { return s.every }
+
+// Start launches the sampling loop. Second and later calls are no-ops.
+func (s *Sampler) Start() {
+	if s.started.Swap(true) {
+		return
+	}
+	go func() {
+		defer close(s.done)
+		t := time.NewTicker(s.every)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				s.SampleOnce()
+			case <-s.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Close stops the sampling loop and waits for it to exit. Safe to call
+// more than once, and without Start.
+func (s *Sampler) Close() {
+	select {
+	case <-s.stop:
+	default:
+		close(s.stop)
+	}
+	if s.started.Load() {
+		<-s.done
+	}
+}

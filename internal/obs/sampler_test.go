@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRenderLabels(t *testing.T) {
+	cases := []struct {
+		in   []string
+		want string
+	}{
+		{nil, ""},
+		{[]string{"query", "hot"}, `query="hot"`},
+		{[]string{"z", "1", "a", "2"}, `a="2",z="1"`},
+		{[]string{"k", `va"l`}, `k="va\"l"`},
+		{[]string{"dangling"}, ""},
+	}
+	for _, c := range cases {
+		if got := RenderLabels(c.in...); got != c.want {
+			t.Errorf("RenderLabels(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestEventLogNilSafe(t *testing.T) {
+	var l *EventLog
+	l.Emit("query_created", "x", "")
+	if got := l.Recent(10); got != nil {
+		t.Fatalf("nil log Recent = %v, want nil", got)
+	}
+	if got := l.Total(); got != 0 {
+		t.Fatalf("nil log Total = %d, want 0", got)
+	}
+}
+
+func TestEventLogRingAndSink(t *testing.T) {
+	var sunk []SysEvent
+	clk := time.Unix(100, 0)
+	l := NewEventLog(4, func() time.Time { return clk }, func(ev SysEvent) {
+		sunk = append(sunk, ev)
+	})
+	for i := 0; i < 6; i++ {
+		l.Emit("kind", fmt.Sprintf("ev%d", i), "")
+	}
+	if got := l.Total(); got != 6 {
+		t.Fatalf("Total = %d, want 6", got)
+	}
+	if len(sunk) != 6 {
+		t.Fatalf("sink saw %d events, want 6", len(sunk))
+	}
+	recent := l.Recent(10)
+	if len(recent) != 4 {
+		t.Fatalf("Recent returned %d events, want 4 (ring capacity)", len(recent))
+	}
+	for i, ev := range recent {
+		want := fmt.Sprintf("ev%d", i+2) // ev0, ev1 overwritten
+		if ev.Name != want {
+			t.Errorf("recent[%d].Name = %q, want %q", i, ev.Name, want)
+		}
+		if !ev.At.Equal(clk) {
+			t.Errorf("recent[%d].At = %v, want injected clock %v", i, ev.At, clk)
+		}
+	}
+	if got := l.Recent(2); len(got) != 2 || got[1].Name != "ev5" {
+		t.Fatalf("Recent(2) = %v, want newest two ending in ev5", got)
+	}
+}
+
+func TestEventLogConcurrent(t *testing.T) {
+	l := NewEventLog(32, nil, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Emit("k", fmt.Sprintf("g%d-%d", g, i), "")
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := l.Total(); got != 800 {
+		t.Fatalf("Total = %d, want 800", got)
+	}
+	if got := len(l.Recent(1000)); got != 32 {
+		t.Fatalf("Recent holds %d, want ring capacity 32", got)
+	}
+}
+
+func TestSamplerSampleOnce(t *testing.T) {
+	clk := time.Unix(42, 0)
+	var published [][]Metric
+	s := NewSampler(time.Second, func() time.Time { return clk },
+		func(now time.Time) []Metric {
+			return []Metric{{Name: "m", Value: 1, At: now}}
+		},
+		func(rows []Metric) { published = append(published, rows) })
+	s.SampleOnce()
+	s.SampleOnce()
+	if s.Samples() != 2 {
+		t.Fatalf("Samples = %d, want 2", s.Samples())
+	}
+	if len(published) != 2 || published[0][0].At != clk {
+		t.Fatalf("publish saw %v, want two batches stamped %v", published, clk)
+	}
+}
+
+func TestSamplerEmptyCollectSkipsPublish(t *testing.T) {
+	calls := 0
+	s := NewSampler(time.Second, nil,
+		func(time.Time) []Metric { return nil },
+		func([]Metric) { calls++ })
+	s.SampleOnce()
+	if calls != 0 {
+		t.Fatalf("publish called %d times on empty collect, want 0", calls)
+	}
+}
+
+func TestSamplerStartClose(t *testing.T) {
+	done := make(chan struct{})
+	var once sync.Once
+	s := NewSampler(time.Millisecond, nil,
+		func(now time.Time) []Metric { return []Metric{{Name: "tick", At: now}} },
+		func([]Metric) { once.Do(func() { close(done) }) })
+	s.Start()
+	s.Start() // second Start is a no-op
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("sampler never ticked")
+	}
+	s.Close()
+	s.Close() // idempotent
+	after := s.Samples()
+	select {
+	case <-s.done:
+	default:
+		t.Fatal("loop still running after Close")
+	}
+	if after == 0 {
+		t.Fatal("Samples = 0 after observed tick")
+	}
+}
+
+func TestSamplerCloseWithoutStart(t *testing.T) {
+	s := NewSampler(time.Second, nil,
+		func(time.Time) []Metric { return nil }, func([]Metric) {})
+	s.Close() // must not hang waiting for a loop that never started
+}
+
+func TestHistSnapshotDelta(t *testing.T) {
+	h := NewLatencyHistogram()
+	h.Observe(2 * time.Millisecond)
+	h.Observe(2 * time.Millisecond)
+	prev := h.Snapshot()
+	// Interval traffic is much slower than the cumulative history.
+	for i := 0; i < 100; i++ {
+		h.Observe(500 * time.Millisecond)
+	}
+	cur := h.Snapshot()
+	d := cur.Delta(prev)
+	if d.Count != 100 {
+		t.Fatalf("delta Count = %d, want 100", d.Count)
+	}
+	if d.P99 < 0.25 || d.P99 > 1.1 {
+		t.Fatalf("delta P99 = %v, want ~0.5s bucket", d.P99)
+	}
+	if cur.Quantile(0.5) >= d.Quantile(0.5) {
+		// Cumulative median is dragged down by the 2ms warm-up samples
+		// only slightly; the point is they differ.
+		t.Logf("cumulative p50 %v vs delta p50 %v", cur.Quantile(0.5), d.Quantile(0.5))
+	}
+	if d.Sum <= 0 || d.Sum > cur.Sum {
+		t.Fatalf("delta Sum = %v out of range (cur %v)", d.Sum, cur.Sum)
+	}
+
+	// Mismatched ladders fall back to the current snapshot.
+	other := NewLagHistogram().Snapshot()
+	if got := cur.Delta(other); got.Count != cur.Count {
+		t.Fatalf("mismatched-ladder Delta.Count = %d, want %d", got.Count, cur.Count)
+	}
+	// Delta against itself is empty.
+	if got := cur.Delta(cur); got.Count != 0 || got.P99 != 0 {
+		t.Fatalf("self Delta = %+v, want empty", got)
+	}
+}

@@ -1,0 +1,486 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tweeql/internal/catalog"
+	"tweeql/internal/core"
+	"tweeql/internal/fault"
+	"tweeql/internal/tweet"
+	"tweeql/internal/twitterapi"
+	"tweeql/internal/value"
+)
+
+// newSysDeployment is newTestDeployment with self-observation on: the
+// $sys streams registered and the sampler ticking fast enough for
+// tests to see transitions.
+func newSysDeployment(t *testing.T, dataDir string, sampleEvery time.Duration) (*core.Engine, *twitterapi.Hub, *Server) {
+	t.Helper()
+	cat := catalog.New()
+	hub := twitterapi.NewHub()
+	cat.RegisterSource("twitter", catalog.NewTwitterSource(hub, nil))
+	// The standard UDF library, like the daemon facade wires it: the
+	// fault drills hang latency off udf.sentiment.call.
+	if err := core.RegisterStandardUDFs(cat, core.Deps{}); err != nil {
+		t.Fatal(err)
+	}
+	opts := core.DefaultOptions()
+	opts.BatchFlushEvery = 2 * time.Millisecond
+	opts.DataDir = dataDir
+	opts.SysStreams = true
+	opts.SysSampleEvery = sampleEvery
+	eng := core.NewEngine(cat, opts)
+	srv, err := New(eng, Options{DataDir: dataDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, hub, srv
+}
+
+func TestAlertSpecValidate(t *testing.T) {
+	bad := []AlertSpec{
+		{Name: "", SQL: "SELECT 1", Condition: CondAbove},
+		{Name: "x y", SQL: "SELECT 1", Condition: CondAbove},
+		{Name: "a", SQL: "  ", Condition: CondAbove},
+		{Name: "a", SQL: "SELECT 1"},
+		{Name: "a", SQL: "SELECT 1", Condition: "sideways"},
+		{Name: "a", SQL: "SELECT 1", Condition: CondAbove, For: "soon"},
+		{Name: "a", SQL: "SELECT 1", Condition: CondAbove, For: "-5s"},
+		{Name: "a", SQL: "SELECT 1", Condition: CondPeak, PeakBin: "0s"},
+	}
+	for i, spec := range bad {
+		if err := spec.validate(); err == nil {
+			t.Errorf("spec %d (%+v): want validation error", i, spec)
+		}
+	}
+	good := AlertSpec{Name: "lag", SQL: "SELECT 1", Condition: CondAbove, Threshold: 1, For: "10s"}
+	if err := good.validate(); err != nil {
+		t.Fatalf("good spec rejected: %v", err)
+	}
+	if good.Column != "value" {
+		t.Fatalf("column default: got %q, want value", good.Column)
+	}
+}
+
+// nowTweet is mkTweet with a wall-clock event time: output lag is
+// measured against created_at, so the lag drills need tweets stamped
+// "now" — mkTweet's synthetic 1970 timestamps read as decades of lag.
+func nowTweet(id int64, text string) *tweet.Tweet {
+	tw := mkTweet(id, text, 1000+id)
+	tw.CreatedAt = time.Now().UTC()
+	return tw
+}
+
+// feedNow publishes now-stamped tweets every 5ms until stop closes.
+func feedNow(hub *twitterapi.Hub, text string, stop chan struct{}, done *sync.WaitGroup) {
+	defer done.Done()
+	for i := int64(1); ; i++ {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		hub.Publish(nowTweet(i, text))
+		select {
+		case <-stop:
+			return
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// metricRow builds one $sys.metrics-shaped tuple at event time ts.
+func metricRow(name string, v float64, ts time.Time) value.Tuple {
+	return value.NewTuple(catalog.SysMetricsSchema, []value.Value{
+		value.String(name),
+		value.String(""),
+		value.Float(v),
+		value.Time(ts),
+	}, ts)
+}
+
+// newBareAlert wires an alert to a throwaway manager so observe() can
+// be driven directly with synthetic rows — the state machine is pure
+// event time, so transitions land on exact row timestamps.
+func newBareAlert(spec AlertSpec) *alert {
+	m := &alertManager{
+		log:    discardLogger,
+		bcast:  catalog.NewDerivedStream("$sys.alerts", alertTransitionSchema),
+		alerts: make(map[string]*alert),
+	}
+	return &alert{mgr: m, spec: spec, state: AlertInactive, done: make(chan struct{})}
+}
+
+// TestAlertExactTransitionTimestamps drives the state machine with
+// hand-timed rows and asserts each transition lands on the exact event
+// time of the row that caused it — including the both-direction
+// hysteresis: a breach must hold `for` before firing, a clear must
+// hold `for` before resolving, and a mid-firing dip shorter than `for`
+// must not flap the alert.
+func TestAlertExactTransitionTimestamps(t *testing.T) {
+	base := time.Date(2011, 6, 1, 12, 0, 0, 0, time.UTC)
+	at := func(sec int) time.Time { return base.Add(time.Duration(sec) * time.Second) }
+	a := newBareAlert(AlertSpec{
+		Name: "lag", SQL: "unused", Column: "value",
+		Condition: CondAbove, Threshold: 1.0, For: "10s",
+	})
+
+	steps := []struct {
+		sec   int
+		v     float64
+		state string
+	}{
+		{0, 0.2, AlertInactive},  // healthy
+		{5, 2.0, AlertPending},   // breach begins
+		{10, 2.0, AlertPending},  // held 5s < for
+		{15, 2.0, AlertFiring},   // held 10s = for
+		{17, 0.3, AlertFiring},   // dip: clear clock starts
+		{20, 2.0, AlertFiring},   // breach back before for: no flap
+		{25, 0.3, AlertFiring},   // clear clock restarts
+		{30, 0.3, AlertFiring},   // clear 5s < for
+		{35, 0.3, AlertResolved}, // clear 10s = for
+	}
+	for _, step := range steps {
+		a.observe(metricRow("output_lag_p99", step.v, at(step.sec)))
+		if st := a.status(); st.State != step.state {
+			t.Fatalf("t=%ds v=%g: state %s, want %s", step.sec, step.v, st.State, step.state)
+		}
+	}
+	st := a.status()
+	if !st.FiredAt.Equal(at(15)) {
+		t.Errorf("FiredAt %v, want %v (the row that completed the for-duration)", st.FiredAt, at(15))
+	}
+	if !st.ResolvedAt.Equal(at(35)) {
+		t.Errorf("ResolvedAt %v, want %v", st.ResolvedAt, at(35))
+	}
+	if !st.Since.Equal(at(35)) {
+		t.Errorf("Since %v, want %v", st.Since, at(35))
+	}
+	if st.Transitions != 3 { // pending, firing, resolved — no flaps
+		t.Errorf("Transitions %d, want 3", st.Transitions)
+	}
+	if st.Evaluations != int64(len(steps)) {
+		t.Errorf("Evaluations %d, want %d", st.Evaluations, len(steps))
+	}
+
+	// Re-breach after resolve: the machine re-arms through pending.
+	a.observe(metricRow("output_lag_p99", 3.0, at(40)))
+	if st := a.status(); st.State != AlertPending || !st.Since.Equal(at(40)) {
+		t.Errorf("re-breach: state %s since %v, want pending since %v", st.State, st.Since, at(40))
+	}
+}
+
+// TestAlertImmediateTransitions: with no for-duration the machine
+// skips pending entirely and resolves on the first clean row.
+func TestAlertImmediateTransitions(t *testing.T) {
+	base := time.Date(2011, 6, 1, 12, 0, 0, 0, time.UTC)
+	a := newBareAlert(AlertSpec{
+		Name: "hot", SQL: "unused", Column: "value",
+		Condition: CondAbove, Threshold: 10,
+	})
+	a.observe(metricRow("m", 11, base))
+	if st := a.status(); st.State != AlertFiring || !st.FiredAt.Equal(base) {
+		t.Fatalf("got %s fired_at %v, want firing at %v", st.State, st.FiredAt, base)
+	}
+	a.observe(metricRow("m", 9, base.Add(time.Second)))
+	if st := a.status(); st.State != AlertResolved {
+		t.Fatalf("got %s, want resolved", st.State)
+	}
+}
+
+// TestAlertLifecycleWithLatencyFault is the end-to-end drill: a
+// latency fault on the sentiment UDF inflates the engine's own
+// output-lag telemetry, a threshold alert over $sys.metrics walks
+// pending→firing, and disarming the fault resolves it. The transition
+// stream is observed via the same broadcaster the SSE endpoint serves.
+func TestAlertLifecycleWithLatencyFault(t *testing.T) {
+	defer fault.Reset()
+	eng, hub, srv := newSysDeployment(t, "", 10*time.Millisecond)
+	defer eng.Close()
+	defer hub.Close()
+	defer srv.Close(t.Context())
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Observe transitions exactly as /api/alerts/stream would.
+	sub := srv.alerts.Broadcaster().Subscribe(catalog.SubOptions{Buffer: 64})
+	defer sub.Cancel()
+	var mu sync.Mutex
+	var transitions []string
+	go func() {
+		for {
+			rows, err := sub.Recv(t.Context())
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			for _, row := range rows {
+				transitions = append(transitions, fieldStr(row, "state"))
+			}
+			mu.Unlock()
+		}
+	}()
+	seen := func() []string {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]string(nil), transitions...)
+	}
+
+	// 250ms per sentiment call dwarfs the 50ms threshold; the no-fault
+	// differential below shows the same pipeline sits far under it.
+	disarm, err := fault.ArmSpec("udf.sentiment.call:latency,d=250ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disarm()
+
+	createQuery(t, ts.URL, "scored", `SELECT text, sentiment(text) FROM twitter`)
+	resp := postJSON(t, ts.URL+"/api/alerts", AlertSpec{
+		Name:      "lag",
+		SQL:       `SELECT name, labels, value, created_at FROM $sys.metrics WHERE name = 'output_lag_p99'`,
+		Condition: CondAbove,
+		Threshold: 0.05,
+		For:       "30ms",
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create alert: %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Feed tweets until the inflated lag pushes the alert to firing.
+	stop := make(chan struct{})
+	var feeder sync.WaitGroup
+	feeder.Add(1)
+	go feedNow(hub, "alert drill", stop, &feeder)
+	defer func() { // safety net if an assertion fails before the stop below
+		select {
+		case <-stop:
+		default:
+			close(stop)
+		}
+		feeder.Wait()
+	}()
+	waitFor(t, 30*time.Second, "alert firing", func() bool {
+		st, ok := srv.alerts.Get("lag")
+		return ok && st.State == AlertFiring
+	})
+	st, _ := srv.alerts.Get("lag")
+	if st.FiredAt.IsZero() || st.LastValue <= 0.05 {
+		t.Errorf("firing status: fired_at %v last_value %g", st.FiredAt, st.LastValue)
+	}
+
+	// Clear the fault but keep the flow: resolution needs healthy
+	// observations, and lag is only reported for intervals that
+	// delivered rows — a stopped pipeline has no lag, not zero lag.
+	disarm()
+	waitFor(t, 30*time.Second, "alert resolved", func() bool {
+		st, ok := srv.alerts.Get("lag")
+		return ok && st.State == AlertResolved
+	})
+	close(stop)
+	feeder.Wait()
+	st, _ = srv.alerts.Get("lag")
+	if st.ResolvedAt.Before(st.FiredAt) {
+		t.Errorf("resolved_at %v before fired_at %v", st.ResolvedAt, st.FiredAt)
+	}
+
+	// The broadcast transition order must be monotone through the
+	// lifecycle: pending before firing before resolved, no flapping.
+	waitFor(t, 10*time.Second, "transitions broadcast", func() bool {
+		return len(seen()) >= 3
+	})
+	got := seen()
+	idx := map[string]int{}
+	for i, s := range got {
+		if _, dup := idx[s]; dup {
+			t.Fatalf("state %q broadcast twice: %v (alert flapped)", s, got)
+		}
+		idx[s] = i
+	}
+	if !(idx[AlertPending] < idx[AlertFiring] && idx[AlertFiring] < idx[AlertResolved]) {
+		t.Fatalf("transition order %v, want pending < firing < resolved", got)
+	}
+
+	// The same lifecycle is visible on /metrics (resolved encodes 3).
+	code, body := scrape(t, ts.URL, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: %d", code)
+	}
+	if !strings.Contains(body, `tweeqld_alert_state{alert="lag"} 3`) {
+		t.Errorf("/metrics missing resolved alert gauge")
+	}
+}
+
+// TestAlertNoFaultDifferential is the control arm: identical pipeline
+// and alert rule, no fault. The alert must never leave inactive — the
+// proof that the drill above measures the fault, not noise, and that a
+// healthy signal does not flap the rule.
+func TestAlertNoFaultDifferential(t *testing.T) {
+	eng, hub, srv := newSysDeployment(t, "", 10*time.Millisecond)
+	defer eng.Close()
+	defer hub.Close()
+	defer srv.Close(t.Context())
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	createQuery(t, ts.URL, "scored", `SELECT text, sentiment(text) FROM twitter`)
+	resp := postJSON(t, ts.URL+"/api/alerts", AlertSpec{
+		Name:      "lag",
+		SQL:       `SELECT name, labels, value, created_at FROM $sys.metrics WHERE name = 'output_lag_p99'`,
+		Condition: CondAbove,
+		// The fault arm injects 250ms against this same threshold; a
+		// healthy pipeline's p99 lag sits around the 2ms batch flush.
+		Threshold: 2.0,
+		For:       "30ms",
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create alert: %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	stop := make(chan struct{})
+	var feeder sync.WaitGroup
+	feeder.Add(1)
+	go feedNow(hub, "calm seas", stop, &feeder)
+	waitFor(t, 20*time.Second, "rows flowed", func() bool {
+		return getStatus(t, ts.URL, "scored").RowsOut >= 200
+	})
+	// Let the alert see a healthy signal for many sampling intervals.
+	waitFor(t, 20*time.Second, "alert evaluated", func() bool {
+		st, ok := srv.alerts.Get("lag")
+		return ok && st.Evaluations >= 10
+	})
+	close(stop)
+	feeder.Wait()
+	st, _ := srv.alerts.Get("lag")
+	if st.State != AlertInactive || st.Transitions != 0 {
+		t.Fatalf("no-fault arm: state %s transitions %d (last value %g), want inactive/0",
+			st.State, st.Transitions, st.LastValue)
+	}
+}
+
+// TestAlertJournalRestart: journaled alerts survive a serving-layer
+// restart, dropped ones stay gone.
+func TestAlertJournalRestart(t *testing.T) {
+	dir := t.TempDir()
+	eng, hub, srv := newSysDeployment(t, dir, time.Hour)
+	spec := AlertSpec{Name: "lag", SQL: `SELECT name, labels, value, created_at FROM $sys.metrics`,
+		Condition: CondAbove, Threshold: 0.5, For: "10s"}
+	if _, err := srv.alerts.Create(spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.alerts.Create(AlertSpec{Name: "doomed", SQL: spec.SQL, Condition: CondBelow}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.alerts.Drop("doomed"); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	hub.Close()
+	eng.Close()
+
+	eng2, hub2, srv2 := newSysDeployment(t, dir, time.Hour)
+	defer eng2.Close()
+	defer hub2.Close()
+	defer srv2.Close(t.Context())
+	alerts := srv2.alerts.List()
+	if len(alerts) != 1 {
+		t.Fatalf("restored %d alerts, want 1: %+v", len(alerts), alerts)
+	}
+	got := alerts[0]
+	if got.Name != "lag" || got.Condition != CondAbove || got.Threshold != 0.5 || got.For != "10s" {
+		t.Fatalf("restored spec mismatch: %+v", got.AlertSpec)
+	}
+}
+
+// TestBootstrapAlertsIdempotent: the -alerts-file path skips names
+// that already exist instead of failing the daemon.
+func TestBootstrapAlertsIdempotent(t *testing.T) {
+	eng, hub, srv := newSysDeployment(t, "", time.Hour)
+	defer eng.Close()
+	defer hub.Close()
+	defer srv.Close(t.Context())
+	specs := []AlertSpec{
+		{Name: "a", SQL: "SELECT name, labels, value, created_at FROM $sys.metrics", Condition: CondAbove, Threshold: 1},
+		{Name: "b", SQL: "SELECT name, labels, value, created_at FROM $sys.metrics", Condition: CondBelow, Threshold: 1},
+	}
+	added, err := srv.BootstrapAlerts(specs)
+	if err != nil || added != 2 {
+		t.Fatalf("first bootstrap: added %d err %v", added, err)
+	}
+	added, err = srv.BootstrapAlerts(specs)
+	if err != nil || added != 0 {
+		t.Fatalf("rerun bootstrap: added %d err %v, want 0 nil", added, err)
+	}
+	if _, err := srv.BootstrapAlerts([]AlertSpec{{Name: "bad name!", SQL: "x", Condition: CondAbove}}); err == nil {
+		t.Fatal("invalid bootstrap spec: want error")
+	}
+}
+
+// TestAlertHTTPRoundTrip exercises the REST surface: create, list,
+// get, duplicate conflict, bad spec, drop, unknown 404.
+func TestAlertHTTPRoundTrip(t *testing.T) {
+	eng, hub, srv := newSysDeployment(t, "", time.Hour)
+	defer eng.Close()
+	defer hub.Close()
+	defer srv.Close(t.Context())
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	spec := AlertSpec{Name: "lag", SQL: `SELECT name, labels, value, created_at FROM $sys.metrics`,
+		Condition: CondAbove, Threshold: 1, For: "5s"}
+	resp := postJSON(t, ts.URL+"/api/alerts", spec)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	resp = postJSON(t, ts.URL+"/api/alerts", spec)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate: %d, want 409", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	resp = postJSON(t, ts.URL+"/api/alerts", AlertSpec{Name: "nope", SQL: "SELECT 1", Condition: "diagonal"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad condition: %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	var list struct {
+		Alerts []AlertStatus `json:"alerts"`
+	}
+	if code := getJSON(t, ts.URL+"/api/alerts", &list); code != http.StatusOK {
+		t.Fatalf("list: %d", code)
+	}
+	if len(list.Alerts) != 1 || list.Alerts[0].Name != "lag" {
+		t.Fatalf("list: %+v", list.Alerts)
+	}
+	var one AlertStatus
+	if code := getJSON(t, ts.URL+"/api/alerts/lag", &one); code != http.StatusOK {
+		t.Fatalf("get: %d", code)
+	}
+	if one.Condition != CondAbove || one.For != "5s" {
+		t.Fatalf("get: %+v", one)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/api/alerts/lag", nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil || dresp.StatusCode != http.StatusOK {
+		t.Fatalf("drop: %v %d", err, dresp.StatusCode)
+	}
+	dresp.Body.Close()
+
+	gresp, err := http.Get(ts.URL + "/api/alerts/lag")
+	if err != nil || gresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("get dropped: %v %d, want 404", err, gresp.StatusCode)
+	}
+	gresp.Body.Close()
+}

@@ -177,6 +177,110 @@ func compactJournal(path string, specs []journaledSpec) error {
 	return os.Rename(tmp, path)
 }
 
+// openRecordJournal opens a create/drop-only journal (the alerts
+// journal): replay to the surviving create records (torn tail
+// tolerated), compact, and reopen for appending. The query journal
+// keeps its own openJournal because it also reduces pause/resume.
+func openRecordJournal(dataDir, file string) (*journal, []journalRecord, error) {
+	if err := os.MkdirAll(dataDir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("server: journal dir: %w", err)
+	}
+	path := filepath.Join(dataDir, file)
+	recs, err := replayCreateDrop(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := compactCreates(path, recs); err != nil {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("server: journal open: %w", err)
+	}
+	return &journal{f: f, path: path}, recs, nil
+}
+
+// replayCreateDrop reduces a create/drop journal to its live creates,
+// in creation order.
+func replayCreateDrop(path string) ([]journalRecord, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("server: journal read: %w", err)
+	}
+	defer f.Close()
+	byName := make(map[string]journalRecord)
+	var order []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var rec journalRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			break // torn tail: keep every complete record before it
+		}
+		key := strings.ToLower(rec.Name)
+		switch rec.Op {
+		case opCreate:
+			if _, dup := byName[key]; dup {
+				continue
+			}
+			byName[key] = rec
+			order = append(order, key)
+		case opDrop:
+			if _, ok := byName[key]; ok {
+				delete(byName, key)
+				for i, n := range order {
+					if n == key {
+						order = append(order[:i], order[i+1:]...)
+						break
+					}
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("server: journal scan: %w", err)
+	}
+	out := make([]journalRecord, 0, len(order))
+	for _, key := range order {
+		out = append(out, byName[key])
+	}
+	return out, nil
+}
+
+// compactCreates atomically rewrites a create/drop journal as one
+// create per surviving record.
+func compactCreates(path string, recs []journalRecord) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("server: journal compact: %w", err)
+	}
+	enc := json.NewEncoder(f)
+	now := time.Now().UTC()
+	for _, rec := range recs {
+		rec.Op, rec.TS = opCreate, now
+		if err := enc.Encode(rec); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
 // append durably writes one record.
 func (j *journal) append(rec journalRecord) error {
 	rec.TS = time.Now().UTC()

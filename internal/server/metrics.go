@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"time"
@@ -58,7 +59,47 @@ func hist(b *strings.Builder, name, labels string, s obs.HistSnapshot) {
 // pre-rename families for dashboards still reading the old names.
 func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write([]byte(s.renderMetrics()))
+}
+
+// buildInfo resolves the daemon's identity from the binary itself:
+// module version, Go toolchain, and VCS revision when the build
+// embedded one. Test binaries and plain `go build` fall back to
+// "unknown" rather than omitting the series.
+func buildInfo() (version, goversion, revision string) {
+	version, goversion, revision = "unknown", "unknown", "unknown"
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return
+	}
+	if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		version = bi.Main.Version
+	}
+	if bi.GoVersion != "" {
+		goversion = bi.GoVersion
+	}
+	for _, kv := range bi.Settings {
+		if kv.Key == "vcs.revision" && kv.Value != "" {
+			revision = kv.Value
+		}
+	}
+	return
+}
+
+// renderMetrics builds the full exposition text. It is split from the
+// handler so the debug bundle can embed the same snapshot.
+func (s *Server) renderMetrics() string {
 	var b strings.Builder
+
+	// Identity first: which binary is this, and when did it start. The
+	// constant-1 build_info gauge is the Prometheus idiom for attaching
+	// version labels to every other series via group_left joins.
+	version, goversion, revision := buildInfo()
+	fam(&b, "tweeqld_build_info", "gauge", "Constant 1, labeled with the daemon's build identity.")
+	fmt.Fprintf(&b, "tweeqld_build_info{version=%q,goversion=%q,revision=%q} 1\n",
+		version, goversion, revision)
+	fam(&b, "process_start_time_seconds", "gauge", "Unix time the process started, in seconds.")
+	fmt.Fprintf(&b, "process_start_time_seconds %.3f\n", float64(s.started.UnixNano())/1e9)
 
 	fam(&b, "tweeqld_uptime_seconds", "gauge", "Seconds since the daemon started.")
 	fmt.Fprintf(&b, "tweeqld_uptime_seconds %.3f\n", time.Since(s.started).Seconds())
@@ -128,7 +169,9 @@ func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
 		if !ok {
 			continue
 		}
-		prof := q.Profile()
+		// Last-run profiles still render for paused/finished queries so a
+		// scrape straddling a pause does not drop series.
+		prof, _ := q.ProfileForServing()
 		if prof == nil {
 			continue
 		}
@@ -206,5 +249,20 @@ func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
 			hist(&b, "tweeqld_table_scan_latency_seconds", labels, scanLat)
 		}
 	}
-	w.Write([]byte(b.String()))
+
+	// Alerting layer: each rule's lifecycle state, so the thing watching
+	// the engine is itself watchable. 0 inactive, 1 pending, 2 firing,
+	// 3 resolved.
+	if s.alerts != nil {
+		if alerts := s.alerts.List(); len(alerts) > 0 {
+			fam(&b, "tweeqld_alert_state", "gauge", "Alert rule state: 0 inactive, 1 pending, 2 firing, 3 resolved.")
+			fam(&b, "tweeqld_alert_transitions_total", "counter", "State transitions the alert rule has made.")
+			for _, st := range alerts {
+				l := fmt.Sprintf("{alert=%q}", st.Name)
+				fmt.Fprintf(&b, "tweeqld_alert_state%s %g\n", l, alertGauge(st.State))
+				fmt.Fprintf(&b, "tweeqld_alert_transitions_total%s %d\n", l, st.Transitions)
+			}
+		}
+	}
+	return b.String()
 }

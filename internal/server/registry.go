@@ -144,6 +144,10 @@ type Query struct {
 	restarts  int
 	createdAt time.Time
 	startedAt time.Time
+	// lastProf retains the newest run's profile past the run itself, so
+	// /profile can serve a paused or completed query's numbers (marked
+	// stale) instead of erroring.
+	lastProf *obs.Profile
 }
 
 // nameRe bounds query (and snapshot-table) names: they appear in URLs,
@@ -188,6 +192,10 @@ type Registry struct {
 	journal *journal // nil when the registry is not durable
 	policy  RestartPolicy
 	log     *slog.Logger // never nil; discards when no logger was given
+	// events receives lifecycle events for the $sys.events stream and
+	// the debug bundle. Nil (the default) disables emission for free —
+	// obs.EventLog is nil-receiver safe.
+	events *obs.EventLog
 
 	// opMu serializes the mutating control-plane operations end-to-end
 	// (state change + journal append), so the journal's record order can
@@ -257,6 +265,11 @@ func NewRegistry(eng *core.Engine, dataDir string, policy RestartPolicy, log *sl
 	return r, nil
 }
 
+// SetEventLog attaches the registry's lifecycle-event sink. Call it
+// before serving traffic: emission sites read the field without
+// locking, relying on EventLog's nil-safety when never set.
+func (r *Registry) SetEventLog(l *obs.EventLog) { r.events = l }
+
 // Create registers and starts a new continuous query.
 func (r *Registry) Create(spec QuerySpec) (*Query, error) {
 	r.opMu.Lock()
@@ -322,6 +335,7 @@ func (r *Registry) create(spec QuerySpec, journal bool) (*Query, error) {
 		}
 	}
 	r.log.Info("query created", "query", spec.Name, "restart", spec.Restart, "sql", spec.SQL)
+	r.events.Emit("query_created", spec.Name, spec.SQL)
 	return q, nil
 }
 
@@ -398,6 +412,7 @@ func (r *Registry) pauseLocked(q *Query, journal bool) error {
 		cur.Stop()
 	}
 	r.log.Info("query paused", "query", q.spec.Name)
+	r.events.Emit("query_paused", q.spec.Name, "")
 	if journal && r.journal != nil {
 		return r.journal.append(journalRecord{Op: opPause, Name: q.spec.Name})
 	}
@@ -423,6 +438,7 @@ func (r *Registry) Resume(name string) error {
 		return err
 	}
 	r.log.Info("query resumed", "query", q.spec.Name)
+	r.events.Emit("query_resumed", q.spec.Name, "")
 	if r.journal != nil {
 		return r.journal.append(journalRecord{Op: opResume, Name: q.spec.Name})
 	}
@@ -462,6 +478,7 @@ func (r *Registry) Drop(name string) error {
 		bcast.CloseStream()
 	}
 	r.log.Info("query dropped", "query", name)
+	r.events.Emit("query_dropped", name, "")
 	if r.journal != nil {
 		return r.journal.append(journalRecord{Op: opDrop, Name: name})
 	}
@@ -542,6 +559,9 @@ func (q *Query) start() error {
 		return fmt.Errorf("%w: query %q is already running", errBadState, q.spec.Name)
 	}
 	q.cur = cur
+	if prof := cur.Profile(); prof != nil {
+		q.lastProf = prof
+	}
 	q.state = StateRunning
 	q.stateErr = ""
 	q.startedAt = now
@@ -625,6 +645,7 @@ func (q *Query) onRunEnd(epoch int, err error) {
 		q.state = StateDone
 		q.mu.Unlock()
 		q.reg.log.Info("query run ended", "query", q.spec.Name, "epoch", epoch)
+		q.reg.events.Emit("query_done", q.spec.Name, "")
 		return
 	}
 	q.stateErr = err.Error()
@@ -639,11 +660,14 @@ func (q *Query) onRunEnd(epoch int, err error) {
 		q.mu.Unlock()
 		q.reg.log.Warn("query run failed", "query", q.spec.Name, "epoch", epoch,
 			"error", err.Error(), "restarts_exhausted", q.spec.Restart)
+		q.reg.events.Emit("query_failed", q.spec.Name, err.Error())
 		return
 	}
 	q.restarts++
 	q.reg.log.Warn("query restart scheduled", "query", q.spec.Name, "epoch", epoch,
 		"error", err.Error(), "attempt", q.restarts, "backoff", policy.Backoff)
+	q.reg.events.Emit("query_restart", q.spec.Name,
+		fmt.Sprintf("attempt %d: %s", q.restarts, err.Error()))
 	// Clear the dead run's cursor so the restart passes start()'s
 	// duplicate-run guard (per-run stats reset with it; cumulative
 	// restart counts survive on the query).
@@ -683,6 +707,24 @@ func (q *Query) Profile() *obs.Profile {
 		return nil
 	}
 	return cur.Profile()
+}
+
+// ProfileForServing resolves the profile /profile should serve: the
+// live run's when one exists, otherwise the retained last run's with
+// stale=true — a paused or completed query's numbers are still the
+// numbers an operator debugging it needs. (nil, false) only when the
+// query never ran with profiling on.
+func (q *Query) ProfileForServing() (prof *obs.Profile, stale bool) {
+	q.mu.Lock()
+	running := q.state == StateRunning
+	cur, last := q.cur, q.lastProf
+	q.mu.Unlock()
+	if running && cur != nil {
+		if p := cur.Profile(); p != nil {
+			return p, false
+		}
+	}
+	return last, last != nil
 }
 
 // Status snapshots the query for the API and metrics.

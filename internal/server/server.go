@@ -56,17 +56,22 @@ func (o Options) withDefaults() Options {
 }
 
 // Server is the HTTP face of one engine: the query registry API,
-// result streaming, table snapshots, and metrics.
+// result streaming, table snapshots, alerting, self-observation, and
+// metrics.
 type Server struct {
 	eng     *core.Engine
 	reg     *Registry
 	opts    Options
 	mux     *http.ServeMux
 	started time.Time
+	alerts  *alertManager
+	sys     *sysObserver // nil unless the engine enabled $sys streams
 }
 
-// New builds a server over eng, restoring journaled queries when
-// opts.DataDir is set.
+// New builds a server over eng, restoring journaled queries and alerts
+// when opts.DataDir is set. When the engine registered the $sys
+// streams (core.Options.SysStreams), the server starts the sampler
+// feeding them and routes registry lifecycle events onto $sys.events.
 func New(eng *core.Engine, opts Options) (*Server, error) {
 	opts = opts.withDefaults()
 	reg, err := NewRegistry(eng, opts.DataDir, opts.Restart, opts.Logger)
@@ -74,6 +79,19 @@ func New(eng *core.Engine, opts Options) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{eng: eng, reg: reg, opts: opts, mux: http.NewServeMux(), started: time.Now()}
+	var events *obs.EventLog
+	if ms, _ := eng.Catalog().SysStreams(); ms != nil {
+		s.sys = newSysObserver(s)
+		events = s.sys.eventLog
+		reg.SetEventLog(events)
+	}
+	s.alerts, err = newAlertManager(eng, opts.DataDir, opts.Logger, events)
+	if err != nil {
+		return nil, err
+	}
+	if s.sys != nil {
+		s.sys.start()
+	}
 	s.mux.HandleFunc("GET /api/queries", s.listQueries)
 	s.mux.HandleFunc("POST /api/queries", s.createQuery)
 	s.mux.HandleFunc("GET /api/queries/{name}", s.getQuery)
@@ -84,6 +102,12 @@ func New(eng *core.Engine, opts Options) (*Server, error) {
 	s.mux.HandleFunc("GET /api/queries/{name}/profile", s.profileQuery)
 	s.mux.HandleFunc("GET /api/queries/{name}/trace", s.traceQuery)
 	s.mux.HandleFunc("GET /api/tables/{name}/snapshot", s.snapshotTable)
+	s.mux.HandleFunc("GET /api/alerts", s.listAlerts)
+	s.mux.HandleFunc("POST /api/alerts", s.createAlert)
+	s.mux.HandleFunc("GET /api/alerts/stream", s.streamAlerts)
+	s.mux.HandleFunc("GET /api/alerts/{name}", s.getAlert)
+	s.mux.HandleFunc("DELETE /api/alerts/{name}", s.dropAlert)
+	s.mux.HandleFunc("GET /debug/bundle", s.debugBundle)
 	s.mux.HandleFunc("GET /metrics", s.metrics)
 	s.mux.HandleFunc("GET /healthz", s.healthz)
 	s.mux.HandleFunc("GET /readyz", s.readyz)
@@ -93,13 +117,44 @@ func New(eng *core.Engine, opts Options) (*Server, error) {
 // Registry exposes the query registry (tests, embedding daemons).
 func (s *Server) Registry() *Registry { return s.reg }
 
+// BootstrapAlerts registers alert rules at startup (the daemon's
+// -alerts-file). Names that already exist are skipped, not errors:
+// journaled rules survive restarts, so re-running the same bootstrap
+// must be idempotent. It returns how many rules were newly added.
+func (s *Server) BootstrapAlerts(specs []AlertSpec) (int, error) {
+	added := 0
+	for _, spec := range specs {
+		if _, err := s.alerts.Create(spec); err != nil {
+			if errors.Is(err, errDuplicate) {
+				continue
+			}
+			return added, fmt.Errorf("alert %q: %w", spec.Name, err)
+		}
+		added++
+	}
+	return added, nil
+}
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Close stops every registered query, waits (bounded by ctx) for
-// routing to drain, ends all subscriber streams, and closes the
-// journal. Call the engine's Close after this returns.
-func (s *Server) Close(ctx context.Context) error { return s.reg.Close(ctx) }
+// Close stops the self-observation sampler and every alert rule, then
+// every registered query — waiting (bounded by ctx) for routing to
+// drain — ends all subscriber streams, and closes the journals. Call
+// the engine's Close after this returns.
+func (s *Server) Close(ctx context.Context) error {
+	if s.sys != nil {
+		s.sys.close()
+	}
+	var err error
+	if s.alerts != nil {
+		err = s.alerts.Close()
+	}
+	if rerr := s.reg.Close(ctx); err == nil {
+		err = rerr
+	}
+	return err
+}
 
 func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -234,18 +289,19 @@ func (s *Server) dropQuery(w http.ResponseWriter, r *http.Request) {
 //
 // Stages appear in pipeline order with rows in/out, selectivity,
 // observation counts, and latency count/sum/p50/p99; output_lag is the
-// ingest→delivery watermark-lag histogram. 409 when the query has no
-// live run or profiling is disabled.
+// ingest→delivery watermark-lag histogram. Paused and completed
+// queries serve their last run's profile marked "stale": true; 409
+// only when the query never ran with profiling enabled.
 func (s *Server) profileQuery(w http.ResponseWriter, r *http.Request) {
 	q, ok := s.reg.Get(r.PathValue("name"))
 	if !ok {
 		s.writeError(w, http.StatusNotFound, fmt.Errorf("unknown query %q", r.PathValue("name")))
 		return
 	}
-	prof := q.Profile()
+	prof, stale := q.ProfileForServing()
 	if prof == nil {
 		s.writeError(w, http.StatusConflict,
-			fmt.Errorf("query %q has no live profile (not running, or profiling disabled)", q.Spec().Name))
+			fmt.Errorf("query %q has no profile (never ran, or profiling disabled)", q.Spec().Name))
 		return
 	}
 	snap := prof.Snapshot()
@@ -260,6 +316,7 @@ func (s *Server) profileQuery(w http.ResponseWriter, r *http.Request) {
 	resp := map[string]any{
 		"query":      q.Spec().Name,
 		"profile_id": snap.ID,
+		"stale":      stale,
 		"stages":     stages,
 		"output_lag": snap.Lag,
 	}
@@ -285,14 +342,14 @@ func (s *Server) traceQuery(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusNotFound, fmt.Errorf("unknown query %q", r.PathValue("name")))
 		return
 	}
-	prof := q.Profile()
+	prof, _ := q.ProfileForServing()
 	var tr *obs.Tracer
 	if prof != nil {
 		tr = prof.Tracer()
 	}
 	if tr == nil {
 		s.writeError(w, http.StatusConflict,
-			fmt.Errorf("query %q has no trace (not running, or trace sampling disabled)", q.Spec().Name))
+			fmt.Errorf("query %q has no trace (never ran, or trace sampling disabled)", q.Spec().Name))
 		return
 	}
 	events := tr.Events()
@@ -383,6 +440,63 @@ func (s *Server) snapshotTable(w http.ResponseWriter, r *http.Request) {
 		"count":   len(rows),
 		"rows":    rows,
 	})
+}
+
+// listAlerts reports every alert rule's status in creation order.
+func (s *Server) listAlerts(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{"alerts": s.alerts.List()})
+}
+
+// createAlert registers a new alert rule:
+//
+//	POST /api/alerts
+//	{"name":"lag","sql":"SELECT * FROM $sys.metrics WHERE name = 'output_lag_p99'",
+//	 "condition":"above","threshold":0.5,"for":"10s"}
+func (s *Server) createAlert(w http.ResponseWriter, r *http.Request) {
+	var spec AlertSpec
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&spec); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad request: %w", err))
+		return
+	}
+	st, err := s.alerts.Create(spec)
+	if err != nil {
+		code := http.StatusBadRequest
+		switch {
+		case errors.Is(err, errJournal):
+			code = http.StatusInternalServerError
+		case errors.Is(err, errDuplicate):
+			code = http.StatusConflict
+		}
+		s.writeError(w, code, err)
+		return
+	}
+	s.writeJSON(w, http.StatusCreated, st)
+}
+
+func (s *Server) getAlert(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.alerts.Get(r.PathValue("name"))
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("unknown alert %q", r.PathValue("name")))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) dropAlert(w http.ResponseWriter, r *http.Request) {
+	if err := s.alerts.Drop(r.PathValue("name")); err != nil {
+		s.writeError(w, lifecycleCode(err), err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]string{"dropped": r.PathValue("name")})
+}
+
+// streamAlerts serves alert state transitions as SSE: one event per
+// pending/firing/resolved/inactive transition across every rule, rows
+// shaped {alert, state, value, created_at}.
+//
+//	GET /api/alerts/stream
+func (s *Server) streamAlerts(w http.ResponseWriter, r *http.Request) {
+	streamSSE(w, r, s.alerts.Broadcaster(), s.opts.StreamBuffer)
 }
 
 // rowMap converts one tuple to its JSON object form.

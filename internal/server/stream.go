@@ -140,6 +140,61 @@ func (s *Server) streamQuery(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// streamSSE is the generic SSE pump behind /api/alerts/stream: one
+// DropOldest subscription on bcast, rows as data: events, ping
+// heartbeats while idle, event: end when the stream closes.
+func streamSSE(w http.ResponseWriter, r *http.Request, bcast *catalog.DerivedStream, buffer int) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, `{"error":"response writer cannot stream"}`, http.StatusInternalServerError)
+		return
+	}
+	sub := bcast.Subscribe(catalog.SubOptions{Buffer: buffer})
+	defer sub.Cancel()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	fmt.Fprintf(w, ": stream %s columns=%s\n\n", bcast.Name(), mustJSON(bcast.Schema().Names()))
+	flusher.Flush()
+
+	var buf bytes.Buffer
+	for {
+		hb, cancel := context.WithTimeout(r.Context(), heartbeatEvery)
+		rows, err := sub.Recv(hb)
+		cancel()
+		switch {
+		case err == nil:
+		case errors.Is(err, context.DeadlineExceeded) && r.Context().Err() == nil:
+			if _, werr := fmt.Fprint(w, ": ping\n\n"); werr != nil {
+				return
+			}
+			flusher.Flush()
+			continue
+		default:
+			if errors.Is(err, catalog.ErrStreamClosed) {
+				fmt.Fprint(w, "event: end\ndata: {}\n\n")
+				flusher.Flush()
+			}
+			return
+		}
+		buf.Reset()
+		for _, row := range rows {
+			line, merr := json.Marshal(rowMap(row))
+			if merr != nil {
+				continue
+			}
+			buf.WriteString("data: ")
+			buf.Write(line)
+			buf.WriteString("\n\n")
+		}
+		if _, werr := w.Write(buf.Bytes()); werr != nil {
+			return
+		}
+		flusher.Flush()
+	}
+}
+
 // mustJSON renders v for informational headers; marshal failures become
 // null rather than an error path nobody can hit with string slices.
 func mustJSON(v any) []byte {

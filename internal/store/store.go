@@ -73,6 +73,11 @@ type Options struct {
 	// RetainMaxAge deletes sealed segments whose newest row is older
 	// than this. 0 keeps everything.
 	RetainMaxAge time.Duration
+	// RetainMaxBytes caps the total data bytes across sealed segments,
+	// deleting the oldest beyond the budget. The byte budget suits
+	// always-on logged streams (the $sys.metrics history tables) where
+	// what matters is disk, not count or age. 0 keeps everything.
+	RetainMaxBytes int64
 	// AppendRetries is how many times a failed data-file write or fsync
 	// is retried (with a short capped backoff) before the table degrades
 	// to read-only. Default 3; negative disables retries.
@@ -539,8 +544,8 @@ func (t *Table) sealLocked() error {
 }
 
 // applyRetentionLocked deletes sealed segments beyond RetainSegments
-// (oldest first) or older than RetainMaxAge. The active segment is
-// never deleted.
+// (oldest first), older than RetainMaxAge, or past the RetainMaxBytes
+// byte budget. The active segment is never deleted.
 func (t *Table) applyRetentionLocked() {
 	drop := 0
 	if n := t.opts.RetainSegments; n > 0 && len(t.sealed) > n {
@@ -555,6 +560,18 @@ func (t *Table) applyRetentionLocked() {
 				continue
 			}
 			break
+		}
+	}
+	if budget := t.opts.RetainMaxBytes; budget > 0 {
+		total := int64(0)
+		for _, m := range t.sealed[drop:] {
+			total += m.dataEnd
+		}
+		// Always keep the newest sealed segment, whatever its size:
+		// retention must never empty the table entirely.
+		for total > budget && drop < len(t.sealed)-1 {
+			total -= t.sealed[drop].dataEnd
+			drop++
 		}
 	}
 	if drop == 0 {

@@ -270,6 +270,48 @@ func TestRetentionByAge(t *testing.T) {
 	}
 }
 
+func TestRetentionByBytes(t *testing.T) {
+	dir := t.TempDir()
+	tab := mustOpen(t, Options{Dir: dir, SegmentMaxBytes: 2 << 10, RetainMaxBytes: 5 << 10})
+	if err := tab.AppendBatch(rows(0, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re := mustOpen(t, Options{Dir: dir, SegmentMaxBytes: 2 << 10, RetainMaxBytes: 5 << 10})
+	sealed, _ := re.Segments()
+	// ~2KiB segments under a 5KiB budget: at most 3 sealed survive (the
+	// budget check runs at seal time, before the next segment opens).
+	if sealed < 1 || sealed > 3 {
+		t.Fatalf("sealed segments = %d, want 1..3 under byte budget", sealed)
+	}
+	got := collect(t, re, time.Time{}, time.Time{})
+	if len(got) == 0 || len(got) >= 1000 {
+		t.Fatalf("retained rows = %d, want a strict newest suffix", len(got))
+	}
+	if v, _ := got[len(got)-1].Get("n").IntVal(); v != 999 {
+		t.Fatalf("last retained n = %d, want 999", v)
+	}
+}
+
+func TestRetentionByBytesKeepsNewestSegment(t *testing.T) {
+	// A budget smaller than any single segment must still keep the
+	// newest sealed segment rather than emptying the table.
+	dir := t.TempDir()
+	tab := mustOpen(t, Options{Dir: dir, SegmentMaxBytes: 2 << 10, RetainMaxBytes: 1})
+	if err := tab.AppendBatch(rows(0, 500)); err != nil {
+		t.Fatal(err)
+	}
+	sealed, _ := tab.Segments()
+	if sealed != 1 {
+		t.Fatalf("sealed segments = %d, want exactly the newest kept", sealed)
+	}
+	if got := collect(t, tab, time.Time{}, time.Time{}); len(got) == 0 {
+		t.Fatal("byte retention deleted every row")
+	}
+}
+
 func TestOutOfOrderTimestamps(t *testing.T) {
 	dir := t.TempDir()
 	tab := mustOpen(t, Options{Dir: dir, IndexEvery: 4})

@@ -35,7 +35,9 @@ func (s *Store) Create(cfg EventConfig) (*Tracker, error) {
 	if cfg.Name == "" {
 		return nil, fmt.Errorf("twitinfo: event name required")
 	}
-	if len(cfg.Keywords) == 0 {
+	// Keyword events need a query to track; metric-tracked (ops) events
+	// follow a $sys.metrics series instead.
+	if len(cfg.Keywords) == 0 && cfg.Metric == "" {
 		return nil, fmt.Errorf("twitinfo: event needs at least one keyword")
 	}
 	s.mu.Lock()

@@ -10,6 +10,7 @@ package twitinfo
 import (
 	"context"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"time"
@@ -29,6 +30,10 @@ import (
 type EventConfig struct {
 	Name     string
 	Keywords []string
+	// Metric marks a self-observation event: the timeline tracks one
+	// $sys.metrics series (value-weighted) instead of a keyword query,
+	// so no keywords are required.
+	Metric string
 	// Start/End bound the event; zero values mean unbounded.
 	Start, End time.Time
 	// Bin is the timeline granularity (default 1 minute).
@@ -152,6 +157,65 @@ func (tr *Tracker) Ingest(t *tweet.Tweet) bool {
 // application written on top of the TweeQL stream processor" wiring.
 func (tr *Tracker) IngestTuple(row value.Tuple) bool {
 	return tr.Ingest(catalog.TweetFromTuple(row))
+}
+
+// metricScale converts a metric value into timeline counts. Seconds-
+// scale latencies become milliseconds, so sub-integer values survive
+// the detector's integer bins.
+const metricScale = 1000
+
+// IngestMetric logs one $sys.metrics sample as the event's "tweet":
+// the timeline is weighted by the metric's value (×1000, so fractional
+// seconds survive integer bins) instead of counting rows — one sample
+// arrives per interval regardless of health, so row volume is flat and
+// meaningless, but summed value per bin makes the Figure 1 volume-peak
+// view double as an ops view where peaks are latency spikes. The
+// sample's series text feeds the corpus and drill-down panels, so peak
+// labels name the offending series.
+func (tr *Tracker) IngestMetric(name, labels string, v float64, ts time.Time) {
+	if !inRange(ts, tr.cfg.Start, tr.cfg.End) {
+		return
+	}
+	tr.ingested++
+	count := int(math.Round(v * metricScale))
+	if count < 0 {
+		count = 0
+	}
+	tr.detector.AddCount(ts, count)
+	text := name
+	if labels != "" {
+		text += "{" + labels + "}"
+	}
+	text += fmt.Sprintf(" %g", v)
+	tr.corpus.AddDoc(text)
+	tr.neutral++
+	if len(tr.tweets) < tr.cfg.MaxTweets {
+		tr.tweets = append(tr.tweets, StoredTweet{
+			Username: "tweeqld", Text: text, CreatedAt: ts, Sentiment: sentiment.Neutral,
+		})
+	}
+}
+
+// IngestMetricTuple logs a $sys.metrics row (name, labels, value,
+// created_at) via IngestMetric. Rows with a NULL or non-numeric value
+// are skipped; name and labels degrade to "" on kind drift.
+func (tr *Tracker) IngestMetricTuple(row value.Tuple) {
+	v := row.Get("value")
+	if v.Kind() != value.KindFloat && v.Kind() != value.KindInt {
+		return
+	}
+	ts := row.TS
+	if t, err := row.Get("created_at").TimeVal(); err == nil {
+		ts = t
+	}
+	var name, labels string
+	if nv := row.Get("name"); nv.Kind() == value.KindString {
+		name = nv.Str()
+	}
+	if lv := row.Get("labels"); lv.Kind() == value.KindString {
+		labels = lv.Str()
+	}
+	tr.IngestMetric(name, labels, v.Num(), ts)
 }
 
 // Finish flushes the timeline (closing any open peak) at end of stream.

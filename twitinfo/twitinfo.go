@@ -169,6 +169,47 @@ func StartTracking(ctx context.Context, eng *tweeql.Engine, tr *Tracker) (*Track
 	return tk, nil
 }
 
+// OpsEventConfig is the self-observation dashboard's event definition:
+// an event tracking one $sys.metrics series instead of a keyword
+// query. The timeline is weighted by the metric's value, so the same
+// Figure 1 peak view that labels bursts of tweets labels latency
+// spikes; bin granularity follows the sampling interval.
+func OpsEventConfig(metric string, bin time.Duration) EventConfig {
+	return EventConfig{
+		Name:   "Ops: " + metric,
+		Metric: metric,
+		Bin:    bin,
+	}
+}
+
+// StartOpsTracking points the event-timeline machinery at the engine's
+// own telemetry: it issues a TweeQL query over the built-in
+// $sys.metrics stream (which must be enabled via
+// core.Options.SysStreams), filtered to one series, and feeds every
+// sample into the tracker as a value-weighted timeline point — the
+// dogfooding move: the engine monitors itself with the same stack
+// users point at tweets. Serve the result with Handler like any other
+// event.
+func StartOpsTracking(ctx context.Context, eng *tweeql.Engine, tr *Tracker, metric string) (*Tracking, error) {
+	sql := "SELECT name, labels, value, created_at FROM $sys.metrics"
+	if metric != "" {
+		sql += " WHERE name = '" + escape(metric) + "'"
+	}
+	cur, err := eng.Query(ctx, sql)
+	if err != nil {
+		return nil, err
+	}
+	tk := &Tracking{cur: cur, done: make(chan error, 1)}
+	go func() {
+		for row := range cur.Rows() {
+			tr.IngestMetricTuple(row)
+		}
+		tr.Finish()
+		tk.done <- cur.Stats().Err()
+	}()
+	return tk, nil
+}
+
 // Wait blocks until the tracked stream ends and returns the first
 // evaluation error, if any.
 func (tk *Tracking) Wait() error { return <-tk.done }

@@ -8,6 +8,8 @@ import (
 	"time"
 
 	"tweeql"
+	"tweeql/internal/catalog"
+	"tweeql/internal/obs"
 	"tweeql/internal/testutil"
 	"tweeql/twitinfo"
 )
@@ -213,5 +215,51 @@ func TestEscapedKeywords(t *testing.T) {
 	stream.Close()
 	if err := tk.Wait(); err != nil && !strings.Contains(err.Error(), "context") {
 		t.Errorf("track with quoted keyword: %v", err)
+	}
+}
+
+// TestOpsEventTracksSysMetrics pins the tweeqld ops-dashboard wiring:
+// Store.Create must accept a keyword-less metric event (the daemon
+// died at startup when validation demanded keywords), and
+// StartOpsTracking must feed $sys.metrics rows for the chosen series
+// into the tracker as value-weighted timeline points.
+func TestOpsEventTracksSysMetrics(t *testing.T) {
+	opts := tweeql.DefaultOptions()
+	opts.SysStreams = true
+	eng, _, err := tweeql.NewSimulated(tweeql.SimConfig{Options: &opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := twitinfo.NewStore()
+	tr, err := store.Create(twitinfo.OpsEventConfig("output_lag_p99", 250*time.Millisecond))
+	if err != nil {
+		t.Fatalf("ops event rejected: %v", err)
+	}
+	tk, err := twitinfo.StartOpsTracking(context.Background(), eng, tr, "output_lag_p99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// StartOpsTracking returns once the tracking query's subscription is
+	// established (same guarantee StartTracking gives), so rows published
+	// now are buffered for it; CloseStream delivers the buffer before
+	// end-of-stream, and Wait synchronizes with the ingest goroutine —
+	// the tracker itself is single-goroutine by contract, so all reads
+	// happen after Wait.
+	mstream, _ := eng.Core().Catalog().SysStreams()
+	catalog.PublishMetrics(mstream, []obs.Metric{
+		{Name: "output_lag_p99", Labels: `query="scored"`, Value: 0.25, At: time.Now().UTC()},
+		{Name: "scan_rows_in", Labels: `scan="x"`, Value: 10, At: time.Now().UTC()},
+	})
+	mstream.CloseStream()
+	if err := tk.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// The off-series scan_rows_in sample must be filtered out by the
+	// tracking query's WHERE.
+	if got := tr.Ingested(); got != 1 {
+		t.Fatalf("ingested %d metric samples, want 1", got)
+	}
+	if len(tr.Tweets()) == 0 || tr.Tweets()[0].Username != "tweeqld" {
+		t.Errorf("metric samples not stored as timeline points: %+v", tr.Tweets())
 	}
 }
