@@ -68,6 +68,7 @@ func main() {
 	logFormat := flag.String("log-format", "text", "log format: text or json")
 	traceSample := flag.Int("trace-sample", 64, "sample every Nth batch per operator into each query's trace ring (0 = off)")
 	batchSize := flag.Int("batch-size", 0, "rows per pipeline batch (0 = engine default; 1 = per-row delivery, useful when alerting on output lag of slow queries)")
+	columnar := flag.Bool("columnar", true, "vectorized columnar execution and column-major v2 table segments (false = row batches and v1 row segments)")
 	metricsCompat := flag.Bool("metrics-compat", false, "also emit pre-rename metric families (tweeqld_query_rows_per_sec, tweeqld_query_restarts) on /metrics")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
@@ -90,6 +91,7 @@ func main() {
 
 	opts := tweeql.DefaultOptions()
 	opts.SharedScans = *sharedScans
+	opts.Columnar = *columnar
 	opts.DataDir = *dataDir
 	opts.FsyncPolicy = *fsyncPolicy
 	opts.TraceSampleEvery = *traceSample

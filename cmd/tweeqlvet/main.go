@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"tweeql/internal/analysis"
+	"tweeql/internal/analysis/colvec"
 	"tweeql/internal/analysis/corrupterr"
 	"tweeql/internal/analysis/goroutinectx"
 	"tweeql/internal/analysis/load"
@@ -34,6 +35,7 @@ import (
 
 // analyzers is the full suite, in reporting order.
 var analyzers = []*analysis.Analyzer{
+	colvec.Analyzer,
 	corrupterr.Analyzer,
 	goroutinectx.Analyzer,
 	lockscope.Analyzer,

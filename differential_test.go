@@ -89,6 +89,65 @@ func runForDiff(t *testing.T, sql string, opts core.Options) []string {
 	return rows
 }
 
+// TestColumnarMatchesRow is the columnar differential test: the
+// vectorized fused pipeline (Options.Columnar=true, the default) vs
+// the row-batch pipeline over identical replays. Rows must be
+// byte-identical in identical order — the columnar filter gathers
+// surviving tuples from the original batch, so equality is by
+// construction, and this test is the tripwire for that construction.
+func TestColumnarMatchesRow(t *testing.T) {
+	for _, q := range diffQueries {
+		t.Run(q.name, func(t *testing.T) {
+			opts := core.DefaultOptions()
+			opts.Seed = 42
+
+			opts.Columnar = false
+			want := runForDiff(t, q.sql, opts)
+			opts.Columnar = true
+			got := runForDiff(t, q.sql, opts)
+
+			if len(want) != len(got) {
+				t.Fatalf("row count: row=%d columnar=%d", len(want), len(got))
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("row %d:\n row      %s\n columnar %s", i, want[i], got[i])
+				}
+			}
+			if len(want) == 0 {
+				t.Fatal("differential query produced no rows; test is vacuous")
+			}
+		})
+	}
+}
+
+// TestColumnarInterpretedMatchesRow closes the oracle square: columnar
+// with compilation off (every vector lane evaluated by the AST
+// interpreter closure) against the interpreted row pipeline.
+func TestColumnarInterpretedMatchesRow(t *testing.T) {
+	for _, q := range diffQueries {
+		t.Run(q.name, func(t *testing.T) {
+			opts := core.DefaultOptions()
+			opts.Seed = 42
+			opts.CompileExprs = false
+
+			opts.Columnar = false
+			want := runForDiff(t, q.sql, opts)
+			opts.Columnar = true
+			got := runForDiff(t, q.sql, opts)
+
+			if len(want) != len(got) {
+				t.Fatalf("row count: row=%d columnar=%d", len(want), len(got))
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("row %d:\n row      %s\n columnar %s", i, want[i], got[i])
+				}
+			}
+		})
+	}
+}
+
 // TestCompiledEngineMatchesInterpreted is the engine-level differential
 // test: compiled vs interpreted execution over identical replays, in
 // both the batched and the tuple-at-a-time pipeline.

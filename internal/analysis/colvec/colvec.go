@@ -1,0 +1,126 @@
+// Package colvec enforces the vectorized-kernel accessor contract on
+// exec.ColVec.
+//
+// Ints, Nums, Strs, and Times hand out the raw per-lane arrays with no
+// per-lane tag check, so the fused kernels can stream them (PR 10).
+// Their contract mirrors value.Value's raw accessors: a lane's slot is
+// only meaningful when its kind says so, so an access that never
+// consulted Homog(), Kinds(), or Valid() reads whatever a previous
+// batch left in the recycled array — a wrong RESULT, not an error.
+//
+// The analyzer requires every raw vector accessor call to be lexically
+// preceded, inside the same top-level function, by a Homog(), Kinds(),
+// or Valid() call on the identical receiver expression. As with
+// valuekind, the check is lexical rather than a dominator analysis: it
+// accepts a guard on an earlier line even when control flow could
+// bypass it, which keeps the checker simple and still catches the real
+// failure mode (no guard anywhere).
+//
+// Call sites whose kinds are proven by construction (e.g. a column the
+// caller just materialized homogeneously) carry the same annotation
+// the compiled kernels use:
+//
+//	// kernel: kind pre-proven
+//
+// on the call's line or the line above.
+package colvec
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"tweeql/internal/analysis"
+)
+
+// Analyzer is the colvec invariant checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "colvec",
+	Doc:  "require a preceding Homog()/Kinds()/Valid() guard (or a `kernel: kind pre-proven` annotation) before raw exec.ColVec accessors Ints/Nums/Strs/Times",
+	Run:  run,
+}
+
+// rawAccessors are the unchecked lane-array accessors under contract.
+var rawAccessors = map[string]bool{"Ints": true, "Nums": true, "Strs": true, "Times": true}
+
+// guards are the calls that establish which lanes are meaningful.
+var guards = map[string]bool{"Homog": true, "Kinds": true, "Valid": true}
+
+// annotation is the accepted proof comment, shared with valuekind.
+const annotation = "kernel: kind pre-proven"
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkFunc scans one top-level function body: it collects the
+// positions of guard calls keyed by receiver expression, then demands
+// one before each raw accessor call on the same receiver.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	guardChecks := make(map[string][]token.Pos) // receiver text -> guard call positions
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !guards[sel.Sel.Name] || !isColVecMethod(pass, sel) {
+			return true
+		}
+		key := types.ExprString(sel.X)
+		guardChecks[key] = append(guardChecks[key], call.Pos())
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !rawAccessors[sel.Sel.Name] || !isColVecMethod(pass, sel) {
+			return true
+		}
+		key := types.ExprString(sel.X)
+		for _, p := range guardChecks[key] {
+			if p < call.Pos() {
+				return true
+			}
+		}
+		for _, c := range pass.LineComment(call.Pos()) {
+			if strings.Contains(c, annotation) {
+				return true
+			}
+		}
+		pass.Reportf(call.Pos(), "raw vector accessor %s.%s() without a preceding %s.Homog()/Kinds()/Valid() guard in this function; guard first or annotate with `// %s`", key, sel.Sel.Name, key, annotation)
+		return true
+	})
+}
+
+// isColVecMethod reports whether sel selects a method whose receiver
+// is the exec package's ColVec type (directly or via pointer).
+func isColVecMethod(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return false
+	}
+	recv := s.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "ColVec" && obj.Pkg() != nil && obj.Pkg().Name() == "exec"
+}

@@ -1,0 +1,12 @@
+package colvec_test
+
+import (
+	"testing"
+
+	"tweeql/internal/analysis/analysistest"
+	"tweeql/internal/analysis/colvec"
+)
+
+func TestColVec(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), colvec.Analyzer, "a")
+}

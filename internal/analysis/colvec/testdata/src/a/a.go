@@ -1,0 +1,54 @@
+// Package a pins the guard-before-lanes contract on exec.ColVec's raw
+// vector accessors.
+package a
+
+import "exec"
+
+// A Homog guard before the accessor satisfies the contract.
+func homogGuarded(v *exec.ColVec) []int64 {
+	if v.Homog() != exec.KindInt {
+		return nil
+	}
+	return v.Ints()
+}
+
+// Reading the per-lane tags counts as a guard.
+func kindsGuarded(v *exec.ColVec) []string {
+	kinds := v.Kinds()
+	_ = kinds
+	return v.Strs()
+}
+
+// Consulting the validity bitmap counts as a guard.
+func validGuarded(v *exec.ColVec) []float64 {
+	_ = v.Valid()
+	return v.Nums()
+}
+
+// No guard anywhere: lanes recycled from a previous batch.
+func unguarded(v *exec.ColVec) []int64 {
+	return v.Ints() // want `raw vector accessor v\.Ints\(\) without a preceding v\.Homog\(\)/Kinds\(\)/Valid\(\) guard`
+}
+
+// A guard that comes after the accessor does not protect it.
+func guardTooLate(v *exec.ColVec) []string {
+	s := v.Strs() // want `raw vector accessor v\.Strs\(\) without a preceding v\.Homog\(\)/Kinds\(\)/Valid\(\) guard`
+	if v.Homog() != exec.KindString {
+		return nil
+	}
+	return s
+}
+
+// Guarding one vector says nothing about another.
+func wrongReceiver(v, w *exec.ColVec) []int64 {
+	if v.Homog() != exec.KindInt {
+		return nil
+	}
+	return w.Times() // want `raw vector accessor w\.Times\(\) without a preceding w\.Homog\(\)/Kinds\(\)/Valid\(\) guard`
+}
+
+// The kernel annotation asserts the kinds are proven by construction.
+func annotated(v *exec.ColVec) []float64 {
+	// kernel: kind pre-proven
+	return v.Nums()
+}

@@ -1,0 +1,45 @@
+// Package exec is a fixture-local miniature of the engine's exec
+// package: the analyzer recognizes raw vector accessors by method name
+// on a type named ColVec in a package named exec.
+package exec
+
+// Kind stands in for value.Kind in the miniature.
+type Kind int
+
+// The kinds the fixtures exercise.
+const (
+	KindInt Kind = iota
+	KindString
+)
+
+// ColVec is the miniature typed column vector.
+type ColVec struct {
+	homog Kind
+	kinds []Kind
+	valid []uint64
+	ints  []int64
+	nums  []float64
+	strs  []string
+	times []int64
+}
+
+// Homog is a guard: the single kind every lane shares.
+func (v *ColVec) Homog() Kind { return v.homog }
+
+// Kinds is a guard: the per-lane kind tags.
+func (v *ColVec) Kinds() []Kind { return v.kinds }
+
+// Valid is a guard: the validity bitmap.
+func (v *ColVec) Valid() []uint64 { return v.valid }
+
+// Ints is a raw accessor: recycled lanes, no per-lane check.
+func (v *ColVec) Ints() []int64 { return v.ints }
+
+// Nums is a raw accessor for widened numerics.
+func (v *ColVec) Nums() []float64 { return v.nums }
+
+// Strs is a raw accessor for string lanes.
+func (v *ColVec) Strs() []string { return v.strs }
+
+// Times is a raw accessor for UnixNano lanes.
+func (v *ColVec) Times() []int64 { return v.times }

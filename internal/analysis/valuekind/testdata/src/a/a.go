@@ -50,3 +50,28 @@ func annotated(v value.Value) int64 {
 	// kernel: kind pre-proven
 	return v.IntRaw()
 }
+
+// TimeRaw is under the same contract as the PR 2 accessors.
+func timeGuarded(v value.Value) int64 {
+	if v.Kind() != value.KindTime {
+		return 0
+	}
+	return v.TimeRaw()
+}
+
+func timeUnguarded(v value.Value) int64 {
+	return v.TimeRaw() // want `raw accessor v\.TimeRaw\(\) without a preceding v\.Kind\(\) check`
+}
+
+// The pointer-receiver *Ref twins share the contract; KindRef counts
+// as the guard.
+func refGuarded(v *value.Value) int64 {
+	if v.KindRef() != value.KindInt {
+		return 0
+	}
+	return v.IntRef()
+}
+
+func refUnguarded(v *value.Value) string {
+	return v.StrRef() // want `raw accessor v\.StrRef\(\) without a preceding v\.Kind\(\) check`
+}

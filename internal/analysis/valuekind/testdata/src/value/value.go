@@ -11,6 +11,7 @@ const (
 	KindInt Kind = iota
 	KindFloat
 	KindString
+	KindTime
 )
 
 // Value is the miniature variant type.
@@ -19,6 +20,7 @@ type Value struct {
 	s    string
 	f    float64
 	i    int64
+	t    int64
 }
 
 // Kind returns the runtime type tag.
@@ -32,3 +34,15 @@ func (v Value) Num() float64 { return v.f }
 
 // IntRaw is a raw accessor for ints.
 func (v Value) IntRaw() int64 { return v.i }
+
+// TimeRaw is a raw accessor for times.
+func (v Value) TimeRaw() int64 { return v.t }
+
+// KindRef is the pointer-receiver kind check.
+func (v *Value) KindRef() Kind { return v.kind }
+
+// StrRef is the pointer-receiver raw string accessor.
+func (v *Value) StrRef() string { return v.s }
+
+// IntRef is the pointer-receiver raw int accessor.
+func (v *Value) IntRef() int64 { return v.i }

@@ -38,12 +38,16 @@ import (
 // Analyzer is the valuekind invariant checker.
 var Analyzer = &analysis.Analyzer{
 	Name: "valuekind",
-	Doc:  "require a preceding Kind() check (or a `kernel: kind pre-proven` annotation) before raw value.Value accessors Str/Num/IntRaw",
+	Doc:  "require a preceding Kind()/KindRef() check (or a `kernel: kind pre-proven` annotation) before raw value.Value accessors Str/Num/IntRaw/TimeRaw and their *Ref twins",
 	Run:  run,
 }
 
-// rawAccessors are the unchecked accessors under contract.
-var rawAccessors = map[string]bool{"Str": true, "Num": true, "IntRaw": true}
+// rawAccessors are the unchecked accessors under contract — the
+// value-receiver forms and their pointer-receiver *Ref twins.
+var rawAccessors = map[string]bool{
+	"Str": true, "Num": true, "IntRaw": true, "TimeRaw": true,
+	"StrRef": true, "NumRef": true, "IntRef": true, "TimeRef": true,
+}
 
 // annotation is the accepted proof comment, per the compiled-kernel
 // contract from PR 2.
@@ -68,9 +72,11 @@ func run(pass *analysis.Pass) error {
 func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
 	kindChecks := make(map[string][]token.Pos) // receiver text -> Kind() call positions
 	ast.Inspect(body, func(n ast.Node) bool {
-		if recv, ok := valueMethodRecv(pass, n, "Kind"); ok {
-			key := types.ExprString(recv)
-			kindChecks[key] = append(kindChecks[key], n.Pos())
+		for _, guard := range []string{"Kind", "KindRef"} {
+			if recv, ok := valueMethodRecv(pass, n, guard); ok {
+				key := types.ExprString(recv)
+				kindChecks[key] = append(kindChecks[key], n.Pos())
+			}
 		}
 		return true
 	})

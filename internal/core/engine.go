@@ -67,6 +67,17 @@ type Options struct {
 	// the differential-testing oracle. Columns with dynamic (KindNull)
 	// schemas still compile but take generic, kind-checked closures.
 	CompileExprs bool
+	// Columnar runs batched single-source pipelines on the vectorized
+	// columnar path: each batch is flattened into per-column typed
+	// vectors, compiled comparison/CONTAINS/IN kernels refine a
+	// selection bitmap, and the fused projection/aggregation stage
+	// consumes survivors straight from the original batch. It also
+	// switches persistent tables to column-major compressed segments
+	// (format v2) with per-block zone maps. Results are byte-identical
+	// to the row path; default on, -columnar=false is the escape hatch.
+	// Pipelines with stateful UDFs, async projection, or tuple-at-a-time
+	// batching fall back to the row path automatically.
+	Columnar bool
 	// SharedScans lets queries with equal scan signatures (same source,
 	// same merged pushdown set, same pushed time range — see
 	// plan.Query.Signature) share one physical source subscription: one
@@ -175,6 +186,7 @@ func DefaultOptions() Options {
 		// scheduling overhead for CPU-bound stages.
 		BatchWorkers:       min(4, runtime.GOMAXPROCS(0)),
 		CompileExprs:       true,
+		Columnar:           true,
 		SharedScans:        true,
 		ScanMaxRestarts:    5,
 		ScanRestartBackoff: 200 * time.Millisecond,
@@ -243,6 +255,7 @@ func tableFactory(opts Options) catalog.TableFactory {
 			RetainSegments:  opts.TableRetainSegments,
 			RetainMaxAge:    opts.TableRetainMaxAge,
 			RetainMaxBytes:  opts.TableRetainMaxBytes,
+			Columnar:        opts.Columnar,
 		})
 	}
 }
@@ -433,7 +446,7 @@ func (e *Engine) explainText(stmt *lang.SelectStmt, p *plan.Query) string {
 	if !p.TimeFrom.IsZero() || !p.TimeTo.IsZero() {
 		fmt.Fprintf(&b, "time range: [%s, %s]\n", fmtBound(p.TimeFrom), fmtBound(p.TimeTo))
 	}
-	fmt.Fprintf(&b, "execution: batch=%d workers=%d compile=%v\n", e.opts.BatchSize, e.opts.BatchWorkers, e.opts.CompileExprs)
+	fmt.Fprintf(&b, "execution: batch=%d workers=%d compile=%v columnar=%v\n", e.opts.BatchSize, e.opts.BatchWorkers, e.opts.CompileExprs, e.opts.Columnar)
 	if p.IsAggregate {
 		fmt.Fprintf(&b, "aggregate: %d groups x %d aggs, window=%v confidence=%v\n",
 			len(p.Agg.GroupExprs), len(p.Agg.Aggs), stmt.Window != nil, stmt.Confidence != nil)

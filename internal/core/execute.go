@@ -293,7 +293,36 @@ func (e *Engine) openSingle(ctx context.Context, cancel context.CancelFunc, ev *
 
 	// Residual filter: every conjunct except the one the scan pushed.
 	residual, costs := p.Residual(pushedKey)
-	if len(residual) > 0 {
+
+	// Columnar gate: the vectorized path fuses filter+project /
+	// filter+aggregate over column vectors. It requires batches, keeps
+	// the async per-tuple pool for high-latency UDFs, and steps aside
+	// when any stage expression calls a stateful UDF (the fused stages
+	// evaluate conjunct-at-a-time over selections, which would reorder
+	// a stateful UDF's observation stream).
+	columnar := e.opts.Columnar && batching && !p.Async
+	if columnar {
+		stageExprs := append([]lang.Expr(nil), residual...)
+		if p.IsAggregate {
+			stageExprs = append(stageExprs, p.Agg.GroupExprs...)
+			for _, a := range p.Agg.Aggs {
+				if a.Arg != nil {
+					stageExprs = append(stageExprs, a.Arg)
+				}
+			}
+		} else {
+			for _, pi := range p.Proj {
+				if pi.Expr != nil {
+					stageExprs = append(stageExprs, pi.Expr)
+				}
+			}
+		}
+		if exec.HasStateful(e.cat, stageExprs...) {
+			columnar = false
+		}
+	}
+
+	if len(residual) > 0 && !columnar {
 		if batching {
 			batches = exec.BatchFilterStage(ev, residual, inSchema, costs, e.opts.AdaptiveFilters, e.opts.Seed, e.stageWorkers(residual...), stats)(ctx, batches)
 		} else {
@@ -304,9 +333,12 @@ func (e *Engine) openSingle(ctx context.Context, cancel context.CancelFunc, ev *
 	if p.IsAggregate {
 		agg := p.Agg
 		agg.InSchema = inSchema
-		if batching {
+		switch {
+		case columnar:
+			rows = exec.ColFilterAggStage(ev, residual, agg, inSchema, stats)(ctx, batches)
+		case batching:
 			rows = exec.BatchAggregateStage(ev, agg, stats)(ctx, batches)
-		} else {
+		default:
 			rows = exec.AggregateStage(ev, agg, stats)(ctx, rows)
 		}
 		rows = applyLimit(ctx, cancel, stmt, rows)
@@ -332,6 +364,13 @@ func (e *Engine) openSingle(ctx context.Context, cancel context.CancelFunc, ev *
 		rows = exec.AsyncProjectStage(ev, p.Proj, inSchema, e.opts.AsyncWorkers, e.opts.AsyncCallTimeout, stats)(ctx, rows)
 		rows = countOut(ctx, rows, stats)
 		rows = applyLimit(ctx, cancel, stmt, rows)
+	case columnar:
+		batches = exec.ColFilterProjectStage(ev, residual, p.Proj, inSchema, e.stageWorkers(projExprs...), stats)(ctx, batches)
+		limit := -1
+		if stmt.Limit >= 0 {
+			limit = stmt.Limit
+		}
+		rows = exec.UnbatchStage(limit, cancel, stats)(ctx, batches)
 	case batching:
 		batches = exec.BatchProjectStage(ev, p.Proj, inSchema, e.stageWorkers(projExprs...), stats)(ctx, batches)
 		// The unbatcher is the LIMIT cutoff in batch space: it trims

@@ -82,45 +82,63 @@ const persistScenarioMid = "2011-06-12 14:00:00"
 // TestPersistentTableDifferential is the acceptance gate for the
 // store: the same stream logged INTO TABLE through the persistent
 // backend (with a restart in between) and through the in-memory
-// backend must answer a time-predicated SELECT identically.
+// backend must answer a time-predicated SELECT identically — with
+// columnar execution and v2 segments on (the default) and off.
 func TestPersistentTableDifferential(t *testing.T) {
-	cfg := firehose.Config{Seed: 21, Duration: 4 * time.Hour, BaseRate: 8}
-	logSQL := `SELECT text, username, followers, created_at FROM twitter INTO TABLE logged`
-	readSQL := `SELECT text, followers FROM logged WHERE created_at >= '` + persistScenarioMid + `' AND followers > 50`
-
-	dir := t.TempDir()
-	// Engine A: log through the persistent backend, then shut down.
-	engA, replayA := persistEngine(t, cfg, func(o *Options) { o.DataDir = dir })
-	logStream(t, engA, replayA, logSQL)
-	if err := engA.Close(); err != nil {
-		t.Fatal(err)
-	}
-
-	// Engine B: a fresh process image over the same data dir; the table
-	// resolves in FROM straight from disk.
-	engB, _ := persistEngine(t, cfg, func(o *Options) { o.DataDir = dir })
-	gotPersist := queryStrings(t, engB, readSQL)
-
-	// Engine C: same stream, in-memory backend, same queries.
-	engC, replayC := persistEngine(t, cfg, nil)
-	logStream(t, engC, replayC, logSQL)
-	gotMem := queryStrings(t, engC, readSQL)
-
-	if len(gotPersist) == 0 {
-		t.Fatal("persistent read returned nothing")
-	}
-	if len(gotPersist) != len(gotMem) {
-		t.Fatalf("persistent rows %d != in-memory rows %d", len(gotPersist), len(gotMem))
-	}
-	for i := range gotPersist {
-		if gotPersist[i] != gotMem[i] {
-			t.Fatalf("row %d differs:\n  persist: %s\n  memory:  %s", i, gotPersist[i], gotMem[i])
+	for _, columnar := range []bool{true, false} {
+		name := "columnar"
+		if !columnar {
+			name = "row"
 		}
-	}
-	// The predicate actually bit: some rows are before the midpoint.
-	all := queryStrings(t, engB, `SELECT text FROM logged`)
-	if len(all) <= len(gotPersist) {
-		t.Errorf("time predicate filtered nothing: %d vs %d", len(all), len(gotPersist))
+		t.Run(name, func(t *testing.T) {
+			cfg := firehose.Config{Seed: 21, Duration: 4 * time.Hour, BaseRate: 8}
+			logSQL := `SELECT text, username, followers, created_at FROM twitter INTO TABLE logged`
+			readSQL := `SELECT text, followers FROM logged WHERE created_at >= '` + persistScenarioMid + `' AND followers > 50`
+
+			dir := t.TempDir()
+			// Engine A: log through the persistent backend, then shut
+			// down. Small segments so several seal — in the columnar arm
+			// that is what produces v2 column blocks to read back.
+			engA, replayA := persistEngine(t, cfg, func(o *Options) {
+				o.DataDir = dir
+				o.Columnar = columnar
+				o.SegmentMaxBytes = 64 << 10
+			})
+			logStream(t, engA, replayA, logSQL)
+			if err := engA.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Engine B: a fresh process image over the same data dir; the table
+			// resolves in FROM straight from disk.
+			engB, _ := persistEngine(t, cfg, func(o *Options) {
+				o.DataDir = dir
+				o.Columnar = columnar
+			})
+			gotPersist := queryStrings(t, engB, readSQL)
+
+			// Engine C: same stream, in-memory backend, same queries.
+			engC, replayC := persistEngine(t, cfg, func(o *Options) { o.Columnar = columnar })
+			logStream(t, engC, replayC, logSQL)
+			gotMem := queryStrings(t, engC, readSQL)
+
+			if len(gotPersist) == 0 {
+				t.Fatal("persistent read returned nothing")
+			}
+			if len(gotPersist) != len(gotMem) {
+				t.Fatalf("persistent rows %d != in-memory rows %d", len(gotPersist), len(gotMem))
+			}
+			for i := range gotPersist {
+				if gotPersist[i] != gotMem[i] {
+					t.Fatalf("row %d differs:\n  persist: %s\n  memory:  %s", i, gotPersist[i], gotMem[i])
+				}
+			}
+			// The predicate actually bit: some rows are before the midpoint.
+			all := queryStrings(t, engB, `SELECT text FROM logged`)
+			if len(all) <= len(gotPersist) {
+				t.Errorf("time predicate filtered nothing: %d vs %d", len(all), len(gotPersist))
+			}
+		})
 	}
 }
 
@@ -142,14 +160,14 @@ func TestPersistentTimePruning(t *testing.T) {
 	if sealed, _ := st.Segments(); sealed < 2 {
 		t.Fatalf("sealed segments = %d; need several to observe pruning", sealed)
 	}
-	s0, p0 := st.ScanCounters()
+	c0 := st.ScanCounters()
 	rows := queryStrings(t, eng, `SELECT text FROM seg WHERE created_at >= '2011-06-12 17:00:00'`)
-	s1, p1 := st.ScanCounters()
+	c1 := st.ScanCounters()
 	if len(rows) == 0 {
 		t.Fatal("ranged query returned nothing (check the scenario clock)")
 	}
-	if p1-p0 == 0 {
-		t.Errorf("no segments pruned (scanned %d)", s1-s0)
+	if c1.SegmentsPruned-c0.SegmentsPruned == 0 {
+		t.Errorf("no segments pruned (scanned %d)", c1.SegmentsScanned-c0.SegmentsScanned)
 	}
 	// And EXPLAIN surfaces the extracted range.
 	out, err := eng.Explain(`SELECT text FROM seg WHERE created_at >= '2011-06-12 17:00:00'`)

@@ -226,6 +226,8 @@ func (s *Server) renderMetrics() string {
 	fam(&b, "tweeqld_table_rows", "gauge", "Rows currently readable from the table.")
 	fam(&b, "tweeqld_table_segments_scanned_total", "counter", "Segments read by table scans.")
 	fam(&b, "tweeqld_table_segments_pruned_total", "counter", "Segments skipped by time-range pruning.")
+	fam(&b, "tweeqld_table_blocks_read_total", "counter", "Column blocks decoded by table scans (v2 segments).")
+	fam(&b, "tweeqld_table_blocks_skipped_total", "counter", "Column blocks skipped on zone-map time bounds (v2 segments).")
 	// 1 when persistent append failures flipped the table read-only
 	// (reads still serve; writers see ErrReadOnly and count degraded).
 	fam(&b, "tweeqld_table_readonly", "gauge", "1 when the table degraded to read-only after write failures.")
@@ -240,9 +242,11 @@ func (s *Server) renderMetrics() string {
 		}
 		fmt.Fprintf(&b, "tweeqld_table_readonly%s %d\n", l, ro)
 		if st, ok := t.Backend().(*store.Table); ok {
-			scanned, pruned := st.ScanCounters()
-			fmt.Fprintf(&b, "tweeqld_table_segments_scanned_total%s %d\n", l, scanned)
-			fmt.Fprintf(&b, "tweeqld_table_segments_pruned_total%s %d\n", l, pruned)
+			c := st.ScanCounters()
+			fmt.Fprintf(&b, "tweeqld_table_segments_scanned_total%s %d\n", l, c.SegmentsScanned)
+			fmt.Fprintf(&b, "tweeqld_table_segments_pruned_total%s %d\n", l, c.SegmentsPruned)
+			fmt.Fprintf(&b, "tweeqld_table_blocks_read_total%s %d\n", l, c.BlocksRead)
+			fmt.Fprintf(&b, "tweeqld_table_blocks_skipped_total%s %d\n", l, c.BlocksSkipped)
 			appendLat, scanLat := st.LatencySnapshots()
 			labels := fmt.Sprintf("table=%q", t.Name)
 			hist(&b, "tweeqld_table_append_latency_seconds", labels, appendLat)

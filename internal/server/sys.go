@@ -156,6 +156,9 @@ func (o *sysObserver) collect(now time.Time) []obs.Metric {
 		if st, ok := t.Backend().(*store.Table); ok {
 			sealed, active := st.Segments()
 			b.add("table_segments", l, float64(sealed+active))
+			c := st.ScanCounters()
+			b.add("table_blocks_read", l, float64(c.BlocksRead))
+			b.add("table_blocks_skipped", l, float64(c.BlocksSkipped))
 		}
 	}
 

@@ -146,3 +146,132 @@ func FuzzReadIndex(f *testing.F) {
 		}
 	})
 }
+
+// sealColSeed builds one sealed v2 segment for fuzz corpus seeding and
+// returns its metadata (the table stays open; callers Close it).
+func sealColSeed(f *testing.F) (*Table, *segMeta) {
+	f.Helper()
+	dir := f.TempDir()
+	tab, err := Open(Options{Dir: dir, Columnar: true, ColBlockRows: 16, Fsync: FsyncNone})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var rows []value.Tuple
+	for i := 0; i < 48; i++ {
+		ts := time.Unix(int64(4000+i), 0).UTC()
+		rows = append(rows, value.NewTuple(testSchema, []value.Value{
+			value.String("columnar fuzz seed row"),
+			value.Int(int64(i)),
+			value.Time(ts),
+		}, ts))
+	}
+	if err := tab.AppendBatch(rows); err != nil {
+		f.Fatal(err)
+	}
+	tab.mu.Lock()
+	err = tab.sealLocked()
+	m := tab.sealed[len(tab.sealed)-1]
+	tab.mu.Unlock()
+	if err != nil {
+		f.Fatal(err)
+	}
+	if m.version != colFormatVersion || len(m.blocks) < 2 {
+		f.Fatalf("seed segment not columnar: version=%d blocks=%d", m.version, len(m.blocks))
+	}
+	return tab, m
+}
+
+// FuzzDecodeColBlock proves hostile v2 block bytes always surface as
+// ErrCorrupt (or a clean recovery truncation), never a panic and never
+// an unbounded allocation. Each input runs through the raw block
+// decoder and through the full open-and-scan path as the single block
+// of a sealed v2 segment whose sidecar vouches for it. The corpus is
+// seeded from a real columnar segment.
+func FuzzDecodeColBlock(f *testing.F) {
+	tab, m := sealColSeed(f)
+	data, err := os.ReadFile(m.path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	frame := data[m.blocks[0].off:m.blocks[1].off]
+	body, _, ok := splitColFrame(frame)
+	if !ok {
+		f.Fatal("seed frame does not split")
+	}
+	if err := tab.Close(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(append([]byte(nil), body...))               // one valid block body
+	f.Add(append([]byte(nil), frame...))              // framed (CRC'd) block
+	f.Add(append([]byte(nil), body[:len(body)/2]...)) // torn mid-chunk
+	flipped := append([]byte(nil), body...)
+	flipped[len(flipped)/2] ^= 0xFF // content flip inside a chunk
+	f.Add(flipped)
+	f.Add(data[m.hdrLen:]) // the whole block region
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Raw decoder: the sidecar and frame CRC have already been
+		// bypassed, so the decoder must bound every allocation itself.
+		if _, err := decodeColBlock(data, testSchema); err != nil {
+			requireCorruptErr(t, err)
+		}
+
+		// Full path: a valid v2 header, the fuzz bytes as the data
+		// region, and a sidecar claiming they are one block.
+		dir := t.TempDir()
+		hdr := append([]byte(segMagic), colFormatVersion)
+		hdr = value.AppendSchema(hdr, testSchema)
+		file := append(hdr, data...)
+		if err := os.WriteFile(segPath(dir, 0), file, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		m := &segMeta{
+			path: segPath(dir, 0), rows: 1,
+			hdrLen: int64(len(hdr)), dataEnd: int64(len(file)),
+			version: colFormatVersion,
+			blocks:  []blockZone{{off: int64(len(hdr)), rows: 1}},
+		}
+		if err := writeIndex(m, false); err != nil {
+			t.Fatal(err)
+		}
+		openAndScan(t, dir)
+	})
+}
+
+// FuzzReadZoneMap proves a hostile v2 sidecar (zone map included)
+// never panics the open path: it either parses, or fails as ErrCorrupt
+// with the segment metadata untouched so recovery rebuilds the zones
+// from the data file.
+func FuzzReadZoneMap(f *testing.F) {
+	tab, m := sealColSeed(f)
+	if err := tab.Close(); err != nil {
+		f.Fatal(err)
+	}
+	seed, err := os.ReadFile(idxPath(m.path))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add(seed[:len(seed)-3]) // zone entries cut short
+	flipped := append([]byte(nil), seed...)
+	flipped[len(flipped)-1] ^= 0xFF // mangle a zone bound
+	f.Add(flipped)
+	f.Add([]byte(idxMagic))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(idxPath(segPath(dir, 0)), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		m := &segMeta{path: segPath(dir, 0)}
+		if err := readIndex(m); err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("hostile zone map must fail as ErrCorrupt, got: %v", err)
+			}
+			if m.rows != 0 || m.dataEnd != 0 || m.hdrLen != 0 || m.index != nil || m.blocks != nil {
+				t.Fatalf("failed readIndex mutated meta: %+v", m)
+			}
+		}
+	})
+}

@@ -54,6 +54,13 @@ type segMeta struct {
 	path   string
 	schema *value.Schema
 	key    string // value.SchemaKey(schema)
+	// version is the data file's format version byte: 1 (or 0, before
+	// the header is read) for row-log segments, colFormatVersion for
+	// column-major sealed segments.
+	version byte
+	// blocks is the v2 zone map: one entry per column block. Empty for
+	// v1 segments.
+	blocks []blockZone
 
 	rows    int64
 	dataEnd int64 // file offset past the last valid record
@@ -155,38 +162,46 @@ func writeHeader(f *os.File, schema *value.Schema) (int64, error) {
 	return int64(len(buf)), nil
 }
 
-// readHeader validates a segment header and returns the schema and
-// header length.
-func readHeader(r *bufio.Reader) (*value.Schema, int64, error) {
+// readHeader validates a segment header and returns the schema, header
+// length, and format version (1 = row log, colFormatVersion = column
+// blocks).
+func readHeader(r *bufio.Reader) (*value.Schema, int64, byte, error) {
 	head := make([]byte, len(segMagic)+1)
 	if _, err := io.ReadFull(r, head); err != nil {
-		return nil, 0, fmt.Errorf("%w: short segment header: %v", ErrCorrupt, err)
+		return nil, 0, 0, fmt.Errorf("%w: short segment header: %v", ErrCorrupt, err)
 	}
 	if string(head[:len(segMagic)]) != segMagic {
-		return nil, 0, fmt.Errorf("%w: bad segment magic %q", ErrCorrupt, head[:len(segMagic)])
+		return nil, 0, 0, fmt.Errorf("%w: bad segment magic %q", ErrCorrupt, head[:len(segMagic)])
 	}
-	if head[len(segMagic)] != formatVersion {
-		return nil, 0, fmt.Errorf("%w: unsupported segment version %d", ErrCorrupt, head[len(segMagic)])
+	ver := head[len(segMagic)]
+	if ver != formatVersion && ver != colFormatVersion {
+		return nil, 0, 0, fmt.Errorf("%w: unsupported segment version %d", ErrCorrupt, ver)
 	}
 	// Schemas are small; peek generously and decode in place.
 	peek, err := r.Peek(r.Size())
 	if err != nil && err != io.EOF && err != bufio.ErrBufferFull {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	schema, n, err := value.DecodeSchema(peek)
 	if err != nil {
-		return nil, 0, fmt.Errorf("store: bad segment schema: %w", err)
+		return nil, 0, 0, fmt.Errorf("store: bad segment schema: %w", err)
 	}
 	if _, err := r.Discard(n); err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
-	return schema, int64(len(head) + n), nil
+	return schema, int64(len(head) + n), ver, nil
 }
 
 // writeIndex persists the sidecar index that marks a segment sealed:
-// bounds, order flag, row count, and the sparse entries.
+// bounds, order flag, row count, and the sparse entries. For v2
+// segments the sidecar carries the same version byte as the data file
+// and appends the per-block zone map after the (empty) sparse index.
 func writeIndex(m *segMeta, fsyncDir bool) error {
-	buf := append([]byte(idxMagic), formatVersion)
+	ver := byte(formatVersion)
+	if m.version == colFormatVersion {
+		ver = colFormatVersion
+	}
+	buf := append([]byte(idxMagic), ver)
 	buf = binary.AppendVarint(buf, m.rows)
 	buf = binary.AppendVarint(buf, m.dataEnd)
 	buf = binary.AppendVarint(buf, m.hdrLen)
@@ -204,6 +219,24 @@ func writeIndex(m *segMeta, fsyncDir bool) error {
 	for _, e := range m.index {
 		buf = binary.AppendVarint(buf, e.off)
 		buf = binary.AppendVarint(buf, e.ts)
+	}
+	if ver == colFormatVersion {
+		buf = binary.AppendUvarint(buf, uint64(len(m.blocks)))
+		for i := range m.blocks {
+			bz := &m.blocks[i]
+			buf = binary.AppendVarint(buf, bz.off)
+			buf = binary.AppendVarint(buf, bz.rows)
+			var bf byte
+			if bz.hasTS {
+				bf |= 1
+			}
+			if bz.allTS {
+				bf |= 2
+			}
+			buf = append(buf, bf)
+			buf = binary.AppendVarint(buf, bz.minTS)
+			buf = binary.AppendVarint(buf, bz.maxTS)
+		}
 	}
 	path := idxPath(m.path)
 	tmp := path + ".tmp"
@@ -234,8 +267,9 @@ func readIndex(m *segMeta) error {
 	if len(buf) < len(idxMagic)+1 || string(buf[:len(idxMagic)]) != idxMagic {
 		return fmt.Errorf("%w: bad index magic in %s", ErrCorrupt, idxPath(m.path))
 	}
-	if buf[len(idxMagic)] != formatVersion {
-		return fmt.Errorf("%w: unsupported index version %d", ErrCorrupt, buf[len(idxMagic)])
+	idxVer := buf[len(idxMagic)]
+	if idxVer != formatVersion && idxVer != colFormatVersion {
+		return fmt.Errorf("%w: unsupported index version %d", ErrCorrupt, idxVer)
 	}
 	p := buf[len(idxMagic)+1:]
 	truncated := fmt.Errorf("%w: truncated index %s", ErrCorrupt, idxPath(m.path))
@@ -296,10 +330,50 @@ func readIndex(m *segMeta) error {
 		}
 		tmp.index = append(tmp.index, e)
 	}
+	if idxVer == colFormatVersion {
+		bcnt, n := binary.Uvarint(p)
+		if n <= 0 {
+			return truncated
+		}
+		p = p[n:]
+		// Each zone entry is at least five bytes (four one-byte varints
+		// plus the flag byte); same OOM guard as the sparse entries.
+		if bcnt > uint64(len(p))/5 {
+			return truncated
+		}
+		tmp.blocks = make([]blockZone, 0, bcnt)
+		for i := uint64(0); i < bcnt; i++ {
+			var bz blockZone
+			if bz.off, err = rd(); err != nil {
+				return err
+			}
+			if bz.rows, err = rd(); err != nil {
+				return err
+			}
+			if len(p) < 1 {
+				return truncated
+			}
+			bf := p[0]
+			p = p[1:]
+			bz.hasTS = bf&1 != 0
+			bz.allTS = bf&2 != 0
+			if bz.minTS, err = rd(); err != nil {
+				return err
+			}
+			if bz.maxTS, err = rd(); err != nil {
+				return err
+			}
+			if bz.off < tmp.hdrLen || bz.off >= tmp.dataEnd || bz.rows <= 0 {
+				return fmt.Errorf("%w: implausible block zone in index %s", ErrCorrupt, idxPath(m.path))
+			}
+			tmp.blocks = append(tmp.blocks, bz)
+		}
+	}
 	m.rows, m.dataEnd, m.hdrLen = tmp.rows, tmp.dataEnd, tmp.hdrLen
 	m.hasTS, m.ordered = tmp.hasTS, tmp.ordered
 	m.minTS, m.maxTS = tmp.minTS, tmp.maxTS
 	m.index = tmp.index
+	m.blocks = tmp.blocks
 	return nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -86,6 +87,15 @@ type Options struct {
 	// histograms (two clock reads per call). Benchmarks use it as the
 	// uninstrumented baseline; production tables keep them on.
 	NoLatencyHist bool
+	// Columnar converts segments to the column-major compressed format
+	// (v2) with per-block zone maps when they seal. The active segment
+	// always stays a v1 row log — appends and recovery are unchanged —
+	// and v1 sealed segments from before the option flipped remain
+	// readable alongside v2 ones.
+	Columnar bool
+	// ColBlockRows is the v2 block granularity (rows per column block).
+	// 0 = 4096.
+	ColBlockRows int
 
 	// now overrides the clock in tests.
 	now func() time.Time
@@ -106,6 +116,9 @@ func (o *Options) defaults() {
 	}
 	if o.AppendRetries < 0 {
 		o.AppendRetries = 0
+	}
+	if o.ColBlockRows <= 0 {
+		o.ColBlockRows = defaultColBlockRows
 	}
 	if o.now == nil {
 		o.now = time.Now
@@ -134,8 +147,10 @@ type Table struct {
 	schema  *value.Schema // schema of the newest segment
 	closed  bool
 
-	scanned atomic.Int64 // segments read by scans
-	pruned  atomic.Int64 // segments skipped by time-range pruning
+	scanned       atomic.Int64 // segments read by scans
+	pruned        atomic.Int64 // segments skipped by time-range pruning
+	blocksRead    atomic.Int64 // v2 column blocks decoded by scans
+	blocksSkipped atomic.Int64 // v2 column blocks skipped on zone bounds
 
 	// appendLat/scanLat time whole AppendBatch and Scan calls (nil when
 	// Options.NoLatencyHist): the store's contribution to /metrics.
@@ -186,6 +201,13 @@ func Open(opts Options) (*Table, error) {
 	var seqs []int
 	for _, e := range entries {
 		name := e.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			// A crashed columnar conversion or index write left its temp
+			// file behind; the rename never happened, so it carries no
+			// committed data.
+			os.Remove(filepath.Join(opts.Dir, name))
+			continue
+		}
 		if !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, segSuffix) {
 			continue
 		}
@@ -204,17 +226,24 @@ func Open(opts Options) (*Table, error) {
 		if err := readSegmentSchema(m, canon); err != nil {
 			return nil, err
 		}
+		if isSealed && m.version == colFormatVersion && m.rows > 0 && len(m.blocks) == 0 {
+			// A v2 data file with a v1 sidecar (or one missing its zone
+			// map) cannot be block-scanned; rebuild it from the data.
+			isSealed = false
+		}
 		if !isSealed {
 			// Unsealed: the previous run's active segment, or a crash
 			// before seal. Rebuild metadata by scanning, truncating a
-			// torn tail at the last valid record boundary.
+			// torn tail at the last valid record boundary (v1) or block
+			// boundary (v2).
 			if err := recoverSegment(m, opts.IndexEvery); err != nil {
 				return nil, err
 			}
 		}
-		if i == len(seqs)-1 && !isSealed {
+		if i == len(seqs)-1 && !isSealed && m.version != colFormatVersion {
 			// The newest unsealed segment stays active: reopen for
-			// appending at the recovered end.
+			// appending at the recovered end. (Never a v2 segment — the
+			// appender writes row frames; a recovered v2 file seals.)
 			f, err := os.OpenFile(m.path, os.O_WRONLY, 0o644)
 			if err != nil {
 				return nil, err
@@ -249,7 +278,7 @@ func readSegmentSchema(m *segMeta, canon map[string]*value.Schema) error {
 		return err
 	}
 	defer f.Close()
-	schema, hdrLen, err := readHeader(bufio.NewReaderSize(f, 64<<10))
+	schema, hdrLen, ver, err := readHeader(bufio.NewReaderSize(f, 64<<10))
 	if err != nil {
 		return fmt.Errorf("store: segment %s: %w", m.path, err)
 	}
@@ -259,7 +288,7 @@ func readSegmentSchema(m *segMeta, canon map[string]*value.Schema) error {
 	} else {
 		canon[key] = schema
 	}
-	m.schema, m.key, m.hdrLen = schema, key, hdrLen
+	m.schema, m.key, m.hdrLen, m.version = schema, key, hdrLen, ver
 	return nil
 }
 
@@ -268,6 +297,9 @@ func readSegmentSchema(m *segMeta, canon map[string]*value.Schema) error {
 // file at the first record that does not decode — the torn tail of an
 // interrupted write.
 func recoverSegment(m *segMeta, indexEvery int) error {
+	if m.version == colFormatVersion {
+		return recoverColSegment(m)
+	}
 	f, err := os.Open(m.path)
 	if err != nil {
 		return err
@@ -534,6 +566,12 @@ func (t *Table) sealLocked() error {
 	if err := t.f.Close(); err != nil {
 		return err
 	}
+	if t.opts.Columnar && t.active.rows > 0 {
+		// Transpose the sealed row log into column blocks. The v1 file
+		// is already durable, and conversion replaces it atomically, so
+		// a failure here just keeps the (perfectly valid) v1 seal.
+		_ = convertToColumnar(t.active, t.opts.ColBlockRows, t.opts.Fsync != FsyncNone)
+	}
 	if err := writeIndex(t.active, t.opts.Fsync != FsyncNone); err != nil {
 		return err
 	}
@@ -621,10 +659,25 @@ func (t *Table) Segments() (sealed, active int) {
 	return len(t.sealed), active
 }
 
-// ScanCounters reports cumulative segments read vs pruned across all
-// scans, the observability hook for time-range pruning.
-func (t *Table) ScanCounters() (scanned, pruned int64) {
-	return t.scanned.Load(), t.pruned.Load()
+// Counters is a snapshot of the table's cumulative scan counters: how
+// many whole segments scans read vs pruned on segment time bounds, and
+// how many v2 column blocks they decoded vs skipped on zone-map bounds.
+type Counters struct {
+	SegmentsScanned int64
+	SegmentsPruned  int64
+	BlocksRead      int64
+	BlocksSkipped   int64
+}
+
+// ScanCounters reports cumulative scan counters across all scans, the
+// observability hook for time-range pruning and zone-map skipping.
+func (t *Table) ScanCounters() Counters {
+	return Counters{
+		SegmentsScanned: t.scanned.Load(),
+		SegmentsPruned:  t.pruned.Load(),
+		BlocksRead:      t.blocksRead.Load(),
+		BlocksSkipped:   t.blocksSkipped.Load(),
+	}
 }
 
 // LatencySnapshots reports the table's append and scan latency
@@ -669,6 +722,10 @@ func (t *Table) Scan(from, to time.Time, batchHint int, fn func([]value.Tuple) e
 	t.mu.Unlock()
 
 	s := &scanState{batchHint: batchHint, fn: fn}
+	defer func() {
+		t.blocksRead.Add(s.blocksRead)
+		t.blocksSkipped.Add(s.blocksSkipped)
+	}()
 	for _, m := range segs {
 		if !m.overlaps(from, to) {
 			t.pruned.Add(1)
@@ -701,6 +758,10 @@ type scanState struct {
 	batchHint int
 	batch     []value.Tuple
 	fn        func([]value.Tuple) error
+	// Per-scan zone-map accounting, folded into the table's cumulative
+	// counters when the scan finishes.
+	blocksRead    int64
+	blocksSkipped int64
 }
 
 func (s *scanState) push(row value.Tuple) error {
@@ -741,8 +802,12 @@ func inRange(ts time.Time, from, to time.Time) bool {
 var errStopScan = errors.New("store: stop scan")
 
 // scanFile streams one segment's records in [seek, end) through the
-// row-level time filter.
+// row-level time filter. v2 segments go block-at-a-time through the
+// zone map instead.
 func scanFile(m *segMeta, end int64, from, to time.Time, s *scanState) error {
+	if m.version == colFormatVersion {
+		return scanColFile(m, from, to, s)
+	}
 	start := m.seekOffset(from)
 	if start >= end {
 		return nil

@@ -119,7 +119,7 @@ func TestSegmentSealAndTimeRange(t *testing.T) {
 		t.Fatalf("rows = %d", len(got))
 	}
 	// Time-bounded scan returns exactly [from, to] and prunes segments.
-	s0, p0 := tab.ScanCounters()
+	c0 := tab.ScanCounters()
 	from, to := row(100).TS, row(199).TS
 	got = collect(t, tab, from, to)
 	if len(got) != 100 {
@@ -130,12 +130,12 @@ func TestSegmentSealAndTimeRange(t *testing.T) {
 			t.Fatalf("ranged row %d = n%d", i, v)
 		}
 	}
-	s1, p1 := tab.ScanCounters()
-	if p1-p0 == 0 {
-		t.Errorf("ranged scan pruned no segments (scanned %d)", s1-s0)
+	c1 := tab.ScanCounters()
+	if c1.SegmentsPruned-c0.SegmentsPruned == 0 {
+		t.Errorf("ranged scan pruned no segments (scanned %d)", c1.SegmentsScanned-c0.SegmentsScanned)
 	}
-	if s1-s0 >= s0 {
-		t.Errorf("ranged scan read %d segments, full scan read %d — no pruning win", s1-s0, s0)
+	if c1.SegmentsScanned-c0.SegmentsScanned >= c0.SegmentsScanned {
+		t.Errorf("ranged scan read %d segments, full scan read %d — no pruning win", c1.SegmentsScanned-c0.SegmentsScanned, c0.SegmentsScanned)
 	}
 }
 

@@ -172,6 +172,40 @@ func (v Value) Num() float64 {
 // same check-Kind-first contract as Str.
 func (v Value) IntRaw() int64 { return v.i }
 
+// TimeRaw returns the raw time content for KindTime, the zero time
+// otherwise; the same check-Kind-first contract as Str. Columnar
+// materialization uses it to flatten time columns to int64 nanoseconds
+// without TimeVal's error path.
+func (v Value) TimeRaw() time.Time { return v.t }
+
+// The *Ref accessors are the pointer-receiver twins of Kind, Str, Num,
+// IntRaw, and TimeRaw for per-lane loops over []Value: even when a
+// value-receiver accessor inlines, the compiler materializes a copy of
+// the whole ~96-byte Value as the receiver, and in the columnar
+// transpose (exec.ColVec.materialize) those copies dominated the
+// entire filter's profile. Reading through the pointer is a single
+// field load. The check-Kind-first contract carries over unchanged.
+
+// KindRef is Kind through the pointer.
+func (v *Value) KindRef() Kind { return v.kind }
+
+// StrRef is Str through the pointer.
+func (v *Value) StrRef() string { return v.s }
+
+// NumRef is Num through the pointer.
+func (v *Value) NumRef() float64 {
+	if v.kind == KindInt {
+		return float64(v.i)
+	}
+	return v.f
+}
+
+// IntRef is IntRaw through the pointer.
+func (v *Value) IntRef() int64 { return v.i }
+
+// TimeRef is TimeRaw through the pointer.
+func (v *Value) TimeRef() time.Time { return v.t }
+
 // ListVal returns the list content, or an error for non-lists.
 func (v Value) ListVal() ([]Value, error) {
 	if v.kind != KindList {

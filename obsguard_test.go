@@ -133,6 +133,51 @@ func TestObsOverheadSharedScan(t *testing.T) {
 		func() time.Duration { return run(true) })
 }
 
+// TestObsOverheadColumnar guards the vectorized pipeline (PR 10): the
+// shared-scan workload with Columnar on (the default), per-stage
+// profiling on vs off. The columnar stages report per-batch "vec"
+// samples through the same obs path as the row stages, and that
+// instrumentation must fit the same 3% budget.
+func TestObsOverheadColumnar(t *testing.T) {
+	skipIfNoisy(t)
+	all := firehose.Tweets(soccerStream()[:2000])
+	const queries = 8
+
+	run := func(profiling bool) time.Duration {
+		hub := twitterapi.NewHub()
+		cat := catalog.New()
+		cat.RegisterSource("twitter", catalog.NewTwitterSource(hub, nil))
+		opts := core.DefaultOptions()
+		opts.SourceBuffer = len(all) + 16
+		opts.SharedScans = true
+		opts.Columnar = true
+		opts.Profiling = profiling
+		eng := core.NewEngine(cat, opts)
+		var wg sync.WaitGroup
+		for q := 0; q < queries; q++ {
+			cur, err := eng.Query(context.Background(),
+				`SELECT text FROM twitter WHERE followers > 1000000`)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for range cur.Rows() {
+				}
+			}()
+		}
+		start := time.Now()
+		twitterapi.Replay(hub, all)
+		wg.Wait()
+		return time.Since(start)
+	}
+
+	assertOverhead(t, "profiling overhead on the columnar pipeline",
+		func() time.Duration { return run(false) },
+		func() time.Duration { return run(true) })
+}
+
 // TestObsOverheadTableStore guards the persistent store: batched
 // appends plus a full scan — the BenchmarkTableStore shape — with the
 // append/scan latency histograms on vs off.
